@@ -1,0 +1,81 @@
+"""Ablation: baselines -- access cost and the contention-free model.
+
+Two comparisons the paper motivates:
+
+* Kurihara-style *memory access cost* is NOT a tolerance indicator (the
+  paper's Section-1 conjecture): configurations with matching effective
+  access cost can land in different tolerance zones.
+* Agarwal's contention-free multithreading model over-predicts utilization
+  exactly where the CQN model says queueing feedback matters.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import (
+    MMSModel,
+    agarwal_utilization,
+    kurihara_access_cost,
+    network_tolerance,
+)
+from repro.params import paper_defaults
+
+
+def sweep():
+    rows = []
+    for nt, r, pr in [
+        (4, 5.0, 0.1),
+        (8, 10.0, 0.4),
+        (2, 5.0, 0.1),
+        (8, 10.0, 0.5),
+        (8, 10.0, 0.2),
+        (1, 10.0, 0.2),
+    ]:
+        params = paper_defaults(num_threads=nt, runlength=r, p_remote=pr)
+        perf = MMSModel(params).solve()
+        cost = kurihara_access_cost(params, performance=perf)
+        tol = network_tolerance(params, actual=perf)
+        ag = agarwal_utilization(params)
+        rows.append(
+            [
+                nt,
+                r,
+                pr,
+                cost.effective_cost,
+                cost.hidden_fraction,
+                tol.index,
+                tol.zone.value,
+                perf.processor_utilization,
+                ag.utilization,
+            ]
+        )
+    return rows
+
+
+def test_ablation_access_cost(benchmark, archive):
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        ["n_t", "R", "p_rem", "cost", "hidden", "tol_net", "zone", "U_p(CQN)",
+         "U_p(Agarwal)"],
+        rows,
+        title="Ablation: access cost and the contention-free baseline",
+    )
+    archive("ablation_access_cost", text)
+
+    by = {(r[0], r[1], r[2]): r for r in rows}
+
+    # matched access cost, different tolerance zones (paper's conjecture)
+    a = by[(4, 5.0, 0.1)]
+    b = by[(8, 10.0, 0.4)]
+    assert a[3] == pytest.approx(b[3], rel=0.1)  # same cost
+    assert abs(a[5] - b[5]) > 0.2  # different tolerance
+
+    # the contention-free model upper-bounds the CQN everywhere
+    for row in rows:
+        assert row[8] >= row[7] - 1e-9
+
+    # and the gap widens with congestion (queueing feedback at p=0.5)
+    gap_low = by[(8, 10.0, 0.2)][8] - by[(8, 10.0, 0.2)][7]
+    gap_high = by[(8, 10.0, 0.5)][8] - by[(8, 10.0, 0.5)][7]
+    assert gap_high > gap_low

@@ -1,0 +1,56 @@
+"""Ablation: the two simulation substrates describe the same system.
+
+DES (token-tracking, fast) vs GSPN (the paper's formalism, anonymous tokens +
+Little's law).  Agreement here means the Petri-net reduction -- resource
+places, immediate routing, Little's-law latencies -- loses nothing.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.simulation import simulate
+from repro.spn import simulate_spn
+
+POINT = paper_defaults(k=2, num_threads=4, p_remote=0.4)
+DURATION = 30_000.0
+
+
+def compare():
+    perf = MMSModel(POINT).solve()
+    t0 = time.perf_counter()
+    des = simulate(POINT, duration=DURATION, seed=11)
+    t_des = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    spn = simulate_spn(POINT, duration=DURATION, seed=12)
+    t_spn = time.perf_counter() - t0
+    rows = []
+    for key in ("U_p", "lambda_net", "S_obs", "L_obs"):
+        rows.append(
+            [key, perf.summary()[key], des.summary()[key], spn.summary()[key]]
+        )
+    rows.append(["seconds", 0.0, t_des, t_spn])
+    return rows
+
+
+def test_ablation_simulators(benchmark, archive):
+    rows = run_once(benchmark, compare)
+    text = format_table(
+        ["measure", "MVA", "DES", "SPN"],
+        rows,
+        precision=4,
+        title=f"Ablation: DES vs Petri net at {POINT.arch.torus}, T={DURATION:g}",
+    )
+    archive("ablation_simulators", text)
+
+    by = {r[0]: r for r in rows}
+    for key, tol in [("U_p", 0.05), ("lambda_net", 0.06), ("S_obs", 0.12),
+                     ("L_obs", 0.12)]:
+        mva, des, spn = by[key][1], by[key][2], by[key][3]
+        assert des == pytest.approx(mva, rel=tol)
+        assert spn == pytest.approx(mva, rel=tol)
+        assert spn == pytest.approx(des, rel=2 * tol)

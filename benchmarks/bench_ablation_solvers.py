@@ -1,0 +1,91 @@
+"""Ablation: MVA solver variants -- accuracy and cost.
+
+DESIGN.md design-choices #2 and #3.  The symmetric fast path must match the
+full multi-class Bard-Schweitzer bit-for-bit (same fixed point) while being
+O(P) cheaper; Bard-Schweitzer's error against exact MVA is quantified on a
+machine small enough to solve exactly.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import MMSModel
+from repro.params import paper_defaults
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def compare():
+    rows = []
+    # accuracy on the largest machine that exact MVA can still handle
+    tiny = paper_defaults(k=2, num_threads=3, p_remote=0.4)
+    model = MMSModel(tiny)
+    ex, t_ex = timed(lambda: model.solve(method="exact"))
+    bs, t_bs = timed(lambda: model.solve(method="amva"))
+    lin, t_lin = timed(lambda: model.solve(method="linearizer"))
+    sym, t_sym = timed(lambda: model.solve(method="symmetric"))
+    for name, perf, t in [
+        ("exact", ex, t_ex),
+        ("linearizer", lin, t_lin),
+        ("amva(BS)", bs, t_bs),
+        ("symmetric", sym, t_sym),
+    ]:
+        err = abs(perf.processor_utilization - ex.processor_utilization)
+        rows.append(["2x2/n_t=3", name, perf.processor_utilization, err, t * 1e3])
+
+    # cost at scale: symmetric vs full AMVA on the 10x10 machine
+    # (prime the shared visit-ratio cache so only solver cost is timed)
+    big = paper_defaults(k=10)
+    big_model = MMSModel(big)
+    big_model.visit_ratios
+    sym_big, t_sym_big = timed(lambda: big_model.solve(method="symmetric"))
+    bs_big, t_bs_big = timed(lambda: big_model.solve(method="amva"))
+    rows.append(
+        ["10x10", "symmetric", sym_big.processor_utilization, 0.0, t_sym_big * 1e3]
+    )
+    rows.append(
+        [
+            "10x10",
+            "amva(BS)",
+            bs_big.processor_utilization,
+            abs(bs_big.processor_utilization - sym_big.processor_utilization),
+            t_bs_big * 1e3,
+        ]
+    )
+    return rows
+
+
+def test_ablation_solvers(benchmark, archive):
+    rows = run_once(benchmark, compare)
+    text = format_table(
+        ["machine", "solver", "U_p", "|err| vs ref", "ms"],
+        rows,
+        precision=5,
+        title="Ablation: MVA solver accuracy and cost",
+    )
+    archive("ablation_solvers", text)
+
+    by = {(r[0], r[1]): r for r in rows}
+
+    # BS error against exact is small (the paper's accepted approximation)
+    assert by[("2x2/n_t=3", "amva(BS)")][3] < 0.05
+    # linearizer refines BS
+    assert (
+        by[("2x2/n_t=3", "linearizer")][3]
+        <= by[("2x2/n_t=3", "amva(BS)")][3] + 1e-9
+    )
+    # symmetric == full BS (same fixed point)
+    assert by[("2x2/n_t=3", "symmetric")][2] == pytest.approx(
+        by[("2x2/n_t=3", "amva(BS)")][2], rel=1e-6
+    )
+    assert by[("10x10", "amva(BS)")][3] < 1e-4
+
+    # symmetric is at least 5x faster than the full solve at 10x10
+    assert by[("10x10", "symmetric")][4] * 5 < by[("10x10", "amva(BS)")][4]

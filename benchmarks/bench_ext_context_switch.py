@@ -1,0 +1,36 @@
+"""Extension: context-switch overhead C (carried by the paper, never swept).
+
+C inflates the processor occupancy per dispatch without contributing useful
+work: useful U_p falls, raw busy time rises, and -- subtly -- tol_network
+*improves* because the slower access rate relieves the network (the same
+mechanism as increasing R, Section 5).
+"""
+
+from conftest import run_once
+from repro.analysis import ext_context_switch
+
+
+def test_ext_context_switch(benchmark, archive):
+    result = run_once(benchmark, ext_context_switch)
+    archive("ext_context_switch", result.render())
+
+    rows = result.data["rows"]
+    by_c = {r[0]: r for r in rows}
+
+    # useful utilization falls monotonically with C
+    u = result.data["U_p"]
+    assert list(u) == sorted(u, reverse=True)
+
+    # busy time (useful + overhead) rises with C
+    busy = [by_c[c][2] for c in (0.0, 2.0, 10.0)]
+    assert busy == sorted(busy)
+
+    # at C = R the processor spends half its busy time on overhead
+    assert by_c[10.0][2] == pytest.approx(2 * by_c[10.0][1], rel=0.01)
+
+    # slower access rate relieves the network: S_obs down, tolerance up
+    assert by_c[10.0][3] < by_c[0.0][3]
+    assert by_c[10.0][4] > by_c[0.0][4]
+
+
+import pytest  # noqa: E402

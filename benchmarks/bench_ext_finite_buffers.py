@@ -1,0 +1,32 @@
+"""Extension: finite network buffering (the paper's footnote 3).
+
+"If the switches on the IN have limited buffering, then S_obs will saturate
+with n_t."  Realized with deadlock-free end-to-end injection credits: the
+in-network population is bounded, so the observed network latency flattens
+in n_t while the unbounded system's keeps climbing.
+"""
+
+from conftest import run_once
+from repro.analysis import ext_finite_buffers
+
+
+def test_ext_finite_buffers(benchmark, archive):
+    result = run_once(benchmark, ext_finite_buffers)
+    archive("ext_finite_buffers", result.render())
+
+    series = result.data["series"]
+    capped2 = series["credits=2"]
+    capped4 = series["credits=4"]
+    free = series["unbounded"]
+
+    # footnote 3's prediction: S_obs saturates under finite buffering
+    assert capped2[-1] < 1.25 * capped2[1]  # flat from n_t=4 to n_t=16
+    assert free[-1] > 2.5 * free[1]  # unbounded keeps climbing
+
+    # the ceiling scales with the buffer budget
+    assert capped2[-1] < capped4[-1] < free[-1]
+
+    # at n_t=2 there can never be more than 2 outstanding remote messages,
+    # so the credit limits do not bind and the trajectories coincide
+    assert abs(capped4[0] - free[0]) < 1e-9
+    assert abs(capped2[0] - free[0]) < 1e-9

@@ -1,0 +1,42 @@
+"""Extension: EM-4-style local-priority memory scheduling (simulation).
+
+The paper's Section 7 suggests prioritizing local memory requests for
+machines with a very fast IN.  The measured picture is more nuanced and is
+asserted here: the local latency always improves sharply; utilization
+improves only for low-concurrency workloads (n_t = 1) and mildly regresses
+once multithreading already hides the local latency.
+"""
+
+from conftest import run_once
+from repro.analysis import ext_local_priority
+
+
+def test_ext_local_priority(benchmark, archive):
+    result = run_once(benchmark, ext_local_priority)
+    archive("ext_local_priority", result.render())
+
+    sims = result.data["sims"]
+
+    # the local latency improves at every thread count
+    for nt in (1, 2, 8):
+        assert (
+            sims[f"nt{nt}_prio"].l_obs_local < sims[f"nt{nt}_fcfs"].l_obs_local
+        )
+        # non-preemptive priority is work conserving: access rate preserved
+        assert abs(
+            sims[f"nt{nt}_prio"].access_rate - sims[f"nt{nt}_fcfs"].access_rate
+        ) < 0.06 * sims[f"nt{nt}_fcfs"].access_rate
+
+    # remote responses pay for it
+    assert sims["nt8_prio"].l_obs_remote > sims["nt8_fcfs"].l_obs_remote
+
+    # utilization: helps the single-threaded processor...
+    assert (
+        sims["nt1_prio"].processor_utilization
+        > sims["nt1_fcfs"].processor_utilization
+    )
+    # ...and does NOT help the well-threaded one (the documented nuance)
+    assert (
+        sims["nt8_prio"].processor_utilization
+        < sims["nt8_fcfs"].processor_utilization * 1.01
+    )

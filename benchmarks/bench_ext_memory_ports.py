@@ -1,0 +1,38 @@
+"""Extension: multiported memory (the paper's Section-7 implication).
+
+"A very fast IN may increase the contention at local memory, and the
+performance suffers, if memory response time is not low.  Multiporting /
+pipelining the memory can be of help."  This bench quantifies that: under a
+zero-delay network the single-ported memory caps U_p; 2 ports recover most
+of it and the gain is *larger* under the ideal network than under the real
+one (where the network shares the blame).
+"""
+
+from conftest import run_once
+from repro.analysis import ext_memory_ports
+
+
+def test_ext_memory_ports(benchmark, archive):
+    result = run_once(benchmark, ext_memory_ports)
+    archive("ext_memory_ports", result.render())
+
+    u = result.data["U_p"]
+
+    # more ports, more utilization -- always
+    for k in (4, 8):
+        for s in ("10", "0"):
+            assert u[f"k{k}_S{s}_m1"] < u[f"k{k}_S{s}_m2"] < u[f"k{k}_S{s}_m4"]
+
+    # the multiporting gain is larger under the ideal network (the paper's
+    # point: a fast IN shifts the bottleneck to the memory)
+    gain_ideal = u["k8_S0_m2"] - u["k8_S0_m1"]
+    gain_real = u["k8_S10_m2"] - u["k8_S10_m1"]
+    assert gain_ideal > gain_real
+
+    # with 2+ ports the ideal-network machine approaches full utilization
+    assert u["k8_S0_m4"] > 0.95
+
+    # diminishing returns: the 2->4 step is smaller than the 1->2 step
+    assert (u["k4_S10_m4"] - u["k4_S10_m2"]) < (
+        u["k4_S10_m2"] - u["k4_S10_m1"]
+    )

@@ -1,0 +1,61 @@
+"""Extension: the tolerance metric as a tuning guide, quantified.
+
+The paper's stated benefit: "the latency tolerance helps to selectively
+analyze and optimize one or more subsystems at a time ... if the latency of
+a memory subsystem is less tolerated than the network latency, a system
+architect can tune the memory subsystem.  Tuning the parameters of other
+subsystems will have less effect."
+
+This bench verifies that promise end to end: at every operating point, the
+subsystem with the LOWER tolerance index is the one whose parameter carries
+the LARGER performance elasticity.
+"""
+
+from conftest import run_once
+from repro.analysis import format_table, sensitivities
+from repro.core import memory_tolerance, network_tolerance
+from repro.params import paper_defaults
+
+POINTS = {
+    "memory-bound (defaults)": paper_defaults(),
+    "balanced": paper_defaults(p_remote=0.3),
+    "network-bound": paper_defaults(p_remote=0.6),
+    "deep network saturation": paper_defaults(p_remote=0.8, num_threads=16),
+    "fast memory": paper_defaults(memory_latency=2.0),
+}
+
+
+def evaluate():
+    rows = []
+    data = {}
+    for name, params in POINTS.items():
+        tol_n = network_tolerance(params).index
+        tol_m = memory_tolerance(params).index
+        rep = sensitivities(params)
+        e_s = abs(rep["switch_delay"].elasticity)
+        e_l = abs(rep["memory_latency"].elasticity)
+        rows.append([name, tol_n, tol_m, e_s, e_l])
+        data[name] = (tol_n, tol_m, e_s, e_l)
+    return rows, data
+
+
+def test_ext_sensitivity(benchmark, archive):
+    rows, data = run_once(benchmark, evaluate)
+    text = format_table(
+        ["operating point", "tol_net", "tol_mem", "|E(S)|", "|E(L)|"],
+        rows,
+        title="low tolerance <=> high tuning leverage",
+    )
+    archive("ext_sensitivity", text)
+
+    for name, (tol_n, tol_m, e_s, e_l) in data.items():
+        # the paper's promise: the less-tolerated subsystem is the one
+        # worth tuning (larger elasticity), at every point
+        if tol_n < tol_m - 0.02:
+            assert e_s > e_l, name
+        elif tol_m < tol_n - 0.02:
+            assert e_l > e_s, name
+
+    # sanity on the specific regimes
+    assert data["memory-bound (defaults)"][3] > data["memory-bound (defaults)"][2]
+    assert data["network-bound"][2] > data["network-bound"][3]

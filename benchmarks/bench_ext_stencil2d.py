@@ -1,0 +1,85 @@
+"""Extension: 2-D stencils under strong vs weak scaling.
+
+The canonical workload the paper's intro motivates, analyzed end to end:
+a 5-point stencil over a 2-D block-distributed array.  Remote traffic is
+the tile's perimeter-to-area ratio, so:
+
+* strong scaling (fixed problem): tiles shrink, p_remote grows, and the
+  tolerance analysis pinpoints the machine size where the loop leaves the
+  tolerated zone;
+* weak scaling (fixed tile): p_remote converges to the interior-tile
+  asymptote and tolerance holds at every size.
+"""
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.workload import FIVE_POINT, Block2D, derive_stencil_pattern
+
+PROBLEM = 128  # strong-scaling array side
+TILE = 16  # weak-scaling tile side
+
+
+def evaluate():
+    rows = []
+    data = {}
+    for k in (2, 4, 8):
+        for mode in ("strong", "weak"):
+            side = PROBLEM if mode == "strong" else TILE * k
+            lp = derive_stencil_pattern(Block2D(side, side, k, k), FIVE_POINT)
+            params = paper_defaults(k=k, p_remote=lp.p_remote)
+            perf = MMSModel(params, pattern=lp.pattern).solve()
+            ideal = MMSModel(
+                params.with_(switch_delay=0.0), pattern=lp.pattern
+            ).solve()
+            tol = perf.processor_utilization / ideal.processor_utilization
+            rows.append(
+                [
+                    mode,
+                    k * k,
+                    side // k,
+                    lp.p_remote,
+                    perf.processor_utilization,
+                    perf.system_throughput,
+                    tol,
+                ]
+            )
+            data[f"{mode}_k{k}"] = (lp.p_remote, perf, tol)
+    return rows, data
+
+
+def test_ext_stencil2d(benchmark, archive):
+    rows, data = run_once(benchmark, evaluate)
+    text = format_table(
+        ["scaling", "P", "tile", "p_remote", "U_p", "P*U_p", "tol_net"],
+        rows,
+        precision=4,
+        title=f"5-point stencil: strong (array {PROBLEM}^2) vs weak "
+        f"(tile {TILE}^2/PE)",
+    )
+    archive("ext_stencil2d", text)
+
+    # strong scaling erodes locality monotonically
+    strong_p = [data[f"strong_k{k}"][0] for k in (2, 4, 8)]
+    assert strong_p == sorted(strong_p)
+    assert strong_p[-1] > 2 * strong_p[0]
+
+    # weak scaling stays bounded by the interior asymptote
+    asymptote = 4 * TILE / (5 * TILE * TILE)
+    for k in (2, 4, 8):
+        assert data[f"weak_k{k}"][0] < asymptote
+
+    # both regimes remain tolerated for this friendly workload...
+    for key, (_, _, tol) in data.items():
+        assert tol > 0.8, key
+
+    # ...but weak scaling delivers near-linear aggregate throughput
+    weak_thr = [data[f"weak_k{k}"][1].system_throughput for k in (2, 4, 8)]
+    assert weak_thr[2] / weak_thr[0] > 0.9 * (64 / 4)
+
+    # and weak-scaled utilization dominates strong-scaled at the largest size
+    assert (
+        data["weak_k8"][1].processor_utilization
+        >= data["strong_k8"][1].processor_utilization - 1e-9
+    )

@@ -1,0 +1,46 @@
+"""Figure 10: system throughput P*U_p and latencies vs machine size.
+
+Paper shapes:
+(a) geometric throughput grows ~linearly with P and tracks the ideal-network
+    line closely; uniform throughput flattens;
+(b) under the ideal (zero-delay) network, contention moves to the memories:
+    the ideal system's L_obs exceeds the geometric system's, while the
+    uniform system's S_obs explodes with P.
+"""
+
+from conftest import run_once
+from repro.analysis import fig10_throughput_scaling
+
+
+def test_fig10_throughput_scaling(benchmark, archive):
+    result = run_once(benchmark, fig10_throughput_scaling)
+    archive("fig10_throughput_scaling", result.render())
+
+    ps = list(result.data["P"])
+    thr = result.data["throughput"]
+    lat = result.data["latency"]
+
+    # ordering: linear >= ideal >= geometric >= uniform, at every size
+    for i in range(len(ps)):
+        assert thr["linear"][i] >= thr["ideal_net"][i] - 1e-9
+        assert thr["ideal_net"][i] >= thr["geometric"][i] - 1e-9
+        assert thr["geometric"][i] >= thr["uniform"][i] - 1e-9
+
+    # (a) geometric scales near-linearly: throughput ratio ~ P ratio
+    i4, i100 = ps.index(4), ps.index(100)
+    geo_gain = thr["geometric"][i100] / thr["geometric"][i4]
+    assert geo_gain > 0.85 * (100 / 4)
+
+    # (a) uniform is strongly sublinear
+    uni_gain = thr["uniform"][i100] / thr["uniform"][i4]
+    assert uni_gain < 0.6 * (100 / 4)
+
+    # (a) geometric tracks the ideal network within ~10%
+    assert thr["geometric"][i100] > 0.88 * thr["ideal_net"][i100]
+
+    # (b) ideal network piles contention onto the memories
+    assert lat["ideal(mem)"][i100] > lat["geo(mem)"][i100]
+
+    # (b) uniform network latency explodes with P, geometric saturates
+    assert lat["uni(net)"][i100] > 4 * lat["geo(net)"][i100]
+    assert lat["geo(net)"][i100] < 1.5 * lat["geo(net)"][ps.index(16)]

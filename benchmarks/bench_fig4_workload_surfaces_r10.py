@@ -1,0 +1,52 @@
+"""Figure 4: U_p, S_obs, lambda_net, tol_network over (n_t, p_remote), R=10.
+
+Paper shapes this bench must reproduce:
+* U_p ~ 100% at low p_remote, dropping past the critical value 0.18;
+* S_obs rises with p_remote then flattens when the IN saturates (~0.3);
+* lambda_net saturates near 0.029 (Eq. 4);
+* tol_network = 0.8/0.5 planes separate the three operating zones.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import fig4_5_workload_surfaces
+from repro.core import lambda_net_saturation
+from repro.params import paper_defaults
+
+
+def test_fig4_workload_surfaces_r10(benchmark, archive):
+    result = run_once(benchmark, lambda: fig4_5_workload_surfaces(10.0))
+    archive("fig4_workload_surfaces_r10", result.render())
+
+    threads = result.data["threads"]
+    p_rem = result.data["p_remotes"]
+    u_p = result.data["U_p"]
+    s_obs = result.data["S_obs"]
+    lam = result.data["lambda_net"]
+    tol = result.data["tol_network"]
+
+    # U_p stays near its communication-free ceiling (n_t/(n_t+1) = 0.889
+    # with R = L) below the critical p_remote
+    nt8 = list(threads).index(8)
+    low_p = list(p_rem).index(0.1)
+    assert u_p[nt8, low_p] > 0.85
+
+    # U_p monotonically non-increasing in p_remote at every thread count
+    assert np.all(np.diff(u_p, axis=1) < 1e-9)
+
+    # lambda_net saturates at Eq. (4)'s rate
+    sat = lambda_net_saturation(paper_defaults())
+    assert lam.max() <= sat * 1.0001
+    assert lam.max() > 0.85 * sat
+
+    # S_obs grows with n_t (contention), flattens in p_remote when saturated
+    assert np.all(np.diff(s_obs, axis=0) > 0)
+    hi_p = len(p_rem) - 1
+    mid_p = list(p_rem).index(0.5)
+    assert s_obs[nt8, hi_p] < 1.2 * s_obs[nt8, mid_p]
+
+    # tolerance zones: tolerated at (8, 0.2), degraded at (8, 0.8)
+    p02 = list(p_rem).index(0.2)
+    assert tol[nt8, p02] > 0.8
+    assert tol[nt8, hi_p] < 0.7

@@ -1,0 +1,46 @@
+"""Figure 5: the Figure-4 surfaces at R = 20.
+
+Paper shapes: same qualitative behaviour as Figure 4 with knees shifted
+right -- critical p_remote ~0.37, IN saturation near p_remote ~0.6, and a
+higher tolerated region because the doubled runlength halves the access rate.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import fig4_5_workload_surfaces
+from repro.core import lambda_net_saturation
+from repro.params import paper_defaults
+
+
+def test_fig5_workload_surfaces_r20(benchmark, archive):
+    result = run_once(benchmark, lambda: fig4_5_workload_surfaces(20.0))
+    archive("fig5_workload_surfaces_r20", result.render())
+
+    threads = list(result.data["threads"])
+    p_rem = list(result.data["p_remotes"])
+    u_p = result.data["U_p"]
+    lam = result.data["lambda_net"]
+    tol = result.data["tol_network"]
+
+    nt8 = threads.index(8)
+
+    # the R=20 machine stays near-full utilization further into p_remote
+    p03 = p_rem.index(0.3)
+    assert u_p[nt8, p03] > 0.75
+
+    # saturation rate itself is R-independent (Eq. 4)
+    sat = lambda_net_saturation(paper_defaults(runlength=20.0))
+    assert lam.max() <= sat * 1.0001
+
+    # R=20 tolerates strictly more than R=10 point-for-point
+    r10 = fig4_5_workload_surfaces(
+        10.0,
+        threads=tuple(threads),
+        p_remotes=tuple(p_rem),
+    )
+    assert np.all(tol >= r10.data["tol_network"] - 1e-9)
+
+    # paper: 'a higher value of R tolerates a p_remote value as high as 0.6'
+    p06 = p_rem.index(0.6)
+    assert tol[nt8, p06] > 0.5

@@ -1,0 +1,36 @@
+"""Figure 6: tol_network over the (n_t, R) plane at p_remote = 0.2 and 0.4.
+
+Paper shapes: tolerance rises with both n_t and R (more exposed work); the
+0.8/0.5 horizontal planes carve the tolerated / partial / not-tolerated
+regions, and the p_remote = 0.4 sheet sits strictly below the 0.2 sheet.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import fig6_tolerance_surface
+
+
+def test_fig6_tolerance_surface(benchmark, archive):
+    result = run_once(benchmark, fig6_tolerance_surface)
+    archive("fig6_tolerance_surface", result.render())
+
+    t02 = result.data["tol_p0.2"]
+    t04 = result.data["tol_p0.4"]
+    threads = list(result.data["threads"])
+    runlengths = list(result.data["runlengths"])
+
+    # more remote traffic, less tolerance -- everywhere
+    assert np.all(t04 <= t02 + 1e-9)
+
+    # tolerance grows with thread count at fixed R >= 10
+    for r in (10, 20, 40):
+        col = threads and t02[:, runlengths.index(r)]
+        assert np.all(np.diff(col) > -1e-9)
+
+    # the top-right corner (many threads, long runlengths) is tolerated
+    assert t02[-1, -1] > 0.9
+    # at p=0.4 there are partially-tolerated cells (mid R), reproducing the
+    # three-region split of the figure
+    assert (t04 < 0.8).any()
+    assert (t04 >= 0.8).any()

@@ -1,0 +1,29 @@
+"""Figure 7: tol_network along n_t x R = const lines, plotted against R.
+
+Paper shapes: higher iso-work lines sit higher (more exposed computation);
+along a line, tolerance converges for small R (memory-dominated regime where
+the lines bunch together) and, for R >= L, reaches its maximum already at
+n_t = 2 -- coalescing threads is essentially free.
+"""
+
+from conftest import run_once
+from repro.analysis import fig7_iso_work_lines
+
+
+def test_fig7_partitioning_lines(benchmark, archive):
+    result = run_once(benchmark, fig7_iso_work_lines)
+    archive("fig7_partitioning_lines", result.render())
+
+    # higher work lines dominate lower ones at matching R where both exist
+    for pr in (0.2, 0.4):
+        pts_w40 = dict(result.data[f"p{pr}_w40"])
+        pts_w160 = dict(result.data[f"p{pr}_w160"])
+        shared = set(pts_w40) & set(pts_w160)
+        assert shared, "iso-work lines must share R samples"
+        for r in shared:
+            assert pts_w160[r] >= pts_w40[r] - 1e-9
+
+    # n_t = 2 on the W=160 line is already within a whisker of the line max
+    pts = dict(result.data["p0.2_w160"])
+    tol_nt2 = pts[80.0]  # R = W / n_t = 160/2
+    assert tol_nt2 > 0.95 * max(pts.values())

@@ -1,0 +1,39 @@
+"""Figure 8: tol_memory over the (n_t, R) plane for L = 10 and L = 20.
+
+Paper shapes: tol_memory saturates at ~1 once R >= 2L and n_t >= 6; the
+L = 20 sheet sits below the L = 10 sheet; short runlengths (R < L) leave the
+memory latency only partially tolerated.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import fig8_memory_surface
+
+
+def test_fig8_memory_tolerance(benchmark, archive):
+    result = run_once(benchmark, fig8_memory_surface)
+    archive("fig8_memory_tolerance", result.render())
+
+    t10 = result.data["tol_L10"]
+    t20 = result.data["tol_L20"]
+    threads = list(result.data["threads"])
+    runlengths = list(result.data["runlengths"])
+
+    # slower memory => lower tolerance, everywhere
+    assert np.all(t20 <= t10 + 1e-9)
+
+    # saturation region: R >= 2L, n_t >= 6 (paper: 'tol_memory saturates
+    # at ~1, i.e. L_obs does not affect processor performance')
+    nt6 = threads.index(6)
+    r20 = runlengths.index(20)
+    assert t10[nt6:, r20:].min() > 0.93
+
+    # short runlengths leave memory latency poorly tolerated at L = 20
+    r2 = runlengths.index(2)
+    assert t20[:, r2].max() < 0.8
+
+    # tolerance increases with runlength at fixed n_t
+    nt8 = threads.index(8)
+    row = t10[nt8]
+    assert row[-1] > row[0]

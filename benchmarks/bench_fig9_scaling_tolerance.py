@@ -1,0 +1,55 @@
+"""Figure 9: tolerance index vs n_t while scaling the machine (k = 2..10).
+
+Paper shapes this bench checks:
+* uniform: d_avg grows with the machine, tolerance collapses at scale;
+* geometric: tolerance stays near its 4x4 level all the way to 100 PEs;
+* the two patterns coincide exactly at k = 2;
+* the thread count needed for tolerance (5-8) does not grow with P;
+* R = 20 improves tolerance across the board.
+
+DEVIATION (EXPERIMENTS.md): the paper's tol > 1 at k >= 6 cannot occur under
+the exact product-form model; we assert tol <= 1 with the geometric pattern
+close behind the ideal network.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import fig9_scaling_tolerance
+
+
+def test_fig9_scaling_tolerance(benchmark, archive):
+    result = run_once(benchmark, fig9_scaling_tolerance)
+    archive("fig9_scaling_tolerance", result.render())
+
+    threads = list(result.data["threads"])
+    nt8 = threads.index(8)
+
+    for r in (10, 20):
+        # geometric holds up at scale; uniform decays with k
+        geo = [result.data[f"R{r}_k{k}_geometric"][nt8] for k in (2, 4, 6, 8, 10)]
+        uni = [result.data[f"R{r}_k{k}_uniform"][nt8] for k in (2, 4, 6, 8, 10)]
+        assert geo[-1] > 0.9 if r == 10 else geo[-1] > 0.85
+        assert uni[2] - uni[-1] > 0.1 or uni[-1] < 0.75  # decay at scale
+        assert all(g >= u - 1e-9 for g, u in zip(geo, uni))
+
+        # patterns coincide at k = 2 (all remote nodes equidistant)
+        k2g = result.data[f"R{r}_k2_geometric"]
+        k2u = result.data[f"R{r}_k2_uniform"]
+        assert np.allclose(k2g, k2u, rtol=1e-6)
+
+        # R = 20 beats R = 10 for the uniform pattern at k = 10
+    u10 = result.data["R10_k10_uniform"][nt8]
+    u20 = result.data["R20_k10_uniform"][nt8]
+    assert u20 > u10
+
+    # tolerance saturates by 5-8 threads at every machine size
+    for k in (2, 4, 6, 8, 10):
+        vals = result.data[f"R10_k{k}_geometric"]
+        nt5 = threads.index(5)
+        assert vals[nt5] > 0.9 * vals[-1]
+
+    # product-form ceiling (documented deviation from the paper's 1.05)
+    for key, vals in result.data.items():
+        if isinstance(vals, np.ndarray):
+            assert np.all(vals <= 1.0 + 1e-9)

@@ -1,0 +1,33 @@
+"""Headline claims: the paper's quotable numbers, side by side.
+
+Covers the closed-form laws (Eqs. 4/5 with the values the text quotes), the
+'most gains by 4-8 threads' rule of thumb, and the geometric-vs-uniform
+scaling contrast of Section 7.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import headline_claims
+
+
+def test_headline_claims(benchmark, archive):
+    result = run_once(benchmark, headline_claims)
+    archive("headline_claims", result.render())
+
+    rows = {r[0]: r[2] for r in result.data["rows"]}
+
+    assert rows["d_avg (4x4, p_sw=0.5)"] == pytest.approx(1.733, abs=0.001)
+    assert rows["lambda_net,sat (Eq. 4)"] == pytest.approx(0.029, abs=0.0005)
+    assert rows["critical p_remote, R=10"] == pytest.approx(0.18, abs=0.005)
+    assert rows["critical p_remote, R=20"] == pytest.approx(0.37, abs=0.01)
+    assert rows["IN-saturating p_remote, R=10"] == pytest.approx(0.3, abs=0.02)
+    assert rows["IN-saturating p_remote, R=20"] == pytest.approx(0.6, abs=0.03)
+
+    # 'most of the performance gains with 4 to 8 threads'
+    assert rows["U_p(8)/U_p(20)"] > 0.85
+    assert rows["U_p(4)/U_p(20)"] > 0.7
+
+    # Section 7 contrast at P = 100
+    assert rows["tol_net k=10 geometric"] > 0.9
+    assert rows["tol_net k=10 uniform"] < 0.5

@@ -1,0 +1,93 @@
+"""Performance micro-benchmarks for the solver and simulator kernels.
+
+Unlike the experiment benches (single-round wrappers around figure
+generators), these measure steady-state solver cost over many rounds -- the
+numbers an adopter cares about when embedding the library in a sweep.
+"""
+
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.queueing import bard_schweitzer, exact_mva_single_class, solve_symmetric
+from repro.simulation import MMSSimulation
+from repro.spn import SPNSimulator, build_mms_net
+
+
+@pytest.fixture(scope="module")
+def model_4x4():
+    m = MMSModel(paper_defaults())
+    m.visit_ratios  # prime the routing/visit cache
+    return m
+
+
+@pytest.fixture(scope="module")
+def model_10x10():
+    m = MMSModel(paper_defaults(k=10))
+    m.visit_ratios
+    return m
+
+
+def test_perf_symmetric_solve_4x4(benchmark, model_4x4):
+    perf = benchmark(lambda: model_4x4.solve(method="symmetric"))
+    assert perf.converged
+
+
+def test_perf_symmetric_solve_10x10(benchmark, model_10x10):
+    perf = benchmark(lambda: model_10x10.solve(method="symmetric"))
+    assert perf.converged
+
+
+def test_perf_full_amva_4x4(benchmark, model_4x4):
+    perf = benchmark(lambda: model_4x4.solve(method="amva"))
+    assert perf.converged
+
+
+def test_perf_raw_bard_schweitzer(benchmark, model_4x4):
+    net = model_4x4.build_network()
+    sol = benchmark(lambda: bard_schweitzer(net))
+    assert sol.converged
+
+
+def test_perf_raw_symmetric_kernel(benchmark, model_4x4):
+    v, s, t, srv = model_4x4.station_arrays()
+    sol = benchmark(lambda: solve_symmetric(v, s, t, 8, servers=srv))
+    assert sol.converged
+
+
+def test_perf_exact_mva_single_class(benchmark):
+    import numpy as np
+
+    from repro.queueing import ClosedNetwork
+
+    net = ClosedNetwork(
+        visits=np.ones((1, 64)),
+        service=np.linspace(1.0, 4.0, 64),
+        populations=np.array([32]),
+    )
+    sol = benchmark(lambda: exact_mva_single_class(net))
+    assert sol.throughput[0] > 0
+
+
+def test_perf_des_simulation(benchmark):
+    """Events per wall-second of the discrete-event core (short horizon)."""
+
+    def run():
+        return MMSSimulation(paper_defaults(), seed=0).run(
+            duration=2_000.0, warmup=200.0
+        )
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert res.cycles > 0
+
+
+def test_perf_spn_simulation(benchmark):
+    """Firing throughput of the Petri-net engine (2x2 machine)."""
+    params = paper_defaults(k=2, num_threads=2)
+
+    def run():
+        sim = SPNSimulator(build_mms_net(params), seed=0)
+        return sim.run(2_000.0, warmup=200.0)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert res.firing_counts.sum() > 0

@@ -1,0 +1,74 @@
+"""Section 8, by the book: STPN validation on the paper's own 4x4 machine.
+
+The paper simulated a Stochastic Timed Petri Net of the 4x4 MMS at
+p_remote = 0.5 and found the MVA model within 2% on lambda_net and 5% on
+S_obs.  This bench repeats that exact exercise with our GSPN engine (the
+DES-based Figure-11 bench covers the full n_t sweep; this one is the
+formalism-faithful spot check).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table, validate_point
+from repro.params import paper_defaults
+
+POINTS = [
+    paper_defaults(p_remote=0.5, num_threads=2),
+    paper_defaults(p_remote=0.5, num_threads=4),
+    paper_defaults(p_remote=0.5, num_threads=8),
+]
+DURATION = 20_000.0
+
+
+def run_validation():
+    out = []
+    for params in POINTS:
+        rows = validate_point(
+            params, duration=DURATION, seed=13, simulator="spn"
+        )
+        out.append((params, {r.measure: r for r in rows}))
+    return out
+
+
+def test_spn_validation(benchmark, archive):
+    results = run_once(benchmark, run_validation)
+
+    table_rows = []
+    for params, by in results:
+        table_rows.append(
+            [
+                params.workload.num_threads,
+                by["lambda_net"].model,
+                by["lambda_net"].simulated,
+                100 * by["lambda_net"].rel_error,
+                by["S_obs"].model,
+                by["S_obs"].simulated,
+                100 * by["S_obs"].rel_error,
+            ]
+        )
+    text = format_table(
+        ["n_t", "lam(mva)", "lam(spn)", "err%", "S_obs(mva)", "S_obs(spn)",
+         "err%"],
+        table_rows,
+        precision=4,
+        title="Petri-net validation, 4x4 torus, p_remote = 0.5 "
+        f"(T = {DURATION:g})",
+    )
+    archive("spn_validation", text)
+
+    for params, by in results:
+        nt = params.workload.num_threads
+        # the paper's bands, with slack for the shorter horizon
+        assert by["lambda_net"].rel_error < 0.05, nt
+        assert by["S_obs"].rel_error < 0.08, nt
+        assert by["U_p"].rel_error < 0.05, nt
+        assert by["L_obs"].rel_error < 0.08, nt
+
+    # the sweep shape survives the formalism change: lambda_net saturating,
+    # S_obs ~linear in n_t
+    lam = [r[1]["lambda_net"].simulated for r in results]
+    s = [r[1]["S_obs"].simulated for r in results]
+    assert lam[0] < lam[1] < lam[2]
+    assert (lam[2] - lam[1]) < (lam[1] - lam[0])  # saturating
+    assert s[2] > 1.5 * s[1] > 2 * s[0] * 0.9  # roughly linear growth

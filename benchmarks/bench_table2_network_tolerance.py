@@ -1,0 +1,31 @@
+"""Table 2: the same observed network latency, different tolerance zones.
+
+The paper's central argument against latency-centric reasoning: at R = 10,
+n_t = 8 tolerates an S_obs of ~53 time units while n_t = 3 does not; at
+R = 20, n_t = 6 tolerates ~56 while n_t = 3-4 only partially do.  Workload
+characteristics -- not the latency value -- decide the operating zone.
+"""
+
+from conftest import run_once
+from repro.analysis import table2_network_tolerance
+from repro.core import TOLERATED_THRESHOLD
+
+
+def test_table2_network_tolerance(benchmark, archive):
+    result = run_once(benchmark, table2_network_tolerance)
+    archive("table2_network_tolerance", result.render())
+
+    rows = {(r["R"], r["n_t"]): r["tol"] for r in result.data["rows"]}
+
+    # R = 10: n_t = 8 tolerates S_obs ~ 53; n_t = 3 does not
+    assert rows[(10.0, 8)] >= TOLERATED_THRESHOLD
+    assert rows[(10.0, 3)] < TOLERATED_THRESHOLD
+
+    # R = 20: n_t = 8 (and 6) tolerate S_obs ~ 56; n_t = 3 sits lower
+    assert rows[(20.0, 8)] >= TOLERATED_THRESHOLD
+    assert rows[(20.0, 3)] < rows[(20.0, 6)]
+
+    # tolerance rises monotonically with n_t at fixed target S_obs
+    for r in (10.0, 20.0):
+        tols = [rows[(r, nt)] for nt in (3, 4, 6, 8)]
+        assert tols == sorted(tols)

@@ -1,0 +1,43 @@
+"""Table 3: thread-partitioning strategy vs network latency tolerance.
+
+Iso-work lines (n_t x R = 40): the paper reports (1) low p_remote gives
+higher tol_network, (2) tol_network fairly constant along the line at fixed
+p_remote -- with the R <= L rows 'surprisingly high' because memory then
+degrades the ideal system too, and (3) absolute U_p peaking at a small
+n_t > 1.
+"""
+
+from conftest import run_once
+from repro.analysis import table3_partitioning_network
+from repro.core import solve
+from repro.params import paper_defaults
+
+
+def test_table3_partitioning_network(benchmark, archive):
+    result = run_once(
+        benchmark, lambda: table3_partitioning_network(p_remotes=(0.2, 0.4))
+    )
+    archive("table3_partitioning_network", result.render())
+
+    rows = result.data["rows"]
+    by = {(r["p_remote"], r["n_t"]): r["tol"] for r in rows}
+
+    # (1) low p_remote tolerates better, pointwise along the line
+    for nt in (1, 2, 4, 8, 20):
+        assert by[(0.2, nt)] > by[(0.4, nt)]
+
+    # (2) tol_network varies little along the iso-work line at p=0.2
+    vals = [by[(0.2, nt)] for nt in (1, 2, 4, 5, 8)]
+    assert max(vals) - min(vals) < 0.2
+
+    # (2b) the fine-grained (R < L) end is 'surprisingly high'
+    assert by[(0.2, 40)] > by[(0.2, 1)]
+
+    # (3) absolute performance peaks at few long threads
+    u = {
+        nt: solve(
+            paper_defaults(num_threads=nt, runlength=40.0 / nt)
+        ).processor_utilization
+        for nt in (1, 2, 8, 40)
+    }
+    assert u[2] == max(u.values())

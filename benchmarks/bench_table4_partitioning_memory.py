@@ -1,0 +1,34 @@
+"""Table 4: thread-partitioning strategy vs memory latency tolerance.
+
+Paper shapes at p_remote = 0.2, n_t x R = 40: (1) raising L from 10 to 20
+multiplies L_obs ~2.5x at fine grain and depresses tol_memory; (2) R >= L
+rows keep tol_memory (and U_p) high because long threads lower the memory
+access rate.
+"""
+
+from conftest import run_once
+from repro.analysis import table4_partitioning_memory
+from repro.core import MMSModel
+from repro.params import paper_defaults
+
+
+def test_table4_partitioning_memory(benchmark, archive):
+    result = run_once(benchmark, table4_partitioning_memory)
+    archive("table4_partitioning_memory", result.render())
+
+    rows = result.data["rows"]
+    by = {(r["L"], r["n_t"]): r["tol"] for r in rows}
+
+    # (1) doubling L lowers tol_memory at every partitioning
+    for nt in (1, 2, 4, 8, 20):
+        assert by[(20.0, nt)] <= by[(10.0, nt)] + 1e-9
+
+    # (1b) L_obs grows >2.3x at the fine-grained end
+    fine = paper_defaults(num_threads=8, runlength=5.0)
+    l10 = MMSModel(fine).solve().l_obs
+    l20 = MMSModel(fine.with_(memory_latency=20.0)).solve().l_obs
+    assert l20 / l10 > 2.3
+
+    # (2) coarse partitions (R >= L) tolerate the memory latency best
+    assert by[(10.0, 2)] > by[(10.0, 8)] > by[(10.0, 40)]
+    assert by[(10.0, 2)] > 0.8

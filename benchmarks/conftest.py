@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, prints the
+rows/series, and archives the rendered text under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite the exact output of the last run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Save rendered experiment text to ``benchmarks/results/<name>.txt``
+    and echo it to stdout (visible with ``pytest -s`` and in failure logs)."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single measured round.
+
+    Experiment generators are deterministic and some take seconds; one round
+    gives a faithful wall-clock figure without multiplying runtime.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

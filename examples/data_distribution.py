@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compiler case study 2: choosing a data distribution for a do-all loop.
+
+The paper's introduction: "if network latency is not tolerated, then a
+compiler can redistribute the data and computation to reduce the messages on
+the network."  This example closes that loop mechanically:
+
+    loop + data distribution  ->  (p_remote, access pattern)
+                              ->  tolerance analysis  ->  decision
+
+for a 1-D stencil ``forall i: B[i] = A[i] + A[i+1]`` on a 4x4 machine, under
+BLOCK, CYCLIC and CYCLIC(B) distributions of ``A``.
+
+Run:  python examples/data_distribution.py [array_size]
+"""
+
+import sys
+
+from repro import paper_defaults
+from repro.analysis import format_table
+from repro.core import MMSModel, classify
+from repro.workload import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    DoAllLoop,
+    Reference,
+    derive_pattern,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1600
+    p = 16  # 4x4 machine
+    stencil = DoAllLoop(n, (Reference(1, 0), Reference(1, 1)))
+
+    distributions = {
+        "BLOCK": BlockDistribution(n, p),
+        "CYCLIC": CyclicDistribution(n, p),
+        "CYCLIC(4)": BlockCyclicDistribution(n, p, 4),
+        f"CYCLIC({n // p})": BlockCyclicDistribution(n, p, n // p),
+    }
+
+    rows = []
+    base = paper_defaults()
+    for name, dist in distributions.items():
+        lp = derive_pattern(stencil, dist, p)
+        if lp.is_local_only:
+            perf = MMSModel(base.with_(p_remote=0.0)).solve()
+            tol = 1.0
+        else:
+            params = base.with_(p_remote=lp.p_remote)
+            model = MMSModel(params, pattern=lp.pattern)
+            perf = model.solve()
+            # zero-delay-network ideal, same empirical pattern
+            ideal = MMSModel(
+                params.with_(switch_delay=0.0), pattern=lp.pattern
+            ).solve()
+            tol = perf.processor_utilization / ideal.processor_utilization
+        rows.append(
+            [
+                name,
+                lp.p_remote,
+                perf.processor_utilization,
+                perf.s_obs,
+                tol,
+                classify(tol).value,
+            ]
+        )
+    print(
+        format_table(
+            ["distribution", "p_remote", "U_p", "S_obs", "tol_net", "zone"],
+            rows,
+            title=f"stencil B[i] = A[i] + A[i+1], N = {n}, 4x4 machine "
+            "(n_t=8, R=10)",
+        )
+    )
+    print(
+        "\nreading the table:\n"
+        " * BLOCK keeps all but the block-boundary accesses local -- the\n"
+        "   network is a non-issue and U_p sits at the memory-bound ceiling;\n"
+        " * CYCLIC makes ~15/16 of accesses remote: the network saturates\n"
+        "   and the latency is not tolerated;\n"
+        " * small cyclic blocks do NOT interpolate: unless the block size\n"
+        "   aligns with the iteration partition, data still lands on other\n"
+        f"   PEs' modules.  CYCLIC({n // p}) aligns exactly and recovers\n"
+        "   BLOCK's behaviour -- alignment, not block size, is what the\n"
+        "   tolerance analysis rewards."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: solve the paper's default machine and read the tolerance index.
+
+Models a 4x4 torus multithreaded multiprocessor (the paper's Table 1
+defaults), asks the two questions the tolerance metric answers --
+
+* is the network latency a bottleneck here?
+* is the memory latency a bottleneck here?
+
+-- and shows how the closed-form bottleneck laws predict the knees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    analyze,
+    paper_defaults,
+    solve,
+    tolerance_report,
+)
+
+
+def main() -> None:
+    # The reconstructed Table-1 default point: 4x4 torus, 8 threads/PE,
+    # runlength 10, 20% remote accesses with geometric locality p_sw = 0.5,
+    # memory access time 10, switch delay 10.
+    params = paper_defaults()
+    print("machine :", params.arch.torus, "| L =", params.arch.memory_latency,
+          "| S =", params.arch.switch_delay)
+    wl = params.workload
+    print(f"workload: n_t={wl.num_threads} R={wl.runlength} "
+          f"p_remote={wl.p_remote} pattern={wl.pattern}(p_sw={wl.p_sw})\n")
+
+    # --- solve the closed queueing network (symmetric AMVA) ---------------
+    perf = solve(params)
+    print(f"processor utilization U_p : {perf.processor_utilization:6.3f}")
+    print(f"message rate lambda_net   : {perf.lambda_net:6.4f} msgs/cycle")
+    print(f"observed network latency  : {perf.s_obs:6.1f} (one-way)")
+    print(f"observed memory latency   : {perf.l_obs:6.1f}")
+    print(f"system throughput P*U_p   : {perf.system_throughput:6.2f}\n")
+
+    # --- the tolerance index ----------------------------------------------
+    report = tolerance_report(params)
+    for name, res in report.items():
+        print(f"tol_{name:8s}: {res.index:5.3f}  -> {res.zone.value}")
+    print()
+
+    # --- closed-form bottleneck laws (Eqs. 4 and 5) ------------------------
+    ba = analyze(params)
+    print(f"average remote distance d_avg        : {ba.d_avg:.3f}")
+    print(f"network saturation rate (Eq. 4)      : {ba.lambda_net_saturation:.4f}")
+    print(f"critical p_remote (Eq. 5)            : {ba.critical_p_remote:.3f}")
+    print(f"p_remote where the IN saturates      : {ba.network_saturation_p_remote:.3f}")
+    busy = "yes" if ba.processor_stays_busy else "no"
+    print(f"processor stays busy at this point?  : {busy}")
+
+    # The punchline of the paper: tolerance is governed by these *rates*,
+    # not by the latency any individual message experiences.
+    if params.workload.p_remote > ba.critical_p_remote:
+        print("\n=> p_remote exceeds the critical value: expect the network")
+        print("   latency to be only partially tolerated (compare tol_network).")
+
+
+if __name__ == "__main__":
+    main()

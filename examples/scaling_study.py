@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Architect case study: scaling the machine from 4 to 100 processors.
+
+The scenario from the paper's Section 7: a system architect wants to know
+whether the interconnect will hold up as the machine grows, and a compiler
+writer wants to know how much data locality is worth.  We sweep the torus
+from 2x2 to 10x10 under uniform and geometric (localized) remote-access
+patterns and watch throughput, latencies and the tolerance index.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import network_tolerance, paper_defaults, solve
+from repro.analysis import format_table
+from repro.core import lambda_net_saturation
+from repro.workload import make_pattern
+
+
+def main() -> None:
+    rows = []
+    for k in (2, 4, 6, 8, 10):
+        for pattern in ("geometric", "uniform"):
+            params = paper_defaults(k=k, pattern=pattern)
+            perf = solve(params)
+            tol = network_tolerance(params, actual=perf)
+            d_avg = make_pattern(
+                pattern, params.workload.p_sw
+            ).d_avg(params.arch.torus)
+            rows.append(
+                [
+                    k * k,
+                    pattern,
+                    d_avg,
+                    lambda_net_saturation(params),
+                    perf.system_throughput,
+                    perf.s_obs,
+                    perf.l_obs,
+                    tol.index,
+                    tol.zone.value,
+                ]
+            )
+    print(
+        format_table(
+            ["P", "pattern", "d_avg", "lam_sat", "P*U_p", "S_obs", "L_obs",
+             "tol_net", "zone"],
+            rows,
+            title="scaling the MMS, n_t = 8, R = 10, p_remote = 0.2",
+        )
+    )
+
+    print(
+        "\nreading the table:\n"
+        " * geometric: d_avg saturates toward 1/(1-p_sw) = 2, so the network\n"
+        "   saturation rate stays put and throughput scales ~linearly.\n"
+        " * uniform: d_avg grows with the diameter, the saturation rate\n"
+        "   collapses, and past ~36 PEs the network is simply not tolerated.\n"
+        " * the 5-8 threads/PE needed for tolerance do NOT grow with P --\n"
+        "   locality, not parallel slack, is what scales."
+    )
+
+    # What does it cost to ignore locality at k = 10?
+    geo = solve(paper_defaults(k=10))
+    uni = solve(paper_defaults(k=10, pattern="uniform"))
+    loss = 100 * (1 - uni.system_throughput / geo.system_throughput)
+    print(f"\nthroughput lost to a uniform placement at P = 100: {loss:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

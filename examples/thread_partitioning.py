@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compiler case study: how should a do-all loop be partitioned into threads?
+
+The scenario from the paper's Section 5: a compiler has W = n_t x R units of
+exposed computation per processor and must choose between many fine-grained
+threads or a few coarse ones.  The latency-tolerance analysis makes the
+trade-off explicit: more threads hide more latency but raise contention
+(S_obs, L_obs); longer runlengths lower the access rate.
+
+Run:  python examples/thread_partitioning.py [work_per_processor]
+"""
+
+import sys
+
+from repro import network_tolerance, paper_defaults
+from repro.analysis import format_table
+from repro.core import memory_tolerance
+from repro.workload import IsoWorkPartitioning, coalesce
+
+
+def partitioning_table(work: float, p_remote: float) -> str:
+    part = IsoWorkPartitioning(work)
+    rows = []
+    best = (None, -1.0)
+    for n_t in (1, 2, 4, 5, 8, 10, 16, 20):
+        if work / n_t < 0.5:
+            continue
+        wl = part.workload(n_t)
+        params = paper_defaults(
+            num_threads=wl.num_threads, runlength=wl.runlength, p_remote=p_remote
+        )
+        tn = network_tolerance(params)
+        tm = memory_tolerance(params, actual=tn.actual)
+        u_p = tn.actual.processor_utilization
+        if u_p > best[1]:
+            best = (n_t, u_p)
+        rows.append(
+            [
+                n_t,
+                wl.runlength,
+                u_p,
+                tn.actual.s_obs,
+                tn.actual.l_obs,
+                tn.index,
+                tm.index,
+                tn.zone.value,
+            ]
+        )
+    table = format_table(
+        ["n_t", "R", "U_p", "S_obs", "L_obs", "tol_net", "tol_mem", "network zone"],
+        rows,
+        title=f"\nwork = n_t x R = {work:g}, p_remote = {p_remote}",
+    )
+    return table + f"\n  -> best partitioning: n_t = {best[0]} (U_p = {best[1]:.3f})"
+
+
+def main() -> None:
+    work = float(sys.argv[1]) if len(sys.argv) > 1 else 40.0
+
+    for p_remote in (0.2, 0.4):
+        print(partitioning_table(work, p_remote))
+
+    # The paper's recommendation, as a transformation: coalesce fine-grained
+    # threads until the runlength clears the memory access time.
+    print("\ncoalescing demo (p_remote = 0.2):")
+    wl = paper_defaults().workload.with_(num_threads=16, runlength=work / 16)
+    while wl.runlength < 10.0 and wl.num_threads > 2:
+        wl = coalesce(wl, 2)
+    params = paper_defaults(num_threads=wl.num_threads, runlength=wl.runlength)
+    res = network_tolerance(params)
+    print(
+        f"  coalesced to n_t={wl.num_threads}, R={wl.runlength:g}: "
+        f"U_p={res.actual.processor_utilization:.3f}, tol_net={res.index:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

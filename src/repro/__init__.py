@@ -1,0 +1,64 @@
+"""repro -- reproduction of Nemawarkar & Gao, "Latency Tolerance: A Metric for
+Performance Analysis of Multithreaded Architectures" (IPPS 1997).
+
+Quick start::
+
+    from repro import paper_defaults, solve, network_tolerance
+
+    params = paper_defaults(num_threads=8, p_remote=0.2)
+    perf = solve(params)
+    print(perf.processor_utilization, perf.s_obs)
+    print(float(network_tolerance(params)))
+
+Packages
+--------
+``repro.topology``    2-D torus, routing, distance profiles
+``repro.workload``    access patterns, visit ratios, thread partitioning
+``repro.queueing``    closed queueing networks and MVA solvers
+``repro.core``        the MMS model, tolerance index, bottleneck laws
+``repro.simulation``  discrete-event simulator (validation substrate)
+``repro.spn``         stochastic timed Petri nets (the paper's validation)
+``repro.analysis``    experiment harness regenerating every figure/table
+"""
+
+from .core import (
+    MMSModel,
+    MMSPerformance,
+    ToleranceResult,
+    ToleranceZone,
+    analyze,
+    classify,
+    critical_p_remote,
+    lambda_net_saturation,
+    memory_tolerance,
+    network_tolerance,
+    solve,
+    threads_for_tolerance,
+    tolerance_report,
+    zone_boundary,
+)
+from .params import Architecture, MMSParams, Workload, paper_defaults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Architecture",
+    "Workload",
+    "MMSParams",
+    "paper_defaults",
+    "MMSModel",
+    "MMSPerformance",
+    "solve",
+    "ToleranceResult",
+    "ToleranceZone",
+    "classify",
+    "network_tolerance",
+    "memory_tolerance",
+    "tolerance_report",
+    "analyze",
+    "lambda_net_saturation",
+    "critical_p_remote",
+    "zone_boundary",
+    "threads_for_tolerance",
+]

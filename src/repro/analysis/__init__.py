@@ -1,0 +1,65 @@
+"""Experiment harness: sweeps, figure/table generators, validation."""
+
+from .experiments import (
+    ExperimentResult,
+    fig4_5_workload_surfaces,
+    fig6_tolerance_surface,
+    fig7_iso_work_lines,
+    fig8_memory_surface,
+    fig9_scaling_tolerance,
+    fig10_throughput_scaling,
+    headline_claims,
+    table2_network_tolerance,
+    table3_partitioning_network,
+    table4_partitioning_memory,
+)
+from .extensions import (
+    ext_context_switch,
+    ext_finite_buffers,
+    ext_hotspot,
+    ext_local_priority,
+    ext_memory_ports,
+    ext_pipelined_switches,
+)
+from .plotting import ascii_chart
+from .replications import ReplicatedMeasure, ReplicationResult, replicate
+from .sensitivity import Sensitivity, SensitivityReport, sensitivities
+from .sweep import GridResult, grid, sweep
+from .tables import format_series, format_surface, format_table
+from .validation import ValidationRow, fig11_validation, validate_point
+
+__all__ = [
+    "ExperimentResult",
+    "fig4_5_workload_surfaces",
+    "table2_network_tolerance",
+    "table3_partitioning_network",
+    "table4_partitioning_memory",
+    "fig6_tolerance_surface",
+    "fig7_iso_work_lines",
+    "fig8_memory_surface",
+    "fig9_scaling_tolerance",
+    "fig10_throughput_scaling",
+    "headline_claims",
+    "sweep",
+    "grid",
+    "GridResult",
+    "format_table",
+    "format_surface",
+    "format_series",
+    "ValidationRow",
+    "validate_point",
+    "fig11_validation",
+    "ext_memory_ports",
+    "ext_local_priority",
+    "ext_finite_buffers",
+    "ext_pipelined_switches",
+    "ext_hotspot",
+    "ext_context_switch",
+    "replicate",
+    "ReplicationResult",
+    "ReplicatedMeasure",
+    "sensitivities",
+    "Sensitivity",
+    "SensitivityReport",
+    "ascii_chart",
+]

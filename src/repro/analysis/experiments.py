@@ -1,0 +1,573 @@
+"""Experiment generators: one function per table/figure of the paper.
+
+Every function returns an :class:`ExperimentResult` whose ``render()``
+produces the rows/series the paper reports.  The benchmark harness under
+``benchmarks/`` wraps these, and EXPERIMENTS.md records paper-vs-measured
+values.
+
+Default grids follow the paper's reconstructed Table 1 settings (DESIGN.md
+Section 2); the analytical sweeps use the symmetric AMVA fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import (
+    MMSModel,
+    analyze,
+    memory_tolerance,
+    network_tolerance,
+)
+from ..params import MMSParams, paper_defaults
+from ..workload import IsoWorkPartitioning
+from .tables import format_series, format_surface, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "fig4_5_workload_surfaces",
+    "table2_network_tolerance",
+    "table3_partitioning_network",
+    "table4_partitioning_memory",
+    "fig6_tolerance_surface",
+    "fig7_iso_work_lines",
+    "fig8_memory_surface",
+    "fig9_scaling_tolerance",
+    "fig10_throughput_scaling",
+    "headline_claims",
+    "DEFAULT_THREADS",
+    "DEFAULT_P_REMOTE",
+]
+
+#: thread-count axis used by the workload-surface figures
+DEFAULT_THREADS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20)
+#: remote-fraction axis used by the workload-surface figures
+DEFAULT_P_REMOTE = tuple(round(0.05 * i, 2) for i in range(1, 17))  # 0.05..0.80
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text plus raw arrays for one reproduced table/figure."""
+
+    ident: str
+    title: str
+    blocks: list[str] = field(default_factory=list)
+    data: dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"== {self.ident}: {self.title} =="
+        return "\n\n".join([header, *self.blocks])
+
+
+def _tol_net(params: MMSParams) -> float:
+    return network_tolerance(params).index
+
+
+# --------------------------------------------------------------------- Fig 4/5
+def fig4_5_workload_surfaces(
+    runlength: float = 10.0,
+    threads: tuple[int, ...] = DEFAULT_THREADS,
+    p_remotes: tuple[float, ...] = DEFAULT_P_REMOTE,
+) -> ExperimentResult:
+    """Figures 4 (R=10) and 5 (R=20): U_p, S_obs, lambda_net and tol_network
+    over the (n_t, p_remote) grid on the 4x4 machine."""
+    base = paper_defaults(runlength=runlength)
+    shape = (len(threads), len(p_remotes))
+    u_p = np.empty(shape)
+    s_obs = np.empty(shape)
+    lam = np.empty(shape)
+    tol = np.empty(shape)
+    for i, nt in enumerate(threads):
+        for j, pr in enumerate(p_remotes):
+            point = base.with_(num_threads=nt, p_remote=pr)
+            res = network_tolerance(point)
+            perf = res.actual
+            u_p[i, j] = perf.processor_utilization
+            s_obs[i, j] = perf.s_obs
+            lam[i, j] = perf.lambda_net
+            tol[i, j] = res.index
+
+    fig = "4" if runlength == 10.0 else "5"
+    ba = analyze(base)
+    blocks = [
+        f"R = {runlength}; network saturation rate (Eq. 4) = "
+        f"{ba.lambda_net_saturation:.4f}, critical p_remote (Eq. 5) = "
+        f"{ba.critical_p_remote:.3f}",
+        format_surface("n_t", "p_rem", threads, p_remotes, u_p, title="(a) U_p"),
+        format_surface(
+            "n_t", "p_rem", threads, p_remotes, s_obs, precision=1, title="(b) S_obs"
+        ),
+        format_surface(
+            "n_t", "p_rem", threads, p_remotes, lam, precision=4,
+            title="(c) lambda_net",
+        ),
+        format_surface(
+            "n_t", "p_rem", threads, p_remotes, tol, title="(d) tol_network"
+        ),
+    ]
+    return ExperimentResult(
+        ident=f"Figure {fig}",
+        title=f"effect of workload parameters at R = {runlength:g}",
+        blocks=blocks,
+        data={
+            "threads": np.array(threads),
+            "p_remotes": np.array(p_remotes),
+            "U_p": u_p,
+            "S_obs": s_obs,
+            "lambda_net": lam,
+            "tol_network": tol,
+        },
+    )
+
+
+# --------------------------------------------------------------------- Table 2
+def _p_remote_for_sobs(
+    base: MMSParams, target: float, lo: float = 0.01, hi: float = 0.9
+) -> float:
+    """Bisect ``p_remote`` until the model's ``S_obs`` hits ``target``."""
+    def sobs(p: float) -> float:
+        return MMSModel(base.with_(p_remote=p)).solve().s_obs
+
+    f_lo, f_hi = sobs(lo), sobs(hi)
+    if not f_lo <= target <= f_hi:
+        return hi if target > f_hi else lo
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if sobs(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def table2_network_tolerance(
+    targets: dict[float, float] | None = None,
+    thread_counts: tuple[int, ...] = (3, 4, 6, 8),
+) -> ExperimentResult:
+    """Table 2: points with *similar S_obs* but different tolerance zones.
+
+    The paper's argument: at R=10, n_t=8 tolerates an S_obs of ~53 time units
+    while n_t=3 does not; at R=20, n_t=6 tolerates ~56 while n_t=3, 4 only
+    partially do.  For each (R, n_t) we bisect p_remote to the target S_obs
+    and report the zone.
+    """
+    targets = targets or {10.0: 53.0, 20.0: 56.0}
+    rows = []
+    raw = []
+    for r, s_target in targets.items():
+        for nt in thread_counts:
+            base = paper_defaults(runlength=r, num_threads=nt)
+            pr = _p_remote_for_sobs(base, s_target)
+            point = base.with_(p_remote=pr)
+            res = network_tolerance(point)
+            perf = res.actual
+            rows.append(
+                [
+                    r,
+                    nt,
+                    round(pr, 3),
+                    perf.l_obs,
+                    perf.s_obs,
+                    perf.lambda_net,
+                    perf.processor_utilization,
+                    res.index,
+                    res.zone.value,
+                ]
+            )
+            raw.append({"R": r, "n_t": nt, "p_remote": pr, "tol": res.index})
+    table = format_table(
+        ["R", "n_t", "p_rem", "L_obs", "S_obs", "lam_net", "U_p", "tol_net", "zone"],
+        rows,
+    )
+    return ExperimentResult(
+        ident="Table 2",
+        title="network latency tolerance -- same S_obs, different zones",
+        blocks=[table],
+        data={"rows": raw},
+    )
+
+
+# --------------------------------------------------------------------- Table 3
+def table3_partitioning_network(
+    work: float = 40.0,
+    p_remotes: tuple[float, ...] = (0.2, 0.4),
+    thread_counts: tuple[int, ...] = (1, 2, 4, 5, 8, 10, 20, 40),
+) -> ExperimentResult:
+    """Table 3: iso-work thread partitioning (n_t * R = const) vs
+    tol_network."""
+    rows = []
+    raw = []
+    for pr in p_remotes:
+        part = IsoWorkPartitioning(
+            work, paper_defaults(p_remote=pr).workload
+        )
+        for nt in thread_counts:
+            wl = part.workload(nt)
+            point = paper_defaults().with_(
+                num_threads=wl.num_threads, runlength=wl.runlength, p_remote=pr
+            )
+            res = network_tolerance(point)
+            perf = res.actual
+            rows.append(
+                [
+                    pr,
+                    nt,
+                    wl.runlength,
+                    perf.l_obs,
+                    perf.s_obs,
+                    perf.lambda_net,
+                    perf.processor_utilization,
+                    res.index,
+                    res.zone.value,
+                ]
+            )
+            raw.append({"p_remote": pr, "n_t": nt, "R": wl.runlength, "tol": res.index})
+    table = format_table(
+        ["p_rem", "n_t", "R", "L_obs", "S_obs", "lam_net", "U_p", "tol_net", "zone"],
+        rows,
+        title=f"n_t x R = {work:g}",
+    )
+    return ExperimentResult(
+        ident="Table 3",
+        title="thread partitioning strategy vs network latency tolerance",
+        blocks=[table],
+        data={"rows": raw, "work": work},
+    )
+
+
+# --------------------------------------------------------------------- Table 4
+def table4_partitioning_memory(
+    work: float = 40.0,
+    memory_latencies: tuple[float, ...] = (10.0, 20.0),
+    p_remote: float = 0.2,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 5, 8, 10, 20, 40),
+) -> ExperimentResult:
+    """Table 4: iso-work partitioning vs tol_memory at L = 10 and 20."""
+    rows = []
+    raw = []
+    for l_mem in memory_latencies:
+        part = IsoWorkPartitioning(work, paper_defaults(p_remote=p_remote).workload)
+        for nt in thread_counts:
+            wl = part.workload(nt)
+            point = paper_defaults().with_(
+                num_threads=wl.num_threads,
+                runlength=wl.runlength,
+                p_remote=p_remote,
+                memory_latency=l_mem,
+            )
+            res = memory_tolerance(point)
+            perf = res.actual
+            rows.append(
+                [
+                    l_mem,
+                    nt,
+                    wl.runlength,
+                    perf.l_obs,
+                    perf.s_obs,
+                    perf.processor_utilization,
+                    res.index,
+                    res.zone.value,
+                ]
+            )
+            raw.append({"L": l_mem, "n_t": nt, "R": wl.runlength, "tol": res.index})
+    table = format_table(
+        ["L", "n_t", "R", "L_obs", "S_obs", "U_p", "tol_mem", "zone"],
+        rows,
+        title=f"n_t x R = {work:g}, p_remote = {p_remote}",
+    )
+    return ExperimentResult(
+        ident="Table 4",
+        title="thread partitioning strategy vs memory latency tolerance",
+        blocks=[table],
+        data={"rows": raw, "work": work},
+    )
+
+
+# --------------------------------------------------------------------- Fig 6
+def fig6_tolerance_surface(
+    p_remotes: tuple[float, ...] = (0.2, 0.4),
+    threads: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10, 14, 20),
+    runlengths: tuple[float, ...] = (1, 2, 5, 10, 20, 40, 80),
+) -> ExperimentResult:
+    """Figure 6: tol_network over the (n_t, R) plane for two p_remote."""
+    blocks = []
+    data: dict[str, object] = {"threads": threads, "runlengths": runlengths}
+    for pr in p_remotes:
+        surf = np.empty((len(threads), len(runlengths)))
+        for i, nt in enumerate(threads):
+            for j, r in enumerate(runlengths):
+                surf[i, j] = _tol_net(
+                    paper_defaults(num_threads=nt, runlength=float(r), p_remote=pr)
+                )
+        blocks.append(
+            format_surface(
+                "n_t", "R", threads, runlengths, surf,
+                title=f"tol_network at p_remote = {pr}",
+            )
+        )
+        data[f"tol_p{pr}"] = surf
+    return ExperimentResult(
+        ident="Figure 6",
+        title="tol_network vs (n_t, R)",
+        blocks=blocks,
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- Fig 7
+def fig7_iso_work_lines(
+    p_remotes: tuple[float, ...] = (0.2, 0.4),
+    works: tuple[float, ...] = (20.0, 40.0, 80.0, 160.0),
+    thread_counts: tuple[int, ...] = (1, 2, 4, 5, 8, 10, 16, 20, 40, 80),
+) -> ExperimentResult:
+    """Figure 7: tol_network along iso-work lines, plotted against R."""
+    blocks = []
+    data: dict[str, object] = {}
+    for pr in p_remotes:
+        series: dict[str, list[float]] = {}
+        r_axis: list[float] = []
+        for w in works:
+            part = IsoWorkPartitioning(w)
+            pts = []
+            for nt in thread_counts:
+                if w / nt < 0.25:  # absurdly fine grain; skip
+                    continue
+                wl = part.workload(nt)
+                tol = _tol_net(
+                    paper_defaults(
+                        num_threads=wl.num_threads,
+                        runlength=wl.runlength,
+                        p_remote=pr,
+                    )
+                )
+                pts.append((wl.runlength, tol))
+            pts.sort()
+            series[f"ntxR={w:g}"] = [t for _, t in pts]
+            r_axis = [r for r, _ in pts]
+            data[f"p{pr}_w{w:g}"] = pts
+        # series lengths can differ; render each line separately
+        for name, vals in series.items():
+            rs = [r for r, _ in data[f"p{pr}_w{float(name.split('=')[1]):g}"]]
+            blocks.append(
+                format_series(
+                    "R", rs, {name: vals},
+                    title=f"p_remote = {pr}",
+                )
+            )
+        del r_axis
+    return ExperimentResult(
+        ident="Figure 7",
+        title="network latency tolerance along n_t x R = const lines",
+        blocks=blocks,
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- Fig 8
+def fig8_memory_surface(
+    memory_latencies: tuple[float, ...] = (10.0, 20.0),
+    p_remote: float = 0.2,
+    threads: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10, 14, 20),
+    runlengths: tuple[float, ...] = (1, 2, 5, 10, 20, 40, 80),
+) -> ExperimentResult:
+    """Figure 8: tol_memory over the (n_t, R) plane for L = 10 and 20."""
+    blocks = []
+    data: dict[str, object] = {"threads": threads, "runlengths": runlengths}
+    for l_mem in memory_latencies:
+        surf = np.empty((len(threads), len(runlengths)))
+        for i, nt in enumerate(threads):
+            for j, r in enumerate(runlengths):
+                point = paper_defaults(
+                    num_threads=nt,
+                    runlength=float(r),
+                    p_remote=p_remote,
+                    memory_latency=l_mem,
+                )
+                surf[i, j] = memory_tolerance(point).index
+        blocks.append(
+            format_surface(
+                "n_t", "R", threads, runlengths, surf,
+                title=f"tol_memory at L = {l_mem:g}, p_remote = {p_remote}",
+            )
+        )
+        data[f"tol_L{l_mem:g}"] = surf
+    return ExperimentResult(
+        ident="Figure 8",
+        title="tol_memory vs (n_t, R)",
+        blocks=blocks,
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- Fig 9
+def fig9_scaling_tolerance(
+    runlengths: tuple[float, ...] = (10.0, 20.0),
+    ks: tuple[int, ...] = (2, 4, 6, 8, 10),
+    threads: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10),
+    p_remote: float = 0.2,
+) -> ExperimentResult:
+    """Figure 9: tol_network vs n_t for machine sizes k = 2..10 under
+    geometric and uniform remote-access patterns."""
+    blocks = []
+    data: dict[str, object] = {"threads": threads, "ks": ks}
+    for r in runlengths:
+        series: dict[str, list[float]] = {}
+        for k in ks:
+            for pattern in ("uniform", "geometric"):
+                vals = [
+                    _tol_net(
+                        paper_defaults(
+                            k=k,
+                            num_threads=nt,
+                            runlength=r,
+                            p_remote=p_remote,
+                            pattern=pattern,
+                        )
+                    )
+                    for nt in threads
+                ]
+                series[f"k={k},{pattern[:4]}"] = vals
+                data[f"R{r:g}_k{k}_{pattern}"] = np.array(vals)
+        blocks.append(
+            format_series("n_t", list(threads), series, title=f"R = {r:g}")
+        )
+        from .plotting import ascii_chart
+
+        chart_series = {
+            name: vals
+            for name, vals in series.items()
+            if name.startswith(("k=2,", f"k={ks[-1]},"))
+        }
+        blocks.append(
+            ascii_chart(
+                list(threads),
+                chart_series,
+                title=f"R = {r:g}: smallest vs largest machine",
+                y_label="tol_network",
+            )
+        )
+    return ExperimentResult(
+        ident="Figure 9",
+        title="tolerance index vs system size (geometric vs uniform)",
+        blocks=blocks,
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- Fig 10
+def fig10_throughput_scaling(
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10),
+    num_threads: int = 8,
+    runlength: float = 10.0,
+    p_remote: float = 0.2,
+) -> ExperimentResult:
+    """Figure 10: system throughput P*U_p and the S_obs/L_obs latencies vs P
+    for uniform / geometric / ideal-network configurations."""
+    ps = []
+    thr: dict[str, list[float]] = {
+        "linear": [],
+        "ideal_net": [],
+        "geometric": [],
+        "uniform": [],
+    }
+    lat: dict[str, list[float]] = {
+        "ideal(mem)": [],
+        "geo(net)": [],
+        "geo(mem)": [],
+        "uni(net)": [],
+        "uni(mem)": [],
+    }
+    base = paper_defaults(
+        num_threads=num_threads, runlength=runlength, p_remote=p_remote
+    )
+    # "linear" reference: perfect scaling of the communication-free PE.
+    u_local = MMSModel(base.with_(p_remote=0.0, k=2)).solve().processor_utilization
+    for k in ks:
+        p_count = k * k
+        ps.append(p_count)
+        thr["linear"].append(p_count * u_local)
+        ideal = MMSModel(base.with_(k=k, switch_delay=0.0)).solve()
+        thr["ideal_net"].append(ideal.system_throughput)
+        lat["ideal(mem)"].append(ideal.l_obs)
+        geo = MMSModel(base.with_(k=k, pattern="geometric")).solve()
+        thr["geometric"].append(geo.system_throughput)
+        lat["geo(net)"].append(geo.s_obs)
+        lat["geo(mem)"].append(geo.l_obs)
+        uni = MMSModel(base.with_(k=k, pattern="uniform")).solve()
+        thr["uniform"].append(uni.system_throughput)
+        lat["uni(net)"].append(uni.s_obs)
+        lat["uni(mem)"].append(uni.l_obs)
+    from .plotting import ascii_chart
+
+    blocks = [
+        format_series("P", ps, thr, precision=2, title="(a) system throughput P*U_p"),
+        ascii_chart(ps, thr, title="(a) as a chart", y_label="P*U_p"),
+        format_series("P", ps, lat, precision=2, title="(b) S_obs and L_obs"),
+        ascii_chart(ps, lat, title="(b) as a chart", y_label="latency"),
+    ]
+    return ExperimentResult(
+        ident="Figure 10",
+        title="throughput and latency scaling, uniform vs geometric vs ideal",
+        blocks=blocks,
+        data={"P": np.array(ps), "throughput": thr, "latency": lat},
+    )
+
+
+# ----------------------------------------------------------- headline claims
+def headline_claims() -> ExperimentResult:
+    """The paper's quotable numbers, computed from the model:
+
+    1. geometric d_avg = 1.733 on the 4x4 torus at p_sw = 0.5;
+    2. lambda_net saturates at 1/(2 d_avg S) ~= 0.029 (Eq. 4);
+    3. critical p_remote = 0.18 (R=10) and 0.37 (R=20) (Eq. 5);
+    4. most performance gains arrive by n_t = 4..8;
+    5. larger machines: geometric locality sustains tolerance, uniform
+       collapses.
+    """
+    rows = []
+    base = paper_defaults()
+    ba = analyze(base)
+    rows.append(["d_avg (4x4, p_sw=0.5)", 1.733, ba.d_avg])
+    rows.append(["lambda_net,sat (Eq. 4)", 0.029, ba.lambda_net_saturation])
+    rows.append(
+        ["critical p_remote, R=10", 0.18, ba.critical_p_remote]
+    )
+    ba20 = analyze(base.with_(runlength=20.0))
+    rows.append(["critical p_remote, R=20", 0.37, ba20.critical_p_remote])
+    rows.append(
+        [
+            "IN-saturating p_remote, R=10",
+            0.3,
+            ba.network_saturation_p_remote,
+        ]
+    )
+    rows.append(
+        [
+            "IN-saturating p_remote, R=20",
+            0.6,
+            ba20.network_saturation_p_remote,
+        ]
+    )
+
+    # claim 4: U_p(n_t)/U_p(20) at the default point
+    u20 = MMSModel(base.with_(num_threads=20)).solve().processor_utilization
+    u8 = MMSModel(base.with_(num_threads=8)).solve().processor_utilization
+    u4 = MMSModel(base.with_(num_threads=4)).solve().processor_utilization
+    rows.append(["U_p(4)/U_p(20)", ">=0.7", u4 / u20])
+    rows.append(["U_p(8)/U_p(20)", ">=0.9", u8 / u20])
+
+    # claim 5: scaling contrast at k=10
+    geo = _tol_net(paper_defaults(k=10, num_threads=8))
+    uni = _tol_net(paper_defaults(k=10, num_threads=8, pattern="uniform"))
+    rows.append(["tol_net k=10 geometric", "~1", geo])
+    rows.append(["tol_net k=10 uniform", "<0.5", uni])
+
+    table = format_table(["claim", "paper", "measured"], rows, precision=4)
+    return ExperimentResult(
+        ident="Headline claims",
+        title="closed-form laws and scaling contrasts",
+        blocks=[table],
+        data={"rows": rows},
+    )

@@ -1,0 +1,88 @@
+"""ASCII line charts for figure-like benchmark output.
+
+The paper's evaluation is all figures; the benchmark harness archives the
+underlying series as tables (exact, diffable) and renders these quick ASCII
+charts so the *shape* -- knees, crossovers, saturation plateaus -- is
+visible at a glance in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+#: glyphs assigned to series in order
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series on a shared (linear) axis grid.
+
+    Points are plotted at their nearest cell; later series overwrite earlier
+    ones where they collide.  Returns a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be legible")
+    xs = list(x_values)
+    if len(xs) < 2:
+        raise ValueError("need at least two x values")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+
+    all_y = [y for ys in series.values() for y in ys if y == y]  # drop NaNs
+    if not all_y:
+        raise ValueError("series contain no finite values")
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        raise ValueError("x values are all identical")
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = MARKERS[si % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            if y != y:  # NaN
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    pad = max(len(top_label), len(bottom_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |{''.join(row)}|")
+    axis = f"{'':>{pad}} +{'-' * width}+"
+    lines.append(axis)
+    lines.append(f"{'':>{pad}}  {x_lo:<.4g}{'':^{width - 12}}{x_hi:>.4g}")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{pad}}  {legend}")
+    if y_label:
+        lines.append(f"{'':>{pad}}  y: {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Independent-replication statistics for the simulators.
+
+The paper reports single long runs; independent replications give proper
+confidence intervals and are what an adopter should use when the DES is the
+source of truth (e.g., for the extension features the analytical model does
+not cover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import MMSParams
+from ..simulation import MMSSimulation
+from .tables import format_table
+
+__all__ = ["ReplicatedMeasure", "ReplicationResult", "replicate"]
+
+#: two-sided 95% normal quantile
+Z95 = 1.959963984540054
+
+MEASURES = ("U_p", "lambda_net", "S_obs", "L_obs", "access_rate")
+
+
+@dataclass(frozen=True)
+class ReplicatedMeasure:
+    """Mean and 95% CI half-width of one measure across replications."""
+
+    name: str
+    mean: float
+    halfwidth: float
+    values: tuple[float, ...]
+
+    @property
+    def relative_halfwidth(self) -> float:
+        """CI half-width as a fraction of the mean (inf for zero mean)."""
+        return self.halfwidth / abs(self.mean) if self.mean else float("inf")
+
+    def covers(self, value: float) -> bool:
+        """Whether ``value`` lies inside the 95% CI."""
+        return abs(value - self.mean) <= self.halfwidth
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """All headline measures across ``n`` independent replications."""
+
+    params: MMSParams
+    replications: int
+    measures: dict[str, ReplicatedMeasure]
+
+    def __getitem__(self, name: str) -> ReplicatedMeasure:
+        return self.measures[name]
+
+    def render(self) -> str:
+        rows = [
+            [m.name, m.mean, m.halfwidth, 100 * m.relative_halfwidth]
+            for m in self.measures.values()
+        ]
+        return format_table(
+            ["measure", "mean", "95% hw", "rel hw %"],
+            rows,
+            precision=4,
+            title=f"{self.replications} independent replications",
+        )
+
+
+def replicate(
+    params: MMSParams,
+    replications: int = 5,
+    duration: float = 20_000.0,
+    base_seed: int = 1000,
+    **sim_kwargs: object,
+) -> ReplicationResult:
+    """Run ``replications`` independent simulations and pool the measures.
+
+    Extra keyword arguments are forwarded to :class:`MMSSimulation`
+    (``local_priority``, ``switch_capacity``, ``memory_dist``, ...).
+    """
+    if replications < 2:
+        raise ValueError("need at least 2 replications for an interval")
+    samples: dict[str, list[float]] = {m: [] for m in MEASURES}
+    for i in range(replications):
+        sim = MMSSimulation(params, seed=base_seed + i, **sim_kwargs)  # type: ignore[arg-type]
+        res = sim.run(duration)
+        for name, value in res.summary().items():
+            samples[name].append(value)
+    measures = {}
+    for name, vals in samples.items():
+        arr = np.asarray(vals)
+        hw = Z95 * float(arr.std(ddof=1)) / np.sqrt(replications)
+        measures[name] = ReplicatedMeasure(
+            name=name,
+            mean=float(arr.mean()),
+            halfwidth=hw,
+            values=tuple(float(v) for v in vals),
+        )
+    return ReplicationResult(
+        params=params, replications=replications, measures=measures
+    )

@@ -1,0 +1,137 @@
+"""Parameter sensitivity of the solved performance measures.
+
+The paper motivates the tolerance index as a tuning guide: "with information
+on tolerating particular latencies ... a user can narrow the focus to tune
+the parameters which have a large effect on the system performance".  This
+module quantifies that directly: normalized elasticities
+
+    E_theta = (dU / d theta) * (theta / U)
+
+via central finite differences on the analytical model -- a +1% change in
+``theta`` moves the measure by ``E_theta`` percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import MMSModel
+from ..params import MMSParams
+from .tables import format_table
+
+__all__ = ["Sensitivity", "SensitivityReport", "sensitivities"]
+
+#: continuous parameters the elasticity sweep covers by default
+DEFAULT_PARAMS = (
+    "runlength",
+    "p_remote",
+    "memory_latency",
+    "switch_delay",
+    "p_sw",
+)
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of one measure with respect to one parameter."""
+
+    parameter: str
+    measure: str
+    elasticity: float
+    base_value: float
+
+    @property
+    def direction(self) -> str:
+        if abs(self.elasticity) < 1e-6:
+            return "none"
+        return "up" if self.elasticity > 0 else "down"
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Elasticities of one measure for several parameters, ranked."""
+
+    params: MMSParams
+    measure: str
+    entries: tuple[Sensitivity, ...]
+
+    def ranked(self) -> list[Sensitivity]:
+        """Largest absolute elasticity first -- the tuning priority list."""
+        return sorted(self.entries, key=lambda s: -abs(s.elasticity))
+
+    def __getitem__(self, parameter: str) -> Sensitivity:
+        for s in self.entries:
+            if s.parameter == parameter:
+                return s
+        raise KeyError(parameter)
+
+    def render(self) -> str:
+        rows = [
+            [s.parameter, s.base_value, s.elasticity, s.direction]
+            for s in self.ranked()
+        ]
+        return format_table(
+            ["parameter", "value", f"elasticity of {self.measure}", "moves"],
+            rows,
+            precision=4,
+            title="parameter sensitivities (a +1% change moves the measure "
+            "by 'elasticity' %)",
+        )
+
+
+def _measure(params: MMSParams, measure: str) -> float:
+    perf = MMSModel(params).solve()
+    value = perf.summary().get(measure)
+    if value is None:
+        raise ValueError(
+            f"unknown measure {measure!r}; pick from {sorted(perf.summary())}"
+        )
+    return float(value)
+
+
+def sensitivities(
+    params: MMSParams,
+    measure: str = "U_p",
+    parameters: tuple[str, ...] = DEFAULT_PARAMS,
+    rel_step: float = 0.01,
+) -> SensitivityReport:
+    """Central-difference elasticities of ``measure`` at ``params``.
+
+    Parameters whose base value is 0 (nothing to perturb relatively) and
+    parameters invalid for the configuration are skipped.
+    """
+    base = _measure(params, measure)
+    entries = []
+    wl, arch = params.workload, params.arch
+    current = {
+        "runlength": wl.runlength,
+        "p_remote": wl.p_remote,
+        "p_sw": wl.p_sw,
+        "memory_latency": arch.memory_latency,
+        "switch_delay": arch.switch_delay,
+        "context_switch": arch.context_switch,
+    }
+    for name in parameters:
+        theta = current.get(name)
+        if theta is None:
+            raise ValueError(f"unknown parameter {name!r}")
+        if theta == 0.0 or base == 0.0:
+            continue
+        h = rel_step * theta
+        try:
+            up = _measure(params.with_(**{name: theta + h}), measure)
+            down = _measure(params.with_(**{name: theta - h}), measure)
+        except ValueError:
+            continue  # perturbation left the valid domain
+        elasticity = (up - down) / (2 * h) * (theta / base)
+        entries.append(
+            Sensitivity(
+                parameter=name,
+                measure=measure,
+                elasticity=elasticity,
+                base_value=theta,
+            )
+        )
+    return SensitivityReport(
+        params=params, measure=measure, entries=tuple(entries)
+    )

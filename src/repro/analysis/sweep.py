@@ -1,0 +1,94 @@
+"""Generic parameter sweeps over the analytical model.
+
+Experiments in the paper are 1-D curves or 2-D surfaces over workload /
+architecture parameters.  :func:`sweep` produces flat records;
+:func:`grid` evaluates a measure on a 2-D lattice and returns plottable
+arrays.  Any keyword understood by :meth:`repro.params.MMSParams.with_` can be
+an axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core import MMSModel, MMSPerformance
+from ..params import MMSParams
+
+__all__ = ["sweep", "grid", "GridResult"]
+
+Measure = Callable[[MMSParams, MMSPerformance], float]
+
+
+def sweep(
+    base: MMSParams,
+    axes: Mapping[str, Sequence[object]],
+    method: str = "auto",
+) -> list[dict[str, object]]:
+    """Cartesian-product sweep; returns one record per point.
+
+    Each record holds the axis values plus the solved
+    :class:`MMSPerformance` under the key ``"perf"``.
+
+    >>> recs = sweep(paper_defaults(), {"num_threads": [2, 4]})  # doctest: +SKIP
+    """
+    names = list(axes)
+    records: list[dict[str, object]] = []
+    for combo in product(*(axes[n] for n in names)):
+        point = base.with_(**dict(zip(names, combo)))
+        perf = MMSModel(point).solve(method=method)
+        rec: dict[str, object] = dict(zip(names, combo))
+        rec["perf"] = perf
+        records.append(rec)
+    return records
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """A measure evaluated on a 2-D parameter lattice."""
+
+    x_name: str
+    y_name: str
+    x_values: np.ndarray
+    y_values: np.ndarray
+    #: ``values[i, j]`` at ``x_values[i]``, ``y_values[j]``
+    values: np.ndarray
+
+    def at(self, x: object, y: object) -> float:
+        """Value at an exact lattice point."""
+        xi = int(np.nonzero(self.x_values == x)[0][0])
+        yi = int(np.nonzero(self.y_values == y)[0][0])
+        return float(self.values[xi, yi])
+
+    def argmax(self) -> tuple[object, object, float]:
+        """Lattice point with the largest value, ``(x, y, value)``."""
+        i, j = np.unravel_index(int(np.argmax(self.values)), self.values.shape)
+        return self.x_values[i], self.y_values[j], float(self.values[i, j])
+
+
+def grid(
+    base: MMSParams,
+    x_axis: tuple[str, Iterable[object]],
+    y_axis: tuple[str, Iterable[object]],
+    measure: Measure,
+    method: str = "auto",
+) -> GridResult:
+    """Evaluate ``measure(params, perf)`` on the ``x × y`` lattice."""
+    x_name, x_vals = x_axis[0], list(x_axis[1])
+    y_name, y_vals = y_axis[0], list(y_axis[1])
+    values = np.empty((len(x_vals), len(y_vals)))
+    for i, xv in enumerate(x_vals):
+        for j, yv in enumerate(y_vals):
+            point = base.with_(**{x_name: xv, y_name: yv})
+            perf = MMSModel(point).solve(method=method)
+            values[i, j] = measure(point, perf)
+    return GridResult(
+        x_name=x_name,
+        y_name=y_name,
+        x_values=np.asarray(x_vals),
+        y_values=np.asarray(y_vals),
+        values=values,
+    )

@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment output (tables and ASCII surfaces).
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_surface", "format_series"]
+
+
+def _fmt(x: object, precision: int) -> str:
+    if isinstance(x, float) or isinstance(x, np.floating):
+        if x != x:  # NaN
+            return "nan"
+        return f"{x:.{precision}f}"
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_surface(
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[object],
+    y_values: Sequence[object],
+    values: np.ndarray,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render a 2-D surface as a matrix: rows = x values, columns = y values."""
+    headers = [f"{x_label}\\{y_label}"] + [_fmt(y, precision) for y in y_values]
+    rows = []
+    for i, xv in enumerate(x_values):
+        rows.append([_fmt(xv, precision)] + [values[i, j] for j in range(len(y_values))])
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Render named 1-D series sharing an x axis (one figure line each)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, xv in enumerate(x_values):
+        rows.append([xv] + [vals[i] for vals in series.values()])
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,126 @@
+"""Model-vs-simulation validation (the paper's Section 8 / Figure 11).
+
+The paper reports the analytical predictions within 2% of simulated
+``lambda_net`` and 5% of ``S_obs``, plus robustness of ``S_obs`` (within 10%)
+to swapping the memory service distribution from exponential to
+deterministic.  These routines reproduce that comparison with the
+discrete-event simulator (and optionally the Petri-net simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import MMSModel
+from ..params import MMSParams, paper_defaults
+from ..simulation import simulate
+from .tables import format_table
+
+__all__ = ["ValidationRow", "validate_point", "fig11_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """Model vs simulation at one parameter point."""
+
+    params: MMSParams
+    measure: str
+    model: float
+    simulated: float
+
+    @property
+    def rel_error(self) -> float:
+        """``|sim - model| / model`` (inf when the model predicts zero)."""
+        if self.model == 0:
+            return float("inf") if self.simulated else 0.0
+        return abs(self.simulated - self.model) / abs(self.model)
+
+
+def validate_point(
+    params: MMSParams,
+    duration: float = 30_000.0,
+    seed: int = 0,
+    memory_dist: str = "exponential",
+    simulator: str = "des",
+) -> list[ValidationRow]:
+    """Compare the four headline measures at one point.
+
+    ``simulator="des"`` uses the fast discrete-event simulator;
+    ``"spn"`` uses the stochastic timed Petri net -- the paper's actual
+    Section-8 vehicle (slower; supports exponential service and C = 0 only).
+    """
+    perf = MMSModel(params).solve()
+    if simulator == "des":
+        sim = simulate(
+            params, duration=duration, seed=seed, memory_dist=memory_dist
+        )
+    elif simulator == "spn":
+        if memory_dist != "exponential":
+            raise ValueError("the SPN validation path is exponential-only")
+        from ..spn import simulate_spn
+
+        sim = simulate_spn(params, duration=duration, seed=seed)
+    else:
+        raise ValueError(f"unknown simulator {simulator!r}")
+    pairs = [
+        ("U_p", perf.processor_utilization, sim.processor_utilization),
+        ("lambda_net", perf.lambda_net, sim.lambda_net),
+        ("S_obs", perf.s_obs, sim.s_obs),
+        ("L_obs", perf.l_obs, sim.l_obs),
+    ]
+    return [
+        ValidationRow(params=params, measure=m, model=a, simulated=b)
+        for m, a, b in pairs
+    ]
+
+
+def fig11_validation(
+    thread_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
+    switch_delays: tuple[float, ...] = (10.0, 20.0),
+    p_remote: float = 0.5,
+    duration: float = 30_000.0,
+    seed: int = 0,
+):
+    """Figure 11: lambda_net and S_obs vs n_t, model against simulation.
+
+    Returns ``(rows, text)`` where rows are :class:`ValidationRow` and text
+    is the rendered comparison table.
+    """
+    rows: list[ValidationRow] = []
+    table_rows = []
+    for s in switch_delays:
+        for nt in thread_counts:
+            params = paper_defaults(
+                num_threads=nt, p_remote=p_remote, switch_delay=s
+            )
+            point_rows = validate_point(params, duration=duration, seed=seed)
+            rows.extend(point_rows)
+            by = {r.measure: r for r in point_rows}
+            table_rows.append(
+                [
+                    s,
+                    nt,
+                    by["lambda_net"].model,
+                    by["lambda_net"].simulated,
+                    100 * by["lambda_net"].rel_error,
+                    by["S_obs"].model,
+                    by["S_obs"].simulated,
+                    100 * by["S_obs"].rel_error,
+                ]
+            )
+    text = format_table(
+        [
+            "S",
+            "n_t",
+            "lam_net(mva)",
+            "lam_net(sim)",
+            "err%",
+            "S_obs(mva)",
+            "S_obs(sim)",
+            "err%",
+        ],
+        table_rows,
+        precision=4,
+        title=f"Figure 11: model vs simulation, p_remote = {p_remote}",
+    )
+    return rows, text

@@ -1,0 +1,296 @@
+"""Command-line interface: ``repro-mms`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``solve``       solve one parameter point and print the measures
+``tolerance``   tolerance indices and zones for one point
+``bottleneck``  the closed-form saturation laws (Eqs. 4/5)
+``experiment``  regenerate a paper table/figure by name
+``validate``    model-vs-simulation comparison (Figure 11)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import analysis
+from .core import MMSModel, analyze, tolerance_report
+from .params import paper_defaults
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
+    "fig4": lambda: analysis.fig4_5_workload_surfaces(10.0),
+    "fig5": lambda: analysis.fig4_5_workload_surfaces(20.0),
+    "fig6": analysis.fig6_tolerance_surface,
+    "fig7": analysis.fig7_iso_work_lines,
+    "fig8": analysis.fig8_memory_surface,
+    "fig9": analysis.fig9_scaling_tolerance,
+    "fig10": analysis.fig10_throughput_scaling,
+    "table2": analysis.table2_network_tolerance,
+    "table3": analysis.table3_partitioning_network,
+    "table4": analysis.table4_partitioning_memory,
+    "claims": analysis.headline_claims,
+    "ext-ports": analysis.ext_memory_ports,
+    "ext-priority": analysis.ext_local_priority,
+    "ext-buffers": analysis.ext_finite_buffers,
+    "ext-pipeline": analysis.ext_pipelined_switches,
+    "ext-hotspot": analysis.ext_hotspot,
+    "ext-context": analysis.ext_context_switch,
+}
+
+
+def _add_point_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--k", type=int, default=4, help="PEs per torus dimension")
+    p.add_argument("--nt", type=int, default=8, help="threads per processor")
+    p.add_argument("--runlength", "-R", type=float, default=10.0)
+    p.add_argument("--p-remote", type=float, default=0.2)
+    p.add_argument(
+        "--pattern",
+        choices=("geometric", "uniform", "hotspot"),
+        default="geometric",
+    )
+    p.add_argument("--p-sw", type=float, default=0.5)
+    p.add_argument("--hot-node", type=int, default=0)
+    p.add_argument("--hot-fraction", type=float, default=0.5)
+    p.add_argument("--memory-ports", type=int, default=1)
+    p.add_argument("--memory-latency", "-L", type=float, default=10.0)
+    p.add_argument("--switch-delay", "-S", type=float, default=10.0)
+    p.add_argument("--context-switch", "-C", type=float, default=0.0)
+    p.add_argument(
+        "--method",
+        choices=("symmetric", "amva", "linearizer", "exact"),
+        default="symmetric",
+    )
+
+
+def _params_from(args: argparse.Namespace):
+    return paper_defaults(
+        k=args.k,
+        num_threads=args.nt,
+        runlength=args.runlength,
+        p_remote=args.p_remote,
+        pattern=args.pattern,
+        p_sw=args.p_sw,
+        hot_node=args.hot_node,
+        hot_fraction=args.hot_fraction,
+        memory_latency=args.memory_latency,
+        switch_delay=args.switch_delay,
+        context_switch=args.context_switch,
+        memory_ports=args.memory_ports,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mms",
+        description="Latency tolerance analysis of multithreaded architectures "
+        "(Nemawarkar & Gao, IPPS 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one parameter point")
+    _add_point_args(p_solve)
+
+    p_tol = sub.add_parser("tolerance", help="tolerance indices for one point")
+    _add_point_args(p_tol)
+
+    p_bn = sub.add_parser("bottleneck", help="closed-form saturation laws")
+    _add_point_args(p_bn)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+    p_exp.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="additionally dump the experiment's raw data as JSON",
+    )
+
+    p_val = sub.add_parser("validate", help="model vs simulation (Figure 11)")
+    p_val.add_argument("--duration", type=float, default=30_000.0)
+    p_val.add_argument("--seed", type=int, default=0)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="parameter elasticities at one point"
+    )
+    _add_point_args(p_sens)
+    p_sens.add_argument("--measure", default="U_p")
+
+    p_zone = sub.add_parser(
+        "zones", help="find the tolerated-zone boundary along an axis"
+    )
+    _add_point_args(p_zone)
+    p_zone.add_argument("--axis", default="p_remote")
+    p_zone.add_argument("--subsystem", choices=("network", "memory"),
+                        default="network")
+    p_zone.add_argument("--threshold", type=float, default=0.8)
+    p_zone.add_argument("--lo", type=float, default=0.0)
+    p_zone.add_argument("--hi", type=float, default=1.0)
+
+    p_rep = sub.add_parser(
+        "replicate", help="simulate with independent replications"
+    )
+    _add_point_args(p_rep)
+    p_rep.add_argument("--replications", type=int, default=5)
+    p_rep.add_argument("--duration", type=float, default=20_000.0)
+
+    p_all = sub.add_parser(
+        "reproduce-all",
+        help="run every registered experiment and archive the outputs",
+    )
+    p_all.add_argument(
+        "--out", default="reproduction", help="output directory (created)"
+    )
+    p_all.add_argument(
+        "--skip-slow",
+        action="store_true",
+        help="skip the simulation-backed experiments",
+    )
+    return parser
+
+
+def _jsonable(obj: object) -> object:
+    """Best-effort conversion of experiment data to JSON-serializable form."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    # rich objects (MMSPerformance, SimResult, ...): use their summary if any
+    summary = getattr(obj, "summary", None)
+    if callable(summary):
+        return _jsonable(summary())
+    return repr(obj)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "solve":
+        perf = MMSModel(_params_from(args)).solve(method=args.method)
+        for key, value in perf.summary().items():
+            print(f"{key:12s} {value:.6g}")
+        return 0
+
+    if args.command == "tolerance":
+        report = tolerance_report(_params_from(args), method=args.method)
+        for name, res in report.items():
+            print(
+                f"tol_{name:8s} {res.index:8.4f}  ({res.zone.value}; "
+                f"U_p={res.actual.processor_utilization:.4f}, "
+                f"ideal={res.ideal.processor_utilization:.4f})"
+            )
+        return 0
+
+    if args.command == "bottleneck":
+        ba = analyze(_params_from(args))
+        print(f"d_avg                     {ba.d_avg:.4f}")
+        print(f"lambda_net saturation     {ba.lambda_net_saturation:.4f}")
+        print(f"critical p_remote         {ba.critical_p_remote:.4f}")
+        print(f"IN-saturating p_remote    {ba.network_saturation_p_remote:.4f}")
+        print(f"memory-bound p_remote     {ba.memory_saturation_p_remote:.4f}")
+        print(f"saturation U_p ceiling    {ba.saturation_utilization:.4f}")
+        print(f"unloaded round trip       {ba.unloaded_round_trip:.2f}")
+        print(f"processor stays busy      {ba.processor_stays_busy}")
+        return 0
+
+    if args.command == "experiment":
+        result = EXPERIMENTS[args.name]()
+        print(result.render())
+        if args.json:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(_jsonable(result.data), fh, indent=2)
+            print(f"[data written to {args.json}]")
+        return 0
+
+    if args.command == "validate":
+        _, text = analysis.fig11_validation(duration=args.duration, seed=args.seed)
+        print(text)
+        return 0
+
+    if args.command == "sensitivity":
+        print(
+            analysis.sensitivities(
+                _params_from(args), measure=args.measure
+            ).render()
+        )
+        return 0
+
+    if args.command == "zones":
+        from .core import zone_boundary
+
+        b = zone_boundary(
+            _params_from(args),
+            axis=args.axis,
+            subsystem=args.subsystem,
+            threshold=args.threshold,
+            lo=args.lo,
+            hi=args.hi,
+        )
+        sat = " (saturated bracket)" if b.saturated else ""
+        print(
+            f"tol_{b.subsystem} crosses {b.threshold} at "
+            f"{b.axis} = {b.value:.4f}{sat} (tol there: {b.tolerance:.4f})"
+        )
+        return 0
+
+    if args.command == "replicate":
+        print(
+            analysis.replicate(
+                _params_from(args),
+                replications=args.replications,
+                duration=args.duration,
+            ).render()
+        )
+        return 0
+
+    if args.command == "reproduce-all":
+        import time
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        slow = {"ext-priority", "ext-buffers", "ext-pipeline"}
+        summary = []
+        for name in sorted(EXPERIMENTS):
+            if args.skip_slow and name in slow:
+                print(f"[skip] {name}")
+                continue
+            t0 = time.perf_counter()
+            result = EXPERIMENTS[name]()
+            elapsed = time.perf_counter() - t0
+            text = result.render()
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+            summary.append(f"{name:14s} {elapsed:7.2f}s  {result.title}")
+            print(f"[done] {name} ({elapsed:.1f}s)")
+        # Figure 11 needs the simulator and its own renderer
+        if not args.skip_slow:
+            t0 = time.perf_counter()
+            _, text = analysis.fig11_validation()
+            (out_dir / "fig11.txt").write_text(text + "\n")
+            summary.append(
+                f"{'fig11':14s} {time.perf_counter() - t0:7.2f}s  "
+                "model vs simulation"
+            )
+            print("[done] fig11")
+        (out_dir / "SUMMARY.txt").write_text("\n".join(summary) + "\n")
+        print(f"\nall outputs in {out_dir}/")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

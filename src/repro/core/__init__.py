@@ -1,0 +1,58 @@
+"""Core library: the MMS analytical model and the tolerance-index metric."""
+
+from .baselines import (
+    AccessCostReport,
+    AgarwalPrediction,
+    agarwal_utilization,
+    kurihara_access_cost,
+)
+from .bottleneck import (
+    BottleneckAnalysis,
+    analyze,
+    critical_p_remote,
+    lambda_net_saturation,
+    saturation_utilization,
+)
+from .metrics import MMSPerformance, SubsystemStats
+from .model import MMSModel, solve
+from .network_models import OpenNetworkEstimate, open_network_latency
+from .zones import ZoneBoundary, threads_for_tolerance, zone_boundary
+from .tolerance import (
+    PARTIAL_THRESHOLD,
+    TOLERATED_THRESHOLD,
+    ToleranceResult,
+    ToleranceZone,
+    classify,
+    memory_tolerance,
+    network_tolerance,
+    tolerance_report,
+)
+
+__all__ = [
+    "MMSModel",
+    "solve",
+    "MMSPerformance",
+    "SubsystemStats",
+    "ToleranceResult",
+    "ToleranceZone",
+    "classify",
+    "network_tolerance",
+    "memory_tolerance",
+    "tolerance_report",
+    "TOLERATED_THRESHOLD",
+    "PARTIAL_THRESHOLD",
+    "BottleneckAnalysis",
+    "analyze",
+    "lambda_net_saturation",
+    "critical_p_remote",
+    "saturation_utilization",
+    "agarwal_utilization",
+    "AgarwalPrediction",
+    "kurihara_access_cost",
+    "AccessCostReport",
+    "ZoneBoundary",
+    "zone_boundary",
+    "threads_for_tolerance",
+    "open_network_latency",
+    "OpenNetworkEstimate",
+]

@@ -1,0 +1,101 @@
+"""Baseline analytic models the paper positions itself against.
+
+* :func:`agarwal_utilization` -- the classic contention-free multithreaded
+  processor model (Agarwal, "Performance tradeoffs in multithreaded
+  processors"): utilization rises linearly with ``n_t`` until the fixed
+  round-trip latency is fully hidden, then saturates.  It ignores queueing
+  feedback, which is precisely what the paper's CQN model adds.
+
+* :func:`kurihara_access_cost` -- the "memory access cost" view of Kurihara
+  et al., the only related work the paper cites on quantifying latency
+  hiding.  The paper's conjecture (Section 1) is that access cost is *not* a
+  direct indicator of latency tolerance; the ablation benchmark
+  ``bench_ablation_access_cost.py`` demonstrates this by exhibiting parameter
+  points with nearly equal access cost but different tolerance zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import MMSParams
+from ..workload import pattern_for
+from .metrics import MMSPerformance
+from .model import MMSModel
+
+__all__ = [
+    "agarwal_utilization",
+    "AgarwalPrediction",
+    "kurihara_access_cost",
+    "AccessCostReport",
+]
+
+
+@dataclass(frozen=True)
+class AgarwalPrediction:
+    """Contention-free multithreading model output."""
+
+    #: unloaded mean round-trip latency a thread waits out
+    latency: float
+    #: threads needed to fully hide the latency, ``1 + latency / (R + C)``
+    saturation_threads: float
+    #: predicted processor utilization
+    utilization: float
+
+
+def agarwal_utilization(params: MMSParams) -> AgarwalPrediction:
+    """Linear-then-saturate utilization with *fixed* (uncontended) latencies.
+
+    A thread's cycle is ``R_eff`` of computation plus a wait ``T`` (the
+    unloaded memory/network response).  With ``n_t`` threads the processor
+    overlaps waits until ``n_t * R_eff >= R_eff + T``:
+
+        U_p = R / R_eff * min(1, n_t * R_eff / (R_eff + T))
+    """
+    arch, wl = params.arch, params.workload
+    r_eff = wl.runlength + arch.context_switch
+    torus = arch.torus
+    if torus.num_nodes > 1 and wl.p_remote > 0:
+        d_avg = pattern_for(wl).d_avg(torus)
+        remote_rt = 2.0 * (d_avg + 1.0) * arch.switch_delay + arch.memory_latency
+    else:
+        remote_rt = arch.memory_latency
+    latency = (1.0 - wl.p_remote) * arch.memory_latency + wl.p_remote * remote_rt
+    n_star = 1.0 + latency / r_eff if r_eff > 0 else 1.0
+    busy = min(1.0, wl.num_threads * r_eff / (r_eff + latency))
+    useful = busy * (wl.runlength / r_eff if r_eff > 0 else 1.0)
+    return AgarwalPrediction(
+        latency=latency, saturation_threads=n_star, utilization=useful
+    )
+
+
+@dataclass(frozen=True)
+class AccessCostReport:
+    """Kurihara-style memory access cost for a solved point."""
+
+    #: observed mean response time of an access (queueing included)
+    observed_latency: float
+    #: processor idle time attributable per access (the 'cost' actually paid)
+    effective_cost: float
+    #: fraction of the observed latency hidden by multithreading
+    hidden_fraction: float
+
+
+def kurihara_access_cost(
+    params: MMSParams, performance: MMSPerformance | None = None
+) -> AccessCostReport:
+    """Memory-access-cost analysis of a parameter point.
+
+    ``effective_cost = 1/lambda_i - R_eff`` is what the processor actually
+    stalls per access; ``observed_latency`` is what a single access
+    experiences.  Their gap is the latency hidden by other threads.
+    """
+    perf = performance or MMSModel(params).solve()
+    observed = perf.observed_access_latency
+    cost = perf.effective_access_cost
+    hidden = 1.0 - (cost / observed) if observed > 0 else 1.0
+    return AccessCostReport(
+        observed_latency=observed,
+        effective_cost=cost,
+        hidden_fraction=max(0.0, min(1.0, hidden)),
+    )

@@ -1,0 +1,147 @@
+"""Bottleneck analysis: the paper's closed-form saturation laws.
+
+Two quantities organize every result in Sections 5-7:
+
+* **Network saturation rate**, Eq. (4).  A remote round trip at average
+  distance ``d_avg`` crosses ``2 * d_avg`` inbound switches; each inbound
+  switch serves at rate ``1/S`` and, by symmetry, carries its own PE's traffic
+  load ``lambda_net * 2 * d_avg``, so
+
+      lambda_net,sat = 1 / (2 * d_avg * S)
+
+  (= 0.029 for the paper's defaults: p_sw = 0.5 on 4x4 => d_avg = 1.733, S = 10).
+
+* **Critical remote fraction**, Eq. (5).  The processor keeps receiving
+  responses before running out of work while its remote issue rate stays below
+  the network's unloaded round-trip rate ``1 / (2 (d_avg + 1) S)``:
+
+      p_remote* = R_eff / (2 * (d_avg + 1) * S)
+
+  (= 0.18 at R = 10 and 0.37 at R = 20 for the defaults, matching the text).
+
+The local-memory analogue bounds the all-local path: the processor stays
+busy while ``(1 - p_remote)/R_eff <= 1/L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import MMSParams
+from ..workload import pattern_for
+
+__all__ = [
+    "BottleneckAnalysis",
+    "analyze",
+    "lambda_net_saturation",
+    "critical_p_remote",
+    "saturation_utilization",
+]
+
+
+def _d_avg(params: MMSParams) -> float:
+    torus = params.arch.torus
+    if torus.num_nodes == 1:
+        return 0.0
+    wl = params.workload
+    return pattern_for(wl).d_avg(torus)
+
+
+def _r_eff(params: MMSParams) -> float:
+    return params.workload.runlength + params.arch.context_switch
+
+
+def lambda_net_saturation(params: MMSParams) -> float:
+    """Eq. (4): the maximum per-PE message rate the network sustains.
+
+    Independent of ``n_t``, ``R`` and ``p_remote`` -- only the access
+    pattern's ``d_avg`` and the switch delay matter, which is the paper's
+    point that tolerance is governed by subsystem *rates*, not latencies.
+    """
+    s = params.arch.switch_delay
+    d = _d_avg(params)
+    if s <= 0 or d <= 0:
+        return float("inf")
+    return 1.0 / (2.0 * d * s)
+
+
+def critical_p_remote(params: MMSParams) -> float:
+    """Eq. (5): the remote fraction beyond which the network latency cannot
+    be tolerated (clipped to 1)."""
+    s = params.arch.switch_delay
+    d = _d_avg(params)
+    if s <= 0:
+        return 1.0
+    return min(1.0, _r_eff(params) / (2.0 * (d + 1.0) * s))
+
+
+def memory_saturation_p_remote(params: MMSParams) -> float:
+    """Remote fraction below which the *local memory* saturates the processor:
+    ``(1 - p) / R_eff > 1 / L``, i.e. ``p < 1 - R_eff / L`` (0 if never)."""
+    l = params.arch.memory_latency
+    if l <= 0:
+        return 0.0
+    return max(0.0, 1.0 - _r_eff(params) / l)
+
+
+def network_saturation_p_remote(params: MMSParams) -> float:
+    """Remote fraction at which ``lambda_net`` saturates assuming a busy
+    processor (``lambda_i = 1/R_eff``): ``p = R_eff * lambda_net,sat``
+    (~0.3 at R = 10 and ~0.6 at R = 20 for the defaults -- Figures 4c/5c)."""
+    sat = lambda_net_saturation(params)
+    if sat == float("inf"):
+        return 1.0
+    return min(1.0, _r_eff(params) * sat)
+
+
+def saturation_utilization(params: MMSParams) -> float:
+    """Predicted ``U_p`` ceiling when the network is the bottleneck:
+    ``X = lambda_sat / p_remote`` so ``U_p = R * lambda_sat / p_remote``."""
+    p = params.workload.p_remote
+    if p <= 0:
+        return 1.0
+    sat = lambda_net_saturation(params)
+    if sat == float("inf"):
+        return 1.0
+    return min(1.0, params.workload.runlength * sat / p)
+
+
+@dataclass(frozen=True)
+class BottleneckAnalysis:
+    """All closed-form saturation quantities for one parameter point."""
+
+    params: MMSParams
+    d_avg: float
+    #: Eq. (4)
+    lambda_net_saturation: float
+    #: Eq. (5)
+    critical_p_remote: float
+    #: p_remote at which the IN saturates (Figures 4c/5c knee)
+    network_saturation_p_remote: float
+    #: p_remote below which the local memory is the bottleneck
+    memory_saturation_p_remote: float
+    #: U_p ceiling under network saturation
+    saturation_utilization: float
+
+    @property
+    def processor_stays_busy(self) -> bool:
+        """Eq. (5) check at the configured ``p_remote``."""
+        return self.params.workload.p_remote <= self.critical_p_remote
+
+    @property
+    def unloaded_round_trip(self) -> float:
+        """Unloaded remote round trip on the network, ``2 (d_avg + 1) S``."""
+        return 2.0 * (self.d_avg + 1.0) * self.params.arch.switch_delay
+
+
+def analyze(params: MMSParams) -> BottleneckAnalysis:
+    """Compute the full bottleneck picture for ``params``."""
+    return BottleneckAnalysis(
+        params=params,
+        d_avg=_d_avg(params),
+        lambda_net_saturation=lambda_net_saturation(params),
+        critical_p_remote=critical_p_remote(params),
+        network_saturation_p_remote=network_saturation_p_remote(params),
+        memory_saturation_p_remote=memory_saturation_p_remote(params),
+        saturation_utilization=saturation_utilization(params),
+    )

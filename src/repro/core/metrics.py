@@ -1,0 +1,122 @@
+"""Performance measures of the MMS analytical model (paper, Section 2).
+
+The model predicts, per processing element (all PEs are statistically
+identical under the SPMD workload):
+
+* ``U_p``            -- processor utilization, Eq. (3): ``U_p = lambda_i * R``
+* ``lambda_net``     -- message rate to the network, Eq. (2)
+* ``S_obs``          -- observed one-way network latency, Eq. (1)
+* ``L_obs``          -- observed memory latency (queueing included)
+
+plus the subsystem utilizations and queue lengths used by the bottleneck
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..params import MMSParams
+
+__all__ = ["SubsystemStats", "MMSPerformance"]
+
+
+@dataclass(frozen=True)
+class SubsystemStats:
+    """Aggregate view of one subsystem kind (processor/memory/in/out switch).
+
+    Values are per-station averages over the class-0 view of the symmetric
+    solution; by vertex transitivity they hold at every node.
+    """
+
+    #: total utilization of the busiest station of this kind
+    utilization: float
+    #: mean total queue length (all classes) at a station of this kind
+    queue_length: float
+    #: mean per-visit residence time (waiting + service) at this kind
+    residence_per_visit: float
+
+
+@dataclass(frozen=True)
+class MMSPerformance:
+    """Model outputs for one parameter point."""
+
+    params: MMSParams
+    #: per-class cycle throughput ``lambda_i`` (memory accesses per time unit)
+    access_rate: float
+    #: processor utilization ``U_p`` in [0, 1] (useful computation only)
+    processor_utilization: float
+    #: fraction of time the processor is occupied (computation + context switch)
+    processor_busy: float
+    #: rate of messages a processor sends into the network, ``lambda_net``
+    lambda_net: float
+    #: observed one-way network latency per remote access (0 if no traffic)
+    s_obs: float
+    #: observed memory latency per access (visit-weighted over all modules)
+    l_obs: float
+    #: observed latency at the local module only
+    l_obs_local: float
+    #: observed latency at remote modules only (0 if no remote traffic)
+    l_obs_remote: float
+    #: mean observed round-trip time of a remote access (network + memory)
+    remote_round_trip: float
+    #: per-subsystem aggregates
+    processor: SubsystemStats = field(repr=False, default=None)  # type: ignore[assignment]
+    memory: SubsystemStats = field(repr=False, default=None)  # type: ignore[assignment]
+    inbound: SubsystemStats = field(repr=False, default=None)  # type: ignore[assignment]
+    outbound: SubsystemStats = field(repr=False, default=None)  # type: ignore[assignment]
+    #: solver metadata
+    method: str = "symmetric"
+    iterations: int = 0
+    converged: bool = True
+    #: per-PE processor utilizations when the workload is asymmetric
+    #: (hotspot); None under SPMD symmetry, where every PE matches ``U_p``
+    per_class_utilization: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def system_throughput(self) -> float:
+        """Aggregate useful compute rate, the paper's ``P * U_p`` (Figure 10)."""
+        return self.params.arch.num_processors * self.processor_utilization
+
+    @property
+    def cycle_time(self) -> float:
+        """Mean time between successive executions of one thread,
+        ``n_t / lambda_i``."""
+        if self.access_rate <= 0:
+            return np.inf
+        return self.params.workload.num_threads / self.access_rate
+
+    @property
+    def effective_access_cost(self) -> float:
+        """Processor idle time attributable to each memory access,
+        ``1/lambda_i - (R + C)``.
+
+        This is the quantity a Kurihara-style "memory access cost" analysis
+        measures; the paper argues (Section 1) that it is *not* a direct
+        indicator of latency tolerance -- see
+        :mod:`repro.core.baselines` and the ablation benchmark.
+        """
+        if self.access_rate <= 0:
+            return np.inf
+        wl, arch = self.params.workload, self.params.arch
+        return max(0.0, 1.0 / self.access_rate - (wl.runlength + arch.context_switch))
+
+    @property
+    def observed_access_latency(self) -> float:
+        """Mean response time of a memory access as seen by a thread:
+        local and remote mixed by ``p_remote``."""
+        p = self.params.workload.p_remote
+        return (1.0 - p) * self.l_obs_local + p * self.remote_round_trip
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the headline measures (for tables/CSV)."""
+        return {
+            "U_p": self.processor_utilization,
+            "lambda_net": self.lambda_net,
+            "S_obs": self.s_obs,
+            "L_obs": self.l_obs,
+            "throughput": self.system_throughput,
+            "access_rate": self.access_rate,
+        }

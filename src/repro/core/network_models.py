@@ -1,0 +1,78 @@
+"""Open-model network latency estimates (the Agarwal-[9] style baseline).
+
+The paper's reference [9] analyzes interconnection networks with *open*
+queueing models: each switch is an M/M/1 queue driven by an externally
+fixed injection rate.  The MMS paper instead closes the loop -- responses
+gate further injections -- which is what bounds ``lambda_net`` at Eq. (4)'s
+rate instead of letting latency diverge.
+
+These functions expose the open model so the difference is measurable
+(``bench_ablation_open_vs_closed``): at light load open and closed agree;
+approaching saturation the open model's latency diverges while the closed
+model self-limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import MMSParams
+from ..workload import pattern_for
+
+__all__ = ["OpenNetworkEstimate", "open_network_latency"]
+
+
+@dataclass(frozen=True)
+class OpenNetworkEstimate:
+    """Open-model view of the network at a given injection rate."""
+
+    #: injection rate used (remote messages per PE per time unit)
+    lambda_net: float
+    #: per-switch utilizations
+    rho_inbound: float
+    rho_outbound: float
+    #: one-way network latency estimate (inf when any switch saturates)
+    s_obs: float
+
+    @property
+    def stable(self) -> bool:
+        return self.rho_inbound < 1.0 and self.rho_outbound < 1.0
+
+
+def open_network_latency(
+    params: MMSParams, lambda_net: float
+) -> OpenNetworkEstimate:
+    """M/M/1-per-switch estimate of the one-way network latency.
+
+    By symmetry each PE's inbound switch carries ``lambda_net * 2 * d_avg``
+    traffic and its outbound switch ``lambda_net * 2`` (requests out +
+    responses out); each is treated as an independent M/M/1 queue of service
+    ``S``, so the one-way trip (one outbound visit + ``d_avg`` inbound
+    visits) costs
+
+        S_obs = S/(1 - rho_out) + d_avg * S/(1 - rho_in)
+
+    Valid for SPMD traffic on the torus; diverges at Eq. (4)'s rate.
+    """
+    if lambda_net < 0:
+        raise ValueError(f"negative injection rate {lambda_net}")
+    arch = params.arch
+    s = arch.switch_delay
+    torus = arch.torus
+    if torus.num_nodes == 1 or s == 0:
+        return OpenNetworkEstimate(
+            lambda_net=lambda_net, rho_inbound=0.0, rho_outbound=0.0, s_obs=0.0
+        )
+    d_avg = pattern_for(params.workload).d_avg(torus)
+    rho_in = lambda_net * 2.0 * d_avg * s
+    rho_out = lambda_net * 2.0 * s
+    if rho_in >= 1.0 or rho_out >= 1.0:
+        s_obs = float("inf")
+    else:
+        s_obs = s / (1.0 - rho_out) + d_avg * s / (1.0 - rho_in)
+    return OpenNetworkEstimate(
+        lambda_net=lambda_net,
+        rho_inbound=rho_in,
+        rho_outbound=rho_out,
+        s_obs=s_obs,
+    )

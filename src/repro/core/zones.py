@@ -1,0 +1,109 @@
+"""Operating-zone boundary finder.
+
+The paper derives the critical ``p_remote`` (Eq. 5) from an unloaded
+bottleneck argument; this module finds *measured* zone boundaries by
+bisecting the solved tolerance index along any parameter axis -- e.g.,
+"up to which remote fraction does this machine stay in the tolerated zone?"
+or "how many threads do I need to reach tol 0.8 here?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..params import MMSParams
+from .tolerance import memory_tolerance, network_tolerance
+
+__all__ = ["ZoneBoundary", "zone_boundary", "threads_for_tolerance"]
+
+
+def _tolerance(params: MMSParams, subsystem: str) -> float:
+    if subsystem == "network":
+        return network_tolerance(params).index
+    if subsystem == "memory":
+        return memory_tolerance(params).index
+    raise ValueError(f"unknown subsystem {subsystem!r}")
+
+
+@dataclass(frozen=True)
+class ZoneBoundary:
+    """Result of a boundary search along one axis."""
+
+    axis: str
+    subsystem: str
+    threshold: float
+    #: axis value at which the tolerance crosses the threshold
+    value: float
+    #: tolerance measured at ``value``
+    tolerance: float
+    #: True when the tolerance never crosses inside the bracket
+    saturated: bool = False
+
+
+def zone_boundary(
+    params: MMSParams,
+    axis: str = "p_remote",
+    subsystem: str = "network",
+    threshold: float = 0.8,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    iterations: int = 40,
+) -> ZoneBoundary:
+    """Bisect the ``axis`` value where ``tol_subsystem`` crosses ``threshold``.
+
+    Assumes the tolerance is monotone along the axis inside ``[lo, hi]``
+    (true for ``p_remote``, ``switch_delay`` and ``memory_latency`` on this
+    model).  Returns a saturated result pinned to the bracket edge when the
+    whole bracket sits on one side of the threshold.
+    """
+    def tol_at(v: float) -> float:
+        return _tolerance(params.with_(**{axis: v}), subsystem)
+
+    t_lo, t_hi = tol_at(lo), tol_at(hi)
+    decreasing = t_lo >= t_hi
+    above_lo = (t_lo >= threshold) if decreasing else (t_lo <= threshold)
+    above_hi = (t_hi >= threshold) if decreasing else (t_hi <= threshold)
+    if above_lo == above_hi:
+        # no crossing inside the bracket
+        edge = hi if (t_hi >= threshold) == decreasing or t_hi >= threshold else lo
+        return ZoneBoundary(
+            axis=axis,
+            subsystem=subsystem,
+            threshold=threshold,
+            value=edge,
+            tolerance=tol_at(edge),
+            saturated=True,
+        )
+    a, b = lo, hi
+    for _ in range(iterations):
+        mid = 0.5 * (a + b)
+        if (tol_at(mid) >= threshold) == decreasing:
+            a = mid
+        else:
+            b = mid
+    value = 0.5 * (a + b)
+    return ZoneBoundary(
+        axis=axis,
+        subsystem=subsystem,
+        threshold=threshold,
+        value=value,
+        tolerance=tol_at(value),
+    )
+
+
+def threads_for_tolerance(
+    params: MMSParams,
+    subsystem: str = "network",
+    threshold: float = 0.8,
+    max_threads: int = 64,
+) -> int | None:
+    """Smallest ``n_t`` reaching the tolerance threshold (None if never).
+
+    Linear scan (tolerance is monotone but integer-valued axis); the answer
+    for the paper's defaults is the "5 to 8 threads" rule of thumb.
+    """
+    for nt in range(1, max_threads + 1):
+        if _tolerance(params.with_(num_threads=nt), subsystem) >= threshold:
+            return nt
+    return None

@@ -1,0 +1,172 @@
+"""Model parameters: architecture and program-workload descriptions.
+
+These dataclasses mirror the paper's Table 1 / Table 5 symbols:
+
+========  =====================================================================
+symbol    meaning
+========  =====================================================================
+``k``     PEs per torus dimension (the machine has ``P = k*k`` PEs)
+``L``     memory access time (local module, no queueing)
+``S``     switch routing delay per hop (inbound and outbound switches)
+``C``     context-switch overhead added to every thread dispatch
+``n_t``   threads per processor
+``R``     mean thread runlength (computation time incl. issuing the access)
+``p_remote``  probability a memory access targets a *remote* module
+``p_sw``  geometric-locality parameter (low ``p_sw`` = high locality)
+========  =====================================================================
+
+Defaults are the reconstructed Table 1 settings (see DESIGN.md Section 2):
+``n_t=8, R=10, p_remote=0.2, p_sw=0.5, L=10, S=10, k=4, C=0``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .topology import Torus2D
+
+__all__ = ["Architecture", "Workload", "MMSParams", "paper_defaults"]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """Hardware description of the multithreaded multiprocessor system."""
+
+    k: int = 4
+    #: memory access time ``L`` (time units)
+    memory_latency: float = 10.0
+    #: per-hop switch routing delay ``S`` (time units)
+    switch_delay: float = 10.0
+    #: context switch overhead ``C`` (time units, added to each dispatch)
+    context_switch: float = 0.0
+    #: second torus dimension; -1 means square (``ky = k``)
+    ky: int = -1
+    #: memory module ports (paper Section 7: "multiporting/pipelining the
+    #: memory can be of help"); 1 = the paper's single-ported module
+    memory_ports: int = 1
+    #: wrap-around links (True = torus, the paper's text; False = mesh, the
+    #: paper's Figure-1 caption).  A mesh is not vertex transitive, so mesh
+    #: machines always use the full multi-class solvers.
+    wraparound: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.memory_latency < 0:
+            raise ValueError(f"memory latency must be >= 0, got {self.memory_latency}")
+        if self.switch_delay < 0:
+            raise ValueError(f"switch delay must be >= 0, got {self.switch_delay}")
+        if self.context_switch < 0:
+            raise ValueError(f"context switch must be >= 0, got {self.context_switch}")
+        if self.memory_ports < 1:
+            raise ValueError(f"memory ports must be >= 1, got {self.memory_ports}")
+
+    @property
+    def torus(self):
+        """The machine's interconnect topology (torus or mesh).
+
+        The name reflects the paper's default; ``wraparound=False`` yields
+        the Figure-1-caption mesh instead.
+        """
+        ky = self.ky if self.ky != -1 else self.k
+        if self.wraparound:
+            return Torus2D(self.k, ky)
+        from .topology.mesh import Mesh2D
+
+        return Mesh2D(self.k, ky)
+
+    @property
+    def num_processors(self) -> int:
+        """``P``, the number of PEs."""
+        return self.torus.num_nodes
+
+    def with_(self, **changes: object) -> "Architecture":
+        """Functional update (e.g. ``arch.with_(switch_delay=0.0)``)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """SPMD program workload: every PE runs the same thread population."""
+
+    #: threads per processor ``n_t``
+    num_threads: int = 8
+    #: mean thread runlength ``R`` (time units)
+    runlength: float = 10.0
+    #: probability an access is remote ``p_remote``
+    p_remote: float = 0.2
+    #: remote access pattern: ``"geometric"``, ``"uniform"`` or ``"hotspot"``
+    pattern: str = "geometric"
+    #: geometric locality parameter ``p_sw`` (ignored for uniform)
+    p_sw: float = 0.5
+    #: hotspot pattern only: the hot module's node index
+    hot_node: int = 0
+    #: hotspot pattern only: share of remote accesses drawn to the hot module
+    hot_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"need >= 1 thread per processor, got {self.num_threads}")
+        if self.runlength <= 0:
+            raise ValueError(f"runlength must be > 0, got {self.runlength}")
+        if not 0.0 <= self.p_remote <= 1.0:
+            raise ValueError(f"p_remote must be in [0, 1], got {self.p_remote}")
+        if self.pattern not in ("geometric", "uniform", "hotspot"):
+            raise ValueError(f"unknown access pattern {self.pattern!r}")
+        if self.pattern in ("geometric", "hotspot") and not 0.0 < self.p_sw <= 1.0:
+            raise ValueError(f"p_sw must be in (0, 1], got {self.p_sw}")
+        if self.pattern == "hotspot":
+            if not 0.0 <= self.hot_fraction <= 1.0:
+                raise ValueError(
+                    f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+                )
+            if self.hot_node < 0:
+                raise ValueError(f"hot_node must be >= 0, got {self.hot_node}")
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every PE sees a statistically identical workload (the
+        paper's SPMD assumption) -- the precondition for the symmetric
+        solver fast path."""
+        return self.pattern != "hotspot"
+
+    def with_(self, **changes: object) -> "Workload":
+        """Functional update (e.g. ``wl.with_(p_remote=0.0)``)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class MMSParams:
+    """An architecture paired with a workload -- one model evaluation point."""
+
+    arch: Architecture = Architecture()
+    workload: Workload = Workload()
+
+    def with_(self, **changes: object) -> "MMSParams":
+        """Functional update routing keys to the right sub-dataclass.
+
+        ``params.with_(switch_delay=0, p_remote=0.4)`` touches the
+        architecture and the workload respectively.
+        """
+        arch_fields = {f.name for f in dataclasses.fields(Architecture)}
+        wl_fields = {f.name for f in dataclasses.fields(Workload)}
+        arch_changes = {k: v for k, v in changes.items() if k in arch_fields}
+        wl_changes = {k: v for k, v in changes.items() if k in wl_fields}
+        unknown = set(changes) - arch_fields - wl_fields
+        if unknown:
+            raise TypeError(f"unknown parameter(s): {sorted(unknown)}")
+        return MMSParams(
+            arch=self.arch.with_(**arch_changes) if arch_changes else self.arch,
+            workload=self.workload.with_(**wl_changes) if wl_changes else self.workload,
+        )
+
+
+def paper_defaults(**overrides: object) -> MMSParams:
+    """The reconstructed Table 1 default configuration, with overrides.
+
+    >>> p = paper_defaults(p_remote=0.4, num_threads=4)
+    >>> p.arch.k, p.workload.p_remote
+    (4, 0.4)
+    """
+    return MMSParams().with_(**overrides)

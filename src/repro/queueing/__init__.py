@@ -1,0 +1,27 @@
+"""Closed queueing network substrate: specifications and MVA solvers."""
+
+from .bounds import AsymptoticBounds, asymptotic_bounds, balanced_job_bounds
+from .convolution import convolution_solve, normalization_constants
+from .mva_approx import bard_schweitzer, linearizer
+from .mva_exact import exact_mva, exact_mva_single_class, lattice_size
+from .mva_symmetric import SymmetricSolution, solve_symmetric
+from .network import ClosedNetwork, StationKind
+from .solution import QNSolution
+
+__all__ = [
+    "ClosedNetwork",
+    "StationKind",
+    "QNSolution",
+    "exact_mva",
+    "exact_mva_single_class",
+    "lattice_size",
+    "bard_schweitzer",
+    "linearizer",
+    "SymmetricSolution",
+    "solve_symmetric",
+    "AsymptoticBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "convolution_solve",
+    "normalization_constants",
+]

@@ -1,0 +1,89 @@
+"""Asymptotic and balanced-job bounds for closed networks.
+
+The paper explains its headline behaviors ("simple bottleneck analysis",
+Section 3) with exactly these bounds: throughput is capped by the slowest
+station's capacity and by the no-contention cycle time.  We expose them both
+for single-class views, which is what the MMS bottleneck analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AsymptoticBounds", "asymptotic_bounds", "balanced_job_bounds"]
+
+
+@dataclass(frozen=True)
+class AsymptoticBounds:
+    """Classic operational-analysis bounds for a single-class closed network."""
+
+    #: total service demand per cycle, ``D = sum_m v_m s_m``
+    total_demand: float
+    #: largest per-station demand, ``D_max``
+    max_demand: float
+    #: population beyond which the bottleneck saturates, ``N* = D / D_max``
+    saturation_population: float
+
+    def throughput_upper(self, population: int) -> float:
+        """``X(N) <= min(N / D, 1 / D_max)``."""
+        if population <= 0:
+            return 0.0
+        caps = [population / self.total_demand if self.total_demand > 0 else np.inf]
+        if self.max_demand > 0:
+            caps.append(1.0 / self.max_demand)
+        return float(min(caps))
+
+    def throughput_lower(self, population: int) -> float:
+        """Pessimistic bound ``X(N) >= N / (D + (N - 1) D_max)``.
+
+        Worst case: every added customer queues behind all others at the
+        bottleneck, adding a full ``D_max`` to the cycle.  Exact at ``N = 1``
+        (no queueing: ``X = 1/D``).
+        """
+        if population <= 0:
+            return 0.0
+        d = self.total_demand
+        if d <= 0:
+            return np.inf
+        return float(population / (d + (population - 1) * self.max_demand))
+
+
+def asymptotic_bounds(visits: np.ndarray, service: np.ndarray) -> AsymptoticBounds:
+    """Bounds from single-class visit ratios and service times."""
+    demands = np.asarray(visits, dtype=np.float64) * np.asarray(
+        service, dtype=np.float64
+    )
+    total = float(demands.sum())
+    dmax = float(demands.max(initial=0.0))
+    nstar = total / dmax if dmax > 0 else np.inf
+    return AsymptoticBounds(
+        total_demand=total, max_demand=dmax, saturation_population=nstar
+    )
+
+
+def balanced_job_bounds(
+    visits: np.ndarray, service: np.ndarray, population: int
+) -> tuple[float, float]:
+    """Balanced-job bounds ``(X_lower, X_upper)`` (Zahorjan et al.).
+
+    For a network of ``M`` queueing stations with total demand ``D``,
+    average demand ``D_avg = D / M`` and maximum ``D_max``:
+
+        N / (D + (N-1) D_max)  <=  X(N)  <=  min(1/D_max, N / (D + (N-1) D_avg))
+    """
+    if population <= 0:
+        return 0.0, 0.0
+    demands = np.asarray(visits, dtype=np.float64) * np.asarray(
+        service, dtype=np.float64
+    )
+    demands = demands[demands > 0]
+    if demands.size == 0:
+        return np.inf, np.inf
+    d = float(demands.sum())
+    dmax = float(demands.max())
+    davg = d / demands.size
+    lower = population / (d + (population - 1) * dmax)
+    upper = min(1.0 / dmax, population / (d + (population - 1) * davg))
+    return float(lower), float(upper)

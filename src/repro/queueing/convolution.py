@@ -1,0 +1,107 @@
+"""Buzen's convolution algorithm for single-class closed networks.
+
+An independent exact solution path: normalization constants ``G(n)`` instead
+of the MVA recursion.  Exact MVA and convolution must agree to machine
+precision on product-form networks, which makes this module the strongest
+internal consistency check of the queueing substrate (the solvers share no
+code).
+
+For a single-server FCFS/PS station with demand ``D``, the per-station factor
+is ``D^n``; for an infinite-server (delay) station it is ``D^n / n!``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .network import ClosedNetwork, StationKind
+from .solution import QNSolution
+
+__all__ = ["normalization_constants", "convolution_solve"]
+
+
+def normalization_constants(
+    demands: np.ndarray,
+    population: int,
+    kinds: tuple[StationKind, ...] | None = None,
+) -> np.ndarray:
+    """``G(0..N)`` by convolving the per-station factors.
+
+    Parameters
+    ----------
+    demands:
+        ``(M,)`` service demands ``D_m = v_m * s_m``.
+    population:
+        ``N``, the customer count.
+    kinds:
+        Station kinds (default all ``QUEUEING``).
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    if population < 0:
+        raise ValueError(f"population must be >= 0, got {population}")
+    kinds = kinds or tuple([StationKind.QUEUEING] * len(demands))
+    g = np.zeros(population + 1)
+    g[0] = 1.0
+    for d, kind in zip(demands, kinds):
+        if kind is StationKind.QUEUEING:
+            # g_new(n) = sum_k d^k g(n-k)  ==  g_new(n) = g(n) + d*g_new(n-1)
+            for n in range(1, population + 1):
+                g[n] = g[n] + d * g[n - 1]
+        else:  # delay station: factor d^k / k!
+            new = g.copy()
+            for n in range(1, population + 1):
+                acc = g[n]
+                for k in range(1, n + 1):
+                    acc += (d**k / math.factorial(k)) * g[n - k]
+                new[n] = acc
+            g = new
+    return g
+
+
+def convolution_solve(network: ClosedNetwork) -> QNSolution:
+    """Exact single-class solution via normalization constants.
+
+    Computes throughput ``X(N) = G(N-1)/G(N)``, utilizations
+    ``U_m = D_m X`` and queue lengths
+    ``Q_m = sum_{n=1..N} D_m^n G(N-n)/G(N)`` (queueing stations) or
+    ``Q_m = D_m X`` (delay stations).  Multi-server stations are not
+    supported here (no simple per-station factor) -- use MVA with the
+    Seidmann split instead.
+    """
+    if network.num_classes != 1:
+        raise ValueError("convolution solver is single-class")
+    if any(s != 1 for s in network.servers):
+        raise ValueError("convolution solver supports single-server stations only")
+    n = int(network.populations[0])
+    demands = network.demands[0]
+    kinds = network.kinds
+    g = normalization_constants(demands, n, kinds)
+    if n == 0 or g[n] == 0:
+        zeros = np.zeros((1, network.num_stations))
+        return QNSolution(
+            network=network,
+            throughput=np.array([0.0]),
+            waiting=zeros,
+            queue_length=zeros.copy(),
+        )
+    x = g[n - 1] / g[n]
+
+    q = np.zeros(network.num_stations)
+    for m, (d, kind) in enumerate(zip(demands, kinds)):
+        if kind is StationKind.QUEUEING:
+            q[m] = sum(d**k * g[n - k] for k in range(1, n + 1)) / g[n]
+        else:
+            q[m] = d * x
+    # waiting per visit from Little's law: Q_m = X * v_m * W_m
+    v = network.visits[0]
+    w = np.zeros_like(q)
+    nz = v > 0
+    w[nz] = q[nz] / (x * v[nz])
+    return QNSolution(
+        network=network,
+        throughput=np.array([x]),
+        waiting=w[None, :],
+        queue_length=q[None, :],
+    )

@@ -1,0 +1,150 @@
+"""Exact Mean Value Analysis for product-form closed networks.
+
+Two solvers:
+
+* :func:`exact_mva_single_class` -- the classic O(N * M) recursion.
+* :func:`exact_mva` -- exact multi-class MVA by recursion over the population
+  lattice.  Cost is ``prod_c (N_c + 1)`` lattice points, so this is only for
+  small instances; its role here is to quantify the error of the approximate
+  (Bard-Schweitzer) solver the paper uses -- the paper itself notes that state
+  space techniques are "computationally intensive" and quotes the 63504-state
+  two-processor example.
+
+Exactness requires class-independent service times at FCFS stations (BCMP
+conditions); :func:`exact_mva` raises otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from .network import ClosedNetwork, StationKind
+from .solution import QNSolution
+
+__all__ = ["exact_mva_single_class", "exact_mva", "lattice_size"]
+
+#: refuse exact multi-class solves above this many population-lattice points
+MAX_LATTICE_POINTS = 2_000_000
+
+
+def exact_mva_single_class(network: ClosedNetwork) -> QNSolution:
+    """Exact MVA for a single-class network (population ``N``).
+
+    Recursion (queueing stations): ``W_m(n) = s_m * (1 + Q_m(n-1))``;
+    delay stations: ``W_m(n) = s_m``.
+    """
+    if network.num_classes != 1:
+        raise ValueError(f"single-class solver got {network.num_classes} classes")
+    n_total = int(network.populations[0])
+    v = network.visits[0]
+    s_all, extra_all = network.seidmann_split()
+    s, extra = s_all[0], extra_all[0]
+    queueing = network.queueing_mask()
+
+    q = np.zeros(network.num_stations)
+    w = np.zeros(network.num_stations)
+    x = 0.0
+    for n in range(1, n_total + 1):
+        w = np.where(queueing, s * (1.0 + q) + extra, s + extra)
+        denom = float(np.dot(v, w))
+        x = n / denom if denom > 0 else math.inf
+        q = x * v * w if math.isfinite(x) else np.zeros_like(q)
+    if n_total == 0:
+        x = 0.0
+    return QNSolution(
+        network=network,
+        throughput=np.array([x]),
+        waiting=w[None, :].copy(),
+        queue_length=q[None, :].copy(),
+    )
+
+
+def lattice_size(populations: np.ndarray) -> int:
+    """Number of population-lattice points the exact multi-class solver visits."""
+    return int(np.prod(np.asarray(populations, dtype=np.int64) + 1))
+
+
+def exact_mva(network: ClosedNetwork) -> QNSolution:
+    """Exact multi-class MVA over the full population lattice.
+
+    Raises
+    ------
+    ValueError
+        If service times are class-dependent at a shared queueing station
+        (not product form) or the lattice exceeds ``MAX_LATTICE_POINTS``.
+    """
+    c, m = network.num_classes, network.num_stations
+    if c == 1:
+        return exact_mva_single_class(network)
+
+    if lattice_size(network.populations) > MAX_LATTICE_POINTS:
+        raise ValueError(
+            f"population lattice has {lattice_size(network.populations)} points; "
+            f"exact MVA capped at {MAX_LATTICE_POINTS} - use bard_schweitzer()"
+        )
+    _require_class_independent_service(network)
+
+    s, extra = network.seidmann_split()  # class-independent where shared
+    v = network.visits
+    queueing = network.queueing_mask()
+    pops = tuple(int(n) for n in network.populations)
+
+    # q_total[pop_vector] -> (M,) total mean queue lengths at that population.
+    q_total: dict[tuple[int, ...], np.ndarray] = {
+        tuple([0] * c): np.zeros(m)
+    }
+    # Iterate lattice points in order of total population so that every
+    # N - e_c needed is already solved.
+    w_last = np.zeros((c, m))
+    x_last = np.zeros(c)
+    ranges = [range(n + 1) for n in pops]
+    points = sorted(itertools.product(*ranges), key=sum)
+    q_class_last = np.zeros((c, m))
+    for point in points:
+        if sum(point) == 0:
+            continue
+        w = np.zeros((c, m))
+        x = np.zeros(c)
+        q_cls = np.zeros((c, m))
+        for cls in range(c):
+            if point[cls] == 0:
+                continue
+            reduced = list(point)
+            reduced[cls] -= 1
+            q_prev = q_total[tuple(reduced)]
+            w[cls] = np.where(
+                queueing, s[cls] * (1.0 + q_prev) + extra[cls], s[cls] + extra[cls]
+            )
+            denom = float(np.dot(v[cls], w[cls]))
+            x[cls] = point[cls] / denom if denom > 0 else math.inf
+            if math.isfinite(x[cls]):
+                q_cls[cls] = x[cls] * v[cls] * w[cls]
+        q_total[point] = q_cls.sum(axis=0)
+        if point == pops:
+            w_last, x_last, q_class_last = w, x, q_cls
+    return QNSolution(
+        network=network,
+        throughput=x_last,
+        waiting=w_last,
+        queue_length=q_class_last,
+    )
+
+
+def _require_class_independent_service(network: ClosedNetwork) -> None:
+    """BCMP check: at each FCFS station visited by >1 class, service must match."""
+    s, v = network.service, network.visits
+    for j, kind in enumerate(network.kinds):
+        if kind is not StationKind.QUEUEING:
+            continue
+        visiting = v[:, j] > 0
+        if visiting.sum() <= 1:
+            continue
+        vals = s[visiting, j]
+        if not np.allclose(vals, vals[0]):
+            raise ValueError(
+                f"station {network.names[j]!r} has class-dependent FCFS service "
+                "times; the network is not product-form (use bard_schweitzer)"
+            )

@@ -1,0 +1,157 @@
+"""Closed multi-class queueing network specification.
+
+The paper's model (Figure 2) is a product-form closed network: every station
+is a single-server FCFS queue with exponential service, one customer class per
+processor, ``n_t`` customers per class, and class-dependent visit ratios.
+This module holds the *specification* only; solvers live in
+:mod:`repro.queueing.mva_exact`, :mod:`repro.queueing.mva_approx` and
+:mod:`repro.queueing.mva_symmetric`.
+
+Station kinds
+-------------
+``QUEUEING``
+    Single-server FCFS queue (all of the paper's stations).
+``DELAY``
+    Infinite-server / pure delay station (no queueing).  Not used by the
+    paper's model but supported so the solvers are reusable; also the natural
+    representation of an "ideal" subsystem with *finite* delay but no
+    contention, which the paper explicitly contrasts against its preferred
+    zero-delay definition.
+
+A zero service time at a ``QUEUEING`` station is legal and means the station
+is a pass-through: this is exactly the paper's "ideal (zero delay) subsystem".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["StationKind", "ClosedNetwork"]
+
+
+class StationKind(Enum):
+    """Service discipline of a station."""
+
+    QUEUEING = "queueing"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class ClosedNetwork:
+    """A closed multi-class queueing network.
+
+    Parameters
+    ----------
+    visits:
+        ``(C, M)`` visit ratios ``v[c, m]`` (relative visit counts per cycle).
+    service:
+        ``(M,)`` or ``(C, M)`` mean service times.  Per-class service times at
+        FCFS stations break strict product form; the approximate solvers apply
+        them anyway (a standard AMVA heuristic), while the exact solver
+        requires class-independent FCFS service.
+    populations:
+        ``(C,)`` integer customer counts per class.
+    kinds:
+        Optional ``(M,)`` array/sequence of :class:`StationKind`
+        (default: all ``QUEUEING``).
+    names:
+        Optional station names for reporting.
+    servers:
+        Optional ``(M,)`` server counts for ``QUEUEING`` stations (default
+        all 1).  Multi-server stations model the paper's Section-7
+        suggestion of multiported/pipelined memory.  Solvers apply the
+        Seidmann approximation: an ``m``-server station behaves as a single
+        queue with service ``s/m`` plus a fixed delay ``s (m-1)/m``.
+    """
+
+    visits: np.ndarray
+    service: np.ndarray
+    populations: np.ndarray
+    kinds: tuple[StationKind, ...] = field(default=())
+    names: tuple[str, ...] = field(default=())
+    servers: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        visits = np.atleast_2d(np.asarray(self.visits, dtype=np.float64))
+        object.__setattr__(self, "visits", visits)
+        c, m = visits.shape
+
+        service = np.asarray(self.service, dtype=np.float64)
+        if service.ndim == 1:
+            if service.shape != (m,):
+                raise ValueError(f"service shape {service.shape} != ({m},)")
+            service = np.broadcast_to(service, (c, m)).copy()
+        elif service.shape != (c, m):
+            raise ValueError(f"service shape {service.shape} != ({c}, {m})")
+        object.__setattr__(self, "service", service)
+
+        pops = np.atleast_1d(np.asarray(self.populations, dtype=np.int64))
+        if pops.shape != (c,):
+            raise ValueError(f"populations shape {pops.shape} != ({c},)")
+        object.__setattr__(self, "populations", pops)
+
+        kinds = tuple(self.kinds) or tuple([StationKind.QUEUEING] * m)
+        if len(kinds) != m:
+            raise ValueError(f"got {len(kinds)} station kinds for {m} stations")
+        object.__setattr__(self, "kinds", kinds)
+
+        names = tuple(self.names) or tuple(f"station{j}" for j in range(m))
+        if len(names) != m:
+            raise ValueError(f"got {len(names)} names for {m} stations")
+        object.__setattr__(self, "names", names)
+
+        servers = tuple(int(s) for s in self.servers) or tuple([1] * m)
+        if len(servers) != m:
+            raise ValueError(f"got {len(servers)} server counts for {m} stations")
+        if any(s < 1 for s in servers):
+            raise ValueError("server counts must be >= 1")
+        object.__setattr__(self, "servers", servers)
+
+        if np.any(visits < 0):
+            raise ValueError("visit ratios must be non-negative")
+        if np.any(self.service < 0):
+            raise ValueError("service times must be non-negative")
+        if np.any(pops < 0):
+            raise ValueError("populations must be non-negative")
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_classes(self) -> int:
+        return self.visits.shape[0]
+
+    @property
+    def num_stations(self) -> int:
+        return self.visits.shape[1]
+
+    @property
+    def demands(self) -> np.ndarray:
+        """Service demands ``D[c, m] = v[c, m] * s[c, m]``."""
+        return self.visits * self.service
+
+    def queueing_mask(self) -> np.ndarray:
+        """Boolean ``(M,)`` mask of stations that actually queue customers."""
+        return np.array([k is StationKind.QUEUEING for k in self.kinds])
+
+    def station_index(self, name: str) -> int:
+        """Index of the station called ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"no station named {name!r}") from None
+
+    def seidmann_split(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-class ``(queueing_service, fixed_delay)`` arrays applying the
+        Seidmann multi-server approximation: at an ``m``-server station a
+        customer queues for a server of speed ``m`` (service ``s/m``) and
+        additionally waits the pipeline fill ``s (m-1)/m`` without queueing.
+
+        Single-server stations return ``(s, 0)`` -- the approximation is
+        exact there.
+        """
+        m_arr = np.asarray(self.servers, dtype=np.float64)[None, :]
+        s_queue = self.service / m_arr
+        delay = self.service * (m_arr - 1.0) / m_arr
+        return s_queue, delay

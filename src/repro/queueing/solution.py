@@ -1,0 +1,85 @@
+"""Solution container shared by all MVA solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import ClosedNetwork
+
+__all__ = ["QNSolution"]
+
+
+@dataclass(frozen=True)
+class QNSolution:
+    """Steady-state performance of a :class:`ClosedNetwork`.
+
+    Attributes
+    ----------
+    network:
+        The solved specification.
+    throughput:
+        ``(C,)`` class throughputs ``X_c`` (cycles per time unit).
+    waiting:
+        ``(C, M)`` mean *per-visit* residence times ``W[c, m]`` (queueing +
+        service; 0 where the class never visits or the station has no delay).
+    queue_length:
+        ``(C, M)`` mean number of class-``c`` customers at station ``m``.
+    iterations:
+        Fixed-point iterations used (0 for exact solvers).
+    converged:
+        Whether the solver met its tolerance (exact solvers: always True).
+    """
+
+    network: ClosedNetwork
+    throughput: np.ndarray
+    waiting: np.ndarray
+    queue_length: np.ndarray
+    iterations: int = 0
+    converged: bool = True
+
+    # ------------------------------------------------------------ per station
+    @property
+    def utilization(self) -> np.ndarray:
+        """``(C, M)`` utilization ``U[c, m] = X_c * v[c, m] * s[c, m]``."""
+        return self.throughput[:, None] * self.network.demands
+
+    @property
+    def total_utilization(self) -> np.ndarray:
+        """``(M,)`` total utilization per station (<= 1 at queueing stations)."""
+        return self.utilization.sum(axis=0)
+
+    @property
+    def total_queue_length(self) -> np.ndarray:
+        """``(M,)`` total mean customers per station."""
+        return self.queue_length.sum(axis=0)
+
+    # -------------------------------------------------------------- per class
+    @property
+    def cycle_time(self) -> np.ndarray:
+        """``(C,)`` mean cycle time ``N_c / X_c`` (Little's law on the cycle)."""
+        pops = self.network.populations.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.throughput > 0, pops / self.throughput, np.inf)
+
+    def residence(self, cls: int) -> np.ndarray:
+        """``(M,)`` total residence time of class ``cls`` per cycle,
+        ``v[c, m] * W[c, m]``."""
+        return self.network.visits[cls] * self.waiting[cls]
+
+    # ------------------------------------------------------------ diagnostics
+    def littles_law_residual(self) -> float:
+        """Max absolute error of ``Q[c, m] == X_c * v[c, m] * W[c, m]``.
+
+        Near zero for a converged solution; used by property tests.
+        """
+        predicted = (
+            self.throughput[:, None] * self.network.visits * self.waiting
+        )
+        return float(np.max(np.abs(predicted - self.queue_length), initial=0.0))
+
+    def population_residual(self) -> float:
+        """Max absolute error of ``sum_m Q[c, m] == N_c``."""
+        err = self.queue_length.sum(axis=1) - self.network.populations
+        return float(np.max(np.abs(err), initial=0.0))

@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate (the validation vehicle)."""
+
+from .engine import Engine
+from .mms_sim import MMSSimulation, SimResult, simulate
+from .stations import FCFSServer
+from .stats import BatchMeans, RateBatches, Welford, ci_halfwidth
+
+__all__ = [
+    "Engine",
+    "FCFSServer",
+    "MMSSimulation",
+    "SimResult",
+    "simulate",
+    "Welford",
+    "BatchMeans",
+    "RateBatches",
+    "ci_halfwidth",
+]

@@ -1,0 +1,69 @@
+"""Minimal discrete-event simulation kernel.
+
+A binary-heap future-event list with deterministic tie-breaking (insertion
+order) and a NumPy random generator shared by the model components.  The
+kernel is deliberately tiny -- stations own their queueing logic
+(:mod:`repro.simulation.stations`); the kernel only orders time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Event loop: schedule callables at future times, run until a horizon."""
+
+    def __init__(self, seed: int | None = 0):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq = 0
+        self.rng = np.random.default_rng(seed)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at ``now + delay`` (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def run_until(self, t_end: float) -> None:
+        """Process events in time order until ``t_end`` (events at exactly
+        ``t_end`` are processed)."""
+        heap = self._heap
+        while heap and heap[0][0] <= t_end:
+            t, _, fn, args = heapq.heappop(heap)
+            self.now = t
+            fn(*args)
+        self.now = max(self.now, t_end)
+
+    def peek(self) -> float:
+        """Timestamp of the next pending event (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet executed."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------- sampling
+    def draw_service(self, mean: float, dist: str) -> float:
+        """Sample a service time: ``"exponential"`` or ``"deterministic"``.
+
+        The paper's model is exponential; Section 8 additionally checks a
+        deterministic memory service time against the exponential prediction.
+        """
+        if mean < 0:
+            raise ValueError(f"negative mean service time {mean}")
+        if mean == 0.0:
+            return 0.0
+        if dist == "exponential":
+            return float(self.rng.exponential(mean))
+        if dist == "deterministic":
+            return float(mean)
+        raise ValueError(f"unknown service distribution {dist!r}")

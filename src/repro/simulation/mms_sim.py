@@ -1,0 +1,431 @@
+"""Discrete-event simulation of the multithreaded multiprocessor system.
+
+This is the behavioural twin of the analytical model: the same stations
+(processor, memory, inbound/outbound switch per PE), the same thread life
+cycle, the same routing, with service times drawn from exponential (or
+deterministic) distributions.  The paper validates its MVA predictions with a
+stochastic timed Petri net simulation (Section 8) and reports agreement within
+2% on ``lambda_net`` and 5% on ``S_obs``; this simulator plays that role (the
+Petri-net formulation itself is in :mod:`repro.spn` and is equivalent).
+
+Measured quantities mirror :class:`repro.core.metrics.MMSPerformance`:
+
+* ``U_p``        -- useful-computation fraction of processor time
+* ``lambda_net`` -- remote requests injected per PE per time unit
+* ``S_obs``      -- mean one-way network transit (outbound entry to final
+  inbound service completion), queueing included
+* ``L_obs``      -- mean memory residence per access
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import MMSParams
+from ..topology import route_nodes
+from ..workload import pattern_for
+from .engine import Engine
+from .stations import FCFSServer, PipelinedServer, PriorityFCFSServer
+from .stats import BatchMeans, RateBatches, Welford
+
+__all__ = ["SimResult", "MMSSimulation", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Point estimates (and 95% CIs where meaningful) from one replication."""
+
+    params: MMSParams
+    #: measured horizon (post warm-up)
+    duration: float
+    processor_utilization: float
+    processor_utilization_hw: float
+    access_rate: float
+    lambda_net: float
+    lambda_net_hw: float
+    s_obs: float
+    s_obs_hw: float
+    l_obs: float
+    l_obs_local: float
+    l_obs_remote: float
+    memory_utilization: float
+    inbound_utilization: float
+    outbound_utilization: float
+    remote_messages: int
+    cycles: int
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "U_p": self.processor_utilization,
+            "lambda_net": self.lambda_net,
+            "S_obs": self.s_obs,
+            "L_obs": self.l_obs,
+            "access_rate": self.access_rate,
+        }
+
+
+class _Thread:
+    """Mutable token tracking one thread's in-flight timestamps."""
+
+    __slots__ = ("node", "t_net_enter", "t_mem_enter", "dst")
+
+    def __init__(self, node: int):
+        self.node = node
+        self.t_net_enter = 0.0
+        self.t_mem_enter = 0.0
+        self.dst = -1
+
+
+class MMSSimulation:
+    """One simulation replication of the MMS.
+
+    Parameters
+    ----------
+    params:
+        Model point (architecture + workload).  ``arch.memory_ports > 1``
+        instantiates multiported memory modules.
+    seed:
+        RNG seed for this replication.
+    memory_dist, switch_dist, runlength_dist:
+        Service distributions, ``"exponential"`` (paper default) or
+        ``"deterministic"`` (the paper's Section-8 robustness check varies
+        the memory distribution).
+    local_priority:
+        Serve local memory requests ahead of remote ones (non-preemptive) --
+        the EM-4 policy the paper's Section 7 mentions.
+    switch_capacity:
+        Finite buffer slots per *inbound* switch (waiting + in service);
+        senders block with the job held until space frees (footnote 3's
+        limited-buffer scenario).  ``None`` = unbounded (the paper's model).
+    switch_pipeline_depth:
+        ``d > 1`` makes every switch a ``d``-stage pipeline: latency ``S``,
+        one message accepted every ``S/d``.  Incompatible with
+        ``switch_capacity``.
+    max_outstanding_remote:
+        Credit-based end-to-end flow control: at most this many remote
+        accesses of one PE in the network at a time; further injections wait
+        (deadlock-free, unlike raw ``switch_capacity`` blocking).  This is
+        the mechanism that realizes footnote 3's prediction that ``S_obs``
+        saturates with ``n_t`` under finite buffering.
+    pattern:
+        Optional :class:`~repro.workload.AccessPattern` overriding the
+        workload's named pattern (mirrors :class:`repro.core.MMSModel`).
+    """
+
+    def __init__(
+        self,
+        params: MMSParams,
+        seed: int = 0,
+        memory_dist: str = "exponential",
+        switch_dist: str = "exponential",
+        runlength_dist: str = "exponential",
+        local_priority: bool = False,
+        switch_capacity: int | None = None,
+        switch_pipeline_depth: int = 1,
+        max_outstanding_remote: int | None = None,
+        pattern=None,
+    ):
+        self.params = params
+        arch, wl = params.arch, params.workload
+        self.torus = arch.torus
+        p = self.torus.num_nodes
+        self.engine = Engine(seed)
+        self.local_priority = local_priority
+        self.switch_capacity = switch_capacity
+        if switch_pipeline_depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+        if switch_pipeline_depth > 1 and switch_capacity is not None:
+            raise ValueError("pipelined switches cannot have finite buffers here")
+        self.pipeline_depth = switch_pipeline_depth
+        if max_outstanding_remote is not None and max_outstanding_remote < 1:
+            raise ValueError("max_outstanding_remote must be >= 1")
+        self.max_outstanding = max_outstanding_remote
+        self._credits = [max_outstanding_remote or 0] * p
+        self._inject_q: list[deque] = [deque() for _ in range(p)]
+
+        self.procs = [
+            FCFSServer(
+                self.engine,
+                wl.runlength,
+                runlength_dist,
+                f"proc{j}",
+                overhead=arch.context_switch,
+            )
+            for j in range(p)
+        ]
+        mem_cls = PriorityFCFSServer if local_priority else FCFSServer
+        self.mems = [
+            mem_cls(
+                self.engine,
+                arch.memory_latency,
+                memory_dist,
+                f"mem{j}",
+                servers=arch.memory_ports,
+            )
+            for j in range(p)
+        ]
+        if switch_pipeline_depth > 1:
+            ii = arch.switch_delay / switch_pipeline_depth
+            self.inbound = [
+                PipelinedServer(self.engine, arch.switch_delay, ii, switch_dist, f"in{j}")
+                for j in range(p)
+            ]
+            self.outbound = [
+                PipelinedServer(self.engine, arch.switch_delay, ii, switch_dist, f"out{j}")
+                for j in range(p)
+            ]
+        else:
+            self.inbound = [
+                FCFSServer(
+                    self.engine,
+                    arch.switch_delay,
+                    switch_dist,
+                    f"in{j}",
+                    capacity=switch_capacity,
+                )
+                for j in range(p)
+            ]
+            self.outbound = [
+                FCFSServer(self.engine, arch.switch_delay, switch_dist, f"out{j}")
+                for j in range(p)
+            ]
+
+        # Destination sampling: cumulative per-source remote distribution.
+        if p > 1 and wl.p_remote > 0:
+            pat = pattern if pattern is not None else pattern_for(wl)
+            q = pat.module_probability_matrix(self.torus)
+            self._cum = np.cumsum(q, axis=1)
+            # Guard against round-off: force the last positive column to 1.
+            self._cum /= self._cum[:, -1:][:, [0]]
+        else:
+            self._cum = None
+
+        # Routes are cached lazily per (src, dst) pair.
+        self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
+
+        # --- measurement state (armed by run()) ---
+        self._measuring = False
+        self._s_obs = Welford()
+        self._l_local = Welford()
+        self._l_remote = Welford()
+        self._s_batches: BatchMeans | None = None
+        self._net_rate: RateBatches | None = None
+        self._cycles = 0
+        self._remote_msgs = 0
+
+    # ----------------------------------------------------------- thread flow
+    def _boot(self) -> None:
+        wl = self.params.workload
+        for node, proc in enumerate(self.procs):
+            for _ in range(wl.num_threads):
+                proc.arrive(_Thread(node), self._issue_access)
+
+    def _issue_access(self, th: _Thread) -> None:
+        """Processor finished a runlength: issue the thread's memory access."""
+        if self._measuring:
+            self._cycles += 1
+        wl = self.params.workload
+        rng = self.engine.rng
+        if self._cum is None or rng.random() >= wl.p_remote:
+            th.t_mem_enter = self.engine.now
+            th.dst = th.node
+            self._mem_arrive(th.node, th, self._local_done, local=True)
+        else:
+            th.dst = int(np.searchsorted(self._cum[th.node], rng.random()))
+            if self.max_outstanding is not None and self._credits[th.node] <= 0:
+                self._inject_q[th.node].append(th)  # wait for a credit
+            else:
+                if self.max_outstanding is not None:
+                    self._credits[th.node] -= 1
+                self._inject(th)
+
+    def _inject(self, th: _Thread) -> None:
+        """Enter the network through the source's outbound switch."""
+        th.t_net_enter = self.engine.now
+        if self._measuring:
+            self._remote_msgs += 1
+            if self._net_rate is not None:
+                self._net_rate.add(self.engine.now)
+        self.outbound[th.node].arrive(th, self._forward_hop)
+
+    def _release_credit(self, node: int) -> None:
+        """A remote round trip finished: admit a waiting injection, if any."""
+        if self.max_outstanding is None:
+            return
+        if self._inject_q[node]:
+            self._inject(self._inject_q[node].popleft())
+        else:
+            self._credits[node] += 1
+
+    def _route(self, src: int, dst: int) -> tuple[int, ...]:
+        key = (src, dst)
+        r = self._routes.get(key)
+        if r is None:
+            r = route_nodes(self.torus, src, dst)
+            self._routes[key] = r
+        return r
+
+    def _mem_arrive(self, node: int, th: _Thread, cb, local: bool) -> None:
+        if self.local_priority:
+            self.mems[node].arrive(th, cb, priority=0 if local else 1)
+        else:
+            self.mems[node].arrive(th, cb)
+
+    def _enter_inbound(self, th: _Thread, node: int, on_done, sender) -> object:
+        """Hand a message to an inbound switch, blocking the sender when the
+        switch buffer is full (finite-capacity mode only)."""
+        target = self.inbound[node]
+        if self.switch_capacity is not None and not target.has_space():
+            target.notify_space(sender.retry_held)
+            return False
+        target.arrive(th, on_done)
+        return None
+
+    def _forward_hop(self, th: _Thread, leg: int = 0) -> object:
+        """Traverse the inbound switches of the request path ``node -> dst``."""
+        path = self._route(th.node, th.dst)
+        if leg == len(path):
+            # Exited the network at the destination's inbound switch.
+            self._record_net(th)
+            th.t_mem_enter = self.engine.now
+            self._mem_arrive(th.dst, th, self._remote_mem_done, local=False)
+            return None
+        nxt = path[leg]
+        sender = self.outbound[th.node] if leg == 0 else self.inbound[path[leg - 1]]
+        return self._enter_inbound(
+            th, nxt, lambda t: self._forward_hop(t, leg + 1), sender
+        )
+
+    def _record_net(self, th: _Thread) -> None:
+        if self._measuring:
+            dt = self.engine.now - th.t_net_enter
+            self._s_obs.add(dt)
+            if self._s_batches is not None:
+                self._s_batches.add(self.engine.now, dt)
+
+    def _local_done(self, th: _Thread) -> None:
+        if self._measuring:
+            self._l_local.add(self.engine.now - th.t_mem_enter)
+        self.procs[th.node].arrive(th, self._issue_access)
+
+    def _remote_mem_done(self, th: _Thread) -> None:
+        if self._measuring:
+            self._l_remote.add(self.engine.now - th.t_mem_enter)
+        th.t_net_enter = self.engine.now
+        self.outbound[th.dst].arrive(th, self._return_hop)
+
+    def _return_hop(self, th: _Thread, leg: int = 0) -> object:
+        """Traverse the inbound switches of the response path ``dst -> node``."""
+        path = self._route(th.dst, th.node)
+        if leg == len(path):
+            self._record_net(th)
+            self._release_credit(th.node)
+            self.procs[th.node].arrive(th, self._issue_access)
+            return None
+        nxt = path[leg]
+        sender = self.outbound[th.dst] if leg == 0 else self.inbound[path[leg - 1]]
+        return self._enter_inbound(
+            th, nxt, lambda t: self._return_hop(t, leg + 1), sender
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self, duration: float = 100_000.0, warmup: float | None = None) -> SimResult:
+        """Simulate ``warmup + duration`` time units; measure the last
+        ``duration`` (warm-up defaults to 10% of the horizon, min 1000)."""
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if warmup is None:
+            warmup = max(0.1 * duration, 1000.0)
+        self._boot()
+        self.engine.run_until(warmup)
+        # Arm measurement and reset station accounting at the warm-up mark.
+        t0 = self.engine.now
+        t_end = warmup + duration
+        self._measuring = True
+        self._s_batches = BatchMeans(t0, t_end)
+        self._net_rate = RateBatches(t0, t_end)
+        for st in (*self.procs, *self.mems, *self.inbound, *self.outbound):
+            st.reset_accounting(t0)
+        self.engine.run_until(t_end)
+        if self.switch_capacity is not None and self.engine.pending == 0:
+            held = any(
+                getattr(st, "_held", None)
+                for st in (*self.inbound, *self.outbound)
+            )
+            if held:
+                raise RuntimeError(
+                    "network deadlocked: a cycle of full switch buffers "
+                    f"(capacity={self.switch_capacity}) blocked all traffic; "
+                    "raise switch_capacity or lower num_threads"
+                )
+        return self._collect(t0, t_end)
+
+    def _collect(self, t0: float, t_end: float) -> SimResult:
+        arch, wl = self.params.arch, self.params.workload
+        p = self.torus.num_nodes
+        span = t_end - t0
+
+        busy = [proc.busy_time_until(t_end) / span for proc in self.procs]
+        r_eff = wl.runlength + arch.context_switch
+        useful = wl.runlength / r_eff if r_eff > 0 else 1.0
+        u_vals = [b * useful for b in busy]
+        u_mean = float(np.mean(u_vals))
+        u_hw = (
+            1.96 * float(np.std(u_vals, ddof=1)) / np.sqrt(p) if p > 1 else float("inf")
+        )
+
+        def util(stations: list) -> float:
+            vals = []
+            for s in stations:
+                if isinstance(s, FCFSServer):
+                    vals.append(s.utilization_until(t_end, span))
+                else:  # pipelined: issue-slot occupancy
+                    vals.append(s.busy_time_until(t_end) / span)
+            return float(np.mean(vals))
+
+        lam_net = (self._net_rate.rate / p) if self._net_rate else 0.0
+        lam_hw = (self._net_rate.halfwidth() / p) if self._net_rate else 0.0
+
+        n_local = self._l_local.count
+        n_remote = self._l_remote.count
+        n_mem = n_local + n_remote
+        l_obs = (
+            (self._l_local.mean * n_local + self._l_remote.mean * n_remote) / n_mem
+            if n_mem
+            else 0.0
+        )
+        access_rate = self._cycles / span / p
+
+        return SimResult(
+            params=self.params,
+            duration=span,
+            processor_utilization=u_mean,
+            processor_utilization_hw=u_hw,
+            access_rate=access_rate,
+            lambda_net=lam_net,
+            lambda_net_hw=lam_hw,
+            s_obs=self._s_obs.mean if self._s_obs.count else 0.0,
+            s_obs_hw=self._s_batches.halfwidth() if self._s_batches else float("inf"),
+            l_obs=l_obs,
+            l_obs_local=self._l_local.mean if n_local else 0.0,
+            l_obs_remote=self._l_remote.mean if n_remote else 0.0,
+            memory_utilization=util(self.mems),
+            inbound_utilization=util(self.inbound),
+            outbound_utilization=util(self.outbound),
+            remote_messages=self._remote_msgs,
+            cycles=self._cycles,
+        )
+
+
+def simulate(
+    params: MMSParams,
+    duration: float = 100_000.0,
+    seed: int = 0,
+    warmup: float | None = None,
+    **dists: str,
+) -> SimResult:
+    """One-shot convenience wrapper around :class:`MMSSimulation`."""
+    return MMSSimulation(params, seed=seed, **dists).run(duration, warmup)

@@ -1,0 +1,339 @@
+"""Service stations for the discrete-event simulator.
+
+:class:`FCFSServer` matches the analytical model's stations (single FCFS
+server) and additionally supports the architectural variants the paper
+discusses but does not model:
+
+* **multiple servers** (``servers=m``) -- the Section-7 suggestion of
+  multiported memory;
+* **priority classes** (:class:`PriorityFCFSServer`) -- the Section-7 remark
+  that EM-4 prioritizes local memory requests;
+* **finite capacity with blocking** (``capacity=c``) -- footnote 3's
+  limited-buffer switches: when the station is full, an upstream server that
+  completes a job *holds* it (stays occupied) until space frees, via the
+  ``on_done``-returns-``False`` protocol below;
+* **pipelining** (:class:`PipelinedServer`) -- the paper's assumption 2
+  discussion: a pipelined switch accepts a new message every initiation
+  interval while each message still takes the full latency to transit.
+
+Blocking protocol: an ``on_done`` callback may return ``False`` to signal
+"the next stage refused the job".  The server then keeps the job in a held
+slot (the server stays occupied) until :meth:`FCFSServer.retry_held` is
+called -- typically from a space-notification callback registered with
+:meth:`FCFSServer.notify_space` on the downstream station.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from .engine import Engine
+
+__all__ = ["FCFSServer", "PriorityFCFSServer", "PipelinedServer"]
+
+Callback = Callable[[Any], Any]
+
+
+class FCFSServer:
+    """FCFS station with ``servers`` identical servers and optional capacity.
+
+    ``capacity`` counts every job present (waiting, in service, or held);
+    ``None`` means unbounded.  Busy time is accumulated in *server-time*
+    units, so ``utilization = busy_time / (servers * span)``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        mean_service: float,
+        dist: str = "exponential",
+        name: str = "",
+        overhead: float = 0.0,
+        servers: int = 1,
+        capacity: int | None = None,
+    ):
+        if servers < 1:
+            raise ValueError(f"need >= 1 server, got {servers}")
+        if capacity is not None and capacity < servers:
+            raise ValueError(
+                f"capacity ({capacity}) must cover the servers ({servers})"
+            )
+        self.engine = engine
+        self.mean_service = mean_service
+        self.dist = dist
+        self.name = name
+        #: deterministic time added to every service (context-switch ``C``)
+        self.overhead = overhead
+        self.servers = servers
+        self.capacity = capacity
+
+        self._queue: deque[tuple[Any, Callback, float]] = deque()
+        self._in_service = 0
+        self._held: list[tuple[Any, Callback]] = []
+        self._space_waiters: deque[Callable[[], None]] = deque()
+
+        # busy-time integral (server-time units)
+        self._active_since = 0.0
+        self.busy_time = 0.0
+        self.blocked_time = 0.0
+        self._blocked_since: dict[int, float] = {}
+        self.completions = 0
+        self.arrivals = 0
+
+    # --------------------------------------------------------------- occupancy
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (excluding in-service and held jobs)."""
+        return len(self._queue)
+
+    @property
+    def jobs_present(self) -> int:
+        """All jobs at the station: waiting + in service + held."""
+        return len(self._queue) + self._in_service + len(self._held)
+
+    @property
+    def busy(self) -> bool:
+        """At least one server occupied (serving or holding)."""
+        return self._in_service + len(self._held) > 0
+
+    def has_space(self) -> bool:
+        """Whether an arrival would be admitted."""
+        return self.capacity is None or self.jobs_present < self.capacity
+
+    def notify_space(self, callback: Callable[[], None]) -> None:
+        """Call ``callback`` (once) the next time a job departs."""
+        self._space_waiters.append(callback)
+
+    # ------------------------------------------------------------- accounting
+    def _occupied(self) -> int:
+        return self._in_service + len(self._held)
+
+    def _account(self) -> None:
+        """Integrate server-time up to now (call before occupancy changes)."""
+        now = self.engine.now
+        self.busy_time += self._occupied() * (now - self._active_since)
+        self._active_since = now
+
+    # ------------------------------------------------------------------ flow
+    def arrive(self, job: Any, on_done: Callback, mean: float | None = None) -> None:
+        """Enqueue ``job``; ``on_done(job)`` fires at service completion.
+
+        Raises if the station is at capacity -- callers model blocking by
+        checking :meth:`has_space` first (see the module docstring).
+        """
+        if not self.has_space():
+            raise RuntimeError(
+                f"station {self.name!r} is full "
+                f"({self.jobs_present}/{self.capacity})"
+            )
+        self.arrivals += 1
+        m = self.mean_service if mean is None else mean
+        if self._occupied() < self.servers:
+            self._start(job, on_done, m)
+        else:
+            self._queue.append((job, on_done, m))
+
+    def _start(self, job: Any, on_done: Callback, mean: float) -> None:
+        self._account()
+        self._in_service += 1
+        service = self.overhead + self.engine.draw_service(mean, self.dist)
+        self.engine.schedule(service, self._complete, job, on_done)
+
+    def _complete(self, job: Any, on_done: Callback) -> None:
+        self._account()
+        self._in_service -= 1
+        self.completions += 1
+        self._forward(job, on_done)
+
+    def _forward(self, job: Any, on_done: Callback) -> None:
+        """Hand the job downstream; hold the server if refused."""
+        if on_done(job) is False:
+            self._account()
+            self._held.append((job, on_done))
+            self._blocked_since[id(job)] = self.engine.now
+            return
+        self._departed()
+
+    def _departed(self) -> None:
+        """A job left the station: free a slot, start next, wake a waiter."""
+        if self._queue and self._occupied() < self.servers:
+            nxt_job, nxt_done, nxt_mean = self._queue.popleft()
+            self._start(nxt_job, nxt_done, nxt_mean)
+        if self._space_waiters:
+            self._space_waiters.popleft()()
+
+    def retry_held(self) -> None:
+        """Re-attempt every held forward (called when downstream space frees)."""
+        if not self._held:
+            return
+        self._account()
+        held, self._held = self._held, []
+        for job, on_done in held:
+            t0 = self._blocked_since.pop(id(job), None)
+            if on_done(job) is False:
+                self._account()
+                self._held.append((job, on_done))
+                self._blocked_since[id(job)] = (
+                    t0 if t0 is not None else self.engine.now
+                )
+            else:
+                if t0 is not None:
+                    self.blocked_time += self.engine.now - t0
+                self._departed()
+
+    # ------------------------------------------------------------- reporting
+    def busy_time_until(self, now: float) -> float:
+        """Server-time accumulated through ``now`` (in-progress included)."""
+        return self.busy_time + self._occupied() * (now - self._active_since)
+
+    def utilization_until(self, now: float, span: float) -> float:
+        """Mean fraction of servers occupied over the last ``span``."""
+        return self.busy_time_until(now) / (self.servers * span)
+
+    def reset_accounting(self, now: float) -> None:
+        """Zero the busy-time/completion counters (end of warm-up)."""
+        self.busy_time = 0.0
+        self.blocked_time = 0.0
+        self.completions = 0
+        self.arrivals = 0
+        self._active_since = max(self._active_since, now)
+        for k in self._blocked_since:
+            self._blocked_since[k] = max(self._blocked_since[k], now)
+
+
+class PriorityFCFSServer(FCFSServer):
+    """Non-preemptive head-of-line priorities (0 = highest).
+
+    Models the paper's Section-7 note that EM-4 prioritizes local memory
+    requests over remote ones: pass ``priority=0`` for local accesses and
+    ``priority=1`` for remote ones.
+    """
+
+    def __init__(self, *args: Any, levels: int = 2, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        if levels < 1:
+            raise ValueError(f"need >= 1 priority level, got {levels}")
+        self.levels = levels
+        self._pqueues: list[deque[tuple[Any, Callback, float]]] = [
+            deque() for _ in range(levels)
+        ]
+
+    @property
+    def queue_length(self) -> int:
+        return sum(len(q) for q in self._pqueues)
+
+    @property
+    def jobs_present(self) -> int:
+        return self.queue_length + self._in_service + len(self._held)
+
+    def arrive(
+        self,
+        job: Any,
+        on_done: Callback,
+        mean: float | None = None,
+        priority: int = 0,
+    ) -> None:
+        if not 0 <= priority < self.levels:
+            raise ValueError(f"priority {priority} outside [0, {self.levels})")
+        if not self.has_space():
+            raise RuntimeError(f"station {self.name!r} is full")
+        self.arrivals += 1
+        m = self.mean_service if mean is None else mean
+        if self._occupied() < self.servers:
+            self._start(job, on_done, m)
+        else:
+            self._pqueues[priority].append((job, on_done, m))
+
+    def _departed(self) -> None:
+        if self._occupied() < self.servers:
+            for q in self._pqueues:
+                if q:
+                    nxt_job, nxt_done, nxt_mean = q.popleft()
+                    self._start(nxt_job, nxt_done, nxt_mean)
+                    break
+        if self._space_waiters:
+            self._space_waiters.popleft()()
+
+
+class PipelinedServer:
+    """A pipelined station: new job every ``issue_interval``, each job in
+    transit for ``latency``.
+
+    The issue slot is the only contended resource; transit is a pure delay.
+    At ``issue_interval == latency`` this degenerates to the non-pipelined
+    :class:`FCFSServer` behaviour (for deterministic service).  The paper
+    argues (citing [9]) that near network saturation pipelined and
+    non-pipelined switches perform alike -- `bench_ext_pipelined_switches`
+    checks exactly that.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency: float,
+        issue_interval: float,
+        dist: str = "exponential",
+        name: str = "",
+    ):
+        if latency < 0 or issue_interval < 0:
+            raise ValueError("latency and issue interval must be >= 0")
+        if issue_interval > latency:
+            raise ValueError("issue interval cannot exceed the latency")
+        self.engine = engine
+        self.latency = latency
+        self.issue_interval = issue_interval
+        self.dist = dist
+        self.name = name
+        self._queue: deque[tuple[Any, Callback]] = deque()
+        self._slot_busy = False
+        self._slot_since = 0.0
+        self.busy_time = 0.0
+        self.completions = 0
+        self.arrivals = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._slot_busy
+
+    def arrive(self, job: Any, on_done: Callback) -> None:
+        self.arrivals += 1
+        if self._slot_busy:
+            self._queue.append((job, on_done))
+        else:
+            self._issue(job, on_done)
+
+    def _issue(self, job: Any, on_done: Callback) -> None:
+        self._slot_busy = True
+        self._slot_since = self.engine.now
+        transit = self.engine.draw_service(self.latency, self.dist)
+        transit = max(transit, self.issue_interval)
+        self.engine.schedule(self.issue_interval, self._release_slot)
+        self.engine.schedule(transit, self._deliver, job, on_done)
+
+    def _release_slot(self) -> None:
+        self.busy_time += self.engine.now - self._slot_since
+        if self._queue:
+            job, on_done = self._queue.popleft()
+            self._issue(job, on_done)
+        else:
+            self._slot_busy = False
+
+    def _deliver(self, job: Any, on_done: Callback) -> None:
+        self.completions += 1
+        on_done(job)
+
+    def busy_time_until(self, now: float) -> float:
+        extra = (now - self._slot_since) if self._slot_busy else 0.0
+        return self.busy_time + extra
+
+    def reset_accounting(self, now: float) -> None:
+        self.busy_time = 0.0
+        self.completions = 0
+        self.arrivals = 0
+        if self._slot_busy:
+            self._slot_since = max(self._slot_since, now)

@@ -1,0 +1,154 @@
+"""Output analysis for the simulator: streaming moments and batch means.
+
+The paper's validation (Section 8) runs the Petri-net simulation for 100,000
+time units and compares steady-state measures; we add standard machinery the
+paper leaves implicit: warm-up truncation and batch-means confidence
+intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Welford", "BatchMeans", "ci_halfwidth"]
+
+#: two-sided 95% normal quantile (batch counts are ~20+, normal is fine)
+Z95 = 1.959963984540054
+
+
+class Welford:
+    """Streaming mean/variance accumulator (numerically stable)."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 with fewer than two observations)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Welford") -> None:
+        """Pool another accumulator into this one (parallel Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / n
+        self.mean += delta * other.count / n
+        self.count = n
+
+
+@dataclass
+class BatchMeans:
+    """Fixed-count batch means over a simulation horizon.
+
+    Observations are assigned to batches by *time stamp*; the per-batch means
+    are treated as approximately independent for the confidence interval.
+    """
+
+    t_start: float
+    t_end: float
+    num_batches: int = 20
+    _sums: list[float] = field(default_factory=list)
+    _counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("need t_end > t_start")
+        if self.num_batches < 2:
+            raise ValueError("need >= 2 batches")
+        self._sums = [0.0] * self.num_batches
+        self._counts = [0] * self.num_batches
+
+    def add(self, t: float, x: float) -> None:
+        """Record observation ``x`` made at time ``t`` (ignored outside the
+        horizon)."""
+        if not self.t_start <= t < self.t_end:
+            return
+        width = (self.t_end - self.t_start) / self.num_batches
+        b = min(int((t - self.t_start) / width), self.num_batches - 1)
+        self._sums[b] += x
+        self._counts[b] += 1
+
+    def batch_values(self) -> list[float]:
+        """Per-batch means (only batches that received observations)."""
+        return [s / c for s, c in zip(self._sums, self._counts) if c > 0]
+
+    @property
+    def mean(self) -> float:
+        total = sum(self._sums)
+        count = sum(self._counts)
+        return total / count if count else float("nan")
+
+    def halfwidth(self) -> float:
+        """95% CI half-width of the mean from the batch means."""
+        return ci_halfwidth(self.batch_values())
+
+
+def ci_halfwidth(values: list[float]) -> float:
+    """95% normal-approximation CI half-width of the mean of ``values``."""
+    n = len(values)
+    if n < 2:
+        return float("inf")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Z95 * math.sqrt(var / n)
+
+
+@dataclass
+class RateBatches:
+    """Batch-means estimator for an *event rate* (events per time unit).
+
+    Each batch's rate is its event count over the batch width; the CI treats
+    per-batch rates as approximately independent.
+    """
+
+    t_start: float
+    t_end: float
+    num_batches: int = 20
+    _counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("need t_end > t_start")
+        if self.num_batches < 2:
+            raise ValueError("need >= 2 batches")
+        self._counts = [0] * self.num_batches
+
+    def add(self, t: float) -> None:
+        """Record one event at time ``t`` (ignored outside the horizon)."""
+        if not self.t_start <= t < self.t_end:
+            return
+        width = (self.t_end - self.t_start) / self.num_batches
+        b = min(int((t - self.t_start) / width), self.num_batches - 1)
+        self._counts[b] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def rate(self) -> float:
+        return self.total / (self.t_end - self.t_start)
+
+    def halfwidth(self) -> float:
+        width = (self.t_end - self.t_start) / self.num_batches
+        return ci_halfwidth([c / width for c in self._counts])

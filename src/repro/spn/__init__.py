@@ -1,0 +1,16 @@
+"""Stochastic timed Petri net substrate (the paper's validation formalism)."""
+
+from .mms_net import MMSNetReport, build_mms_net, mms_invariants, simulate_spn
+from .petri import PetriNet, SPNResult, SPNSimulator, Transition, TransitionKind
+
+__all__ = [
+    "PetriNet",
+    "Transition",
+    "TransitionKind",
+    "SPNSimulator",
+    "SPNResult",
+    "build_mms_net",
+    "mms_invariants",
+    "simulate_spn",
+    "MMSNetReport",
+]

@@ -1,0 +1,291 @@
+"""The MMS expressed as a generalized stochastic Petri net.
+
+This mirrors the paper's Section-8 validation model: tokens are threads (and,
+while remote, messages); each subsystem is a single-server resource place;
+service completions are exponential timed transitions; dispatch and routing
+decisions are immediate transitions with probability weights.
+
+Structure per processing element ``i``:
+
+* ``ready_i`` (initially ``n_t`` tokens) --[disp_i]--> ``exec_i`` while
+  holding ``procfree_i``; ``run_i`` (Exp ``R``) releases the processor and
+  drops the token into ``issued_i``.
+* ``golocal_i`` / ``goremote_i_j`` immediates split ``issued_i`` by
+  ``1 - p_remote`` / ``p_remote * q_ij`` into memory or network flows.
+* A remote flow ``(i, j)`` walks queue/service place pairs through: outbound
+  switch at ``i``, the inbound switches on the routed path to ``j``, memory
+  ``j``, outbound at ``j``, the inbound switches back, then returns the token
+  to ``ready_i``.
+
+Because tokens are anonymous, per-message latencies are recovered with
+Little's law from time-averaged token counts (see :class:`MMSNetReport`),
+which is exactly how mean ``S_obs``/``L_obs`` are defined in the analytical
+model.  Context-switch overhead ``C`` is not representable as a purely
+exponential transition, so the builder requires ``C == 0`` (the paper's
+setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import MMSParams
+from ..topology import route_nodes
+from ..workload import pattern_for
+from .petri import PetriNet, SPNResult, SPNSimulator, TransitionKind
+
+__all__ = ["build_mms_net", "MMSNetReport", "simulate_spn"]
+
+#: remote-destination probabilities below this are dropped from the net
+#: (they would add places that are practically never visited)
+PROB_EPS = 1e-12
+
+
+def build_mms_net(params: MMSParams) -> PetriNet:
+    """Construct the GSPN for ``params`` (requires ``context_switch == 0``)."""
+    arch, wl = params.arch, params.workload
+    if arch.context_switch != 0:
+        raise ValueError(
+            "the SPN formulation models the paper's C == 0 setting; "
+            "use repro.simulation for nonzero context-switch overhead"
+        )
+    torus = arch.torus
+    p = torus.num_nodes
+    net = PetriNet()
+
+    ready = [net.add_place(f"ready_{i}", wl.num_threads) for i in range(p)]
+    execp = [net.add_place(f"exec_{i}") for i in range(p)]
+    issued = [net.add_place(f"issued_{i}") for i in range(p)]
+    procfree = [net.add_place(f"procfree_{i}", 1) for i in range(p)]
+    outfree = [net.add_place(f"outfree_{i}", 1) for i in range(p)]
+    infree = [net.add_place(f"infree_{i}", 1) for i in range(p)]
+    memfree = [net.add_place(f"memfree_{i}", 1) for i in range(p)]
+
+    for i in range(p):
+        net.add_transition(
+            f"disp_{i}",
+            TransitionKind.IMMEDIATE,
+            inputs=[(ready[i], 1), (procfree[i], 1)],
+            outputs=[(execp[i], 1)],
+        )
+        net.add_transition(
+            f"run_{i}",
+            TransitionKind.EXPONENTIAL,
+            inputs=[(execp[i], 1)],
+            outputs=[(procfree[i], 1), (issued[i], 1)],
+            param=wl.runlength,
+        )
+
+    def add_station_leg(
+        flow: str, leg: int, queue_from: int, server: int, mean: float, dest: int
+    ) -> int:
+        """Queue + service pair: ``queue_from`` -> (hold server) -> ``dest``."""
+        sv = net.add_place(f"s{flow}_{leg}")
+        net.add_transition(
+            f"start{flow}_{leg}",
+            TransitionKind.IMMEDIATE,
+            inputs=[(queue_from, 1), (server, 1)],
+            outputs=[(sv, 1)],
+        )
+        net.add_transition(
+            f"end{flow}_{leg}",
+            TransitionKind.EXPONENTIAL,
+            inputs=[(sv, 1)],
+            outputs=[(server, 1), (dest, 1)],
+            param=mean,
+        )
+        return sv
+
+    # ---------------------------------------------------------- local flows
+    for i in range(p):
+        qmem = net.add_place(f"qmem_{i}_{i}")
+        weight = 1.0 - wl.p_remote if p > 1 and wl.p_remote > 0 else 1.0
+        net.add_transition(
+            f"golocal_{i}",
+            TransitionKind.IMMEDIATE,
+            inputs=[(issued[i], 1)],
+            outputs=[(qmem, 1)],
+            param=max(weight, PROB_EPS),
+        )
+        add_station_leg(
+            f"mem_{i}_{i}", 0, qmem, memfree[i], arch.memory_latency, ready[i]
+        )
+
+    # --------------------------------------------------------- remote flows
+    if p > 1 and wl.p_remote > 0:
+        q = pattern_for(wl).module_probability_matrix(torus)
+        for i in range(p):
+            for j in range(p):
+                if i == j or q[i, j] <= PROB_EPS:
+                    continue
+                flow = f"net_{i}_{j}"
+                # Stations on the round trip, in visit order.
+                stations: list[tuple[int, float]] = [(outfree[i], arch.switch_delay)]
+                stations += [
+                    (infree[n], arch.switch_delay) for n in route_nodes(torus, i, j)
+                ]
+                first_q = net.add_place(f"q{flow}_0")
+                net.add_transition(
+                    f"goremote_{i}_{j}",
+                    TransitionKind.IMMEDIATE,
+                    inputs=[(issued[i], 1)],
+                    outputs=[(first_q, 1)],
+                    param=wl.p_remote * q[i, j],
+                )
+                # request path through the network
+                cur = first_q
+                leg = 0
+                for server, mean in stations:
+                    nxt = net.add_place(f"q{flow}_{leg + 1}")
+                    add_station_leg(flow, leg, cur, server, mean, nxt)
+                    cur, leg = nxt, leg + 1
+                # memory at j (rename the pending queue place is not possible,
+                # so `cur` doubles as the memory queue -- it is a network exit)
+                qmem = net.add_place(f"qmem_{i}_{j}")
+                net.add_transition(
+                    f"tomem_{i}_{j}",
+                    TransitionKind.IMMEDIATE,
+                    inputs=[(cur, 1)],
+                    outputs=[(qmem, 1)],
+                )
+                add_station_leg(
+                    f"mem_{i}_{j}", 0, qmem, memfree[j], arch.memory_latency, issued_j := net.add_place(f"qret{flow}_0")
+                )
+                # response path: outbound at j, inbound back to i
+                ret_stations: list[tuple[int, float]] = [
+                    (outfree[j], arch.switch_delay)
+                ]
+                ret_stations += [
+                    (infree[n], arch.switch_delay) for n in route_nodes(torus, j, i)
+                ]
+                cur = issued_j
+                for server, mean in ret_stations:
+                    last = leg + 1 == len(stations) + len(ret_stations)
+                    if last:
+                        add_station_leg(flow, leg, cur, server, mean, ready[i])
+                    else:
+                        nxt = net.add_place(f"q{flow}_{leg + 1}")
+                        add_station_leg(flow, leg, cur, server, mean, nxt)
+                        cur = nxt
+                    leg += 1
+    return net
+
+
+def mms_invariants(net: PetriNet, params: MMSParams) -> dict[str, np.ndarray]:
+    """Structural conservation laws of the MMS net, as P-invariant weights.
+
+    * ``threads_<i>``: node ``i``'s ``n_t`` threads circulate through
+      ``ready/exec/issued`` and every flow place sourced at ``i`` -- the
+      paper's assumption that threads are neither created nor destroyed;
+    * ``proc_server_<i>``: ``procfree_i + exec_i == 1``;
+    * ``mem_server_<j>``: ``memfree_j`` plus every in-service memory place
+      at ``j`` equals 1.
+
+    Verifying these with :meth:`PetriNet.is_p_invariant` proves the builder
+    wired the net correctly, independent of any simulation.
+    """
+    p = params.arch.num_processors
+    names = net.place_names
+    out: dict[str, np.ndarray] = {}
+    for i in range(p):
+        # thread-of-node-i places: ready/exec/issued + all (i, *) flows
+        w = np.zeros(net.num_places)
+        prefixes = (
+            f"ready_{i}",
+            f"exec_{i}",
+            f"issued_{i}",
+            f"qmem_{i}_",
+            f"smem_{i}_",
+            f"qnet_{i}_",
+            f"snet_{i}_",
+            f"qretnet_{i}_",
+        )
+        for pi, name in enumerate(names):
+            if name.startswith(prefixes):
+                w[pi] = 1.0
+        out[f"threads_{i}"] = w
+
+        w_proc = np.zeros(net.num_places)
+        w_proc[net.place(f"procfree_{i}")] = 1.0
+        w_proc[net.place(f"exec_{i}")] = 1.0
+        out[f"proc_server_{i}"] = w_proc
+
+        w_mem = np.zeros(net.num_places)
+        w_mem[net.place(f"memfree_{i}")] = 1.0
+        for pi, name in enumerate(names):
+            if name.startswith("smem_") and name.endswith(f"_{i}_0"):
+                w_mem[pi] = 1.0
+        out[f"mem_server_{i}"] = w_mem
+    return out
+
+
+@dataclass(frozen=True)
+class MMSNetReport:
+    """MMS measures extracted from an :class:`SPNResult` via Little's law."""
+
+    params: MMSParams
+    processor_utilization: float
+    access_rate: float
+    lambda_net: float
+    s_obs: float
+    l_obs: float
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "U_p": self.processor_utilization,
+            "lambda_net": self.lambda_net,
+            "S_obs": self.s_obs,
+            "L_obs": self.l_obs,
+            "access_rate": self.access_rate,
+        }
+
+
+def interpret(params: MMSParams, result: SPNResult) -> MMSNetReport:
+    """Map time-averaged markings and firing rates to MMS measures.
+
+    * ``U_p``: mean tokens across ``exec_*`` places (per PE).
+    * ``lambda_i``: firing rate of ``run_*`` per PE.
+    * ``lambda_net``: firing rate of ``goremote_*`` per PE.
+    * ``S_obs``: network tokens / one-way-trip rate (Little's law; the
+      network holds ``q/snet`` and ``qret`` places).
+    * ``L_obs``: memory tokens / access rate (Little's law over ``qmem`` and
+      ``smem`` places).
+    """
+    p = params.arch.num_processors
+    u_p = result.mean_sum("exec_") / p
+    access = result.rate_sum("run_") / p
+    lam_net = result.rate_sum("goremote_") / p
+
+    net_tokens = (
+        result.mean_sum("qnet_") + result.mean_sum("snet_") + result.mean_sum("qretnet_")
+    )
+    trips = 2.0 * lam_net * p  # one-way trips per time unit, both directions
+    s_obs = net_tokens / trips if trips > 0 else 0.0
+
+    mem_tokens = result.mean_sum("qmem_") + result.mean_sum("smem_")
+    accesses = access * p
+    l_obs = mem_tokens / accesses if accesses > 0 else 0.0
+    return MMSNetReport(
+        params=params,
+        processor_utilization=u_p,
+        access_rate=access,
+        lambda_net=lam_net,
+        s_obs=s_obs,
+        l_obs=l_obs,
+    )
+
+
+def simulate_spn(
+    params: MMSParams,
+    duration: float = 50_000.0,
+    warmup: float | None = None,
+    seed: int = 0,
+) -> MMSNetReport:
+    """Build, simulate and interpret the MMS Petri net in one call."""
+    if warmup is None:
+        warmup = max(0.1 * duration, 1000.0)
+    net = build_mms_net(params)
+    sim = SPNSimulator(net, seed=seed)
+    return interpret(params, sim.run(duration, warmup=warmup))

@@ -1,0 +1,344 @@
+"""Generalized stochastic timed Petri net (GSPN) simulator.
+
+The paper validates its analytical model by simulating a Stochastic Timed
+Petri Net of the MMS (Section 8).  This module provides the net formalism and
+an event-driven simulator:
+
+* **immediate transitions** -- fire in zero time with priority over timed
+  ones; conflicts are resolved by weighted random choice;
+* **timed transitions** -- fire after an exponential (or deterministic)
+  delay, *single-server* semantics: at most one firing is in progress per
+  transition, and a transition disabled before it fires loses its sampled
+  delay (resampling policy -- statistically irrelevant for exponential
+  delays, documented for deterministic ones);
+* **time-weighted place statistics** and transition firing counts, which is
+  all the MMS validation needs (latencies are recovered through Little's
+  law rather than token tagging).
+
+Enabling checks are incremental: after a firing only the transitions touching
+the changed places are re-examined, so simulation cost scales with the firing
+sequence rather than with net size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["TransitionKind", "Transition", "PetriNet", "SPNResult", "SPNSimulator"]
+
+
+class TransitionKind(Enum):
+    IMMEDIATE = "immediate"
+    EXPONENTIAL = "exponential"
+    DETERMINISTIC = "deterministic"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition with input/output arcs (place index, multiplicity)."""
+
+    name: str
+    kind: TransitionKind
+    inputs: tuple[tuple[int, int], ...]
+    outputs: tuple[tuple[int, int], ...]
+    #: mean delay for timed kinds; conflict weight for immediate
+    param: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.param < 0:
+            raise ValueError(f"transition {self.name!r}: negative parameter")
+        if self.kind is TransitionKind.IMMEDIATE and self.param == 0:
+            raise ValueError(f"immediate transition {self.name!r} needs weight > 0")
+
+
+class PetriNet:
+    """A GSPN under construction: places, transitions, initial marking."""
+
+    def __init__(self) -> None:
+        self._place_names: list[str] = []
+        self._place_index: dict[str, int] = {}
+        self.initial_marking: list[int] = []
+        self.transitions: list[Transition] = []
+        self._transition_names: set[str] = set()
+
+    # ---------------------------------------------------------------- places
+    def add_place(self, name: str, tokens: int = 0) -> int:
+        """Create a place; returns its index."""
+        if name in self._place_index:
+            raise ValueError(f"duplicate place {name!r}")
+        if tokens < 0:
+            raise ValueError(f"place {name!r}: negative initial marking")
+        idx = len(self._place_names)
+        self._place_names.append(name)
+        self._place_index[name] = idx
+        self.initial_marking.append(tokens)
+        return idx
+
+    def place(self, name: str) -> int:
+        """Index of an existing place."""
+        try:
+            return self._place_index[name]
+        except KeyError:
+            raise KeyError(f"no place named {name!r}") from None
+
+    @property
+    def num_places(self) -> int:
+        return len(self._place_names)
+
+    @property
+    def place_names(self) -> tuple[str, ...]:
+        return tuple(self._place_names)
+
+    # -------------------------------------------------------------- analysis
+    def incidence_matrix(self) -> np.ndarray:
+        """``C[p, t] = outputs - inputs``: the net's token-flow matrix."""
+        c = np.zeros((self.num_places, len(self.transitions)), dtype=np.int64)
+        for ti, t in enumerate(self.transitions):
+            for p, m in t.inputs:
+                c[p, ti] -= m
+            for p, m in t.outputs:
+                c[p, ti] += m
+        return c
+
+    def is_p_invariant(self, weights: np.ndarray) -> bool:
+        """Whether ``weights`` is a place invariant (``w^T C == 0``).
+
+        A P-invariant's weighted token count is conserved by *every* firing
+        -- the structural form of conservation laws like "threads are
+        neither created nor destroyed".
+        """
+        w = np.asarray(weights)
+        if w.shape != (self.num_places,):
+            raise ValueError(
+                f"need a weight per place ({self.num_places}), got {w.shape}"
+            )
+        return bool(np.all(w @ self.incidence_matrix() == 0))
+
+    def invariant_value(
+        self, weights: np.ndarray, marking: np.ndarray | None = None
+    ) -> float:
+        """Weighted token count of ``marking`` (default: initial marking)."""
+        m = (
+            np.asarray(self.initial_marking)
+            if marking is None
+            else np.asarray(marking)
+        )
+        return float(np.dot(np.asarray(weights), m))
+
+    # ----------------------------------------------------------- transitions
+    def add_transition(
+        self,
+        name: str,
+        kind: TransitionKind,
+        inputs: list[tuple[int, int]],
+        outputs: list[tuple[int, int]],
+        param: float = 1.0,
+    ) -> int:
+        """Create a transition; arcs are ``(place_index, multiplicity)``."""
+        if name in self._transition_names:
+            raise ValueError(f"duplicate transition {name!r}")
+        for p, mult in [*inputs, *outputs]:
+            if not 0 <= p < self.num_places:
+                raise ValueError(f"transition {name!r}: bad place index {p}")
+            if mult < 1:
+                raise ValueError(f"transition {name!r}: multiplicity must be >= 1")
+        self._transition_names.add(name)
+        self.transitions.append(
+            Transition(name, kind, tuple(inputs), tuple(outputs), param)
+        )
+        return len(self.transitions) - 1
+
+
+@dataclass
+class SPNResult:
+    """Simulation output: time-averaged markings and firing rates."""
+
+    duration: float
+    place_names: tuple[str, ...]
+    mean_tokens: np.ndarray  #: time-weighted mean marking per place
+    firing_counts: np.ndarray  #: firings per transition over the horizon
+    transition_names: tuple[str, ...]
+
+    def mean(self, place_name: str) -> float:
+        return float(self.mean_tokens[self.place_names.index(place_name)])
+
+    def rate(self, transition_name: str) -> float:
+        i = self.transition_names.index(transition_name)
+        return float(self.firing_counts[i] / self.duration)
+
+    def mean_sum(self, prefix: str) -> float:
+        """Sum of mean tokens over all places whose name starts with ``prefix``."""
+        return float(
+            sum(
+                self.mean_tokens[i]
+                for i, n in enumerate(self.place_names)
+                if n.startswith(prefix)
+            )
+        )
+
+    def rate_sum(self, prefix: str) -> float:
+        """Total firing rate over transitions whose name starts with ``prefix``."""
+        total = sum(
+            c
+            for c, n in zip(self.firing_counts, self.transition_names)
+            if n.startswith(prefix)
+        )
+        return float(total / self.duration)
+
+
+class SPNSimulator:
+    """Event-driven GSPN execution with warm-up truncation."""
+
+    def __init__(self, net: PetriNet, seed: int = 0):
+        self.net = net
+        self.rng = np.random.default_rng(seed)
+        self.marking = np.array(net.initial_marking, dtype=np.int64)
+        self.now = 0.0
+
+        # place -> transitions that consume from it (enabling can only change
+        # for transitions with an input arc on a touched place)
+        self._consumers: list[list[int]] = [[] for _ in range(net.num_places)]
+        for ti, t in enumerate(net.transitions):
+            for p, _ in t.inputs:
+                self._consumers[p].append(ti)
+
+        self._is_immediate = np.array(
+            [t.kind is TransitionKind.IMMEDIATE for t in net.transitions]
+        )
+        # currently enabled immediate transitions (maintained incrementally)
+        self._enabled_immediates: set[int] = set()
+        # pending timed firings: lazy cancellation through per-transition epochs
+        self._epoch = np.zeros(len(net.transitions), dtype=np.int64)
+        self._scheduled = np.zeros(len(net.transitions), dtype=bool)
+        self._heap: list[tuple[float, int, int]] = []
+
+        # statistics
+        self._weighted_tokens = np.zeros(net.num_places)
+        self._last_stat_time = 0.0
+        self.firing_counts = np.zeros(len(net.transitions), dtype=np.int64)
+
+    # -------------------------------------------------------------- enabling
+    def _enabled(self, ti: int) -> bool:
+        t = self.net.transitions[ti]
+        return all(self.marking[p] >= m for p, m in t.inputs)
+
+    def _refresh(self, candidates: set[int]) -> None:
+        """Re-evaluate enabling for ``candidates`` (both kinds)."""
+        for ti in candidates:
+            enabled = self._enabled(ti)
+            if self._is_immediate[ti]:
+                if enabled:
+                    self._enabled_immediates.add(ti)
+                else:
+                    self._enabled_immediates.discard(ti)
+            elif enabled:
+                if not self._scheduled[ti]:
+                    t = self.net.transitions[ti]
+                    if t.kind is TransitionKind.EXPONENTIAL:
+                        delay = (
+                            float(self.rng.exponential(t.param)) if t.param > 0 else 0.0
+                        )
+                    else:
+                        delay = t.param
+                    self._epoch[ti] += 1
+                    self._scheduled[ti] = True
+                    heapq.heappush(
+                        self._heap, (self.now + delay, int(self._epoch[ti]), ti)
+                    )
+            elif self._scheduled[ti]:
+                self._scheduled[ti] = False  # resampling policy: drop the draw
+                self._epoch[ti] += 1
+
+    def _fire(self, ti: int) -> set[int]:
+        """Fire ``ti``; returns the transitions whose enabling may have changed."""
+        t = self.net.transitions[ti]
+        self._accumulate()
+        affected: set[int] = set()
+        for p, m in t.inputs:
+            self.marking[p] -= m
+            affected.update(self._consumers[p])
+        for p, m in t.outputs:
+            self.marking[p] += m
+            affected.update(self._consumers[p])
+        self.firing_counts[ti] += 1
+        if np.any(self.marking < 0):  # pragma: no cover - structural guard
+            raise RuntimeError(f"negative marking after firing {t.name!r}")
+        return affected
+
+    def _accumulate(self) -> None:
+        dt = self.now - self._last_stat_time
+        if dt > 0:
+            self._weighted_tokens += self.marking * dt
+            self._last_stat_time = self.now
+
+    # --------------------------------------------------------- immediate net
+    def _fire_immediates(self) -> None:
+        """Fire enabled immediate transitions (weighted random conflict
+        resolution) until none remain enabled."""
+        while self._enabled_immediates:
+            enabled = sorted(self._enabled_immediates)
+            if len(enabled) == 1:
+                choice = enabled[0]
+            else:
+                weights = np.array(
+                    [self.net.transitions[ti].param for ti in enabled],
+                    dtype=np.float64,
+                )
+                choice = enabled[
+                    int(self.rng.choice(len(enabled), p=weights / weights.sum()))
+                ]
+            affected = self._fire(choice)
+            affected.add(choice)
+            self._refresh(affected)
+
+    # ------------------------------------------------------------------- run
+    def run(self, duration: float, warmup: float = 0.0) -> SPNResult:
+        """Simulate ``warmup + duration``; statistics cover the last
+        ``duration`` time units."""
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        self._refresh(set(range(len(self.net.transitions))))
+        self._fire_immediates()
+        t_end = warmup + duration
+        stats_armed = warmup == 0.0
+
+        while self._heap:
+            t_fire, epoch, ti = heapq.heappop(self._heap)
+            if epoch != self._epoch[ti] or not self._scheduled[ti]:
+                continue  # stale entry
+            if t_fire > t_end:
+                heapq.heappush(self._heap, (t_fire, epoch, ti))
+                break
+            if not stats_armed and t_fire >= warmup:
+                # cross the warm-up boundary: reset statistics at `warmup`
+                self.now = warmup
+                self._accumulate()
+                self._weighted_tokens[:] = 0.0
+                self._last_stat_time = warmup
+                self.firing_counts[:] = 0
+                stats_armed = True
+            self.now = t_fire
+            self._scheduled[ti] = False
+            affected = self._fire(ti)
+            affected.add(ti)
+            self._refresh(affected)
+            self._fire_immediates()
+
+        if not stats_armed:
+            self._weighted_tokens[:] = 0.0
+            self._last_stat_time = warmup
+            self.firing_counts[:] = 0
+        self.now = t_end
+        self._accumulate()
+        span = duration
+        return SPNResult(
+            duration=span,
+            place_names=self.net.place_names,
+            mean_tokens=self._weighted_tokens / span,
+            firing_counts=self.firing_counts.copy(),
+            transition_names=tuple(t.name for t in self.net.transitions),
+        )

@@ -1,0 +1,26 @@
+"""Interconnection-network topology substrate: 2-D torus, routing, distances."""
+
+from .distances import (
+    average_distance,
+    geometric_davg_asymptote,
+    geometric_distance_pmf,
+    uniform_distance_pmf,
+)
+from .mesh import Mesh2D
+from .routing import inbound_transit_counts, path_length, route, route_nodes
+from .torus import Torus2D, ring_distance, signed_hop
+
+__all__ = [
+    "Torus2D",
+    "Mesh2D",
+    "ring_distance",
+    "signed_hop",
+    "route",
+    "route_nodes",
+    "path_length",
+    "inbound_transit_counts",
+    "geometric_distance_pmf",
+    "uniform_distance_pmf",
+    "average_distance",
+    "geometric_davg_asymptote",
+]

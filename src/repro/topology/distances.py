@@ -1,0 +1,78 @@
+"""Distance-profile utilities for remote-access pattern analysis.
+
+The paper's key derived quantity is the average remote distance
+
+    d_avg = sum_h  P(h) * h        (h = 1 .. d_max)
+
+for a given distance distribution ``P(h)``.  For the geometric pattern
+``P(h) = p_sw^h / a`` with ``a = sum_h p_sw^h``, the paper quotes
+``d_avg = 1.733`` for ``p_sw = 0.5`` on a 4x4 torus and the asymptote
+``d_avg -> 1/(1 - p_sw)`` for large machines -- both reproduced here
+exactly (see tests/topology/test_distances.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .torus import Torus2D
+
+__all__ = [
+    "geometric_distance_pmf",
+    "uniform_distance_pmf",
+    "average_distance",
+    "geometric_davg_asymptote",
+]
+
+
+def geometric_distance_pmf(torus: Torus2D, p_sw: float) -> np.ndarray:
+    """Probability of a remote access targeting distance ``h``, geometric law.
+
+    ``pmf[h] = p_sw**h / a`` for ``h = 1..d_max`` (``pmf[0] = 0``), where
+    ``a`` normalizes over the distances that actually exist on the torus.
+    A *low* ``p_sw`` means *higher* locality.
+    """
+    if not 0.0 < p_sw <= 1.0:
+        raise ValueError(f"p_sw must be in (0, 1], got {p_sw}")
+    dmax = torus.max_distance
+    if dmax < 1:
+        raise ValueError("torus has no remote nodes (single-node machine)")
+    h = np.arange(dmax + 1, dtype=np.float64)
+    pmf = p_sw**h
+    pmf[0] = 0.0
+    # Distances with no nodes (cannot happen on a torus with dmax>=1, but keep
+    # the guard for degenerate rectangular shapes).
+    pmf[torus.distance_counts == 0] = 0.0
+    total = pmf.sum()
+    if total <= 0.0:
+        raise ValueError("geometric pmf degenerate: no reachable remote distance")
+    return pmf / total
+
+
+def uniform_distance_pmf(torus: Torus2D) -> np.ndarray:
+    """Distance pmf induced by a uniform choice among the ``P - 1`` remote
+    modules: ``pmf[h] = counts[h] / (P - 1)``.
+    """
+    counts = torus.distance_counts.astype(np.float64)
+    counts[0] = 0.0
+    remote = counts.sum()
+    if remote <= 0:
+        raise ValueError("torus has no remote nodes (single-node machine)")
+    return counts / remote
+
+
+def average_distance(pmf: np.ndarray) -> float:
+    """``d_avg`` of a distance pmf (paper's Section 2)."""
+    h = np.arange(len(pmf), dtype=np.float64)
+    return float(np.dot(h, pmf))
+
+
+def geometric_davg_asymptote(p_sw: float) -> float:
+    """Large-machine limit of the geometric ``d_avg``: ``1 / (1 - p_sw)``.
+
+    Derived from ``sum h p^h / sum p^h`` as ``d_max -> inf``; the paper quotes
+    the value 2 for ``p_sw = 0.5`` (Section 7, observation 1).
+    """
+    if not 0.0 < p_sw < 1.0:
+        raise ValueError(f"asymptote defined for 0 < p_sw < 1, got {p_sw}")
+    return 1.0 / (1.0 - p_sw)

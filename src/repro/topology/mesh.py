@@ -1,0 +1,109 @@
+"""2-D mesh topology (no wrap-around links).
+
+The paper's Figure-1 caption says "2-dimensional mesh" while the text
+describes a torus with wrap-around; we implement both so the ambiguity can
+be settled empirically (``bench_ablation_topology``).  A mesh is *not*
+vertex transitive -- corner nodes see different distance profiles than
+center nodes -- so an SPMD workload on a mesh is still an asymmetric model
+and must use the full multi-class solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["Mesh2D"]
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``kx x ky`` mesh: grid links only, no wrap-around."""
+
+    kx: int
+    ky: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.ky == -1:
+            object.__setattr__(self, "ky", self.kx)
+        if self.kx < 1 or self.ky < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {self.kx}x{self.ky}")
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def num_nodes(self) -> int:
+        return self.kx * self.ky
+
+    def coords(self, node: int) -> tuple[int, int]:
+        self._check_node(node)
+        return node % self.kx, node // self.kx
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.kx and 0 <= y < self.ky):
+            raise ValueError(f"({x}, {y}) outside the {self.kx}x{self.ky} mesh")
+        return y * self.kx + x
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    # -------------------------------------------------------------- distances
+    def distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        x = np.arange(self.num_nodes) % self.kx
+        y = np.arange(self.num_nodes) // self.kx
+        dx = np.abs(x[:, None] - x[None, :])
+        dy = np.abs(y[:, None] - y[None, :])
+        return (dx + dy).astype(np.int64)
+
+    @property
+    def max_distance(self) -> int:
+        """Mesh diameter: corner to opposite corner."""
+        return (self.kx - 1) + (self.ky - 1)
+
+    def distance_counts_from(self, src: int) -> np.ndarray:
+        """Distance histogram seen by ``src`` (source dependent on a mesh)."""
+        return np.bincount(
+            self.distance_matrix[src], minlength=self.max_distance + 1
+        )
+
+    def nodes_at_distance(self, src: int, h: int) -> np.ndarray:
+        self._check_node(src)
+        return np.flatnonzero(self.distance_matrix[src] == h)
+
+    # -------------------------------------------------------------- neighbors
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        x, y = self.coords(node)
+        out = []
+        for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if 0 <= nx < self.kx and 0 <= ny < self.ky:
+                out.append(self.node_at(nx, ny))
+        return tuple(out)
+
+    # ---------------------------------------------------------------- routing
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Dimension-ordered (X then Y) route, endpoints included."""
+        self._check_node(src)
+        self._check_node(dst)
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return tuple(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mesh2D({self.kx}x{self.ky}, P={self.num_nodes})"

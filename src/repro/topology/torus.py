@@ -1,0 +1,158 @@
+"""2-D torus topology for the multithreaded multiprocessor system (MMS).
+
+The paper's machine is a ``k x k`` bidirectional 2-D torus (Figure 1): each
+processing element (PE) sits on a switch with wrap-around links in both
+dimensions.  The torus is *vertex transitive* -- every node sees the same
+distance profile -- which is what makes the SPMD symmetry arguments in the
+paper (and our symmetric AMVA fast path) exact.
+
+Nodes are indexed row-major: node ``i`` has coordinates
+``(x, y) = (i % kx, i // kx)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["Torus2D", "signed_hop", "ring_distance"]
+
+
+def ring_distance(a: int, b: int, k: int) -> int:
+    """Minimal hop count between positions ``a`` and ``b`` on a ``k``-ring."""
+    if k <= 0:
+        raise ValueError(f"ring size must be positive, got {k}")
+    d = abs(a - b) % k
+    return min(d, k - d)
+
+
+def signed_hop(a: int, b: int, k: int) -> int:
+    """Signed per-hop step (+1/-1/0) for the minimal path from ``a`` to ``b``.
+
+    Ties (distance exactly ``k/2`` on an even ring) are broken toward the
+    positive direction, which keeps routing deterministic -- the convention
+    used by dimension-ordered torus routers.
+    """
+    if a == b:
+        return 0
+    fwd = (b - a) % k
+    bwd = (a - b) % k
+    return 1 if fwd <= bwd else -1
+
+
+@dataclass(frozen=True)
+class Torus2D:
+    """A ``kx x ky`` bidirectional torus.
+
+    Parameters
+    ----------
+    kx, ky:
+        Nodes per dimension.  The paper always uses a square torus
+        (``kx == ky == k``); rectangular tori are supported for generality.
+    """
+
+    kx: int
+    ky: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.ky == -1:  # square torus shortcut: Torus2D(4) == Torus2D(4, 4)
+            object.__setattr__(self, "ky", self.kx)
+        if self.kx < 1 or self.ky < 1:
+            raise ValueError(f"torus dimensions must be >= 1, got {self.kx}x{self.ky}")
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def num_nodes(self) -> int:
+        """Total number of PEs, ``P = kx * ky``."""
+        return self.kx * self.ky
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Row-major ``(x, y)`` coordinates of ``node``."""
+        self._check_node(node)
+        return node % self.kx, node // self.kx
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node index at coordinates ``(x, y)`` (taken modulo the torus)."""
+        return (y % self.ky) * self.kx + (x % self.kx)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    # -------------------------------------------------------------- distances
+    def distance(self, src: int, dst: int) -> int:
+        """Minimal hop distance ``h`` between two PEs (the paper's ``h``)."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return ring_distance(sx, dx, self.kx) + ring_distance(sy, dy, self.ky)
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        """``(P, P)`` integer matrix of pairwise hop distances."""
+        x = np.arange(self.num_nodes) % self.kx
+        y = np.arange(self.num_nodes) // self.kx
+        dx = np.abs(x[:, None] - x[None, :]) % self.kx
+        dy = np.abs(y[:, None] - y[None, :]) % self.ky
+        dx = np.minimum(dx, self.kx - dx)
+        dy = np.minimum(dy, self.ky - dy)
+        return (dx + dy).astype(np.int64)
+
+    @property
+    def max_distance(self) -> int:
+        """The paper's ``d_max``: the torus diameter ``floor(kx/2)+floor(ky/2)``."""
+        return self.kx // 2 + self.ky // 2
+
+    @cached_property
+    def distance_counts(self) -> np.ndarray:
+        """``counts[h]`` = number of nodes at distance ``h`` from any node.
+
+        Valid for every node because the torus is vertex transitive;
+        ``counts[0] == 1`` (the node itself) and ``counts.sum() == P``.
+        """
+        row = self.distance_matrix[0]
+        return np.bincount(row, minlength=self.max_distance + 1)
+
+    def nodes_at_distance(self, src: int, h: int) -> np.ndarray:
+        """All node indices exactly ``h`` hops from ``src`` (sorted)."""
+        self._check_node(src)
+        return np.flatnonzero(self.distance_matrix[src] == h)
+
+    # -------------------------------------------------------------- neighbors
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """The (up to four) distinct single-hop neighbors of ``node``."""
+        x, y = self.coords(node)
+        cand = (
+            self.node_at(x + 1, y),
+            self.node_at(x - 1, y),
+            self.node_at(x, y + 1),
+            self.node_at(x, y - 1),
+        )
+        out: list[int] = []
+        for c in cand:  # degenerate rings (k<=2) can duplicate neighbors
+            if c != node and c not in out:
+                out.append(c)
+        return tuple(out)
+
+    # --------------------------------------------------------------- symmetry
+    def translate(self, node: int, by: int) -> int:
+        """Image of ``node`` under the torus translation carrying 0 to ``by``.
+
+        Translations are graph automorphisms; they are how a class-0 solution
+        is mapped onto every other class in the symmetric AMVA fast path.
+        """
+        nx, ny = self.coords(node)
+        bx, by_ = self.coords(by)
+        return self.node_at(nx + bx, ny + by_)
+
+    def translation_table(self) -> np.ndarray:
+        """``(P, P)`` table ``T[b, n] = translate(n, b)`` (rows are permutations)."""
+        p = self.num_nodes
+        table = np.empty((p, p), dtype=np.int64)
+        for b in range(p):
+            table[b] = [self.translate(n, b) for n in range(p)]
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Torus2D({self.kx}x{self.ky}, P={self.num_nodes})"

@@ -1,0 +1,59 @@
+"""Program-workload substrate: access patterns, visit ratios, partitioning."""
+
+from .access_patterns import (
+    AccessPattern,
+    EmpiricalPattern,
+    GeometricPattern,
+    HotspotPattern,
+    UniformPattern,
+    make_pattern,
+    pattern_for,
+)
+from .data_layout import (
+    ArrayDistribution,
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    DoAllLoop,
+    LoopPattern,
+    Reference,
+    derive_pattern,
+)
+from .data_layout2d import (
+    FIVE_POINT,
+    NINE_POINT,
+    Block2D,
+    Stencil,
+    derive_stencil_pattern,
+)
+from .partitioning import IsoWorkPartitioning, coalesce, partition_workloads
+from .visit_ratios import VisitRatios, build_visit_ratios, visit_ratios_for
+
+__all__ = [
+    "AccessPattern",
+    "EmpiricalPattern",
+    "GeometricPattern",
+    "HotspotPattern",
+    "UniformPattern",
+    "ArrayDistribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "Reference",
+    "DoAllLoop",
+    "LoopPattern",
+    "derive_pattern",
+    "Block2D",
+    "Stencil",
+    "FIVE_POINT",
+    "NINE_POINT",
+    "derive_stencil_pattern",
+    "make_pattern",
+    "pattern_for",
+    "VisitRatios",
+    "build_visit_ratios",
+    "visit_ratios_for",
+    "IsoWorkPartitioning",
+    "partition_workloads",
+    "coalesce",
+]

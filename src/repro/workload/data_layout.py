@@ -1,0 +1,229 @@
+"""From data distribution + loop structure to an access pattern.
+
+The paper's introduction frames the compiler's problem: "a suitable
+computation decomposition and data distribution" determine the workload
+parameters the tolerance analysis consumes.  This module closes that loop
+for the classic case the paper keeps citing -- iterations of a do-all loop
+over distributed arrays:
+
+1. distribute each array over the ``P`` memory modules
+   (:class:`BlockDistribution`, :class:`CyclicDistribution`,
+   :class:`BlockCyclicDistribution`);
+2. partition the iteration space over the PEs (block partition, the SPMD
+   default);
+3. walk every affine array reference ``A[a * i + b]`` of every local
+   iteration and tally which module owns the element.
+
+The result -- ``p_remote`` and a per-source :class:`EmpiricalPattern` -- plugs
+straight into :class:`repro.core.MMSModel` and the simulator, so "which
+distribution should this loop use?" becomes a solved tolerance query
+(see ``examples/data_distribution.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .access_patterns import EmpiricalPattern
+
+__all__ = [
+    "ArrayDistribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "Reference",
+    "DoAllLoop",
+    "derive_pattern",
+    "LoopPattern",
+]
+
+
+class ArrayDistribution(abc.ABC):
+    """Maps an array element index to the memory module that owns it."""
+
+    def __init__(self, num_elements: int, num_modules: int):
+        if num_elements < 1:
+            raise ValueError(f"need >= 1 element, got {num_elements}")
+        if num_modules < 1:
+            raise ValueError(f"need >= 1 module, got {num_modules}")
+        self.num_elements = num_elements
+        self.num_modules = num_modules
+
+    @abc.abstractmethod
+    def owner(self, index: int) -> int:
+        """Module owning element ``index`` (0-based)."""
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner` (subclasses override for speed)."""
+        return np.array([self.owner(int(i)) for i in indices])
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_elements:
+            raise IndexError(
+                f"element {index} outside array of {self.num_elements}"
+            )
+
+
+class BlockDistribution(ArrayDistribution):
+    """Contiguous blocks: module ``m`` owns elements
+    ``[m*B, (m+1)*B)`` with ``B = ceil(n / P)`` (HPF ``BLOCK``)."""
+
+    @property
+    def block_size(self) -> int:
+        return -(-self.num_elements // self.num_modules)
+
+    def owner(self, index: int) -> int:
+        self._check(index)
+        return index // self.block_size
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        return np.asarray(indices) // self.block_size
+
+
+class CyclicDistribution(ArrayDistribution):
+    """Round-robin elements: module ``index % P`` (HPF ``CYCLIC``)."""
+
+    def owner(self, index: int) -> int:
+        self._check(index)
+        return index % self.num_modules
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        return np.asarray(indices) % self.num_modules
+
+
+class BlockCyclicDistribution(ArrayDistribution):
+    """Round-robin blocks of ``block_size`` (HPF ``CYCLIC(B)``)."""
+
+    def __init__(self, num_elements: int, num_modules: int, block_size: int):
+        super().__init__(num_elements, num_modules)
+        if block_size < 1:
+            raise ValueError(f"block size must be >= 1, got {block_size}")
+        self.block_size = block_size
+
+    def owner(self, index: int) -> int:
+        self._check(index)
+        return (index // self.block_size) % self.num_modules
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        return (np.asarray(indices) // self.block_size) % self.num_modules
+
+
+@dataclass(frozen=True)
+class Reference:
+    """An affine array reference ``A[stride * i + offset]`` in the loop body."""
+
+    stride: int = 1
+    offset: int = 0
+
+    def element(self, iteration: int) -> int:
+        return self.stride * iteration + self.offset
+
+
+@dataclass(frozen=True)
+class DoAllLoop:
+    """``forall i in [0, num_iterations): body referencing A[...]``.
+
+    Iterations are block-partitioned over the PEs (the SPMD owner-computes
+    default): PE ``p`` runs iterations ``[p*ceil(N/P), ...)``.
+    """
+
+    num_iterations: int
+    references: tuple[Reference, ...] = field(default=(Reference(),))
+
+    def __post_init__(self) -> None:
+        if self.num_iterations < 1:
+            raise ValueError("need >= 1 iteration")
+        if not self.references:
+            raise ValueError("need >= 1 array reference")
+
+    def iterations_of(self, pe: int, num_pes: int) -> np.ndarray:
+        """The iteration indices PE ``pe`` executes (block partition)."""
+        chunk = -(-self.num_iterations // num_pes)
+        lo = pe * chunk
+        hi = min(lo + chunk, self.num_iterations)
+        return np.arange(lo, max(lo, hi))
+
+
+@dataclass(frozen=True)
+class LoopPattern:
+    """Derived workload characteristics of a (loop, distribution) pairing."""
+
+    #: fraction of array references that touch a remote module
+    p_remote: float
+    #: per-source remote-access pattern (None when fully local)
+    pattern: EmpiricalPattern | None
+    #: per-PE remote fractions (exposes load imbalance across PEs)
+    per_pe_remote: np.ndarray
+
+    @property
+    def is_local_only(self) -> bool:
+        return self.pattern is None
+
+
+def derive_pattern(
+    loop: DoAllLoop,
+    distribution: ArrayDistribution,
+    num_pes: int,
+) -> LoopPattern:
+    """Compile a loop + data distribution into model inputs.
+
+    Every reference of every iteration is attributed to the PE executing
+    that iteration; elements owned by that PE's module are local, the rest
+    build the empirical remote matrix.  Out-of-range elements (from strides
+    and offsets at the array edge) are clamped out -- they correspond to
+    boundary iterations a real compiler peels.
+    """
+    if num_pes != distribution.num_modules:
+        raise ValueError(
+            f"distribution spans {distribution.num_modules} modules but the "
+            f"machine has {num_pes} PEs"
+        )
+    counts = np.zeros((num_pes, num_pes), dtype=np.float64)
+    for pe in range(num_pes):
+        its = loop.iterations_of(pe, num_pes)
+        if its.size == 0:
+            continue
+        for ref in loop.references:
+            elems = ref.stride * its + ref.offset
+            valid = (elems >= 0) & (elems < distribution.num_elements)
+            if not valid.any():
+                continue
+            owners = distribution.owners(elems[valid])
+            counts[pe] += np.bincount(owners, minlength=num_pes)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("loop makes no in-range array references")
+    local = float(np.trace(counts))
+    p_remote = 1.0 - local / total
+
+    per_pe_total = counts.sum(axis=1)
+    per_pe_local = np.diag(counts)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_pe_remote = np.where(
+            per_pe_total > 0, 1.0 - per_pe_local / per_pe_total, 0.0
+        )
+
+    remote = counts.copy()
+    np.fill_diagonal(remote, 0.0)
+    row_sums = remote.sum(axis=1, keepdims=True)
+    if p_remote == 0.0:
+        return LoopPattern(
+            p_remote=0.0, pattern=None, per_pe_remote=per_pe_remote
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = np.where(row_sums > 0, remote / np.maximum(row_sums, 1e-300), 0.0)
+    # rows with no remote traffic: spread uniformly so the matrix stays a
+    # valid distribution (those rows are never drawn from when the model
+    # scales by the per-source remote share anyway)
+    for i in range(num_pes):
+        if row_sums[i, 0] == 0:
+            q[i] = 1.0 / max(num_pes - 1, 1)
+            q[i, i] = 0.0
+    return LoopPattern(
+        p_remote=p_remote,
+        pattern=EmpiricalPattern(q),
+        per_pe_remote=per_pe_remote,
+    )

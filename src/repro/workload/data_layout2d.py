@@ -1,0 +1,150 @@
+"""2-D data layouts on the 2-D machine: the canonical SPMD scenario.
+
+The natural fit for a ``k x k`` torus is a 2-D array distributed in 2-D
+blocks, with each PE computing its own tile ("owner computes") and a stencil
+reaching into neighbouring tiles.  This module derives the model inputs for
+exactly that setting:
+
+* :class:`Block2D` -- tile ``(gx x gy)`` sub-arrays onto the PE grid;
+* :class:`Stencil` -- a set of ``(di, dj)`` offsets read per point
+  (:data:`FIVE_POINT`, :data:`NINE_POINT` provided);
+* :func:`derive_stencil_pattern` -- count local vs remote reads over the
+  whole iteration space and build the per-source pattern.
+
+The punchline (and the classic HPC result) falls out of the tolerance
+analysis: remote fraction scales with the tile's *perimeter-to-area* ratio,
+so machine scaling at fixed problem size (strong scaling) erodes locality
+while scaled problem sizes (weak scaling) preserve it.  See
+``bench_ext_stencil2d.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .access_patterns import EmpiricalPattern
+from .data_layout import LoopPattern
+
+__all__ = [
+    "Block2D",
+    "Stencil",
+    "FIVE_POINT",
+    "NINE_POINT",
+    "derive_stencil_pattern",
+]
+
+
+@dataclass(frozen=True)
+class Block2D:
+    """An ``nx x ny`` array tiled in contiguous blocks over a ``gx x gy``
+    PE grid (PE ``(px, py)`` owns the tile with corner
+    ``(px * bx, py * by)``)."""
+
+    nx: int
+    ny: int
+    gx: int
+    gy: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if self.gx < 1 or self.gy < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if self.nx % self.gx or self.ny % self.gy:
+            raise ValueError(
+                f"array {self.nx}x{self.ny} must tile evenly over the "
+                f"{self.gx}x{self.gy} grid"
+            )
+
+    @property
+    def bx(self) -> int:
+        """Tile width."""
+        return self.nx // self.gx
+
+    @property
+    def by(self) -> int:
+        """Tile height."""
+        return self.ny // self.gy
+
+    @property
+    def num_pes(self) -> int:
+        return self.gx * self.gy
+
+    def owner(self, i: int, j: int) -> int:
+        """PE index (row-major on the grid) owning element ``(i, j)``."""
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise IndexError(f"({i}, {j}) outside {self.nx}x{self.ny}")
+        return (j // self.by) * self.gx + (i // self.bx)
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """Read offsets per updated point, e.g. the 5-point Laplacian."""
+
+    offsets: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.offsets:
+            raise ValueError("a stencil needs at least one offset")
+
+
+FIVE_POINT = Stencil(((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)))
+NINE_POINT = Stencil(
+    tuple((di, dj) for di in (-1, 0, 1) for dj in (-1, 0, 1))
+)
+
+
+def derive_stencil_pattern(layout: Block2D, stencil: Stencil) -> LoopPattern:
+    """Tally every stencil read of every point against tile ownership.
+
+    Exploits translation symmetry of interior tiles: reads are counted once
+    per PE tile (each PE updates exactly its own tile).  Returns the same
+    :class:`LoopPattern` shape as the 1-D bridge, pluggable into
+    :class:`repro.core.MMSModel`.
+    """
+    p = layout.num_pes
+    counts = np.zeros((p, p), dtype=np.float64)
+    bx, by = layout.bx, layout.by
+    for py in range(layout.gy):
+        for px in range(layout.gx):
+            pe = py * layout.gx + px
+            # every point (i, j) of this PE's tile
+            i0, j0 = px * bx, py * by
+            for di, dj in stencil.offsets:
+                # which reads leave the tile? count by clamped target rows
+                ii = np.clip(np.arange(i0, i0 + bx) + di, 0, layout.nx - 1)
+                jj = np.clip(np.arange(j0, j0 + by) + dj, 0, layout.ny - 1)
+                # ownership decomposes per dimension for block tiling
+                own_x = ii // bx  # (bx,)
+                own_y = jj // by  # (by,)
+                # accumulate the outer product of ownership histograms
+                hx = np.bincount(own_x, minlength=layout.gx)
+                hy = np.bincount(own_y, minlength=layout.gy)
+                tile_counts = np.outer(hy, hx).ravel()  # row-major PE index
+                counts[pe] += tile_counts
+    total = counts.sum()
+    local = float(np.trace(counts))
+    p_remote = 1.0 - local / total
+
+    per_pe_total = counts.sum(axis=1)
+    per_pe_remote = 1.0 - np.diag(counts) / per_pe_total
+
+    if p_remote == 0.0:
+        return LoopPattern(p_remote=0.0, pattern=None, per_pe_remote=per_pe_remote)
+
+    remote = counts.copy()
+    np.fill_diagonal(remote, 0.0)
+    row_sums = remote.sum(axis=1, keepdims=True)
+    q = np.zeros_like(remote)
+    nz = row_sums[:, 0] > 0
+    q[nz] = remote[nz] / row_sums[nz]
+    for i in np.flatnonzero(~nz):
+        q[i] = 1.0 / max(p - 1, 1)
+        q[i, i] = 0.0
+    return LoopPattern(
+        p_remote=p_remote,
+        pattern=EmpiricalPattern(q),
+        per_pe_remote=per_pe_remote,
+    )

@@ -1,0 +1,71 @@
+"""Thread-partitioning strategy for do-all loops (paper, Section 5).
+
+A compiler partitioning ``W`` units of exposed computation per processor can
+trade the number of threads ``n_t`` against their granularity ``R`` while
+keeping ``n_t * R = W`` constant.  The paper's Tables 3/4 and Figures 6/7
+characterize the tolerance index along these iso-work lines and conclude that
+*few long threads beat many short threads* once ``n_t > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..params import Workload
+
+__all__ = ["IsoWorkPartitioning", "partition_workloads", "coalesce"]
+
+
+@dataclass(frozen=True)
+class IsoWorkPartitioning:
+    """An iso-work family of partitionings: ``n_t * R == work`` for each member."""
+
+    #: total exposed computation per processor, ``W = n_t * R``
+    work: float
+    #: template providing the non-partitioning workload fields
+    template: Workload = Workload()
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError(f"work must be > 0, got {self.work}")
+
+    def workload(self, num_threads: int) -> Workload:
+        """The member with ``num_threads`` threads of runlength ``work / num_threads``."""
+        if num_threads < 1:
+            raise ValueError(f"need >= 1 thread, got {num_threads}")
+        return self.template.with_(
+            num_threads=num_threads, runlength=self.work / num_threads
+        )
+
+    def sweep(self, thread_counts: Sequence[int]) -> Iterator[Workload]:
+        """Members for each thread count, e.g. ``sweep([1, 2, 4, 8, 16])``."""
+        for n_t in thread_counts:
+            yield self.workload(n_t)
+
+    def runlengths(self, thread_counts: Sequence[int]) -> list[float]:
+        """The runlength ``R = W / n_t`` of each member, for plotting axes."""
+        return [self.work / n_t for n_t in thread_counts]
+
+
+def partition_workloads(
+    work: float,
+    thread_counts: Sequence[int],
+    template: Workload = Workload(),
+) -> list[Workload]:
+    """Shortcut: the iso-work workloads for each ``n_t`` in ``thread_counts``."""
+    return list(IsoWorkPartitioning(work, template).sweep(thread_counts))
+
+
+def coalesce(workload: Workload, factor: int) -> Workload:
+    """Coalesce ``factor`` threads into one, preserving total work.
+
+    Models the compiler transformation the paper recommends: fewer, longer
+    threads.  ``coalesce(w, 2)`` halves ``n_t`` (rounding up, min 1) and
+    scales ``R`` to keep ``n_t * R`` constant.
+    """
+    if factor < 1:
+        raise ValueError(f"coalescing factor must be >= 1, got {factor}")
+    work = workload.num_threads * workload.runlength
+    new_nt = max(1, -(-workload.num_threads // factor))  # ceil division
+    return workload.with_(num_threads=new_nt, runlength=work / new_nt)

@@ -1,0 +1,73 @@
+"""Tests for the extension experiment generators (small/fast settings)."""
+
+import pytest
+
+from repro.analysis import (
+    ext_context_switch,
+    ext_finite_buffers,
+    ext_hotspot,
+    ext_memory_ports,
+)
+
+
+class TestMemoryPorts:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_memory_ports(ks=(4,), ports=(1, 2))
+
+    def test_structure(self, result):
+        assert len(result.data["rows"]) == 4  # 1 k x 2 S x 2 ports
+
+    def test_ports_help(self, result):
+        u = result.data["U_p"]
+        assert u["k4_S10_m2"] > u["k4_S10_m1"]
+        assert u["k4_S0_m2"] > u["k4_S0_m1"]
+
+    def test_render(self, result):
+        assert "ports" in result.render()
+
+
+class TestHotspot:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_hotspot(fractions=(0.0, 0.4), k=2)
+
+    def test_degradation(self, result):
+        perf = result.data["perf"]
+        assert (
+            perf["f0.4"].processor_utilization
+            < perf["f0"].processor_utilization
+        )
+
+    def test_asymmetric_solution_used(self, result):
+        assert result.data["perf"]["f0.4"].method == "amva"
+        assert result.data["perf"]["f0.4"].per_class_utilization is not None
+
+    def test_ports_variant_present(self, result):
+        assert "f0.4_ports4" in result.data["perf"]
+
+
+class TestContextSwitch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_context_switch(overheads=(0.0, 5.0))
+
+    def test_useful_utilization_falls(self, result):
+        u = result.data["U_p"]
+        assert u[1] < u[0]
+
+    def test_tolerance_rises(self, result):
+        rows = result.data["rows"]
+        assert rows[1][4] > rows[0][4]
+
+
+class TestFiniteBuffers:
+    def test_saturation_shape(self):
+        result = ext_finite_buffers(
+            thread_counts=(2, 8), credits=(2, None), duration=4_000.0
+        )
+        series = result.data["series"]
+        # capped grows less from n_t=2 to 8 than unbounded
+        growth_capped = series["credits=2"][1] / series["credits=2"][0]
+        growth_free = series["unbounded"][1] / series["unbounded"][0]
+        assert growth_capped < growth_free

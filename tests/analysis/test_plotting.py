@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart([0, 1, 2], {"a": [0.0, 1.0, 2.0]})
+        assert "|" in out
+        assert "o a" in out  # legend
+
+    def test_title_and_label(self):
+        out = ascii_chart(
+            [0, 1], {"s": [1.0, 2.0]}, title="T", y_label="metric"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "y: metric" in out
+
+    def test_extremes_plotted_at_edges(self):
+        out = ascii_chart([0, 10], {"s": [0.0, 5.0]}, width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        # top row holds the max point, bottom row the min
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_axis_labels(self):
+        out = ascii_chart([2, 50], {"s": [1.0, 3.0]})
+        assert "3" in out and "1" in out  # y extremes
+        assert "2" in out and "50" in out  # x extremes
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_chart(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}
+        )
+        assert "o a" in out and "x b" in out
+
+    def test_nan_points_skipped(self):
+        out = ascii_chart([0, 1, 2], {"s": [1.0, math.nan, 2.0]})
+        assert "|" in out
+
+    def test_flat_series_ok(self):
+        out = ascii_chart([0, 1], {"s": [2.0, 2.0]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_chart([0, 1], {})
+        with pytest.raises(ValueError, match="two x values"):
+            ascii_chart([0], {"s": [1.0]})
+        with pytest.raises(ValueError, match="points for"):
+            ascii_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError, match="too small"):
+            ascii_chart([0, 1], {"s": [1.0, 2.0]}, width=4)
+        with pytest.raises(ValueError, match="identical"):
+            ascii_chart([3, 3], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError, match="no finite"):
+            ascii_chart([0, 1], {"s": [math.nan, math.nan]})
+
+    def test_dimensions(self):
+        out = ascii_chart([0, 1], {"s": [0.0, 1.0]}, width=30, height=8)
+        rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(rows) == 8
+        assert all(len(r.split("|")[1]) == 30 for r in rows)
+
+    def test_figures_embed_charts(self):
+        from repro.analysis import fig10_throughput_scaling
+
+        res = fig10_throughput_scaling(ks=(2, 3, 4))
+        text = res.render()
+        assert "as a chart" in text
+        assert "o linear" in text

@@ -1,0 +1,76 @@
+"""Tests for independent-replication statistics."""
+
+import pytest
+
+from repro.analysis import replicate
+from repro.core import MMSModel
+from repro.params import paper_defaults
+
+
+@pytest.fixture(scope="module")
+def result():
+    return replicate(
+        paper_defaults(k=2, num_threads=3), replications=4, duration=8_000.0
+    )
+
+
+class TestReplicate:
+    def test_all_measures_present(self, result):
+        assert set(result.measures) == {
+            "U_p",
+            "lambda_net",
+            "S_obs",
+            "L_obs",
+            "access_rate",
+        }
+
+    def test_value_count(self, result):
+        assert len(result["U_p"].values) == 4
+        assert result.replications == 4
+
+    def test_ci_covers_model_prediction(self, result):
+        """The analytical model lands inside (or within 2 half-widths of)
+        the replication CI for the headline measures."""
+        perf = MMSModel(paper_defaults(k=2, num_threads=3)).solve()
+        for name in ("U_p", "lambda_net"):
+            m = result[name]
+            assert abs(perf.summary()[name] - m.mean) <= max(
+                2 * m.halfwidth, 0.03 * abs(m.mean)
+            )
+
+    def test_halfwidth_positive_finite(self, result):
+        for m in result.measures.values():
+            assert 0 <= m.halfwidth < float("inf")
+
+    def test_relative_halfwidth(self, result):
+        m = result["U_p"]
+        assert m.relative_halfwidth == pytest.approx(
+            m.halfwidth / m.mean
+        )
+
+    def test_covers(self, result):
+        m = result["U_p"]
+        assert m.covers(m.mean)
+        assert not m.covers(m.mean + 10 * (m.halfwidth + 0.1))
+
+    def test_render(self, result):
+        text = result.render()
+        assert "replications" in text
+        assert "U_p" in text
+
+    def test_requires_two_replications(self):
+        with pytest.raises(ValueError):
+            replicate(paper_defaults(k=2), replications=1)
+
+    def test_kwargs_forwarded(self):
+        res = replicate(
+            paper_defaults(k=2, num_threads=2),
+            replications=2,
+            duration=3_000.0,
+            local_priority=True,
+        )
+        assert res["U_p"].mean > 0
+
+    def test_distinct_seeds_distinct_values(self, result):
+        vals = result["access_rate"].values
+        assert len(set(vals)) > 1

@@ -1,0 +1,99 @@
+"""Tests for the parameter-sensitivity (elasticity) analysis."""
+
+import pytest
+
+from repro.analysis import sensitivities
+from repro.core import memory_tolerance, network_tolerance
+from repro.params import paper_defaults
+
+
+class TestSensitivities:
+    @pytest.fixture(scope="class")
+    def default_report(self):
+        return sensitivities(paper_defaults())
+
+    def test_runlength_helps(self, default_report):
+        assert default_report["runlength"].elasticity > 0
+
+    def test_latencies_hurt(self, default_report):
+        assert default_report["memory_latency"].elasticity < 0
+        assert default_report["switch_delay"].elasticity < 0
+        assert default_report["p_remote"].elasticity < 0
+
+    def test_locality_helps(self, default_report):
+        """Lower p_sw = more locality = more U_p, so elasticity is negative."""
+        assert default_report["p_sw"].elasticity < 0
+
+    def test_ranked_order(self, default_report):
+        ranked = default_report.ranked()
+        mags = [abs(s.elasticity) for s in ranked]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_direction_labels(self, default_report):
+        assert default_report["runlength"].direction == "up"
+        assert default_report["memory_latency"].direction == "down"
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            sensitivities(paper_defaults(), parameters=("cache_size",))
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError, match="unknown measure"):
+            sensitivities(paper_defaults(), measure="ipc")
+
+    def test_zero_valued_parameter_skipped(self):
+        rep = sensitivities(
+            paper_defaults(context_switch=0.0),
+            parameters=("context_switch", "runlength"),
+        )
+        names = [s.parameter for s in rep.entries]
+        assert "context_switch" not in names
+        assert "runlength" in names
+
+    def test_render(self, default_report):
+        text = default_report.render()
+        assert "elasticity" in text
+        assert "runlength" in text
+
+    def test_getitem_unknown(self, default_report):
+        with pytest.raises(KeyError):
+            default_report["bogus"]
+
+
+class TestAgreesWithToleranceDiagnosis:
+    """The paper's use case: the sensitivity ranking points at the same
+    bottleneck the tolerance indices identify."""
+
+    def test_memory_bound_point(self):
+        params = paper_defaults()  # tol_mem < tol_net here
+        rep = sensitivities(params)
+        tol_net = network_tolerance(params).index
+        tol_mem = memory_tolerance(params).index
+        assert tol_mem < tol_net
+        assert abs(rep["memory_latency"].elasticity) > abs(
+            rep["switch_delay"].elasticity
+        )
+
+    def test_network_bound_point(self):
+        params = paper_defaults(p_remote=0.6)
+        rep = sensitivities(params)
+        tol_net = network_tolerance(params).index
+        tol_mem = memory_tolerance(params).index
+        assert tol_net < tol_mem
+        assert abs(rep["switch_delay"].elasticity) > abs(
+            rep["memory_latency"].elasticity
+        )
+
+    def test_elasticities_grow_with_congestion(self):
+        calm = sensitivities(paper_defaults(p_remote=0.1))
+        hot = sensitivities(paper_defaults(p_remote=0.6))
+        assert abs(hot["switch_delay"].elasticity) > abs(
+            calm["switch_delay"].elasticity
+        )
+
+    def test_lambda_net_measure(self):
+        """Below saturation lambda_net rises ~linearly with p_remote."""
+        rep = sensitivities(
+            paper_defaults(p_remote=0.05), measure="lambda_net"
+        )
+        assert rep["p_remote"].elasticity == pytest.approx(1.0, abs=0.15)

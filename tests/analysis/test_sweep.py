@@ -1,0 +1,72 @@
+"""Unit tests for the sweep/grid harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import grid, sweep
+from repro.params import paper_defaults
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        recs = sweep(
+            paper_defaults(k=2, num_threads=2),
+            {"num_threads": [1, 2], "p_remote": [0.1, 0.2, 0.3]},
+        )
+        assert len(recs) == 6
+        combos = {(r["num_threads"], r["p_remote"]) for r in recs}
+        assert (1, 0.1) in combos and (2, 0.3) in combos
+
+    def test_perf_attached(self):
+        recs = sweep(paper_defaults(k=2), {"num_threads": [4]})
+        assert recs[0]["perf"].processor_utilization > 0
+
+    def test_empty_axis(self):
+        assert sweep(paper_defaults(), {"num_threads": []}) == []
+
+    def test_axis_values_applied(self):
+        recs = sweep(paper_defaults(k=2), {"p_remote": [0.0, 0.5]})
+        assert recs[0]["perf"].lambda_net == 0.0
+        assert recs[1]["perf"].lambda_net > 0.0
+
+
+class TestGrid:
+    def test_shape_and_values(self):
+        g = grid(
+            paper_defaults(k=2),
+            ("num_threads", [1, 2, 4]),
+            ("p_remote", [0.1, 0.3]),
+            lambda params, perf: perf.processor_utilization,
+        )
+        assert g.values.shape == (3, 2)
+        assert np.all(g.values > 0)
+
+    def test_at(self):
+        g = grid(
+            paper_defaults(k=2),
+            ("num_threads", [1, 2]),
+            ("p_remote", [0.1, 0.3]),
+            lambda params, perf: float(params.workload.num_threads),
+        )
+        assert g.at(2, 0.3) == 2.0
+
+    def test_argmax(self):
+        g = grid(
+            paper_defaults(k=2),
+            ("num_threads", [1, 2, 8]),
+            ("p_remote", [0.1]),
+            lambda params, perf: perf.processor_utilization,
+        )
+        x, y, v = g.argmax()
+        assert x == 8  # more threads, more utilization
+        assert v == g.values.max()
+
+    def test_monotone_utilization_along_threads(self):
+        g = grid(
+            paper_defaults(k=2),
+            ("num_threads", [1, 2, 4, 8]),
+            ("p_remote", [0.2]),
+            lambda params, perf: perf.processor_utilization,
+        )
+        col = g.values[:, 0]
+        assert np.all(np.diff(col) > 0)

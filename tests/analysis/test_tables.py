@@ -1,0 +1,58 @@
+"""Unit tests for table/series/surface text rendering."""
+
+import numpy as np
+
+from repro.analysis import format_series, format_surface, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.500" in out
+        assert "0.125" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert all(len(r) == len(rows[0]) for r in rows)
+
+    def test_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in out and "1.23" not in out
+
+    def test_nan(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_strings_pass_through(self):
+        out = format_table(["zone"], [["tolerated"]])
+        assert "tolerated" in out
+
+
+class TestFormatSurface:
+    def test_header_contains_axes(self):
+        vals = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = format_surface("n_t", "p", [1, 2], [0.1, 0.2], vals)
+        assert "n_t\\p" in out
+        assert "4.000" in out
+
+    def test_row_per_x(self):
+        vals = np.zeros((3, 2))
+        out = format_surface("x", "y", [1, 2, 3], [0.1, 0.2], vals)
+        assert len(out.splitlines()) == 5
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series(
+            "n", [1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]}, precision=2
+        )
+        header = out.splitlines()[0]
+        assert "a" in header and "b" in header
+        assert "0.40" in out

@@ -1,0 +1,84 @@
+"""Tests for the model-vs-simulation validation harness."""
+
+import pytest
+
+from repro.analysis import fig11_validation, validate_point
+from repro.analysis.validation import ValidationRow
+from repro.params import paper_defaults
+
+
+class TestValidationRow:
+    def test_rel_error(self):
+        row = ValidationRow(paper_defaults(), "x", model=2.0, simulated=2.1)
+        assert row.rel_error == pytest.approx(0.05)
+
+    def test_zero_model(self):
+        row = ValidationRow(paper_defaults(), "x", model=0.0, simulated=0.0)
+        assert row.rel_error == 0.0
+        row = ValidationRow(paper_defaults(), "x", model=0.0, simulated=1.0)
+        assert row.rel_error == float("inf")
+
+
+class TestValidatePoint:
+    def test_four_measures(self):
+        rows = validate_point(
+            paper_defaults(k=2, num_threads=2), duration=5000.0, seed=0
+        )
+        assert {r.measure for r in rows} == {"U_p", "lambda_net", "S_obs", "L_obs"}
+
+    def test_paper_accuracy_band(self):
+        """Paper, Section 8: lambda_net within ~2%, S_obs within ~5%
+        (we allow a wider band at this short test horizon)."""
+        rows = validate_point(
+            paper_defaults(p_remote=0.5), duration=25_000.0, seed=1
+        )
+        by = {r.measure: r for r in rows}
+        assert by["lambda_net"].rel_error < 0.05
+        assert by["S_obs"].rel_error < 0.08
+
+    def test_spn_simulator_option(self):
+        """The Petri-net path (the paper's own formalism) is selectable."""
+        rows = validate_point(
+            paper_defaults(k=2, num_threads=3, p_remote=0.4),
+            duration=15_000.0,
+            seed=2,
+            simulator="spn",
+        )
+        by = {r.measure: r for r in rows}
+        assert by["U_p"].rel_error < 0.06
+        assert by["lambda_net"].rel_error < 0.06
+
+    def test_spn_rejects_non_exponential(self):
+        with pytest.raises(ValueError, match="exponential-only"):
+            validate_point(
+                paper_defaults(k=2),
+                simulator="spn",
+                memory_dist="deterministic",
+            )
+
+    def test_unknown_simulator(self):
+        with pytest.raises(ValueError, match="unknown simulator"):
+            validate_point(paper_defaults(k=2), simulator="gem5")
+
+
+class TestFig11:
+    def test_structure(self):
+        rows, text = fig11_validation(
+            thread_counts=(2, 4),
+            switch_delays=(10.0,),
+            duration=8000.0,
+        )
+        assert len(rows) == 2 * 4
+        assert "Figure 11" in text
+        assert "lam_net(sim)" in text
+
+    def test_rates_increase_with_threads(self):
+        rows, _ = fig11_validation(
+            thread_counts=(1, 8), switch_delays=(10.0,), duration=8000.0
+        )
+        lam = [
+            r.simulated
+            for r in rows
+            if r.measure == "lambda_net"
+        ]
+        assert lam[1] > lam[0]

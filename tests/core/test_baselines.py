@@ -1,0 +1,93 @@
+"""Unit tests for the baseline analytic models."""
+
+import pytest
+
+from repro.core import (
+    MMSModel,
+    agarwal_utilization,
+    kurihara_access_cost,
+    network_tolerance,
+)
+from repro.params import paper_defaults
+
+
+class TestAgarwal:
+    def test_linear_regime(self):
+        """Below saturation, utilization is n_t * R_eff / (R_eff + T)."""
+        pred = agarwal_utilization(paper_defaults(num_threads=1))
+        expected = 10.0 / (10.0 + pred.latency)
+        assert pred.utilization == pytest.approx(expected)
+
+    def test_saturates_at_one(self):
+        pred = agarwal_utilization(paper_defaults(num_threads=50))
+        assert pred.utilization == 1.0
+
+    def test_saturation_thread_count(self):
+        pred = agarwal_utilization(paper_defaults())
+        assert pred.saturation_threads == pytest.approx(1 + pred.latency / 10.0)
+
+    def test_latency_mixes_local_and_remote(self):
+        pred = agarwal_utilization(paper_defaults(p_remote=0.0))
+        assert pred.latency == pytest.approx(10.0)  # memory only
+        pred2 = agarwal_utilization(paper_defaults(p_remote=1.0))
+        # full remote round trip: 2(d_avg+1)S + L
+        assert pred2.latency == pytest.approx(2 * 2.7333 * 10 + 10, rel=1e-3)
+
+    def test_optimistic_versus_queueing_model(self):
+        """Ignoring contention, Agarwal's model over-predicts utilization at
+        moderate thread counts."""
+        params = paper_defaults(num_threads=8)
+        contention_free = agarwal_utilization(params).utilization
+        queueing = MMSModel(params).solve().processor_utilization
+        assert contention_free >= queueing - 1e-9
+
+    def test_matches_queueing_model_at_one_thread(self):
+        """With a single thread there is no self-contention, but remote
+        accesses still queue behind *other* processors' accesses -- Agarwal
+        remains an upper bound, and a fairly tight one."""
+        params = paper_defaults(num_threads=1)
+        a = agarwal_utilization(params).utilization
+        q = MMSModel(params).solve().processor_utilization
+        assert q <= a + 1e-9
+        assert q == pytest.approx(a, rel=0.25)
+
+    def test_context_switch_reduces_useful_share(self):
+        with_c = agarwal_utilization(
+            paper_defaults(num_threads=50, context_switch=10.0)
+        )
+        assert with_c.utilization == pytest.approx(0.5)
+
+
+class TestKuriharaAccessCost:
+    def test_cost_near_zero_when_tolerated(self):
+        rep = kurihara_access_cost(paper_defaults(num_threads=16, p_remote=0.1))
+        assert rep.effective_cost < 2.0
+        assert rep.hidden_fraction > 0.9
+
+    def test_cost_high_when_starved(self):
+        rep = kurihara_access_cost(paper_defaults(num_threads=1, p_remote=0.8))
+        assert rep.effective_cost > 20.0
+        assert rep.hidden_fraction < 0.5
+
+    def test_observed_latency_positive(self):
+        rep = kurihara_access_cost(paper_defaults())
+        assert rep.observed_latency > 10.0  # at least the memory service
+
+    def test_accepts_precomputed_performance(self):
+        params = paper_defaults()
+        perf = MMSModel(params).solve()
+        rep = kurihara_access_cost(params, performance=perf)
+        assert rep.observed_latency == pytest.approx(perf.observed_access_latency)
+
+    def test_access_cost_not_a_tolerance_indicator(self):
+        """The paper's Section-1 conjecture: two configurations can pay a
+        similar effective access cost yet sit in different tolerance zones --
+        so access cost does not measure latency tolerance."""
+        a = paper_defaults(num_threads=4, runlength=5.0, p_remote=0.1)
+        b = paper_defaults(num_threads=8, runlength=10.0, p_remote=0.4)
+        cost_a = kurihara_access_cost(a).effective_cost
+        cost_b = kurihara_access_cost(b).effective_cost
+        tol_a = network_tolerance(a).index
+        tol_b = network_tolerance(b).index
+        assert cost_a == pytest.approx(cost_b, rel=0.1)
+        assert abs(tol_a - tol_b) > 0.2

@@ -1,0 +1,138 @@
+"""Unit tests for the closed-form bottleneck laws (Eqs. 4 and 5)."""
+
+import pytest
+
+from repro.core import (
+    analyze,
+    critical_p_remote,
+    lambda_net_saturation,
+    saturation_utilization,
+)
+from repro.core.bottleneck import (
+    memory_saturation_p_remote,
+    network_saturation_p_remote,
+)
+from repro.params import paper_defaults
+
+
+class TestLambdaNetSaturation:
+    def test_paper_value(self):
+        """Eq. (4) = 1/(2 * 1.733 * 10) ~= 0.029 at the defaults."""
+        assert lambda_net_saturation(paper_defaults()) == pytest.approx(
+            0.0288, abs=0.0005
+        )
+
+    def test_independent_of_workload_intensity(self):
+        """Saturation rate depends only on the pattern and S."""
+        a = lambda_net_saturation(paper_defaults(num_threads=2, runlength=5.0))
+        b = lambda_net_saturation(paper_defaults(num_threads=20, runlength=50.0))
+        assert a == b
+
+    def test_scales_inversely_with_switch_delay(self):
+        a = lambda_net_saturation(paper_defaults(switch_delay=10.0))
+        b = lambda_net_saturation(paper_defaults(switch_delay=20.0))
+        assert a == pytest.approx(2 * b)
+
+    def test_infinite_for_zero_delay(self):
+        assert lambda_net_saturation(paper_defaults(switch_delay=0.0)) == float(
+            "inf"
+        )
+
+    def test_uniform_pattern_lower_saturation(self):
+        """Uniform traffic travels farther, so the network saturates sooner."""
+        geo = lambda_net_saturation(paper_defaults(pattern="geometric"))
+        uni = lambda_net_saturation(paper_defaults(pattern="uniform"))
+        assert uni < geo
+
+
+class TestCriticalPRemote:
+    def test_paper_values(self):
+        """Eq. (5): 0.18 at R=10 and ~0.37 at R=20."""
+        assert critical_p_remote(paper_defaults(runlength=10.0)) == pytest.approx(
+            0.183, abs=0.002
+        )
+        assert critical_p_remote(paper_defaults(runlength=20.0)) == pytest.approx(
+            0.366, abs=0.004
+        )
+
+    def test_linear_in_runlength(self):
+        c10 = critical_p_remote(paper_defaults(runlength=10.0))
+        c20 = critical_p_remote(paper_defaults(runlength=20.0))
+        assert c20 == pytest.approx(2 * c10)
+
+    def test_clipped_at_one(self):
+        assert critical_p_remote(paper_defaults(runlength=1000.0)) == 1.0
+
+    def test_context_switch_extends_tolerance(self):
+        base = critical_p_remote(paper_defaults())
+        with_c = critical_p_remote(paper_defaults(context_switch=5.0))
+        assert with_c > base
+
+    def test_zero_switch_delay(self):
+        assert critical_p_remote(paper_defaults(switch_delay=0.0)) == 1.0
+
+
+class TestNetworkSaturationPRemote:
+    def test_paper_values(self):
+        """Figures 4(c)/5(c): lambda_net saturates near p_remote 0.3 / 0.6."""
+        assert network_saturation_p_remote(
+            paper_defaults(runlength=10.0)
+        ) == pytest.approx(0.29, abs=0.01)
+        assert network_saturation_p_remote(
+            paper_defaults(runlength=20.0)
+        ) == pytest.approx(0.58, abs=0.01)
+
+
+class TestMemorySaturationPRemote:
+    def test_zero_when_r_matches_l(self):
+        """R = L: the local memory never out-runs the processor."""
+        assert memory_saturation_p_remote(paper_defaults()) == 0.0
+
+    def test_positive_when_memory_slow(self):
+        p = memory_saturation_p_remote(
+            paper_defaults(runlength=5.0, memory_latency=20.0)
+        )
+        assert p == pytest.approx(0.75)
+
+    def test_zero_delay_memory(self):
+        assert (
+            memory_saturation_p_remote(paper_defaults(memory_latency=0.0)) == 0.0
+        )
+
+
+class TestSaturationUtilization:
+    def test_ceiling_below_one_when_saturated(self):
+        u = saturation_utilization(paper_defaults(p_remote=0.6))
+        assert u == pytest.approx(10.0 * 0.0288 / 0.6, abs=0.01)
+
+    def test_one_when_unconstrained(self):
+        assert saturation_utilization(paper_defaults(p_remote=0.0)) == 1.0
+        assert saturation_utilization(paper_defaults(switch_delay=0.0)) == 1.0
+
+    def test_model_respects_ceiling(self):
+        """The solved U_p never exceeds the bottleneck ceiling."""
+        from repro.core import solve
+
+        for pr in (0.4, 0.6, 0.8):
+            params = paper_defaults(p_remote=pr, num_threads=16)
+            assert (
+                solve(params).processor_utilization
+                <= saturation_utilization(params) + 1e-6
+            )
+
+
+class TestAnalyze:
+    def test_fields_consistent(self):
+        ba = analyze(paper_defaults())
+        assert ba.d_avg == pytest.approx(1.7333, abs=1e-3)
+        assert ba.unloaded_round_trip == pytest.approx(2 * (ba.d_avg + 1) * 10.0)
+        assert not ba.processor_stays_busy  # p_remote=0.2 > 0.183
+
+    def test_processor_stays_busy_below_critical(self):
+        ba = analyze(paper_defaults(p_remote=0.1))
+        assert ba.processor_stays_busy
+
+    def test_single_node(self):
+        ba = analyze(paper_defaults(k=1))
+        assert ba.d_avg == 0.0
+        assert ba.lambda_net_saturation == float("inf")

@@ -1,0 +1,72 @@
+"""Unit tests for MMSPerformance derived measures."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMSModel, solve
+from repro.params import paper_defaults
+
+
+@pytest.fixture(scope="module")
+def perf():
+    return solve(paper_defaults())
+
+
+class TestDerivedMeasures:
+    def test_cycle_time_littles_law(self, perf):
+        """n_t = lambda_i * cycle_time."""
+        assert perf.cycle_time * perf.access_rate == pytest.approx(8.0)
+
+    def test_summary_keys(self, perf):
+        s = perf.summary()
+        assert set(s) == {
+            "U_p",
+            "lambda_net",
+            "S_obs",
+            "L_obs",
+            "throughput",
+            "access_rate",
+        }
+
+    def test_effective_access_cost_definition(self, perf):
+        assert perf.effective_access_cost == pytest.approx(
+            1.0 / perf.access_rate - 10.0
+        )
+
+    def test_observed_access_latency_mix(self, perf):
+        expected = 0.8 * perf.l_obs_local + 0.2 * perf.remote_round_trip
+        assert perf.observed_access_latency == pytest.approx(expected)
+
+    def test_processor_busy_equals_utilization_when_no_overhead(self, perf):
+        assert perf.processor_busy == pytest.approx(perf.processor_utilization)
+
+    def test_context_switch_splits_busy_and_useful(self):
+        perf = solve(paper_defaults(context_switch=5.0))
+        assert perf.processor_busy == pytest.approx(
+            perf.access_rate * 15.0
+        )
+        assert perf.processor_utilization == pytest.approx(perf.access_rate * 10.0)
+        assert perf.processor_busy > perf.processor_utilization
+
+    def test_cycle_time_infinite_at_zero_rate(self):
+        perf = solve(paper_defaults())
+        object.__setattr__(perf, "access_rate", 0.0)
+        assert perf.cycle_time == np.inf
+        assert perf.effective_access_cost == np.inf
+
+
+class TestCycleBalance:
+    def test_cycle_decomposition(self, perf):
+        """Cycle time = processor residence + memory + network residence.
+
+        With n_t threads the cycle includes queueing at the processor behind
+        sibling threads; the residence times from the solution must add up to
+        n_t / lambda (MVA consistency)."""
+        params = paper_defaults()
+        model = MMSModel(params)
+        visits, service, types, srv = model.station_arrays()
+        from repro.queueing import solve_symmetric
+
+        sol = solve_symmetric(visits, service, types, 8)
+        total_residence = float(np.dot(visits, sol.waiting))
+        assert total_residence == pytest.approx(8.0 / sol.throughput, rel=1e-9)

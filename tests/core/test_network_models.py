@@ -1,0 +1,60 @@
+"""Tests for the open-network baseline model."""
+
+import pytest
+
+from repro.core import open_network_latency, solve
+from repro.params import paper_defaults
+
+
+class TestOpenNetworkLatency:
+    def test_unloaded_limit(self):
+        """At lambda -> 0 the estimate is the unloaded one-way latency
+        (d_avg + 1) * S."""
+        est = open_network_latency(paper_defaults(), 0.0)
+        assert est.s_obs == pytest.approx((1.7333 + 1) * 10.0, rel=1e-3)
+        assert est.stable
+
+    def test_matches_closed_model_at_light_load(self):
+        params = paper_defaults(p_remote=0.05)
+        perf = solve(params)
+        est = open_network_latency(params, perf.lambda_net)
+        assert est.s_obs == pytest.approx(perf.s_obs, rel=0.08)
+
+    def test_diverges_at_saturation(self):
+        params = paper_defaults()
+        est = open_network_latency(params, 0.0289)  # just past Eq. (4)
+        assert est.s_obs == float("inf")
+        assert not est.stable
+
+    def test_monotone_in_rate(self):
+        params = paper_defaults()
+        lat = [
+            open_network_latency(params, lam).s_obs
+            for lam in (0.005, 0.01, 0.02, 0.025)
+        ]
+        assert lat == sorted(lat)
+
+    def test_utilizations(self):
+        params = paper_defaults()
+        est = open_network_latency(params, 0.01)
+        assert est.rho_inbound == pytest.approx(0.01 * 2 * 1.7333 * 10, rel=1e-3)
+        assert est.rho_outbound == pytest.approx(0.01 * 2 * 10)
+
+    def test_zero_delay_network(self):
+        est = open_network_latency(paper_defaults(switch_delay=0.0), 0.5)
+        assert est.s_obs == 0.0
+        assert est.stable
+
+    def test_single_node(self):
+        est = open_network_latency(paper_defaults(k=1), 0.1)
+        assert est.s_obs == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            open_network_latency(paper_defaults(), -0.1)
+
+    def test_uniform_pattern_saturates_sooner(self):
+        geo = open_network_latency(paper_defaults(), 0.02)
+        uni = open_network_latency(paper_defaults(pattern="uniform"), 0.02)
+        assert uni.rho_inbound > geo.rho_inbound
+        assert uni.s_obs > geo.s_obs

@@ -1,0 +1,134 @@
+"""Unit tests for the tolerance index (the paper's Section 4)."""
+
+import pytest
+
+from repro.core import (
+    PARTIAL_THRESHOLD,
+    TOLERATED_THRESHOLD,
+    ToleranceZone,
+    classify,
+    memory_tolerance,
+    network_tolerance,
+    tolerance_report,
+)
+from repro.core.model import MMSModel
+from repro.params import paper_defaults
+
+
+class TestClassify:
+    def test_zones(self):
+        assert classify(1.0) is ToleranceZone.TOLERATED
+        assert classify(0.8) is ToleranceZone.TOLERATED
+        assert classify(0.79) is ToleranceZone.PARTIAL
+        assert classify(0.5) is ToleranceZone.PARTIAL
+        assert classify(0.49) is ToleranceZone.NOT_TOLERATED
+        assert classify(0.0) is ToleranceZone.NOT_TOLERATED
+
+    def test_thresholds_match_paper(self):
+        assert TOLERATED_THRESHOLD == 0.8
+        assert PARTIAL_THRESHOLD == 0.5
+
+
+class TestNetworkTolerance:
+    def test_defaults_tolerated(self):
+        """Paper: n_t=8, p_remote=0.2, R=10 is in the tolerated zone
+        (quoted tol ~0.93)."""
+        res = network_tolerance(paper_defaults())
+        assert res.zone is ToleranceZone.TOLERATED
+        assert res.index == pytest.approx(0.93, abs=0.03)
+
+    def test_zero_delay_ideal_removes_network(self):
+        res = network_tolerance(paper_defaults())
+        assert res.ideal.s_obs == 0.0
+        assert res.ideal.params.arch.switch_delay == 0.0
+
+    def test_index_at_most_one_for_product_form(self):
+        """Closed-network monotonicity: adding switch demand cannot raise
+        throughput, so tol_network <= 1 under the exact/BS model."""
+        for overrides in ({}, {"k": 8}, {"p_remote": 0.6}, {"num_threads": 2}):
+            res = network_tolerance(paper_defaults(**overrides))
+            assert res.index <= 1.0 + 1e-9
+
+    def test_saturated_network_not_tolerated(self):
+        """Past IN saturation (p_remote >~ 0.3 at R=10), the zone drops."""
+        res = network_tolerance(paper_defaults(p_remote=0.7, num_threads=8))
+        assert res.zone is not ToleranceZone.TOLERATED
+
+    def test_higher_runlength_tolerates_more(self):
+        """Paper, Section 5: increasing R improves tol_network."""
+        t10 = network_tolerance(paper_defaults(p_remote=0.4, runlength=10.0))
+        t20 = network_tolerance(paper_defaults(p_remote=0.4, runlength=20.0))
+        assert t20.index > t10.index
+
+    def test_more_threads_tolerate_more(self):
+        t2 = network_tolerance(paper_defaults(num_threads=2))
+        t8 = network_tolerance(paper_defaults(num_threads=8))
+        assert t8.index > t2.index
+
+    def test_local_only_ideal(self):
+        res = network_tolerance(paper_defaults(), ideal="local_only")
+        assert res.ideal.params.workload.p_remote == 0.0
+        assert res.ideal.lambda_net == 0.0
+
+    def test_local_only_vs_zero_delay_differ(self):
+        """The two ideal-system definitions are distinct measurements."""
+        a = network_tolerance(paper_defaults(p_remote=0.4), ideal="zero_delay")
+        b = network_tolerance(paper_defaults(p_remote=0.4), ideal="local_only")
+        assert a.index != pytest.approx(b.index, rel=1e-3)
+
+    def test_unknown_ideal(self):
+        with pytest.raises(ValueError):
+            network_tolerance(paper_defaults(), ideal="wishful")
+
+    def test_reuses_precomputed_actual(self):
+        params = paper_defaults()
+        actual = MMSModel(params).solve()
+        res = network_tolerance(params, actual=actual)
+        assert res.actual is actual
+
+    def test_float_conversion(self):
+        res = network_tolerance(paper_defaults())
+        assert float(res) == res.index
+
+    def test_tiny_p_remote_tol_near_one(self):
+        """Paper: for small n_t and low traffic, tol_network ~ 1."""
+        res = network_tolerance(paper_defaults(p_remote=0.001, num_threads=1))
+        assert res.index == pytest.approx(1.0, abs=0.01)
+
+
+class TestMemoryTolerance:
+    def test_zero_delay_memory_ideal(self):
+        res = memory_tolerance(paper_defaults())
+        assert res.ideal.params.arch.memory_latency == 0.0
+        assert res.ideal.l_obs == 0.0
+
+    def test_r_much_larger_than_l_tolerates(self):
+        """Paper, Section 6: R >= 2L and n_t >= 6 puts tol_memory near 1."""
+        res = memory_tolerance(paper_defaults(runlength=40.0, num_threads=8))
+        assert res.index >= 0.9
+
+    def test_large_l_not_tolerated_at_small_r(self):
+        res = memory_tolerance(
+            paper_defaults(runlength=2.0, memory_latency=20.0, num_threads=2)
+        )
+        assert res.index < 0.8
+
+    def test_subsystem_label(self):
+        assert memory_tolerance(paper_defaults()).subsystem == "memory"
+
+
+class TestToleranceReport:
+    def test_both_subsystems(self):
+        rep = tolerance_report(paper_defaults())
+        assert set(rep) == {"network", "memory"}
+
+    def test_shares_actual_solution(self):
+        rep = tolerance_report(paper_defaults())
+        assert rep["network"].actual is rep["memory"].actual
+
+    def test_up_roughly_product_of_tolerances(self):
+        """Paper, Section 6: when R <~ L, U_p ~ tol_memory * tol_network."""
+        rep = tolerance_report(paper_defaults())
+        u_p = rep["network"].actual.processor_utilization
+        prod = rep["network"].index * rep["memory"].index
+        assert u_p == pytest.approx(prod, rel=0.15)

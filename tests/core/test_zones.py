@@ -1,0 +1,95 @@
+"""Tests for the operating-zone boundary finder."""
+
+import pytest
+
+from repro.core import (
+    analyze,
+    network_tolerance,
+    threads_for_tolerance,
+    zone_boundary,
+)
+from repro.params import paper_defaults
+
+
+class TestZoneBoundary:
+    def test_boundary_hits_threshold(self):
+        b = zone_boundary(paper_defaults())
+        assert b.tolerance == pytest.approx(0.8, abs=1e-3)
+        assert not b.saturated
+
+    def test_boundary_between_endpoints(self):
+        b = zone_boundary(paper_defaults())
+        lo_tol = network_tolerance(paper_defaults(p_remote=0.01)).index
+        hi_tol = network_tolerance(paper_defaults(p_remote=0.99)).index
+        assert hi_tol < 0.8 < lo_tol
+        assert 0.0 < b.value < 1.0
+
+    def test_boundary_beyond_eq5_critical(self):
+        """The measured 0.8-zone boundary sits above Eq. 5's unloaded
+        critical p_remote (multithreading buys slack past the unloaded
+        bound)."""
+        params = paper_defaults()
+        b = zone_boundary(params)
+        assert b.value > analyze(params).critical_p_remote
+
+    def test_higher_runlength_moves_boundary_right(self):
+        b10 = zone_boundary(paper_defaults(runlength=10.0))
+        b20 = zone_boundary(paper_defaults(runlength=20.0))
+        assert b20.value > b10.value
+
+    def test_switch_delay_axis(self):
+        b = zone_boundary(
+            paper_defaults(p_remote=0.05),
+            axis="switch_delay",
+            lo=0.0,
+            hi=100.0,
+        )
+        assert not b.saturated
+        assert 0.0 < b.value < 100.0
+        # at the boundary, tolerance is at the threshold
+        assert b.tolerance == pytest.approx(0.8, abs=1e-3)
+
+    def test_saturated_bracket(self):
+        """If even the worst bracket edge is tolerated, report saturation."""
+        b = zone_boundary(
+            paper_defaults(runlength=200.0), lo=0.0, hi=0.3
+        )
+        assert b.saturated
+        assert b.tolerance >= 0.8
+
+    def test_memory_subsystem(self):
+        b = zone_boundary(
+            paper_defaults(num_threads=2),
+            axis="memory_latency",
+            subsystem="memory",
+            lo=0.0,
+            hi=100.0,
+        )
+        assert b.tolerance == pytest.approx(0.8, abs=1e-3)
+
+    def test_unknown_subsystem(self):
+        with pytest.raises(ValueError):
+            zone_boundary(paper_defaults(), subsystem="disk")
+
+
+class TestThreadsForTolerance:
+    def test_paper_rule_of_thumb(self):
+        """A handful of threads suffices at the default point."""
+        nt = threads_for_tolerance(paper_defaults())
+        assert nt is not None
+        assert 2 <= nt <= 8
+
+    def test_saturated_network_unreachable(self):
+        """Past IN saturation no thread count recovers the tolerated zone."""
+        assert (
+            threads_for_tolerance(paper_defaults(p_remote=0.4), max_threads=32)
+            is None
+        )
+
+    def test_scales_with_machine(self):
+        """The needed n_t stays flat with machine size (paper, Section 7)."""
+        nts = [
+            threads_for_tolerance(paper_defaults(k=k)) for k in (2, 4, 8, 10)
+        ]
+        assert all(nt is not None for nt in nts)
+        assert max(nts) - min(nts) <= 2  # type: ignore[arg-type]

@@ -1,0 +1,90 @@
+"""Integration: the three independent system descriptions agree.
+
+Analytical CQN model (MVA) vs discrete-event simulation vs stochastic Petri
+net -- built from the same MMSParams, never sharing code paths beyond the
+parameter objects and topology.
+"""
+
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.simulation import simulate
+from repro.spn import simulate_spn
+
+
+@pytest.fixture(scope="module")
+def point():
+    return paper_defaults(k=2, num_threads=4, p_remote=0.3)
+
+
+@pytest.fixture(scope="module")
+def model_perf(point):
+    return MMSModel(point).solve()
+
+
+@pytest.fixture(scope="module")
+def des_result(point):
+    return simulate(point, duration=40_000.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def spn_result(point):
+    return simulate_spn(point, duration=40_000.0, seed=22)
+
+
+class TestThreeWayAgreement:
+    def test_utilization(self, model_perf, des_result, spn_result):
+        assert des_result.processor_utilization == pytest.approx(
+            model_perf.processor_utilization, rel=0.05
+        )
+        assert spn_result.processor_utilization == pytest.approx(
+            model_perf.processor_utilization, rel=0.05
+        )
+
+    def test_lambda_net(self, model_perf, des_result, spn_result):
+        assert des_result.lambda_net == pytest.approx(
+            model_perf.lambda_net, rel=0.06
+        )
+        assert spn_result.lambda_net == pytest.approx(
+            model_perf.lambda_net, rel=0.06
+        )
+
+    def test_s_obs(self, model_perf, des_result, spn_result):
+        assert des_result.s_obs == pytest.approx(model_perf.s_obs, rel=0.12)
+        assert spn_result.s_obs == pytest.approx(model_perf.s_obs, rel=0.12)
+
+    def test_l_obs(self, model_perf, des_result, spn_result):
+        assert des_result.l_obs == pytest.approx(model_perf.l_obs, rel=0.12)
+        assert spn_result.l_obs == pytest.approx(model_perf.l_obs, rel=0.12)
+
+    def test_access_rate(self, model_perf, des_result, spn_result):
+        assert des_result.access_rate == pytest.approx(
+            model_perf.access_rate, rel=0.05
+        )
+        assert spn_result.access_rate == pytest.approx(
+            model_perf.access_rate, rel=0.05
+        )
+
+
+class TestSolverChain:
+    """exact MVA >= accuracy of linearizer >= plain BS on a tiny instance."""
+
+    def test_solver_hierarchy(self):
+        params = paper_defaults(k=2, num_threads=2, p_remote=0.4)
+        model = MMSModel(params)
+        ex = model.solve(method="exact").processor_utilization
+        lin = model.solve(method="linearizer").processor_utilization
+        bs = model.solve(method="amva").processor_utilization
+        assert abs(lin - ex) <= abs(bs - ex) + 1e-9
+
+    def test_exact_agrees_with_simulation(self):
+        """Exact MVA against the DES on the smallest machine -- the gold
+        cross-check of the whole stack."""
+        params = paper_defaults(k=2, num_threads=2, p_remote=0.4)
+        ex = MMSModel(params).solve(method="exact")
+        sim = simulate(params, duration=60_000.0, seed=33)
+        assert sim.processor_utilization == pytest.approx(
+            ex.processor_utilization, rel=0.04
+        )
+        assert sim.s_obs == pytest.approx(ex.s_obs, rel=0.08)

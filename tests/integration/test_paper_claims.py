@@ -1,0 +1,227 @@
+"""Integration tests: the paper's section-by-section claims, end to end.
+
+Each test cites the claim it checks.  These are the acceptance criteria of
+the reproduction (shapes and crossovers, per DESIGN.md Section 4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MMSModel,
+    ToleranceZone,
+    analyze,
+    memory_tolerance,
+    network_tolerance,
+    solve,
+)
+from repro.params import paper_defaults
+
+
+class TestSection5NetworkTolerance:
+    def test_lambda_net_saturates_at_the_eq4_rate(self):
+        """'the message rate saturates at [1/(2 d_avg S)]' -- the plateau
+        sits just below Eq. (4)'s deterministic bound and approaches it as
+        n_t grows (finite-population effect)."""
+        params = paper_defaults()
+        sat = analyze(params).lambda_net_saturation
+        plateau_8 = solve(params.with_(p_remote=0.8)).lambda_net
+        plateau_20 = solve(
+            params.with_(p_remote=0.8, num_threads=20)
+        ).lambda_net
+        assert plateau_8 <= sat
+        assert plateau_8 == pytest.approx(sat, rel=0.15)
+        assert plateau_20 == pytest.approx(sat, rel=0.06)
+        assert plateau_20 > plateau_8
+
+    def test_saturation_knee_location_r10(self):
+        """lambda_net growth collapses past the p_remote ~ 0.3 knee: from
+        0.3 to 0.8 the remote share grows 2.7x but the rate barely moves."""
+        params = paper_defaults()
+        lam_03 = solve(params.with_(p_remote=0.3)).lambda_net
+        lam_08 = solve(params.with_(p_remote=0.8)).lambda_net
+        assert lam_08 < lam_03 * 1.20
+        # while below the knee the growth is ~linear in p_remote
+        lam_01 = solve(params.with_(p_remote=0.1)).lambda_net
+        lam_02 = solve(params.with_(p_remote=0.2)).lambda_net
+        assert lam_02 == pytest.approx(2 * lam_01, rel=0.15)
+
+    def test_sobs_flat_in_p_remote_once_saturated(self):
+        """Figure 4(b): for fixed n_t, S_obs is ~constant past saturation."""
+        params = paper_defaults(num_threads=8)
+        s1 = solve(params.with_(p_remote=0.5)).s_obs
+        s2 = solve(params.with_(p_remote=0.8)).s_obs
+        assert s2 == pytest.approx(s1, rel=0.15)
+
+    def test_sobs_linear_in_threads_when_saturated(self):
+        """Figure 4(b): S_obs grows ~linearly with n_t at high p_remote."""
+        params = paper_defaults(p_remote=0.6)
+        s = [solve(params.with_(num_threads=n)).s_obs for n in (4, 8, 16)]
+        ratio1 = s[1] / s[0]
+        ratio2 = s[2] / s[1]
+        assert ratio1 == pytest.approx(2.0, rel=0.25)
+        assert ratio2 == pytest.approx(2.0, rel=0.25)
+
+    def test_up_near_one_below_critical_p_remote(self):
+        """'U_p is close to 100% for p_remote <= [critical]' at n_t = 4+."""
+        perf = solve(paper_defaults(num_threads=8, p_remote=0.05))
+        assert perf.processor_utilization > 0.85
+
+    def test_up_drops_beyond_critical(self):
+        params = paper_defaults(num_threads=4)
+        crit = analyze(params).critical_p_remote
+        below = solve(params.with_(p_remote=crit * 0.5)).processor_utilization
+        above = solve(params.with_(p_remote=min(0.9, crit * 3))).processor_utilization
+        assert above < below * 0.85
+
+    def test_most_gains_by_5_to_8_threads(self):
+        """'a use of 5 to 8 threads results in most of the performance
+        gains' (Figure 4a/4d)."""
+        params = paper_defaults(p_remote=0.2)
+        u8 = solve(params.with_(num_threads=8)).processor_utilization
+        u20 = solve(params.with_(num_threads=20)).processor_utilization
+        assert u8 >= 0.85 * u20
+
+    def test_tolerance_zones_at_quoted_points(self):
+        """'even at a small n_t (5), tol_network is as high as ~0.86' and it
+        degrades once the IN saturates."""
+        t5 = network_tolerance(paper_defaults(num_threads=5, p_remote=0.2))
+        assert t5.index == pytest.approx(0.88, abs=0.05)
+        t_sat = network_tolerance(paper_defaults(num_threads=5, p_remote=0.4))
+        assert t_sat.index < t5.index
+
+    def test_sobs_does_not_determine_tolerance(self):
+        """Table 2's argument: similar S_obs, different zones."""
+        a = paper_defaults(num_threads=8, p_remote=0.2)  # S_obs ~ 53
+        perf_a = solve(a)
+        # find a 3-thread point with similar S_obs
+        from repro.analysis.experiments import _p_remote_for_sobs
+
+        b_base = paper_defaults(num_threads=3)
+        pr = _p_remote_for_sobs(b_base, perf_a.s_obs)
+        b = b_base.with_(p_remote=pr)
+        perf_b = solve(b)
+        assert perf_b.s_obs == pytest.approx(perf_a.s_obs, rel=0.05)
+        tol_a = network_tolerance(a).index
+        tol_b = network_tolerance(b).index
+        assert tol_a - tol_b > 0.15
+
+    def test_higher_r_raises_critical_p_remote(self):
+        """'Increase in R ... increases the critical value of p_remote'."""
+        c10 = analyze(paper_defaults(runlength=10.0)).critical_p_remote
+        c20 = analyze(paper_defaults(runlength=20.0)).critical_p_remote
+        assert c20 > c10
+
+
+class TestSection6MemoryTolerance:
+    def test_high_up_needs_both_latencies_tolerated(self):
+        """'U_p ~ tol_memory x tol_network when R <~ L'."""
+        params = paper_defaults()
+        tn = network_tolerance(params)
+        tm = memory_tolerance(params, actual=tn.actual)
+        assert tn.actual.processor_utilization == pytest.approx(
+            tn.index * tm.index, rel=0.15
+        )
+
+    def test_tolerating_one_latency_is_not_enough(self):
+        """A point can tolerate memory latency while the network drags U_p
+        down -- low tol marks the bottleneck."""
+        params = paper_defaults(p_remote=0.6, num_threads=8)
+        tn = network_tolerance(params)
+        tm = memory_tolerance(params, actual=tn.actual)
+        assert tm.zone is ToleranceZone.TOLERATED
+        assert tn.zone is not ToleranceZone.TOLERATED
+        assert tn.actual.processor_utilization < 0.6
+
+    def test_doubling_l_multiplies_lobs(self):
+        """Table 4: L: 10 -> 20 raises L_obs by over 2.5x at fine grain."""
+        fine = paper_defaults(num_threads=8, runlength=5.0)
+        l10 = solve(fine).l_obs
+        l20 = solve(fine.with_(memory_latency=20.0)).l_obs
+        assert l20 / l10 > 2.3
+
+    def test_memory_tolerance_saturates_at_high_r(self):
+        """Figure 8: tol_memory ~ 1 for R >= 2L, n_t >= 6."""
+        res = memory_tolerance(paper_defaults(runlength=20.0, num_threads=6))
+        assert res.index > 0.93
+
+    def test_lobs_rises_with_threads_at_low_p_remote(self):
+        """'For a change in n_t from 2 to 7, L_obs increases by 3-folds' at
+        low p_remote (most traffic hits the local module)."""
+        params = paper_defaults(p_remote=0.2, runlength=5.0)
+        l2 = solve(params.with_(num_threads=2)).l_obs
+        l7 = solve(params.with_(num_threads=7)).l_obs
+        assert l7 / l2 > 2.0
+
+
+class TestSection7Scaling:
+    def test_geometric_beats_uniform_at_scale(self):
+        """'a geometric distribution performs significantly better than a
+        uniform distribution for larger systems'."""
+        gaps = []
+        for k in (6, 8, 10):
+            geo = network_tolerance(paper_defaults(k=k, num_threads=8))
+            uni = network_tolerance(
+                paper_defaults(k=k, num_threads=8, pattern="uniform")
+            )
+            gaps.append(geo.index - uni.index)
+        assert gaps[0] > 0.15
+        assert gaps[1] > 0.3
+        assert gaps[2] > 0.4
+        assert gaps == sorted(gaps)  # the gap widens with machine size
+
+    def test_patterns_coincide_at_k2(self):
+        """'The performance for the two distributions coincides at k = 2'."""
+        geo = solve(paper_defaults(k=2)).processor_utilization
+        uni = solve(paper_defaults(k=2, pattern="uniform")).processor_utilization
+        assert geo == pytest.approx(uni, rel=1e-9)
+
+    def test_nt_for_tolerance_stable_across_sizes(self):
+        """'n_t to tolerate the network latency does not change with the
+        size of the system' -- 5-8 threads suffice at every k."""
+        for k in (4, 8, 10):
+            res = network_tolerance(paper_defaults(k=k, num_threads=8))
+            assert res.zone is ToleranceZone.TOLERATED
+
+    def test_uniform_davg_grows_geometric_saturates(self):
+        """The mechanism behind the contrast: d_avg growth."""
+        from repro.workload import make_pattern
+
+        geo_4 = make_pattern("geometric", 0.5).d_avg(paper_defaults(k=4).arch.torus)
+        geo_10 = make_pattern("geometric", 0.5).d_avg(
+            paper_defaults(k=10).arch.torus
+        )
+        uni_4 = make_pattern("uniform").d_avg(paper_defaults(k=4).arch.torus)
+        uni_10 = make_pattern("uniform").d_avg(paper_defaults(k=10).arch.torus)
+        assert geo_10 - geo_4 < 0.3  # saturates toward 1/(1-p_sw) = 2
+        assert uni_10 - uni_4 > 2.0  # grows with the diameter
+
+    def test_linear_throughput_scaling_with_locality(self):
+        """Figure 10(a): geometric throughput scales ~linearly in P."""
+        t4 = solve(paper_defaults(k=4, num_threads=8)).system_throughput
+        t8 = solve(paper_defaults(k=8, num_threads=8)).system_throughput
+        assert t8 / t4 == pytest.approx(4.0, rel=0.05)
+
+    def test_uniform_throughput_sublinear(self):
+        t4 = solve(paper_defaults(k=4, num_threads=8, pattern="uniform"))
+        t8 = solve(paper_defaults(k=8, num_threads=8, pattern="uniform"))
+        assert t8.system_throughput / t4.system_throughput < 3.0
+
+    def test_ideal_network_raises_memory_latency(self):
+        """Figure 10(b): with S = 0 all contention lands on the memories, so
+        L_obs exceeds the finite-network system's."""
+        k = 8
+        real = solve(paper_defaults(k=k, num_threads=8))
+        ideal = solve(paper_defaults(k=k, num_threads=8, switch_delay=0.0))
+        assert ideal.l_obs > real.l_obs
+
+    def test_tolerance_above_one_does_not_reproduce(self):
+        """DEVIATION (documented in EXPERIMENTS.md): the paper claims
+        tol_network up to 1.05 at k = 6..10 under locality.  Under the exact
+        product-form model (and its Bard-Schweitzer fixed point), removing
+        switch demand cannot reduce throughput, so tol <= 1; our DES
+        simulation confirms U_p(S=0) > U_p(S=10) at these points."""
+        for k in (6, 8, 10):
+            res = network_tolerance(paper_defaults(k=k, num_threads=8))
+            assert res.index <= 1.0 + 1e-9
+            assert res.index > 0.9  # but locality keeps it close to ideal

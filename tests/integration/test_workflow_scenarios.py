@@ -1,0 +1,135 @@
+"""End-to-end user workflows: the three audiences the paper names.
+
+The paper's introduction addresses three users -- the system architect, the
+compiler writer, and the performance analyst.  Each test here walks one of
+their workflows through the public API only.
+"""
+
+import pytest
+
+import repro
+from repro import (
+    MMSModel,
+    analyze,
+    network_tolerance,
+    paper_defaults,
+    solve,
+    threads_for_tolerance,
+    tolerance_report,
+    zone_boundary,
+)
+
+
+class TestArchitectWorkflow:
+    """'A system architect experiments with the system configurations.'"""
+
+    def test_sizing_the_switch_budget(self):
+        """How slow may the switches be before the default workload leaves
+        the tolerated zone? -- and does the answer obey the Eq.-5 scaling?"""
+        base = paper_defaults(p_remote=0.1)
+        b = zone_boundary(base, axis="switch_delay", lo=0.0, hi=200.0)
+        assert not b.saturated
+        # doubling the runlength roughly doubles the switch budget
+        b2 = zone_boundary(
+            base.with_(runlength=20.0), axis="switch_delay", lo=0.0, hi=400.0
+        )
+        assert b2.value == pytest.approx(2 * b.value, rel=0.25)
+
+    def test_choosing_memory_ports(self):
+        """With a next-gen (fast) interconnect, how many memory ports pay?"""
+        fast = paper_defaults(switch_delay=2.0)
+        gains = []
+        for ports in (1, 2, 4):
+            u = solve(fast.with_(memory_ports=ports)).processor_utilization
+            gains.append(u)
+        assert gains[1] - gains[0] > 0.05  # the first extra port pays
+        assert gains[2] - gains[1] < gains[1] - gains[0]  # diminishing
+
+    def test_subsystem_triage(self):
+        """The tolerance report names the bottleneck; fixing that subsystem
+        (and only that one) moves U_p substantially."""
+        params = paper_defaults(p_remote=0.6)
+        rep = tolerance_report(params)
+        assert rep["network"].index < rep["memory"].index  # network-bound
+        fix_net = solve(params.with_(switch_delay=2.0)).processor_utilization
+        fix_mem = solve(params.with_(memory_latency=2.0)).processor_utilization
+        base = solve(params).processor_utilization
+        assert fix_net - base > 3 * (fix_mem - base)
+
+
+class TestCompilerWorkflow:
+    """'A compiler has to optimize a program workload.'"""
+
+    def test_how_many_threads(self):
+        """Expose only as many threads as tolerance needs."""
+        nt = threads_for_tolerance(paper_defaults())
+        assert nt is not None and nt <= 8
+        # and confirm the choice lands in the tolerated zone
+        res = network_tolerance(paper_defaults(num_threads=nt))
+        assert res.index >= 0.8
+
+    def test_when_to_redistribute_data(self):
+        """'if network latency is not tolerated, then a compiler can
+        redistribute the data' -- the p_remote boundary is the trigger."""
+        b = zone_boundary(paper_defaults())
+        bad = network_tolerance(
+            paper_defaults(p_remote=min(1.0, b.value + 0.2))
+        )
+        good = network_tolerance(
+            paper_defaults(p_remote=max(0.0, b.value - 0.2))
+        )
+        assert bad.index < 0.8 <= good.index
+
+    def test_granularity_knob(self):
+        """Coalescing to fewer, longer threads beats fine grain at equal
+        exposed work (Table 3's recommendation)."""
+        from repro.workload import coalesce
+
+        fine = paper_defaults().workload.with_(num_threads=16, runlength=2.5)
+        coarse = coalesce(coalesce(coalesce(fine, 2), 2), 2)
+        u_fine = solve(
+            paper_defaults(
+                num_threads=fine.num_threads, runlength=fine.runlength
+            )
+        ).processor_utilization
+        u_coarse = solve(
+            paper_defaults(
+                num_threads=coarse.num_threads, runlength=coarse.runlength
+            )
+        ).processor_utilization
+        assert u_coarse > u_fine
+
+
+class TestAnalystWorkflow:
+    """'An analysis of latency tolerance provides an insight to the
+    performance optimizations.'"""
+
+    def test_rate_not_latency_diagnosis(self):
+        """Two machines with near-identical S_obs, opposite verdicts: the
+        rates decide, not the latency (the paper's core thesis)."""
+        a = paper_defaults(num_threads=8, p_remote=0.196)
+        b = paper_defaults(num_threads=3, p_remote=0.4)
+        pa, pb = solve(a), solve(b)
+        assert pa.s_obs == pytest.approx(pb.s_obs, rel=0.05)
+        assert network_tolerance(a).index - network_tolerance(b).index > 0.25
+
+    def test_closed_form_cross_check(self):
+        """The measured knees agree with the closed-form laws."""
+        params = paper_defaults()
+        ba = analyze(params)
+        lam_peak = solve(params.with_(p_remote=0.8, num_threads=24)).lambda_net
+        assert lam_peak == pytest.approx(ba.lambda_net_saturation, rel=0.05)
+
+    def test_top_level_api_surface(self):
+        """Everything this file used is part of the public top level."""
+        for name in (
+            "solve",
+            "analyze",
+            "network_tolerance",
+            "tolerance_report",
+            "zone_boundary",
+            "threads_for_tolerance",
+            "paper_defaults",
+            "MMSModel",
+        ):
+            assert name in repro.__all__

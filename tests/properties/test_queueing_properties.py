@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the queueing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    ClosedNetwork,
+    balanced_job_bounds,
+    bard_schweitzer,
+    exact_mva_single_class,
+    solve_symmetric,
+)
+
+demands_st = st.lists(
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+pop_st = st.integers(min_value=1, max_value=12)
+
+
+def single_class(demands, n):
+    return ClosedNetwork(
+        visits=np.ones((1, len(demands))),
+        service=np.array(demands),
+        populations=np.array([n]),
+    )
+
+
+class TestExactMVAProperties:
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=60, deadline=None)
+    def test_population_conservation(self, demands, n):
+        sol = exact_mva_single_class(single_class(demands, n))
+        assert sol.population_residual() < 1e-8
+
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=60, deadline=None)
+    def test_littles_law(self, demands, n):
+        sol = exact_mva_single_class(single_class(demands, n))
+        assert sol.littles_law_residual() < 1e-9
+
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_bounded(self, demands, n):
+        sol = exact_mva_single_class(single_class(demands, n))
+        assert (sol.total_utilization <= 1.0 + 1e-9).all()
+
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_monotone_in_population(self, demands, n):
+        x_n = exact_mva_single_class(single_class(demands, n)).throughput[0]
+        x_n1 = exact_mva_single_class(single_class(demands, n + 1)).throughput[0]
+        assert x_n1 >= x_n - 1e-12
+
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_job_bounds_bracket(self, demands, n):
+        x = exact_mva_single_class(single_class(demands, n)).throughput[0]
+        lo, hi = balanced_job_bounds(np.ones(len(demands)), np.array(demands), n)
+        assert lo - 1e-9 <= x <= hi + 1e-9
+
+
+class TestBardSchweitzerProperties:
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=60, deadline=None)
+    def test_close_to_exact(self, demands, n):
+        net = single_class(demands, n)
+        bs = bard_schweitzer(net).throughput[0]
+        ex = exact_mva_single_class(net).throughput[0]
+        assert bs == pytest.approx(ex, rel=0.12)
+
+    @given(demands=demands_st, n=pop_st)
+    @settings(max_examples=60, deadline=None)
+    def test_population_conservation(self, demands, n):
+        sol = bard_schweitzer(single_class(demands, n))
+        assert sol.converged
+        assert sol.population_residual() < 1e-6
+
+    @given(
+        demands=demands_st,
+        n=pop_st,
+        classes=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multiclass_symmetric_classes_equal(self, demands, n, classes):
+        """Identical classes must get identical solutions."""
+        m = len(demands)
+        net = ClosedNetwork(
+            visits=np.ones((classes, m)),
+            service=np.array(demands),
+            populations=np.full(classes, n),
+        )
+        sol = bard_schweitzer(net)
+        assert np.allclose(sol.throughput, sol.throughput[0], rtol=1e-8)
+
+
+class TestSymmetricSolverProperties:
+    @given(
+        visits=st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=8,
+        ),
+        service=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        n=pop_st,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_population_conservation(self, visits, service, n):
+        v = np.array(visits)
+        if v.sum() == 0:
+            v[0] = 1.0
+        s = np.full(len(v), service)
+        types = np.arange(len(v)) % 3
+        sol = solve_symmetric(v, s, types, n)
+        assert sol.converged
+        assert sol.queue_length.sum() == pytest.approx(n, abs=1e-6)
+
+    @given(n=pop_st)
+    @settings(max_examples=20, deadline=None)
+    def test_two_station_closed_form(self, n):
+        """Balanced 2-station (own types): X = n/(D(n+1))."""
+        v = np.array([1.0, 1.0])
+        s = np.array([2.0, 2.0])
+        sol = solve_symmetric(v, s, np.array([0, 1]), n)
+        assert sol.throughput == pytest.approx(n / (2.0 * (n + 1)), rel=1e-6)

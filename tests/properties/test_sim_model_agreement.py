@@ -1,0 +1,62 @@
+"""Property-based agreement between the analytical model and the simulator.
+
+The strongest end-to-end property in the repository: for *random* small
+machine/workload configurations, the Bard-Schweitzer prediction and the
+discrete-event simulation must agree on utilization and access rate within
+a statistical band.  Hypothesis explores corners (tiny runlengths, extreme
+p_remote, lopsided rectangles) that the fixed-seed tests never visit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.simulation import simulate
+
+config_st = st.fixed_dictionaries(
+    {
+        "k": st.sampled_from([2, 3]),
+        "num_threads": st.integers(min_value=1, max_value=6),
+        "runlength": st.sampled_from([2.0, 5.0, 10.0, 25.0]),
+        "p_remote": st.sampled_from([0.0, 0.1, 0.3, 0.6, 0.9]),
+        "memory_latency": st.sampled_from([2.0, 10.0, 20.0]),
+        "switch_delay": st.sampled_from([1.0, 10.0]),
+        "pattern": st.sampled_from(["geometric", "uniform"]),
+    }
+)
+
+
+class TestSimModelAgreement:
+    @given(over=config_st)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_utilization_and_rate(self, over):
+        params = paper_defaults(**over)
+        perf = MMSModel(params).solve()
+        sim = simulate(params, duration=12_000.0, seed=99)
+        # generous statistical band: short horizon + BS approximation error
+        assert sim.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.12, abs=0.02
+        )
+        assert sim.access_rate == pytest.approx(
+            perf.access_rate, rel=0.12, abs=0.002
+        )
+
+    @given(over=config_st)
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_latencies(self, over):
+        params = paper_defaults(**over)
+        perf = MMSModel(params).solve()
+        sim = simulate(params, duration=12_000.0, seed=7)
+        if perf.lambda_net > 1e-4:  # enough remote traffic to estimate S_obs
+            assert sim.s_obs == pytest.approx(perf.s_obs, rel=0.25)
+        assert sim.l_obs == pytest.approx(perf.l_obs, rel=0.2, abs=0.5)

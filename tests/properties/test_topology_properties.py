@@ -1,0 +1,120 @@
+"""Property-based tests for topologies (torus and mesh) and routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Mesh2D, Torus2D, route, route_nodes
+
+dims_st = st.tuples(
+    st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6)
+)
+topology_st = st.one_of(
+    dims_st.map(lambda d: Torus2D(*d)),
+    dims_st.map(lambda d: Mesh2D(*d)),
+)
+
+
+class TestDistanceProperties:
+    @given(topo=topology_st)
+    @settings(max_examples=60, deadline=None)
+    def test_metric_axioms(self, topo):
+        d = topo.distance_matrix
+        assert np.all(np.diag(d) == 0)
+        assert np.array_equal(d, d.T)
+        assert np.all(d >= 0)
+
+    @given(topo=topology_st, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, topo, data):
+        n = topo.num_nodes
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        c = data.draw(st.integers(0, n - 1))
+        d = topo.distance_matrix
+        assert d[a, c] <= d[a, b] + d[b, c]
+
+    @given(dims=dims_st)
+    @settings(max_examples=40, deadline=None)
+    def test_torus_dominated_by_mesh(self, dims):
+        """Wrap-around links can only shorten distances."""
+        t, m = Torus2D(*dims), Mesh2D(*dims)
+        assert np.all(t.distance_matrix <= m.distance_matrix)
+
+    @given(topo=topology_st)
+    @settings(max_examples=40, deadline=None)
+    def test_max_distance_attained(self, topo):
+        assert topo.distance_matrix.max() == topo.max_distance
+
+
+class TestRoutingProperties:
+    @given(topo=topology_st, data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_route_is_minimal_and_connected(self, topo, data):
+        n = topo.num_nodes
+        s = data.draw(st.integers(0, n - 1))
+        d = data.draw(st.integers(0, n - 1))
+        r = route(topo, s, d)
+        assert r[0] == s and r[-1] == d
+        assert len(r) == topo.distance(s, d) + 1
+        for a, b in zip(r, r[1:]):
+            assert topo.distance(a, b) == 1
+
+    @given(topo=topology_st, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_route_nodes_consistent(self, topo, data):
+        n = topo.num_nodes
+        s = data.draw(st.integers(0, n - 1))
+        d = data.draw(st.integers(0, n - 1))
+        rn = route_nodes(topo, s, d)
+        assert len(rn) == topo.distance(s, d)
+        if rn:
+            assert rn[-1] == d
+
+
+class TestPatternOnTopologyProperties:
+    @given(
+        topo=st.one_of(
+            st.tuples(
+                st.integers(min_value=2, max_value=5),
+                st.integers(min_value=1, max_value=5),
+            ).map(lambda d: Torus2D(*d)),
+            st.tuples(
+                st.integers(min_value=2, max_value=5),
+                st.integers(min_value=1, max_value=5),
+            ).map(lambda d: Mesh2D(*d)),
+        ),
+        p_sw=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_geometric_rows_valid(self, topo, p_sw):
+        from repro.workload import GeometricPattern
+
+        q = GeometricPattern(p_sw).module_probability_matrix(topo)
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(q), 0.0)
+        assert (q >= 0).all()
+
+    @given(
+        k=st.integers(min_value=2, max_value=5),
+        p_sw=st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_davg_within_machine_bounds(self, k, p_sw):
+        from repro.workload import GeometricPattern
+
+        for topo in (Torus2D(k), Mesh2D(k)):
+            d = GeometricPattern(p_sw).d_avg(topo)
+            assert 1.0 <= d <= topo.max_distance
+
+    @given(k=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_davg_equals_mean_remote_distance(self, k):
+        from repro.workload import UniformPattern
+
+        for topo in (Torus2D(k), Mesh2D(k)):
+            d = topo.distance_matrix
+            p = topo.num_nodes
+            expected = d.sum() / (p * (p - 1))
+            assert UniformPattern().d_avg(topo) == pytest.approx(expected)

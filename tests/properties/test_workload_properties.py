@@ -1,0 +1,111 @@
+"""Property-based tests for workload structures (visit ratios, patterns)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Torus2D
+from repro.workload import (
+    GeometricPattern,
+    IsoWorkPartitioning,
+    UniformPattern,
+    build_visit_ratios,
+    coalesce,
+    make_pattern,
+)
+from repro.params import Workload
+
+torus_st = st.sampled_from([Torus2D(2), Torus2D(3), Torus2D(4), Torus2D(3, 5)])
+p_remote_st = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+pattern_st = st.one_of(
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False).map(GeometricPattern),
+    st.just(UniformPattern()),
+)
+
+
+class TestVisitRatioInvariants:
+    @given(torus=torus_st, p=p_remote_st, pattern=pattern_st)
+    @settings(max_examples=80, deadline=None)
+    def test_one_memory_access_per_cycle(self, torus, p, pattern):
+        vr = build_visit_ratios(torus, p, pattern)
+        assert np.allclose(vr.memory.sum(axis=1), 1.0)
+
+    @given(torus=torus_st, p=p_remote_st, pattern=pattern_st)
+    @settings(max_examples=80, deadline=None)
+    def test_outbound_total(self, torus, p, pattern):
+        vr = build_visit_ratios(torus, p, pattern)
+        assert np.allclose(vr.outbound.sum(axis=1), 2.0 * p, atol=1e-12)
+
+    @given(torus=torus_st, p=p_remote_st, pattern=pattern_st)
+    @settings(max_examples=80, deadline=None)
+    def test_inbound_total_is_two_p_davg(self, torus, p, pattern):
+        vr = build_visit_ratios(torus, p, pattern)
+        if p == 0.0:
+            assert vr.inbound.sum() == 0.0
+        else:
+            expected = 2.0 * p * pattern.d_avg(torus)
+            assert np.allclose(vr.inbound.sum(axis=1), expected, rtol=1e-9)
+
+    @given(torus=torus_st, p=p_remote_st, pattern=pattern_st)
+    @settings(max_examples=50, deadline=None)
+    def test_translation_symmetry(self, torus, p, pattern):
+        vr = build_visit_ratios(torus, p, pattern)
+        b = torus.num_nodes // 2
+        perm = [torus.translate(n, b) for n in range(torus.num_nodes)]
+        for arr in (vr.memory, vr.inbound, vr.outbound):
+            assert np.allclose(arr[b, perm], arr[0], atol=1e-12)
+
+    @given(torus=torus_st, p=p_remote_st, pattern=pattern_st)
+    @settings(max_examples=50, deadline=None)
+    def test_all_ratios_nonnegative(self, torus, p, pattern):
+        vr = build_visit_ratios(torus, p, pattern)
+        assert (vr.memory >= 0).all()
+        assert (vr.inbound >= 0).all()
+        assert (vr.outbound >= 0).all()
+
+
+class TestPatternInvariants:
+    @given(torus=torus_st, pattern=pattern_st)
+    @settings(max_examples=60, deadline=None)
+    def test_module_probabilities_sum_to_one(self, torus, pattern):
+        mat = pattern.module_probability_matrix(torus)
+        assert np.allclose(mat.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    @given(torus=torus_st, pattern=pattern_st)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_pmf_valid(self, torus, pattern):
+        pmf = pattern.distance_pmf(torus)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (pmf >= 0).all()
+        assert pmf[0] == 0.0
+
+
+class TestPartitioningInvariants:
+    @given(
+        work=st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+        nt=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_iso_work_exact(self, work, nt):
+        wl = IsoWorkPartitioning(work).workload(nt)
+        assert wl.num_threads * wl.runlength == pytest.approx(work)
+
+    @given(
+        nt=st.integers(min_value=1, max_value=64),
+        r=st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+        factor=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_coalesce_preserves_work(self, nt, r, factor):
+        wl = Workload(num_threads=nt, runlength=r)
+        c = coalesce(wl, factor)
+        assert c.num_threads * c.runlength == pytest.approx(nt * r)
+        assert 1 <= c.num_threads <= nt
+
+    @given(name=st.sampled_from(["geometric", "uniform"]))
+    def test_factory_roundtrip(self, name):
+        assert make_pattern(name).distance_pmf(Torus2D(4)).sum() == pytest.approx(
+            1.0
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for asymptotic and balanced-job bounds."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    asymptotic_bounds,
+    balanced_job_bounds,
+    exact_mva_single_class,
+)
+from repro.queueing.network import ClosedNetwork
+
+
+def exact_x(demands, n):
+    m = len(demands)
+    net = ClosedNetwork(
+        visits=np.ones((1, m)),
+        service=np.array(demands, dtype=float),
+        populations=np.array([n]),
+    )
+    return exact_mva_single_class(net).throughput[0]
+
+
+class TestAsymptoticBounds:
+    def test_total_and_max(self):
+        b = asymptotic_bounds(np.ones(3), np.array([1.0, 2.0, 3.0]))
+        assert b.total_demand == 6.0
+        assert b.max_demand == 3.0
+        assert b.saturation_population == pytest.approx(2.0)
+
+    def test_upper_bound_holds(self):
+        demands = [1.0, 2.0, 4.0]
+        b = asymptotic_bounds(np.ones(3), np.array(demands))
+        for n in (1, 2, 5, 10, 50):
+            assert exact_x(demands, n) <= b.throughput_upper(n) + 1e-12
+
+    def test_lower_bound_holds(self):
+        demands = [1.0, 2.0, 4.0]
+        b = asymptotic_bounds(np.ones(3), np.array(demands))
+        for n in (1, 2, 5, 10, 50):
+            assert exact_x(demands, n) >= b.throughput_lower(n) - 1e-12
+
+    def test_upper_bound_tight_at_n1(self):
+        demands = [2.0, 3.0]
+        b = asymptotic_bounds(np.ones(2), np.array(demands))
+        assert exact_x(demands, 1) == pytest.approx(b.throughput_upper(1))
+
+    def test_zero_population(self):
+        b = asymptotic_bounds(np.ones(2), np.ones(2))
+        assert b.throughput_upper(0) == 0.0
+        assert b.throughput_lower(0) == 0.0
+
+
+class TestBalancedJobBounds:
+    def test_bracket_exact(self):
+        demands = [1.0, 2.0, 3.0]
+        for n in (1, 3, 8, 20):
+            lo, hi = balanced_job_bounds(np.ones(3), np.array(demands), n)
+            x = exact_x(demands, n)
+            assert lo - 1e-12 <= x <= hi + 1e-12
+
+    def test_exact_for_balanced(self):
+        """For a balanced network the BJB upper bound is exact."""
+        demands = [2.0, 2.0, 2.0]
+        for n in (1, 4, 9):
+            lo, hi = balanced_job_bounds(np.ones(3), np.array(demands), n)
+            x = exact_x(demands, n)
+            assert x == pytest.approx(hi, rel=1e-12)
+            assert x == pytest.approx(lo, rel=1e-12)
+
+    def test_zero_population(self):
+        assert balanced_job_bounds(np.ones(2), np.ones(2), 0) == (0.0, 0.0)
+
+    def test_ignores_zero_demand_stations(self):
+        lo1, hi1 = balanced_job_bounds(
+            np.array([1.0, 1.0, 0.0]), np.array([1.0, 2.0, 5.0]), 4
+        )
+        lo2, hi2 = balanced_job_bounds(np.ones(2), np.array([1.0, 2.0]), 4)
+        assert (lo1, hi1) == pytest.approx((lo2, hi2))

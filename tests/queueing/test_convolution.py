@@ -1,0 +1,118 @@
+"""Convolution (Buzen) solver vs exact MVA -- two independent exact paths."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    ClosedNetwork,
+    StationKind,
+    convolution_solve,
+    exact_mva_single_class,
+    normalization_constants,
+)
+
+
+def cyclic(demands, n, kinds=None):
+    m = len(demands)
+    return ClosedNetwork(
+        visits=np.ones((1, m)),
+        service=np.array(demands, dtype=float),
+        populations=np.array([n]),
+        kinds=kinds or (),
+    )
+
+
+class TestNormalizationConstants:
+    def test_single_station(self):
+        """One queueing station of demand d: G(n) = d^n."""
+        g = normalization_constants(np.array([2.0]), 4)
+        assert np.allclose(g, [1, 2, 4, 8, 16])
+
+    def test_two_stations_by_hand(self):
+        """D = [1, 2]: G(n) = sum_{k=0..n} 1^k 2^(n-k) = 2^(n+1) - 1."""
+        g = normalization_constants(np.array([1.0, 2.0]), 3)
+        assert np.allclose(g, [1, 3, 7, 15])
+
+    def test_station_order_invariant(self):
+        a = normalization_constants(np.array([1.0, 2.0, 0.5]), 5)
+        b = normalization_constants(np.array([0.5, 1.0, 2.0]), 5)
+        assert np.allclose(a, b)
+
+    def test_delay_station_factor(self):
+        """Pure delay of demand d: G(n) = d^n / n!."""
+        g = normalization_constants(
+            np.array([3.0]), 3, (StationKind.DELAY,)
+        )
+        assert np.allclose(g, [1, 3, 4.5, 4.5])
+
+    def test_negative_population(self):
+        with pytest.raises(ValueError):
+            normalization_constants(np.array([1.0]), -1)
+
+
+class TestConvolutionVsMVA:
+    @pytest.mark.parametrize(
+        "demands,n",
+        [
+            ([1.0, 2.0], 5),
+            ([1.0, 1.0, 1.0], 8),
+            ([0.5, 4.0, 2.0, 1.0], 6),
+            ([3.0], 4),
+        ],
+    )
+    def test_throughput_agrees(self, demands, n):
+        net = cyclic(demands, n)
+        conv = convolution_solve(net)
+        mva = exact_mva_single_class(net)
+        assert conv.throughput[0] == pytest.approx(mva.throughput[0], rel=1e-12)
+
+    @pytest.mark.parametrize(
+        "demands,n", [([1.0, 2.0], 5), ([0.5, 4.0, 2.0], 7)]
+    )
+    def test_queue_lengths_agree(self, demands, n):
+        net = cyclic(demands, n)
+        conv = convolution_solve(net)
+        mva = exact_mva_single_class(net)
+        assert np.allclose(conv.queue_length, mva.queue_length, rtol=1e-10)
+
+    def test_waiting_agrees(self):
+        net = cyclic([1.0, 2.0], 4)
+        conv = convolution_solve(net)
+        mva = exact_mva_single_class(net)
+        assert np.allclose(conv.waiting, mva.waiting, rtol=1e-10)
+
+    def test_with_delay_station(self):
+        net = cyclic(
+            [4.0, 2.0], 5, kinds=(StationKind.DELAY, StationKind.QUEUEING)
+        )
+        conv = convolution_solve(net)
+        mva = exact_mva_single_class(net)
+        assert conv.throughput[0] == pytest.approx(mva.throughput[0], rel=1e-12)
+        assert np.allclose(conv.queue_length, mva.queue_length, rtol=1e-10)
+
+    def test_population_conserved(self):
+        sol = convolution_solve(cyclic([1.0, 2.0, 3.0], 9))
+        assert sol.population_residual() < 1e-9
+
+    def test_zero_population(self):
+        sol = convolution_solve(cyclic([1.0], 0))
+        assert sol.throughput[0] == 0.0
+
+    def test_rejects_multiclass(self):
+        net = ClosedNetwork(
+            visits=np.ones((2, 2)),
+            service=np.ones(2),
+            populations=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError, match="single-class"):
+            convolution_solve(net)
+
+    def test_rejects_multiserver(self):
+        net = ClosedNetwork(
+            visits=np.ones((1, 2)),
+            service=np.ones(2),
+            populations=np.array([2]),
+            servers=(1, 2),
+        )
+        with pytest.raises(ValueError, match="single-server"):
+            convolution_solve(net)

@@ -1,0 +1,108 @@
+"""Multi-server stations (Seidmann approximation) across the solvers."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    ClosedNetwork,
+    bard_schweitzer,
+    exact_mva_single_class,
+    solve_symmetric,
+)
+
+
+def net(demands, n, servers):
+    m = len(demands)
+    return ClosedNetwork(
+        visits=np.ones((1, m)),
+        service=np.array(demands, dtype=float),
+        populations=np.array([n]),
+        servers=tuple(servers),
+    )
+
+
+class TestNetworkSpec:
+    def test_default_single_server(self):
+        n = net([1.0, 2.0], 3, (1, 1))
+        assert n.servers == (1, 1)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            net([1.0], 1, (0,))
+        with pytest.raises(ValueError):
+            net([1.0, 2.0], 1, (1,))
+
+    def test_seidmann_split(self):
+        n = net([4.0, 6.0], 3, (1, 3))
+        s_q, d = n.seidmann_split()
+        assert np.allclose(s_q, [[4.0, 2.0]])
+        assert np.allclose(d, [[0.0, 4.0]])
+
+    def test_split_preserves_total_service(self):
+        n = net([5.0], 2, (4,))
+        s_q, d = n.seidmann_split()
+        assert s_q[0, 0] + d[0, 0] == pytest.approx(5.0)
+
+
+class TestSolverBehaviour:
+    def test_single_customer_sees_full_service(self):
+        """With N = 1 there is no queueing: W = s regardless of servers."""
+        single = exact_mva_single_class(net([6.0, 2.0], 1, (3, 1)))
+        assert single.waiting[0, 0] == pytest.approx(6.0)
+        assert single.throughput[0] == pytest.approx(1 / 8.0)
+
+    def test_more_servers_more_throughput(self):
+        x1 = exact_mva_single_class(net([6.0, 2.0], 8, (1, 1))).throughput[0]
+        x3 = exact_mva_single_class(net([6.0, 2.0], 8, (3, 1))).throughput[0]
+        assert x3 > x1
+
+    def test_saturation_rate_scales_with_servers(self):
+        """Deep saturation: X -> m / s at the bottleneck."""
+        x = exact_mva_single_class(net([6.0, 0.5], 60, (3, 1))).throughput[0]
+        assert x == pytest.approx(3 / 6.0, rel=0.05)
+        assert x <= 3 / 6.0  # the capacity bound is never exceeded
+
+    def test_bs_matches_exact_shape(self):
+        n = net([4.0, 2.0], 6, (2, 1))
+        bs = bard_schweitzer(n).throughput[0]
+        ex = exact_mva_single_class(n).throughput[0]
+        assert bs == pytest.approx(ex, rel=0.06)
+
+    def test_symmetric_solver_supports_servers(self):
+        v = np.array([1.0, 1.0])
+        s = np.array([4.0, 2.0])
+        x1 = solve_symmetric(v, s, np.array([0, 1]), 6).throughput
+        x2 = solve_symmetric(
+            v, s, np.array([0, 1]), 6, servers=np.array([2, 1])
+        ).throughput
+        assert x2 > x1
+
+    def test_symmetric_solver_validates_servers(self):
+        v = np.ones(2)
+        with pytest.raises(ValueError):
+            solve_symmetric(v, v, np.array([0, 1]), 2, servers=np.array([1]))
+        with pytest.raises(ValueError):
+            solve_symmetric(v, v, np.array([0, 1]), 2, servers=np.array([0, 1]))
+
+    def test_many_servers_bounded_by_delay_station(self):
+        """m >= N: true behaviour is a pure delay; the Seidmann
+        approximation is pessimistic but must stay between the
+        single-server and the delay-station solutions."""
+        n_pop = 4
+        x_multi = exact_mva_single_class(
+            net([5.0, 1.0], n_pop, (n_pop, 1))
+        ).throughput[0]
+        x_single = exact_mva_single_class(net([5.0, 1.0], n_pop, (1, 1))).throughput[
+            0
+        ]
+        from repro.queueing import StationKind
+
+        x_delay = exact_mva_single_class(
+            ClosedNetwork(
+                visits=np.ones((1, 2)),
+                service=np.array([5.0, 1.0]),
+                populations=np.array([n_pop]),
+                kinds=(StationKind.DELAY, StationKind.QUEUEING),
+            )
+        ).throughput[0]
+        assert x_single < x_multi < x_delay * 1.0001

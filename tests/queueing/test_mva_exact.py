@@ -1,0 +1,174 @@
+"""Unit tests for exact MVA against textbook closed-form results."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    ClosedNetwork,
+    StationKind,
+    exact_mva,
+    exact_mva_single_class,
+    lattice_size,
+)
+
+
+def cyclic(demands, n, kinds=None):
+    """Single-class cyclic network with unit visits and given service times."""
+    m = len(demands)
+    return ClosedNetwork(
+        visits=np.ones((1, m)),
+        service=np.array(demands, dtype=float),
+        populations=np.array([n]),
+        kinds=kinds or (),
+    )
+
+
+class TestSingleClass:
+    def test_single_station(self):
+        """One queue, N customers: X = 1/s, Q = N."""
+        sol = exact_mva_single_class(cyclic([2.0], 5))
+        assert sol.throughput[0] == pytest.approx(0.5)
+        assert sol.queue_length[0, 0] == pytest.approx(5.0)
+
+    def test_balanced_two_station(self):
+        """Balanced M=2: X(N) = N / (D (N + 1))."""
+        for n in (1, 2, 5, 10):
+            sol = exact_mva_single_class(cyclic([3.0, 3.0], n))
+            assert sol.throughput[0] == pytest.approx(n / (3.0 * (n + 1)))
+
+    def test_balanced_m_station(self):
+        """Balanced M stations: X(N) = N / (D (N + M - 1))."""
+        m, d, n = 4, 2.0, 6
+        sol = exact_mva_single_class(cyclic([d] * m, n))
+        assert sol.throughput[0] == pytest.approx(n / (d * (n + m - 1)))
+
+    def test_bottleneck_saturation(self):
+        """X(N) -> 1/D_max for large N."""
+        sol = exact_mva_single_class(cyclic([1.0, 5.0], 50))
+        assert sol.throughput[0] == pytest.approx(1 / 5.0, rel=1e-3)
+
+    def test_utilization_below_one(self):
+        sol = exact_mva_single_class(cyclic([1.0, 2.0, 3.0], 10))
+        assert (sol.total_utilization <= 1.0 + 1e-12).all()
+
+    def test_population_conserved(self):
+        sol = exact_mva_single_class(cyclic([1.0, 2.0, 3.0], 7))
+        assert sol.population_residual() < 1e-9
+
+    def test_littles_law(self):
+        sol = exact_mva_single_class(cyclic([1.5, 2.5], 4))
+        assert sol.littles_law_residual() < 1e-12
+
+    def test_delay_station(self):
+        """Machine-repairman: delay Z + queue D; X(1) = 1/(Z + D)."""
+        net = cyclic([4.0, 2.0], 1, kinds=(StationKind.DELAY, StationKind.QUEUEING))
+        sol = exact_mva_single_class(net)
+        assert sol.throughput[0] == pytest.approx(1 / 6.0)
+
+    def test_delay_station_no_queueing(self):
+        """Pure delay network: X = N/Z exactly, any N."""
+        net = ClosedNetwork(
+            visits=np.array([[1.0]]),
+            service=np.array([5.0]),
+            populations=np.array([8]),
+            kinds=(StationKind.DELAY,),
+        )
+        sol = exact_mva_single_class(net)
+        assert sol.throughput[0] == pytest.approx(8 / 5.0)
+
+    def test_zero_population(self):
+        sol = exact_mva_single_class(cyclic([1.0, 2.0], 0))
+        assert sol.throughput[0] == 0.0
+
+    def test_zero_service_station_ignored(self):
+        """A zero-delay station adds nothing: same X as without it."""
+        with_zero = exact_mva_single_class(cyclic([2.0, 0.0, 3.0], 5))
+        without = exact_mva_single_class(cyclic([2.0, 3.0], 5))
+        assert with_zero.throughput[0] == pytest.approx(without.throughput[0])
+
+    def test_visit_scaling_invariance(self):
+        """Only demands v*s matter for throughput."""
+        a = ClosedNetwork(
+            visits=np.array([[2.0, 1.0]]),
+            service=np.array([1.0, 3.0]),
+            populations=np.array([4]),
+        )
+        b = ClosedNetwork(
+            visits=np.array([[1.0, 1.0]]),
+            service=np.array([2.0, 3.0]),
+            populations=np.array([4]),
+        )
+        xa = exact_mva_single_class(a).throughput[0]
+        xb = exact_mva_single_class(b).throughput[0]
+        assert xa == pytest.approx(xb)
+
+    def test_rejects_multiclass(self):
+        net = ClosedNetwork(
+            visits=np.ones((2, 2)),
+            service=np.ones(2),
+            populations=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError):
+            exact_mva_single_class(net)
+
+
+class TestMultiClass:
+    def test_reduces_to_single_class(self):
+        net = cyclic([1.0, 2.0], 5)
+        assert exact_mva(net).throughput[0] == pytest.approx(
+            exact_mva_single_class(net).throughput[0]
+        )
+
+    def test_two_symmetric_classes(self):
+        """Two identical classes on shared stations behave like one class of
+        double population on the shared-demand network."""
+        net2 = ClosedNetwork(
+            visits=np.ones((2, 2)),
+            service=np.array([1.0, 1.0]),
+            populations=np.array([2, 2]),
+        )
+        sol2 = exact_mva(net2)
+        net1 = cyclic([1.0, 1.0], 4)
+        sol1 = exact_mva(net1)
+        assert 2 * sol2.throughput[0] == pytest.approx(sol1.throughput[0])
+        assert sol2.throughput[0] == pytest.approx(sol2.throughput[1])
+
+    def test_asymmetric_visits(self):
+        """Classes with disjoint stations don't interact."""
+        net = ClosedNetwork(
+            visits=np.array([[1.0, 0.0], [0.0, 1.0]]),
+            service=np.array([2.0, 4.0]),
+            populations=np.array([3, 3]),
+        )
+        sol = exact_mva(net)
+        assert sol.throughput[0] == pytest.approx(1 / 2.0)
+        assert sol.throughput[1] == pytest.approx(1 / 4.0)
+
+    def test_population_conserved(self):
+        net = ClosedNetwork(
+            visits=np.array([[1.0, 0.5], [0.5, 1.0]]),
+            service=np.array([1.0, 2.0]),
+            populations=np.array([2, 3]),
+        )
+        assert exact_mva(net).population_residual() < 1e-9
+
+    def test_class_dependent_fcfs_rejected(self):
+        net = ClosedNetwork(
+            visits=np.ones((2, 1)),
+            service=np.array([[1.0], [2.0]]),
+            populations=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError, match="class-dependent"):
+            exact_mva(net)
+
+    def test_lattice_guard(self):
+        net = ClosedNetwork(
+            visits=np.ones((4, 2)),
+            service=np.ones(2),
+            populations=np.array([100, 100, 100, 100]),
+        )
+        with pytest.raises(ValueError, match="lattice"):
+            exact_mva(net)
+
+    def test_lattice_size(self):
+        assert lattice_size(np.array([2, 3])) == 12

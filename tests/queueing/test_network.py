@@ -1,0 +1,96 @@
+"""Unit tests for the closed-network specification."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import ClosedNetwork, StationKind
+
+
+def make_net(**kw):
+    defaults = dict(
+        visits=np.array([[1.0, 0.5]]),
+        service=np.array([2.0, 4.0]),
+        populations=np.array([3]),
+    )
+    defaults.update(kw)
+    return ClosedNetwork(**defaults)
+
+
+class TestConstruction:
+    def test_basic_shapes(self):
+        net = make_net()
+        assert net.num_classes == 1
+        assert net.num_stations == 2
+
+    def test_service_broadcast(self):
+        net = ClosedNetwork(
+            visits=np.ones((2, 3)),
+            service=np.array([1.0, 2.0, 3.0]),
+            populations=np.array([1, 1]),
+        )
+        assert net.service.shape == (2, 3)
+        assert np.allclose(net.service[0], net.service[1])
+
+    def test_per_class_service(self):
+        s = np.array([[1.0, 2.0], [3.0, 4.0]])
+        net = ClosedNetwork(
+            visits=np.ones((2, 2)), service=s, populations=np.array([1, 1])
+        )
+        assert np.array_equal(net.service, s)
+
+    def test_demands(self):
+        net = make_net()
+        assert np.allclose(net.demands, [[2.0, 2.0]])
+
+    def test_default_kinds_queueing(self):
+        net = make_net()
+        assert all(k is StationKind.QUEUEING for k in net.kinds)
+        assert net.queueing_mask().all()
+
+    def test_delay_station(self):
+        net = make_net(kinds=(StationKind.QUEUEING, StationKind.DELAY))
+        assert net.queueing_mask().tolist() == [True, False]
+
+    def test_names_default(self):
+        assert make_net().names == ("station0", "station1")
+
+    def test_station_index(self):
+        net = make_net(names=("cpu", "disk"))
+        assert net.station_index("disk") == 1
+        with pytest.raises(KeyError):
+            net.station_index("net")
+
+
+class TestValidation:
+    def test_bad_service_shape(self):
+        with pytest.raises(ValueError, match="service shape"):
+            make_net(service=np.array([1.0, 2.0, 3.0]))
+
+    def test_bad_population_shape(self):
+        with pytest.raises(ValueError, match="populations shape"):
+            make_net(populations=np.array([1, 2]))
+
+    def test_negative_visits(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_net(visits=np.array([[1.0, -0.5]]))
+
+    def test_negative_service(self):
+        with pytest.raises(ValueError):
+            make_net(service=np.array([1.0, -2.0]))
+
+    def test_negative_population(self):
+        with pytest.raises(ValueError):
+            make_net(populations=np.array([-1]))
+
+    def test_wrong_kind_count(self):
+        with pytest.raises(ValueError, match="kinds"):
+            make_net(kinds=(StationKind.QUEUEING,))
+
+    def test_wrong_name_count(self):
+        with pytest.raises(ValueError, match="names"):
+            make_net(names=("only-one",))
+
+    def test_zero_service_allowed(self):
+        """Zero-delay (ideal) stations are legal."""
+        net = make_net(service=np.array([2.0, 0.0]))
+        assert net.service[0, 1] == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the QNSolution / SymmetricSolution result containers."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    ClosedNetwork,
+    exact_mva_single_class,
+    solve_symmetric,
+)
+
+
+@pytest.fixture
+def solved():
+    net = ClosedNetwork(
+        visits=np.array([[1.0, 2.0]]),
+        service=np.array([3.0, 1.0]),
+        populations=np.array([4]),
+        names=("cpu", "disk"),
+    )
+    return exact_mva_single_class(net)
+
+
+class TestQNSolution:
+    def test_cycle_time_littles_law(self, solved):
+        assert solved.cycle_time[0] == pytest.approx(4.0 / solved.throughput[0])
+
+    def test_cycle_time_zero_throughput(self):
+        net = ClosedNetwork(
+            visits=np.ones((1, 1)),
+            service=np.ones(1),
+            populations=np.array([0]),
+        )
+        sol = exact_mva_single_class(net)
+        assert sol.cycle_time[0] == np.inf
+
+    def test_residence_decomposes_cycle(self, solved):
+        res = solved.residence(0)
+        assert res.sum() == pytest.approx(solved.cycle_time[0])
+
+    def test_utilization_formula(self, solved):
+        expected = solved.throughput[0] * np.array([1.0 * 3.0, 2.0 * 1.0])
+        assert np.allclose(solved.utilization[0], expected)
+
+    def test_total_views(self, solved):
+        assert np.allclose(solved.total_utilization, solved.utilization[0])
+        assert np.allclose(solved.total_queue_length, solved.queue_length[0])
+
+    def test_bottleneck_identifiable(self, solved):
+        """The highest-demand station carries the highest utilization."""
+        assert solved.total_utilization.argmax() == 0  # cpu demand 3 > disk 2
+
+
+class TestSymmetricSolution:
+    def test_residence_helper(self):
+        v = np.array([1.0, 0.5, 0.0])
+        sol = solve_symmetric(v, np.array([2.0, 2.0, 2.0]), np.arange(3), 3)
+        res = sol.residence(v)
+        assert res[2] == 0.0
+        assert res.sum() == pytest.approx(3.0 / sol.throughput)
+
+    def test_total_queue_pooled_by_type(self):
+        # two stations of the same type share one pooled total
+        v = np.array([1.0, 1.0])
+        sol = solve_symmetric(v, np.array([1.0, 1.0]), np.array([0, 0]), 2)
+        assert sol.total_queue[0] == sol.total_queue[1]
+        assert sol.total_queue[0] == pytest.approx(sol.queue_length.sum())

@@ -1,0 +1,104 @@
+"""Unit tests for the symmetric AMVA fast path.
+
+The load-bearing property: on SPMD workloads over a vertex-transitive torus,
+the symmetric solver must coincide with the full multi-class Bard-Schweitzer
+solution (it is the same fixed point restricted to the symmetric manifold).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.queueing import bard_schweitzer, exact_mva_single_class, solve_symmetric
+from repro.queueing.network import ClosedNetwork
+
+
+class TestBasics:
+    def test_zero_population(self):
+        sol = solve_symmetric(
+            np.array([1.0, 0.5]), np.array([2.0, 1.0]), np.array([0, 1]), 0
+        )
+        assert sol.throughput == 0.0
+        assert sol.converged
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_symmetric(np.ones(3), np.ones(2), np.zeros(3), 1)
+
+    def test_negative_population(self):
+        with pytest.raises(ValueError):
+            solve_symmetric(np.ones(2), np.ones(2), np.zeros(2), -1)
+
+    def test_population_conserved(self):
+        sol = solve_symmetric(
+            np.array([1.0, 1.0]), np.array([1.0, 2.0]), np.array([0, 1]), 5
+        )
+        assert sol.queue_length.sum() == pytest.approx(5.0, abs=1e-8)
+
+    def test_single_class_degenerate_case(self):
+        """With each station its own type, the symmetric solver reduces to
+        single-class Bard-Schweitzer; compare against exact at N=1."""
+        v = np.array([1.0, 1.0])
+        s = np.array([2.0, 3.0])
+        sol = solve_symmetric(v, s, np.array([0, 1]), 1)
+        net = ClosedNetwork(
+            visits=v[None, :], service=s, populations=np.array([1])
+        )
+        ex = exact_mva_single_class(net)
+        assert sol.throughput == pytest.approx(ex.throughput[0], rel=1e-9)
+
+    def test_residence_helper(self):
+        v = np.array([1.0, 2.0])
+        sol = solve_symmetric(v, np.array([1.0, 1.0]), np.array([0, 1]), 3)
+        assert np.allclose(sol.residence(v), v * sol.waiting)
+
+
+class TestMatchesFullAMVA:
+    """The headline equivalence, on real MMS instances."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"p_remote": 0.4},
+            {"num_threads": 3},
+            {"pattern": "uniform"},
+            {"k": 2, "num_threads": 5},
+            {"runlength": 20.0, "p_remote": 0.6},
+            {"switch_delay": 0.0},
+            {"memory_latency": 0.0, "p_remote": 0.3},
+            {"memory_ports": 2, "p_remote": 0.3},
+        ],
+    )
+    def test_equivalence(self, overrides):
+        params = paper_defaults(**overrides)
+        model = MMSModel(params)
+        sym = model.solve(method="symmetric")
+        full = model.solve(method="amva")
+        assert sym.processor_utilization == pytest.approx(
+            full.processor_utilization, rel=1e-6
+        )
+        assert sym.s_obs == pytest.approx(full.s_obs, rel=1e-5, abs=1e-9)
+        assert sym.l_obs == pytest.approx(full.l_obs, rel=1e-6)
+        assert sym.lambda_net == pytest.approx(full.lambda_net, rel=1e-6, abs=1e-12)
+
+    def test_total_queue_uniform_within_type(self):
+        """By symmetry, each station type's total queue is node-invariant --
+        verify it against the full multi-class solution."""
+        params = paper_defaults(num_threads=4)
+        net = MMSModel(params).build_network()
+        full = bard_schweitzer(net)
+        p = params.arch.num_processors
+        totals = full.total_queue_length
+        for kind in range(4):
+            sl = totals[kind * p : (kind + 1) * p]
+            assert np.allclose(sl, sl[0], atol=1e-6)
+
+    def test_speedup_structure(self):
+        """The symmetric path touches O(M) state, the full path O(C*M)."""
+        params = paper_defaults(k=6)
+        model = MMSModel(params)
+        v, s, t, srv = model.station_arrays()
+        assert v.shape == (4 * 36,)
+        assert model.build_network().visits.shape == (36, 4 * 36)

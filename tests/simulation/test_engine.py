@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        log = []
+        eng.schedule(5.0, log.append, "b")
+        eng.schedule(1.0, log.append, "a")
+        eng.schedule(9.0, log.append, "c")
+        eng.run_until(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        eng = Engine()
+        log = []
+        eng.schedule(1.0, log.append, 1)
+        eng.schedule(1.0, log.append, 2)
+        eng.run_until(2.0)
+        assert log == [1, 2]
+
+    def test_now_advances(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(3.0, lambda: seen.append(eng.now))
+        eng.run_until(10.0)
+        assert seen == [3.0]
+        assert eng.now == 10.0
+
+    def test_horizon_respected(self):
+        eng = Engine()
+        log = []
+        eng.schedule(5.0, log.append, "late")
+        eng.run_until(4.0)
+        assert log == []
+        assert eng.pending == 1
+        eng.run_until(6.0)
+        assert log == ["late"]
+
+    def test_events_at_horizon_run(self):
+        eng = Engine()
+        log = []
+        eng.schedule(5.0, log.append, "x")
+        eng.run_until(5.0)
+        assert log == ["x"]
+
+    def test_cascading_events(self):
+        eng = Engine()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                eng.schedule(1.0, chain, n + 1)
+
+        eng.schedule(0.0, chain, 0)
+        eng.run_until(10.0)
+        assert log == [0, 1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_peek(self):
+        eng = Engine()
+        assert eng.peek() == float("inf")
+        eng.schedule(2.5, lambda: None)
+        assert eng.peek() == 2.5
+
+
+class TestServiceDraws:
+    def test_deterministic(self):
+        eng = Engine(seed=1)
+        assert eng.draw_service(4.0, "deterministic") == 4.0
+
+    def test_exponential_mean(self):
+        eng = Engine(seed=42)
+        draws = [eng.draw_service(10.0, "exponential") for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_zero_mean(self):
+        eng = Engine()
+        assert eng.draw_service(0.0, "exponential") == 0.0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().draw_service(-1.0, "exponential")
+
+    def test_unknown_dist(self):
+        with pytest.raises(ValueError):
+            Engine().draw_service(1.0, "weibull")
+
+    def test_reproducible_with_seed(self):
+        a = [Engine(seed=7).draw_service(1.0, "exponential") for _ in range(1)]
+        b = [Engine(seed=7).draw_service(1.0, "exponential") for _ in range(1)]
+        assert a == b

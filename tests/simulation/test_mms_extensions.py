@@ -1,0 +1,117 @@
+"""MMS simulator extensions: ports, priority, buffers, pipelining, credits."""
+
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.simulation import MMSSimulation
+
+
+class TestMultiportedMemory:
+    def test_model_and_sim_agree(self):
+        params = paper_defaults(memory_ports=2, p_remote=0.3, runlength=5.0)
+        perf = MMSModel(params).solve()
+        sim = MMSSimulation(params, seed=5).run(25_000.0)
+        assert sim.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.06
+        )
+
+    def test_ports_help_when_memory_bound(self):
+        base = paper_defaults(runlength=5.0, p_remote=0.1)
+        one = MMSSimulation(base, seed=5).run(12_000.0)
+        two = MMSSimulation(base.with_(memory_ports=2), seed=5).run(12_000.0)
+        assert two.processor_utilization > one.processor_utilization
+        assert two.l_obs < one.l_obs
+
+
+class TestLocalPriority:
+    def test_local_latency_shrinks(self):
+        params = paper_defaults(p_remote=0.4)
+        fcfs = MMSSimulation(params, seed=6).run(15_000.0)
+        prio = MMSSimulation(params, seed=6, local_priority=True).run(15_000.0)
+        assert prio.l_obs_local < fcfs.l_obs_local
+
+    def test_remote_latency_pays(self):
+        params = paper_defaults(p_remote=0.4)
+        fcfs = MMSSimulation(params, seed=6).run(15_000.0)
+        prio = MMSSimulation(params, seed=6, local_priority=True).run(15_000.0)
+        assert prio.l_obs_remote > fcfs.l_obs_remote * 0.98
+
+    def test_throughput_roughly_preserved(self):
+        """Non-preemptive priorities are work conserving."""
+        params = paper_defaults(p_remote=0.4)
+        fcfs = MMSSimulation(params, seed=6).run(15_000.0)
+        prio = MMSSimulation(params, seed=6, local_priority=True).run(15_000.0)
+        assert prio.access_rate == pytest.approx(fcfs.access_rate, rel=0.05)
+
+
+class TestFiniteBuffers:
+    def test_light_load_unaffected(self):
+        params = paper_defaults(p_remote=0.2, num_threads=1)
+        inf = MMSSimulation(params, seed=7).run(10_000.0)
+        fin = MMSSimulation(params, seed=7, switch_capacity=8).run(10_000.0)
+        assert fin.s_obs == pytest.approx(inf.s_obs, rel=0.05)
+
+    def test_deadlock_detected(self):
+        """Raw transfer blocking on a torus (no virtual channels) deadlocks
+        under load -- the simulator must say so, not hang or lie."""
+        params = paper_defaults(p_remote=0.5, num_threads=10)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            MMSSimulation(params, seed=7, switch_capacity=3).run(10_000.0)
+
+    def test_incompatible_with_pipelining(self):
+        with pytest.raises(ValueError):
+            MMSSimulation(
+                paper_defaults(), switch_capacity=4, switch_pipeline_depth=2
+            )
+
+
+class TestInjectionCredits:
+    def test_sobs_saturates_with_threads(self):
+        """Footnote 3: with finite buffering (here: end-to-end credits),
+        S_obs saturates in n_t instead of growing linearly."""
+        params = paper_defaults(p_remote=0.4)
+        s_capped = [
+            MMSSimulation(
+                params.with_(num_threads=nt), seed=3, max_outstanding_remote=2
+            )
+            .run(8_000.0)
+            .s_obs
+            for nt in (4, 8, 16)
+        ]
+        s_free = [
+            MMSSimulation(params.with_(num_threads=nt), seed=3).run(8_000.0).s_obs
+            for nt in (4, 8, 16)
+        ]
+        # capped: flat; uncapped: still climbing
+        assert s_capped[2] < 1.2 * s_capped[0]
+        assert s_free[2] > 2.0 * s_free[0]
+
+    def test_credits_bound_outstanding(self):
+        sim = MMSSimulation(
+            paper_defaults(p_remote=0.5, num_threads=8),
+            seed=4,
+            max_outstanding_remote=3,
+        )
+        sim.run(5_000.0)
+        for node in range(16):
+            assert 0 <= sim._credits[node] <= 3
+
+    def test_invalid_credits(self):
+        with pytest.raises(ValueError):
+            MMSSimulation(paper_defaults(), max_outstanding_remote=0)
+
+
+class TestPipelinedSwitches:
+    def test_light_load_benefits(self):
+        """Below saturation, pipelining cuts the observed network latency."""
+        params = paper_defaults(p_remote=0.2, num_threads=2)
+        plain = MMSSimulation(params, seed=8).run(15_000.0)
+        piped = MMSSimulation(params, seed=8, switch_pipeline_depth=4).run(
+            15_000.0
+        )
+        assert piped.s_obs < plain.s_obs
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            MMSSimulation(paper_defaults(), switch_pipeline_depth=0)

@@ -1,0 +1,132 @@
+"""Unit and statistical tests for the MMS discrete-event simulator."""
+
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.simulation import MMSSimulation, simulate
+
+
+@pytest.fixture(scope="module")
+def default_result():
+    return simulate(paper_defaults(), duration=20_000.0, seed=5)
+
+
+class TestMechanics:
+    def test_cycles_counted(self, default_result):
+        assert default_result.cycles > 0
+
+    def test_remote_share_of_messages(self, default_result):
+        """~p_remote of accesses are remote."""
+        frac = default_result.remote_messages / default_result.cycles
+        assert frac == pytest.approx(0.2, abs=0.02)
+
+    def test_duration_recorded(self, default_result):
+        assert default_result.duration == pytest.approx(20_000.0)
+
+    def test_utilizations_are_fractions(self, default_result):
+        for u in (
+            default_result.processor_utilization,
+            default_result.memory_utilization,
+            default_result.inbound_utilization,
+            default_result.outbound_utilization,
+        ):
+            assert 0.0 <= u <= 1.0
+
+    def test_reproducible(self):
+        params = paper_defaults(k=2, num_threads=2)
+        a = simulate(params, duration=5000.0, seed=9)
+        b = simulate(params, duration=5000.0, seed=9)
+        assert a.processor_utilization == b.processor_utilization
+        assert a.cycles == b.cycles
+
+    def test_seed_changes_trajectory(self):
+        params = paper_defaults(k=2, num_threads=2)
+        a = simulate(params, duration=5000.0, seed=1)
+        b = simulate(params, duration=5000.0, seed=2)
+        assert a.cycles != b.cycles
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            simulate(paper_defaults(), duration=0.0)
+
+    def test_local_only_no_network(self):
+        res = simulate(paper_defaults(p_remote=0.0), duration=5000.0)
+        assert res.remote_messages == 0
+        assert res.lambda_net == 0.0
+        assert res.s_obs == 0.0
+        assert res.inbound_utilization == 0.0
+
+    def test_summary_keys(self, default_result):
+        assert set(default_result.summary()) == {
+            "U_p",
+            "lambda_net",
+            "S_obs",
+            "L_obs",
+            "access_rate",
+        }
+
+
+class TestAgainstAnalyticalModel:
+    """The paper's validation bar: lambda_net within ~2%, S_obs within ~5%.
+
+    We allow slightly wider bands since horizons here are kept short for test
+    speed; the benchmark harness runs the full comparison."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"p_remote": 0.5},
+            {"p_remote": 0.2},
+            {"p_remote": 0.5, "switch_delay": 20.0},
+            {"p_remote": 0.3, "num_threads": 4},
+        ],
+    )
+    def test_headline_measures(self, overrides):
+        params = paper_defaults(**overrides)
+        perf = MMSModel(params).solve()
+        sim = simulate(params, duration=25_000.0, seed=3)
+        assert sim.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.05
+        )
+        assert sim.lambda_net == pytest.approx(perf.lambda_net, rel=0.06)
+        assert sim.s_obs == pytest.approx(perf.s_obs, rel=0.10)
+        assert sim.l_obs == pytest.approx(perf.l_obs, rel=0.10)
+
+    def test_deterministic_memory_service(self):
+        """Paper, Section 8: swapping the memory service law to deterministic
+        moves S_obs by < ~10%."""
+        params = paper_defaults(p_remote=0.5)
+        exp = simulate(params, duration=20_000.0, seed=4)
+        det = simulate(params, duration=20_000.0, seed=4, memory_dist="deterministic")
+        assert det.s_obs == pytest.approx(exp.s_obs, rel=0.10)
+
+    def test_utilization_rises_with_threads(self):
+        u = [
+            simulate(
+                paper_defaults(num_threads=n), duration=10_000.0, seed=6
+            ).processor_utilization
+            for n in (1, 4, 12)
+        ]
+        assert u[0] < u[1] < u[2]
+
+    def test_context_switch_overhead_counted(self):
+        params = paper_defaults(context_switch=5.0, p_remote=0.0)
+        sim = simulate(params, duration=10_000.0, seed=7)
+        perf = MMSModel(params).solve()
+        assert sim.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.05
+        )
+
+
+class TestClassApi:
+    def test_run_twice_not_supported_semantics(self):
+        """A simulation object is single-shot; a second run continues the
+        trajectory rather than restarting (documented behaviour)."""
+        sim = MMSSimulation(paper_defaults(k=2, num_threads=2), seed=0)
+        first = sim.run(duration=2000.0)
+        assert first.cycles > 0
+
+    def test_warmup_override(self):
+        res = simulate(paper_defaults(k=2), duration=3000.0, warmup=500.0)
+        assert res.duration == pytest.approx(3000.0)

@@ -1,0 +1,145 @@
+"""Statistical validation of the DES stations against queueing theory."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import Engine, FCFSServer
+from repro.simulation.stations import PriorityFCFSServer
+from repro.simulation.stats import Welford
+
+
+def open_mm1(rho: float, service: float, horizon: float, seed: int = 0):
+    """Drive a station with Poisson arrivals at utilization ``rho``;
+    returns (mean sojourn, measured utilization)."""
+    eng = Engine(seed)
+    st = FCFSServer(eng, service, "exponential")
+    lam = rho / service
+    sojourn = Welford()
+
+    def arrival():
+        t0 = eng.now
+        st.arrive(t0, lambda t_in: sojourn.add(eng.now - t_in))
+        eng.schedule(float(eng.rng.exponential(1.0 / lam)), arrival)
+
+    eng.schedule(float(eng.rng.exponential(1.0 / lam)), arrival)
+    eng.run_until(horizon)
+    return sojourn.mean, st.busy_time_until(horizon) / horizon
+
+
+class TestMM1:
+    def test_sojourn_time(self):
+        """M/M/1: E[T] = s / (1 - rho)."""
+        mean_t, _ = open_mm1(rho=0.5, service=1.0, horizon=60_000.0)
+        assert mean_t == pytest.approx(1.0 / 0.5, rel=0.06)
+
+    def test_utilization(self):
+        _, util = open_mm1(rho=0.7, service=2.0, horizon=60_000.0)
+        assert util == pytest.approx(0.7, rel=0.04)
+
+    def test_heavy_traffic(self):
+        mean_t, util = open_mm1(rho=0.9, service=1.0, horizon=200_000.0)
+        assert util == pytest.approx(0.9, rel=0.03)
+        assert mean_t == pytest.approx(10.0, rel=0.25)  # high variance regime
+
+
+class TestMMc:
+    def test_mm2_sojourn_closed_form(self):
+        """M/M/2 with per-server utilization rho: E[T] = s / (1 - rho^2)."""
+        eng = Engine(3)
+        st = FCFSServer(eng, 1.0, "exponential", servers=2)
+        lam = 0.9  # total arrival rate; per-server rho = lam * s / 2 = 0.45
+        sojourn = Welford()
+
+        def arrival():
+            t0 = eng.now
+            st.arrive(t0, lambda t_in: sojourn.add(eng.now - t_in))
+            eng.schedule(float(eng.rng.exponential(1.0 / lam)), arrival)
+
+        eng.schedule(0.0, arrival)
+        eng.run_until(100_000.0)
+        expected = 1.0 / (1 - 0.45**2)
+        assert sojourn.mean == pytest.approx(expected, rel=0.06)
+
+    def test_mm2_utilization(self):
+        eng = Engine(4)
+        st = FCFSServer(eng, 1.0, "exponential", servers=2)
+
+        def arrival():
+            st.arrive(None, lambda _: None)
+            eng.schedule(float(eng.rng.exponential(1.0 / 0.9)), arrival)
+
+        eng.schedule(0.0, arrival)
+        horizon = 50_000.0
+        eng.run_until(horizon)
+        assert st.utilization_until(horizon, horizon) == pytest.approx(
+            0.45, rel=0.05
+        )
+
+
+class TestNonPreemptivePriorityTheory:
+    def test_priority_mean_waits(self):
+        """M/M/1 with two non-preemptive priority classes: the class means
+        follow the Cobham formulas."""
+        eng = Engine(5)
+        st = PriorityFCFSServer(eng, 1.0, "exponential", levels=2)
+        lam_each = 0.35  # per class; total rho = 0.7
+        w_high, w_low = Welford(), Welford()
+
+        def arrival(priority, acc):
+            t0 = eng.now
+            st.arrive(t0, lambda t_in: acc.add(eng.now - t_in), priority=priority)
+            eng.schedule(
+                float(eng.rng.exponential(1.0 / lam_each)), arrival, priority, acc
+            )
+
+        eng.schedule(0.0, arrival, 0, w_high)
+        eng.schedule(0.1, arrival, 1, w_low)
+        eng.run_until(150_000.0)
+
+        # Cobham: W0 = R/(1-rho1), W1 = R/((1-rho1)(1-rho)), R = rho*s
+        rho1, rho = 0.35, 0.7
+        r = rho * 1.0  # mean residual work (exponential: rho * s)
+        wq_high = r / (1 - rho1)
+        wq_low = r / ((1 - rho1) * (1 - rho))
+        assert w_high.mean == pytest.approx(wq_high + 1.0, rel=0.08)
+        assert w_low.mean == pytest.approx(wq_low + 1.0, rel=0.08)
+
+    def test_priority_ordering(self):
+        """High class always waits less than low class under load."""
+        eng = Engine(6)
+        st = PriorityFCFSServer(eng, 1.0, "exponential", levels=2)
+        acc = [Welford(), Welford()]
+
+        def arrival(priority):
+            t0 = eng.now
+            st.arrive(
+                t0, lambda t_in: acc[priority].add(eng.now - t_in), priority=priority
+            )
+            eng.schedule(float(eng.rng.exponential(1.0 / 0.4)), arrival, priority)
+
+        eng.schedule(0.0, arrival, 0)
+        eng.schedule(0.1, arrival, 1)
+        eng.run_until(40_000.0)
+        assert acc[0].mean < acc[1].mean
+
+
+class TestMD1:
+    def test_deterministic_service_halves_queueing(self):
+        """M/D/1 waiting is half of M/M/1's (Pollaczek-Khinchine)."""
+        def run(dist, seed):
+            eng = Engine(seed)
+            st = FCFSServer(eng, 1.0, dist)
+            sojourn = Welford()
+
+            def arrival():
+                t0 = eng.now
+                st.arrive(t0, lambda t_in: sojourn.add(eng.now - t_in))
+                eng.schedule(float(eng.rng.exponential(1.0 / 0.7)), arrival)
+
+            eng.schedule(0.0, arrival)
+            eng.run_until(120_000.0)
+            return sojourn.mean - 1.0  # waiting = sojourn - service
+
+        wq_mm1 = run("exponential", 7)
+        wq_md1 = run("deterministic", 8)
+        assert wq_md1 == pytest.approx(0.5 * wq_mm1, rel=0.12)

@@ -1,0 +1,203 @@
+"""Tests for multi-server, priority, finite-capacity and pipelined stations."""
+
+import pytest
+
+from repro.simulation import Engine
+from repro.simulation.stations import (
+    FCFSServer,
+    PipelinedServer,
+    PriorityFCFSServer,
+)
+
+
+class TestMultiServer:
+    def test_parallel_service(self):
+        eng = Engine()
+        st = FCFSServer(eng, 4.0, "deterministic", servers=2)
+        times = []
+        for j in range(2):
+            st.arrive(j, lambda _: times.append(eng.now))
+        eng.run_until(10.0)
+        assert times == [4.0, 4.0]  # both served concurrently
+
+    def test_third_job_queues(self):
+        eng = Engine()
+        st = FCFSServer(eng, 4.0, "deterministic", servers=2)
+        times = []
+        for j in range(3):
+            st.arrive(j, lambda _: times.append(eng.now))
+        eng.run_until(20.0)
+        assert times == [4.0, 4.0, 8.0]
+
+    def test_busy_time_in_server_units(self):
+        eng = Engine()
+        st = FCFSServer(eng, 4.0, "deterministic", servers=2)
+        for j in range(2):
+            st.arrive(j, lambda _: None)
+        eng.run_until(10.0)
+        assert st.busy_time == pytest.approx(8.0)  # 2 servers x 4
+        assert st.utilization_until(10.0, 10.0) == pytest.approx(0.4)
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            FCFSServer(Engine(), 1.0, servers=0)
+
+
+class TestPriority:
+    def test_high_priority_jumps_queue(self):
+        eng = Engine()
+        st = PriorityFCFSServer(eng, 2.0, "deterministic", levels=2)
+        order = []
+        st.arrive("first", lambda j: order.append(j), priority=1)
+        st.arrive("low", lambda j: order.append(j), priority=1)
+        st.arrive("high", lambda j: order.append(j), priority=0)
+        eng.run_until(20.0)
+        # "first" is already in service (non-preemptive); "high" overtakes "low"
+        assert order == ["first", "high", "low"]
+
+    def test_fcfs_within_level(self):
+        eng = Engine()
+        st = PriorityFCFSServer(eng, 1.0, "deterministic", levels=2)
+        order = []
+        st.arrive("a", lambda j: order.append(j), priority=0)
+        for j in ("b", "c", "d"):
+            st.arrive(j, lambda x: order.append(x), priority=0)
+        eng.run_until(10.0)
+        assert order == ["a", "b", "c", "d"]
+
+    def test_invalid_priority(self):
+        eng = Engine()
+        st = PriorityFCFSServer(eng, 1.0, levels=2)
+        with pytest.raises(ValueError):
+            st.arrive("x", lambda _: None, priority=5)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            PriorityFCFSServer(Engine(), 1.0, levels=0)
+
+    def test_queue_accounting(self):
+        eng = Engine()
+        st = PriorityFCFSServer(eng, 5.0, "deterministic", levels=3)
+        for j in range(4):
+            st.arrive(j, lambda _: None, priority=j % 3)
+        assert st.queue_length == 3
+        assert st.jobs_present == 4
+
+
+class TestCapacityAndBlocking:
+    def test_has_space(self):
+        eng = Engine()
+        st = FCFSServer(eng, 10.0, "deterministic", capacity=2)
+        st.arrive("a", lambda _: None)
+        assert st.has_space()
+        st.arrive("b", lambda _: None)
+        assert not st.has_space()
+
+    def test_overflow_raises(self):
+        eng = Engine()
+        st = FCFSServer(eng, 10.0, "deterministic", capacity=1)
+        st.arrive("a", lambda _: None)
+        with pytest.raises(RuntimeError, match="full"):
+            st.arrive("b", lambda _: None)
+
+    def test_capacity_below_servers_rejected(self):
+        with pytest.raises(ValueError):
+            FCFSServer(Engine(), 1.0, servers=2, capacity=1)
+
+    def test_space_notification(self):
+        eng = Engine()
+        st = FCFSServer(eng, 3.0, "deterministic", capacity=1)
+        st.arrive("a", lambda _: None)
+        woken = []
+        st.notify_space(lambda: woken.append(eng.now))
+        eng.run_until(10.0)
+        assert woken == [3.0]
+
+    def test_blocking_chain(self):
+        """Upstream holds a completed job until downstream space frees."""
+        eng = Engine()
+        down = FCFSServer(eng, 10.0, "deterministic", name="down", capacity=1)
+        up = FCFSServer(eng, 1.0, "deterministic", name="up")
+        down.arrive("occupier", lambda _: None)  # busy until t=10
+
+        def forward(job):
+            if not down.has_space():
+                down.notify_space(up.retry_held)
+                return False
+            down.arrive(job, lambda _: None)
+            return None
+
+        up.arrive("blocked-job", forward)
+        eng.run_until(5.0)
+        assert up.busy  # finished service at t=1 but held
+        assert down.jobs_present == 1
+        eng.run_until(25.0)
+        assert not up.busy
+        assert down.completions == 2
+        assert up.blocked_time == pytest.approx(9.0)  # held from t=1 to t=10
+
+    def test_held_server_blocks_next_job(self):
+        eng = Engine()
+        down = FCFSServer(eng, 100.0, "deterministic", name="down", capacity=1)
+        up = FCFSServer(eng, 1.0, "deterministic", name="up")
+        down.arrive("occupier", lambda _: None)
+
+        def forward(job):
+            if not down.has_space():
+                down.notify_space(up.retry_held)
+                return False
+            down.arrive(job, lambda _: None)
+            return None
+
+        up.arrive("j1", forward)
+        up.arrive("j2", forward)
+        eng.run_until(50.0)
+        # j1 is held; j2 must not have started service
+        assert up.completions == 1
+        assert up.queue_length == 1
+
+
+class TestPipelinedServer:
+    def test_throughput_at_initiation_interval(self):
+        eng = Engine()
+        st = PipelinedServer(eng, 8.0, 2.0, "deterministic")
+        times = []
+        for j in range(4):
+            st.arrive(j, lambda _: times.append(eng.now))
+        eng.run_until(50.0)
+        # deliveries at latency + k * II
+        assert times == [8.0, 10.0, 12.0, 14.0]
+
+    def test_degenerate_equals_fcfs(self):
+        """II == latency (deterministic) behaves like a plain FCFS server."""
+        eng = Engine()
+        st = PipelinedServer(eng, 5.0, 5.0, "deterministic")
+        times = []
+        for j in range(3):
+            st.arrive(j, lambda _: times.append(eng.now))
+        eng.run_until(50.0)
+        assert times == [5.0, 10.0, 15.0]
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            PipelinedServer(Engine(), 2.0, 4.0)
+        with pytest.raises(ValueError):
+            PipelinedServer(Engine(), -1.0, 0.5)
+
+    def test_slot_utilization(self):
+        eng = Engine()
+        st = PipelinedServer(eng, 8.0, 2.0, "deterministic")
+        for j in range(5):
+            st.arrive(j, lambda _: None)
+        eng.run_until(100.0)
+        # slot busy 5 x 2 = 10 time units
+        assert st.busy_time_until(100.0) == pytest.approx(10.0)
+
+    def test_reset_accounting(self):
+        eng = Engine()
+        st = PipelinedServer(eng, 4.0, 1.0, "deterministic")
+        st.arrive("x", lambda _: None)
+        eng.run_until(10.0)
+        st.reset_accounting(10.0)
+        assert st.busy_time == 0.0
+        assert st.completions == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the FCFS station."""
+
+import pytest
+
+from repro.simulation import Engine, FCFSServer
+
+
+def make(mean=2.0, dist="deterministic", overhead=0.0):
+    eng = Engine(seed=0)
+    return eng, FCFSServer(eng, mean, dist, "st", overhead=overhead)
+
+
+class TestFCFSOrder:
+    def test_single_job(self):
+        eng, st = make()
+        done = []
+        st.arrive("j1", done.append)
+        eng.run_until(10.0)
+        assert done == ["j1"]
+        assert st.completions == 1
+
+    def test_fcfs_ordering(self):
+        eng, st = make()
+        done = []
+        for j in ("a", "b", "c"):
+            st.arrive(j, done.append)
+        eng.run_until(100.0)
+        assert done == ["a", "b", "c"]
+
+    def test_completion_times_serialized(self):
+        eng, st = make(mean=3.0)
+        times = []
+        for j in range(3):
+            st.arrive(j, lambda _: times.append(eng.now))
+        eng.run_until(100.0)
+        assert times == [3.0, 6.0, 9.0]
+
+    def test_queue_length(self):
+        eng, st = make()
+        for j in range(4):
+            st.arrive(j, lambda _: None)
+        assert st.queue_length == 3  # one in service
+        assert st.busy
+
+    def test_idle_after_drain(self):
+        eng, st = make()
+        st.arrive("x", lambda _: None)
+        eng.run_until(10.0)
+        assert not st.busy
+        assert st.queue_length == 0
+
+
+class TestBusyAccounting:
+    def test_busy_time(self):
+        eng, st = make(mean=2.0)
+        st.arrive("a", lambda _: None)
+        st.arrive("b", lambda _: None)
+        eng.run_until(100.0)
+        assert st.busy_time == pytest.approx(4.0)
+
+    def test_busy_time_until_includes_in_progress(self):
+        eng, st = make(mean=10.0)
+        st.arrive("a", lambda _: None)
+        eng.run_until(4.0)
+        assert st.busy_time_until(4.0) == pytest.approx(4.0)
+
+    def test_reset_accounting(self):
+        eng, st = make(mean=2.0)
+        st.arrive("a", lambda _: None)
+        eng.run_until(10.0)
+        st.reset_accounting(10.0)
+        assert st.busy_time == 0.0
+        assert st.completions == 0
+
+    def test_reset_mid_service_counts_remainder_only(self):
+        eng, st = make(mean=10.0)
+        st.arrive("a", lambda _: None)
+        eng.run_until(4.0)
+        st.reset_accounting(4.0)
+        eng.run_until(20.0)
+        assert st.busy_time == pytest.approx(6.0)
+
+
+class TestOverheadAndOverrides:
+    def test_overhead_added(self):
+        eng, st = make(mean=2.0, overhead=1.0)
+        times = []
+        st.arrive("a", lambda _: times.append(eng.now))
+        eng.run_until(10.0)
+        assert times == [3.0]
+
+    def test_per_arrival_mean_override(self):
+        eng, st = make(mean=2.0)
+        times = []
+        st.arrive("a", lambda _: times.append(eng.now), mean=5.0)
+        eng.run_until(10.0)
+        assert times == [5.0]
+
+    def test_zero_service_completes_immediately(self):
+        eng, st = make(mean=0.0)
+        done = []
+        st.arrive("a", done.append)
+        eng.run_until(0.0)
+        assert done == ["a"]
+
+
+class TestUtilizationStatistics:
+    def test_mm1_like_utilization(self):
+        """Closed single-station loop: server busy whenever a job exists."""
+        eng = Engine(seed=3)
+        st = FCFSServer(eng, 1.0, "exponential")
+
+        def requeue(job):
+            st.arrive(job, requeue)
+
+        st.arrive("perpetual", requeue)
+        eng.run_until(500.0)
+        assert st.busy_time_until(500.0) / 500.0 == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,120 @@
+"""Unit tests for output-analysis statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation import BatchMeans, RateBatches, Welford, ci_halfwidth
+
+
+class TestWelford:
+    def test_mean(self):
+        w = Welford()
+        for x in (1.0, 2.0, 3.0):
+            w.add(x)
+        assert w.mean == pytest.approx(2.0)
+        assert w.count == 3
+
+    def test_variance_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5, 2, size=500)
+        w = Welford()
+        for x in data:
+            w.add(float(x))
+        assert w.mean == pytest.approx(float(np.mean(data)))
+        assert w.variance == pytest.approx(float(np.var(data, ddof=1)))
+
+    def test_variance_degenerate(self):
+        w = Welford()
+        assert w.variance == 0.0
+        w.add(1.0)
+        assert w.variance == 0.0
+        assert w.std == 0.0
+
+    def test_merge(self):
+        data = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0]
+        a, b, whole = Welford(), Welford(), Welford()
+        for x in data[:3]:
+            a.add(x)
+        for x in data[3:]:
+            b.add(x)
+        for x in data:
+            whole.add(x)
+        a.merge(b)
+        assert a.count == whole.count
+        assert a.mean == pytest.approx(whole.mean)
+        assert a.variance == pytest.approx(whole.variance)
+
+    def test_merge_empty(self):
+        a, b = Welford(), Welford()
+        a.add(2.0)
+        a.merge(b)
+        assert a.mean == 2.0
+        b.merge(a)
+        assert b.mean == 2.0
+
+
+class TestBatchMeans:
+    def test_mean_over_all_observations(self):
+        bm = BatchMeans(0.0, 100.0, num_batches=4)
+        for t, x in [(10, 1.0), (30, 3.0), (60, 5.0), (90, 7.0)]:
+            bm.add(float(t), x)
+        assert bm.mean == pytest.approx(4.0)
+
+    def test_out_of_horizon_ignored(self):
+        bm = BatchMeans(10.0, 20.0)
+        bm.add(5.0, 100.0)
+        bm.add(25.0, 100.0)
+        assert math.isnan(bm.mean)
+
+    def test_batch_assignment(self):
+        bm = BatchMeans(0.0, 10.0, num_batches=2)
+        bm.add(1.0, 2.0)
+        bm.add(6.0, 4.0)
+        assert bm.batch_values() == [2.0, 4.0]
+
+    def test_halfwidth_zero_variance(self):
+        bm = BatchMeans(0.0, 10.0, num_batches=5)
+        for t in range(10):
+            bm.add(t, 3.0)
+        assert bm.halfwidth() == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchMeans(10.0, 5.0)
+        with pytest.raises(ValueError):
+            BatchMeans(0.0, 10.0, num_batches=1)
+
+
+class TestRateBatches:
+    def test_rate(self):
+        rb = RateBatches(0.0, 100.0, num_batches=10)
+        for t in range(0, 100, 2):  # 50 events in 100 time units
+            rb.add(float(t))
+        assert rb.rate == pytest.approx(0.5)
+        assert rb.total == 50
+
+    def test_uniform_events_tight_ci(self):
+        rb = RateBatches(0.0, 100.0, num_batches=10)
+        for t in range(100):
+            rb.add(float(t))
+        assert rb.halfwidth() == pytest.approx(0.0, abs=1e-9)
+
+    def test_out_of_horizon_ignored(self):
+        rb = RateBatches(0.0, 10.0)
+        rb.add(11.0)
+        assert rb.total == 0
+
+
+class TestCiHalfwidth:
+    def test_known_value(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        n = 4
+        var = np.var(vals, ddof=1)
+        expected = 1.959963984540054 * math.sqrt(var / n)
+        assert ci_halfwidth(vals) == pytest.approx(expected)
+
+    def test_insufficient_data(self):
+        assert ci_halfwidth([1.0]) == float("inf")
+        assert ci_halfwidth([]) == float("inf")

@@ -1,0 +1,114 @@
+"""Structural analysis of Petri nets: incidence matrices and P-invariants."""
+
+import numpy as np
+import pytest
+
+from repro.params import paper_defaults
+from repro.spn import (
+    PetriNet,
+    SPNSimulator,
+    TransitionKind,
+    build_mms_net,
+    mms_invariants,
+)
+
+
+def simple_cycle():
+    """a --t1--> b --t2--> a: tokens conserved on {a, b}."""
+    net = PetriNet()
+    a = net.add_place("a", 2)
+    b = net.add_place("b")
+    net.add_transition("t1", TransitionKind.EXPONENTIAL, [(a, 1)], [(b, 1)], 1.0)
+    net.add_transition("t2", TransitionKind.EXPONENTIAL, [(b, 1)], [(a, 1)], 2.0)
+    return net
+
+
+class TestIncidenceMatrix:
+    def test_shape_and_values(self):
+        net = simple_cycle()
+        c = net.incidence_matrix()
+        assert c.shape == (2, 2)
+        assert np.array_equal(c, [[-1, 1], [1, -1]])
+
+    def test_multiplicities(self):
+        net = PetriNet()
+        a = net.add_place("a", 4)
+        b = net.add_place("b")
+        net.add_transition(
+            "fork", TransitionKind.EXPONENTIAL, [(a, 2)], [(b, 3)], 1.0
+        )
+        c = net.incidence_matrix()
+        assert c[a, 0] == -2
+        assert c[b, 0] == 3
+
+
+class TestPInvariants:
+    def test_cycle_conservation(self):
+        net = simple_cycle()
+        assert net.is_p_invariant(np.array([1.0, 1.0]))
+        assert not net.is_p_invariant(np.array([1.0, 2.0]))
+
+    def test_invariant_value(self):
+        net = simple_cycle()
+        assert net.invariant_value(np.array([1.0, 1.0])) == 2.0
+
+    def test_weight_shape_checked(self):
+        with pytest.raises(ValueError):
+            simple_cycle().is_p_invariant(np.ones(3))
+
+    def test_invariant_preserved_by_simulation(self):
+        """Dynamic check: the weighted count is constant along a run."""
+        net = simple_cycle()
+        sim = SPNSimulator(net, seed=1)
+        sim.run(100.0)
+        assert net.invariant_value(np.ones(2), sim.marking) == 2.0
+
+
+class TestMMSInvariants:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = paper_defaults(k=2, num_threads=3, p_remote=0.4)
+        net = build_mms_net(params)
+        return params, net, mms_invariants(net, params)
+
+    def test_all_structural(self, setup):
+        _, net, invariants = setup
+        for name, w in invariants.items():
+            assert net.is_p_invariant(w), f"{name} is not invariant"
+
+    def test_thread_counts(self, setup):
+        params, net, invariants = setup
+        for i in range(params.arch.num_processors):
+            assert net.invariant_value(invariants[f"threads_{i}"]) == 3.0
+
+    def test_server_tokens(self, setup):
+        params, net, invariants = setup
+        for i in range(params.arch.num_processors):
+            assert net.invariant_value(invariants[f"proc_server_{i}"]) == 1.0
+            assert net.invariant_value(invariants[f"mem_server_{i}"]) == 1.0
+
+    def test_preserved_after_simulation(self, setup):
+        params, net, invariants = setup
+        sim = SPNSimulator(net, seed=7)
+        sim.run(5_000.0)
+        for name, w in invariants.items():
+            expected = net.invariant_value(w)
+            assert net.invariant_value(w, sim.marking) == expected, name
+
+    def test_local_only_machine(self):
+        params = paper_defaults(k=2, num_threads=2, p_remote=0.0)
+        net = build_mms_net(params)
+        invariants = mms_invariants(net, params)
+        for name, w in invariants.items():
+            assert net.is_p_invariant(w), name
+
+    def test_nullspace_contains_invariants(self, setup):
+        """Cross-check against a numerically computed left nullspace."""
+        from scipy.linalg import null_space
+
+        _, net, invariants = setup
+        ns = null_space(net.incidence_matrix().T.astype(float))
+        # every claimed invariant must lie in the span of the nullspace
+        for name, w in invariants.items():
+            proj = ns @ (ns.T @ w)
+            assert np.allclose(proj, w, atol=1e-8), name

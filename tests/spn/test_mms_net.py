@@ -1,0 +1,82 @@
+"""Tests for the MMS-as-Petri-net builder and its validation role."""
+
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.simulation import simulate
+from repro.spn import build_mms_net, simulate_spn
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return paper_defaults(k=2, num_threads=3, p_remote=0.4)
+
+
+class TestStructure:
+    def test_place_population(self, small_params):
+        net = build_mms_net(small_params)
+        # initial tokens: n_t per ready place + 4 server tokens per node
+        p = 4
+        assert sum(net.initial_marking) == p * 3 + 4 * p
+
+    def test_context_switch_rejected(self):
+        with pytest.raises(ValueError, match="C == 0"):
+            build_mms_net(paper_defaults(context_switch=1.0))
+
+    def test_local_only_net_is_small(self):
+        net = build_mms_net(paper_defaults(k=2, p_remote=0.0))
+        # no goremote transitions
+        names = [t.name for t in net.transitions]
+        assert not any(n.startswith("goremote") for n in names)
+
+    def test_remote_flows_per_pair(self, small_params):
+        net = build_mms_net(small_params)
+        names = [t.name for t in net.transitions]
+        goremote = [n for n in names if n.startswith("goremote")]
+        # 2x2 torus: each node has 3 remote destinations
+        assert len(goremote) == 4 * 3
+
+
+class TestValidation:
+    def test_spn_matches_analytical_model(self, small_params):
+        """The Petri-net simulation validates the MVA predictions (the
+        paper's Section 8, here on a 2x2 machine for speed)."""
+        perf = MMSModel(small_params).solve()
+        rep = simulate_spn(small_params, duration=40_000.0, seed=8)
+        assert rep.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.05
+        )
+        assert rep.lambda_net == pytest.approx(perf.lambda_net, rel=0.06)
+        assert rep.s_obs == pytest.approx(perf.s_obs, rel=0.12)
+        assert rep.l_obs == pytest.approx(perf.l_obs, rel=0.12)
+
+    def test_spn_matches_des(self, small_params):
+        """The two simulators describe the same stochastic system."""
+        spn = simulate_spn(small_params, duration=40_000.0, seed=9)
+        des = simulate(small_params, duration=40_000.0, seed=10)
+        assert spn.processor_utilization == pytest.approx(
+            des.processor_utilization, rel=0.05
+        )
+        assert spn.lambda_net == pytest.approx(des.lambda_net, rel=0.06)
+        assert spn.s_obs == pytest.approx(des.s_obs, rel=0.12)
+
+    def test_summary_keys(self, small_params):
+        rep = simulate_spn(small_params, duration=2000.0, seed=0)
+        assert set(rep.summary()) == {
+            "U_p",
+            "lambda_net",
+            "S_obs",
+            "L_obs",
+            "access_rate",
+        }
+
+    def test_local_only_spn(self):
+        params = paper_defaults(k=2, num_threads=2, p_remote=0.0)
+        rep = simulate_spn(params, duration=20_000.0, seed=1)
+        perf = MMSModel(params).solve()
+        assert rep.lambda_net == 0.0
+        assert rep.s_obs == 0.0
+        assert rep.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.05
+        )

@@ -1,0 +1,179 @@
+"""Unit tests for the GSPN engine against known queueing results."""
+
+import numpy as np
+import pytest
+
+from repro.spn import PetriNet, SPNSimulator, TransitionKind
+
+
+def mm1_closed(n_tokens, think, service):
+    """Closed single-server loop: think (delay-ish via exponential single
+    server... kept single-server to match the engine) -> queue -> service."""
+    net = PetriNet()
+    thinking = net.add_place("thinking", n_tokens)
+    queue = net.add_place("queue")
+    server = net.add_place("server", 1)
+    busy = net.add_place("busy")
+    net.add_transition(
+        "think",
+        TransitionKind.EXPONENTIAL,
+        inputs=[(thinking, 1)],
+        outputs=[(queue, 1)],
+        param=think,
+    )
+    net.add_transition(
+        "start",
+        TransitionKind.IMMEDIATE,
+        inputs=[(queue, 1), (server, 1)],
+        outputs=[(busy, 1)],
+    )
+    net.add_transition(
+        "end",
+        TransitionKind.EXPONENTIAL,
+        inputs=[(busy, 1)],
+        outputs=[(server, 1), (thinking, 1)],
+        param=service,
+    )
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet()
+        a = net.add_place("a", 1)
+        net.add_transition("t", TransitionKind.EXPONENTIAL, [(a, 1)], [], 1.0)
+        with pytest.raises(ValueError):
+            net.add_transition("t", TransitionKind.EXPONENTIAL, [(a, 1)], [], 1.0)
+
+    def test_bad_place_index(self):
+        net = PetriNet()
+        with pytest.raises(ValueError):
+            net.add_transition("t", TransitionKind.EXPONENTIAL, [(3, 1)], [], 1.0)
+
+    def test_bad_multiplicity(self):
+        net = PetriNet()
+        a = net.add_place("a")
+        with pytest.raises(ValueError):
+            net.add_transition("t", TransitionKind.EXPONENTIAL, [(a, 0)], [], 1.0)
+
+    def test_negative_marking_rejected(self):
+        net = PetriNet()
+        with pytest.raises(ValueError):
+            net.add_place("a", -1)
+
+    def test_immediate_needs_weight(self):
+        net = PetriNet()
+        a = net.add_place("a")
+        with pytest.raises(ValueError):
+            net.add_transition("t", TransitionKind.IMMEDIATE, [(a, 1)], [], 0.0)
+
+    def test_place_lookup(self):
+        net = PetriNet()
+        net.add_place("x")
+        assert net.place("x") == 0
+        with pytest.raises(KeyError):
+            net.place("y")
+
+
+class TestSemantics:
+    def test_token_conservation_in_loop(self):
+        net = mm1_closed(3, 5.0, 1.0)
+        sim = SPNSimulator(net, seed=1)
+        res = sim.run(2000.0)
+        # tokens: 3 customers circulate; server token conserved
+        total = res.mean("thinking") + res.mean("queue") + res.mean("busy")
+        assert total == pytest.approx(3.0, abs=1e-9)
+        assert res.mean("server") + res.mean("busy") == pytest.approx(1.0, abs=1e-9)
+
+    def test_flow_balance(self):
+        """All transitions on a cycle fire at the same rate."""
+        net = mm1_closed(2, 4.0, 1.0)
+        res = SPNSimulator(net, seed=2).run(5000.0)
+        assert res.rate("think") == pytest.approx(res.rate("end"), rel=0.01)
+
+    def test_against_exact_mva(self):
+        """Closed 2-station exponential loop must match exact MVA."""
+        from repro.queueing import ClosedNetwork, exact_mva_single_class
+
+        think, service, n = 3.0, 2.0, 4
+        net = mm1_closed(n, think, service)
+        res = SPNSimulator(net, seed=3).run(60_000.0, warmup=2000.0)
+        qn = ClosedNetwork(
+            visits=np.ones((1, 2)),
+            service=np.array([think, service]),
+            populations=np.array([n]),
+        )
+        x = exact_mva_single_class(qn).throughput[0]
+        assert res.rate("end") == pytest.approx(x, rel=0.03)
+
+    def test_deterministic_transition(self):
+        net = PetriNet()
+        a = net.add_place("a", 1)
+        b = net.add_place("b")
+        net.add_transition(
+            "move", TransitionKind.DETERMINISTIC, [(a, 1)], [(b, 1)], 7.0
+        )
+        sim = SPNSimulator(net, seed=0)
+        res = sim.run(10.0)
+        assert res.firing_counts[0] == 1
+        assert sim.marking[b] == 1
+
+    def test_immediate_priority_over_timed(self):
+        """An immediate transition drains before any timed firing."""
+        net = PetriNet()
+        a = net.add_place("a", 1)
+        b = net.add_place("b")
+        c = net.add_place("c")
+        net.add_transition("imm", TransitionKind.IMMEDIATE, [(a, 1)], [(b, 1)])
+        net.add_transition(
+            "timed", TransitionKind.EXPONENTIAL, [(a, 1)], [(c, 1)], 0.001
+        )
+        sim = SPNSimulator(net, seed=0)
+        sim.run(1.0)
+        assert sim.marking[b] == 1
+        assert sim.marking[c] == 0
+
+    def test_weighted_conflict_resolution(self):
+        """Immediate conflicts follow their weights."""
+        wins = {"x": 0, "y": 0}
+        for seed in range(300):
+            net = PetriNet()
+            a = net.add_place("a", 1)
+            x = net.add_place("x")
+            y = net.add_place("y")
+            net.add_transition(
+                "tox", TransitionKind.IMMEDIATE, [(a, 1)], [(x, 1)], 0.8
+            )
+            net.add_transition(
+                "toy", TransitionKind.IMMEDIATE, [(a, 1)], [(y, 1)], 0.2
+            )
+            sim = SPNSimulator(net, seed=seed)
+            sim.run(0.001)
+            if sim.marking[x]:
+                wins["x"] += 1
+            else:
+                wins["y"] += 1
+        assert wins["x"] / 300 == pytest.approx(0.8, abs=0.07)
+
+    def test_warmup_resets_statistics(self):
+        net = mm1_closed(1, 1.0, 1.0)
+        res = SPNSimulator(net, seed=5).run(1000.0, warmup=100.0)
+        assert res.duration == 1000.0
+        # rates should reflect steady state, not include warmup period count
+        assert res.rate("end") > 0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            SPNSimulator(mm1_closed(1, 1.0, 1.0)).run(0.0)
+
+    def test_prefix_aggregation(self):
+        net = mm1_closed(2, 1.0, 1.0)
+        res = SPNSimulator(net, seed=6).run(500.0)
+        assert res.mean_sum("th") == pytest.approx(res.mean("thinking"))
+        assert res.rate_sum("e") == pytest.approx(res.rate("end"))

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.k == 4 and args.nt == 8
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        assert main(["solve", "--k", "2", "--nt", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "U_p" in out and "S_obs" in out
+
+    def test_solve_with_method(self, capsys):
+        assert main(["solve", "--k", "2", "--nt", "2", "--method", "amva"]) == 0
+        assert "lambda_net" in capsys.readouterr().out
+
+    def test_tolerance(self, capsys):
+        assert main(["tolerance", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tol_network" in out and "tol_memory" in out
+
+    def test_bottleneck(self, capsys):
+        assert main(["bottleneck"]) == 0
+        out = capsys.readouterr().out
+        assert "critical p_remote" in out
+        assert "0.18" in out
+
+    def test_experiment_claims(self, capsys):
+        assert main(["experiment", "claims"]) == 0
+        assert "Headline claims" in capsys.readouterr().out
+
+    def test_uniform_pattern_flag(self, capsys):
+        assert main(["bottleneck", "--pattern", "uniform"]) == 0
+        out = capsys.readouterr().out
+        # uniform d_avg = 32/15 on 4x4
+        assert "2.1333" in out
+
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table2",
+            "table3",
+            "table4",
+            "claims",
+            "ext-ports",
+            "ext-priority",
+            "ext-buffers",
+            "ext-pipeline",
+            "ext-hotspot",
+            "ext-context",
+        }
+
+    def test_hotspot_point_via_cli(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--k",
+                    "2",
+                    "--nt",
+                    "2",
+                    "--pattern",
+                    "hotspot",
+                    "--method",
+                    "amva",
+                ]
+            )
+            == 0
+        )
+        assert "U_p" in capsys.readouterr().out

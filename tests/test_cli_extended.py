@@ -1,0 +1,117 @@
+"""Tests for the extended CLI commands (sensitivity, zones, replicate, json)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSensitivityCommand:
+    def test_runs(self, capsys):
+        assert main(["sensitivity", "--k", "2", "--nt", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out
+        assert "runlength" in out
+
+    def test_measure_flag(self, capsys):
+        assert (
+            main(["sensitivity", "--k", "2", "--measure", "lambda_net"]) == 0
+        )
+        assert "lambda_net" in capsys.readouterr().out
+
+
+class TestZonesCommand:
+    def test_default_axis(self, capsys):
+        assert main(["zones"]) == 0
+        out = capsys.readouterr().out
+        assert "p_remote" in out
+        assert "crosses 0.8" in out
+
+    def test_memory_subsystem(self, capsys):
+        assert (
+            main(
+                [
+                    "zones",
+                    "--subsystem",
+                    "memory",
+                    "--axis",
+                    "memory_latency",
+                    "--nt",
+                    "2",
+                    "--hi",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        assert "tol_memory" in capsys.readouterr().out
+
+
+class TestReplicateCommand:
+    def test_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "replicate",
+                    "--k",
+                    "2",
+                    "--nt",
+                    "2",
+                    "--replications",
+                    "2",
+                    "--duration",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replications" in out
+        assert "U_p" in out
+
+
+class TestJsonExport:
+    def test_experiment_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["experiment", "claims", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "rows" in data
+        assert len(data["rows"]) == 10
+
+    def test_json_handles_numpy_and_objects(self, tmp_path):
+        """ext experiments carry numpy arrays and rich result objects."""
+        from repro.cli import _jsonable
+
+        import numpy as np
+
+        blob = {
+            "arr": np.arange(3),
+            "np_float": np.float64(1.5),
+            "nested": [np.int64(2), {"x": None}],
+        }
+        out = _jsonable(blob)
+        json.dumps(out)  # must be serializable
+        assert out["arr"] == [0, 1, 2]
+        assert out["np_float"] == 1.5
+
+
+class TestMemoryPortsFlag:
+    def test_solve_with_ports(self, capsys):
+        assert main(["solve", "--k", "2", "--memory-ports", "2"]) == 0
+        assert "U_p" in capsys.readouterr().out
+
+
+class TestReproduceAll:
+    def test_writes_outputs(self, tmp_path, capsys, monkeypatch):
+        """Drive the full-reproduction command against a stub registry so
+        the test stays fast while the wiring is exercised for real."""
+        import repro.cli as cli
+        from repro.analysis import headline_claims
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"claims": headline_claims})
+        out = tmp_path / "repro"
+        assert main(["reproduce-all", "--out", str(out), "--skip-slow"]) == 0
+        assert (out / "claims.txt").exists()
+        assert (out / "SUMMARY.txt").exists()
+        assert "claims" in (out / "SUMMARY.txt").read_text()

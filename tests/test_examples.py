@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example runs clean and says what it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "processor utilization" in out
+        assert "tol_network" in out
+        assert "critical p_remote" in out
+
+    def test_thread_partitioning(self):
+        out = run_example("thread_partitioning.py", "40")
+        assert "best partitioning" in out
+        assert "coalesced" in out
+
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py")
+        assert "geometric" in out and "uniform" in out
+        assert "throughput lost" in out
+
+    def test_validate_model(self):
+        out = run_example("validate_model.py", "4000")
+        assert "MVA model" in out
+        assert "deterministic-memory" in out
+
+    def test_data_distribution(self):
+        out = run_example("data_distribution.py", "320")
+        assert "BLOCK" in out and "CYCLIC" in out
+        assert "tolerated" in out
+
+    def test_architecture_extensions(self):
+        out = run_example("architecture_extensions.py")
+        assert "multiport" in out.lower()
+        assert "hotspot" in out.lower()
+
+    def test_all_examples_covered(self):
+        """Every example file has a smoke test above."""
+        tested = {
+            "quickstart.py",
+            "thread_partitioning.py",
+            "scaling_study.py",
+            "validate_model.py",
+            "data_distribution.py",
+            "architecture_extensions.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == tested
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

@@ -1,0 +1,125 @@
+"""Unit tests for parameter dataclasses."""
+
+import pytest
+
+from repro.params import Architecture, MMSParams, Workload, paper_defaults
+
+
+class TestArchitecture:
+    def test_defaults_match_reconstructed_table1(self):
+        a = Architecture()
+        assert a.k == 4
+        assert a.memory_latency == 10.0
+        assert a.switch_delay == 10.0
+        assert a.context_switch == 0.0
+
+    def test_num_processors(self):
+        assert Architecture(k=4).num_processors == 16
+        assert Architecture(k=10).num_processors == 100
+
+    def test_rectangular(self):
+        assert Architecture(k=4, ky=2).num_processors == 8
+
+    def test_torus_shape(self):
+        t = Architecture(k=3).torus
+        assert (t.kx, t.ky) == (3, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Architecture(k=0)
+        with pytest.raises(ValueError):
+            Architecture(memory_latency=-1)
+        with pytest.raises(ValueError):
+            Architecture(switch_delay=-0.5)
+        with pytest.raises(ValueError):
+            Architecture(context_switch=-1)
+
+    def test_with_(self):
+        a = Architecture().with_(switch_delay=0.0)
+        assert a.switch_delay == 0.0
+        assert a.memory_latency == 10.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Architecture().k = 8  # type: ignore[misc]
+
+    def test_memory_ports_validated(self):
+        with pytest.raises(ValueError):
+            Architecture(memory_ports=0)
+        assert Architecture(memory_ports=4).memory_ports == 4
+
+    def test_wraparound_selects_topology(self):
+        from repro.topology import Mesh2D, Torus2D
+
+        assert isinstance(Architecture(wraparound=True).torus, Torus2D)
+        assert isinstance(Architecture(wraparound=False).torus, Mesh2D)
+
+    def test_mesh_same_node_count(self):
+        assert Architecture(k=4, wraparound=False).num_processors == 16
+
+
+class TestWorkload:
+    def test_defaults(self):
+        w = Workload()
+        assert w.num_threads == 8
+        assert w.runlength == 10.0
+        assert w.p_remote == 0.2
+        assert w.pattern == "geometric"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(num_threads=0)
+        with pytest.raises(ValueError):
+            Workload(runlength=0)
+        with pytest.raises(ValueError):
+            Workload(p_remote=1.5)
+        with pytest.raises(ValueError):
+            Workload(pattern="zipf")
+        with pytest.raises(ValueError):
+            Workload(pattern="geometric", p_sw=0.0)
+
+    def test_uniform_ignores_psw_bounds(self):
+        # p_sw is irrelevant for uniform, any value accepted
+        w = Workload(pattern="uniform", p_sw=0.0)
+        assert w.pattern == "uniform"
+
+    def test_with_(self):
+        w = Workload().with_(p_remote=0.0)
+        assert w.p_remote == 0.0
+        assert w.num_threads == 8
+
+    def test_hotspot_fields_validated(self):
+        with pytest.raises(ValueError):
+            Workload(pattern="hotspot", hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            Workload(pattern="hotspot", hot_node=-1)
+        ok = Workload(pattern="hotspot", hot_node=3, hot_fraction=0.4)
+        assert not ok.is_symmetric
+
+    def test_named_patterns_symmetric(self):
+        assert Workload(pattern="geometric").is_symmetric
+        assert Workload(pattern="uniform").is_symmetric
+
+
+class TestMMSParams:
+    def test_with_routes_to_both(self):
+        p = MMSParams().with_(switch_delay=5.0, p_remote=0.4)
+        assert p.arch.switch_delay == 5.0
+        assert p.workload.p_remote == 0.4
+
+    def test_with_unknown_key(self):
+        with pytest.raises(TypeError, match="unknown parameter"):
+            MMSParams().with_(bogus=1)
+
+    def test_with_no_changes_is_identity_values(self):
+        p = MMSParams()
+        q = p.with_()
+        assert q == p
+
+    def test_paper_defaults_overrides(self):
+        p = paper_defaults(k=6, num_threads=4)
+        assert p.arch.k == 6
+        assert p.workload.num_threads == 4
+
+    def test_params_hashable(self):
+        assert hash(paper_defaults()) == hash(paper_defaults())

@@ -1,0 +1,162 @@
+"""Robustness and edge-case tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMSModel, solve
+from repro.params import paper_defaults
+from repro.queueing import (
+    ClosedNetwork,
+    bard_schweitzer,
+    exact_mva_single_class,
+    solve_symmetric,
+)
+
+
+class TestDegenerateNetworks:
+    def test_all_zero_service(self):
+        """A network of ideal stations: infinite throughput is not claimed;
+        the solver reports zero-waiting cycles cleanly."""
+        net = ClosedNetwork(
+            visits=np.ones((1, 3)),
+            service=np.zeros(3),
+            populations=np.array([5]),
+        )
+        sol = bard_schweitzer(net)
+        assert sol.converged
+        assert np.all(sol.waiting == 0.0)
+
+    def test_single_station_single_customer(self):
+        net = ClosedNetwork(
+            visits=np.ones((1, 1)),
+            service=np.array([2.0]),
+            populations=np.array([1]),
+        )
+        assert exact_mva_single_class(net).throughput[0] == pytest.approx(0.5)
+
+    def test_class_with_no_visits_anywhere(self):
+        """A class that visits nothing has undefined cycle time; it must not
+        poison the other classes."""
+        net = ClosedNetwork(
+            visits=np.array([[0.0, 0.0], [1.0, 1.0]]),
+            service=np.array([1.0, 2.0]),
+            populations=np.array([3, 3]),
+        )
+        sol = bard_schweitzer(net)
+        assert sol.throughput[1] > 0
+        assert np.isfinite(sol.throughput[1])
+
+    def test_symmetric_zero_visits(self):
+        sol = solve_symmetric(
+            np.zeros(3), np.ones(3), np.arange(3), 4
+        )
+        assert sol.throughput == 0.0 or not np.isfinite(sol.throughput)
+
+
+class TestModelEdges:
+    def test_single_node_all_remote_requested(self):
+        """k=1 with p_remote>0: no remote modules exist; the model treats
+        the workload as local-only rather than crashing."""
+        perf = solve(paper_defaults(k=1, p_remote=0.5))
+        assert perf.lambda_net == 0.0
+        assert perf.processor_utilization > 0
+
+    def test_p_remote_one(self):
+        perf = solve(paper_defaults(p_remote=1.0))
+        assert perf.l_obs_local == 0.0 or perf.params.workload.p_remote == 1.0
+        assert perf.lambda_net == pytest.approx(perf.access_rate)
+
+    def test_extreme_thread_count(self):
+        perf = solve(paper_defaults(num_threads=500))
+        assert perf.converged
+        assert perf.processor_utilization <= 1.0 + 1e-9
+
+    def test_tiny_runlength(self):
+        perf = solve(paper_defaults(runlength=0.001))
+        assert perf.converged
+        assert perf.processor_utilization < 0.01
+
+    def test_huge_switch_delay(self):
+        perf = solve(paper_defaults(switch_delay=1e6))
+        assert perf.converged
+        assert perf.processor_utilization < 0.1
+
+    def test_rectangular_torus(self):
+        perf = solve(paper_defaults(k=4, ky=2))
+        assert perf.converged
+        assert perf.params.arch.num_processors == 8
+
+    def test_1xk_ring(self):
+        """Degenerate 1 x k torus is a ring; everything still works."""
+        perf = solve(paper_defaults(k=1, ky=8))
+        assert perf.converged
+        assert perf.lambda_net > 0
+
+    def test_2x2_all_patterns_identical(self):
+        """On 2x2 every remote node is equidistant: geometric == uniform."""
+        u = [
+            solve(paper_defaults(k=2, pattern=p)).processor_utilization
+            for p in ("geometric", "uniform")
+        ]
+        assert u[0] == pytest.approx(u[1], rel=1e-9)
+
+
+class TestModelConsistencyAcrossMethods:
+    @pytest.mark.parametrize("method", ["symmetric", "amva", "linearizer"])
+    def test_summary_finite(self, method):
+        perf = MMSModel(paper_defaults(k=2, num_threads=3)).solve(method=method)
+        for v in perf.summary().values():
+            assert np.isfinite(v)
+
+    def test_auto_resolves_to_symmetric_for_spmd(self):
+        perf = MMSModel(paper_defaults()).solve(method="auto")
+        assert perf.method == "symmetric"
+
+    def test_aggregate_path_on_symmetric_input_matches(self):
+        """Force the asymmetric aggregation path on a symmetric workload:
+        the rate-weighted aggregates must equal the class-0 extraction."""
+        params = paper_defaults(k=2, num_threads=3, p_remote=0.4)
+        model = MMSModel(params)
+        network = model.build_network()
+        from repro.queueing import bard_schweitzer as bs
+
+        qsol = bs(network)
+        agg = model._measures_aggregate(network, qsol, "amva")
+        cls0 = model.solve(method="amva")
+        assert agg.processor_utilization == pytest.approx(
+            cls0.processor_utilization, rel=1e-9
+        )
+        assert agg.s_obs == pytest.approx(cls0.s_obs, rel=1e-6)
+        assert agg.l_obs == pytest.approx(cls0.l_obs, rel=1e-6)
+
+
+class TestSimulationEdges:
+    def test_zero_switch_delay_simulates(self):
+        from repro.simulation import simulate
+
+        res = simulate(paper_defaults(switch_delay=0.0), duration=3000.0, seed=1)
+        assert res.s_obs == pytest.approx(0.0, abs=1e-9)
+        assert res.processor_utilization > 0.5
+
+    def test_zero_memory_latency_simulates(self):
+        from repro.simulation import simulate
+
+        res = simulate(
+            paper_defaults(memory_latency=0.0, p_remote=0.0),
+            duration=3000.0,
+            seed=1,
+        )
+        assert res.processor_utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_deterministic_everything(self):
+        from repro.simulation import simulate
+
+        res = simulate(
+            paper_defaults(p_remote=0.0, num_threads=1),
+            duration=5000.0,
+            seed=1,
+            memory_dist="deterministic",
+            runlength_dist="deterministic",
+        )
+        # one thread, deterministic R = L: the processor alternates 10/10
+        assert res.processor_utilization == pytest.approx(0.5, abs=0.02)

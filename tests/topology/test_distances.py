@@ -1,0 +1,104 @@
+"""Unit tests for distance-profile utilities (paper-quoted values)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    Torus2D,
+    average_distance,
+    geometric_davg_asymptote,
+    geometric_distance_pmf,
+    uniform_distance_pmf,
+)
+
+
+class TestGeometricPmf:
+    def test_normalized(self):
+        pmf = geometric_distance_pmf(Torus2D(4), 0.5)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_no_mass_at_zero(self):
+        pmf = geometric_distance_pmf(Torus2D(4), 0.5)
+        assert pmf[0] == 0.0
+
+    def test_geometric_ratio(self):
+        pmf = geometric_distance_pmf(Torus2D(4), 0.5)
+        for h in range(1, len(pmf) - 1):
+            assert pmf[h + 1] / pmf[h] == pytest.approx(0.5)
+
+    def test_paper_davg_4x4(self):
+        """The paper's headline value: d_avg = 1.733 at p_sw = 0.5 on 4x4."""
+        pmf = geometric_distance_pmf(Torus2D(4), 0.5)
+        assert average_distance(pmf) == pytest.approx(1.7333333, abs=1e-6)
+
+    def test_low_psw_means_high_locality(self):
+        t = Torus2D(6)
+        d_low = average_distance(geometric_distance_pmf(t, 0.1))
+        d_high = average_distance(geometric_distance_pmf(t, 0.9))
+        assert d_low < d_high
+
+    def test_psw_one_is_uniform_over_distances(self):
+        pmf = geometric_distance_pmf(Torus2D(4), 1.0)
+        nz = pmf[1:]
+        assert np.allclose(nz, nz[0])
+
+    def test_invalid_psw(self):
+        with pytest.raises(ValueError):
+            geometric_distance_pmf(Torus2D(4), 0.0)
+        with pytest.raises(ValueError):
+            geometric_distance_pmf(Torus2D(4), 1.5)
+
+    def test_single_node_raises(self):
+        with pytest.raises(ValueError):
+            geometric_distance_pmf(Torus2D(1), 0.5)
+
+
+class TestUniformPmf:
+    def test_normalized(self):
+        pmf = uniform_distance_pmf(Torus2D(4))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_proportional_to_counts(self):
+        t = Torus2D(4)
+        pmf = uniform_distance_pmf(t)
+        counts = t.distance_counts
+        # 15 remote modules on a 4x4
+        assert pmf[1] == pytest.approx(counts[1] / 15)
+        assert pmf[2] == pytest.approx(counts[2] / 15)
+
+    def test_davg_grows_with_machine(self):
+        davg = [
+            average_distance(uniform_distance_pmf(Torus2D(k))) for k in (2, 4, 8, 10)
+        ]
+        assert davg == sorted(davg)
+        # the paper quotes ~5 at k=10 for uniform
+        assert davg[-1] == pytest.approx(5.05, abs=0.1)
+
+
+class TestAsymptote:
+    def test_value_at_half(self):
+        """Paper, Section 7: d_avg -> 2 for p_sw = 0.5."""
+        assert geometric_davg_asymptote(0.5) == pytest.approx(2.0)
+
+    def test_convergence_with_k(self):
+        target = geometric_davg_asymptote(0.5)
+        davg_10 = average_distance(geometric_distance_pmf(Torus2D(10), 0.5))
+        davg_4 = average_distance(geometric_distance_pmf(Torus2D(4), 0.5))
+        assert abs(davg_10 - target) < abs(davg_4 - target)
+        assert davg_10 == pytest.approx(target, abs=0.01)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            geometric_davg_asymptote(1.0)
+        with pytest.raises(ValueError):
+            geometric_davg_asymptote(0.0)
+
+
+class TestAverageDistance:
+    def test_point_mass(self):
+        pmf = np.array([0.0, 0.0, 1.0])
+        assert average_distance(pmf) == 2.0
+
+    def test_mixture(self):
+        pmf = np.array([0.0, 0.5, 0.5])
+        assert average_distance(pmf) == 1.5

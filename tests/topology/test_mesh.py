@@ -1,0 +1,175 @@
+"""Unit tests for the 2-D mesh topology."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Mesh2D, Torus2D, inbound_transit_counts, route, route_nodes
+
+
+class TestMeshBasics:
+    def test_square_shortcut(self):
+        m = Mesh2D(4)
+        assert (m.kx, m.ky) == (4, 4)
+        assert m.num_nodes == 16
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0)
+
+    def test_coords_roundtrip(self):
+        m = Mesh2D(3, 5)
+        for n in range(m.num_nodes):
+            x, y = m.coords(n)
+            assert m.node_at(x, y) == n
+
+    def test_node_at_no_wrap(self):
+        with pytest.raises(ValueError):
+            Mesh2D(4).node_at(4, 0)
+        with pytest.raises(ValueError):
+            Mesh2D(4).node_at(-1, 0)
+
+
+class TestMeshDistances:
+    def test_manhattan(self):
+        m = Mesh2D(4)
+        assert m.distance(m.node_at(0, 0), m.node_at(3, 3)) == 6
+
+    def test_no_wraparound_shortcut(self):
+        """0 -> 3 on a 4-row is 3 hops on a mesh, 1 on a torus."""
+        m, t = Mesh2D(4), Torus2D(4)
+        assert m.distance(0, 3) == 3
+        assert t.distance(0, 3) == 1
+
+    def test_diameter(self):
+        assert Mesh2D(4).max_distance == 6
+        assert Mesh2D(3, 5).max_distance == 6
+
+    def test_matrix_symmetric_zero_diag(self):
+        m = Mesh2D(4)
+        d = m.distance_matrix
+        assert np.array_equal(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_not_vertex_transitive(self):
+        """Corner and center profiles differ -- the defining asymmetry."""
+        m = Mesh2D(4)
+        corner = m.distance_counts_from(0)
+        center = m.distance_counts_from(m.node_at(1, 1))
+        assert not np.array_equal(corner, center)
+
+    def test_mesh_distances_dominate_torus(self):
+        m, t = Mesh2D(4), Torus2D(4)
+        assert np.all(m.distance_matrix >= t.distance_matrix)
+
+
+class TestMeshNeighbors:
+    def test_corner_has_two(self):
+        assert len(Mesh2D(4).neighbors(0)) == 2
+
+    def test_edge_has_three(self):
+        m = Mesh2D(4)
+        assert len(m.neighbors(m.node_at(1, 0))) == 3
+
+    def test_center_has_four(self):
+        m = Mesh2D(4)
+        assert len(m.neighbors(m.node_at(1, 1))) == 4
+
+
+class TestMeshRouting:
+    def test_route_length(self):
+        m = Mesh2D(4)
+        for s in range(m.num_nodes):
+            for d in range(m.num_nodes):
+                assert len(route(m, s, d)) == m.distance(s, d) + 1
+
+    def test_route_stays_on_grid(self):
+        m = Mesh2D(4)
+        r = route(m, 0, 15)
+        for a, b in zip(r, r[1:]):
+            assert m.distance(a, b) == 1
+
+    def test_route_x_first(self):
+        m = Mesh2D(4)
+        r = route(m, m.node_at(0, 0), m.node_at(2, 2))
+        ys = [m.coords(n)[1] for n in r]
+        assert ys[:3] == [0, 0, 0]  # x settles before y moves
+
+    def test_route_nodes_excludes_source(self):
+        m = Mesh2D(3)
+        assert 0 not in route_nodes(m, 0, 8)
+
+    def test_transit_counts(self):
+        m = Mesh2D(3)
+        c = inbound_transit_counts(m)
+        assert np.array_equal(c.sum(axis=2), m.distance_matrix)
+
+    def test_transit_cache_keyed_by_type(self):
+        """Torus and mesh of the same shape must not share cache entries."""
+        ct = inbound_transit_counts(Torus2D(3))
+        cm = inbound_transit_counts(Mesh2D(3))
+        assert not np.array_equal(ct, cm)
+
+
+class TestMeshPatterns:
+    def test_geometric_rows_normalized(self):
+        from repro.workload import GeometricPattern
+
+        q = GeometricPattern(0.5).module_probability_matrix(Mesh2D(4))
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(q), 0.0)
+
+    def test_geometric_davg_larger_on_mesh(self):
+        from repro.workload import GeometricPattern
+
+        pat = GeometricPattern(0.5)
+        assert pat.d_avg(Mesh2D(4)) > pat.d_avg(Torus2D(4))
+
+    def test_uniform_davg_on_mesh(self):
+        from repro.workload import UniformPattern
+
+        # mean pairwise Manhattan distance on a 4x4 grid over remote pairs
+        m = Mesh2D(4)
+        d = m.distance_matrix
+        expected = d.sum() / (16 * 15)
+        assert UniformPattern().d_avg(m) == pytest.approx(expected)
+
+
+class TestMeshModel:
+    def test_auto_uses_amva(self):
+        from repro.core import MMSModel
+        from repro.params import paper_defaults
+
+        perf = MMSModel(paper_defaults(k=2, wraparound=False)).solve()
+        assert perf.method == "amva"
+        assert perf.converged
+
+    def test_symmetric_solver_rejected(self):
+        from repro.core import MMSModel
+        from repro.params import paper_defaults
+
+        with pytest.raises(ValueError, match="vertex transitive"):
+            MMSModel(paper_defaults(wraparound=False)).solve(method="symmetric")
+
+    def test_torus_beats_mesh(self):
+        """Wrap-around halves worst-case distances: the torus tolerates
+        strictly better under the same workload."""
+        from repro.core import solve
+        from repro.params import paper_defaults
+
+        t = solve(paper_defaults(pattern="uniform"))
+        m = solve(paper_defaults(pattern="uniform", wraparound=False))
+        assert t.processor_utilization > m.processor_utilization
+        assert m.s_obs > t.s_obs
+
+    def test_mesh_simulation_agrees_with_model(self):
+        from repro.core import MMSModel
+        from repro.params import paper_defaults
+        from repro.simulation import simulate
+
+        params = paper_defaults(k=2, num_threads=3, wraparound=False, p_remote=0.4)
+        perf = MMSModel(params).solve()
+        sim = simulate(params, duration=25_000.0, seed=23)
+        assert sim.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.06
+        )
+        assert sim.s_obs == pytest.approx(perf.s_obs, rel=0.12)

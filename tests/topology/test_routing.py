@@ -1,0 +1,137 @@
+"""Unit tests for dimension-ordered torus routing."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    Torus2D,
+    inbound_transit_counts,
+    path_length,
+    route,
+    route_nodes,
+)
+
+
+class TestRoute:
+    def test_self_route(self):
+        t = Torus2D(4)
+        assert route(t, 5, 5) == (5,)
+
+    def test_endpoints(self):
+        t = Torus2D(4)
+        r = route(t, 0, 10)
+        assert r[0] == 0 and r[-1] == 10
+
+    def test_length_equals_distance(self):
+        t = Torus2D(4)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                assert len(route(t, s, d)) == t.distance(s, d) + 1
+
+    def test_consecutive_nodes_are_neighbors(self):
+        t = Torus2D(4)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                r = route(t, s, d)
+                for a, b in zip(r, r[1:]):
+                    assert t.distance(a, b) == 1
+
+    def test_x_before_y(self):
+        """Dimension order: the x coordinate settles before y moves."""
+        t = Torus2D(4)
+        r = route(t, t.node_at(0, 0), t.node_at(2, 2))
+        xs = [t.coords(n)[0] for n in r]
+        ys = [t.coords(n)[1] for n in r]
+        # y stays constant while x changes
+        first_y_move = next(i for i, y in enumerate(ys) if y != ys[0])
+        assert xs[first_y_move - 1] == 2  # x already at destination column
+
+    def test_wraparound_route(self):
+        t = Torus2D(4)
+        r = route(t, t.node_at(3, 0), t.node_at(0, 0))
+        assert len(r) == 2  # one hop via the wrap link
+
+    def test_deterministic(self):
+        t = Torus2D(5)
+        assert route(t, 1, 18) == route(t, 1, 18)
+
+    def test_invalid_nodes(self):
+        t = Torus2D(3)
+        with pytest.raises(ValueError):
+            route(t, 0, 99)
+
+
+class TestRouteNodes:
+    def test_excludes_source(self):
+        t = Torus2D(4)
+        rn = route_nodes(t, 0, 10)
+        assert 0 not in rn
+
+    def test_includes_destination(self):
+        t = Torus2D(4)
+        assert route_nodes(t, 0, 10)[-1] == 10
+
+    def test_empty_for_self(self):
+        t = Torus2D(4)
+        assert route_nodes(t, 3, 3) == ()
+
+    def test_count_equals_distance(self):
+        t = Torus2D(4)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                assert len(route_nodes(t, s, d)) == t.distance(s, d)
+
+
+class TestPathLength:
+    def test_matches_distance(self):
+        t = Torus2D(3, 5)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                assert path_length(t, s, d) == t.distance(s, d)
+
+
+class TestTransitCounts:
+    def test_shape(self):
+        t = Torus2D(3)
+        c = inbound_transit_counts(t)
+        assert c.shape == (9, 9, 9)
+
+    def test_row_sums_equal_distance(self):
+        t = Torus2D(4)
+        c = inbound_transit_counts(t)
+        d = t.distance_matrix
+        assert np.array_equal(c.sum(axis=2), d)
+
+    def test_zero_one_valued(self):
+        c = inbound_transit_counts(Torus2D(4))
+        assert c.min() == 0 and c.max() == 1
+
+    def test_source_never_transited(self):
+        t = Torus2D(4)
+        c = inbound_transit_counts(t)
+        for s in range(t.num_nodes):
+            assert c[s, :, s].sum() == 0
+
+    def test_destination_always_transited(self):
+        t = Torus2D(4)
+        c = inbound_transit_counts(t)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                if s != d:
+                    assert c[s, d, d] == 1
+
+    def test_cache_returns_same_object(self):
+        a = inbound_transit_counts(Torus2D(3))
+        b = inbound_transit_counts(Torus2D(3))
+        assert a is b
+
+    def test_translation_symmetry(self):
+        """Transit counts are invariant under torus translations."""
+        t = Torus2D(4)
+        c = inbound_transit_counts(t)
+        b = 5  # arbitrary translation
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                ts, td = t.translate(s, b), t.translate(d, b)
+                for n in range(t.num_nodes):
+                    assert c[s, d, n] == c[ts, td, t.translate(n, b)]

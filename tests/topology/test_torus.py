@@ -1,0 +1,197 @@
+"""Unit tests for the 2-D torus topology."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Torus2D, ring_distance, signed_hop
+
+
+class TestRingDistance:
+    def test_zero_for_same_position(self):
+        assert ring_distance(3, 3, 8) == 0
+
+    def test_wraparound_is_shorter(self):
+        assert ring_distance(0, 7, 8) == 1
+
+    def test_half_ring(self):
+        assert ring_distance(0, 4, 8) == 4
+
+    def test_symmetric(self):
+        for a in range(6):
+            for b in range(6):
+                assert ring_distance(a, b, 6) == ring_distance(b, a, 6)
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            ring_distance(0, 1, 0)
+
+
+class TestSignedHop:
+    def test_zero_for_same(self):
+        assert signed_hop(2, 2, 5) == 0
+
+    def test_forward(self):
+        assert signed_hop(0, 1, 5) == 1
+
+    def test_backward_via_wraparound(self):
+        assert signed_hop(0, 4, 5) == -1
+
+    def test_tie_breaks_positive(self):
+        # distance exactly k/2 on an even ring
+        assert signed_hop(0, 2, 4) == 1
+
+    def test_stepping_reaches_target(self):
+        k = 7
+        for a in range(k):
+            for b in range(k):
+                x, steps = a, 0
+                while x != b:
+                    x = (x + signed_hop(x, b, k)) % k
+                    steps += 1
+                    assert steps <= k
+                assert steps == ring_distance(a, b, k)
+
+
+class TestTorusBasics:
+    def test_square_shortcut(self):
+        t = Torus2D(4)
+        assert (t.kx, t.ky) == (4, 4)
+        assert t.num_nodes == 16
+
+    def test_rectangular(self):
+        t = Torus2D(4, 2)
+        assert t.num_nodes == 8
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Torus2D(0)
+        with pytest.raises(ValueError):
+            Torus2D(3, -2)
+
+    def test_coords_roundtrip(self):
+        t = Torus2D(5, 3)
+        for n in range(t.num_nodes):
+            x, y = t.coords(n)
+            assert t.node_at(x, y) == n
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            Torus2D(3).coords(9)
+        with pytest.raises(ValueError):
+            Torus2D(3).coords(-1)
+
+    def test_node_at_wraps(self):
+        t = Torus2D(4)
+        assert t.node_at(4, 0) == t.node_at(0, 0)
+        assert t.node_at(-1, 0) == t.node_at(3, 0)
+
+
+class TestDistances:
+    def test_distance_matrix_symmetric(self):
+        t = Torus2D(4)
+        d = t.distance_matrix
+        assert np.array_equal(d, d.T)
+
+    def test_distance_matrix_zero_diagonal(self):
+        t = Torus2D(5)
+        assert np.all(np.diag(t.distance_matrix) == 0)
+
+    def test_distance_matches_matrix(self):
+        t = Torus2D(3, 4)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                assert t.distance(s, d) == t.distance_matrix[s, d]
+
+    def test_max_distance_4x4(self):
+        assert Torus2D(4).max_distance == 4
+
+    def test_max_distance_odd(self):
+        assert Torus2D(5).max_distance == 4
+
+    def test_distance_counts_4x4(self):
+        # derived by hand: ring-distance multiplicities {0:1, 1:2, 2:1} per dim
+        counts = Torus2D(4).distance_counts
+        assert counts.tolist() == [1, 4, 6, 4, 1]
+
+    def test_distance_counts_sum_to_p(self):
+        for k in (2, 3, 4, 5):
+            t = Torus2D(k)
+            assert t.distance_counts.sum() == t.num_nodes
+
+    def test_vertex_transitivity(self):
+        """Every node sees the same distance histogram."""
+        t = Torus2D(4, 3)
+        ref = np.bincount(t.distance_matrix[0], minlength=t.max_distance + 1)
+        for n in range(1, t.num_nodes):
+            hist = np.bincount(t.distance_matrix[n], minlength=t.max_distance + 1)
+            assert np.array_equal(hist, ref)
+
+    def test_nodes_at_distance(self):
+        t = Torus2D(4)
+        at1 = t.nodes_at_distance(0, 1)
+        assert len(at1) == 4
+        for n in at1:
+            assert t.distance(0, n) == 1
+
+    def test_triangle_inequality(self):
+        t = Torus2D(4)
+        d = t.distance_matrix
+        for a in range(t.num_nodes):
+            for b in range(t.num_nodes):
+                for c in range(0, t.num_nodes, 5):
+                    assert d[a, c] <= d[a, b] + d[b, c]
+
+
+class TestNeighbors:
+    def test_four_neighbors_on_large_torus(self):
+        t = Torus2D(4)
+        for n in range(t.num_nodes):
+            assert len(t.neighbors(n)) == 4
+
+    def test_neighbors_at_distance_one(self):
+        t = Torus2D(5)
+        for nb in t.neighbors(7):
+            assert t.distance(7, nb) == 1
+
+    def test_degenerate_2x2(self):
+        # on a 2-ring, +1 and -1 coincide
+        t = Torus2D(2)
+        assert len(t.neighbors(0)) == 2
+
+    def test_single_node(self):
+        assert Torus2D(1).neighbors(0) == ()
+
+
+class TestTranslations:
+    def test_translate_identity(self):
+        t = Torus2D(4)
+        for n in range(t.num_nodes):
+            assert t.translate(n, 0) == n
+
+    def test_translate_preserves_distance(self):
+        t = Torus2D(4)
+        for b in range(t.num_nodes):
+            for a in range(t.num_nodes):
+                for c in range(0, t.num_nodes, 3):
+                    assert t.distance(a, c) == t.distance(
+                        t.translate(a, b), t.translate(c, b)
+                    )
+
+    def test_translation_table_rows_are_permutations(self):
+        t = Torus2D(3)
+        table = t.translation_table()
+        for row in table:
+            assert sorted(row.tolist()) == list(range(t.num_nodes))
+
+    def test_translation_group_closure(self):
+        t = Torus2D(3)
+        # translating by b then by c equals translating by b+c (as nodes)
+        for b in range(t.num_nodes):
+            for c in range(t.num_nodes):
+                bx, by = t.coords(b)
+                cx, cy = t.coords(c)
+                combined = t.node_at(bx + cx, by + cy)
+                for n in range(t.num_nodes):
+                    assert t.translate(t.translate(n, b), c) == t.translate(
+                        n, combined
+                    )

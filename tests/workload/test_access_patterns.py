@@ -1,0 +1,100 @@
+"""Unit tests for remote-access patterns."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Torus2D
+from repro.workload import GeometricPattern, UniformPattern, make_pattern
+
+
+@pytest.fixture
+def t4():
+    return Torus2D(4)
+
+
+class TestGeometricPattern:
+    def test_module_probabilities_normalized(self, t4):
+        q = GeometricPattern(0.5).module_probabilities(t4, 0)
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_no_self_access(self, t4):
+        for src in range(t4.num_nodes):
+            q = GeometricPattern(0.5).module_probabilities(t4, src)
+            assert q[src] == 0.0
+
+    def test_equal_within_distance_class(self, t4):
+        q = GeometricPattern(0.5).module_probabilities(t4, 0)
+        for h in range(1, t4.max_distance + 1):
+            vals = q[t4.nodes_at_distance(0, h)]
+            assert np.allclose(vals, vals[0])
+
+    def test_per_module_value(self, t4):
+        """Distance-class mass p^h/a split among count_h modules."""
+        pat = GeometricPattern(0.5)
+        pmf = pat.distance_pmf(t4)
+        q = pat.module_probabilities(t4, 0)
+        counts = t4.distance_counts
+        for h in range(1, t4.max_distance + 1):
+            node = t4.nodes_at_distance(0, h)[0]
+            assert q[node] == pytest.approx(pmf[h] / counts[h])
+
+    def test_closer_modules_more_likely(self, t4):
+        q = GeometricPattern(0.3).module_probabilities(t4, 0)
+        n1 = t4.nodes_at_distance(0, 1)[0]
+        n2 = t4.nodes_at_distance(0, 2)[0]
+        assert q[n1] > q[n2]
+
+    def test_matrix_matches_rows(self, t4):
+        pat = GeometricPattern(0.5)
+        mat = pat.module_probability_matrix(t4)
+        for src in (0, 5, 15):
+            assert np.allclose(mat[src], pat.module_probabilities(t4, src))
+
+    def test_matrix_translation_symmetric(self, t4):
+        mat = GeometricPattern(0.5).module_probability_matrix(t4)
+        b = 6
+        for j in range(t4.num_nodes):
+            assert mat[0, j] == pytest.approx(
+                mat[t4.translate(0, b), t4.translate(j, b)]
+            )
+
+    def test_davg(self, t4):
+        assert GeometricPattern(0.5).d_avg(t4) == pytest.approx(1.7333333)
+
+    def test_equality_and_hash(self):
+        assert GeometricPattern(0.5) == GeometricPattern(0.5)
+        assert GeometricPattern(0.5) != GeometricPattern(0.4)
+        assert hash(GeometricPattern(0.5)) == hash(GeometricPattern(0.5))
+
+    def test_invalid_psw(self):
+        with pytest.raises(ValueError):
+            GeometricPattern(0.0)
+
+
+class TestUniformPattern:
+    def test_equal_probabilities(self, t4):
+        q = UniformPattern().module_probabilities(t4, 0)
+        remote = np.delete(q, 0)
+        assert np.allclose(remote, 1.0 / 15)
+
+    def test_davg_4x4(self, t4):
+        # sum(h * count_h) / 15 = (4 + 12 + 12 + 4) / 15
+        assert UniformPattern().d_avg(t4) == pytest.approx(32 / 15)
+
+    def test_equality(self):
+        assert UniformPattern() == UniformPattern()
+        assert UniformPattern() != GeometricPattern(0.5)
+
+
+class TestFactory:
+    def test_geometric(self):
+        pat = make_pattern("geometric", 0.3)
+        assert isinstance(pat, GeometricPattern)
+        assert pat.p_sw == 0.3
+
+    def test_uniform(self):
+        assert isinstance(make_pattern("uniform"), UniformPattern)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_pattern("zipf")

@@ -1,0 +1,217 @@
+"""Tests for the data-distribution -> access-pattern bridge."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.topology import Torus2D
+from repro.workload import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    DoAllLoop,
+    EmpiricalPattern,
+    Reference,
+    derive_pattern,
+)
+
+
+class TestDistributions:
+    def test_block_owners(self):
+        d = BlockDistribution(8, 4)  # blocks of 2
+        assert [d.owner(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_uneven(self):
+        d = BlockDistribution(10, 4)  # ceil(10/4) = 3
+        assert d.owner(9) == 3
+        assert d.owner(2) == 0
+
+    def test_cyclic_owners(self):
+        d = CyclicDistribution(8, 4)
+        assert [d.owner(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_cyclic_owners(self):
+        d = BlockCyclicDistribution(16, 2, block_size=4)
+        assert d.owner(0) == 0 and d.owner(3) == 0
+        assert d.owner(4) == 1 and d.owner(7) == 1
+        assert d.owner(8) == 0
+
+    def test_vectorized_matches_scalar(self):
+        for d in (
+            BlockDistribution(100, 7),
+            CyclicDistribution(100, 7),
+            BlockCyclicDistribution(100, 7, 3),
+        ):
+            idx = np.arange(100)
+            assert np.array_equal(
+                d.owners(idx), [d.owner(int(i)) for i in idx]
+            )
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            BlockDistribution(10, 2).owner(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDistribution(0, 4)
+        with pytest.raises(ValueError):
+            CyclicDistribution(10, 0)
+        with pytest.raises(ValueError):
+            BlockCyclicDistribution(10, 2, 0)
+
+
+class TestDoAllLoop:
+    def test_block_partition_of_iterations(self):
+        loop = DoAllLoop(8)
+        assert loop.iterations_of(0, 4).tolist() == [0, 1]
+        assert loop.iterations_of(3, 4).tolist() == [6, 7]
+
+    def test_uneven_partition(self):
+        loop = DoAllLoop(10)
+        # chunk = ceil(10/4) = 3 -> last PE gets one iteration
+        assert loop.iterations_of(3, 4).tolist() == [9]
+
+    def test_empty_tail(self):
+        # with 8 PEs and 4 iterations (chunk = 1), PEs 4..7 are idle
+        loop = DoAllLoop(4)
+        assert loop.iterations_of(3, 8).tolist() == [3]
+        assert loop.iterations_of(7, 8).size == 0
+
+    def test_reference_element(self):
+        assert Reference(2, 1).element(5) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DoAllLoop(0)
+        with pytest.raises(ValueError):
+            DoAllLoop(4, ())
+
+
+class TestDerivePattern:
+    def test_aligned_block_is_local(self):
+        """A[i] with block distribution and block iteration partition:
+        everything is owner-computes local."""
+        lp = derive_pattern(DoAllLoop(64), BlockDistribution(64, 4), 4)
+        assert lp.p_remote == 0.0
+        assert lp.is_local_only
+
+    def test_cyclic_on_block_iterations_is_mostly_remote(self):
+        lp = derive_pattern(DoAllLoop(64), CyclicDistribution(64, 4), 4)
+        assert lp.p_remote == pytest.approx(0.75)  # 1 - 1/P
+        assert lp.pattern is not None
+
+    def test_stencil_block_boundary_only(self):
+        """A[i], A[i+1] under block: only one element per block boundary is
+        remote."""
+        n, p = 64, 4
+        loop = DoAllLoop(n, (Reference(1, 0), Reference(1, 1)))
+        lp = derive_pattern(loop, BlockDistribution(n, p), p)
+        # references: 2 per iteration, ~2n total; remote: one per interior
+        # boundary (3), minus the clamped out-of-range last access
+        assert 0 < lp.p_remote < 0.05
+
+    def test_stencil_remote_goes_to_neighbor(self):
+        n, p = 64, 4
+        loop = DoAllLoop(n, (Reference(1, 1),))
+        lp = derive_pattern(loop, BlockDistribution(n, p), p)
+        q = lp.pattern.module_probability_matrix(Torus2D(2))
+        # PE 0's only remote access is to module 1 (the next block)
+        assert q[0, 1] == pytest.approx(1.0)
+
+    def test_per_pe_remote_exposed(self):
+        n, p = 64, 4
+        loop = DoAllLoop(n, (Reference(1, 1),))
+        lp = derive_pattern(loop, BlockDistribution(n, p), p)
+        # every PE except the last has exactly one remote access out of 16
+        assert lp.per_pe_remote[0] == pytest.approx(1 / 16)
+        assert lp.per_pe_remote[-1] == pytest.approx(0.0)
+
+    def test_mismatched_module_count(self):
+        with pytest.raises(ValueError, match="modules"):
+            derive_pattern(DoAllLoop(10), BlockDistribution(10, 8), 4)
+
+    def test_out_of_range_references_clamped(self):
+        loop = DoAllLoop(16, (Reference(1, 100),))
+        with pytest.raises(ValueError, match="no in-range"):
+            derive_pattern(loop, BlockDistribution(16, 4), 4)
+
+
+class TestEmpiricalPattern:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            EmpiricalPattern(np.ones((2, 3)))
+        bad_diag = np.full((3, 3), 0.5)
+        with pytest.raises(ValueError, match="diagonal"):
+            EmpiricalPattern(bad_diag)
+        neg = np.zeros((2, 2))
+        neg[0, 1] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            EmpiricalPattern(neg)
+
+    def test_row_sum_validation(self):
+        q = np.zeros((2, 2))
+        q[0, 1] = 0.7
+        with pytest.raises(ValueError, match="sum to 1"):
+            EmpiricalPattern(q)
+
+    def test_machine_size_checked(self):
+        q = np.zeros((4, 4))
+        q[0, 1] = 1.0
+        q[1, 0] = 1.0
+        q[2, 3] = 1.0
+        q[3, 2] = 1.0
+        pat = EmpiricalPattern(q)
+        with pytest.raises(ValueError, match="nodes"):
+            pat.module_probability_matrix(Torus2D(3))
+
+    def test_asymmetric_by_default(self):
+        q = np.zeros((4, 4))
+        for i in range(4):
+            q[i, (i + 1) % 4] = 1.0
+        assert not EmpiricalPattern(q).is_symmetric
+
+    def test_distance_pmf(self):
+        q = np.zeros((4, 4))
+        for i in range(4):
+            q[i, i ^ 1] = 1.0  # the x-neighbor: one hop on a 2x2 torus
+        pmf = EmpiricalPattern(q).distance_pmf(Torus2D(2))
+        assert pmf[1] == pytest.approx(1.0)
+
+
+class TestModelIntegration:
+    def test_block_beats_cyclic_end_to_end(self):
+        """The compiler question, answered: block layout wins for a
+        stencil."""
+        n, p = 256, 16
+        loop = DoAllLoop(n, (Reference(1, 0), Reference(1, 1)))
+        block = derive_pattern(loop, BlockDistribution(n, p), p)
+        cyclic = derive_pattern(loop, CyclicDistribution(n, p), p)
+
+        base = paper_defaults()
+        u_block = (
+            MMSModel(base.with_(p_remote=block.p_remote), pattern=block.pattern)
+            .solve()
+            .processor_utilization
+        )
+        u_cyclic = (
+            MMSModel(
+                base.with_(p_remote=cyclic.p_remote), pattern=cyclic.pattern
+            )
+            .solve()
+            .processor_utilization
+        )
+        assert u_block > 2 * u_cyclic
+
+    def test_simulation_accepts_pattern_override(self):
+        from repro.simulation import MMSSimulation
+
+        n, p = 256, 16
+        loop = DoAllLoop(n, (Reference(1, 0), Reference(1, 1)))
+        lp = derive_pattern(loop, CyclicDistribution(n, p), p)
+        params = paper_defaults(p_remote=lp.p_remote)
+        model = MMSModel(params, pattern=lp.pattern).solve()
+        sim = MMSSimulation(params, seed=19, pattern=lp.pattern).run(15_000.0)
+        assert sim.processor_utilization == pytest.approx(
+            model.processor_utilization, rel=0.08
+        )

@@ -1,0 +1,137 @@
+"""Hotspot access pattern: asymmetric workloads end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMSModel
+from repro.params import paper_defaults
+from repro.topology import Torus2D
+from repro.workload import (
+    GeometricPattern,
+    HotspotPattern,
+    build_visit_ratios,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def t4():
+    return Torus2D(4)
+
+
+class TestHotspotPattern:
+    def test_rows_normalized(self, t4):
+        q = HotspotPattern(0, 0.5).module_probability_matrix(t4)
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(q), 0.0)
+
+    def test_hot_module_gets_the_mass(self, t4):
+        q = HotspotPattern(0, 0.5).module_probability_matrix(t4)
+        for src in range(1, t4.num_nodes):
+            assert q[src, 0] > 0.5
+
+    def test_hot_node_itself_uses_base(self, t4):
+        base = GeometricPattern(0.5)
+        q = HotspotPattern(0, 0.7, base).module_probability_matrix(t4)
+        assert np.allclose(q[0], base.module_probability_matrix(t4)[0])
+
+    def test_zero_fraction_reduces_to_base(self, t4):
+        base = GeometricPattern(0.5)
+        q = HotspotPattern(0, 0.0, base).module_probability_matrix(t4)
+        assert np.allclose(q, base.module_probability_matrix(t4))
+
+    def test_full_fraction_all_to_hot(self, t4):
+        q = HotspotPattern(3, 1.0).module_probability_matrix(t4)
+        for src in range(t4.num_nodes):
+            if src != 3:
+                assert q[src, 3] == pytest.approx(1.0)
+
+    def test_marked_asymmetric(self):
+        assert not HotspotPattern(0, 0.5).is_symmetric
+        assert GeometricPattern(0.5).is_symmetric
+
+    def test_distance_pmf_normalized(self, t4):
+        pmf = HotspotPattern(0, 0.5).distance_pmf(t4)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[0] == 0.0
+
+    def test_hot_node_out_of_range(self):
+        with pytest.raises(ValueError, match="hot node"):
+            HotspotPattern(99, 0.5).module_probability_matrix(Torus2D(4))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HotspotPattern(0, 1.5)
+        with pytest.raises(ValueError):
+            HotspotPattern(-1, 0.5)
+
+    def test_factory(self):
+        pat = make_pattern("hotspot", 0.5, hot_node=2, hot_fraction=0.3)
+        assert isinstance(pat, HotspotPattern)
+        assert pat.hot_node == 2
+        assert pat.hot_fraction == 0.3
+
+    def test_equality(self):
+        assert HotspotPattern(1, 0.3) == HotspotPattern(1, 0.3)
+        assert HotspotPattern(1, 0.3) != HotspotPattern(2, 0.3)
+
+
+class TestHotspotVisitRatios:
+    def test_memory_rows_still_one(self, t4):
+        vr = build_visit_ratios(t4, 0.4, HotspotPattern(0, 0.6))
+        assert np.allclose(vr.memory.sum(axis=1), 1.0)
+
+    def test_hot_memory_total_load_dominates(self, t4):
+        vr = build_visit_ratios(t4, 0.4, HotspotPattern(0, 0.6))
+        col_loads = vr.memory.sum(axis=0)
+        assert col_loads[0] == max(col_loads)
+        assert col_loads[0] > 2 * np.median(col_loads)
+
+
+class TestHotspotModel:
+    @pytest.fixture(scope="class")
+    def hot_params(self):
+        return paper_defaults(
+            k=2, num_threads=4, p_remote=0.4, pattern="hotspot", hot_fraction=0.6
+        )
+
+    def test_symmetric_solver_rejected(self, hot_params):
+        with pytest.raises(ValueError, match="asymmetric"):
+            MMSModel(hot_params).solve(method="symmetric")
+
+    def test_auto_uses_amva(self, hot_params):
+        perf = MMSModel(hot_params).solve()
+        assert perf.method == "amva"
+        assert perf.converged
+
+    def test_per_class_utilizations_exposed(self, hot_params):
+        perf = MMSModel(hot_params).solve()
+        assert perf.per_class_utilization is not None
+        assert len(perf.per_class_utilization) == 4
+
+    def test_hot_memory_is_the_bottleneck(self, hot_params):
+        perf = MMSModel(hot_params).solve()
+        base = MMSModel(hot_params.with_(pattern="geometric")).solve(method="amva")
+        assert perf.memory.utilization > base.memory.utilization
+
+    def test_hotspot_degrades_throughput(self, hot_params):
+        hot = MMSModel(hot_params).solve()
+        base = MMSModel(hot_params.with_(pattern="geometric")).solve()
+        assert hot.processor_utilization < base.processor_utilization
+
+    def test_multiporting_the_hot_memory_helps(self, hot_params):
+        hot = MMSModel(hot_params).solve()
+        ported = MMSModel(hot_params.with_(memory_ports=2)).solve()
+        assert ported.processor_utilization > hot.processor_utilization
+
+    def test_simulation_agrees(self, hot_params):
+        """The DES draws destinations from the same hotspot matrix -- the
+        asymmetric AMVA must track it."""
+        from repro.simulation import simulate
+
+        perf = MMSModel(hot_params).solve()
+        sim = simulate(hot_params, duration=30_000.0, seed=17)
+        assert sim.processor_utilization == pytest.approx(
+            perf.processor_utilization, rel=0.07
+        )
+        assert sim.l_obs == pytest.approx(perf.l_obs, rel=0.12)

@@ -1,0 +1,74 @@
+"""Unit tests for the iso-work thread-partitioning strategy."""
+
+import pytest
+
+from repro.params import Workload
+from repro.workload import IsoWorkPartitioning, coalesce, partition_workloads
+
+
+class TestIsoWorkPartitioning:
+    def test_work_is_invariant(self):
+        part = IsoWorkPartitioning(40.0)
+        for nt in (1, 2, 4, 5, 8, 40):
+            wl = part.workload(nt)
+            assert wl.num_threads * wl.runlength == pytest.approx(40.0)
+
+    def test_template_fields_preserved(self):
+        tmpl = Workload(p_remote=0.4, pattern="uniform")
+        wl = IsoWorkPartitioning(20.0, tmpl).workload(4)
+        assert wl.p_remote == 0.4
+        assert wl.pattern == "uniform"
+
+    def test_sweep_order(self):
+        part = IsoWorkPartitioning(80.0)
+        wls = list(part.sweep([1, 2, 4]))
+        assert [w.num_threads for w in wls] == [1, 2, 4]
+        assert [w.runlength for w in wls] == [80.0, 40.0, 20.0]
+
+    def test_runlengths(self):
+        assert IsoWorkPartitioning(40.0).runlengths([2, 8]) == [20.0, 5.0]
+
+    def test_invalid_work(self):
+        with pytest.raises(ValueError):
+            IsoWorkPartitioning(0.0)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            IsoWorkPartitioning(10.0).workload(0)
+
+
+class TestPartitionWorkloads:
+    def test_shortcut(self):
+        wls = partition_workloads(40.0, [4, 8])
+        assert len(wls) == 2
+        assert wls[0].runlength == 10.0
+        assert wls[1].runlength == 5.0
+
+
+class TestCoalesce:
+    def test_halving(self):
+        wl = Workload(num_threads=8, runlength=5.0)
+        c = coalesce(wl, 2)
+        assert c.num_threads == 4
+        assert c.runlength == 10.0
+
+    def test_preserves_work(self):
+        wl = Workload(num_threads=7, runlength=10.0)
+        c = coalesce(wl, 3)
+        assert c.num_threads * c.runlength == pytest.approx(70.0)
+
+    def test_rounds_up(self):
+        wl = Workload(num_threads=7, runlength=10.0)
+        assert coalesce(wl, 2).num_threads == 4
+
+    def test_never_below_one_thread(self):
+        wl = Workload(num_threads=4, runlength=10.0)
+        assert coalesce(wl, 100).num_threads == 1
+
+    def test_identity(self):
+        wl = Workload(num_threads=4, runlength=10.0)
+        assert coalesce(wl, 1) == wl
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            coalesce(Workload(), 0)

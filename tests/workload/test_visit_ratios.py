@@ -1,0 +1,116 @@
+"""Unit tests for the CQN visit ratios (the paper's em, ei, eo)."""
+
+import numpy as np
+import pytest
+
+from repro.params import paper_defaults
+from repro.topology import Torus2D
+from repro.workload import (
+    GeometricPattern,
+    UniformPattern,
+    build_visit_ratios,
+)
+from repro.workload.visit_ratios import visit_ratios_for
+
+
+@pytest.fixture
+def t4():
+    return Torus2D(4)
+
+
+@pytest.fixture
+def vr(t4):
+    return build_visit_ratios(t4, 0.2, GeometricPattern(0.5))
+
+
+class TestMemoryVisits:
+    def test_one_access_per_cycle(self, vr):
+        """em rows sum to 1: each cycle issues exactly one memory access."""
+        assert np.allclose(vr.memory.sum(axis=1), 1.0)
+
+    def test_local_share(self, vr):
+        assert np.allclose(np.diag(vr.memory), 0.8)
+
+    def test_remote_share(self, vr):
+        off = vr.memory.copy()
+        np.fill_diagonal(off, 0.0)
+        assert np.allclose(off.sum(axis=1), 0.2)
+
+    def test_zero_p_remote_local_only(self, t4):
+        vr = build_visit_ratios(t4, 0.0, GeometricPattern(0.5))
+        assert np.allclose(vr.memory, np.eye(t4.num_nodes))
+        assert vr.inbound.sum() == 0.0
+        assert vr.outbound.sum() == 0.0
+
+    def test_single_node_machine(self):
+        vr = build_visit_ratios(Torus2D(1), 0.2, GeometricPattern(0.5))
+        assert vr.memory.shape == (1, 1)
+        assert vr.memory[0, 0] == 1.0
+
+
+class TestOutboundVisits:
+    def test_source_outbound_carries_all_requests(self, vr):
+        """eo[i, i] = p_remote: every remote request exits at the source."""
+        assert np.allclose(np.diag(vr.outbound), 0.2)
+
+    def test_destination_outbound_equals_em(self, vr):
+        """Paper: eo[i, j] = em[i, j] for j != i (responses)."""
+        p = vr.memory.shape[0]
+        for i in range(p):
+            for j in range(p):
+                if i != j:
+                    assert vr.outbound[i, j] == pytest.approx(vr.memory[i, j])
+
+    def test_total_outbound_per_cycle(self, vr):
+        """Two outbound traversals per remote access (request + response)."""
+        assert np.allclose(vr.outbound.sum(axis=1), 2 * 0.2)
+
+
+class TestInboundVisits:
+    def test_total_inbound_is_two_davg(self, t4):
+        """ei row sums = 2 * p_remote * d_avg (round trip crosses 2h inbound
+        switches at distance h)."""
+        pat = GeometricPattern(0.5)
+        vr = build_visit_ratios(t4, 0.2, pat)
+        expected = 2 * 0.2 * pat.d_avg(t4)
+        assert np.allclose(vr.inbound.sum(axis=1), expected)
+
+    def test_uniform_total_inbound(self, t4):
+        pat = UniformPattern()
+        vr = build_visit_ratios(t4, 0.4, pat)
+        expected = 2 * 0.4 * pat.d_avg(t4)
+        assert np.allclose(vr.inbound.sum(axis=1), expected)
+
+    def test_own_inbound_on_return_only(self, vr):
+        """Class i's messages re-enter through its own inbound switch exactly
+        once per remote access (the final hop home)."""
+        assert np.allclose(np.diag(vr.inbound), 0.2)
+
+    def test_nonnegative(self, vr):
+        assert (vr.inbound >= 0).all()
+
+
+class TestSymmetry:
+    def test_classes_are_translations(self, t4):
+        """All classes' visit vectors are torus translations of class 0's."""
+        vr = build_visit_ratios(t4, 0.3, GeometricPattern(0.5))
+        for b in range(t4.num_nodes):
+            perm = [t4.translate(n, b) for n in range(t4.num_nodes)]
+            for name in ("memory", "inbound", "outbound"):
+                arr = getattr(vr, name)
+                assert np.allclose(arr[b, perm], arr[0]), name
+
+    def test_network_visit_total(self, t4):
+        vr = build_visit_ratios(t4, 0.2, GeometricPattern(0.5))
+        expected = 2 * 0.2 * (GeometricPattern(0.5).d_avg(t4) + 1.0)
+        assert vr.total_network_visits(0) == pytest.approx(expected)
+
+
+class TestFromParams:
+    def test_wrapper(self):
+        vr = visit_ratios_for(paper_defaults(p_remote=0.4))
+        assert np.allclose(np.diag(vr.memory), 0.6)
+
+    def test_invalid_p_remote(self, t4):
+        with pytest.raises(ValueError):
+            build_visit_ratios(t4, 1.2, GeometricPattern(0.5))
