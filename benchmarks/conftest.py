@@ -3,15 +3,44 @@
 Every benchmark regenerates one of the paper's tables/figures, prints the
 rows/series, and archives the rendered text under ``benchmarks/results/`` so
 EXPERIMENTS.md can cite the exact output of the last run.
+
+The whole benchmark session runs with a shared :mod:`repro.runner` result
+cache under ``benchmarks/.sweep-cache`` (override with ``REPRO_CACHE_DIR``),
+so every sweep-backed experiment reuses points solved by earlier benchmarks
+-- and a *repeated* ``pytest benchmarks/`` run regenerates sweep-backed
+figures almost entirely from cache.  Set ``REPRO_SWEEP_JOBS=N`` to also
+solve cache misses on N worker processes.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro import runner as mms_runner
+
 RESULTS_DIR = Path(__file__).parent / "results"
+SWEEP_CACHE_DIR = Path(__file__).parent / ".sweep-cache"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sweep_cache():
+    """Route every sweep in the session through one persistent result store."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(SWEEP_CACHE_DIR)
+    previous = mms_runner.configure(cache_dir=cache_dir)
+    try:
+        yield mms_runner.shared_store(cache_dir)
+    finally:
+        mms_runner.shared_store(cache_dir).flush()
+        mms_runner.configure(**previous)
+
+
+@pytest.fixture
+def sweep_runner():
+    """A runner honouring the session cache and any REPRO_SWEEP_JOBS setting."""
+    return mms_runner.default_runner()
 
 
 @pytest.fixture

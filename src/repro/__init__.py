@@ -19,6 +19,7 @@ Packages
 ``repro.simulation``  discrete-event simulator (validation substrate)
 ``repro.spn``         stochastic timed Petri nets (the paper's validation)
 ``repro.analysis``    experiment harness regenerating every figure/table
+``repro.runner``      managed sweeps: parallel workers + content-addressed cache
 """
 
 from .core import (

@@ -5,6 +5,14 @@ architecture parameters.  :func:`sweep` produces flat records;
 :func:`grid` evaluates a measure on a 2-D lattice and returns plottable
 arrays.  Any keyword understood by :meth:`repro.params.MMSParams.with_` can be
 an axis.
+
+Sweeps execute through the :mod:`repro.runner` subsystem: points are
+deduplicated by content-addressed key, optionally served from a persistent
+result cache, and solved in parallel when a runner with ``jobs > 1`` is
+passed (or configured globally via :func:`repro.runner.configure` /
+``REPRO_SWEEP_JOBS`` / ``REPRO_CACHE_DIR``).  The default remains serial,
+in-process execution, which is the right call for the tiny sweeps unit
+tests and interactive exploration produce.
 """
 
 from __future__ import annotations
@@ -15,33 +23,86 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..core import MMSModel, MMSPerformance
+from ..core import MMSPerformance
 from ..params import MMSParams
+from ..runner import JobSpec, SweepRunner, default_runner
+from ..runner.executor import Progress
 
 __all__ = ["sweep", "grid", "GridResult"]
 
 Measure = Callable[[MMSParams, MMSPerformance], float]
 
 
+def _apply_measure(
+    measure: Measure | str, params: MMSParams, perf: MMSPerformance
+) -> tuple[str, float]:
+    """Evaluate a measure spec; returns the record key and scalar value.
+
+    A string names either a :meth:`~repro.core.MMSPerformance.summary` key
+    (``"U_p"``, ``"S_obs"``, ...) or an :class:`~repro.core.MMSPerformance`
+    attribute/property; a callable receives ``(params, perf)`` and its value
+    lands under ``"value"``.
+    """
+    if callable(measure):
+        return "value", float(measure(params, perf))
+    summary = perf.summary()
+    if measure in summary:
+        return measure, float(summary[measure])
+    value = getattr(perf, measure, None)
+    if value is None:
+        raise KeyError(
+            f"unknown measure {measure!r}; summary keys: {sorted(summary)}"
+        )
+    return measure, float(value)
+
+
 def sweep(
     base: MMSParams,
     axes: Mapping[str, Sequence[object]],
     method: str = "auto",
+    *,
+    measure: Measure | str | None = None,
+    progress: Progress | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[dict[str, object]]:
     """Cartesian-product sweep; returns one record per point.
 
-    Each record holds the axis values plus the solved
-    :class:`MMSPerformance` under the key ``"perf"``.
+    Without ``measure``, each record holds the axis values plus the solved
+    :class:`MMSPerformance` under the key ``"perf"``.  With ``measure`` (a
+    summary key, attribute name, or ``(params, perf) -> float`` callable),
+    records carry only the requested scalar -- no performance object is
+    retained, which keeps big sweeps cheap when only one number per point
+    matters.
+
+    ``progress`` is invoked as ``(done, total_unique, run_result)`` while
+    points resolve (cache hits included).  ``runner`` overrides the
+    globally-configured :class:`~repro.runner.SweepRunner`.
 
     >>> recs = sweep(paper_defaults(), {"num_threads": [2, 4]})  # doctest: +SKIP
     """
     names = list(axes)
+    combos = list(product(*(axes[n] for n in names)))
+    if not combos:
+        return []
+    points = [base.with_(**dict(zip(names, combo))) for combo in combos]
+    if runner is None:
+        runner = default_runner()
+    report = runner.run(
+        [JobSpec(params=point, method=method) for point in points],
+        progress=progress,
+    )
     records: list[dict[str, object]] = []
-    for combo in product(*(axes[n] for n in names)):
-        point = base.with_(**dict(zip(names, combo)))
-        perf = MMSModel(point).solve(method=method)
+    for combo, point, result in zip(combos, points, report.results):
+        if not result.ok:
+            raise RuntimeError(
+                f"sweep point {dict(zip(names, combo))} failed: {result.error}"
+            )
         rec: dict[str, object] = dict(zip(names, combo))
-        rec["perf"] = perf
+        if measure is None:
+            rec["perf"] = result.perf
+        else:
+            key, value = _apply_measure(measure, point, result.perf)
+            rec[key] = value
         records.append(rec)
     return records
 
@@ -75,16 +136,23 @@ def grid(
     y_axis: tuple[str, Iterable[object]],
     measure: Measure,
     method: str = "auto",
+    *,
+    runner: SweepRunner | None = None,
 ) -> GridResult:
     """Evaluate ``measure(params, perf)`` on the ``x × y`` lattice."""
     x_name, x_vals = x_axis[0], list(x_axis[1])
     y_name, y_vals = y_axis[0], list(y_axis[1])
-    values = np.empty((len(x_vals), len(y_vals)))
-    for i, xv in enumerate(x_vals):
-        for j, yv in enumerate(y_vals):
-            point = base.with_(**{x_name: xv, y_name: yv})
-            perf = MMSModel(point).solve(method=method)
-            values[i, j] = measure(point, perf)
+    records = sweep(
+        base,
+        {x_name: x_vals, y_name: y_vals},
+        method,
+        measure=measure,
+        runner=runner,
+    )
+    # sweep() iterates product(x, y): row-major over the lattice
+    values = np.array([rec["value"] for rec in records]).reshape(
+        len(x_vals), len(y_vals)
+    )
     return GridResult(
         x_name=x_name,
         y_name=y_name,

@@ -7,6 +7,7 @@ Subcommands
 ``bottleneck``  the closed-form saturation laws (Eqs. 4/5)
 ``experiment``  regenerate a paper table/figure by name
 ``validate``    model-vs-simulation comparison (Figure 11)
+``sweep``       managed parameter sweep (parallel workers + result cache)
 """
 
 from __future__ import annotations
@@ -42,7 +43,11 @@ EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
 }
 
 
-def _add_point_args(p: argparse.ArgumentParser) -> None:
+def _add_point_args(
+    p: argparse.ArgumentParser,
+    method_choices: tuple[str, ...] = ("symmetric", "amva", "linearizer", "exact"),
+    method_default: str = "symmetric",
+) -> None:
     p.add_argument("--k", type=int, default=4, help="PEs per torus dimension")
     p.add_argument("--nt", type=int, default=8, help="threads per processor")
     p.add_argument("--runlength", "-R", type=float, default=10.0)
@@ -59,11 +64,7 @@ def _add_point_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--memory-latency", "-L", type=float, default=10.0)
     p.add_argument("--switch-delay", "-S", type=float, default=10.0)
     p.add_argument("--context-switch", "-C", type=float, default=0.0)
-    p.add_argument(
-        "--method",
-        choices=("symmetric", "amva", "linearizer", "exact"),
-        default="symmetric",
-    )
+    p.add_argument("--method", choices=method_choices, default=method_default)
 
 
 def _params_from(args: argparse.Namespace):
@@ -137,6 +138,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--replications", type=int, default=5)
     p_rep.add_argument("--duration", type=float, default=20_000.0)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="managed parameter sweep (parallel workers + result cache)",
+        description="Cartesian-product sweep over any model parameters, "
+        "executed by the runner subsystem: points are deduplicated by "
+        "content-addressed key, served from a persistent cache when one is "
+        "configured, and solved on a process pool with --jobs > 1.",
+    )
+    _add_point_args(
+        p_sweep,
+        method_choices=("auto", "symmetric", "amva", "linearizer", "exact"),
+        method_default="auto",
+    )
+    p_sweep.add_argument(
+        "--axis",
+        action="append",
+        required=True,
+        metavar="NAME=V1,V2,... | NAME=LO:HI:STEPS",
+        help="sweep axis (repeatable); values are a comma list or a "
+        "LO:HI:STEPS linspace, e.g. --axis num_threads=1,2,4,8 "
+        "--axis p_remote=0.1:0.8:8",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR, else no cache)",
+    )
+    p_sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if configured",
+    )
+    p_sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point solve budget in seconds (parallel runs only)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=1, help="extra attempts for failed points"
+    )
+    p_sweep.add_argument(
+        "--measure",
+        default=None,
+        help="print only this measure (a summary key such as U_p, or an "
+        "MMSPerformance attribute); default: all summary measures",
+    )
+    p_sweep.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write deterministic per-point records as JSON lines",
+    )
+    p_sweep.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write the run manifest (timings, cache hit rate) as JSON",
+    )
+
     p_all = sub.add_parser(
         "reproduce-all",
         help="run every registered experiment and archive the outputs",
@@ -150,6 +215,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the simulation-backed experiments",
     )
     return parser
+
+
+def _coerce_token(token: str) -> object:
+    """Axis value: int, float, bool, or bare string -- whichever parses."""
+    low = token.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_axes(specs: list[str]) -> dict[str, list[object]]:
+    """``NAME=V1,V2,...`` or ``NAME=LO:HI:STEPS`` -> ordered axes mapping."""
+    import numpy as np
+
+    axes: dict[str, list[object]] = {}
+    for spec in specs:
+        name, eq, body = spec.partition("=")
+        name, body = name.strip(), body.strip()
+        if not eq or not name or not body:
+            raise SystemExit(
+                f"bad --axis {spec!r}: expected NAME=V1,V2,... or NAME=LO:HI:STEPS"
+            )
+        if ":" in body:
+            parts = body.split(":")
+            if len(parts) != 3:
+                raise SystemExit(f"bad --axis range {spec!r}: expected LO:HI:STEPS")
+            lo, hi, steps = float(parts[0]), float(parts[1]), int(parts[2])
+            values: list[object] = [float(v) for v in np.linspace(lo, hi, steps)]
+        else:
+            values = [_coerce_token(t.strip()) for t in body.split(",") if t.strip()]
+        if not values:
+            raise SystemExit(f"bad --axis {spec!r}: no values")
+        axes[name] = values
+    return axes
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    import os
+    from itertools import product
+
+    from .analysis.sweep import _apply_measure
+    from .runner import JobSpec, SweepRunner, canonical_json
+
+    axes = _parse_axes(args.axis)
+    base = _params_from(args)
+    cache_dir = (
+        None
+        if args.no_cache
+        else (args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None)
+    )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    names = list(axes)
+    combos = list(product(*(axes[n] for n in names)))
+    specs = [
+        JobSpec(params=base.with_(**dict(zip(names, combo))), method=args.method)
+        for combo in combos
+    ]
+    report = runner.run(specs)
+
+    out_fh = open(args.out, "w") if args.out else None
+    try:
+        for combo, result in zip(combos, report.results):
+            point = " ".join(f"{n}={v}" for n, v in zip(names, combo))
+            if not result.ok:
+                print(f"{point}  FAILED: {result.error}")
+                continue
+            if args.measure:
+                key, value = _apply_measure(args.measure, result.params, result.perf)
+                print(f"{point}  {key}={value:.6g}")
+            else:
+                measures = " ".join(
+                    f"{k}={v:.6g}" for k, v in result.perf.summary().items()
+                )
+                print(f"{point}  {measures}")
+            if out_fh is not None:
+                record = {"axes": dict(zip(names, combo)), **result.record()}
+                out_fh.write(canonical_json(record) + "\n")
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+
+    manifest = report.manifest
+    print(f"[sweep] {manifest.summary()}")
+    if cache_dir:
+        print(f"[cache] dir={cache_dir} entries={len(runner.store)}")
+    if args.out:
+        print(f"[records written to {args.out}]")
+    if args.manifest:
+        manifest.to_json(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
+    return 0 if report.ok else 1
 
 
 def _jsonable(obj: object) -> object:
@@ -255,6 +421,9 @@ def main(argv: list[str] | None = None) -> int:
             ).render()
         )
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     if args.command == "reproduce-all":
         import time

@@ -15,6 +15,7 @@ discussion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -37,6 +38,23 @@ class SubsystemStats:
     queue_length: float
     #: mean per-visit residence time (waiting + service) at this kind
     residence_per_visit: float
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form (JSON-safe; round-trips through :meth:`from_dict`)."""
+        return {
+            "utilization": float(self.utilization),
+            "queue_length": float(self.queue_length),
+            "residence_per_visit": float(self.residence_per_visit),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "SubsystemStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            utilization=data["utilization"],
+            queue_length=data["queue_length"],
+            residence_per_visit=data["residence_per_visit"],
+        )
 
 
 @dataclass(frozen=True)
@@ -109,6 +127,71 @@ class MMSPerformance:
         local and remote mixed by ``p_remote``."""
         p = self.params.workload.p_remote
         return (1.0 - p) * self.l_obs_local + p * self.remote_round_trip
+
+    def to_dict(self) -> dict[str, object]:
+        """Self-contained JSON-safe form.
+
+        Python's float repr round-trips exactly, so serializing a solved
+        performance through JSON and :meth:`from_dict` reproduces every
+        measure bit-for-bit -- the property the :mod:`repro.runner` result
+        cache relies on (a cache hit must be indistinguishable from a fresh
+        solve).
+        """
+        pcu = self.per_class_utilization
+        return {
+            "params": self.params.to_dict(),
+            "access_rate": float(self.access_rate),
+            "processor_utilization": float(self.processor_utilization),
+            "processor_busy": float(self.processor_busy),
+            "lambda_net": float(self.lambda_net),
+            "s_obs": float(self.s_obs),
+            "l_obs": float(self.l_obs),
+            "l_obs_local": float(self.l_obs_local),
+            "l_obs_remote": float(self.l_obs_remote),
+            "remote_round_trip": float(self.remote_round_trip),
+            "processor": self.processor.to_dict() if self.processor else None,
+            "memory": self.memory.to_dict() if self.memory else None,
+            "inbound": self.inbound.to_dict() if self.inbound else None,
+            "outbound": self.outbound.to_dict() if self.outbound else None,
+            "method": self.method,
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+            "per_class_utilization": (
+                None if pcu is None else [float(u) for u in np.asarray(pcu)]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MMSPerformance":
+        """Inverse of :meth:`to_dict`."""
+
+        def stats(key: str) -> SubsystemStats | None:
+            raw = data.get(key)
+            return None if raw is None else SubsystemStats.from_dict(raw)
+
+        pcu = data.get("per_class_utilization")
+        return cls(
+            params=MMSParams.from_dict(data["params"]),
+            access_rate=data["access_rate"],
+            processor_utilization=data["processor_utilization"],
+            processor_busy=data["processor_busy"],
+            lambda_net=data["lambda_net"],
+            s_obs=data["s_obs"],
+            l_obs=data["l_obs"],
+            l_obs_local=data["l_obs_local"],
+            l_obs_remote=data["l_obs_remote"],
+            remote_round_trip=data["remote_round_trip"],
+            processor=stats("processor"),
+            memory=stats("memory"),
+            inbound=stats("inbound"),
+            outbound=stats("outbound"),
+            method=data.get("method", "symmetric"),
+            iterations=data.get("iterations", 0),
+            converged=data.get("converged", True),
+            per_class_utilization=(
+                None if pcu is None else np.asarray(pcu, dtype=float)
+            ),
+        )
 
     def summary(self) -> dict[str, float]:
         """Flat dict of the headline measures (for tables/CSV)."""

@@ -23,10 +23,34 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Mapping
 
 from .topology import Torus2D
 
 __all__ = ["Architecture", "Workload", "MMSParams", "paper_defaults"]
+
+
+def _plain(value: object) -> object:
+    """Collapse numpy scalars to native Python so ``to_dict`` output is
+    JSON-safe and a point built from ``np.float64(0.2)`` hashes identically
+    to one built from ``0.2``."""
+    if type(value) in (bool, int, float, str) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalar protocol
+    if callable(item):
+        return item()
+    return value
+
+
+def _checked_fields(cls: type, data: Mapping[str, object]) -> dict[str, object]:
+    """Validate a ``from_dict`` payload: every key must be a field of *cls*."""
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise TypeError(
+            f"unknown {cls.__name__} field(s): {sorted(map(str, unknown))}"
+        )
+    return dict(data)
 
 
 @dataclass(frozen=True)
@@ -85,6 +109,15 @@ class Architecture:
         """Functional update (e.g. ``arch.with_(switch_delay=0.0)``)."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
 
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-safe; round-trips through :meth:`from_dict`)."""
+        return {k: _plain(v) for k, v in dataclasses.asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Architecture":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        return cls(**_checked_fields(cls, data))
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -135,6 +168,15 @@ class Workload:
         """Functional update (e.g. ``wl.with_(p_remote=0.0)``)."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
 
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-safe; round-trips through :meth:`from_dict`)."""
+        return {k: _plain(v) for k, v in dataclasses.asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Workload":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        return cls(**_checked_fields(cls, data))
+
 
 @dataclass(frozen=True)
 class MMSParams:
@@ -160,6 +202,28 @@ class MMSParams:
             arch=self.arch.with_(**arch_changes) if arch_changes else self.arch,
             workload=self.workload.with_(**wl_changes) if wl_changes else self.workload,
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical nested-dict form.
+
+        This is the serialization the :mod:`repro.runner` subsystem hashes to
+        build content-addressed cache keys and ships to worker processes, so
+        it must stay a pure-JSON structure that round-trips exactly through
+        :meth:`from_dict`.
+        """
+        return {"arch": self.arch.to_dict(), "workload": self.workload.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MMSParams":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        payload = _checked_fields(cls, data)
+        arch = payload.get("arch", Architecture())
+        workload = payload.get("workload", Workload())
+        if isinstance(arch, Mapping):
+            arch = Architecture.from_dict(arch)
+        if isinstance(workload, Mapping):
+            workload = Workload.from_dict(workload)
+        return cls(arch=arch, workload=workload)
 
 
 def paper_defaults(**overrides: object) -> MMSParams:

@@ -1,0 +1,345 @@
+"""The sweep runner: managed, parallel, cached execution of model points.
+
+Execution pipeline for one :meth:`SweepRunner.run`:
+
+1. **Deduplicate** the requested specs by content-addressed key -- within a
+   single run an identical point is never solved twice.
+2. **Probe the store**: keys with a persisted result become cache hits.
+3. **Solve the misses**, either serially in-process (the default for tiny
+   sweeps, where process-pool spawn overhead would dominate) or on a
+   ``ProcessPoolExecutor`` with per-point timeout.  Worker exceptions are
+   retried (bounded); a broken pool (worker died) degrades gracefully to
+   serial execution of whatever is left.
+4. **Persist** fresh results and emit a :class:`~repro.runner.manifest.RunManifest`.
+
+Fresh solves are round-tripped through the same JSON form a cache hit is
+read from, so a warm run is bitwise-indistinguishable from a cold one.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.metrics import MMSPerformance
+from ..core.model import MMSModel
+from ..params import MMSParams
+from .manifest import RunManifest, latency_stats
+from .spec import SOLVER_VERSION, JobSpec, RunResult
+from .store import ResultStore
+
+__all__ = ["SweepRunner", "RunReport", "solve_job"]
+
+#: a worker callable: JSON payload in, ``{"perf": dict, "elapsed": s}`` out
+Worker = Callable[[Mapping[str, object]], Mapping[str, object]]
+#: progress callback: ``(done, total_unique, result)``
+Progress = Callable[[int, int, RunResult], None]
+
+
+def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
+    """Default worker: solve one canonicalized point.
+
+    Module-level so it pickles for process-pool dispatch; takes and returns
+    pure-JSON structures so the same function serves the serial path.
+    """
+    params = MMSParams.from_dict(payload["params"])
+    t0 = time.perf_counter()
+    perf = MMSModel(params).solve(method=payload["method"])
+    return {"perf": perf.to_dict(), "elapsed": time.perf_counter() - t0}
+
+
+@dataclass
+class RunReport:
+    """Everything one managed sweep produced."""
+
+    #: one result per requested spec, in request order
+    results: list[RunResult]
+    manifest: RunManifest
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def records(self) -> list[dict[str, object]]:
+        """Deterministic data records (raises if any point failed)."""
+        return [r.record() for r in self.results]
+
+
+class _RunStats:
+    """Mutable counters threaded through one run."""
+
+    def __init__(self) -> None:
+        self.timeouts = 0
+        self.retries = 0
+        self.worker_crashes = 0
+        self.latencies: list[float] = []
+
+
+class SweepRunner:
+    """Managed executor for batches of model points.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (default) solves in-process.
+    store / cache_dir:
+        Persistent result store (or a directory to open one in).  ``None``
+        disables caching.
+    timeout:
+        Per-point wall-clock budget in seconds.  Enforced only on the
+        parallel path -- a serial in-process solve cannot be preempted.
+    retries:
+        Extra attempts for a point whose solve *raised* (timeouts are not
+        retried: a point that exceeded its budget once will again).
+    min_parallel_points:
+        Smallest number of cache misses worth spinning up a pool for;
+        below it the run stays serial regardless of ``jobs``.
+    worker:
+        Override the solve callable (test seam / custom backends).  Must be
+        picklable for the parallel path.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: ResultStore | None = None,
+        cache_dir: str | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        min_parallel_points: int = 8,
+        worker: Worker | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        self.jobs = jobs
+        self.store = store
+        self.timeout = timeout
+        self.retries = retries
+        self.min_parallel_points = min_parallel_points
+        self.worker: Worker = worker if worker is not None else solve_job
+
+    # ------------------------------------------------------------ public API
+    def solve(self, params: MMSParams, method: str = "auto") -> MMSPerformance:
+        """Single-point convenience: solve through the cache, raise on failure."""
+        report = self.run([JobSpec(params=params, method=method)])
+        result = report.results[0]
+        if not result.ok:
+            raise RuntimeError(f"solve failed: {result.error}")
+        return result.perf
+
+    def run(
+        self, specs: Sequence[JobSpec], progress: Progress | None = None
+    ) -> RunReport:
+        t_start = time.perf_counter()
+        stats = _RunStats()
+
+        payloads = [spec.payload() for spec in specs]
+        # first-seen order of unique keys
+        unique: dict[str, dict[str, object]] = {}
+        for payload in payloads:
+            unique.setdefault(payload["key"], payload)
+
+        resolved: dict[str, RunResult] = {}
+        cache_hits = 0
+        done = 0
+        for key, payload in unique.items():
+            rec = self.store.get(key) if self.store is not None else None
+            if rec is not None:
+                result = self._from_record(payload, rec, from_cache=True)
+                resolved[key] = result
+                cache_hits += 1
+                done += 1
+                if progress is not None:
+                    progress(done, len(unique), result)
+
+        pending = [p for k, p in unique.items() if k not in resolved]
+        mode = "serial"
+        if pending:
+            if self.jobs > 1 and len(pending) >= self.min_parallel_points:
+                mode = self._run_parallel(pending, resolved, stats, progress, done)
+            else:
+                self._run_serial(pending, resolved, stats, progress, done)
+
+        # persist fresh successes
+        if self.store is not None:
+            for key, result in resolved.items():
+                if result.ok and not result.from_cache:
+                    self.store.put(
+                        key,
+                        {
+                            "method": result.method,
+                            "params": result.params.to_dict(),
+                            "perf": result.perf.to_dict(),
+                            "elapsed": result.elapsed,
+                        },
+                    )
+            self.store.flush()
+
+        # assemble per-request results (duplicates share the first solve)
+        results: list[RunResult] = []
+        seen: set[str] = set()
+        for payload in payloads:
+            key = payload["key"]
+            base = resolved[key]
+            results.append(base if key not in seen else base.as_duplicate())
+            seen.add(key)
+
+        failures = sum(1 for r in resolved.values() if not r.ok)
+        manifest = RunManifest(
+            solver_version=SOLVER_VERSION,
+            jobs=self.jobs,
+            mode=mode,
+            total_points=len(specs),
+            unique_points=len(unique),
+            cache_hits=cache_hits,
+            solved=len(resolved) - cache_hits - failures,
+            failures=failures,
+            timeouts=stats.timeouts,
+            retries=stats.retries,
+            worker_crashes=stats.worker_crashes,
+            wall_clock_s=time.perf_counter() - t_start,
+            cache_hit_rate=(cache_hits / len(unique)) if unique else 0.0,
+            point_latency=latency_stats(stats.latencies),
+            store=self.store.stats() if self.store is not None else None,
+        )
+        return RunReport(results=results, manifest=manifest)
+
+    # -------------------------------------------------------------- internals
+    def _from_record(
+        self,
+        payload: Mapping[str, object],
+        rec: Mapping[str, object],
+        from_cache: bool,
+    ) -> RunResult:
+        return RunResult(
+            key=payload["key"],
+            params=MMSParams.from_dict(payload["params"]),
+            method=payload["method"],
+            perf=MMSPerformance.from_dict(rec["perf"]),
+            elapsed=float(rec.get("elapsed", 0.0)),
+            attempts=0 if from_cache else 1,
+            from_cache=from_cache,
+        )
+
+    def _failure(
+        self, payload: Mapping[str, object], error: str, attempts: int
+    ) -> RunResult:
+        return RunResult(
+            key=payload["key"],
+            params=MMSParams.from_dict(payload["params"]),
+            method=payload["method"],
+            perf=None,
+            attempts=attempts,
+            error=error,
+        )
+
+    def _solve_with_retry(
+        self,
+        payload: Mapping[str, object],
+        stats: _RunStats,
+        prior_attempts: int = 0,
+        prior_error: str | None = None,
+    ) -> RunResult:
+        """In-process solve with bounded retry on exceptions.
+
+        ``prior_attempts``/``prior_error`` carry failed pool attempts into
+        the budget, so a point gets ``retries + 1`` attempts total no matter
+        where they ran.
+        """
+        attempts = prior_attempts
+        last_error = prior_error
+        while attempts <= self.retries:
+            attempts += 1
+            if attempts > 1:
+                stats.retries += 1
+            try:
+                out = self.worker(payload)
+            except Exception as exc:  # noqa: BLE001 - solver faults become results
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            result = self._from_record(payload, out, from_cache=False)
+            result.attempts = attempts
+            stats.latencies.append(result.elapsed)
+            return result
+        return self._failure(payload, last_error or "unknown error", attempts)
+
+    def _run_serial(
+        self,
+        pending: list[Mapping[str, object]],
+        resolved: dict[str, RunResult],
+        stats: _RunStats,
+        progress: Progress | None,
+        done: int,
+    ) -> None:
+        total = done + len(pending)
+        for payload in pending:
+            result = self._solve_with_retry(payload, stats)
+            resolved[payload["key"]] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+
+    def _run_parallel(
+        self,
+        pending: list[Mapping[str, object]],
+        resolved: dict[str, RunResult],
+        stats: _RunStats,
+        progress: Progress | None,
+        done: int,
+    ) -> str:
+        """Pool execution; returns the mode the run ended in."""
+        total = done + len(pending)
+        mode = "parallel"
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            try:
+                futures = [(p, pool.submit(self.worker, p)) for p in pending]
+            except BrokenProcessPool:
+                futures = []
+            for payload, future in futures:
+                key = payload["key"]
+                try:
+                    out = future.result(timeout=self.timeout)
+                    result = self._from_record(payload, out, from_cache=False)
+                    stats.latencies.append(result.elapsed)
+                except FutureTimeout:
+                    future.cancel()
+                    stats.timeouts += 1
+                    result = self._failure(
+                        payload, f"timeout after {self.timeout}s", attempts=1
+                    )
+                except BrokenProcessPool:
+                    break  # pool is dead; fall through to serial below
+                except Exception as exc:  # worker raised: bounded serial retry
+                    result = self._solve_with_retry(
+                        payload,
+                        stats,
+                        prior_attempts=1,
+                        prior_error=f"{type(exc).__name__}: {exc}",
+                    )
+                resolved[key] = result
+                done += 1
+                if progress is not None:
+                    progress(done, total, result)
+        finally:
+            # don't block on a hung-but-running worker; cancel what we can
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        remaining = [p for p in pending if p["key"] not in resolved]
+        if remaining:
+            stats.worker_crashes += 1
+            mode = "serial-fallback"
+            self._run_serial(remaining, resolved, stats, progress, done)
+        return mode
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.flush()

@@ -1,0 +1,85 @@
+"""Run manifests: per-sweep observability emitted as JSON.
+
+Every :meth:`~repro.runner.executor.SweepRunner.run` produces one
+:class:`RunManifest` summarizing what happened -- wall clock, execution mode,
+cache hit rate, per-point solve-latency distribution, failure/timeout/retry
+counts.  Records (the data) stay deterministic; the manifest (the telemetry)
+is where all the run-to-run variation lives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["RunManifest", "latency_stats"]
+
+
+def latency_stats(latencies: Sequence[float]) -> dict[str, float]:
+    """Summary statistics of per-point solve times (seconds)."""
+    if not latencies:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    total = float(sum(latencies))
+    return {
+        "count": len(latencies),
+        "total": total,
+        "mean": total / len(latencies),
+        "min": float(min(latencies)),
+        "max": float(max(latencies)),
+    }
+
+
+@dataclass
+class RunManifest:
+    """What one managed sweep did, in numbers."""
+
+    solver_version: str
+    #: requested worker count (1 = serial)
+    jobs: int
+    #: how the run actually executed: ``serial`` | ``parallel`` |
+    #: ``serial-fallback`` (workers died, remaining points ran in-process)
+    mode: str
+    #: points requested, including duplicates within the request
+    total_points: int
+    #: distinct content-addressed keys among them
+    unique_points: int
+    #: unique points served from the persistent store
+    cache_hits: int
+    #: unique points solved this run
+    solved: int
+    #: unique points that exhausted retries or timed out
+    failures: int
+    timeouts: int
+    #: extra attempts consumed by retries across all points
+    retries: int
+    #: times the process pool broke and the run fell back to serial
+    worker_crashes: int
+    wall_clock_s: float
+    #: cache_hits / unique_points (0.0 for an empty sweep)
+    cache_hit_rate: float
+    #: distribution of solver wall-clock over points *solved this run*
+    point_latency: dict[str, float] = field(default_factory=dict)
+    #: lifetime stats of the backing store, if any
+    store: dict[str, object] | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def to_json(self, path: str | os.PathLike | None = None, indent: int = 2) -> str:
+        """JSON form; also written to *path* when given."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    def summary(self) -> str:
+        """One human line for CLI/log output."""
+        return (
+            f"{self.total_points} points ({self.unique_points} unique): "
+            f"{self.cache_hits} cached ({self.cache_hit_rate:.0%}), "
+            f"{self.solved} solved, {self.failures} failed "
+            f"[{self.mode}, jobs={self.jobs}] in {self.wall_clock_s:.2f}s"
+        )

@@ -1,0 +1,134 @@
+"""Job specifications: one solvable point, content-addressed.
+
+A :class:`JobSpec` pairs an :class:`~repro.params.MMSParams` point with a
+solver method and derives a **stable content-addressed key** from the
+canonical JSON serialization of both.  Two specs describing the same
+computation -- however their parameter objects were constructed, and whether
+the method was spelled ``"auto"`` or its resolved name -- hash to the same
+key, which is what lets the result store guarantee that identical points are
+never solved twice.
+
+:class:`RunResult` is the runner's per-point outcome: the solved
+:class:`~repro.core.MMSPerformance` (or an error), solve wall-clock, attempt
+count, and cache provenance.  Its :meth:`RunResult.record` form is
+deliberately free of timing/provenance so that serial, parallel, and cached
+executions of the same grid emit bitwise-identical records; timing lives in
+the run manifest instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ..core.metrics import MMSPerformance
+from ..params import MMSParams
+
+__all__ = [
+    "SOLVER_VERSION",
+    "canonical_json",
+    "JobSpec",
+    "RunResult",
+]
+
+#: Version tag of the analytical-solver stack as seen by the result cache.
+#: Bump whenever a solver change alters any cached measure: every store
+#: created under a different version invalidates itself on open.
+SOLVER_VERSION = "1"
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, NaN/Inf rejected.
+
+    The byte-for-byte stability of this encoding is what makes cache keys
+    content addresses rather than object identities.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One point to solve: parameters plus solver method."""
+
+    params: MMSParams
+    method: str = "auto"
+
+    def canonical_method(self) -> str:
+        """The method that will actually run (``"auto"`` resolved).
+
+        Keying on the resolved method makes ``method="auto"`` and its
+        explicit spelling share cache entries.
+        """
+        if self.method != "auto":
+            return self.method
+        from ..core.model import MMSModel
+
+        return "symmetric" if MMSModel(self.params).is_symmetric else "amva"
+
+    def key(self) -> str:
+        """Content-addressed cache key (SHA-256 hex digest)."""
+        payload = {
+            "method": self.canonical_method(),
+            "params": self.params.to_dict(),
+        }
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def payload(self) -> dict[str, object]:
+        """Pure-JSON worker dispatch form (what crosses the process boundary)."""
+        return {
+            "key": self.key(),
+            "method": self.canonical_method(),
+            "params": self.params.to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "JobSpec":
+        """Rebuild a spec from its :meth:`payload` form."""
+        return cls(
+            params=MMSParams.from_dict(payload["params"]),
+            method=payload["method"],
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one managed point."""
+
+    key: str
+    params: MMSParams
+    #: canonical solver method (never ``"auto"``)
+    method: str
+    perf: MMSPerformance | None
+    #: solver wall-clock seconds (the *original* solve for cache hits)
+    elapsed: float = 0.0
+    #: solve attempts consumed this run (0 for a cache hit)
+    attempts: int = 1
+    from_cache: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.perf is not None
+
+    def record(self) -> dict[str, object]:
+        """Deterministic data record for this point.
+
+        Contains only the computation's content -- key, method, parameters,
+        measures -- never timing or cache provenance, so records from serial,
+        parallel and warm-cache runs of the same grid compare equal.
+        """
+        if not self.ok:
+            raise ValueError(f"point {self.key[:12]} failed: {self.error}")
+        return {
+            "key": self.key,
+            "method": self.method,
+            "params": self.params.to_dict(),
+            "measures": {k: float(v) for k, v in self.perf.summary().items()},
+        }
+
+    def as_duplicate(self) -> "RunResult":
+        """A copy representing another request for the same key in one run
+        (served from the first solve, so flagged as cached)."""
+        return replace(self, from_cache=True, attempts=0)

@@ -1,0 +1,172 @@
+"""Persistent content-addressed result store (JSONL + JSON index).
+
+Layout under ``cache_dir``::
+
+    results.jsonl   one canonical-JSON record per solved point (append-only)
+    index.json      {"solver_version", "size", "offsets": {key: byte offset}}
+
+The JSONL file is the source of truth; the index is a rebuildable
+acceleration structure (key -> byte offset of the record line).  On open the
+index is trusted only if its solver version matches and its recorded file
+size equals the actual file size -- otherwise the store falls back to a full
+scan.  A store written under a *different* solver version is **invalidated**
+(both files removed) so stale measures can never be served after a solver
+bump.
+
+Only one process -- the sweep runner's parent -- ever touches the store;
+workers just solve and return, which keeps the on-disk format free of
+locking concerns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .spec import SOLVER_VERSION, canonical_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """On-disk cache of solved points with hit/miss accounting."""
+
+    def __init__(
+        self, cache_dir: str | os.PathLike, solver_version: str = SOLVER_VERSION
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.cache_dir / "results.jsonl"
+        self.index_path = self.cache_dir / "index.json"
+        self.solver_version = solver_version
+        #: lookups served from disk / lookups that missed (lifetime of this
+        #: store object; the manifest reports per-run figures separately)
+        self.hits = 0
+        self.misses = 0
+        #: True when opening discarded a store written under another version
+        self.invalidated = False
+        self._offsets: dict[str, int] = {}
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------ open
+    def _load(self) -> None:
+        if not self.results_path.exists():
+            self.index_path.unlink(missing_ok=True)
+            return
+        size = self.results_path.stat().st_size
+        try:
+            index = json.loads(self.index_path.read_text())
+            if (
+                index.get("solver_version") == self.solver_version
+                and index.get("size") == size
+                and isinstance(index.get("offsets"), dict)
+            ):
+                self._offsets = {str(k): int(v) for k, v in index["offsets"].items()}
+                return
+        except (OSError, ValueError):
+            pass
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        """Recover the index by scanning the JSONL file."""
+        offsets: dict[str, int] = {}
+        with open(self.results_path, "rb") as fh:
+            offset = 0
+            for raw in fh:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    try:
+                        rec = json.loads(line)
+                    except ValueError:
+                        break  # truncated tail (e.g. crash mid-append): drop it
+                    if rec.get("solver_version") != self.solver_version:
+                        self.invalidate()
+                        return
+                    offsets[rec["key"]] = offset
+                offset += len(raw)
+        self._offsets = offsets
+        self._dirty = True
+        self.flush()
+
+    # ------------------------------------------------------------- lifecycle
+    def invalidate(self) -> None:
+        """Drop every cached result (used on solver-version bump)."""
+        self.results_path.unlink(missing_ok=True)
+        self.index_path.unlink(missing_ok=True)
+        self._offsets = {}
+        self._dirty = False
+        self.invalidated = True
+
+    def flush(self) -> None:
+        """Persist the index (the JSONL itself is written on every put)."""
+        if not self._dirty:
+            return
+        size = self.results_path.stat().st_size if self.results_path.exists() else 0
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "solver_version": self.solver_version,
+                    "size": size,
+                    "offsets": self._offsets,
+                }
+            )
+        )
+        tmp.replace(self.index_path)
+        self._dirty = False
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.flush()
+
+    # ------------------------------------------------------------------- ops
+    def get(self, key: str) -> dict[str, object] | None:
+        """Cached record for *key*, or None (counted as hit/miss)."""
+        offset = self._offsets.get(key)
+        if offset is None:
+            self.misses += 1
+            return None
+        with open(self.results_path, "rb") as fh:
+            fh.seek(offset)
+            rec = json.loads(fh.readline().decode("utf-8"))
+        if rec.get("key") != key:  # pragma: no cover - index corruption guard
+            self.misses += 1
+            del self._offsets[key]
+            return None
+        self.hits += 1
+        return rec
+
+    def put(self, key: str, record: dict[str, object]) -> None:
+        """Append a solved record (idempotent: an existing key is kept)."""
+        if key in self._offsets:
+            return
+        payload = {"key": key, "solver_version": self.solver_version, **record}
+        line = canonical_json(payload) + "\n"
+        with open(self.results_path, "ab") as fh:
+            offset = fh.tell()
+            fh.write(line.encode("utf-8"))
+        self._offsets[key] = offset
+        self._dirty = True
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def stats(self) -> dict[str, object]:
+        """Lifetime accounting for observability."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._offsets),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "invalidated": self.invalidated,
+            "cache_dir": str(self.cache_dir),
+            "solver_version": self.solver_version,
+        }

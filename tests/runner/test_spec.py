@@ -1,0 +1,128 @@
+"""JobSpec keys and RunResult records: stability, canonicalization."""
+
+import json
+
+import pytest
+
+from repro.params import MMSParams, paper_defaults
+from repro.runner import JobSpec, SweepRunner, canonical_json
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestJobSpecKey:
+    def test_stable_across_calls(self):
+        spec = JobSpec(paper_defaults())
+        assert spec.key() == spec.key()
+
+    def test_same_point_same_key_regardless_of_construction(self):
+        a = paper_defaults(num_threads=4, p_remote=0.3)
+        b = paper_defaults().with_(p_remote=0.3).with_(num_threads=4)
+        assert JobSpec(a).key() == JobSpec(b).key()
+
+    def test_different_point_different_key(self):
+        assert (
+            JobSpec(paper_defaults(num_threads=4)).key()
+            != JobSpec(paper_defaults(num_threads=8)).key()
+        )
+
+    def test_different_method_different_key(self):
+        p = paper_defaults(k=2)
+        assert JobSpec(p, "amva").key() != JobSpec(p, "exact").key()
+
+    def test_auto_resolves_to_symmetric_for_spmd(self):
+        p = paper_defaults()
+        assert JobSpec(p, "auto").canonical_method() == "symmetric"
+        assert JobSpec(p, "auto").key() == JobSpec(p, "symmetric").key()
+
+    def test_auto_resolves_to_amva_for_hotspot(self):
+        p = paper_defaults(pattern="hotspot", k=2)
+        assert JobSpec(p, "auto").canonical_method() == "amva"
+        assert JobSpec(p, "auto").key() == JobSpec(p, "amva").key()
+
+    def test_key_is_sha256_hex(self):
+        key = JobSpec(paper_defaults()).key()
+        assert len(key) == 64
+        int(key, 16)  # hex digest
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip(self):
+        spec = JobSpec(paper_defaults(num_threads=4, p_sw=0.25), "amva")
+        back = JobSpec.from_payload(spec.payload())
+        assert back.params == spec.params
+        assert back.method == "amva"
+        assert back.key() == spec.key()
+
+    def test_payload_is_json_safe(self):
+        payload = JobSpec(paper_defaults()).payload()
+        restored = json.loads(json.dumps(payload))
+        assert JobSpec.from_payload(restored).params == paper_defaults()
+
+
+class TestRunResultRecord:
+    def test_record_is_deterministic_and_timing_free(self):
+        runner = SweepRunner()
+        spec = JobSpec(paper_defaults(k=2, num_threads=2))
+        rec1 = runner.run([spec]).results[0].record()
+        rec2 = runner.run([spec]).results[0].record()
+        assert rec1 == rec2
+        assert "elapsed" not in rec1 and "from_cache" not in rec1
+        assert set(rec1) == {"key", "method", "params", "measures"}
+
+    def test_record_raises_on_failure(self):
+        from repro.runner.spec import RunResult
+
+        failed = RunResult(
+            key="k", params=paper_defaults(), method="symmetric",
+            perf=None, error="boom",
+        )
+        with pytest.raises(ValueError, match="boom"):
+            failed.record()
+
+
+class TestParamsSerialization:
+    def test_mmsparams_round_trip_through_json(self):
+        p = paper_defaults(
+            num_threads=6, p_remote=0.35, pattern="hotspot", hot_fraction=0.7,
+            memory_ports=2, context_switch=1.0, ky=2,
+        )
+        restored = MMSParams.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert restored == p
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="unknown"):
+            MMSParams.from_dict({"arch": {}, "workload": {}, "extra": 1})
+        with pytest.raises(TypeError, match="unknown"):
+            MMSParams.from_dict({"arch": {"warp_speed": 9}})
+
+    def test_perf_round_trip_bitwise(self):
+        from repro.core import MMSModel, MMSPerformance
+
+        perf = MMSModel(paper_defaults(k=2)).solve()
+        restored = MMSPerformance.from_dict(
+            json.loads(json.dumps(perf.to_dict()))
+        )
+        assert restored.summary() == perf.summary()
+        assert restored.params == perf.params
+        assert restored.memory.utilization == perf.memory.utilization
+
+    def test_perf_round_trip_asymmetric(self):
+        import numpy as np
+
+        from repro.core import MMSModel, MMSPerformance
+
+        perf = MMSModel(paper_defaults(k=2, pattern="hotspot")).solve()
+        restored = MMSPerformance.from_dict(
+            json.loads(json.dumps(perf.to_dict()))
+        )
+        assert np.array_equal(
+            restored.per_class_utilization, perf.per_class_utilization
+        )

@@ -1,0 +1,110 @@
+"""ResultStore: persistence, hit/miss accounting, version invalidation."""
+
+import json
+
+from repro.runner import ResultStore
+
+
+def _rec(n: int) -> dict:
+    return {"perf": {"u": n / 10}, "elapsed": 0.01 * n}
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", _rec(1))
+        rec = store.get("k1")
+        assert rec["perf"] == {"u": 0.1}
+        assert rec["key"] == "k1"
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("nope") is None
+
+    def test_hit_miss_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", _rec(1))
+        store.get("k1")
+        store.get("k2")
+        store.get("k1")
+        assert store.hits == 2 and store.misses == 1
+        assert store.stats()["hit_rate"] == 2 / 3
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", _rec(1))
+        store.put("k1", _rec(9))  # kept: first write wins
+        assert store.get("k1")["perf"] == {"u": 0.1}
+        assert len(store) == 1
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert "k1" not in store and len(store) == 0
+        store.put("k1", _rec(1))
+        assert "k1" in store and len(store) == 1
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            for n in range(5):
+                store.put(f"k{n}", _rec(n))
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 5
+        assert reopened.get("k3")["perf"] == {"u": 0.3}
+
+    def test_index_rebuilt_when_missing(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put("k1", _rec(1))
+            store.put("k2", _rec(2))
+        (tmp_path / "index.json").unlink()
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k2")["perf"] == {"u": 0.2}
+
+    def test_stale_index_rebuilt(self, tmp_path):
+        """An index whose recorded size mismatches the JSONL is distrusted."""
+        with ResultStore(tmp_path) as store:
+            store.put("k1", _rec(1))
+        # append a record behind the index's back
+        extra = {"key": "k2", "solver_version": store.solver_version, **_rec(2)}
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write(json.dumps(extra) + "\n")
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k2")["perf"] == {"u": 0.2}
+
+    def test_truncated_tail_dropped(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put("k1", _rec(1))
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write('{"key": "k2", "solver_ver')  # crash mid-append
+        (tmp_path / "index.json").unlink()
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1") is not None
+        assert reopened.get("k2") is None
+
+
+class TestVersionInvalidation:
+    def test_version_bump_clears_store(self, tmp_path):
+        with ResultStore(tmp_path, solver_version="1") as store:
+            store.put("k1", _rec(1))
+        bumped = ResultStore(tmp_path, solver_version="2")
+        assert bumped.invalidated
+        assert len(bumped) == 0
+        assert bumped.get("k1") is None
+        assert not (tmp_path / "results.jsonl").exists()
+
+    def test_same_version_not_invalidated(self, tmp_path):
+        with ResultStore(tmp_path, solver_version="1") as store:
+            store.put("k1", _rec(1))
+        again = ResultStore(tmp_path, solver_version="1")
+        assert not again.invalidated and len(again) == 1
+
+    def test_invalidated_store_is_writable_again(self, tmp_path):
+        with ResultStore(tmp_path, solver_version="1") as store:
+            store.put("k1", _rec(1))
+        bumped = ResultStore(tmp_path, solver_version="2")
+        bumped.put("k1", _rec(5))
+        bumped.flush()
+        assert ResultStore(tmp_path, solver_version="2").get("k1")["perf"] == {
+            "u": 0.5
+        }

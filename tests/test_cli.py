@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, _parse_axes, build_parser, main
 
 
 class TestParser:
@@ -72,6 +74,89 @@ class TestCommands:
             "ext-hotspot",
             "ext-context",
         }
+
+    def test_sweep_basic(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--k", "2",
+                    "--axis", "num_threads=1,2",
+                    "--axis", "p_remote=0.1,0.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "U_p=" in out and "[sweep] 4 points (4 unique)" in out
+
+    def test_sweep_measure_and_outputs(self, capsys, tmp_path):
+        records = tmp_path / "records.jsonl"
+        manifest = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--k", "2",
+                    "--axis", "num_threads=1,2,4",
+                    "--measure", "U_p",
+                    "--out", str(records),
+                    "--manifest", str(manifest),
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(l) for l in records.read_text().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["axes"] == {"num_threads": 1}
+        assert "U_p" in lines[0]["measures"]
+        m = json.loads(manifest.read_text())
+        assert m["unique_points"] == 3 and m["mode"] == "serial"
+
+    def test_sweep_warm_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--k", "2",
+            "--axis", "num_threads=1,2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "m.json"),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        warm = json.loads((tmp_path / "m.json").read_text())
+        assert warm["cache_hit_rate"] == 1.0
+        assert warm["cache_hits"] == 2 and warm["solved"] == 0
+
+    def test_sweep_no_cache_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert (
+            main(["sweep", "--k", "2", "--axis", "num_threads=1", "--no-cache"])
+            == 0
+        )
+        assert not (tmp_path / "envcache").exists()
+
+    def test_sweep_linspace_axis(self, capsys):
+        assert (
+            main(["sweep", "--k", "2", "--axis", "p_remote=0.1:0.3:3"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "p_remote=0.1 " in out and "p_remote=0.3 " in out
+
+    def test_parse_axes(self):
+        axes = _parse_axes(["num_threads=1,2,4", "p_remote=0.0:1.0:5"])
+        assert axes["num_threads"] == [1, 2, 4]
+        assert axes["p_remote"] == [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert _parse_axes(["wraparound=true,false"]) == {
+            "wraparound": [True, False]
+        }
+
+    def test_parse_axes_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            _parse_axes(["num_threads"])
+        with pytest.raises(SystemExit):
+            _parse_axes(["num_threads="])
+        with pytest.raises(SystemExit):
+            _parse_axes(["p_remote=0:1"])
 
     def test_hotspot_point_via_cli(self, capsys):
         assert (

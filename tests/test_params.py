@@ -123,3 +123,57 @@ class TestMMSParams:
 
     def test_params_hashable(self):
         assert hash(paper_defaults()) == hash(paper_defaults())
+
+
+class TestDictSerialization:
+    """to_dict/from_dict is the canonical form the runner cache hashes."""
+
+    def test_architecture_round_trip(self):
+        a = Architecture(k=3, ky=2, memory_ports=2, wraparound=False)
+        assert Architecture.from_dict(a.to_dict()) == a
+
+    def test_workload_round_trip(self):
+        w = Workload(pattern="hotspot", hot_node=3, hot_fraction=0.4, p_sw=0.9)
+        assert Workload.from_dict(w.to_dict()) == w
+
+    def test_mmsparams_round_trip(self):
+        p = paper_defaults(k=6, num_threads=4, p_remote=0.35, context_switch=2.0)
+        assert MMSParams.from_dict(p.to_dict()) == p
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        d = paper_defaults().to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(TypeError, match="unknown"):
+            Architecture.from_dict({"k": 4, "bogus": 1})
+        with pytest.raises(TypeError, match="unknown"):
+            Workload.from_dict({"runlegnth": 10.0})
+        with pytest.raises(TypeError, match="unknown"):
+            MMSParams.from_dict({"architecture": {}})
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError):
+            Architecture.from_dict({"k": 0})
+
+    def test_from_dict_accepts_partial(self):
+        p = MMSParams.from_dict({"workload": {"num_threads": 3}})
+        assert p.workload.num_threads == 3
+        assert p.arch == Architecture()
+
+    def test_to_dict_normalizes_numpy_scalars(self):
+        import json
+
+        import numpy as np
+
+        p = paper_defaults(
+            num_threads=np.int64(4), p_remote=np.float64(0.3), k=np.int32(2)
+        )
+        d = p.to_dict()
+        json.dumps(d)  # JSON-safe
+        assert type(d["workload"]["num_threads"]) is int
+        assert type(d["workload"]["p_remote"]) is float
+        # same number, same canonical form as the native-typed point
+        assert d == paper_defaults(num_threads=4, p_remote=0.3, k=2).to_dict()
