@@ -26,7 +26,7 @@ import numpy as np
 from ..core import MMSPerformance
 from ..params import MMSParams
 from ..runner import JobSpec, SweepRunner, default_runner
-from ..runner.executor import Progress
+from ..runner.executor import BACKENDS, Progress
 
 __all__ = ["sweep", "grid", "GridResult"]
 
@@ -64,6 +64,7 @@ def sweep(
     measure: Measure | str | None = None,
     progress: Progress | None = None,
     runner: SweepRunner | None = None,
+    backend: str | None = None,
 ) -> list[dict[str, object]]:
     """Cartesian-product sweep; returns one record per point.
 
@@ -76,7 +77,11 @@ def sweep(
 
     ``progress`` is invoked as ``(done, total_unique, run_result)`` while
     points resolve (cache hits included).  ``runner`` overrides the
-    globally-configured :class:`~repro.runner.SweepRunner`.
+    globally-configured :class:`~repro.runner.SweepRunner`; ``backend``
+    overrides the runner's execution backend for this sweep
+    (``"auto"``/``"batch"``/``"process"``/``"serial"``) -- same-shape
+    lattices route through the batched AMVA kernel under ``"auto"`` and
+    ``"batch"``.
 
     >>> recs = sweep(paper_defaults(), {"num_threads": [2, 4]})  # doctest: +SKIP
     """
@@ -87,6 +92,12 @@ def sweep(
     points = [base.with_(**dict(zip(names, combo))) for combo in combos]
     if runner is None:
         runner = default_runner()
+    if backend is not None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
+            )
+        runner.backend = backend
     report = runner.run(
         [JobSpec(params=point, method=method) for point in points],
         progress=progress,
@@ -138,6 +149,7 @@ def grid(
     method: str = "auto",
     *,
     runner: SweepRunner | None = None,
+    backend: str | None = None,
 ) -> GridResult:
     """Evaluate ``measure(params, perf)`` on the ``x × y`` lattice."""
     x_name, x_vals = x_axis[0], list(x_axis[1])
@@ -148,6 +160,7 @@ def grid(
         method,
         measure=measure,
         runner=runner,
+        backend=backend,
     )
     # sweep() iterates product(x, y): row-major over the lattice
     values = np.array([rec["value"] for rec in records]).reshape(

@@ -164,6 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="worker processes (1 = serial)"
     )
     p_sweep.add_argument(
+        "--backend",
+        choices=("auto", "batch", "process", "serial"),
+        default="auto",
+        help="execution backend: 'batch' stacks same-shape points into one "
+        "batched AMVA fixed point, 'process' uses a worker pool, 'serial' "
+        "solves point by point; 'auto' (default) picks for you",
+    )
+    p_sweep.add_argument(
         "--cache-dir",
         default=None,
         help="persistent result cache directory "
@@ -275,6 +283,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         timeout=args.timeout,
         retries=args.retries,
+        backend=args.backend,
     )
     names = list(axes)
     combos = list(product(*(axes[n] for n in names)))
@@ -308,6 +317,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
     manifest = report.manifest
     print(f"[sweep] {manifest.summary()}")
+    for batch in manifest.solver_batches:
+        print(
+            f"[batch] {batch['method']}: {batch['batch_size']} points in "
+            f"{batch['iterations']} iterations "
+            f"(max residual {batch['max_residual']:.2e}, "
+            f"{batch['wall_time_s'] * 1e3:.1f} ms)"
+        )
     if cache_dir:
         print(f"[cache] dir={cache_dir} entries={len(runner.store)}")
     if args.out:

@@ -14,7 +14,7 @@ from .bottleneck import (
     saturation_utilization,
 )
 from .metrics import MMSPerformance, SubsystemStats
-from .model import MMSModel, solve
+from .model import MMSModel, solve, solve_points
 from .network_models import OpenNetworkEstimate, open_network_latency
 from .zones import ZoneBoundary, threads_for_tolerance, zone_boundary
 from .tolerance import (
@@ -31,6 +31,7 @@ from .tolerance import (
 __all__ = [
     "MMSModel",
     "solve",
+    "solve_points",
     "MMSPerformance",
     "SubsystemStats",
     "ToleranceResult",

@@ -89,6 +89,8 @@ class MMSPerformance:
     method: str = "symmetric"
     iterations: int = 0
     converged: bool = True
+    #: final max-abs queue-length change of the fixed point (0.0 for exact)
+    residual: float = 0.0
     #: per-PE processor utilizations when the workload is asymmetric
     #: (hotspot); None under SPMD symmetry, where every PE matches ``U_p``
     per_class_utilization: np.ndarray | None = field(default=None, repr=False)
@@ -156,6 +158,7 @@ class MMSPerformance:
             "method": self.method,
             "iterations": int(self.iterations),
             "converged": bool(self.converged),
+            "residual": float(self.residual),
             "per_class_utilization": (
                 None if pcu is None else [float(u) for u in np.asarray(pcu)]
             ),
@@ -188,6 +191,7 @@ class MMSPerformance:
             method=data.get("method", "symmetric"),
             iterations=data.get("iterations", 0),
             converged=data.get("converged", True),
+            residual=data.get("residual", 0.0),
             per_class_utilization=(
                 None if pcu is None else np.asarray(pcu, dtype=float)
             ),

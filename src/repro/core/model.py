@@ -25,21 +25,26 @@ network has a product-form solution (paper, Section 2) and is solved with:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..params import MMSParams
 from ..queueing import (
+    BatchTelemetry,
     ClosedNetwork,
     QNSolution,
     bard_schweitzer,
     exact_mva,
     linearizer,
+    solve_batch,
     solve_symmetric,
+    solve_symmetric_batch,
 )
 from ..workload import VisitRatios, pattern_for, visit_ratios_for
 from .metrics import MMSPerformance, SubsystemStats
 
-__all__ = ["MMSModel", "solve", "STATION_TYPES"]
+__all__ = ["MMSModel", "solve", "solve_points", "STATION_TYPES"]
 
 #: subsystem kind labels used for station grouping
 STATION_TYPES = ("processor", "memory", "inbound", "outbound")
@@ -212,6 +217,7 @@ class MMSModel:
                 method,
                 sol.iterations,
                 sol.converged,
+                residual=sol.residual,
             )
         if method in ("amva", "linearizer", "exact"):
             solver = {
@@ -232,6 +238,7 @@ class MMSModel:
                     method,
                     qsol.iterations,
                     qsol.converged,
+                    residual=qsol.residual,
                 )
             return self._measures_aggregate(network, qsol, method)
         raise ValueError(
@@ -330,6 +337,7 @@ class MMSModel:
             method=method,
             iterations=qsol.iterations,
             converged=qsol.converged,
+            residual=qsol.residual,
             per_class_utilization=per_class_u,
         )
 
@@ -344,6 +352,7 @@ class MMSModel:
         method: str,
         iterations: int,
         converged: bool,
+        residual: float = 0.0,
     ) -> MMSPerformance:
         arch, wl = self.params.arch, self.params.workload
         p = arch.num_processors
@@ -416,9 +425,110 @@ class MMSModel:
             method=method,
             iterations=iterations,
             converged=converged,
+            residual=residual,
         )
 
 
 def solve(params: MMSParams, method: str = "auto") -> MMSPerformance:
     """One-shot convenience: ``solve(paper_defaults(p_remote=0.4))``."""
     return MMSModel(params).solve(method=method)
+
+
+def solve_points(
+    points: "Sequence[MMSParams]",
+    method: str = "auto",
+    tol: float = 1e-12,
+) -> tuple[list[MMSPerformance], "BatchTelemetry | None"]:
+    """Solve a homogeneous lattice of parameter points with one batched AMVA.
+
+    All points must resolve to the *same* solver method and share a network
+    shape (same ``P``); service times, visit ratios and populations may vary
+    freely -- exactly the structure of the paper's figure sweeps.  Symmetric
+    points go through
+    :func:`~repro.queueing.mva_batch.solve_symmetric_batch`, whose per-point
+    results are bitwise-identical to scalar :meth:`MMSModel.solve`, so the
+    sweep backends can be swapped without disturbing cached records.
+    Asymmetric (hotspot/mesh) points go through the multi-class
+    :func:`~repro.queueing.mva_batch.solve_batch` (pointwise equivalent to
+    the scalar AMVA to well below 1e-10, but not bitwise).
+
+    Returns the performances in input order plus the shared
+    :class:`~repro.queueing.solution.BatchTelemetry` (``None`` for an empty
+    input).
+
+    Raises
+    ------
+    ValueError
+        If the points mix solver methods or network shapes.
+    """
+    if not points:
+        return [], None
+    models = [MMSModel(p) for p in points]
+    if method == "auto":
+        resolved = {"symmetric" if m.is_symmetric else "amva" for m in models}
+        if len(resolved) > 1:
+            raise ValueError(
+                "solve_points needs a homogeneous batch; got a mix of "
+                f"symmetric and asymmetric points ({sorted(resolved)})"
+            )
+        method = resolved.pop()
+    sizes = {m.params.arch.num_processors for m in models}
+    if len(sizes) > 1:
+        raise ValueError(
+            f"solve_points needs one machine size per batch; got P in {sorted(sizes)}"
+        )
+
+    if method == "symmetric":
+        arrays = [m.station_arrays() for m in models]
+        visits = np.stack([a[0] for a in arrays])
+        service = np.stack([a[1] for a in arrays])
+        station_type = arrays[0][2]
+        servers = np.stack([a[3] for a in arrays])
+        pops = np.array([m.params.workload.num_threads for m in models])
+        sols = solve_symmetric_batch(
+            visits, service, station_type, pops, tol=tol, servers=servers
+        )
+        perfs = [
+            model._measures(
+                arr[0],
+                sol.waiting,
+                sol.queue_length,
+                sol.total_queue,
+                sol.throughput,
+                method,
+                sol.iterations,
+                sol.converged,
+                residual=sol.residual,
+            )
+            for model, arr, sol in zip(models, arrays, sols)
+        ]
+        batch = sols[0].telemetry.batch if sols[0].telemetry else None
+        return perfs, batch
+
+    if method == "amva":
+        networks = [m.build_network() for m in models]
+        qsols = solve_batch(networks)
+        perfs = []
+        for model, network, qsol in zip(models, networks, qsols):
+            if model.is_symmetric:
+                perfs.append(
+                    model._measures(
+                        network.visits[0],
+                        qsol.waiting[0],
+                        qsol.queue_length[0],
+                        qsol.total_queue_length,
+                        float(qsol.throughput[0]),
+                        method,
+                        qsol.iterations,
+                        qsol.converged,
+                        residual=qsol.residual,
+                    )
+                )
+            else:
+                perfs.append(model._measures_aggregate(network, qsol, method))
+        batch = qsols[0].telemetry.batch if qsols[0].telemetry else None
+        return perfs, batch
+
+    raise ValueError(
+        f"solve_points supports method 'auto', 'symmetric' or 'amva'; got {method!r}"
+    )

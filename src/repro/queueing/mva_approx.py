@@ -16,10 +16,18 @@ standard three-pass core); the paper's results use plain Bard-Schweitzer.
 
 from __future__ import annotations
 
+import time
+import warnings
+
 import numpy as np
 
 from .network import ClosedNetwork
-from .solution import QNSolution
+from .solution import (
+    ConvergenceError,
+    ConvergenceWarning,
+    QNSolution,
+    SolverTelemetry,
+)
 
 __all__ = ["bard_schweitzer", "linearizer"]
 
@@ -49,6 +57,7 @@ def bard_schweitzer(
     network: ClosedNetwork,
     tol: float = 1e-10,
     max_iter: int = 100_000,
+    strict: bool = False,
 ) -> QNSolution:
     """Solve a closed multi-class network with the Bard-Schweitzer AMVA.
 
@@ -63,7 +72,13 @@ def bard_schweitzer(
     max_iter:
         Iteration cap; the fixed point is a contraction in practice and
         converges in tens of iterations for the paper's configurations.
+        Exhausting it emits a :class:`ConvergenceWarning` (the result is
+        still returned, flagged ``converged=False`` with its residual).
+    strict:
+        Raise :class:`ConvergenceError` instead of warning when the cap is
+        exhausted.
     """
+    t0 = time.perf_counter()
     c, m = network.num_classes, network.num_stations
     v = network.visits
     s, extra = network.seidmann_split()
@@ -79,6 +94,7 @@ def bard_schweitzer(
     w = np.zeros((c, m))
     converged = False
     it = 0
+    delta = 0.0
     for it in range(1, max_iter + 1):
         w = _bs_waiting(s, queueing, q, pops, extra)  # step 2
         denom = np.einsum("cm,cm->c", v, w)  # step 3
@@ -90,6 +106,14 @@ def bard_schweitzer(
         if delta <= tol:  # step 5
             converged = True
             break
+    if not converged and it:
+        msg = (
+            f"bard_schweitzer did not converge within {max_iter} iterations "
+            f"(residual {delta:.3e} > tol {tol:.1e})"
+        )
+        if strict:
+            raise ConvergenceError(msg)
+        warnings.warn(msg, ConvergenceWarning, stacklevel=2)
     return QNSolution(
         network=network,
         throughput=x,
@@ -97,6 +121,13 @@ def bard_schweitzer(
         queue_length=q,
         iterations=it,
         converged=converged,
+        residual=delta,
+        telemetry=SolverTelemetry(
+            iterations=it,
+            residual=delta,
+            converged=converged,
+            wall_time_s=time.perf_counter() - t0,
+        ),
     )
 
 

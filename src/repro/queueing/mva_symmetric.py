@@ -15,13 +15,22 @@ O(P) speedup that makes the paper's 100-processor scaling sweeps instant --
 while remaining *numerically identical* to the full multi-class
 Bard-Schweitzer solution started from a symmetric initial point
 (property-tested in tests/queueing/test_symmetric.py).
+
+The iteration itself lives in
+:func:`repro.queueing.mva_batch.solve_symmetric_batch`; this scalar entry
+point is the ``B = 1`` case of that kernel, which guarantees that a point
+solved alone and the same point solved inside a sweep-sized batch produce
+bitwise-identical results (the property the runner's backend-equality tests
+pin down).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from .solution import SolverTelemetry
 
 __all__ = ["SymmetricSolution", "solve_symmetric"]
 
@@ -33,7 +42,9 @@ class SymmetricSolution:
     ``throughput`` is the per-class throughput ``X``; ``waiting`` and
     ``queue_length`` are class-0's (M,) per-visit residence times and queue
     lengths.  ``total_queue[m]`` is the all-class total at station ``m``
-    (uniform within each station type by symmetry).
+    (uniform within each station type by symmetry).  ``residual`` is the
+    final max-abs queue-length change; ``telemetry`` carries wall time and,
+    for batched solves, the batch-level active-set trajectory.
     """
 
     throughput: float
@@ -42,6 +53,8 @@ class SymmetricSolution:
     total_queue: np.ndarray
     iterations: int
     converged: bool
+    residual: float = 0.0
+    telemetry: SolverTelemetry | None = field(default=None, repr=False, compare=False)
 
     def residence(self, visits: np.ndarray) -> np.ndarray:
         """Per-cycle residence times ``v_m * W_m`` of class 0."""
@@ -56,8 +69,9 @@ def solve_symmetric(
     tol: float = 1e-12,
     max_iter: int = 200_000,
     servers: np.ndarray | None = None,
+    strict: bool = False,
 ) -> SymmetricSolution:
-    """Bard-Schweitzer on the symmetric manifold.
+    """Bard-Schweitzer on the symmetric manifold (one parameter point).
 
     Parameters
     ----------
@@ -74,7 +88,12 @@ def solve_symmetric(
     servers:
         Optional ``(M,)`` server counts (Seidmann multi-server
         approximation, matching :class:`ClosedNetwork`).
+    strict:
+        Raise :class:`~repro.queueing.solution.ConvergenceError` instead of
+        warning when ``max_iter`` is exhausted without convergence.
     """
+    from .mva_batch import solve_symmetric_batch
+
     v = np.asarray(visits, dtype=np.float64)
     s = np.asarray(service, dtype=np.float64)
     types = np.asarray(station_type)
@@ -82,52 +101,13 @@ def solve_symmetric(
         raise ValueError("visits, service and station_type must share a shape")
     if population < 0:
         raise ValueError(f"population must be >= 0, got {population}")
-    m = v.shape[0]
-    if servers is None:
-        extra = np.zeros(m)
-    else:
-        srv = np.asarray(servers, dtype=np.float64)
-        if srv.shape != v.shape:
-            raise ValueError("servers must match visits shape")
-        if np.any(srv < 1):
-            raise ValueError("server counts must be >= 1")
-        extra = s * (srv - 1.0) / srv
-        s = s / srv
-    if population == 0:
-        zeros = np.zeros(m)
-        return SymmetricSolution(0.0, zeros, zeros.copy(), zeros.copy(), 0, True)
-
-    labels, inverse = np.unique(types, return_inverse=True)
-    n_types = len(labels)
-
-    visited = v > 0
-    n_visited = max(int(visited.sum()), 1)
-    q = np.where(visited, population / n_visited, 0.0)
-
-    x = 0.0
-    w = np.zeros(m)
-    converged = False
-    it = 0
-    for it in range(1, max_iter + 1):
-        # Pool class-0 queues per type: T_t = sum of q over type-t stations.
-        pooled = np.bincount(inverse, weights=q, minlength=n_types)
-        t_total = pooled[inverse]  # (M,) all-class total at each station
-        seen = t_total - q / population  # arriving customer's view (BS)
-        w = s * (1.0 + seen) + extra
-        denom = float(np.dot(v, w))
-        x = population / denom if denom > 0 else 0.0
-        q_new = x * v * w
-        delta = float(np.max(np.abs(q_new - q), initial=0.0))
-        q = q_new
-        if delta <= tol:
-            converged = True
-            break
-    pooled = np.bincount(inverse, weights=q, minlength=n_types)
-    return SymmetricSolution(
-        throughput=x,
-        waiting=w,
-        queue_length=q,
-        total_queue=pooled[inverse],
-        iterations=it,
-        converged=converged,
-    )
+    return solve_symmetric_batch(
+        v[None, :],
+        s[None, :],
+        types,
+        np.array([population]),
+        tol=tol,
+        max_iter=max_iter,
+        servers=None if servers is None else np.asarray(servers)[None, :],
+        strict=strict,
+    )[0]

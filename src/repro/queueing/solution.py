@@ -1,14 +1,94 @@
-"""Solution container shared by all MVA solvers."""
+"""Solution containers and solver telemetry shared by all MVA solvers."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .network import ClosedNetwork
 
-__all__ = ["QNSolution"]
+__all__ = [
+    "QNSolution",
+    "SolverTelemetry",
+    "BatchTelemetry",
+    "ConvergenceWarning",
+    "ConvergenceError",
+]
+
+
+class ConvergenceWarning(RuntimeWarning):
+    """A fixed-point solver exhausted ``max_iter`` without meeting its
+    tolerance; the returned solution is the last iterate."""
+
+
+class ConvergenceError(RuntimeError):
+    """Raised instead of :class:`ConvergenceWarning` under ``strict=True``."""
+
+
+@dataclass(frozen=True)
+class BatchTelemetry:
+    """What one batched fixed-point solve did, across the whole stack.
+
+    ``active_trajectory[i]`` is the number of points still iterating when
+    sweep iteration ``i + 1`` started -- converged points leave the active
+    set exactly like early-exited sequences leave a batched-inference step,
+    so the trajectory is the direct record of how much work the masking
+    saved versus running every point to the slowest point's iteration count.
+    """
+
+    #: points in the stacked fixed point
+    batch_size: int
+    #: iterations until the last active point converged (or hit the cap)
+    iterations: int
+    #: points that met the tolerance
+    converged: int
+    #: largest final residual across the batch
+    max_residual: float
+    #: active-set size at the start of each iteration
+    active_trajectory: tuple[int, ...]
+    #: wall-clock seconds for the whole batch
+    wall_time_s: float
+
+    @property
+    def masked_iterations_saved(self) -> int:
+        """Point-iterations skipped by masking vs. running the full batch to
+        the final iteration count."""
+        return self.batch_size * self.iterations - sum(self.active_trajectory)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "batch_size": self.batch_size,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "max_residual": float(self.max_residual),
+            "active_trajectory": list(self.active_trajectory),
+            "wall_time_s": float(self.wall_time_s),
+        }
+
+
+@dataclass(frozen=True)
+class SolverTelemetry:
+    """Per-point solver diagnostics (scalar or one slot of a batch)."""
+
+    #: fixed-point iterations this point used
+    iterations: int
+    #: final max-abs queue-length change at this point
+    residual: float
+    converged: bool
+    #: wall-clock seconds (the whole batch's for a batched solve)
+    wall_time_s: float = 0.0
+    #: batch-level view when this point was solved as part of a stack
+    batch: BatchTelemetry | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "residual": float(self.residual),
+            "converged": self.converged,
+            "wall_time_s": float(self.wall_time_s),
+            "batch": None if self.batch is None else self.batch.to_dict(),
+        }
 
 
 @dataclass(frozen=True)
@@ -30,6 +110,11 @@ class QNSolution:
         Fixed-point iterations used (0 for exact solvers).
     converged:
         Whether the solver met its tolerance (exact solvers: always True).
+    residual:
+        Final max-abs queue-length change (0.0 for exact solvers).
+    telemetry:
+        Optional :class:`SolverTelemetry` with wall time and, for batched
+        solves, the batch-level active-set trajectory.
     """
 
     network: ClosedNetwork
@@ -38,6 +123,8 @@ class QNSolution:
     queue_length: np.ndarray
     iterations: int = 0
     converged: bool = True
+    residual: float = 0.0
+    telemetry: SolverTelemetry | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------ per station
     @property

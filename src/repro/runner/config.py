@@ -2,8 +2,9 @@
 
 :func:`repro.analysis.sweep.sweep` builds its runner from here when the
 caller does not pass one, so a single :func:`configure` call (or the
-``REPRO_CACHE_DIR`` / ``REPRO_SWEEP_JOBS`` environment variables) turns
-every sweep in the process cached and/or parallel -- this is how the
+``REPRO_CACHE_DIR`` / ``REPRO_SWEEP_JOBS`` / ``REPRO_SWEEP_BACKEND``
+environment variables) turns every sweep in the process cached, parallel
+and/or batched -- this is how the
 benchmark harness shares one persistent cache across all figure
 regenerations without threading a runner through every call site.
 
@@ -25,6 +26,7 @@ _CONFIG: dict[str, object] = {
     "cache_dir": None,  # None -> $REPRO_CACHE_DIR -> no cache
     "timeout": None,
     "retries": 1,
+    "backend": None,  # None -> $REPRO_SWEEP_BACKEND -> "auto"
 }
 
 #: one live store per cache dir, so hit/miss accounting and index flushes
@@ -54,11 +56,15 @@ def effective_config() -> dict[str, object]:
     cache_dir = _CONFIG["cache_dir"]
     if cache_dir is None:
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    backend = _CONFIG["backend"]
+    if backend is None:
+        backend = os.environ.get("REPRO_SWEEP_BACKEND") or "auto"
     return {
         "jobs": int(jobs),
         "cache_dir": cache_dir,
         "timeout": _CONFIG["timeout"],
         "retries": _CONFIG["retries"],
+        "backend": str(backend),
     }
 
 
@@ -81,4 +87,5 @@ def default_runner() -> SweepRunner:
         store=store,
         timeout=cfg["timeout"],
         retries=cfg["retries"],
+        backend=cfg["backend"],
     )

@@ -5,11 +5,20 @@ Execution pipeline for one :meth:`SweepRunner.run`:
 1. **Deduplicate** the requested specs by content-addressed key -- within a
    single run an identical point is never solved twice.
 2. **Probe the store**: keys with a persisted result become cache hits.
-3. **Solve the misses**, either serially in-process (the default for tiny
-   sweeps, where process-pool spawn overhead would dominate) or on a
-   ``ProcessPoolExecutor`` with per-point timeout.  Worker exceptions are
-   retried (bounded); a broken pool (worker died) degrades gracefully to
-   serial execution of whatever is left.
+3. **Solve the misses** on one of three backends:
+
+   * ``batch`` -- stack same-shape points into one batched AMVA fixed point
+     (:func:`repro.core.model.solve_points`); the in-process default for
+     figure-sized lattices, typically an order of magnitude faster than the
+     per-point loop.  Symmetric points come back bitwise-identical to a
+     scalar solve, so swapping backends never disturbs cached records.
+   * ``process`` -- a ``ProcessPoolExecutor`` with per-point timeout.
+     Worker exceptions are retried (bounded); a broken pool (worker died)
+     degrades gracefully to serial execution of whatever is left.
+   * ``serial`` -- the per-point in-process loop (tiny sweeps, where any
+     batching or pool overhead would dominate; also the fallback when a
+     batch group fails).
+
 4. **Persist** fresh results and emit a :class:`~repro.runner.manifest.RunManifest`.
 
 Fresh solves are round-tripped through the same JSON form a cache hit is
@@ -32,12 +41,17 @@ from .manifest import RunManifest, latency_stats
 from .spec import SOLVER_VERSION, JobSpec, RunResult
 from .store import ResultStore
 
-__all__ = ["SweepRunner", "RunReport", "solve_job"]
+__all__ = ["SweepRunner", "RunReport", "solve_job", "BACKENDS", "BATCHABLE_METHODS"]
 
 #: a worker callable: JSON payload in, ``{"perf": dict, "elapsed": s}`` out
 Worker = Callable[[Mapping[str, object]], Mapping[str, object]]
 #: progress callback: ``(done, total_unique, result)``
 Progress = Callable[[int, int, RunResult], None]
+
+#: recognised execution backends
+BACKENDS = ("auto", "batch", "process", "serial")
+#: solver methods the batched kernel accepts; others always run per-point
+BATCHABLE_METHODS = ("symmetric", "amva")
 
 
 def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
@@ -100,7 +114,18 @@ class SweepRunner:
         below it the run stays serial regardless of ``jobs``.
     worker:
         Override the solve callable (test seam / custom backends).  Must be
-        picklable for the parallel path.
+        picklable for the parallel path.  A custom worker disables the
+        batched backend -- batching is a property of the default solver.
+    backend:
+        ``"auto"`` (default) picks the process pool when ``jobs > 1`` and
+        the sweep is big enough, then the batched kernel for groups of
+        same-shape points, then per-point serial.  ``"batch"``,
+        ``"process"`` and ``"serial"`` force a backend (each still falls
+        back to serial where its preconditions fail -- e.g. one point,
+        unbatchable method, or a dead pool).
+    min_batch_points:
+        Smallest group of same-shape cache misses worth stacking into one
+        batched solve; below it points run per-point.
     """
 
     def __init__(
@@ -112,11 +137,19 @@ class SweepRunner:
         retries: int = 1,
         min_parallel_points: int = 8,
         worker: Worker | None = None,
+        backend: str = "auto",
+        min_batch_points: int = 2,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
+            )
+        if min_batch_points < 2:
+            raise ValueError(f"min_batch_points must be >= 2, got {min_batch_points}")
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.jobs = jobs
@@ -125,6 +158,8 @@ class SweepRunner:
         self.retries = retries
         self.min_parallel_points = min_parallel_points
         self.worker: Worker = worker if worker is not None else solve_job
+        self.backend = backend
+        self.min_batch_points = min_batch_points
 
     # ------------------------------------------------------------ public API
     def solve(self, params: MMSParams, method: str = "auto") -> MMSPerformance:
@@ -162,9 +197,19 @@ class SweepRunner:
 
         pending = [p for k, p in unique.items() if k not in resolved]
         mode = "serial"
+        solver_batches: list[dict[str, object]] = []
         if pending:
-            if self.jobs > 1 and len(pending) >= self.min_parallel_points:
+            use_pool = (
+                self.backend in ("auto", "process")
+                and self.jobs > 1
+                and len(pending) >= self.min_parallel_points
+            )
+            if use_pool:
                 mode = self._run_parallel(pending, resolved, stats, progress, done)
+            elif self.backend in ("auto", "batch") and self.worker is solve_job:
+                mode = self._run_batch(
+                    pending, resolved, stats, progress, done, solver_batches
+                )
             else:
                 self._run_serial(pending, resolved, stats, progress, done)
 
@@ -197,6 +242,8 @@ class SweepRunner:
             solver_version=SOLVER_VERSION,
             jobs=self.jobs,
             mode=mode,
+            backend=self.backend,
+            solver_batches=solver_batches,
             total_points=len(specs),
             unique_points=len(unique),
             cache_hits=cache_hits,
@@ -279,13 +326,88 @@ class SweepRunner:
         progress: Progress | None,
         done: int,
     ) -> None:
-        total = done + len(pending)
+        self._run_serial_counted(
+            pending, resolved, stats, progress, done, done + len(pending)
+        )
+
+    def _run_serial_counted(
+        self,
+        pending: list[Mapping[str, object]],
+        resolved: dict[str, RunResult],
+        stats: _RunStats,
+        progress: Progress | None,
+        done: int,
+        total: int,
+    ) -> None:
         for payload in pending:
             result = self._solve_with_retry(payload, stats)
             resolved[payload["key"]] = result
             done += 1
             if progress is not None:
                 progress(done, total, result)
+
+    def _run_batch(
+        self,
+        pending: list[Mapping[str, object]],
+        resolved: dict[str, RunResult],
+        stats: _RunStats,
+        progress: Progress | None,
+        done: int,
+        solver_batches: list[dict[str, object]],
+    ) -> str:
+        """Batched in-process execution; returns the mode the run ended in.
+
+        Pending points are grouped by ``(method, machine size)`` -- the
+        homogeneity :func:`~repro.core.model.solve_points` requires -- and
+        each group large enough is solved as one stacked fixed point.
+        Leftovers (small groups, unbatchable methods, a group whose batch
+        solve raised) run per-point; the mode is ``"batch"`` only if at
+        least one group actually batched.
+        """
+        from ..core.model import solve_points
+
+        total = done + len(pending)
+        groups: dict[tuple[str, int], list[Mapping[str, object]]] = {}
+        for payload in pending:
+            params = MMSParams.from_dict(payload["params"])
+            groups.setdefault(
+                (payload["method"], params.arch.num_processors), []
+            ).append(payload)
+
+        batched_any = False
+        serial_left: list[Mapping[str, object]] = []
+        for (method, _size), group in groups.items():
+            if method not in BATCHABLE_METHODS or len(group) < self.min_batch_points:
+                serial_left.extend(group)
+                continue
+            t0 = time.perf_counter()
+            try:
+                perfs, telemetry = solve_points(
+                    [MMSParams.from_dict(p["params"]) for p in group],
+                    method=method,
+                )
+            except Exception:  # noqa: BLE001 - degrade to the per-point loop
+                serial_left.extend(group)
+                continue
+            batched_any = True
+            share = (time.perf_counter() - t0) / len(group)
+            for payload, perf in zip(group, perfs):
+                result = self._from_record(
+                    payload,
+                    {"perf": perf.to_dict(), "elapsed": share},
+                    from_cache=False,
+                )
+                stats.latencies.append(result.elapsed)
+                resolved[payload["key"]] = result
+                done += 1
+                if progress is not None:
+                    progress(done, total, result)
+            if telemetry is not None:
+                solver_batches.append({"method": method, **telemetry.to_dict()})
+
+        if serial_left:
+            self._run_serial_counted(serial_left, resolved, stats, progress, done, total)
+        return "batch" if batched_any else "serial"
 
     def _run_parallel(
         self,

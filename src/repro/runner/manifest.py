@@ -39,8 +39,8 @@ class RunManifest:
     solver_version: str
     #: requested worker count (1 = serial)
     jobs: int
-    #: how the run actually executed: ``serial`` | ``parallel`` |
-    #: ``serial-fallback`` (workers died, remaining points ran in-process)
+    #: how the run actually executed: ``serial`` | ``batch`` | ``parallel``
+    #: | ``serial-fallback`` (workers died, remaining points ran in-process)
     mode: str
     #: points requested, including duplicates within the request
     total_points: int
@@ -64,6 +64,12 @@ class RunManifest:
     point_latency: dict[str, float] = field(default_factory=dict)
     #: lifetime stats of the backing store, if any
     store: dict[str, object] | None = None
+    #: requested execution backend (``auto``/``batch``/``process``/``serial``)
+    backend: str = "auto"
+    #: per-batch solver telemetry (method, batch size, iterations, max
+    #: residual, active-set trajectory, wall time) for every batched fixed
+    #: point this run executed
+    solver_batches: list = field(default_factory=list)
 
     def to_dict(self) -> dict[str, object]:
         return asdict(self)

@@ -36,7 +36,8 @@ __all__ = [
 #: Version tag of the analytical-solver stack as seen by the result cache.
 #: Bump whenever a solver change alters any cached measure: every store
 #: created under a different version invalidates itself on open.
-SOLVER_VERSION = "1"
+#: "2": batched AMVA kernels; symmetric-path pooling reductions reordered.
+SOLVER_VERSION = "2"
 
 
 def canonical_json(obj: object) -> str:

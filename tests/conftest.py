@@ -1,0 +1,26 @@
+"""Shared pytest wiring: the golden-regression update flag.
+
+``pytest --update-goldens`` regenerates every pinned fixture under
+``tests/goldens/`` from the current solver stack instead of comparing
+against it.  Regeneration is deterministic (canonical JSON, sorted keys),
+so rerunning it without a solver change is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current solver outputs "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-goldens"))

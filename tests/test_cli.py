@@ -111,7 +111,8 @@ class TestCommands:
         assert lines[0]["axes"] == {"num_threads": 1}
         assert "U_p" in lines[0]["measures"]
         m = json.loads(manifest.read_text())
-        assert m["unique_points"] == 3 and m["mode"] == "serial"
+        assert m["unique_points"] == 3 and m["mode"] == "batch"
+        assert m["solver_batches"] and m["solver_batches"][0]["batch_size"] == 3
 
     def test_sweep_warm_cache(self, capsys, tmp_path):
         argv = [

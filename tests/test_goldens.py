@@ -1,0 +1,143 @@
+"""Golden regression pins for every scalar the paper's tables/figures report.
+
+Each golden is the JSON-converted ``.data`` payload of one experiment
+generator (Tables 2-4, Figures 4-10) plus the model-side Figure-11 points.
+The committed files under ``tests/goldens/`` are the reference; any solver
+change that moves a pinned scalar by more than 1e-9 (relative) fails here,
+which is what lets the batched AMVA kernel be swapped in with confidence.
+
+Regenerate deliberately with ``pytest tests/test_goldens.py --update-goldens``
+after an intentional numerical change, and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.core import MMSModel
+from repro.params import paper_defaults
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: relative tolerance for pinned scalars (absolute for values near zero)
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def _jsonable(obj: object) -> object:
+    """Canonical JSON-safe form: numpy collapsed, dict keys stringified."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return _jsonable(obj.tolist())
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return repr(obj)  # JSON has no Inf/NaN; pin the repr instead
+    return obj
+
+
+def _fig11_model_side() -> dict[str, object]:
+    """The model half of Figure 11 (simulation is pinned elsewhere)."""
+    rows = []
+    for s in (10.0, 20.0):
+        for nt in (1, 2, 4, 6, 8, 10):
+            params = paper_defaults(num_threads=nt, p_remote=0.5, switch_delay=s)
+            perf = MMSModel(params).solve()
+            rows.append(
+                {
+                    "switch_delay": s,
+                    "num_threads": nt,
+                    **{k: float(v) for k, v in perf.summary().items()},
+                }
+            )
+    return {"rows": rows}
+
+
+#: golden name -> callable producing the JSON-safe payload to pin
+GOLDENS = {
+    "table2": lambda: experiments.table2_network_tolerance().data,
+    "table3": lambda: experiments.table3_partitioning_network().data,
+    "table4": lambda: experiments.table4_partitioning_memory().data,
+    "fig4": lambda: experiments.fig4_5_workload_surfaces(runlength=10.0).data,
+    "fig5": lambda: experiments.fig4_5_workload_surfaces(runlength=20.0).data,
+    "fig6": lambda: experiments.fig6_tolerance_surface().data,
+    "fig7": lambda: experiments.fig7_iso_work_lines().data,
+    "fig8": lambda: experiments.fig8_memory_surface().data,
+    "fig9": lambda: experiments.fig9_scaling_tolerance().data,
+    "fig10": lambda: experiments.fig10_throughput_scaling().data,
+    "fig11_model": _fig11_model_side,
+}
+
+
+def _compare(path: str, expected: object, actual: object) -> list[str]:
+    """Recursive comparison; returns human-readable mismatch descriptions."""
+    errors: list[str] = []
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(expected, dict) and isinstance(actual, dict)):
+            return [f"{path}: type mismatch {type(expected).__name__} vs "
+                    f"{type(actual).__name__}"]
+        missing = set(expected) - set(actual)
+        added = set(actual) - set(expected)
+        for k in sorted(missing):
+            errors.append(f"{path}.{k}: missing from current output")
+        for k in sorted(added):
+            errors.append(f"{path}.{k}: not in golden (regenerate?)")
+        for k in sorted(set(expected) & set(actual)):
+            errors.extend(_compare(f"{path}.{k}", expected[k], actual[k]))
+        return errors
+    if isinstance(expected, list) or isinstance(actual, list):
+        if not (isinstance(expected, list) and isinstance(actual, list)):
+            return [f"{path}: type mismatch {type(expected).__name__} vs "
+                    f"{type(actual).__name__}"]
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} != {len(actual)}"]
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            errors.extend(_compare(f"{path}[{i}]", e, a))
+        return errors
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)) \
+            and not isinstance(expected, bool) and not isinstance(actual, bool):
+        if not math.isclose(expected, actual, rel_tol=RTOL, abs_tol=ATOL):
+            errors.append(
+                f"{path}: {expected!r} != {actual!r} "
+                f"(diff {abs(expected - actual):.3e})"
+            )
+        return errors
+    if expected != actual:
+        errors.append(f"{path}: {expected!r} != {actual!r}")
+    return errors
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_golden(name: str, update_goldens: bool) -> None:
+    payload = _jsonable(GOLDENS[name]())
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True, allow_nan=False) + "\n"
+        )
+        return
+    assert path.exists(), (
+        f"golden {path} missing -- generate it with "
+        "pytest tests/test_goldens.py --update-goldens"
+    )
+    expected = json.loads(path.read_text())
+    errors = _compare(name, expected, payload)
+    assert not errors, "golden drift:\n" + "\n".join(errors[:40])
+
+
+def test_update_goldens_is_deterministic(tmp_path, monkeypatch) -> None:
+    """Two regenerations of one golden produce byte-identical files."""
+    name = "table2"
+    a = json.dumps(_jsonable(GOLDENS[name]()), indent=1, sort_keys=True)
+    b = json.dumps(_jsonable(GOLDENS[name]()), indent=1, sort_keys=True)
+    assert a == b
