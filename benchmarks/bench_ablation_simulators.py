@@ -5,11 +5,12 @@ Little's law).  Agreement here means the Petri-net reduction -- resource
 places, immediate routing, Little's-law latencies -- loses nothing.
 """
 
+import json
 import time
 
 import pytest
 
-from conftest import run_once
+from conftest import RESULTS_DIR, run_once
 from repro.analysis import format_table
 from repro.core import MMSModel
 from repro.params import paper_defaults
@@ -34,11 +35,21 @@ def compare():
             [key, perf.summary()[key], des.summary()[key], spn.summary()[key]]
         )
     rows.append(["seconds", 0.0, t_des, t_spn])
-    return rows
+    stats = {
+        "duration": DURATION,
+        "des": {
+            "wall_clock_s": t_des,
+            "events": des.engine_stats["events_processed"],
+            "max_event_queue": des.engine_stats["max_event_queue"],
+            "stations": des.engine_stats["stations"],
+        },
+        "spn": {"wall_clock_s": t_spn, "events": spn.events},
+    }
+    return rows, stats
 
 
 def test_ablation_simulators(benchmark, archive):
-    rows = run_once(benchmark, compare)
+    rows, stats = run_once(benchmark, compare)
     text = format_table(
         ["measure", "MVA", "DES", "SPN"],
         rows,
@@ -46,6 +57,14 @@ def test_ablation_simulators(benchmark, archive):
         title=f"Ablation: DES vs Petri net at {POINT.arch.torus}, T={DURATION:g}",
     )
     archive("ablation_simulators", text)
+
+    # execution telemetry for both substrates: wall clock + events processed
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_simulators.json").write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n"
+    )
+    assert stats["des"]["events"] > 0
+    assert stats["spn"]["events"] > 0
 
     by = {r[0]: r for r in rows}
     for key, tol in [("U_p", 0.05), ("lambda_net", 0.06), ("S_obs", 0.12),

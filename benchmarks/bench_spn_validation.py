@@ -7,9 +7,11 @@ DES-based Figure-11 bench covers the full n_t sweep; this one is the
 formalism-faithful spot check).
 """
 
+import json
+
 import pytest
 
-from conftest import run_once
+from conftest import RESULTS_DIR, run_once
 from repro.analysis import format_table, validate_point
 from repro.params import paper_defaults
 
@@ -24,10 +26,10 @@ DURATION = 20_000.0
 def run_validation():
     out = []
     for params in POINTS:
-        rows = validate_point(
-            params, duration=DURATION, seed=13, simulator="spn"
+        rows, stats = validate_point(
+            params, duration=DURATION, seed=13, simulator="spn", with_stats=True
         )
-        out.append((params, {r.measure: r for r in rows}))
+        out.append((params, {r.measure: r for r in rows}, stats))
     return out
 
 
@@ -35,7 +37,7 @@ def test_spn_validation(benchmark, archive):
     results = run_once(benchmark, run_validation)
 
     table_rows = []
-    for params, by in results:
+    for params, by, _stats in results:
         table_rows.append(
             [
                 params.workload.num_threads,
@@ -57,13 +59,40 @@ def test_spn_validation(benchmark, archive):
     )
     archive("spn_validation", text)
 
-    for params, by in results:
+    # execution telemetry: what each comparison cost, not just what it found
+    manifest = {
+        "duration": DURATION,
+        "points": [
+            {
+                "num_threads": params.workload.num_threads,
+                "wall_clock_s": stats["wall_clock_s"],
+                "events": stats["events"],
+                "events_per_s": (
+                    stats["events"] / stats["wall_clock_s"]
+                    if stats["wall_clock_s"] > 0
+                    else 0.0
+                ),
+            }
+            for params, _by, stats in results
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "spn_validation.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+
+    for params, by, _stats in results:
         nt = params.workload.num_threads
         # the paper's bands, with slack for the shorter horizon
         assert by["lambda_net"].rel_error < 0.05, nt
         assert by["S_obs"].rel_error < 0.08, nt
         assert by["U_p"].rel_error < 0.05, nt
         assert by["L_obs"].rel_error < 0.08, nt
+
+    # every run actually processed events and took measurable time
+    for point in manifest["points"]:
+        assert point["events"] > 0
+        assert point["wall_clock_s"] > 0
 
     # the sweep shape survives the formalism change: lambda_net saturating,
     # S_obs ~linear in n_t

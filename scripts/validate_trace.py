@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Validate a repro-trace/1 JSONL trace file and print its summary.
+
+Usage::
+
+    python scripts/validate_trace.py out.jsonl [--min-spans N]
+
+Exits 0 when the trace conforms to the schema (meta header first, typed
+span records, unique span ids, closed parent linkage, at least one span),
+1 otherwise.  CI's trace smoke step runs this against the trace a tiny
+sweep just wrote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs import TraceValidationError, validate_trace  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file to validate")
+    parser.add_argument(
+        "--min-spans",
+        type=int,
+        default=1,
+        help="fail unless the trace holds at least this many spans",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        summary = validate_trace(args.trace)
+    except (TraceValidationError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if summary.spans < args.min_spans:
+        print(
+            f"INVALID: {summary.spans} spans < required {args.min_spans}",
+            file=sys.stderr,
+        )
+        return 1
+
+    names = ", ".join(
+        f"{name} x{count}" for name, count in sorted(summary.span_names.items())
+    )
+    print(
+        f"OK: {summary.events} events, {summary.spans} spans "
+        f"({summary.roots} roots, {len(summary.trace_ids)} trace ids, "
+        f"{summary.metrics_records} metrics records)"
+    )
+    print(f"    {names}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,14 +42,23 @@ def validate_point(
     seed: int = 0,
     memory_dist: str = "exponential",
     simulator: str = "des",
-) -> list[ValidationRow]:
+    with_stats: bool = False,
+):
     """Compare the four headline measures at one point.
 
     ``simulator="des"`` uses the fast discrete-event simulator;
     ``"spn"`` uses the stochastic timed Petri net -- the paper's actual
     Section-8 vehicle (slower; supports exponential service and C = 0 only).
+
+    With ``with_stats=True`` returns ``(rows, stats)`` where ``stats``
+    carries the simulator's execution telemetry -- wall clock, event count,
+    and (DES only) per-station occupancy -- so benchmark manifests can
+    record what the comparison cost, not just what it concluded.
     """
+    import time
+
     perf = MMSModel(params).solve()
+    t0 = time.perf_counter()
     if simulator == "des":
         sim = simulate(
             params, duration=duration, seed=seed, memory_dist=memory_dist
@@ -62,16 +71,27 @@ def validate_point(
         sim = simulate_spn(params, duration=duration, seed=seed)
     else:
         raise ValueError(f"unknown simulator {simulator!r}")
+    wall = time.perf_counter() - t0
     pairs = [
         ("U_p", perf.processor_utilization, sim.processor_utilization),
         ("lambda_net", perf.lambda_net, sim.lambda_net),
         ("S_obs", perf.s_obs, sim.s_obs),
         ("L_obs", perf.l_obs, sim.l_obs),
     ]
-    return [
+    rows = [
         ValidationRow(params=params, measure=m, model=a, simulated=b)
         for m, a, b in pairs
     ]
+    if not with_stats:
+        return rows
+    stats: dict[str, object] = {"simulator": simulator, "wall_clock_s": wall}
+    if simulator == "des" and sim.engine_stats is not None:
+        stats["events"] = sim.engine_stats["events_processed"]
+        stats["max_event_queue"] = sim.engine_stats["max_event_queue"]
+        stats["stations"] = sim.engine_stats["stations"]
+    elif simulator == "spn":
+        stats["events"] = sim.events
+    return rows, stats
 
 
 def fig11_validation(

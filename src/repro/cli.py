@@ -209,6 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run manifest (timings, cache hit rate) as JSON",
     )
+    p_sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a repro-trace/1 JSONL trace of the run (spans for "
+        "every stage, solve and simulator call, plus a final metrics "
+        "snapshot); render it with `repro-mms report PATH`",
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="time-attribution report from a run manifest or trace",
+        description="Render per-stage (and, for simulator traces, "
+        "per-station) time-attribution tables from either a sweep manifest "
+        "JSON (--manifest) or a JSONL trace (--trace).",
+    )
+    p_report.add_argument("path", help="manifest .json or trace .jsonl file")
 
     p_all = sub.add_parser(
         "reproduce-all",
@@ -291,7 +308,23 @@ def _run_sweep(args: argparse.Namespace) -> int:
         JobSpec(params=base.with_(**dict(zip(names, combo))), method=args.method)
         for combo in combos
     ]
-    report = runner.run(specs)
+
+    if args.trace:
+        from . import obs
+
+        prev = obs.configure(trace=args.trace)
+        try:
+            report = runner.run(specs)
+            tracer = obs.get_tracer()
+            if report.manifest.metrics is not None:
+                tracer.write_event(
+                    {"kind": "metrics", "metrics": report.manifest.metrics}
+                )
+            tracer.close()
+        finally:
+            obs.configure(**prev)
+    else:
+        report = runner.run(specs)
 
     out_fh = open(args.out, "w") if args.out else None
     try:
@@ -331,6 +364,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.manifest:
         manifest.to_json(args.manifest)
         print(f"[manifest written to {args.manifest}]")
+    if args.trace:
+        print(f"[trace written to {args.trace}]")
     return 0 if report.ok else 1
 
 
@@ -440,6 +475,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "report":
+        from .obs import TraceValidationError, render_report
+
+        try:
+            print(render_report(args.path))
+        except (TraceValidationError, OSError, ValueError) as exc:
+            print(f"report failed: {exc}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.command == "reproduce-all":
         import time

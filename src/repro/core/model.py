@@ -29,6 +29,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import registry as obs_registry
+from ..obs import trace_span
 from ..params import MMSParams
 from ..queueing import (
     BatchTelemetry,
@@ -185,7 +187,25 @@ class MMSModel:
 
         ``method="auto"`` picks the symmetric fast path for SPMD workloads
         and the full multi-class AMVA for asymmetric ones (hotspot).
+
+        Every solve is observable: a ``solver.solve`` span (when tracing is
+        enabled) and ``solver.*`` metrics record the resolved method,
+        iteration count, and final residual -- the per-point view that
+        :class:`~repro.queueing.SolverTelemetry` used to carry ad hoc.
         """
+        with trace_span("solver.solve") as sp:
+            perf = self._solve_impl(method, tol)
+            sp.set(
+                method=perf.method,
+                iterations=perf.iterations,
+                residual=perf.residual,
+                converged=perf.converged,
+                processors=self.params.arch.num_processors,
+            )
+            _record_point_metrics(perf)
+            return perf
+
+    def _solve_impl(self, method: str, tol: float) -> MMSPerformance:
         if method == "auto":
             method = "symmetric" if self.is_symmetric else "amva"
         if method == "symmetric":
@@ -434,6 +454,46 @@ def solve(params: MMSParams, method: str = "auto") -> MMSPerformance:
     return MMSModel(params).solve(method=method)
 
 
+def _record_point_metrics(perf: MMSPerformance) -> None:
+    """Fold one scalar solve into the ``solver.*`` metrics."""
+    reg = obs_registry()
+    reg.counter("solver.points").inc()
+    reg.counter("solver.iterations").inc(perf.iterations)
+    if not perf.converged:
+        reg.counter("solver.nonconverged").inc()
+    reg.histogram("solver.residual", _RESIDUAL_BUCKETS).observe(perf.residual)
+
+
+def _record_batch_obs(sp, method: str, batch: "BatchTelemetry | None") -> None:
+    """Fold one batched solve into the span and the ``solver.batch.*``
+    metrics (iterations, residual, masked point-iterations)."""
+    if batch is None:
+        return
+    sp.set(
+        method=method,
+        batch_size=batch.batch_size,
+        iterations=batch.iterations,
+        converged=batch.converged,
+        max_residual=batch.max_residual,
+        masked_iterations_saved=batch.masked_iterations_saved,
+    )
+    reg = obs_registry()
+    reg.counter("solver.batch.calls").inc()
+    reg.counter("solver.batch.points").inc(batch.batch_size)
+    reg.counter("solver.batch.iterations").inc(batch.iterations)
+    reg.counter("solver.batch.point_iterations").inc(sum(batch.active_trajectory))
+    reg.counter("solver.batch.masked_iterations_saved").inc(
+        batch.masked_iterations_saved
+    )
+    if batch.converged < batch.batch_size:
+        reg.counter("solver.nonconverged").inc(batch.batch_size - batch.converged)
+    reg.histogram("solver.residual", _RESIDUAL_BUCKETS).observe(batch.max_residual)
+
+
+#: residual histogram buckets (residuals live around the 1e-12 tolerance)
+_RESIDUAL_BUCKETS = (1e-15, 1e-12, 1e-9, 1e-6, 1e-3, 1.0)
+
+
 def solve_points(
     points: "Sequence[MMSParams]",
     method: str = "auto",
@@ -463,6 +523,15 @@ def solve_points(
     """
     if not points:
         return [], None
+    with trace_span("solver.batch", points=len(points)) as sp:
+        perfs, batch = _solve_points_impl(points, method, tol)
+        _record_batch_obs(sp, perfs[0].method if perfs else method, batch)
+        return perfs, batch
+
+
+def _solve_points_impl(
+    points: "Sequence[MMSParams]", method: str, tol: float
+) -> tuple[list[MMSPerformance], "BatchTelemetry | None"]:
     models = [MMSModel(p) for p in points]
     if method == "auto":
         resolved = {"symmetric" if m.is_symmetric else "amva" for m in models}

@@ -1,0 +1,77 @@
+"""Unified observability: tracing spans, metrics, and a JSONL event sink.
+
+The three pillars (all dependency-free):
+
+* :mod:`repro.obs.trace` -- nested spans with a contextvar current-span
+  stack, a no-op fast path when disabled (the default), and cross-process
+  merging of pool-worker spans through the job payload;
+* :mod:`repro.obs.metrics` -- an always-on registry of counters, gauges,
+  and fixed-bucket histograms with ``snapshot()`` / ``diff_snapshots()``;
+* :mod:`repro.obs.sink` -- a process-safe append-only JSONL event sink.
+
+Plus the consumers: :mod:`repro.obs.validate` (trace schema validation,
+used by CI) and :mod:`repro.obs.report` (the ``repro-mms report``
+attribution tables).
+
+Quick start::
+
+    from repro import obs
+
+    prev = obs.configure(trace="run.jsonl")   # or REPRO_TRACE=run.jsonl
+    with obs.trace_span("my.stage", points=176):
+        ...
+    obs.get_tracer().close()
+    obs.configure(**prev)
+
+    obs.registry().counter("my.counter").inc()
+    obs.registry().snapshot()
+
+Span/metric naming and the full schema are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    registry,
+)
+from .report import manifest_report, render_report, trace_report
+from .sink import EventSink
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    configure,
+    enabled,
+    get_tracer,
+    trace_span,
+    traced,
+)
+from .validate import TraceSummary, TraceValidationError, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "diff_snapshots",
+    "EventSink",
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "configure",
+    "enabled",
+    "get_tracer",
+    "trace_span",
+    "traced",
+    "TraceSummary",
+    "TraceValidationError",
+    "validate_trace",
+    "manifest_report",
+    "render_report",
+    "trace_report",
+]

@@ -1,0 +1,210 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately tiny and dependency-free.  Instruments are
+created on first use (``registry().counter("store.hit").inc()``) and read
+with :meth:`MetricsRegistry.snapshot`, which returns a plain JSON-safe dict.
+Unlike tracing -- which is off unless :func:`repro.obs.trace.configure`
+enables it -- metrics are always on: every instrument update is a couple of
+dict lookups and an integer add, cheap enough for the hot paths that carry
+them (one update per solve/lookup, never per fixed-point iteration).
+
+Per-run views are computed by diffing two snapshots
+(:func:`diff_snapshots`), which is how the sweep runner embeds a
+run-scoped metrics block in its manifest while the registry itself keeps
+process-lifetime totals.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "diff_snapshots",
+]
+
+#: default histogram bucket upper bounds (seconds-ish scale; +inf implied)
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value, with a convenience high-water update."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def update_max(self, v: float) -> None:
+        if v > self.value:
+            self.value = float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style counts plus sum/count.
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``; the last
+    slot (``counts[-1]``) is the implicit +inf bucket.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        b = tuple(float(x) for x in buckets)
+        if list(b) != sorted(b) or len(set(b)) != len(b):
+            raise ValueError(f"histogram buckets must be strictly increasing: {b}")
+        self.buckets = b
+        self.counts = [0] * (len(b) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name can only ever be one instrument kind; asking for an existing name
+    with a different kind raises, which catches naming collisions early.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls: type, *args: object) -> object:
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = cls(*args)
+                    self._instruments[name] = inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-safe view: ``{"counters": {...}, "gauges": {...},
+        "histograms": {name: {buckets, counts, sum, count}}}``."""
+        out: dict[str, dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = inst.to_dict()  # type: ignore[union-attr]
+        return out
+
+    to_dict = snapshot
+
+
+def diff_snapshots(
+    before: Mapping[str, Mapping[str, object]],
+    after: Mapping[str, Mapping[str, object]],
+) -> dict[str, dict[str, object]]:
+    """What happened between two snapshots of the same registry.
+
+    Counters and histogram counts/sums subtract; gauges keep their final
+    value (a gauge is a level, not a flow).  Instruments that did not move
+    are dropped, so the result reads as "this run's activity".
+    """
+    out: dict[str, dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
+    b_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        delta = value - b_counters.get(name, 0.0)
+        if delta:
+            out["counters"][name] = delta
+    out["gauges"] = dict(after.get("gauges", {}))
+    b_hists = before.get("histograms", {})
+    for name, h in after.get("histograms", {}).items():
+        prev = b_hists.get(name)
+        if prev is None:
+            if h["count"]:
+                out["histograms"][name] = dict(h)
+            continue
+        d_count = h["count"] - prev["count"]
+        if not d_count:
+            continue
+        out["histograms"][name] = {
+            "buckets": list(h["buckets"]),
+            "counts": [a - b for a, b in zip(h["counts"], prev["counts"])],
+            "sum": h["sum"] - prev["sum"],
+            "count": d_count,
+        }
+    return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry every instrumented layer shares."""
+    return _REGISTRY

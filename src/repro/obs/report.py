@@ -1,0 +1,229 @@
+"""Time-attribution reports from traces and run manifests.
+
+``repro-mms report <path>`` lands here.  Two input shapes are understood:
+
+* a **JSONL trace** written by ``repro-mms sweep --trace`` (or any
+  :class:`~repro.obs.sink.EventSink`): rendered as a per-span-name
+  attribution table (count, total time, *self* time with children
+  subtracted, share of the root span) plus, when simulator spans are
+  present, a per-station busy-time table;
+* a **JSON run manifest**: rendered from its ``stages`` block (per-stage
+  wall clock), store counters, and embedded metrics snapshot.
+
+Self time is what makes the table an attribution rather than a call count:
+a stage's children are subtracted from it, so the rows sum to (at most) the
+traced wall clock and a hot leaf reads hot even when buried three spans
+deep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .validate import TraceValidationError, validate_events
+
+__all__ = ["load_trace", "trace_report", "manifest_report", "render_report"]
+
+
+def load_trace(path: str | Path) -> list[dict[str, object]]:
+    """Parse a JSONL trace file into event dicts (no validation)."""
+    events: list[dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _attribution_rows(
+    spans: Sequence[Mapping[str, object]],
+) -> tuple[list[list[object]], float]:
+    """Aggregate spans by name; returns (table rows, root wall clock)."""
+    by_id = {s["span_id"]: s for s in spans}
+    child_time: dict[str, float] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + float(s["duration_s"])
+
+    total: dict[str, float] = {}
+    self_t: dict[str, float] = {}
+    count: dict[str, int] = {}
+    for s in spans:
+        name = str(s["name"])
+        dur = float(s["duration_s"])
+        total[name] = total.get(name, 0.0) + dur
+        self_t[name] = self_t.get(name, 0.0) + max(
+            0.0, dur - child_time.get(s["span_id"], 0.0)
+        )
+        count[name] = count.get(name, 0) + 1
+
+    roots = [s for s in spans if s.get("parent_id") not in by_id]
+    wall = sum(float(s["duration_s"]) for s in roots)
+    rows = [
+        [
+            name,
+            count[name],
+            1e3 * total[name],
+            1e3 * self_t[name],
+            (100.0 * self_t[name] / wall) if wall > 0 else 0.0,
+        ]
+        for name in sorted(total, key=lambda n: -self_t[n])
+    ]
+    return rows, wall
+
+
+def _station_rows(spans: Sequence[Mapping[str, object]]) -> list[list[object]]:
+    """Per-station busy-time rows from ``sim.run`` span attributes."""
+    rows: list[list[object]] = []
+    for s in spans:
+        if s["name"] != "sim.run":
+            continue
+        attrs = s.get("attrs", {})
+        stations = attrs.get("stations")
+        if not isinstance(stations, dict):
+            continue
+        for kind, st in stations.items():
+            rows.append(
+                [
+                    kind,
+                    st.get("busy_frac", 0.0),
+                    st.get("occupancy", 0.0),
+                    attrs.get("events", 0),
+                ]
+            )
+    return rows
+
+
+def trace_report(events: Sequence[Mapping[str, object]]) -> str:
+    """Render the attribution tables for one trace's events."""
+    from ..analysis.tables import format_table
+
+    validate_events(list(events))
+    spans = [e for e in events if e.get("kind") == "span"]
+    rows, wall = _attribution_rows(spans)
+    blocks = [
+        format_table(
+            ["span", "count", "total_ms", "self_ms", "self%"],
+            rows,
+            precision=3,
+            title=f"Time attribution ({len(spans)} spans, "
+            f"root wall clock {wall * 1e3:.1f} ms)",
+        )
+    ]
+    station_rows = _station_rows(spans)
+    if station_rows:
+        blocks.append(
+            format_table(
+                ["station", "busy_frac", "occupancy", "events"],
+                station_rows,
+                precision=4,
+                title="Simulator stations (busy fraction over measured horizon)",
+            )
+        )
+    metrics = [e for e in events if e.get("kind") == "metrics"]
+    if metrics:
+        blocks.append(_metrics_block(metrics[-1].get("metrics", {})))
+    return "\n\n".join(blocks)
+
+
+def _metrics_block(snapshot: Mapping[str, object]) -> str:
+    from ..analysis.tables import format_table
+
+    rows: list[list[object]] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        rows.append([name, "counter", value])
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        rows.append([name, "gauge", value])
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        mean = (h["sum"] / h["count"]) if h.get("count") else 0.0
+        rows.append([name, "histogram", f"n={h['count']} mean={mean:.4g}"])
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(["metric", "kind", "value"], rows, precision=6,
+                        title="Metrics")
+
+
+def manifest_report(manifest: Mapping[str, object]) -> str:
+    """Render the attribution view of one sweep manifest."""
+    from ..analysis.tables import format_table
+
+    wall = float(manifest.get("wall_clock_s", 0.0))
+    stages: Mapping[str, float] = manifest.get("stages") or {}
+    rows = [
+        [name, 1e3 * float(dur), (100.0 * float(dur) / wall) if wall else 0.0]
+        for name, dur in sorted(stages.items(), key=lambda kv: -kv[1])
+    ]
+    blocks = [
+        format_table(
+            ["stage", "total_ms", "wall%"],
+            rows,
+            precision=3,
+            title=f"Sweep stages (wall clock {wall * 1e3:.1f} ms, "
+            f"mode={manifest.get('mode')}, "
+            f"{manifest.get('unique_points')} unique points)",
+        )
+        if rows
+        else "(manifest has no stage timings)"
+    ]
+    batches = manifest.get("solver_batches") or []
+    if batches:
+        batch_rows = [
+            [
+                b.get("method", "?"),
+                b.get("batch_size", 0),
+                b.get("iterations", 0),
+                1e3 * float(b.get("wall_time_s", 0.0)),
+                b.get("masked_iterations_saved", ""),
+            ]
+            for b in batches
+        ]
+        blocks.append(
+            format_table(
+                ["method", "points", "iters", "batch_ms", "masked_saved"],
+                batch_rows,
+                precision=3,
+                title="Batched solver calls (true batch wall clock, "
+                "counted once)",
+            )
+        )
+    store = manifest.get("store")
+    if store:
+        blocks.append(
+            format_table(
+                ["hits", "misses", "hit_rate", "entries", "invalidated"],
+                [
+                    [
+                        store.get("hits", 0),
+                        store.get("misses", 0),
+                        store.get("hit_rate", 0.0),
+                        store.get("entries", 0),
+                        str(store.get("invalidated", False)),
+                    ]
+                ],
+                precision=3,
+                title="Result store (lifetime of the backing store)",
+            )
+        )
+    metrics = manifest.get("metrics")
+    if metrics:
+        blocks.append(_metrics_block(metrics))
+    return "\n\n".join(blocks)
+
+
+def render_report(path: str | Path) -> str:
+    """Dispatch on file shape: JSON manifest vs JSONL trace."""
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if not text:
+        raise TraceValidationError(f"{path}: empty file")
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict) and "kind" not in doc:
+        # a single JSON object without an event kind: a run manifest
+        return manifest_report(doc)
+    return trace_report(load_trace(path))

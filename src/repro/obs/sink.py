@@ -1,0 +1,74 @@
+"""Process-safe JSONL event sink.
+
+One trace is one JSONL file: a ``meta`` header record, then one record per
+span (and optionally ``metrics`` snapshot records).  Every record is written
+with a *single* ``write()`` of a complete line on a file opened in append
+mode -- on POSIX, ``O_APPEND`` writes of modest size are atomic, so several
+processes can share one sink file without interleaving partial lines.  In
+this codebase only the sweep runner's parent process writes (worker spans
+come back through the job payload and are written by the parent), but the
+sink does not depend on that discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["EventSink"]
+
+
+def _event_json(event: dict[str, object]) -> str:
+    """Compact deterministic encoding (sorted keys, no whitespace)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class EventSink:
+    """Append-only JSONL writer for trace events."""
+
+    def __init__(self, path: str | os.PathLike, meta: dict[str, object] | None = None):
+        self.path = Path(path)
+        self._meta = meta
+        self._fh = None
+        self.events_written = 0
+
+    def _open(self):
+        # Lazily on first write -- a pool worker that imports with
+        # ``REPRO_TRACE=<path>`` set must not truncate the parent's trace
+        # file (workers buffer spans and never write here).  Truncate (a
+        # sink owns its file for one trace), then reopen in line-buffered
+        # append mode: each record leaves as one write().
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        open(self.path, "w", encoding="utf-8").close()
+        self._fh = open(self.path, "a", encoding="utf-8", buffering=1)
+        if self._meta is not None:
+            self._fh.write(_event_json({"kind": "meta", **self._meta}) + "\n")
+            self.events_written += 1
+        return self._fh
+
+    def write(self, event: dict[str, object]) -> None:
+        """Append one event as a complete JSON line."""
+        fh = self._fh if self._fh is not None else self._open()
+        fh.write(_event_json(event) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is None:
+            # Never written to: still produce a valid (meta-only) trace file
+            # so `--trace out.jsonl` yields a file even for an empty run.
+            self._open()
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,127 @@
+"""Schema validation for ``repro-trace/1`` JSONL trace files.
+
+Used by the checked-in ``scripts/validate_trace.py`` (CI's trace smoke
+step), by :mod:`repro.obs.report` before rendering, and by the test suite.
+Validation is structural -- kinds, required fields, types, parent linkage --
+and returns a small summary so callers can assert on span counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["TraceValidationError", "TraceSummary", "validate_events", "validate_trace"]
+
+#: record kinds a trace file may contain
+KINDS = ("meta", "span", "metrics")
+
+_SPAN_FIELDS = {
+    "trace_id": str,
+    "span_id": str,
+    "name": str,
+    "t_start": (int, float),
+    "duration_s": (int, float),
+    "attrs": dict,
+    "pid": int,
+}
+
+
+class TraceValidationError(ValueError):
+    """A trace file violated the repro-trace/1 schema."""
+
+
+@dataclass
+class TraceSummary:
+    """What a valid trace contains."""
+
+    events: int = 0
+    spans: int = 0
+    metrics_records: int = 0
+    trace_ids: set = field(default_factory=set)
+    #: span name -> count
+    span_names: dict = field(default_factory=dict)
+    #: total duration per span name (seconds)
+    span_durations: dict = field(default_factory=dict)
+    roots: int = 0
+
+
+def _fail(line_no: int, msg: str) -> None:
+    raise TraceValidationError(f"line {line_no}: {msg}")
+
+
+def validate_events(events: list[Mapping[str, object]]) -> TraceSummary:
+    """Validate parsed trace records; raises :class:`TraceValidationError`."""
+    summary = TraceSummary()
+    span_ids: set[str] = set()
+    parents: dict[str, str | None] = {}
+    for i, ev in enumerate(events, start=1):
+        if not isinstance(ev, dict):
+            _fail(i, f"expected an object, got {type(ev).__name__}")
+        kind = ev.get("kind")
+        if kind not in KINDS:
+            _fail(i, f"unknown kind {kind!r} (expected one of {KINDS})")
+        summary.events += 1
+        if kind == "meta":
+            if i != 1:
+                _fail(i, "meta record must be the first line")
+            if ev.get("schema") != "repro-trace/1":
+                _fail(i, f"unsupported schema {ev.get('schema')!r}")
+            continue
+        if kind == "metrics":
+            if not isinstance(ev.get("metrics"), dict):
+                _fail(i, "metrics record without a 'metrics' object")
+            summary.metrics_records += 1
+            continue
+        # span
+        for name, typ in _SPAN_FIELDS.items():
+            if name not in ev:
+                _fail(i, f"span missing field {name!r}")
+            if not isinstance(ev[name], typ):  # type: ignore[arg-type]
+                _fail(i, f"span field {name!r} has type {type(ev[name]).__name__}")
+        if ev["duration_s"] < 0:
+            _fail(i, f"negative span duration {ev['duration_s']}")
+        parent = ev.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            _fail(i, "span parent_id must be a string or null")
+        sid = ev["span_id"]
+        if sid in span_ids:
+            _fail(i, f"duplicate span_id {sid!r}")
+        span_ids.add(sid)
+        parents[sid] = parent
+        summary.spans += 1
+        summary.trace_ids.add(ev["trace_id"])
+        summary.span_names[ev["name"]] = summary.span_names.get(ev["name"], 0) + 1
+        summary.span_durations[ev["name"]] = (
+            summary.span_durations.get(ev["name"], 0.0) + float(ev["duration_s"])
+        )
+    # parent linkage: every non-null parent must itself be a recorded span
+    for sid, parent in parents.items():
+        if parent is None:
+            summary.roots += 1
+        elif parent not in span_ids:
+            raise TraceValidationError(
+                f"span {sid} references unknown parent {parent}"
+            )
+    if summary.spans == 0:
+        raise TraceValidationError("trace contains no spans")
+    return summary
+
+
+def validate_trace(path: str | Path) -> TraceSummary:
+    """Parse and validate a JSONL trace file."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as exc:
+                raise TraceValidationError(f"line {i}: invalid JSON ({exc})") from exc
+    if not events:
+        raise TraceValidationError(f"{path}: empty trace")
+    return validate_events(events)

@@ -64,6 +64,7 @@ class BatchTelemetry:
             "max_residual": float(self.max_residual),
             "active_trajectory": list(self.active_trajectory),
             "wall_time_s": float(self.wall_time_s),
+            "masked_iterations_saved": self.masked_iterations_saved,
         }
 
 

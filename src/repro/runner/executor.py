@@ -36,6 +36,9 @@ from typing import Callable, Mapping, Sequence
 
 from ..core.metrics import MMSPerformance
 from ..core.model import MMSModel
+from ..obs import Tracer, configure, diff_snapshots, get_tracer
+from ..obs import registry as obs_registry
+from ..obs import trace_span
 from ..params import MMSParams
 from .manifest import RunManifest, latency_stats
 from .spec import SOLVER_VERSION, JobSpec, RunResult
@@ -59,10 +62,33 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
 
     Module-level so it pickles for process-pool dispatch; takes and returns
     pure-JSON structures so the same function serves the serial path.
+
+    When the payload carries a ``"trace"`` context (pool dispatch under an
+    active tracer), the solve runs under a local buffering tracer adopted
+    from it and the finished spans ride back with the result as
+    ``"spans"`` -- the parent ingests them into its own sink, so workers
+    never touch the trace file.
     """
     params = MMSParams.from_dict(payload["params"])
+    ctx = payload.get("trace")
+    if ctx is not None:
+        tracer = Tracer.adopt(ctx)
+        prev = configure(tracer=tracer)
+        try:
+            t0 = time.perf_counter()
+            with tracer.span(
+                "sweep.point", key=str(payload["key"])[:12], method=payload["method"]
+            ):
+                perf = MMSModel(params).solve(method=payload["method"])
+            elapsed = time.perf_counter() - t0
+        finally:
+            configure(**prev)
+        return {"perf": perf.to_dict(), "elapsed": elapsed, "spans": tracer.drain()}
     t0 = time.perf_counter()
-    perf = MMSModel(params).solve(method=payload["method"])
+    with trace_span(
+        "sweep.point", key=str(payload["key"])[:12], method=payload["method"]
+    ):
+        perf = MMSModel(params).solve(method=payload["method"])
     return {"perf": perf.to_dict(), "elapsed": time.perf_counter() - t0}
 
 
@@ -91,6 +117,8 @@ class _RunStats:
         self.retries = 0
         self.worker_crashes = 0
         self.latencies: list[float] = []
+        #: how many of ``latencies`` are amortized batch shares
+        self.amortized = 0
 
 
 class SweepRunner:
@@ -175,69 +203,97 @@ class SweepRunner:
     ) -> RunReport:
         t_start = time.perf_counter()
         stats = _RunStats()
+        metrics_before = obs_registry().snapshot()
+        #: consecutive wall-clock segments; they tile the run, so their sum
+        #: tracks ``wall_clock_s`` (CI asserts within 5%)
+        stages: dict[str, float] = {}
 
-        payloads = [spec.payload() for spec in specs]
-        # first-seen order of unique keys
-        unique: dict[str, dict[str, object]] = {}
-        for payload in payloads:
-            unique.setdefault(payload["key"], payload)
+        with trace_span(
+            "sweep.run", total_points=len(specs), backend=self.backend, jobs=self.jobs
+        ) as root:
+            t0 = time.perf_counter()
+            with trace_span("sweep.spec_hash", points=len(specs)):
+                payloads = [spec.payload() for spec in specs]
+                # first-seen order of unique keys
+                unique: dict[str, dict[str, object]] = {}
+                for payload in payloads:
+                    unique.setdefault(payload["key"], payload)
+            stages["spec_hash"] = time.perf_counter() - t0
 
-        resolved: dict[str, RunResult] = {}
-        cache_hits = 0
-        done = 0
-        for key, payload in unique.items():
-            rec = self.store.get(key) if self.store is not None else None
-            if rec is not None:
-                result = self._from_record(payload, rec, from_cache=True)
-                resolved[key] = result
-                cache_hits += 1
-                done += 1
-                if progress is not None:
-                    progress(done, len(unique), result)
+            t0 = time.perf_counter()
+            resolved: dict[str, RunResult] = {}
+            cache_hits = 0
+            done = 0
+            with trace_span("sweep.cache_lookup", unique_points=len(unique)) as sp:
+                for key, payload in unique.items():
+                    rec = self.store.get(key) if self.store is not None else None
+                    if rec is not None:
+                        result = self._from_record(payload, rec, from_cache=True)
+                        resolved[key] = result
+                        cache_hits += 1
+                        done += 1
+                        if progress is not None:
+                            progress(done, len(unique), result)
+                sp.set(hits=cache_hits)
+            stages["cache_lookup"] = time.perf_counter() - t0
 
-        pending = [p for k, p in unique.items() if k not in resolved]
-        mode = "serial"
-        solver_batches: list[dict[str, object]] = []
-        if pending:
-            use_pool = (
-                self.backend in ("auto", "process")
-                and self.jobs > 1
-                and len(pending) >= self.min_parallel_points
-            )
-            if use_pool:
-                mode = self._run_parallel(pending, resolved, stats, progress, done)
-            elif self.backend in ("auto", "batch") and self.worker is solve_job:
-                mode = self._run_batch(
-                    pending, resolved, stats, progress, done, solver_batches
-                )
-            else:
-                self._run_serial(pending, resolved, stats, progress, done)
-
-        # persist fresh successes
-        if self.store is not None:
-            for key, result in resolved.items():
-                if result.ok and not result.from_cache:
-                    self.store.put(
-                        key,
-                        {
-                            "method": result.method,
-                            "params": result.params.to_dict(),
-                            "perf": result.perf.to_dict(),
-                            "elapsed": result.elapsed,
-                        },
+            t0 = time.perf_counter()
+            pending = [p for k, p in unique.items() if k not in resolved]
+            mode = "serial"
+            solver_batches: list[dict[str, object]] = []
+            with trace_span("sweep.solve", pending=len(pending)) as sp:
+                if pending:
+                    use_pool = (
+                        self.backend in ("auto", "process")
+                        and self.jobs > 1
+                        and len(pending) >= self.min_parallel_points
                     )
-            self.store.flush()
+                    if use_pool:
+                        mode = self._run_parallel(
+                            pending, resolved, stats, progress, done
+                        )
+                    elif self.backend in ("auto", "batch") and self.worker is solve_job:
+                        mode = self._run_batch(
+                            pending, resolved, stats, progress, done, solver_batches
+                        )
+                    else:
+                        self._run_serial(pending, resolved, stats, progress, done)
+                sp.set(mode=mode)
+            stages["solve"] = time.perf_counter() - t0
 
-        # assemble per-request results (duplicates share the first solve)
-        results: list[RunResult] = []
-        seen: set[str] = set()
-        for payload in payloads:
-            key = payload["key"]
-            base = resolved[key]
-            results.append(base if key not in seen else base.as_duplicate())
-            seen.add(key)
+            # persist fresh successes
+            t0 = time.perf_counter()
+            with trace_span("sweep.store_write"):
+                if self.store is not None:
+                    for key, result in resolved.items():
+                        if result.ok and not result.from_cache:
+                            rec = {
+                                "method": result.method,
+                                "params": result.params.to_dict(),
+                                "perf": result.perf.to_dict(),
+                                "elapsed": result.elapsed,
+                            }
+                            if result.amortized:
+                                rec["amortized"] = True
+                            self.store.put(key, rec)
+                    self.store.flush()
+            stages["store_write"] = time.perf_counter() - t0
 
-        failures = sum(1 for r in resolved.values() if not r.ok)
+            # assemble per-request results (duplicates share the first solve)
+            t0 = time.perf_counter()
+            with trace_span("sweep.assemble"):
+                results: list[RunResult] = []
+                seen: set[str] = set()
+                for payload in payloads:
+                    key = payload["key"]
+                    base = resolved[key]
+                    results.append(base if key not in seen else base.as_duplicate())
+                    seen.add(key)
+                failures = sum(1 for r in resolved.values() if not r.ok)
+            stages["assemble"] = time.perf_counter() - t0
+
+            root.set(mode=mode, solved=len(resolved) - cache_hits - failures)
+
         manifest = RunManifest(
             solver_version=SOLVER_VERSION,
             jobs=self.jobs,
@@ -254,8 +310,10 @@ class SweepRunner:
             worker_crashes=stats.worker_crashes,
             wall_clock_s=time.perf_counter() - t_start,
             cache_hit_rate=(cache_hits / len(unique)) if unique else 0.0,
-            point_latency=latency_stats(stats.latencies),
+            point_latency=latency_stats(stats.latencies, amortized=stats.amortized),
             store=self.store.stats() if self.store is not None else None,
+            stages=stages,
+            metrics=diff_snapshots(metrics_before, obs_registry().snapshot()),
         )
         return RunReport(results=results, manifest=manifest)
 
@@ -274,6 +332,7 @@ class SweepRunner:
             elapsed=float(rec.get("elapsed", 0.0)),
             attempts=0 if from_cache else 1,
             from_cache=from_cache,
+            amortized=bool(rec.get("amortized", False)),
         )
 
     def _failure(
@@ -390,14 +449,21 @@ class SweepRunner:
                 serial_left.extend(group)
                 continue
             batched_any = True
+            # The true batch span is recorded once: `solve_points` emits the
+            # solver.batch trace span and the telemetry below carries the
+            # batch wall time.  Each point still gets an even `share` so the
+            # manifest's point-latency distribution counts every point, but
+            # the results are flagged amortized so time-attribution (the
+            # `report` command) never re-sums shares on top of the batch.
             share = (time.perf_counter() - t0) / len(group)
             for payload, perf in zip(group, perfs):
                 result = self._from_record(
                     payload,
-                    {"perf": perf.to_dict(), "elapsed": share},
+                    {"perf": perf.to_dict(), "elapsed": share, "amortized": True},
                     from_cache=False,
                 )
                 stats.latencies.append(result.elapsed)
+                stats.amortized += 1
                 resolved[payload["key"]] = result
                 done += 1
                 if progress is not None:
@@ -420,16 +486,32 @@ class SweepRunner:
         """Pool execution; returns the mode the run ended in."""
         total = done + len(pending)
         mode = "parallel"
+        # Under an active tracer, submitted payload copies carry the trace
+        # context; each worker's buffered spans come back in the result and
+        # are ingested here (retries/fallback run in-process and trace
+        # through the global tracer directly).
+        tracer = get_tracer()
+        ctx = tracer.context() if tracer is not None else None
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         try:
             try:
-                futures = [(p, pool.submit(self.worker, p)) for p in pending]
+                futures = [
+                    (
+                        p,
+                        pool.submit(
+                            self.worker, p if ctx is None else {**p, "trace": ctx}
+                        ),
+                    )
+                    for p in pending
+                ]
             except BrokenProcessPool:
                 futures = []
             for payload, future in futures:
                 key = payload["key"]
                 try:
                     out = future.result(timeout=self.timeout)
+                    if tracer is not None and out.get("spans"):
+                        tracer.ingest(out["spans"])
                     result = self._from_record(payload, out, from_cache=False)
                     stats.latencies.append(result.elapsed)
                 except FutureTimeout:

@@ -18,10 +18,23 @@ from typing import Sequence
 __all__ = ["RunManifest", "latency_stats"]
 
 
-def latency_stats(latencies: Sequence[float]) -> dict[str, float]:
-    """Summary statistics of per-point solve times (seconds)."""
+def latency_stats(latencies: Sequence[float], amortized: int = 0) -> dict[str, float]:
+    """Summary statistics of per-point solve times (seconds).
+
+    ``amortized`` counts entries that are even shares of a batched solve's
+    wall clock rather than individual measurements; time-attribution must
+    not sum those on top of the batch wall time already reported in
+    ``solver_batches`` (each batch's true span is recorded exactly once).
+    """
     if not latencies:
-        return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "amortized": 0,
+        }
     total = float(sum(latencies))
     return {
         "count": len(latencies),
@@ -29,6 +42,7 @@ def latency_stats(latencies: Sequence[float]) -> dict[str, float]:
         "mean": total / len(latencies),
         "min": float(min(latencies)),
         "max": float(max(latencies)),
+        "amortized": int(amortized),
     }
 
 
@@ -70,6 +84,13 @@ class RunManifest:
     #: residual, active-set trajectory, wall time) for every batched fixed
     #: point this run executed
     solver_batches: list = field(default_factory=list)
+    #: wall-clock seconds per execution stage (``spec_hash`` /
+    #: ``cache_lookup`` / ``solve`` / ``store_write`` / ``assemble``);
+    #: consecutive segments of the run, so they sum to ``wall_clock_s``
+    stages: dict = field(default_factory=dict)
+    #: run-scoped :mod:`repro.obs` metrics delta (what this run's solves,
+    #: store lookups and simulator calls moved in the process registry)
+    metrics: dict | None = None
 
     def to_dict(self) -> dict[str, object]:
         return asdict(self)

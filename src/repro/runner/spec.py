@@ -108,6 +108,10 @@ class RunResult:
     attempts: int = 1
     from_cache: bool = False
     error: str | None = None
+    #: True when ``elapsed`` is an even share of a batched solve's wall
+    #: clock rather than a per-point measurement -- time-attribution must
+    #: count the batch span once, not re-sum amortized shares
+    amortized: bool = False
 
     @property
     def ok(self) -> bool:

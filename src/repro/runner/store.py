@@ -24,6 +24,7 @@ import json
 import os
 from pathlib import Path
 
+from ..obs import registry as obs_registry
 from .spec import SOLVER_VERSION, canonical_json
 
 __all__ = ["ResultStore"]
@@ -98,6 +99,7 @@ class ResultStore:
         self._offsets = {}
         self._dirty = False
         self.invalidated = True
+        obs_registry().counter("store.invalidations").inc()
 
     def flush(self) -> None:
         """Persist the index (the JSONL itself is written on every put)."""
@@ -129,15 +131,18 @@ class ResultStore:
         offset = self._offsets.get(key)
         if offset is None:
             self.misses += 1
+            obs_registry().counter("store.misses").inc()
             return None
         with open(self.results_path, "rb") as fh:
             fh.seek(offset)
             rec = json.loads(fh.readline().decode("utf-8"))
         if rec.get("key") != key:  # pragma: no cover - index corruption guard
             self.misses += 1
+            obs_registry().counter("store.misses").inc()
             del self._offsets[key]
             return None
         self.hits += 1
+        obs_registry().counter("store.hits").inc()
         return rec
 
     def put(self, key: str, record: dict[str, object]) -> None:
@@ -151,6 +156,7 @@ class ResultStore:
             fh.write(line.encode("utf-8"))
         self._offsets[key] = offset
         self._dirty = True
+        obs_registry().counter("store.puts").inc()
 
     def __contains__(self, key: str) -> bool:
         return key in self._offsets

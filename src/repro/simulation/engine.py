@@ -24,6 +24,10 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
         self._seq = 0
         self.rng = np.random.default_rng(seed)
+        #: events executed by :meth:`run_until` over the engine's lifetime
+        self.events_processed = 0
+        #: future-event-list high-water mark (max pending events ever)
+        self.max_pending = 0
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at ``now + delay`` (``delay >= 0``)."""
@@ -31,15 +35,20 @@ class Engine:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        if len(self._heap) > self.max_pending:
+            self.max_pending = len(self._heap)
 
     def run_until(self, t_end: float) -> None:
         """Process events in time order until ``t_end`` (events at exactly
         ``t_end`` are processed)."""
         heap = self._heap
+        n = 0
         while heap and heap[0][0] <= t_end:
             t, _, fn, args = heapq.heappop(heap)
             self.now = t
+            n += 1
             fn(*args)
+        self.events_processed += n
         self.now = max(self.now, t_end)
 
     def peek(self) -> float:

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import registry as obs_registry
+from ..obs import trace_span
 from ..params import MMSParams
 from ..topology import route_nodes
 from ..workload import pattern_for
@@ -56,6 +58,9 @@ class SimResult:
     outbound_utilization: float
     remote_messages: int
     cycles: int
+    #: event-loop observability: ``{"events_processed", "max_event_queue",
+    #: "stations": {kind: {"busy_frac", "occupancy", "completions"}}}``
+    engine_stats: dict | None = None
 
     def summary(self) -> dict[str, float]:
         return {
@@ -339,29 +344,45 @@ class MMSSimulation:
             raise ValueError(f"duration must be > 0, got {duration}")
         if warmup is None:
             warmup = max(0.1 * duration, 1000.0)
-        self._boot()
-        self.engine.run_until(warmup)
-        # Arm measurement and reset station accounting at the warm-up mark.
-        t0 = self.engine.now
-        t_end = warmup + duration
-        self._measuring = True
-        self._s_batches = BatchMeans(t0, t_end)
-        self._net_rate = RateBatches(t0, t_end)
-        for st in (*self.procs, *self.mems, *self.inbound, *self.outbound):
-            st.reset_accounting(t0)
-        self.engine.run_until(t_end)
-        if self.switch_capacity is not None and self.engine.pending == 0:
-            held = any(
-                getattr(st, "_held", None)
-                for st in (*self.inbound, *self.outbound)
-            )
-            if held:
-                raise RuntimeError(
-                    "network deadlocked: a cycle of full switch buffers "
-                    f"(capacity={self.switch_capacity}) blocked all traffic; "
-                    "raise switch_capacity or lower num_threads"
+        with trace_span(
+            "sim.run",
+            processors=self.torus.num_nodes,
+            threads=self.params.workload.num_threads,
+            duration=duration,
+        ) as sp:
+            self._boot()
+            self.engine.run_until(warmup)
+            # Arm measurement and reset station accounting at the warm-up mark.
+            t0 = self.engine.now
+            t_end = warmup + duration
+            self._measuring = True
+            self._s_batches = BatchMeans(t0, t_end)
+            self._net_rate = RateBatches(t0, t_end)
+            for st in (*self.procs, *self.mems, *self.inbound, *self.outbound):
+                st.reset_accounting(t0)
+            self.engine.run_until(t_end)
+            if self.switch_capacity is not None and self.engine.pending == 0:
+                held = any(
+                    getattr(st, "_held", None)
+                    for st in (*self.inbound, *self.outbound)
                 )
-        return self._collect(t0, t_end)
+                if held:
+                    raise RuntimeError(
+                        "network deadlocked: a cycle of full switch buffers "
+                        f"(capacity={self.switch_capacity}) blocked all traffic; "
+                        "raise switch_capacity or lower num_threads"
+                    )
+            result = self._collect(t0, t_end)
+            sp.set(
+                events=self.engine.events_processed,
+                max_event_queue=self.engine.max_pending,
+                stations=result.engine_stats["stations"],
+            )
+            reg = obs_registry()
+            reg.counter("sim.runs").inc()
+            reg.counter("sim.events").inc(self.engine.events_processed)
+            reg.gauge("sim.max_event_queue").update_max(self.engine.max_pending)
+            return result
 
     def _collect(self, t0: float, t_end: float) -> SimResult:
         arch, wl = self.params.arch, self.params.workload
@@ -388,6 +409,37 @@ class MMSSimulation:
 
         lam_net = (self._net_rate.rate / p) if self._net_rate else 0.0
         lam_hw = (self._net_rate.halfwidth() / p) if self._net_rate else 0.0
+
+        # Event-loop + per-station accounting for the observability layer.
+        # ``busy_frac`` integrates busy server-time over the measured span;
+        # ``occupancy`` is a point sample of jobs present at collection.
+        station_groups = (
+            ("processor", self.procs),
+            ("memory", self.mems),
+            ("inbound", self.inbound),
+            ("outbound", self.outbound),
+        )
+        engine_stats = {
+            "events_processed": self.engine.events_processed,
+            "max_event_queue": self.engine.max_pending,
+            "stations": {
+                kind: {
+                    "busy_frac": float(
+                        np.mean([s.busy_time_until(t_end) for s in group]) / span
+                    ),
+                    "occupancy": float(
+                        np.mean(
+                            [
+                                getattr(s, "jobs_present", None) or s.queue_length
+                                for s in group
+                            ]
+                        )
+                    ),
+                    "completions": int(sum(s.completions for s in group)),
+                }
+                for kind, group in station_groups
+            },
+        }
 
         n_local = self._l_local.count
         n_remote = self._l_remote.count
@@ -417,6 +469,7 @@ class MMSSimulation:
             outbound_utilization=util(self.outbound),
             remote_messages=self._remote_msgs,
             cycles=self._cycles,
+            engine_stats=engine_stats,
         )
 
 

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import registry as obs_registry
+from ..obs import trace_span
 from ..params import MMSParams
 from ..topology import route_nodes
 from ..workload import pattern_for
@@ -231,6 +233,8 @@ class MMSNetReport:
     lambda_net: float
     s_obs: float
     l_obs: float
+    #: transition firings over the whole run (event-loop observability)
+    events: int = 0
 
     def summary(self) -> dict[str, float]:
         return {
@@ -274,6 +278,7 @@ def interpret(params: MMSParams, result: SPNResult) -> MMSNetReport:
         lambda_net=lam_net,
         s_obs=s_obs,
         l_obs=l_obs,
+        events=result.events,
     )
 
 
@@ -286,6 +291,14 @@ def simulate_spn(
     """Build, simulate and interpret the MMS Petri net in one call."""
     if warmup is None:
         warmup = max(0.1 * duration, 1000.0)
-    net = build_mms_net(params)
-    sim = SPNSimulator(net, seed=seed)
-    return interpret(params, sim.run(duration, warmup=warmup))
+    with trace_span(
+        "spn.run", processors=params.arch.num_processors, duration=duration
+    ) as sp:
+        net = build_mms_net(params)
+        sim = SPNSimulator(net, seed=seed)
+        report = interpret(params, sim.run(duration, warmup=warmup))
+        sp.set(events=report.events)
+        reg = obs_registry()
+        reg.counter("spn.runs").inc()
+        reg.counter("spn.events").inc(report.events)
+        return report

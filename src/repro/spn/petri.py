@@ -162,6 +162,9 @@ class SPNResult:
     mean_tokens: np.ndarray  #: time-weighted mean marking per place
     firing_counts: np.ndarray  #: firings per transition over the horizon
     transition_names: tuple[str, ...]
+    #: transitions fired over the *whole* run, warm-up included (the SPN
+    #: analogue of the DES engine's events-processed counter)
+    events: int = 0
 
     def mean(self, place_name: str) -> float:
         return float(self.mean_tokens[self.place_names.index(place_name)])
@@ -220,6 +223,8 @@ class SPNSimulator:
         self._weighted_tokens = np.zeros(net.num_places)
         self._last_stat_time = 0.0
         self.firing_counts = np.zeros(len(net.transitions), dtype=np.int64)
+        #: lifetime transition firings (never reset at the warm-up boundary)
+        self.events = 0
 
     # -------------------------------------------------------------- enabling
     def _enabled(self, ti: int) -> bool:
@@ -265,6 +270,7 @@ class SPNSimulator:
             self.marking[p] += m
             affected.update(self._consumers[p])
         self.firing_counts[ti] += 1
+        self.events += 1
         if np.any(self.marking < 0):  # pragma: no cover - structural guard
             raise RuntimeError(f"negative marking after firing {t.name!r}")
         return affected
@@ -341,4 +347,5 @@ class SPNSimulator:
             mean_tokens=self._weighted_tokens / span,
             firing_counts=self.firing_counts.copy(),
             transition_names=tuple(t.name for t in self.net.transitions),
+            events=self.events,
         )

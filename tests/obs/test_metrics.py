@@ -1,0 +1,84 @@
+"""MetricsRegistry: instruments, snapshots, and run-scoped diffs."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, diff_snapshots
+from repro.obs.metrics import Histogram
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.snapshot()["counters"]["c"] == 5.0
+
+    def test_gauge_set_and_high_water(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").update_max(1)  # lower: ignored
+        assert reg.snapshot()["gauges"]["g"] == 3.0
+        reg.gauge("g").update_max(7)
+        assert reg.snapshot()["gauges"]["g"] == 7.0
+
+    def test_histogram_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.1):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, +inf
+        assert h.count == 4
+        assert h.mean == pytest.approx(55.6 / 4)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDiffSnapshots:
+    def test_counters_subtract_and_unmoved_dropped(self):
+        reg = MetricsRegistry()
+        reg.counter("moved").inc(2)
+        reg.counter("still")
+        before = reg.snapshot()
+        reg.counter("moved").inc(3)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["counters"] == {"moved": 3.0}
+
+    def test_gauges_keep_final_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("level").set(1)
+        before = reg.snapshot()
+        reg.gauge("level").set(9)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["gauges"]["level"] == 9.0
+
+    def test_histograms_subtract(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        before = reg.snapshot()
+        reg.histogram("h", buckets=(1.0,)).observe(2.0)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["counts"] == [0, 1]
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(2.0)
+
+    def test_new_histogram_appears_whole(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.histogram("fresh", buckets=(1.0,)).observe(0.1)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["histograms"]["fresh"]["count"] == 1

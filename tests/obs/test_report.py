@@ -1,0 +1,120 @@
+"""Attribution reports: self-time tables from traces and manifests."""
+
+import json
+
+import pytest
+
+from repro.obs import render_report, trace_report
+from repro.obs.report import _attribution_rows, manifest_report
+
+META = {"kind": "meta", "schema": "repro-trace/1"}
+
+
+def _span(span_id, parent, name, duration):
+    return {
+        "kind": "span",
+        "trace_id": "t1",
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "t_start": 0.0,
+        "duration_s": duration,
+        "attrs": {},
+        "pid": 1,
+    }
+
+
+class TestAttribution:
+    def test_self_time_subtracts_children(self):
+        spans = [
+            _span("root", None, "run", 1.0),
+            _span("c1", "root", "solve", 0.7),
+            _span("g1", "c1", "kernel", 0.4),
+        ]
+        rows, wall = _attribution_rows(spans)
+        assert wall == pytest.approx(1.0)
+        by = {r[0]: r for r in rows}
+        assert by["run"][3] == pytest.approx(300.0)  # 1.0 - 0.7, in ms
+        assert by["solve"][3] == pytest.approx(300.0)  # 0.7 - 0.4
+        assert by["kernel"][3] == pytest.approx(400.0)
+        # self times tile the root: the table never double-counts
+        assert sum(r[3] for r in rows) == pytest.approx(1e3 * wall)
+
+    def test_rows_sorted_by_self_time(self):
+        spans = [
+            _span("a", None, "small", 0.1),
+            _span("b", None, "big", 0.9),
+        ]
+        rows, wall = _attribution_rows(spans)
+        assert [r[0] for r in rows] == ["big", "small"]
+        assert wall == pytest.approx(1.0)  # two roots both count
+
+    def test_trace_report_renders_metrics_block(self):
+        events = [
+            META,
+            _span("a", None, "run", 0.5),
+            {"kind": "metrics", "metrics": {"counters": {"store.hits": 3.0}}},
+        ]
+        text = trace_report(events)
+        assert "Time attribution" in text
+        assert "store.hits" in text
+
+    def test_station_table_from_sim_spans(self):
+        sim = _span("s", None, "sim.run", 0.2)
+        sim["attrs"] = {
+            "events": 100,
+            "stations": {"memory": {"busy_frac": 0.5, "occupancy": 1.5}},
+        }
+        text = trace_report([META, sim])
+        assert "Simulator stations" in text and "memory" in text
+
+
+class TestManifestReport:
+    def _manifest(self):
+        return {
+            "wall_clock_s": 0.1,
+            "mode": "batch",
+            "unique_points": 4,
+            "stages": {"solve": 0.08, "cache_lookup": 0.02},
+            "solver_batches": [
+                {
+                    "method": "symmetric",
+                    "batch_size": 4,
+                    "iterations": 12,
+                    "wall_time_s": 0.07,
+                    "masked_iterations_saved": 5,
+                }
+            ],
+            "store": {"hits": 0, "misses": 4, "hit_rate": 0.0, "entries": 4},
+            "metrics": {"counters": {"solver.points": 4.0}},
+        }
+
+    def test_renders_all_blocks(self):
+        text = manifest_report(self._manifest())
+        assert "Sweep stages" in text
+        assert "Batched solver calls" in text
+        assert "Result store" in text
+        assert "solver.points" in text
+
+    def test_batch_wall_counted_once_not_point_latency(self):
+        """The batch table reports the true batch wall clock; amortized
+        per-point shares never appear as an extra time column."""
+        text = manifest_report(self._manifest())
+        assert "counted once" in text
+        assert "70.000" in text  # 0.07 s -> ms
+
+    def test_manifest_without_stages(self):
+        assert "no stage timings" in manifest_report({"wall_clock_s": 0.1})
+
+
+class TestRenderDispatch:
+    def test_json_manifest_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"wall_clock_s": 0.1, "stages": {"solve": 0.1}}))
+        assert "Sweep stages" in render_report(path)
+
+    def test_jsonl_trace_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [META, _span("a", None, "run", 0.5)]
+        path.write_text("\n".join(json.dumps(x) for x in lines) + "\n")
+        assert "Time attribution" in render_report(path)

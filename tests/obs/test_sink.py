@@ -1,0 +1,69 @@
+"""EventSink: lazy open, meta header, one complete JSON line per event."""
+
+import json
+
+from repro.obs import EventSink
+
+
+class TestLazyOpen:
+    def test_no_file_until_first_write(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = EventSink(path, meta={"schema": "repro-trace/1"})
+        assert not path.exists()
+        sink.write({"kind": "span", "name": "s"})
+        assert path.exists()
+        sink.close()
+
+    def test_existing_file_not_clobbered_by_init(self, tmp_path):
+        """A worker that merely constructs a sink (REPRO_TRACE inherited)
+        must not truncate the parent's trace file."""
+        path = tmp_path / "t.jsonl"
+        path.write_text("precious\n")
+        EventSink(path, meta={"schema": "repro-trace/1"})
+        assert path.read_text() == "precious\n"
+
+    def test_close_without_writes_emits_meta_only_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = EventSink(path, meta={"schema": "repro-trace/1"})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == {"kind": "meta", "schema": "repro-trace/1"}
+
+
+class TestWriting:
+    def test_meta_is_first_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with EventSink(path, meta={"schema": "repro-trace/1", "v": 2}) as sink:
+            sink.write({"kind": "span", "name": "a"})
+            sink.write({"kind": "span", "name": "b"})
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta" and lines[0]["v"] == 2
+        assert [x.get("name") for x in lines[1:]] == ["a", "b"]
+
+    def test_events_written_counts_meta(self, tmp_path):
+        sink = EventSink(tmp_path / "t.jsonl", meta={"schema": "repro-trace/1"})
+        sink.write({"kind": "span"})
+        assert sink.events_written == 2  # meta + span
+
+    def test_truncates_previous_trace_on_first_write(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with EventSink(path) as sink:
+            sink.write({"kind": "span", "name": "old"})
+        with EventSink(path) as sink:
+            sink.write({"kind": "span", "name": "new"})
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [x["name"] for x in lines] == ["new"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "down" / "t.jsonl"
+        with EventSink(path) as sink:
+            sink.write({"kind": "span"})
+        assert path.exists()
+
+    def test_lines_are_compact_sorted_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with EventSink(path) as sink:
+            sink.write({"b": 1, "a": 2, "kind": "span"})
+        line = path.read_text().splitlines()[0]
+        assert line == '{"a":2,"b":1,"kind":"span"}'

@@ -1,0 +1,111 @@
+"""repro-trace/1 schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import EventSink, Tracer, validate_trace
+from repro.obs.validate import TraceValidationError, validate_events
+
+
+def _span(span_id: str, parent: str | None = None, name: str = "s", **over):
+    base = {
+        "kind": "span",
+        "trace_id": "t1",
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "t_start": 0.0,
+        "duration_s": 0.001,
+        "attrs": {},
+        "pid": 1234,
+    }
+    base.update(over)
+    return base
+
+
+META = {"kind": "meta", "schema": "repro-trace/1"}
+
+
+class TestValidEvents:
+    def test_minimal_trace(self):
+        summary = validate_events([META, _span("a")])
+        assert summary.spans == 1 and summary.roots == 1
+        assert summary.span_names == {"s": 1}
+
+    def test_nested_and_metrics(self):
+        events = [
+            META,
+            _span("a"),
+            _span("b", parent="a", name="child"),
+            {"kind": "metrics", "metrics": {"counters": {}}},
+        ]
+        summary = validate_events(events)
+        assert summary.spans == 2 and summary.roots == 1
+        assert summary.metrics_records == 1
+        assert summary.span_durations["child"] == pytest.approx(0.001)
+
+    def test_child_may_precede_parent_in_file_order(self):
+        # spans are emitted on close, so children land before parents
+        summary = validate_events([META, _span("b", parent="a"), _span("a")])
+        assert summary.roots == 1
+
+
+class TestRejections:
+    def test_meta_must_be_first(self):
+        with pytest.raises(TraceValidationError, match="meta record"):
+            validate_events([_span("a"), META])
+
+    def test_unknown_schema(self):
+        with pytest.raises(TraceValidationError, match="schema"):
+            validate_events([{"kind": "meta", "schema": "other/9"}, _span("a")])
+
+    def test_unknown_kind(self):
+        with pytest.raises(TraceValidationError, match="unknown kind"):
+            validate_events([META, {"kind": "mystery"}])
+
+    def test_missing_span_field(self):
+        bad = _span("a")
+        del bad["duration_s"]
+        with pytest.raises(TraceValidationError, match="duration_s"):
+            validate_events([META, bad])
+
+    def test_negative_duration(self):
+        with pytest.raises(TraceValidationError, match="negative"):
+            validate_events([META, _span("a", duration_s=-1.0)])
+
+    def test_duplicate_span_id(self):
+        with pytest.raises(TraceValidationError, match="duplicate"):
+            validate_events([META, _span("a"), _span("a")])
+
+    def test_unknown_parent(self):
+        with pytest.raises(TraceValidationError, match="unknown parent"):
+            validate_events([META, _span("a", parent="ghost")])
+
+    def test_zero_spans(self):
+        with pytest.raises(TraceValidationError, match="no spans"):
+            validate_events([META])
+
+
+class TestValidateTraceFile:
+    def test_round_trip_through_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(sink=EventSink(path, meta={"schema": "repro-trace/1"}))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        summary = validate_trace(path)
+        assert summary.spans == 2 and summary.roots == 1
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(META) + "\nnot json\n")
+        with pytest.raises(TraceValidationError, match="invalid JSON"):
+            validate_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceValidationError, match="empty"):
+            validate_trace(path)

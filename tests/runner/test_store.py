@@ -2,6 +2,7 @@
 
 import json
 
+from repro.obs import diff_snapshots, registry
 from repro.runner import ResultStore
 
 
@@ -108,3 +109,45 @@ class TestVersionInvalidation:
         assert ResultStore(tmp_path, solver_version="2").get("k1")["perf"] == {
             "u": 0.5
         }
+
+
+class TestObsCounters:
+    """The process-wide obs registry mirrors the store's accounting."""
+
+    def _delta(self, before):
+        return diff_snapshots(before, registry().snapshot()).get("counters", {})
+
+    def test_cold_run_counts_misses_and_puts(self, tmp_path):
+        before = registry().snapshot()
+        store = ResultStore(tmp_path)
+        assert store.get("k1") is None
+        store.put("k1", _rec(1))
+        store.put("k2", _rec(2))
+        delta = self._delta(before)
+        assert delta.get("store.misses", 0) == 1
+        assert delta.get("store.puts", 0) == 2
+        assert "store.hits" not in delta
+        assert "store.invalidations" not in delta
+
+    def test_warm_reads_count_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", _rec(1))
+        before = registry().snapshot()
+        store.get("k1")
+        store.get("k1")
+        store.get("absent")
+        delta = self._delta(before)
+        assert delta.get("store.hits", 0) == 2
+        assert delta.get("store.misses", 0) == 1
+
+    def test_version_bump_counts_one_invalidation(self, tmp_path):
+        with ResultStore(tmp_path, solver_version="1") as store:
+            store.put("k1", _rec(1))
+        before = registry().snapshot()
+        bumped = ResultStore(tmp_path, solver_version="2")
+        assert bumped.invalidated
+        delta = self._delta(before)
+        assert delta.get("store.invalidations", 0) == 1
+        # the wiped entry is gone, and looking for it is a miss
+        assert bumped.get("k1") is None
+        assert self._delta(before).get("store.misses", 0) == 1
