@@ -217,6 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
         "every stage, solve and simulator call, plus a final metrics "
         "snapshot); render it with `repro-mms report PATH`",
     )
+    p_sweep.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="durably journal every completed point to PATH so an interrupted "
+        "sweep can be resumed (default with --resume: MANIFEST.journal)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        default=None,
+        help="resume the sweep that wrote MANIFEST: completed points are "
+        "replayed from its journal (and the cache), only the remainder is "
+        "solved, and the manifest is rewritten; the sweep definition must "
+        "be identical",
+    )
 
     p_report = sub.add_parser(
         "report",
@@ -295,12 +311,20 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if args.no_cache
         else (args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None)
     )
+    manifest_path = args.manifest
+    journal_path = args.journal
+    resume = args.resume is not None
+    if resume:
+        manifest_path = manifest_path or args.resume
+        journal_path = journal_path or f"{args.resume}.journal"
     runner = SweepRunner(
         jobs=args.jobs,
         cache_dir=cache_dir,
         timeout=args.timeout,
         retries=args.retries,
         backend=args.backend,
+        journal=journal_path,
+        resume=resume,
     )
     names = list(axes)
     combos = list(product(*(axes[n] for n in names)))
@@ -357,13 +381,29 @@ def _run_sweep(args: argparse.Namespace) -> int:
             f"(max residual {batch['max_residual']:.2e}, "
             f"{batch['wall_time_s'] * 1e3:.1f} ms)"
         )
+    if manifest.journal_path:
+        print(
+            f"[journal] path={manifest.journal_path} "
+            f"replayed={manifest.journal_hits} resumed={manifest.resumed}"
+        )
+    for entry in manifest.degradations:
+        print(
+            f"[degrade] {entry['from_mode']} -> {entry['to_mode']}: "
+            f"{entry['reason']} ({entry['points']} points)"
+        )
+    store_stats = manifest.store or {}
+    if store_stats.get("quarantined") or store_stats.get("index_rebuilds"):
+        print(
+            f"[integrity] quarantined={store_stats.get('quarantined', 0)} "
+            f"index_rebuilds={store_stats.get('index_rebuilds', 0)}"
+        )
     if cache_dir:
         print(f"[cache] dir={cache_dir} entries={len(runner.store)}")
     if args.out:
         print(f"[records written to {args.out}]")
-    if args.manifest:
-        manifest.to_json(args.manifest)
-        print(f"[manifest written to {args.manifest}]")
+    if manifest_path:
+        manifest.to_json(manifest_path)
+        print(f"[manifest written to {manifest_path}]")
     if args.trace:
         print(f"[trace written to {args.trace}]")
     return 0 if report.ok else 1
@@ -392,7 +432,17 @@ def _jsonable(obj: object) -> object:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ValueError as exc:
+        # bad parameters / a journal that doesn't match the sweep: one clean
+        # line on stderr (exit 2, argparse's usage-error convention), never
+        # a traceback
+        print(f"repro-mms: error: {exc}", file=sys.stderr)
+        return 2
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "solve":
         perf = MMSModel(_params_from(args)).solve(method=args.method)
         for key, value in perf.summary().items():

@@ -8,13 +8,22 @@ processes can share one sink file without interleaving partial lines.  In
 this codebase only the sweep runner's parent process writes (worker spans
 come back through the job payload and are written by the parent), but the
 sink does not depend on that discipline.
+
+Telemetry must never take a run down with it: an ``OSError`` from the
+filesystem (disk full, permissions, a yanked volume -- or the
+``sink.io_error`` fault site) marks the sink broken, warns once, and drops
+all further events (counted in ``events_dropped`` and the
+``sink.io_errors`` metric) while the sweep itself carries on.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
+
+from ..resilience.faults import fault_point
 
 __all__ = ["EventSink"]
 
@@ -32,6 +41,9 @@ class EventSink:
         self._meta = meta
         self._fh = None
         self.events_written = 0
+        #: events discarded after the sink broke (I/O failure)
+        self.events_dropped = 0
+        self._broken = False
 
     def _open(self):
         # Lazily on first write -- a pool worker that imports with
@@ -48,24 +60,60 @@ class EventSink:
             self.events_written += 1
         return self._fh
 
+    def _mark_broken(self, exc: Exception) -> None:
+        self._broken = True
+        warnings.warn(
+            f"trace sink {self.path} failed ({exc}); "
+            "dropping further trace events, the run continues",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        from .metrics import registry  # local: sink must import before metrics users
+
+        registry().counter("sink.io_errors").inc()
+
     def write(self, event: dict[str, object]) -> None:
-        """Append one event as a complete JSON line."""
-        fh = self._fh if self._fh is not None else self._open()
-        fh.write(_event_json(event) + "\n")
+        """Append one event as a complete JSON line.
+
+        A failing write (or the ``sink.io_error`` fault site) breaks the
+        sink: this and all later events are dropped, never raised into the
+        instrumented code.
+        """
+        if self._broken:
+            self.events_dropped += 1
+            return
+        try:
+            if fault_point("sink.io_error") is not None:
+                raise OSError("injected sink I/O error")
+            fh = self._fh if self._fh is not None else self._open()
+            fh.write(_event_json(event) + "\n")
+        except OSError as exc:
+            self._mark_broken(exc)
+            self.events_dropped += 1
+            return
         self.events_written += 1
 
     def flush(self) -> None:
         if self._fh is not None and not self._fh.closed:
-            self._fh.flush()
+            try:
+                self._fh.flush()
+            except OSError as exc:
+                if not self._broken:
+                    self._mark_broken(exc)
 
     def close(self) -> None:
-        if self._fh is None:
-            # Never written to: still produce a valid (meta-only) trace file
-            # so `--trace out.jsonl` yields a file even for an empty run.
-            self._open()
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        try:
+            if self._fh is None and not self._broken:
+                # Never written to: still produce a valid (meta-only) trace
+                # file so `--trace out.jsonl` yields a file even for an
+                # empty run.
+                self._open()
+            if self._fh is not None and not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+        except OSError as exc:
+            if not self._broken:
+                self._mark_broken(exc)
 
     def __enter__(self) -> "EventSink":
         return self

@@ -75,16 +75,24 @@ class Architecture:
     wraparound: bool = True
 
     def __post_init__(self) -> None:
+        # Every rejection names the offending field exactly as the user
+        # spelled it, so CLI errors point straight at the bad axis/flag.
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.ky != -1 and self.ky < 1:
+            raise ValueError(
+                f"ky must be >= 1 (or -1 for a square k x k machine), got {self.ky}"
+            )
         if self.memory_latency < 0:
-            raise ValueError(f"memory latency must be >= 0, got {self.memory_latency}")
+            raise ValueError(
+                f"memory_latency must be >= 0, got {self.memory_latency}"
+            )
         if self.switch_delay < 0:
-            raise ValueError(f"switch delay must be >= 0, got {self.switch_delay}")
+            raise ValueError(f"switch_delay must be >= 0, got {self.switch_delay}")
         if self.context_switch < 0:
-            raise ValueError(f"context switch must be >= 0, got {self.context_switch}")
+            raise ValueError(f"context_switch must be >= 0, got {self.context_switch}")
         if self.memory_ports < 1:
-            raise ValueError(f"memory ports must be >= 1, got {self.memory_ports}")
+            raise ValueError(f"memory_ports must be >= 1, got {self.memory_ports}")
 
     @property
     def torus(self):
@@ -140,7 +148,7 @@ class Workload:
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
-            raise ValueError(f"need >= 1 thread per processor, got {self.num_threads}")
+            raise ValueError(f"num_threads must be >= 1, got {self.num_threads}")
         if self.runlength <= 0:
             raise ValueError(f"runlength must be > 0, got {self.runlength}")
         if not 0.0 <= self.p_remote <= 1.0:

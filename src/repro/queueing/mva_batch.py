@@ -35,6 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..resilience.faults import InjectedFault, fault_point
 from .mva_symmetric import SymmetricSolution
 from .network import ClosedNetwork
 from .solution import (
@@ -90,6 +91,8 @@ def solve_batch(
     """
     if not networks:
         return []
+    if fault_point("solve.raise") is not None:
+        raise InjectedFault("injected failure at solve_batch entry")
     t0 = time.perf_counter()
     shape = (networks[0].num_classes, networks[0].num_stations)
     for net in networks:
@@ -162,6 +165,13 @@ def solve_batch(
             tol, max_iter, strict,
         )
 
+    spec = fault_point("solve.nan")
+    if spec is not None:  # poison one point's measures (chaos testing)
+        i = int(spec.args.get("index", 0)) % b_total
+        x[i] = np.nan
+        w[i] = np.nan
+        q[i] = np.nan
+
     batch = BatchTelemetry(
         batch_size=b_total,
         iterations=int(iterations.max(initial=0)),
@@ -218,6 +228,8 @@ def solve_symmetric_batch(
     :func:`~repro.queueing.mva_symmetric.solve_symmetric` is this kernel
     with ``B = 1``.
     """
+    if fault_point("solve.raise") is not None:
+        raise InjectedFault("injected failure at solve_symmetric_batch entry")
     t0 = time.perf_counter()
     v = np.atleast_2d(np.asarray(visits, dtype=np.float64))
     s = np.atleast_2d(np.asarray(service, dtype=np.float64))
@@ -311,6 +323,13 @@ def solve_symmetric_batch(
             "solve_symmetric_batch", stragglers,
             float(residual[~converged].max()), tol, max_iter, strict,
         )
+
+    spec = fault_point("solve.nan")
+    if spec is not None:  # poison one point's measures (chaos testing)
+        i = int(spec.args.get("index", 0)) % b_total
+        x[i] = np.nan
+        w[i] = np.nan
+        q[i] = np.nan
 
     total_queue = pooled_totals(q)
     batch = BatchTelemetry(

@@ -1,0 +1,50 @@
+"""Record integrity primitives shared by the store, journal and executor.
+
+Kept free of intra-package imports (stdlib only) so every layer -- the
+queueing kernels, the observability sink, the runner -- can depend on this
+module without import cycles.  The canonical encoding here matches
+:func:`repro.runner.spec.canonical_json` byte for byte: sorted keys, no
+whitespace, NaN/Inf rejected.  Checksums are computed over that encoding,
+so a digest written by one process verifies in any other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+__all__ = ["canonical_json", "record_digest", "finite_measures"]
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, NaN/Inf rejected."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def record_digest(obj: object) -> str:
+    """SHA-256 hex digest of an object's canonical JSON encoding.
+
+    Used as the per-record checksum in the result store's JSONL and the
+    sweep journal: the digest is computed over the record *without* its
+    ``sha256`` field, then stored alongside it.
+    """
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def finite_measures(obj: object) -> bool:
+    """True when every number reachable in *obj* is finite.
+
+    Guards the result pipeline against NaN/Inf escaping a solver (the
+    canonical encodings reject non-finite floats, so an unguarded poisoned
+    result would crash the store write instead of being retried).
+    """
+    if isinstance(obj, bool):
+        return True
+    if isinstance(obj, (int, float)):
+        return math.isfinite(obj)
+    if isinstance(obj, dict):
+        return all(finite_measures(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return all(finite_measures(v) for v in obj)
+    return True

@@ -1,0 +1,169 @@
+"""Durable sweep progress: an append-only, checksummed JSONL journal.
+
+One journal is one sweep's completion log, written next to the manifest::
+
+    {"kind": "journal", "schema": "repro-journal/1", "signature": ..., ...}
+    {"kind": "point", "key": ..., "record": {...}, "sha256": ...}
+    ...
+
+Each ``point`` line carries the **full result record** (the same
+``{"method", "params", "perf", "elapsed"}`` shape the result store
+persists) plus a SHA-256 over its canonical encoding, and every append is
+flushed as one complete line.  A sweep killed between flushes therefore
+loses at most the in-flight point: on ``--resume`` the journal's verified
+records are replayed as already-complete, corrupt or truncated lines are
+dropped (and re-solved), and the resumed run's records come out bitwise
+identical to an uninterrupted run, because journal replay round-trips
+results through exactly the JSON form a cache hit does.
+
+The header pins a **sweep signature** -- a digest of the sorted
+content-addressed point keys plus the solver version -- so a journal can
+never silently resume a *different* sweep: a mismatch raises
+:class:`JournalError` instead of mixing results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .faults import fault_point, garble
+from .integrity import canonical_json, record_digest
+
+__all__ = ["JOURNAL_SCHEMA", "JournalError", "SweepJournal", "sweep_signature"]
+
+JOURNAL_SCHEMA = "repro-journal/1"
+
+
+class JournalError(ValueError):
+    """A journal file cannot serve the requested resume."""
+
+
+def sweep_signature(keys: Iterable[str], solver_version: str) -> str:
+    """Content signature of one sweep: its sorted unique keys + solver."""
+    return record_digest(
+        {"solver_version": solver_version, "keys": sorted(keys)}
+    )
+
+
+class SweepJournal:
+    """Append-only completion log for one sweep (create or resume)."""
+
+    def __init__(self, path: str | os.PathLike, signature: str):
+        self.path = Path(path)
+        self.signature = signature
+        #: keys already durably journaled (replayed + appended this run)
+        self._keys: set[str] = set()
+        #: lines discarded during resume (corrupt, truncated, or unverifiable)
+        self.dropped = 0
+        self._fh = None
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, signature: str, total: int
+    ) -> "SweepJournal":
+        """Start a fresh journal, truncating any previous file at *path*."""
+        journal = cls(path, signature)
+        if journal.path.parent != Path("."):
+            journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = open(journal.path, "w", encoding="utf-8", buffering=1)
+        header = {
+            "kind": "journal",
+            "schema": JOURNAL_SCHEMA,
+            "signature": signature,
+            "total": int(total),
+        }
+        journal._fh.write(canonical_json(header) + "\n")
+        journal._fh.flush()
+        return journal
+
+    @classmethod
+    def resume(
+        cls, path: str | os.PathLike, signature: str, total: int
+    ) -> tuple["SweepJournal", dict[str, dict[str, object]]]:
+        """Open an existing journal and return its verified records.
+
+        Returns ``(journal, replay)`` where ``replay`` maps completed keys
+        to their result records.  A missing file degrades to
+        :meth:`create` (nothing to replay); a header for a *different*
+        sweep or schema raises :class:`JournalError`.
+        """
+        journal = cls(path, signature)
+        if not journal.path.exists():
+            return cls.create(path, signature, total), {}
+        replay: dict[str, dict[str, object]] = {}
+        with open(journal.path, "r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+            except ValueError:
+                raise JournalError(
+                    f"journal {journal.path} has a corrupt header; "
+                    "delete it to start over"
+                ) from None
+            if header.get("schema") != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"journal {journal.path} has schema "
+                    f"{header.get('schema')!r}, expected {JOURNAL_SCHEMA!r}"
+                )
+            if header.get("signature") != signature:
+                raise JournalError(
+                    f"journal {journal.path} belongs to a different sweep "
+                    f"(signature {str(header.get('signature'))[:12]}... != "
+                    f"{signature[:12]}...); same axes, point parameters and "
+                    "solver version are required to resume"
+                )
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    journal.dropped += 1  # truncated tail / garbled line
+                    continue
+                sha = entry.pop("sha256", None)
+                if (
+                    sha != record_digest(entry)
+                    or entry.get("kind") != "point"
+                    or not isinstance(entry.get("record"), dict)
+                ):
+                    journal.dropped += 1
+                    continue
+                replay[str(entry["key"])] = entry["record"]
+        journal._keys = set(replay)
+        journal._fh = open(journal.path, "a", encoding="utf-8", buffering=1)
+        return journal, replay
+
+    # ------------------------------------------------------------------- ops
+    def append(self, key: str, record: Mapping[str, object]) -> None:
+        """Durably mark one point complete (idempotent per key)."""
+        if self._fh is None or key in self._keys:
+            return
+        entry = {"kind": "point", "key": key, "record": dict(record)}
+        line = canonical_json({**entry, "sha256": record_digest(entry)})
+        if fault_point("journal.corrupt_record") is not None:
+            line = garble(line)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._keys.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

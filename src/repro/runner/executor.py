@@ -23,10 +23,21 @@ Execution pipeline for one :meth:`SweepRunner.run`:
 
 Fresh solves are round-tripped through the same JSON form a cache hit is
 read from, so a warm run is bitwise-indistinguishable from a cold one.
+
+Resilience (see ``docs/RESILIENCE.md``): every backend fallback is an
+explicit :class:`~repro.resilience.degrade.DegradationPolicy` step recorded
+in ``manifest.degradations``; with ``journal=`` each completed point is
+durably appended to a :class:`~repro.resilience.journal.SweepJournal` so a
+killed sweep resumes (``resume=True``) bitwise-identically; non-finite
+solver output is caught before it can poison the store; and the
+``worker.crash`` / ``worker.hang`` / ``solve.delay`` fault sites let the
+chaos suite drive every one of those paths deterministically.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -40,6 +51,10 @@ from ..obs import Tracer, configure, diff_snapshots, get_tracer
 from ..obs import registry as obs_registry
 from ..obs import trace_span
 from ..params import MMSParams
+from ..resilience.degrade import DegradationPolicy
+from ..resilience.faults import fault_point
+from ..resilience.integrity import finite_measures
+from ..resilience.journal import SweepJournal, sweep_signature
 from .manifest import RunManifest, latency_stats
 from .spec import SOLVER_VERSION, JobSpec, RunResult
 from .store import ResultStore
@@ -69,6 +84,17 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
     ``"spans"`` -- the parent ingests them into its own sink, so workers
     never touch the trace file.
     """
+    if payload.get("pooled"):
+        # chaos sites for pool workers only: the executor marks dispatched
+        # payloads, so the parent's serial fallback can never kill itself
+        if fault_point("worker.crash") is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+        spec = fault_point("worker.hang")
+        if spec is not None:
+            time.sleep(float(spec.args.get("sleep_s", 30.0)))
+    spec = fault_point("solve.delay")
+    if spec is not None:
+        time.sleep(float(spec.args.get("sleep_s", 0.05)))
     params = MMSParams.from_dict(payload["params"])
     ctx = payload.get("trace")
     if ctx is not None:
@@ -107,6 +133,24 @@ class RunReport:
     def records(self) -> list[dict[str, object]]:
         """Deterministic data records (raises if any point failed)."""
         return [r.record() for r in self.results]
+
+
+def _result_record(result: RunResult) -> dict[str, object]:
+    """The persistable record of a successful result.
+
+    One shape for the store, the journal, and journal replay -- the round
+    trip through this JSON form is what makes warm, resumed and cold runs
+    bitwise-indistinguishable.
+    """
+    rec: dict[str, object] = {
+        "method": result.method,
+        "params": result.params.to_dict(),
+        "perf": result.perf.to_dict(),
+        "elapsed": result.elapsed,
+    }
+    if result.amortized:
+        rec["amortized"] = True
+    return rec
 
 
 class _RunStats:
@@ -154,6 +198,16 @@ class SweepRunner:
     min_batch_points:
         Smallest group of same-shape cache misses worth stacking into one
         batched solve; below it points run per-point.
+    journal:
+        Path of a sweep progress journal.  When given, every completed
+        point is durably appended (one flushed line each) so an
+        interrupted sweep can be resumed.
+    resume:
+        Replay an existing journal at ``journal`` before solving: its
+        verified records count as ``journal_hits`` and only the remainder
+        is solved.  The journal must belong to this exact sweep (same
+        points, same solver version) -- a mismatch raises
+        :class:`~repro.resilience.journal.JournalError`.
     """
 
     def __init__(
@@ -167,6 +221,8 @@ class SweepRunner:
         worker: Worker | None = None,
         backend: str = "auto",
         min_batch_points: int = 2,
+        journal: str | os.PathLike | None = None,
+        resume: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -188,6 +244,8 @@ class SweepRunner:
         self.worker: Worker = worker if worker is not None else solve_job
         self.backend = backend
         self.min_batch_points = min_batch_points
+        self.journal = journal
+        self.resume = resume
 
     # ------------------------------------------------------------ public API
     def solve(self, params: MMSParams, method: str = "auto") -> MMSPerformance:
@@ -203,6 +261,7 @@ class SweepRunner:
     ) -> RunReport:
         t_start = time.perf_counter()
         stats = _RunStats()
+        policy = DegradationPolicy()
         metrics_before = obs_registry().snapshot()
         #: consecutive wall-clock segments; they tile the run, so their sum
         #: tracks ``wall_clock_s`` (CI asserts within 5%)
@@ -220,21 +279,65 @@ class SweepRunner:
                     unique.setdefault(payload["key"], payload)
             stages["spec_hash"] = time.perf_counter() - t0
 
+            # open (or resume) the durable progress journal; the "journal"
+            # stage exists only when journaling is on, so unjournaled runs
+            # keep their exact historical stage set
+            journal: SweepJournal | None = None
+            replay: dict[str, dict[str, object]] = {}
+            journal_hits = 0
+            if self.journal is not None:
+                t0 = time.perf_counter()
+                sig = sweep_signature(unique, SOLVER_VERSION)
+                with trace_span("sweep.journal", resume=self.resume) as sp:
+                    if self.resume:
+                        journal, replay = SweepJournal.resume(
+                            self.journal, sig, len(unique)
+                        )
+                    else:
+                        journal = SweepJournal.create(self.journal, sig, len(unique))
+                    sp.set(replayed=len(replay), dropped=journal.dropped)
+                stages["journal"] = time.perf_counter() - t0
+
+            report_progress = progress
+            if journal is not None:
+                # every successful point is durably journaled the moment it
+                # completes -- the solve paths all funnel through progress
+                def report_progress(
+                    done: int,
+                    total: int,
+                    result: RunResult,
+                    _journal: SweepJournal = journal,
+                    _inner: Progress | None = progress,
+                ) -> None:
+                    if result.ok:
+                        _journal.append(result.key, _result_record(result))
+                    if _inner is not None:
+                        _inner(done, total, result)
+
             t0 = time.perf_counter()
             resolved: dict[str, RunResult] = {}
             cache_hits = 0
             done = 0
             with trace_span("sweep.cache_lookup", unique_points=len(unique)) as sp:
                 for key, payload in unique.items():
+                    rec = replay.get(key)
+                    if rec is not None:
+                        result = self._from_record(payload, rec, from_cache=True)
+                        resolved[key] = result
+                        journal_hits += 1
+                        done += 1
+                        if report_progress is not None:
+                            report_progress(done, len(unique), result)
+                        continue
                     rec = self.store.get(key) if self.store is not None else None
                     if rec is not None:
                         result = self._from_record(payload, rec, from_cache=True)
                         resolved[key] = result
                         cache_hits += 1
                         done += 1
-                        if progress is not None:
-                            progress(done, len(unique), result)
-                sp.set(hits=cache_hits)
+                        if report_progress is not None:
+                            report_progress(done, len(unique), result)
+                sp.set(hits=cache_hits, journal_hits=journal_hits)
             stages["cache_lookup"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()
@@ -250,33 +353,37 @@ class SweepRunner:
                     )
                     if use_pool:
                         mode = self._run_parallel(
-                            pending, resolved, stats, progress, done
+                            pending, resolved, stats, report_progress, done, policy
                         )
                     elif self.backend in ("auto", "batch") and self.worker is solve_job:
                         mode = self._run_batch(
-                            pending, resolved, stats, progress, done, solver_batches
+                            pending,
+                            resolved,
+                            stats,
+                            report_progress,
+                            done,
+                            solver_batches,
+                            policy,
                         )
                     else:
-                        self._run_serial(pending, resolved, stats, progress, done)
+                        self._run_serial(
+                            pending, resolved, stats, report_progress, done
+                        )
                 sp.set(mode=mode)
             stages["solve"] = time.perf_counter() - t0
 
-            # persist fresh successes
+            # persist fresh successes (journal-replayed points too: the
+            # interrupted run died before its store_write, and put() is
+            # idempotent for anything already on disk)
             t0 = time.perf_counter()
             with trace_span("sweep.store_write"):
                 if self.store is not None:
                     for key, result in resolved.items():
-                        if result.ok and not result.from_cache:
-                            rec = {
-                                "method": result.method,
-                                "params": result.params.to_dict(),
-                                "perf": result.perf.to_dict(),
-                                "elapsed": result.elapsed,
-                            }
-                            if result.amortized:
-                                rec["amortized"] = True
-                            self.store.put(key, rec)
+                        if result.ok and (not result.from_cache or key in replay):
+                            self.store.put(key, _result_record(result))
                     self.store.flush()
+            if journal is not None:
+                journal.close()
             stages["store_write"] = time.perf_counter() - t0
 
             # assemble per-request results (duplicates share the first solve)
@@ -292,7 +399,8 @@ class SweepRunner:
                 failures = sum(1 for r in resolved.values() if not r.ok)
             stages["assemble"] = time.perf_counter() - t0
 
-            root.set(mode=mode, solved=len(resolved) - cache_hits - failures)
+            solved = len(resolved) - cache_hits - journal_hits - failures
+            root.set(mode=mode, solved=solved)
 
         manifest = RunManifest(
             solver_version=SOLVER_VERSION,
@@ -303,7 +411,7 @@ class SweepRunner:
             total_points=len(specs),
             unique_points=len(unique),
             cache_hits=cache_hits,
-            solved=len(resolved) - cache_hits - failures,
+            solved=solved,
             failures=failures,
             timeouts=stats.timeouts,
             retries=stats.retries,
@@ -314,6 +422,10 @@ class SweepRunner:
             store=self.store.stats() if self.store is not None else None,
             stages=stages,
             metrics=diff_snapshots(metrics_before, obs_registry().snapshot()),
+            journal_hits=journal_hits,
+            resumed=bool(self.resume and self.journal is not None),
+            journal_path=str(self.journal) if self.journal is not None else None,
+            degradations=policy.to_list(),
         )
         return RunReport(results=results, manifest=manifest)
 
@@ -371,6 +483,11 @@ class SweepRunner:
             except Exception as exc:  # noqa: BLE001 - solver faults become results
                 last_error = f"{type(exc).__name__}: {exc}"
                 continue
+            if not finite_measures(out.get("perf")):
+                # NaN/Inf must never reach the store (its canonical
+                # encoding rejects them); burn an attempt instead
+                last_error = "non-finite measures in solve result"
+                continue
             result = self._from_record(payload, out, from_cache=False)
             result.attempts = attempts
             stats.latencies.append(result.elapsed)
@@ -413,15 +530,17 @@ class SweepRunner:
         progress: Progress | None,
         done: int,
         solver_batches: list[dict[str, object]],
+        policy: DegradationPolicy,
     ) -> str:
         """Batched in-process execution; returns the mode the run ended in.
 
         Pending points are grouped by ``(method, machine size)`` -- the
         homogeneity :func:`~repro.core.model.solve_points` requires -- and
         each group large enough is solved as one stacked fixed point.
-        Leftovers (small groups, unbatchable methods, a group whose batch
-        solve raised) run per-point; the mode is ``"batch"`` only if at
-        least one group actually batched.
+        Leftovers (small groups, unbatchable methods) run per-point; a
+        group whose batch solve raised or produced non-finite measures is
+        a recorded batch->serial degradation and also runs per-point.  The
+        mode is ``"batch"`` only if at least one group actually batched.
         """
         from ..core.model import solve_points
 
@@ -445,7 +564,19 @@ class SweepRunner:
                     [MMSParams.from_dict(p["params"]) for p in group],
                     method=method,
                 )
-            except Exception:  # noqa: BLE001 - degrade to the per-point loop
+            except Exception as exc:  # noqa: BLE001 - degrade to the per-point loop
+                policy.degrade(
+                    "batch", "serial", f"{type(exc).__name__}: {exc}", len(group)
+                )
+                serial_left.extend(group)
+                continue
+            if not all(finite_measures(perf.to_dict()) for perf in perfs):
+                policy.degrade(
+                    "batch",
+                    "serial",
+                    "non-finite measures in batched solve",
+                    len(group),
+                )
                 serial_left.extend(group)
                 continue
             batched_any = True
@@ -482,45 +613,69 @@ class SweepRunner:
         stats: _RunStats,
         progress: Progress | None,
         done: int,
+        policy: DegradationPolicy,
     ) -> str:
-        """Pool execution; returns the mode the run ended in."""
+        """Pool execution; returns the mode the run ended in.
+
+        The per-point timeout is a *deadline from submission*: each future
+        records its submit timestamp and is given whatever remains of its
+        own budget when collection reaches it, so N queued slow points time
+        out after ~timeout total, not N*timeout, and a future that finished
+        within budget is always collected even if collection gets to it
+        late.
+        """
         total = done + len(pending)
         mode = "parallel"
         # Under an active tracer, submitted payload copies carry the trace
         # context; each worker's buffered spans come back in the result and
         # are ingested here (retries/fallback run in-process and trace
-        # through the global tracer directly).
+        # through the global tracer directly).  The "pooled" mark scopes the
+        # worker.* fault sites to pool processes.
         tracer = get_tracer()
         ctx = tracer.context() if tracer is not None else None
         pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool_error: str | None = None
+        hung = False
         try:
             try:
-                futures = [
-                    (
-                        p,
-                        pool.submit(
-                            self.worker, p if ctx is None else {**p, "trace": ctx}
-                        ),
-                    )
-                    for p in pending
-                ]
-            except BrokenProcessPool:
                 futures = []
-            for payload, future in futures:
+                for p in pending:
+                    job = {**p, "pooled": True}
+                    if ctx is not None:
+                        job["trace"] = ctx
+                    futures.append((p, pool.submit(self.worker, job), time.monotonic()))
+            except BrokenProcessPool as exc:
+                pool_error = f"{type(exc).__name__}: {exc}"
+                futures = []
+            for payload, future, submitted in futures:
                 key = payload["key"]
                 try:
-                    out = future.result(timeout=self.timeout)
+                    if self.timeout is None:
+                        out = future.result()
+                    else:
+                        remaining = submitted + self.timeout - time.monotonic()
+                        out = future.result(timeout=max(0.0, remaining))
                     if tracer is not None and out.get("spans"):
                         tracer.ingest(out["spans"])
-                    result = self._from_record(payload, out, from_cache=False)
-                    stats.latencies.append(result.elapsed)
+                    if not finite_measures(out.get("perf")):
+                        result = self._solve_with_retry(
+                            payload,
+                            stats,
+                            prior_attempts=1,
+                            prior_error="non-finite measures in solve result",
+                        )
+                    else:
+                        result = self._from_record(payload, out, from_cache=False)
+                        stats.latencies.append(result.elapsed)
                 except FutureTimeout:
                     future.cancel()
                     stats.timeouts += 1
+                    hung = True
                     result = self._failure(
                         payload, f"timeout after {self.timeout}s", attempts=1
                     )
-                except BrokenProcessPool:
+                except BrokenProcessPool as exc:
+                    pool_error = f"{type(exc).__name__}: {exc}"
                     break  # pool is dead; fall through to serial below
                 except Exception as exc:  # worker raised: bounded serial retry
                     result = self._solve_with_retry(
@@ -534,13 +689,26 @@ class SweepRunner:
                 if progress is not None:
                     progress(done, total, result)
         finally:
-            # don't block on a hung-but-running worker; cancel what we can
+            # don't block on a hung-but-running worker; cancel what we can,
+            # and kill workers still running a timed-out point outright so
+            # interpreter exit never joins a sleeping process
+            handles = list((getattr(pool, "_processes", None) or {}).values())
             pool.shutdown(wait=False, cancel_futures=True)
+            if hung:
+                for proc in handles:
+                    if proc.is_alive():
+                        proc.terminate()
 
         remaining = [p for p in pending if p["key"] not in resolved]
         if remaining:
             stats.worker_crashes += 1
             mode = "serial-fallback"
+            policy.degrade(
+                "process",
+                "serial",
+                pool_error or "broken process pool",
+                len(remaining),
+            )
             self._run_serial(remaining, resolved, stats, progress, done)
         return mode
 

@@ -91,6 +91,16 @@ class RunManifest:
     #: run-scoped :mod:`repro.obs` metrics delta (what this run's solves,
     #: store lookups and simulator calls moved in the process registry)
     metrics: dict | None = None
+    #: unique points replayed from a sweep journal on ``--resume``
+    journal_hits: int = 0
+    #: True when this run resumed a prior journal
+    resumed: bool = False
+    #: journal file backing this run, if journaling was enabled
+    journal_path: str | None = None
+    #: structured backend fallbacks (see
+    #: :class:`repro.resilience.degrade.DegradationPolicy`); empty when the
+    #: run stayed on its requested backend
+    degradations: list = field(default_factory=list)
 
     def to_dict(self) -> dict[str, object]:
         return asdict(self)

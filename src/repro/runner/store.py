@@ -2,16 +2,28 @@
 
 Layout under ``cache_dir``::
 
-    results.jsonl   one canonical-JSON record per solved point (append-only)
-    index.json      {"solver_version", "size", "offsets": {key: byte offset}}
+    results.jsonl             one canonical-JSON record per solved point
+    results.jsonl.quarantine  corrupt/truncated lines moved out of the way
+    index.json                {"format", "solver_version", "size", "offsets"}
 
 The JSONL file is the source of truth; the index is a rebuildable
-acceleration structure (key -> byte offset of the record line).  On open the
-index is trusted only if its solver version matches and its recorded file
-size equals the actual file size -- otherwise the store falls back to a full
-scan.  A store written under a *different* solver version is **invalidated**
-(both files removed) so stale measures can never be served after a solver
-bump.
+acceleration structure (key -> byte offset of the record line).  On open
+the index is trusted only if its format and solver version match and its
+recorded file size equals the actual file size -- otherwise the store runs
+a full **recovery scan**: every record is re-verified against its embedded
+SHA-256, corrupt or truncated lines are quarantined to
+``results.jsonl.quarantine``, legacy records written before checksums
+existed are migrated in place, and the JSONL is compacted atomically.  A
+store written under a *different* solver version is **invalidated** (files
+removed) so stale measures can never be served after a solver bump.
+
+Integrity on the read path: every ``get`` verifies the record's checksum
+and key before serving it.  A mismatch -- bit rot, a torn write, an index
+pointing at the wrong line -- triggers the same recovery scan and the
+lookup is retried once against the rebuilt index, so a corrupted record is
+quarantined and re-solved rather than served or crashing the read.
+Counters (``store.integrity.*``, ``store.index_rebuilds``) land in the
+process metrics registry and the per-run manifest delta.
 
 Only one process -- the sweep runner's parent -- ever touches the store;
 workers just solve and return, which keeps the on-disk format free of
@@ -25,9 +37,14 @@ import os
 from pathlib import Path
 
 from ..obs import registry as obs_registry
+from ..resilience.faults import fault_point, garble
+from ..resilience.integrity import record_digest
 from .spec import SOLVER_VERSION, canonical_json
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "STORE_FORMAT"]
+
+#: on-disk format version; 2 added per-record SHA-256 checksums
+STORE_FORMAT = 2
 
 
 class ResultStore:
@@ -39,6 +56,7 @@ class ResultStore:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.results_path = self.cache_dir / "results.jsonl"
+        self.quarantine_path = self.cache_dir / "results.jsonl.quarantine"
         self.index_path = self.cache_dir / "index.json"
         self.solver_version = solver_version
         #: lookups served from disk / lookups that missed (lifetime of this
@@ -47,6 +65,9 @@ class ResultStore:
         self.misses = 0
         #: True when opening discarded a store written under another version
         self.invalidated = False
+        #: lifetime integrity accounting (this store object)
+        self.quarantined = 0
+        self.index_rebuilds = 0
         self._offsets: dict[str, int] = {}
         self._dirty = False
         self._load()
@@ -60,7 +81,8 @@ class ResultStore:
         try:
             index = json.loads(self.index_path.read_text())
             if (
-                index.get("solver_version") == self.solver_version
+                index.get("format") == STORE_FORMAT
+                and index.get("solver_version") == self.solver_version
                 and index.get("size") == size
                 and isinstance(index.get("offsets"), dict)
             ):
@@ -68,25 +90,65 @@ class ResultStore:
                 return
         except (OSError, ValueError):
             pass
-        self._rebuild_index()
+        self._recover()
 
-    def _rebuild_index(self) -> None:
-        """Recover the index by scanning the JSONL file."""
-        offsets: dict[str, int] = {}
-        with open(self.results_path, "rb") as fh:
-            offset = 0
-            for raw in fh:
-                line = raw.decode("utf-8").strip()
-                if line:
+    def _recover(self) -> None:
+        """Verify, quarantine, migrate and compact; rebuild the index.
+
+        Scans the JSONL: records whose checksum verifies are kept, legacy
+        records without one are stamped (migration from format 1), and
+        anything else -- torn writes, garbled bytes, truncated tails -- is
+        appended to the quarantine file.  The surviving records are
+        rewritten atomically and the index rebuilt from them.
+        """
+        self.index_rebuilds += 1
+        obs_registry().counter("store.index_rebuilds").inc()
+        good: list[str] = []
+        bad: list[str] = []
+        keys: set[str] = set()
+        if self.results_path.exists():
+            with open(self.results_path, "rb") as fh:
+                for raw in fh:
+                    line = raw.decode("utf-8", errors="replace").strip()
+                    if not line:
+                        continue
                     try:
                         rec = json.loads(line)
                     except ValueError:
-                        break  # truncated tail (e.g. crash mid-append): drop it
+                        bad.append(line)
+                        continue
+                    if not isinstance(rec, dict):
+                        bad.append(line)
+                        continue
                     if rec.get("solver_version") != self.solver_version:
                         self.invalidate()
                         return
-                    offsets[rec["key"]] = offset
-                offset += len(raw)
+                    sha = rec.pop("sha256", None)
+                    if sha is not None and sha != record_digest(rec):
+                        obs_registry().counter("store.integrity.sha_mismatches").inc()
+                        bad.append(line)
+                        continue
+                    # sha is None: legacy format-1 record -- migrate by
+                    # stamping a digest during the rewrite below
+                    key = str(rec.get("key"))
+                    if key in keys:  # first write wins, as in put()
+                        continue
+                    keys.add(key)
+                    good.append(canonical_json({**rec, "sha256": record_digest(rec)}))
+        if bad:
+            self.quarantined += len(bad)
+            obs_registry().counter("store.integrity.quarantined").inc(len(bad))
+            with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+                for line in bad:
+                    fh.write(line + "\n")
+        offsets: dict[str, int] = {}
+        tmp = self.results_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "wb") as fh:
+            for line in good:
+                data = (line + "\n").encode("utf-8")
+                offsets[json.loads(line)["key"]] = fh.tell()
+                fh.write(data)
+        tmp.replace(self.results_path)
         self._offsets = offsets
         self._dirty = True
         self.flush()
@@ -110,6 +172,7 @@ class ResultStore:
         tmp.write_text(
             json.dumps(
                 {
+                    "format": STORE_FORMAT,
                     "solver_version": self.solver_version,
                     "size": size,
                     "offsets": self._offsets,
@@ -126,20 +189,50 @@ class ResultStore:
         self.flush()
 
     # ------------------------------------------------------------------- ops
+    def _read_verified(self, offset: int, key: str) -> dict[str, object] | None:
+        """The verified record at *offset*, or None on any integrity failure."""
+        try:
+            with open(self.results_path, "rb") as fh:
+                fh.seek(offset)
+                raw = fh.readline()
+            rec = json.loads(raw.decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            obs_registry().counter("store.integrity.read_errors").inc()
+            return None
+        if not isinstance(rec, dict):
+            obs_registry().counter("store.integrity.read_errors").inc()
+            return None
+        sha = rec.pop("sha256", None)
+        if sha is None or sha != record_digest(rec):
+            obs_registry().counter("store.integrity.sha_mismatches").inc()
+            return None
+        if rec.get("key") != key:
+            # the record is intact but the index pointed at the wrong line
+            obs_registry().counter("store.integrity.index_mismatches").inc()
+            return None
+        return rec
+
     def get(self, key: str) -> dict[str, object] | None:
-        """Cached record for *key*, or None (counted as hit/miss)."""
+        """Cached record for *key*, or None (counted as hit/miss).
+
+        Every read is checksum-verified; a failure quarantines the bad
+        record(s), rebuilds the index from the JSONL, and retries the
+        lookup once -- so corruption degrades to a cache miss, never to a
+        wrong answer or an exception.
+        """
         offset = self._offsets.get(key)
         if offset is None:
             self.misses += 1
             obs_registry().counter("store.misses").inc()
             return None
-        with open(self.results_path, "rb") as fh:
-            fh.seek(offset)
-            rec = json.loads(fh.readline().decode("utf-8"))
-        if rec.get("key") != key:  # pragma: no cover - index corruption guard
+        rec = self._read_verified(offset, key)
+        if rec is None:
+            self._recover()
+            offset = self._offsets.get(key)
+            rec = self._read_verified(offset, key) if offset is not None else None
+        if rec is None:
             self.misses += 1
             obs_registry().counter("store.misses").inc()
-            del self._offsets[key]
             return None
         self.hits += 1
         obs_registry().counter("store.hits").inc()
@@ -150,10 +243,15 @@ class ResultStore:
         if key in self._offsets:
             return
         payload = {"key": key, "solver_version": self.solver_version, **record}
-        line = canonical_json(payload) + "\n"
+        line = canonical_json({**payload, "sha256": record_digest(payload)})
+        if fault_point("store.corrupt_record") is not None:
+            line = garble(line)
+        data = (line + "\n").encode("utf-8")
+        if fault_point("store.truncate") is not None:
+            data = data[: max(1, len(data) // 2)]  # torn write: no newline
         with open(self.results_path, "ab") as fh:
             offset = fh.tell()
-            fh.write(line.encode("utf-8"))
+            fh.write(data)
         self._offsets[key] = offset
         self._dirty = True
         obs_registry().counter("store.puts").inc()
@@ -173,6 +271,8 @@ class ResultStore:
             "misses": self.misses,
             "hit_rate": (self.hits / total) if total else 0.0,
             "invalidated": self.invalidated,
+            "quarantined": self.quarantined,
+            "index_rebuilds": self.index_rebuilds,
             "cache_dir": str(self.cache_dir),
             "solver_version": self.solver_version,
         }

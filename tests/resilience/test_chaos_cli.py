@@ -1,0 +1,196 @@
+"""Chaos through the public CLI: every fault site, sweeps still correct.
+
+Each test arms one fault site and drives ``repro-mms sweep`` through
+:func:`repro.cli.main` in-process (pool workers inherit the armed plan
+through fork).  The bar everywhere: the command degrades, recovers, and its
+*data* matches a clean golden run -- faults may only ever show up in the
+telemetry.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+
+AXES = ["--axis", "num_threads=1,2,3,4,5,6,7,8"]
+
+
+def _sweep(*extra: str) -> list[str]:
+    return ["sweep", *AXES, *extra]
+
+
+def _measure_lines(text: str) -> list[str]:
+    """The per-point data lines (everything before the [sweep] summary)."""
+    return [
+        line
+        for line in text.splitlines()
+        if line.startswith("num_threads=") and "FAILED" not in line
+    ]
+
+
+@pytest.fixture
+def golden(capsys):
+    assert main(_sweep("--backend", "serial")) == 0
+    lines = _measure_lines(capsys.readouterr().out)
+    assert len(lines) == 8
+    return lines
+
+
+class TestSolverFaults:
+    def test_solve_raise_batch_degrades_and_matches_golden(
+        self, golden, fault_plan, capsys
+    ):
+        fault_plan({"sites": {"solve.raise": {"on_nth": [1]}}})
+        assert main(_sweep("--backend", "batch")) == 0
+        out = capsys.readouterr().out
+        assert _measure_lines(out) == golden
+        assert "[degrade] batch -> serial: InjectedFault" in out
+
+    def test_solve_nan_batch_degrades_and_matches_golden(
+        self, golden, fault_plan, capsys
+    ):
+        fault_plan({"sites": {"solve.nan": {"on_nth": [1]}}})
+        assert main(_sweep("--backend", "batch")) == 0
+        out = capsys.readouterr().out
+        assert _measure_lines(out) == golden
+        assert "[degrade] batch -> serial: non-finite measures" in out
+
+    def test_solve_delay_only_slows_the_run(self, golden, fault_plan, capsys):
+        fault_plan({"sites": {"solve.delay": {"p": 1.0, "sleep_s": 0.005}}})
+        assert main(_sweep("--backend", "serial")) == 0
+        assert _measure_lines(capsys.readouterr().out) == golden
+
+
+class TestWorkerFaults:
+    def test_worker_crash_falls_back_to_serial(self, golden, fault_plan, capsys):
+        fault_plan({"seed": 5, "sites": {"worker.crash": {"on_nth": [1]}}})
+        assert main(_sweep("--backend", "process", "--jobs", "2")) == 0
+        out = capsys.readouterr().out
+        assert _measure_lines(out) == golden
+        assert "[degrade] process -> serial:" in out
+        assert "serial-fallback" in out
+
+    def test_worker_hang_times_out_then_resume_completes(
+        self, golden, fault_plan, capsys, tmp_path
+    ):
+        manifest = tmp_path / "run.json"
+        install = fault_plan
+        install({"sites": {"worker.hang": {"p": 1.0, "sleep_s": 30}}})
+        rc = main(
+            _sweep(
+                "--backend", "process", "--jobs", "2",
+                "--timeout", "1", "--retries", "0",
+                "--manifest", str(manifest),
+                "--journal", str(manifest) + ".journal",
+            )
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # timed-out points are failures, truthfully reported
+        assert out.count("FAILED: timeout") == 8
+        # disarm and resume: the journal carries nothing (no point
+        # completed), the sweep re-solves everything and succeeds
+        install(None)
+        assert main(_sweep("--resume", str(manifest))) == 0
+        assert _measure_lines(capsys.readouterr().out) == golden
+
+
+class TestStoreFaults:
+    def test_corrupted_cache_is_quarantined_and_resolved(
+        self, golden, fault_plan, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        install = fault_plan
+        install({"sites": {"store.corrupt_record": {"on_nth": [3]}}})
+        assert main(_sweep("--backend", "serial", "--cache-dir", cache)) == 0
+        assert _measure_lines(capsys.readouterr().out) == golden
+        install(None)
+        # warm run: 7 records verify, the garbled one is quarantined,
+        # re-solved, and re-persisted -- never served, never a crash
+        assert main(_sweep("--backend", "serial", "--cache-dir", cache)) == 0
+        out = capsys.readouterr().out
+        assert _measure_lines(out) == golden
+        assert re.search(r"\[integrity\] quarantined=1 index_rebuilds=[1-9]", out)
+        assert "7 cached" in out
+        # third run is fully warm again
+        assert main(_sweep("--backend", "serial", "--cache-dir", cache)) == 0
+        assert "8 cached" in capsys.readouterr().out
+
+    def test_truncated_cache_write_recovers_the_same_way(
+        self, golden, fault_plan, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        install = fault_plan
+        install({"sites": {"store.truncate": {"on_nth": [8]}}})
+        assert main(_sweep("--backend", "serial", "--cache-dir", cache)) == 0
+        capsys.readouterr()
+        install(None)
+        assert main(_sweep("--backend", "serial", "--cache-dir", cache)) == 0
+        out = capsys.readouterr().out
+        assert _measure_lines(out) == golden
+        assert "[integrity] quarantined=1" in out
+
+
+class TestSinkFaults:
+    def test_sink_io_error_never_fails_the_sweep(
+        self, golden, fault_plan, capsys, tmp_path
+    ):
+        trace = tmp_path / "run.jsonl"
+        fault_plan({"sites": {"sink.io_error": {"on_nth": [2]}}})
+        with pytest.warns(RuntimeWarning, match="trace sink"):
+            rc = main(_sweep("--backend", "serial", "--trace", str(trace)))
+        assert rc == 0
+        assert _measure_lines(capsys.readouterr().out) == golden
+
+
+class TestJournalFaults:
+    def test_corrupt_journal_line_is_resolved_on_resume(
+        self, golden, fault_plan, capsys, tmp_path
+    ):
+        manifest = tmp_path / "run.json"
+        install = fault_plan
+        install({"sites": {"journal.corrupt_record": {"on_nth": [4]}}})
+        assert main(
+            _sweep("--backend", "serial",
+                   "--manifest", str(manifest),
+                   "--journal", str(manifest) + ".journal")
+        ) == 0
+        capsys.readouterr()
+        install(None)
+        assert main(_sweep("--resume", str(manifest))) == 0
+        out = capsys.readouterr().out
+        assert _measure_lines(out) == golden
+        assert "replayed=7" in out
+
+
+class TestCleanErrors:
+    def test_bad_point_parameter_is_one_clean_line(self, capsys):
+        rc = main(["solve", "--nt", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == "repro-mms: error: num_threads must be >= 1, got 0"
+
+    def test_bad_axis_value_is_one_clean_line(self, capsys):
+        rc = main(_sweep("--axis", "p_remote=1.5"))
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("repro-mms: error: p_remote must be in [0, 1]")
+
+    def test_mismatched_resume_is_one_clean_line(self, capsys, tmp_path):
+        manifest = tmp_path / "run.json"
+        assert main(
+            _sweep("--backend", "serial",
+                   "--manifest", str(manifest),
+                   "--journal", str(manifest) + ".journal")
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["sweep", "--axis", "num_threads=1,2", "--backend", "serial",
+             "--resume", str(manifest)]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("repro-mms: error: journal")
+        assert "different sweep" in err

@@ -1,0 +1,159 @@
+"""The fault-injection layer itself: plans, schedules, determinism."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import resilience
+from repro.obs import registry
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_point,
+    garble,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="solver.explode", p=0.5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match=r"p must be in \[0, 1\]"):
+            FaultSpec(site="solve.raise", p=1.5)
+
+    def test_p_and_on_nth_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            FaultSpec(site="solve.raise", p=0.5, on_nth=(1,))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="needs p > 0 or an on_nth"):
+            FaultSpec(site="solve.raise")
+
+    def test_on_nth_must_be_positive_ints(self):
+        with pytest.raises(ValueError, match="on_nth"):
+            FaultSpec(site="solve.raise", on_nth=(0,))
+
+    def test_max_fires_positive(self):
+        with pytest.raises(ValueError, match="max_fires"):
+            FaultSpec(site="solve.raise", p=0.5, max_fires=0)
+
+    def test_from_dict_routes_unknown_keys_to_args(self):
+        spec = FaultSpec.from_dict("worker.hang", {"on_nth": 3, "sleep_s": 1.5})
+        assert spec.on_nth == (3,)
+        assert spec.args == {"sleep_s": 1.5}
+
+    def test_roundtrip(self):
+        plan = FaultPlan.from_dict(
+            {"seed": 9, "sites": {"solve.nan": {"on_nth": [2, 4], "index": 1}}}
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestSchedules:
+    def test_on_nth_fires_exactly_there(self):
+        inj = FaultInjector(
+            FaultPlan.from_dict({"sites": {"solve.raise": {"on_nth": [2, 4]}}})
+        )
+        fired = [inj.should_fire("solve.raise") is not None for _ in range(6)]
+        assert fired == [False, True, False, True, False, False]
+
+    def test_max_fires_caps_probability_schedule(self):
+        inj = FaultInjector(
+            FaultPlan.from_dict(
+                {"sites": {"solve.raise": {"p": 1.0, "max_fires": 2}}}
+            )
+        )
+        fired = sum(inj.should_fire("solve.raise") is not None for _ in range(10))
+        assert fired == 2
+
+    def test_probability_schedule_is_seed_deterministic(self):
+        def trace(seed):
+            inj = FaultInjector(
+                FaultPlan.from_dict(
+                    {"seed": seed, "sites": {"solve.raise": {"p": 0.5}}}
+                )
+            )
+            return [inj.should_fire("solve.raise") is not None for _ in range(64)]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)  # astronomically unlikely to collide
+
+    def test_unplanned_site_never_advances_counters(self):
+        inj = FaultInjector(
+            FaultPlan.from_dict({"sites": {"solve.raise": {"on_nth": [1]}}})
+        )
+        for _ in range(5):
+            assert inj.should_fire("store.truncate") is None
+        assert "store.truncate" not in inj.calls
+
+    def test_fire_increments_metric(self):
+        inj = FaultInjector(
+            FaultPlan.from_dict({"sites": {"solve.raise": {"on_nth": [1]}}})
+        )
+        before = registry().counter("fault.solve.raise.fired").value
+        assert inj.should_fire("solve.raise") is not None
+        assert registry().counter("fault.solve.raise.fired").value == before + 1
+
+
+class TestModuleAPI:
+    def test_disabled_fast_path_returns_none(self):
+        assert resilience.get_injector() is None
+        for site in FAULT_SITES:
+            assert fault_point(site) is None
+
+    def test_configure_installs_and_restores(self, fault_plan):
+        fault_plan({"sites": {"solve.raise": {"on_nth": [1]}}})
+        assert fault_point("solve.raise") is not None
+        assert fault_point("solve.raise") is None  # call 2: schedule exhausted
+
+    def test_plan_from_file(self, fault_plan, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"sites": {"solve.nan": {"p": 1.0}}}))
+        inj = fault_plan(str(path))
+        assert inj.plan.sites["solve.nan"].p == 1.0
+
+    def test_malformed_env_plan_warns_and_disables(self):
+        out = subprocess.run(
+            [sys.executable, "-W", "error::RuntimeWarning", "-c",
+             "import repro.resilience"],
+            env={"PATH": "/usr/bin:/bin", "PYTHONPATH": "src",
+                 "REPRO_FAULT_PLAN": "{not json"},
+            capture_output=True, text=True, cwd="/root/repo",
+        )
+        assert out.returncode != 0
+        assert "malformed REPRO_FAULT_PLAN" in out.stderr
+
+    def test_env_plan_activates_in_fresh_process(self):
+        code = (
+            "from repro.resilience.faults import fault_point, get_injector\n"
+            "assert get_injector() is not None\n"
+            "assert fault_point('solve.raise') is not None\n"
+            "print('armed')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PATH": "/usr/bin:/bin", "PYTHONPATH": "src",
+                 "REPRO_FAULT_PLAN":
+                     '{"sites": {"solve.raise": {"on_nth": [1]}}}'},
+            capture_output=True, text=True, cwd="/root/repo",
+        )
+        assert out.returncode == 0, out.stderr
+        assert "armed" in out.stdout
+
+
+class TestGarble:
+    def test_same_length_but_unparseable(self):
+        line = json.dumps({"key": "k", "value": [1, 2, 3]})
+        bad = garble(line)
+        assert len(bad) == len(line)
+        assert bad != line
+        with pytest.raises(ValueError):
+            json.loads(bad)

@@ -1,0 +1,168 @@
+"""Sweep journals: durable appends, verified replay, resumed-run equality."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.params import paper_defaults
+from repro.resilience.journal import JournalError, SweepJournal, sweep_signature
+from repro.runner import JobSpec, SweepRunner
+
+
+def _specs(n=6):
+    return [
+        JobSpec(params=paper_defaults(num_threads=t), method="auto")
+        for t in range(1, n + 1)
+    ]
+
+
+class TestJournalFile:
+    def test_create_append_resume_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        sig = sweep_signature(["a", "b"], "2")
+        with SweepJournal.create(path, sig, total=2) as journal:
+            journal.append("a", {"perf": {"U_p": 0.5}})
+            journal.append("a", {"perf": {"U_p": 0.9}})  # idempotent: ignored
+            journal.append("b", {"perf": {"U_p": 0.7}})
+        resumed, replay = SweepJournal.resume(path, sig, total=2)
+        resumed.close()
+        assert replay == {"a": {"perf": {"U_p": 0.5}}, "b": {"perf": {"U_p": 0.7}}}
+        assert "a" in resumed and len(resumed) == 2
+
+    def test_missing_file_degrades_to_create(self, tmp_path):
+        journal, replay = SweepJournal.resume(
+            tmp_path / "fresh.journal", sweep_signature(["a"], "2"), total=1
+        )
+        journal.close()
+        assert replay == {}
+
+    def test_signature_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        SweepJournal.create(path, sweep_signature(["a"], "2"), total=1).close()
+        with pytest.raises(JournalError, match="different sweep"):
+            SweepJournal.resume(path, sweep_signature(["b"], "2"), total=1)
+
+    def test_solver_version_changes_the_signature(self):
+        assert sweep_signature(["a"], "2") != sweep_signature(["a"], "3")
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        path.write_text("{broken\n")
+        with pytest.raises(JournalError, match="corrupt header"):
+            SweepJournal.resume(path, sweep_signature(["a"], "2"), total=1)
+
+    def test_garbled_and_truncated_lines_are_dropped(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        sig = sweep_signature(["a", "b", "c"], "2")
+        with SweepJournal.create(path, sig, total=3) as journal:
+            journal.append("a", {"perf": {"U_p": 0.1}})
+            journal.append("b", {"perf": {"U_p": 0.2}})
+            journal.append("c", {"perf": {"U_p": 0.3}})
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2] + "#garbled#"
+        lines[3] = lines[3][:10]  # torn final write
+        path.write_text("\n".join(lines) + "\n")
+        resumed, replay = SweepJournal.resume(path, sig, total=3)
+        resumed.close()
+        assert set(replay) == {"a"}
+        assert resumed.dropped == 2
+
+    def test_journal_corrupt_record_fault_site(self, tmp_path, fault_plan):
+        fault_plan({"sites": {"journal.corrupt_record": {"on_nth": [1]}}})
+        path = tmp_path / "sweep.journal"
+        sig = sweep_signature(["a", "b"], "2")
+        with SweepJournal.create(path, sig, total=2) as journal:
+            journal.append("a", {"perf": {"U_p": 0.1}})
+            journal.append("b", {"perf": {"U_p": 0.2}})
+        resumed, replay = SweepJournal.resume(path, sig, total=2)
+        resumed.close()
+        assert set(replay) == {"b"}
+        assert resumed.dropped == 1
+
+
+class TestRunnerIntegration:
+    def test_journaled_run_then_resume_is_bitwise_equal(self, tmp_path):
+        specs = _specs()
+        golden = SweepRunner(backend="serial").run(specs).records()
+
+        journal = tmp_path / "sweep.journal"
+        first = SweepRunner(backend="serial", journal=journal).run(specs)
+        assert first.ok and journal.exists()
+        assert first.manifest.journal_path == str(journal)
+        assert first.manifest.journal_hits == 0 and not first.manifest.resumed
+        assert "journal" in first.manifest.stages
+
+        resumed = SweepRunner(backend="serial", journal=journal, resume=True).run(
+            specs
+        )
+        assert resumed.ok
+        assert resumed.manifest.resumed
+        assert resumed.manifest.journal_hits == len(specs)
+        assert resumed.manifest.solved == 0
+        assert resumed.records() == golden == first.records()
+
+    def test_partial_journal_resumes_only_the_remainder(self, tmp_path):
+        specs = _specs()
+        journal = tmp_path / "sweep.journal"
+        full = SweepRunner(backend="serial", journal=journal).run(specs)
+        assert full.ok
+        # keep the header and the first three point lines: a sweep killed
+        # mid-run leaves exactly this shape behind
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:4]) + "\n")
+
+        resumed = SweepRunner(backend="serial", journal=journal, resume=True).run(
+            specs
+        )
+        assert resumed.ok
+        assert resumed.manifest.journal_hits == 3
+        assert resumed.manifest.solved == len(specs) - 3
+        assert resumed.records() == full.records()
+
+    def test_resume_against_a_different_sweep_refuses(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        assert SweepRunner(backend="serial", journal=journal).run(_specs(3)).ok
+        with pytest.raises(JournalError, match="different sweep"):
+            SweepRunner(backend="serial", journal=journal, resume=True).run(
+                _specs(4)
+            )
+
+    def test_unjournaled_runs_keep_their_stage_set(self):
+        report = SweepRunner(backend="serial").run(_specs(2))
+        assert set(report.manifest.stages) == {
+            "spec_hash", "cache_lookup", "solve", "store_write", "assemble",
+        }
+        assert report.manifest.journal_path is None
+
+    def test_journal_plus_store_replays_before_cache(self, tmp_path):
+        specs = _specs(4)
+        journal = tmp_path / "sweep.journal"
+        store_dir = tmp_path / "cache"
+        first = SweepRunner(
+            backend="serial", cache_dir=str(store_dir), journal=journal
+        ).run(specs)
+        assert first.ok
+        resumed = SweepRunner(
+            backend="serial",
+            cache_dir=str(store_dir),
+            journal=journal,
+            resume=True,
+        ).run(specs)
+        # journal replay wins over the store: hits are journal hits
+        assert resumed.manifest.journal_hits == 4
+        assert resumed.manifest.cache_hits == 0
+        assert resumed.records() == first.records()
+
+    def test_journal_lines_verify(self, tmp_path):
+        from repro.resilience.integrity import record_digest
+
+        journal = tmp_path / "sweep.journal"
+        SweepRunner(backend="serial", journal=journal).run(_specs(3))
+        lines = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert lines[0]["kind"] == "journal"
+        for entry in lines[1:]:
+            sha = entry.pop("sha256")
+            assert entry["kind"] == "point"
+            assert sha == record_digest(entry)

@@ -1,0 +1,128 @@
+"""Acceptance: SIGKILL a sweep mid-run, resume it, get bitwise-equal records.
+
+The victim sweep runs as a real ``python -m repro sweep`` subprocess with a
+``solve.delay`` fault plan pacing the points (so the kill reliably lands
+mid-sweep), a journal, and a manifest path.  The test polls the journal and
+SIGKILLs the process after a few points have been durably logged -- the
+hardest crash there is, no atexit, no flush -- then resumes through the
+public CLI and compares the per-point record lines byte for byte against an
+uninterrupted golden run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+SWEEP_ARGS = [
+    "sweep",
+    "--backend", "serial",
+    "--axis", "num_threads=1,2,3,4,5,6,7,8",
+    "--axis", "p_remote=0.2,0.4",
+]
+
+
+def _env(fault_plan: dict | None = None) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop("REPRO_FAULT_PLAN", None)
+    env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_CACHE_DIR", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+    return env
+
+
+def _run_cli(args, env, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, cwd=REPO, capture_output=True, text=True, **kwargs,
+    )
+
+
+def _journal_points(path) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path, "r", encoding="utf-8") as fh:
+        return sum(1 for line in fh if '"kind":"point"' in line)
+
+
+class TestSigkillResume:
+    def test_killed_sweep_resumes_bitwise_identical(self, tmp_path):
+        golden = tmp_path / "golden.jsonl"
+        out = _run_cli(
+            SWEEP_ARGS + ["--out", str(golden)], _env(), timeout=300
+        )
+        assert out.returncode == 0, out.stderr
+
+        manifest = tmp_path / "run.json"
+        journal = tmp_path / "run.json.journal"
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", *SWEEP_ARGS,
+             "--manifest", str(manifest), "--journal", str(journal)],
+            env=_env({"sites": {"solve.delay": {"p": 1.0, "sleep_s": 0.25}}}),
+            cwd=REPO,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while _journal_points(journal) < 3:
+                if victim.poll() is not None:
+                    pytest.fail("victim sweep finished before it could be killed")
+                if time.monotonic() > deadline:
+                    pytest.fail("journal never reached 3 points")
+                time.sleep(0.02)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        assert victim.returncode == -signal.SIGKILL
+
+        survived = _journal_points(journal)
+        assert survived >= 3
+        assert not manifest.exists()  # died long before the manifest write
+
+        resumed_out = tmp_path / "resumed.jsonl"
+        out = _run_cli(
+            SWEEP_ARGS
+            + ["--resume", str(manifest), "--out", str(resumed_out)],
+            _env(),
+            timeout=300,
+        )
+        assert out.returncode == 0, out.stderr
+        assert f"[journal] path={journal}" in out.stdout
+
+        # the acceptance bar: per-point records, byte for byte
+        assert resumed_out.read_bytes() == golden.read_bytes()
+
+        data = json.loads(manifest.read_text())
+        assert data["resumed"] is True
+        assert data["journal_hits"] >= survived
+        assert data["journal_hits"] + data["solved"] == data["unique_points"]
+        assert data["failures"] == 0
+
+    def test_resume_of_a_completed_sweep_solves_nothing(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        out = _run_cli(
+            SWEEP_ARGS + ["--manifest", str(manifest),
+                          "--journal", str(manifest) + ".journal"],
+            _env(), timeout=300,
+        )
+        assert out.returncode == 0, out.stderr
+        out = _run_cli(
+            SWEEP_ARGS + ["--resume", str(manifest)], _env(), timeout=300
+        )
+        assert out.returncode == 0, out.stderr
+        data = json.loads(manifest.read_text())
+        assert data["solved"] == 0
+        assert data["journal_hits"] == data["unique_points"] == 16

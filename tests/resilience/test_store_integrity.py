@@ -1,0 +1,150 @@
+"""Cache integrity: checksummed records, quarantine, recovery, migration."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience.integrity import canonical_json, finite_measures, record_digest
+from repro.runner.store import ResultStore
+
+
+def _fill(store: ResultStore, n: int = 4) -> None:
+    for i in range(n):
+        store.put(f"key-{i}", {"perf": {"U_p": 0.25 * i}, "elapsed": 0.0})
+    store.flush()
+
+
+class TestIntegrityPrimitives:
+    def test_digest_is_order_independent(self):
+        assert record_digest({"a": 1, "b": 2}) == record_digest({"b": 2, "a": 1})
+
+    def test_canonical_json_rejects_nan(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_finite_measures(self):
+        assert finite_measures({"a": [1, 2.5, {"b": 0}], "s": "x", "n": None})
+        assert not finite_measures({"a": [1, float("nan")]})
+        assert not finite_measures({"a": {"b": float("inf")}})
+        assert finite_measures(True)
+
+
+class TestChecksummedRecords:
+    def test_every_line_carries_a_verifying_sha(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store)
+        for line in (tmp_path / "results.jsonl").read_text().splitlines():
+            rec = json.loads(line)
+            sha = rec.pop("sha256")
+            assert sha == record_digest(rec)
+
+    def test_verified_read_roundtrips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store)
+        rec = ResultStore(tmp_path).get("key-2")
+        assert rec["perf"] == {"U_p": 0.5}
+        assert "sha256" not in rec  # integrity plumbing stays internal
+
+
+class TestCorruptionRecovery:
+    def _corrupt_line(self, tmp_path, index: int) -> None:
+        path = tmp_path / "results.jsonl"
+        lines = path.read_text().splitlines()
+        bad = lines[index]
+        mid = len(bad) // 2
+        lines[index] = bad[:mid] + "########" + bad[mid + 8 :]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_corrupt_record_is_quarantined_not_served(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store)
+        self._corrupt_line(tmp_path, 1)
+        # same index (size unchanged): corruption is caught on read
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("key-1") is None  # miss, not garbage, not a crash
+        assert reopened.get("key-0")["perf"] == {"U_p": 0.0}
+        assert reopened.get("key-3")["perf"] == {"U_p": 0.75}
+        assert reopened.quarantined == 1
+        assert reopened.index_rebuilds == 1
+        quarantine = (tmp_path / "results.jsonl.quarantine").read_text()
+        assert "########" in quarantine
+
+    def test_truncated_tail_dropped_and_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store)
+        path = tmp_path / "results.jsonl"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 20])  # torn final write
+        reopened = ResultStore(tmp_path)  # size mismatch -> recovery scan
+        assert reopened.get("key-3") is None
+        assert len(reopened) == 3
+        assert reopened.quarantined == 1
+
+    def test_resolve_after_quarantine_repopulates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store)
+        self._corrupt_line(tmp_path, 2)
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("key-2") is None
+        reopened.put("key-2", {"perf": {"U_p": 0.2}, "elapsed": 0.0})
+        reopened.flush()
+        assert ResultStore(tmp_path).get("key-2")["perf"] == {"U_p": 0.2}
+
+    def test_legacy_records_without_sha_are_migrated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store, 2)
+        # a record written by the pre-checksum format: no sha256 field
+        legacy = canonical_json(
+            {
+                "key": "legacy",
+                "solver_version": store.solver_version,
+                "perf": {"U_p": 0.9},
+                "elapsed": 0.0,
+            }
+        )
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write(legacy + "\n")
+        reopened = ResultStore(tmp_path)  # size mismatch -> recovery + migration
+        assert reopened.get("legacy")["perf"] == {"U_p": 0.9}
+        assert reopened.quarantined == 0
+        migrated = [
+            json.loads(line)
+            for line in (tmp_path / "results.jsonl").read_text().splitlines()
+        ]
+        assert all("sha256" in rec for rec in migrated)
+
+    def test_stats_surface_integrity_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store)
+        self._corrupt_line(tmp_path, 0)
+        reopened = ResultStore(tmp_path)
+        reopened.get("key-0")
+        stats = reopened.stats()
+        assert stats["quarantined"] == 1
+        assert stats["index_rebuilds"] == 1
+
+
+class TestStoreFaultSites:
+    def test_store_corrupt_record_site_garbles_the_write(
+        self, tmp_path, fault_plan
+    ):
+        fault_plan({"sites": {"store.corrupt_record": {"on_nth": [2]}}})
+        store = ResultStore(tmp_path)
+        _fill(store, 3)
+        reopened = ResultStore(tmp_path)
+        served = [reopened.get(f"key-{i}") for i in range(3)]
+        assert served[0] is not None and served[2] is not None
+        assert served[1] is None
+        assert reopened.quarantined == 1
+
+    def test_store_truncate_site_tears_the_write(self, tmp_path, fault_plan):
+        fault_plan({"sites": {"store.truncate": {"on_nth": [3]}}})
+        store = ResultStore(tmp_path)
+        _fill(store, 3)
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("key-0") is not None
+        assert reopened.get("key-1") is not None
+        assert reopened.get("key-2") is None
+        assert reopened.quarantined == 1

@@ -32,6 +32,13 @@ def _sleepy_worker(payload):
     return solve_job(payload)
 
 
+def _selective_sleeper(payload):
+    """Hang only the single-thread point; every other point solves fast."""
+    if payload["params"]["workload"]["num_threads"] == 1:
+        time.sleep(10.0)
+    return solve_job(payload)
+
+
 def _flaky_worker(payload):
     """Raise on the first two calls (per chaos dir), then solve normally."""
     marker = os.path.join(os.environ["REPRO_TEST_CHAOS_DIR"], "flaky-calls")
@@ -181,6 +188,37 @@ class TestTimeout:
         assert not report.ok
         assert report.manifest.timeouts >= 1
         assert any("timeout" in (r.error or "") for r in report.results)
+
+    def test_timeout_budget_is_per_point_not_per_wait(self):
+        """The budget runs from *submission*: N hung points with a T-second
+        timeout all expire around T total wall clock, not serially at N*T
+        (the old semantics restarted the clock at each ``future.result``)."""
+        specs = _specs(n_threads=(2, 3, 4, 5), p_remotes=(0.2,))
+        runner = SweepRunner(
+            jobs=2, min_parallel_points=1, timeout=0.5, retries=0,
+            worker=_sleepy_worker,
+        )
+        start = time.monotonic()
+        report = runner.run(specs)
+        wall = time.monotonic() - start
+        assert report.manifest.timeouts == 4
+        # old semantics: ~4 * 0.5s of sequential waits; deadline semantics:
+        # every budget expires ~0.5s after the shared submission instant
+        assert wall < 1.5, f"timeouts serialized: {wall:.2f}s wall"
+
+    def test_done_futures_collected_after_a_hung_point(self):
+        """One point hangs past its deadline; the points that finished in the
+        meantime are still collected as successes, not swept into the
+        timeout."""
+        specs = _specs(n_threads=(1, 2, 4, 8), p_remotes=(0.2,))
+        runner = SweepRunner(
+            jobs=2, min_parallel_points=1, timeout=1.5, retries=0,
+            worker=_selective_sleeper,
+        )
+        report = runner.run(specs)
+        assert report.manifest.timeouts == 1
+        by_ok = {r.params.workload.num_threads: r.ok for r in report.results}
+        assert by_ok == {1: False, 2: True, 4: True, 8: True}
 
 
 class TestRetry:

@@ -33,6 +33,22 @@ class TestArchitecture:
             Architecture(switch_delay=-0.5)
         with pytest.raises(ValueError):
             Architecture(context_switch=-1)
+        with pytest.raises(ValueError):
+            Architecture(ky=0)  # only -1 (square) or >= 1 makes a machine
+        assert Architecture(ky=-1).ky == -1
+
+    def test_validation_errors_name_the_field(self):
+        """CLI error reporting relies on the field name leading the message."""
+        for kwargs, fieldname in [
+            ({"k": 0}, "k"),
+            ({"ky": 0}, "ky"),
+            ({"memory_latency": -1}, "memory_latency"),
+            ({"switch_delay": -0.5}, "switch_delay"),
+            ({"context_switch": -1}, "context_switch"),
+            ({"memory_ports": 0}, "memory_ports"),
+        ]:
+            with pytest.raises(ValueError, match=rf"^{fieldname} "):
+                Architecture(**kwargs)
 
     def test_with_(self):
         a = Architecture().with_(switch_delay=0.0)
