@@ -18,7 +18,8 @@ from typing import Callable
 
 from . import analysis
 from .core import MMSModel, analyze, tolerance_report
-from .params import paper_defaults
+from .params import ParamError, paper_defaults
+from .resilience.journal import JournalError
 
 __all__ = ["main", "build_parser"]
 
@@ -317,15 +318,19 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if resume:
         manifest_path = manifest_path or args.resume
         journal_path = journal_path or f"{args.resume}.journal"
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        timeout=args.timeout,
-        retries=args.retries,
-        backend=args.backend,
-        journal=journal_path,
-        resume=resume,
-    )
+    try:
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            backend=args.backend,
+            journal=journal_path,
+            resume=resume,
+        )
+    except ValueError as exc:
+        # constructor validation of --jobs/--retries/--backend is user error
+        raise ParamError(str(exc)) from None
     names = list(axes)
     combos = list(product(*(axes[n] for n in names)))
     specs = [
@@ -434,10 +439,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except ValueError as exc:
+    except (ParamError, JournalError) as exc:
         # bad parameters / a journal that doesn't match the sweep: one clean
         # line on stderr (exit 2, argparse's usage-error convention), never
-        # a traceback
+        # a traceback.  Only these user-error types are dressed up -- an
+        # unexpected ValueError from deeper in the solver is a bug and
+        # keeps its traceback.
         print(f"repro-mms: error: {exc}", file=sys.stderr)
         return 2
 

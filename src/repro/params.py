@@ -27,7 +27,16 @@ from typing import Mapping
 
 from .topology import Torus2D
 
-__all__ = ["Architecture", "Workload", "MMSParams", "paper_defaults"]
+__all__ = ["Architecture", "MMSParams", "ParamError", "Workload", "paper_defaults"]
+
+
+class ParamError(ValueError):
+    """A parameter failed validation; the message names the offending field.
+
+    A distinct type (rather than bare :class:`ValueError`) lets the CLI
+    show user mistakes as one clean line while an unexpected ``ValueError``
+    from deeper in the solver keeps its traceback.
+    """
 
 
 def _plain(value: object) -> object:
@@ -78,21 +87,21 @@ class Architecture:
         # Every rejection names the offending field exactly as the user
         # spelled it, so CLI errors point straight at the bad axis/flag.
         if self.k < 1:
-            raise ValueError(f"k must be >= 1, got {self.k}")
+            raise ParamError(f"k must be >= 1, got {self.k}")
         if self.ky != -1 and self.ky < 1:
-            raise ValueError(
+            raise ParamError(
                 f"ky must be >= 1 (or -1 for a square k x k machine), got {self.ky}"
             )
         if self.memory_latency < 0:
-            raise ValueError(
+            raise ParamError(
                 f"memory_latency must be >= 0, got {self.memory_latency}"
             )
         if self.switch_delay < 0:
-            raise ValueError(f"switch_delay must be >= 0, got {self.switch_delay}")
+            raise ParamError(f"switch_delay must be >= 0, got {self.switch_delay}")
         if self.context_switch < 0:
-            raise ValueError(f"context_switch must be >= 0, got {self.context_switch}")
+            raise ParamError(f"context_switch must be >= 0, got {self.context_switch}")
         if self.memory_ports < 1:
-            raise ValueError(f"memory_ports must be >= 1, got {self.memory_ports}")
+            raise ParamError(f"memory_ports must be >= 1, got {self.memory_ports}")
 
     @property
     def torus(self):
@@ -148,22 +157,22 @@ class Workload:
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
-            raise ValueError(f"num_threads must be >= 1, got {self.num_threads}")
+            raise ParamError(f"num_threads must be >= 1, got {self.num_threads}")
         if self.runlength <= 0:
-            raise ValueError(f"runlength must be > 0, got {self.runlength}")
+            raise ParamError(f"runlength must be > 0, got {self.runlength}")
         if not 0.0 <= self.p_remote <= 1.0:
-            raise ValueError(f"p_remote must be in [0, 1], got {self.p_remote}")
+            raise ParamError(f"p_remote must be in [0, 1], got {self.p_remote}")
         if self.pattern not in ("geometric", "uniform", "hotspot"):
-            raise ValueError(f"unknown access pattern {self.pattern!r}")
+            raise ParamError(f"unknown access pattern {self.pattern!r}")
         if self.pattern in ("geometric", "hotspot") and not 0.0 < self.p_sw <= 1.0:
-            raise ValueError(f"p_sw must be in (0, 1], got {self.p_sw}")
+            raise ParamError(f"p_sw must be in (0, 1], got {self.p_sw}")
         if self.pattern == "hotspot":
             if not 0.0 <= self.hot_fraction <= 1.0:
-                raise ValueError(
+                raise ParamError(
                     f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
                 )
             if self.hot_node < 0:
-                raise ValueError(f"hot_node must be >= 0, got {self.hot_node}")
+                raise ParamError(f"hot_node must be >= 0, got {self.hot_node}")
 
     @property
     def is_symmetric(self) -> bool:

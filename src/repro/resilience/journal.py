@@ -135,6 +135,17 @@ class SweepJournal:
                     continue
                 replay[str(entry["key"])] = entry["record"]
         journal._keys = set(replay)
+        # A run killed mid-append can leave a torn final line with no
+        # trailing newline.  Terminate it before reopening for append --
+        # otherwise the first record written after resume would be
+        # concatenated onto the partial line, corrupting both and losing
+        # more than the one in-flight point this journal guarantees.
+        with open(journal.path, "r+b") as tail:
+            tail.seek(0, os.SEEK_END)
+            if tail.tell():
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    tail.write(b"\n")
         journal._fh = open(journal.path, "a", encoding="utf-8", buffering=1)
         return journal, replay
 

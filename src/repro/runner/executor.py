@@ -70,6 +70,8 @@ Progress = Callable[[int, int, RunResult], None]
 BACKENDS = ("auto", "batch", "process", "serial")
 #: solver methods the batched kernel accepts; others always run per-point
 BATCHABLE_METHODS = ("symmetric", "amva")
+#: poll interval while a pooled point waits for a worker slot
+_POLL_S = 0.05
 
 
 def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
@@ -116,6 +118,43 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
     ):
         perf = MMSModel(params).solve(method=payload["method"])
     return {"perf": perf.to_dict(), "elapsed": time.perf_counter() - t0}
+
+
+class _PoolWatch:
+    """Execution-deadline bookkeeping for one pool collection loop.
+
+    See :meth:`SweepRunner._pooled_result` for the semantics; one instance
+    is shared by every pooled wait of a run so deadlines arm as points
+    start, not as collection happens to reach them.
+    """
+
+    def __init__(self) -> None:
+        #: per-future execution deadline, armed at first observed running
+        self.deadlines: dict = {}
+        #: index into the futures list; everything before it is armed
+        self._armed_prefix = 0
+        #: last instant the pool showed life (a point started running)
+        self.progress_t = time.monotonic()
+
+    def arm(self, futures: list, timeout: float) -> None:
+        """Arm deadlines for futures that have started since the last scan.
+
+        The pool dispatches work items in submission order, so the scan
+        walks the armed prefix forward and stops at the first future that
+        is neither running nor done -- nothing later can have started yet.
+        Amortized O(1) per call over a run.
+        """
+        now = time.monotonic()
+        i = self._armed_prefix
+        while i < len(futures):
+            f = futures[i][1]
+            if f not in self.deadlines:
+                if not (f.running() or f.done()):
+                    break
+                self.deadlines[f] = now + timeout
+                self.progress_t = now
+            i += 1
+        self._armed_prefix = i
 
 
 @dataclass
@@ -606,6 +645,46 @@ class SweepRunner:
             self._run_serial_counted(serial_left, resolved, stats, progress, done, total)
         return "batch" if batched_any else "serial"
 
+    def _pooled_result(
+        self,
+        future,
+        futures: list[tuple[Mapping[str, object], object]],
+        watch: "_PoolWatch",
+    ) -> Mapping[str, object]:
+        """One pooled result under the per-point *execution* budget.
+
+        ``self.timeout`` is charged against solve time, not queue wait:
+        *watch* arms a deadline for every future the moment it is first
+        observed running, so a point queued behind a busy pool keeps its
+        full budget no matter how late collection reaches it.  (The pool
+        marks a work item running when it enters its dispatch queue, so
+        the budget can include at most one predecessor's remaining solve
+        time.)
+
+        While the point waits for a worker slot, the watch's progress
+        clock backstops the pathological case where every worker is
+        wedged: collection runs in submission order, so an undispatched
+        point here means each worker is either about to pick it up or
+        stuck on an already-abandoned (timed-out) point -- if a full
+        budget passes without any point starting, waiting cannot help, and
+        the wait is abandoned as a timeout (:class:`FutureTimeout`) rather
+        than blocking forever.
+        """
+        while True:
+            watch.arm(futures, self.timeout)
+            deadline = watch.deadlines.get(future)
+            try:
+                if deadline is not None:
+                    return future.result(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
+                return future.result(timeout=_POLL_S)
+            except FutureTimeout:
+                if deadline is not None:
+                    raise
+                if time.monotonic() - watch.progress_t >= self.timeout:
+                    raise
+
     def _run_parallel(
         self,
         pending: list[Mapping[str, object]],
@@ -617,12 +696,14 @@ class SweepRunner:
     ) -> str:
         """Pool execution; returns the mode the run ended in.
 
-        The per-point timeout is a *deadline from submission*: each future
-        records its submit timestamp and is given whatever remains of its
-        own budget when collection reaches it, so N queued slow points time
-        out after ~timeout total, not N*timeout, and a future that finished
-        within budget is always collected even if collection gets to it
-        late.
+        The per-point timeout budgets *execution*, not queue wait: each
+        future's clock arms when it is first observed running, so a long
+        sweep whose total wall clock exceeds the timeout never spuriously
+        fails points that merely queued behind a busy pool, and a future
+        that finished within budget is always collected even if collection
+        gets to it late.  A pool that stops making progress entirely (every
+        worker wedged on a hung point) fails its never-started points as
+        timeouts instead of waiting forever -- see :meth:`_pooled_result`.
         """
         total = done + len(pending)
         mode = "parallel"
@@ -636,6 +717,8 @@ class SweepRunner:
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         pool_error: str | None = None
         hung = False
+        #: arms execution deadlines as points start; shared stall guard
+        watch = _PoolWatch()
         try:
             try:
                 futures = []
@@ -643,18 +726,17 @@ class SweepRunner:
                     job = {**p, "pooled": True}
                     if ctx is not None:
                         job["trace"] = ctx
-                    futures.append((p, pool.submit(self.worker, job), time.monotonic()))
+                    futures.append((p, pool.submit(self.worker, job)))
             except BrokenProcessPool as exc:
                 pool_error = f"{type(exc).__name__}: {exc}"
                 futures = []
-            for payload, future, submitted in futures:
+            for payload, future in futures:
                 key = payload["key"]
                 try:
                     if self.timeout is None:
                         out = future.result()
                     else:
-                        remaining = submitted + self.timeout - time.monotonic()
-                        out = future.result(timeout=max(0.0, remaining))
+                        out = self._pooled_result(future, futures, watch)
                     if tracer is not None and out.get("spans"):
                         tracer.ingest(out["spans"])
                     if not finite_measures(out.get("perf")):

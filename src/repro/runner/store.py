@@ -130,7 +130,13 @@ class ResultStore:
                         continue
                     # sha is None: legacy format-1 record -- migrate by
                     # stamping a digest during the rewrite below
-                    key = str(rec.get("key"))
+                    key = rec.get("key")
+                    if not isinstance(key, str):
+                        # checksum-valid but unaddressable: without a key it
+                        # can never be served, so quarantine it rather than
+                        # indexing it under the literal string "None"
+                        bad.append(line)
+                        continue
                     if key in keys:  # first write wins, as in put()
                         continue
                     keys.add(key)

@@ -178,6 +178,19 @@ class TestCleanErrors:
         assert rc == 2
         assert err.startswith("repro-mms: error: p_remote must be in [0, 1]")
 
+    def test_unexpected_valueerror_keeps_its_traceback(self, monkeypatch):
+        """Only ParamError/JournalError are dressed up as usage errors; an
+        arbitrary ValueError (a bug, e.g. from numpy or the solver) must
+        propagate with its traceback instead of masquerading as exit 2."""
+        from repro import cli
+
+        def _boom(args):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(cli, "_dispatch", _boom)
+        with pytest.raises(ValueError, match="boom"):
+            cli.main(["solve"])
+
     def test_mismatched_resume_is_one_clean_line(self, capsys, tmp_path):
         manifest = tmp_path / "run.json"
         assert main(

@@ -69,6 +69,26 @@ class TestJournalFile:
         assert set(replay) == {"a"}
         assert resumed.dropped == 2
 
+    def test_torn_tail_does_not_swallow_post_resume_appends(self, tmp_path):
+        """A run killed mid-append leaves a newline-less partial line;
+        resume must terminate it so the first record appended afterwards
+        is not concatenated onto it (which would corrupt both and lose
+        more than the one in-flight point)."""
+        path = tmp_path / "sweep.journal"
+        sig = sweep_signature(["a", "b"], "2")
+        with SweepJournal.create(path, sig, total=2) as journal:
+            journal.append("a", {"perf": {"U_p": 0.1}})
+        with open(path, "ab") as fh:  # crash mid-append: half a line, no \n
+            fh.write(b'{"kind": "point", "key": "b", "rec')
+        resumed, replay = SweepJournal.resume(path, sig, total=2)
+        assert set(replay) == {"a"} and resumed.dropped == 1
+        resumed.append("b", {"perf": {"U_p": 0.2}})  # the re-solved point
+        resumed.close()
+        again, replay = SweepJournal.resume(path, sig, total=2)
+        again.close()
+        assert replay == {"a": {"perf": {"U_p": 0.1}}, "b": {"perf": {"U_p": 0.2}}}
+        assert again.dropped == 1  # only the torn tail, not a merged pair
+
     def test_journal_corrupt_record_fault_site(self, tmp_path, fault_plan):
         fault_plan({"sites": {"journal.corrupt_record": {"on_nth": [1]}}})
         path = tmp_path / "sweep.journal"

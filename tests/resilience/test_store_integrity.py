@@ -115,6 +115,24 @@ class TestCorruptionRecovery:
         ]
         assert all("sha256" in rec for rec in migrated)
 
+    def test_keyless_record_is_quarantined_not_indexed_as_none(self, tmp_path):
+        """A checksum-valid record with no 'key' field is unaddressable --
+        recovery must quarantine it, not index it under the string "None"."""
+        store = ResultStore(tmp_path)
+        _fill(store, 2)
+        keyless = {
+            "solver_version": store.solver_version,
+            "perf": {"U_p": 0.9},
+            "elapsed": 0.0,
+        }
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write(canonical_json({**keyless, "sha256": record_digest(keyless)}) + "\n")
+        reopened = ResultStore(tmp_path)  # size mismatch -> recovery scan
+        assert "None" not in reopened
+        assert len(reopened) == 2
+        assert reopened.quarantined == 1
+        assert '"U_p":0.9' in (tmp_path / "results.jsonl.quarantine").read_text()
+
     def test_stats_surface_integrity_counters(self, tmp_path):
         store = ResultStore(tmp_path)
         _fill(store)

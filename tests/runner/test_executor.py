@@ -32,6 +32,13 @@ def _sleepy_worker(payload):
     return solve_job(payload)
 
 
+def _napping_worker(payload):
+    """Well within any sane budget per point, but slow enough that a sweep
+    of them outlives a short timeout in total."""
+    time.sleep(0.2)
+    return solve_job(payload)
+
+
 def _selective_sleeper(payload):
     """Hang only the single-thread point; every other point solves fast."""
     if payload["params"]["workload"]["num_threads"] == 1:
@@ -190,9 +197,12 @@ class TestTimeout:
         assert any("timeout" in (r.error or "") for r in report.results)
 
     def test_timeout_budget_is_per_point_not_per_wait(self):
-        """The budget runs from *submission*: N hung points with a T-second
-        timeout all expire around T total wall clock, not serially at N*T
-        (the old semantics restarted the clock at each ``future.result``)."""
+        """N hung points with a T-second timeout expire in ~T-bounded
+        staggered waits plus one stall-guard window, not serially at N*T
+        (the old semantics restarted the clock at each ``future.result``):
+        running points time out as their own budgets expire, and once the
+        pool has made no progress for a full budget the never-started
+        points fail immediately instead of each waiting T."""
         specs = _specs(n_threads=(2, 3, 4, 5), p_remotes=(0.2,))
         runner = SweepRunner(
             jobs=2, min_parallel_points=1, timeout=0.5, retries=0,
@@ -202,9 +212,29 @@ class TestTimeout:
         report = runner.run(specs)
         wall = time.monotonic() - start
         assert report.manifest.timeouts == 4
-        # old semantics: ~4 * 0.5s of sequential waits; deadline semantics:
-        # every budget expires ~0.5s after the shared submission instant
+        # serialized semantics would cost ~4 * 0.5s of sequential waits
         assert wall < 1.5, f"timeouts serialized: {wall:.2f}s wall"
+
+    def test_queue_wait_does_not_consume_solve_budget(self):
+        """A pooled sweep whose *total* wall clock exceeds the per-point
+        timeout must not time anything out: the budget clock arms when a
+        point starts executing, not at submission, so points queued behind
+        a busy pool keep their full solve budget (deadline-from-submission
+        semantics spuriously failed every point collected after
+        ~timeout)."""
+        specs = _specs(n_threads=(1, 2, 3, 4, 5, 6), p_remotes=(0.2,))
+        runner = SweepRunner(
+            jobs=2, min_parallel_points=1, timeout=0.5, retries=0,
+            worker=_napping_worker,
+        )
+        start = time.monotonic()
+        report = runner.run(specs)
+        wall = time.monotonic() - start
+        # 6 x ~0.2s points on 2 workers: the sweep outlives the budget...
+        assert wall > 0.5, f"sweep too fast to exercise the regression: {wall:.2f}s"
+        # ...yet every point stayed well inside its own execution budget
+        assert report.ok, [r.error for r in report.results if not r.ok]
+        assert report.manifest.timeouts == 0
 
     def test_done_futures_collected_after_a_hung_point(self):
         """One point hangs past its deadline; the points that finished in the
