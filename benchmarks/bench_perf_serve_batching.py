@@ -1,0 +1,151 @@
+"""Closed-loop serve throughput: coalescing service vs per-request scalar.
+
+The tentpole's acceptance bar (ISSUE 5): with closed-loop clients (each
+fires its next request the moment the last one answers) the coalescing
+:class:`~repro.serve.SolveService` must beat a per-request scalar baseline
+by >= 3x at client concurrency >= 16.  Both sides solve the *same* unique
+points (caches disabled) from the same thread count, so the entire win is
+batching economics: N blocked clients cost one batched fixed point instead
+of N GIL-serialized scalar solves.
+
+Measured at 4 concurrencies with batch-width and p50/p95/p99 latency
+percentiles archived to ``benchmarks/results/perf_serve_batching.json``.
+"""
+
+import json
+import threading
+import time
+
+from repro.core.model import MMSModel
+from repro.params import paper_defaults
+from repro.serve import ServiceConfig, SolveService
+
+from conftest import RESULTS_DIR, run_once
+
+#: closed-loop client concurrencies (the acceptance bar applies from 16 up)
+CONCURRENCIES = (1, 4, 16, 32)
+#: requests each client issues per measured run
+REQUESTS_PER_CLIENT = 12
+
+
+def _points(concurrency: int, per_client: int) -> list[list]:
+    """Unique params per (client, request) -- no cache tier can answer."""
+    return [
+        [
+            paper_defaults(p_remote=0.01 + 0.0001 * (c * per_client + i))
+            for i in range(per_client)
+        ]
+        for c in range(concurrency)
+    ]
+
+
+def _closed_loop(concurrency: int, per_client: int, solve_one) -> dict:
+    """Drive closed-loop clients; returns throughput + latency percentiles."""
+    points = _points(concurrency, per_client)
+    latencies: list[float] = []
+    lock = threading.Lock()
+    start = threading.Barrier(concurrency + 1)
+
+    def client(c: int) -> None:
+        start.wait()
+        mine = []
+        for params in points[c]:
+            t0 = time.perf_counter()
+            solve_one(params)
+            mine.append(time.perf_counter() - t0)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    start.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        rank = min(len(latencies) - 1, int(round(q * (len(latencies) - 1))))
+        return latencies[rank]
+
+    total = concurrency * per_client
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "wall_s": wall,
+        "rps": total / wall,
+        "latency_s": {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)},
+    }
+
+
+def _measure_all() -> dict:
+    rows = []
+    for concurrency in CONCURRENCIES:
+        # --- baseline: every request is its own scalar solve ---------------
+        baseline = _closed_loop(
+            concurrency,
+            REQUESTS_PER_CLIENT,
+            lambda p: MMSModel(p).solve(method="symmetric"),
+        )
+
+        # --- service: same load, coalesced (caches off -> pure batching) ---
+        config = ServiceConfig(
+            max_batch=64,
+            min_linger_s=0.0002,
+            max_linger_s=0.004,
+            adaptive=True,
+            memory_cache=0,
+        )
+        with SolveService(config) as service:
+            served = _closed_loop(
+                concurrency,
+                REQUESTS_PER_CLIENT,
+                lambda p: service.solve(p, method="symmetric", timeout=120),
+            )
+            stats = service.stats()
+        served["batch_width"] = stats["batch_width"]
+        served["batches"] = stats["batches"]
+        rows.append(
+            {
+                "concurrency": concurrency,
+                "baseline": baseline,
+                "service": served,
+                "speedup": served["rps"] / baseline["rps"],
+            }
+        )
+    return {"requests_per_client": REQUESTS_PER_CLIENT, "rows": rows}
+
+
+def test_perf_serve_batching_vs_scalar_baseline(benchmark):
+    result = run_once(benchmark, _measure_all)
+    rows = result["rows"]
+
+    lines = ["serve batching vs per-request scalar (closed loop):"]
+    for row in rows:
+        s, b = row["service"], row["baseline"]
+        lines.append(
+            f"  C={row['concurrency']:>2}: scalar {b['rps']:7.1f} rps | "
+            f"service {s['rps']:7.1f} rps ({row['speedup']:4.1f}x) "
+            f"width mean {s['batch_width']['mean']:.1f} max "
+            f"{s['batch_width']['max']} | p50 {s['latency_s']['p50'] * 1e3:.1f} ms "
+            f"p99 {s['latency_s']['p99'] * 1e3:.1f} ms"
+        )
+    print("\n" + "\n".join(lines))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "perf_serve_batching.json"
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"[saved to benchmarks/results/perf_serve_batching.json]")
+
+    for row in rows:
+        if row["concurrency"] >= 16:
+            assert row["speedup"] >= 3.0, (
+                f"service only {row['speedup']:.1f}x over scalar at "
+                f"concurrency {row['concurrency']} (bar: 3x)"
+            )
+            assert row["service"]["batch_width"]["max"] > 1

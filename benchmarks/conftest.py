@@ -19,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+import repro
 from repro import runner as mms_runner
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -29,12 +30,12 @@ SWEEP_CACHE_DIR = Path(__file__).parent / ".sweep-cache"
 def sweep_cache():
     """Route every sweep in the session through one persistent result store."""
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(SWEEP_CACHE_DIR)
-    previous = mms_runner.configure(cache_dir=cache_dir)
+    previous = repro.configure(cache_dir=cache_dir)
     try:
         yield mms_runner.shared_store(cache_dir)
     finally:
         mms_runner.shared_store(cache_dir).flush()
-        mms_runner.configure(**previous)
+        repro.configure(**previous)
 
 
 @pytest.fixture

@@ -9,22 +9,20 @@ defaults), asks the two questions the tolerance metric answers --
 
 -- and shows how the closed-form bottleneck laws predict the knees.
 
+Everything below goes through the ``repro`` facade -- the one stable
+front door documented in docs/API.md.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    analyze,
-    paper_defaults,
-    solve,
-    tolerance_report,
-)
+import repro
 
 
 def main() -> None:
     # The reconstructed Table-1 default point: 4x4 torus, 8 threads/PE,
     # runlength 10, 20% remote accesses with geometric locality p_sw = 0.5,
     # memory access time 10, switch delay 10.
-    params = paper_defaults()
+    params = repro.paper_defaults()
     print("machine :", params.arch.torus, "| L =", params.arch.memory_latency,
           "| S =", params.arch.switch_delay)
     wl = params.workload
@@ -32,7 +30,7 @@ def main() -> None:
           f"p_remote={wl.p_remote} pattern={wl.pattern}(p_sw={wl.p_sw})\n")
 
     # --- solve the closed queueing network (symmetric AMVA) ---------------
-    perf = solve(params)
+    perf = repro.solve(params)
     print(f"processor utilization U_p : {perf.processor_utilization:6.3f}")
     print(f"message rate lambda_net   : {perf.lambda_net:6.4f} msgs/cycle")
     print(f"observed network latency  : {perf.s_obs:6.1f} (one-way)")
@@ -40,13 +38,13 @@ def main() -> None:
     print(f"system throughput P*U_p   : {perf.system_throughput:6.2f}\n")
 
     # --- the tolerance index ----------------------------------------------
-    report = tolerance_report(params)
-    for name, res in report.items():
-        print(f"tol_{name:8s}: {res.index:5.3f}  -> {res.zone.value}")
+    for subsystem in ("network", "memory"):
+        res = repro.tolerance_index(params, subsystem=subsystem)
+        print(f"tol_{subsystem:8s}: {res.index:5.3f}  -> {res.zone.value}")
     print()
 
     # --- closed-form bottleneck laws (Eqs. 4 and 5) ------------------------
-    ba = analyze(params)
+    ba = repro.analyze(params)
     print(f"average remote distance d_avg        : {ba.d_avg:.3f}")
     print(f"network saturation rate (Eq. 4)      : {ba.lambda_net_saturation:.4f}")
     print(f"critical p_remote (Eq. 5)            : {ba.critical_p_remote:.3f}")

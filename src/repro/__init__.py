@@ -1,14 +1,16 @@
 """repro -- reproduction of Nemawarkar & Gao, "Latency Tolerance: A Metric for
 Performance Analysis of Multithreaded Architectures" (IPPS 1997).
 
-Quick start::
+Quick start (the facade -- see ``docs/API.md``)::
 
-    from repro import paper_defaults, solve, network_tolerance
+    import repro
 
-    params = paper_defaults(num_threads=8, p_remote=0.2)
-    perf = solve(params)
+    perf = repro.solve(num_threads=8, p_remote=0.2)
     print(perf.processor_utilization, perf.s_obs)
-    print(float(network_tolerance(params)))
+    print(float(repro.tolerance_index(num_threads=8, p_remote=0.2)))
+
+    repro.configure(cache_dir="~/.cache/mms", jobs=4)
+    records = repro.sweep({"num_threads": [1, 2, 4, 8, 16]})
 
 Packages
 --------
@@ -20,8 +22,19 @@ Packages
 ``repro.spn``         stochastic timed Petri nets (the paper's validation)
 ``repro.analysis``    experiment harness regenerating every figure/table
 ``repro.runner``      managed sweeps: parallel workers + content-addressed cache
+``repro.serve``       coalescing solve service (``repro-mms serve``)
 """
 
+from .api import (
+    ServiceConfig,
+    SolveService,
+    configure,
+    simulate,
+    solve,
+    solve_points,
+    sweep,
+    tolerance_index,
+)
 from .core import (
     MMSModel,
     MMSPerformance,
@@ -33,30 +46,41 @@ from .core import (
     lambda_net_saturation,
     memory_tolerance,
     network_tolerance,
-    solve,
     threads_for_tolerance,
     tolerance_report,
     zone_boundary,
 )
 from .params import Architecture, MMSParams, Workload, paper_defaults
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # parameters
     "Architecture",
     "Workload",
     "MMSParams",
     "paper_defaults",
+    # the facade (docs/API.md)
+    "solve",
+    "solve_points",
+    "sweep",
+    "simulate",
+    "tolerance_index",
+    "configure",
+    "SolveService",
+    "ServiceConfig",
+    # model + measures
     "MMSModel",
     "MMSPerformance",
-    "solve",
+    # tolerance metric
     "ToleranceResult",
     "ToleranceZone",
     "classify",
     "network_tolerance",
     "memory_tolerance",
     "tolerance_report",
+    # bottleneck laws
     "analyze",
     "lambda_net_saturation",
     "critical_p_remote",

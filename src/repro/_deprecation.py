@@ -1,0 +1,34 @@
+"""Warn-once plumbing for deprecated entry points.
+
+The facade (:mod:`repro.api`) replaced the per-package ``configure``
+surfaces; the old names stay importable as thin shims that call
+:func:`warn_once` before forwarding.  One warning per name per process --
+a sweep touching a deprecated shim in a loop should nag once, not 176
+times.  Tests reset :data:`_WARNED` to assert the warn-exactly-once
+contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once"]
+
+#: deprecated names that have already warned this process
+_WARNED: set[str] = set()
+
+
+def warn_once(old: str, new: str) -> None:
+    """Emit one :class:`DeprecationWarning` steering *old* callers to *new*.
+
+    ``stacklevel=3`` points the warning at the shim's *caller* (user code),
+    skipping both this helper and the shim frame.
+    """
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

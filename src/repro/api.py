@@ -1,0 +1,356 @@
+"""The blessed public surface of ``repro`` -- one stable front door.
+
+Four PRs grew solver entry points, three ``configure()`` surfaces, and
+``REPRO_*`` environment reads across four modules.  This module is the
+consolidation: every supported way in, with consistent keywords, lazy
+imports of the heavy layers, and one :func:`configure` that composes the
+runner, observability, and resilience knobs.  ``import repro`` re-exports
+everything here; stability tiers and the full env-var table live in
+``docs/API.md``.
+
+Quick start::
+
+    import repro
+
+    perf = repro.solve(num_threads=8, p_remote=0.2)
+    tol = repro.tolerance_index(num_threads=8, p_remote=0.2)
+
+    prev = repro.configure(cache_dir="~/.cache/mms", jobs=4)
+    records = repro.sweep({"num_threads": [1, 2, 4, 8, 16]})
+    repro.configure(**prev)
+
+    with repro.SolveService() as svc:
+        result = svc.solve(repro.paper_defaults(p_remote=0.1))
+
+Precedence everywhere: environment variable < :func:`configure` <
+explicit argument at the call site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from .core.metrics import MMSPerformance
+from .core.model import MMSModel
+from .core.model import solve_points as _solve_points
+from .core.tolerance import ToleranceResult, memory_tolerance, network_tolerance
+from .params import MMSParams, paper_defaults
+from .serve import ServiceConfig, SolveService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulation.engine import SimResult
+
+__all__ = [
+    "configure",
+    "simulate",
+    "solve",
+    "solve_points",
+    "sweep",
+    "tolerance_index",
+    "ServiceConfig",
+    "SolveService",
+]
+
+
+def _resolve_params(
+    params: MMSParams | None, overrides: Mapping[str, object]
+) -> MMSParams:
+    """One params convention for the whole facade.
+
+    ``params`` (a prebuilt :class:`MMSParams`) and field ``**overrides``
+    (applied over :func:`paper_defaults`) are the two supported spellings;
+    mixing them is ambiguous and refused.
+    """
+    if params is not None:
+        if overrides:
+            raise TypeError(
+                "pass either params= or field overrides "
+                f"({sorted(map(str, overrides))}), not both"
+            )
+        return params
+    return paper_defaults(**overrides)
+
+
+def solve(
+    params: MMSParams | None = None,
+    *,
+    method: str = "auto",
+    **overrides: object,
+) -> MMSPerformance:
+    """Solve one parameter point; returns its :class:`MMSPerformance`.
+
+    Parameters
+    ----------
+    params:
+        A prebuilt :class:`MMSParams`.  Omit it to solve the paper's
+        default machine with ``**overrides`` applied.
+    method:
+        Solver selection: ``"auto"`` (default; picks the symmetric MVA
+        when the workload allows, AMVA otherwise), ``"symmetric"``,
+        ``"amva"``, ``"linearizer"``, or ``"exact"``.
+    **overrides:
+        :func:`paper_defaults` field overrides (``num_threads=8``,
+        ``p_remote=0.2``, ...); only valid when ``params`` is omitted.
+
+    >>> import repro
+    >>> perf = repro.solve(num_threads=8, p_remote=0.2)
+    >>> 0.0 < perf.processor_utilization <= 1.0
+    True
+    """
+    return MMSModel(_resolve_params(params, overrides)).solve(method=method)
+
+
+def solve_points(
+    points: Sequence[MMSParams],
+    *,
+    method: str = "auto",
+    tol: float = 1e-12,
+) -> list[MMSPerformance]:
+    """Solve a homogeneous lattice of points with one batched fixed point.
+
+    Parameters
+    ----------
+    points:
+        The :class:`MMSParams` to solve.  All must resolve to the same
+        solver method and machine size (that is what lets them stack into
+        one batched AMVA); symmetric batches are bitwise-identical to
+        per-point :func:`solve`.
+    method:
+        Solver selection, as in :func:`solve`; must be homogeneous across
+        the batch.
+    tol:
+        Fixed-point convergence tolerance.
+
+    Returns the performances in ``points`` order.  (The batched solver's
+    internal telemetry is available through :mod:`repro.core.model` for
+    callers who need it.)
+    """
+    perfs, _telemetry = _solve_points(points, method=method, tol=tol)
+    return perfs
+
+
+def sweep(
+    axes: Mapping[str, Sequence[object]],
+    *,
+    base: MMSParams | None = None,
+    method: str = "auto",
+    measure: Callable | str | None = None,
+    backend: str | None = None,
+    runner: object | None = None,
+    progress: Callable | None = None,
+) -> list[dict[str, object]]:
+    """Cartesian-product sweep; returns one record dict per point.
+
+    Parameters
+    ----------
+    axes:
+        Ordered mapping of parameter name to the values it sweeps, e.g.
+        ``{"num_threads": [1, 2, 4], "p_remote": [0.1, 0.2]}``.
+    base:
+        The point the axes vary around; defaults to
+        :func:`paper_defaults`.
+    method:
+        Solver selection, as in :func:`solve`.
+    measure:
+        Optional reduction per point -- a summary key or performance
+        attribute (``"U_p"``, ``"lambda_net"``, ``"throughput"``, ...) or a
+        callable ``(params, perf) -> value``; without it each record
+        carries the solved performance object under ``"perf"``.
+    backend:
+        Execution backend override: ``"auto"``, ``"batch"``, ``"process"``,
+        or ``"serial"``; default honours :func:`configure` and
+        ``REPRO_SWEEP_BACKEND``.
+    runner:
+        A prebuilt :class:`repro.runner.SweepRunner` for full control of
+        jobs/caching/journaling; default builds one from the global
+        configuration.
+    progress:
+        Optional callback ``(done, total, result)`` invoked per completed
+        point.
+    """
+    from .analysis.sweep import sweep as _sweep
+
+    return _sweep(
+        base if base is not None else paper_defaults(),
+        axes,
+        method,
+        measure=measure,
+        progress=progress,
+        runner=runner,
+        backend=backend,
+    )
+
+
+def simulate(
+    params: MMSParams | None = None,
+    *,
+    duration: float = 100_000.0,
+    seed: int = 0,
+    warmup: float | None = None,
+    **overrides: object,
+) -> "SimResult":
+    """Discrete-event simulation of one point (the validation substrate).
+
+    Parameters
+    ----------
+    params:
+        A prebuilt :class:`MMSParams`; omit it to simulate the paper's
+        default machine with ``**overrides`` applied.
+    duration:
+        Simulated time units to run.
+    seed:
+        RNG seed; the same seed reproduces the run event for event.
+    warmup:
+        Simulated time discarded before statistics start; default lets the
+        simulator choose.
+    **overrides:
+        :func:`paper_defaults` field overrides, as in :func:`solve`.
+        Simulator-specific keywords (``memory_dist=``, ``switch_dist=``,
+        ``runlength_dist=``, ``local_priority=``, ``switch_capacity=``,
+        ``switch_pipeline_depth=``, ``max_outstanding_remote=``) pass
+        through to :class:`repro.simulation.MMSSimulation` unchanged.
+    """
+    sim_kwargs = {
+        k: overrides.pop(k)
+        for k in (
+            "memory_dist",
+            "switch_dist",
+            "runlength_dist",
+            "local_priority",
+            "switch_capacity",
+            "switch_pipeline_depth",
+            "max_outstanding_remote",
+        )
+        if k in overrides
+    }
+    from .simulation.mms_sim import simulate as _simulate
+
+    return _simulate(
+        _resolve_params(params, overrides),
+        duration=duration,
+        seed=seed,
+        warmup=warmup,
+        **sim_kwargs,
+    )
+
+
+def tolerance_index(
+    params: MMSParams | None = None,
+    *,
+    subsystem: str = "network",
+    ideal: str = "zero_delay",
+    method: str = "auto",
+    **overrides: object,
+) -> ToleranceResult:
+    """The paper's latency-tolerance metric for one subsystem.
+
+    Parameters
+    ----------
+    params:
+        A prebuilt :class:`MMSParams`; omit it to use the paper's default
+        machine with ``**overrides`` applied.
+    subsystem:
+        ``"network"`` (default) or ``"memory"`` -- which latency source the
+        index measures tolerance of.
+    ideal:
+        Ideal-system construction for the network index: ``"zero_delay"``
+        (the paper's definition) or ``"unloaded"``; ignored for memory.
+    method:
+        Solver selection, as in :func:`solve`.
+    **overrides:
+        :func:`paper_defaults` field overrides, as in :func:`solve`.
+
+    Returns a :class:`ToleranceResult`; ``float()`` of it is the index.
+    """
+    resolved = _resolve_params(params, overrides)
+    if subsystem == "network":
+        return network_tolerance(resolved, ideal=ideal, method=method)
+    if subsystem == "memory":
+        return memory_tolerance(resolved, method=method)
+    raise ValueError(
+        f"subsystem: must be 'network' or 'memory', got {subsystem!r}"
+    )
+
+
+#: distinguishes "not passed" from "explicitly set to None/False"
+_UNSET = object()
+
+
+def configure(
+    *,
+    jobs: object = _UNSET,
+    cache_dir: object = _UNSET,
+    timeout: object = _UNSET,
+    retries: object = _UNSET,
+    backend: object = _UNSET,
+    trace: object = _UNSET,
+    tracer: object = _UNSET,
+    fault_plan: object = _UNSET,
+) -> dict[str, object]:
+    """One config front door: runner, observability, and resilience knobs.
+
+    Composes the per-subsystem configuration that used to live behind
+    ``repro.runner.configure``, ``repro.obs.configure``, and
+    ``repro.resilience.configure`` (all now deprecated shims).  Only the
+    keywords actually passed change; everything else is untouched.
+    Precedence per setting: environment variable < ``configure`` <
+    explicit argument at a call site.
+
+    Parameters
+    ----------
+    jobs:
+        Default sweep worker count (env: ``REPRO_SWEEP_JOBS``).
+    cache_dir:
+        Default persistent result-store directory; ``None`` disables
+        caching (env: ``REPRO_CACHE_DIR``).
+    timeout:
+        Default per-point solve timeout in seconds; ``None`` disables.
+    retries:
+        Default per-point retry budget.
+    backend:
+        Default sweep execution backend -- ``"auto"``, ``"batch"``,
+        ``"process"``, or ``"serial"`` (env: ``REPRO_SWEEP_BACKEND``).
+    trace:
+        Tracing destination: a JSONL path, ``True`` (in-memory), or
+        ``False``/``None`` to disable (env: ``REPRO_TRACE``).
+    tracer:
+        A prebuilt :class:`repro.obs.Tracer` to install directly
+        (overrides ``trace``).
+    fault_plan:
+        Fault-injection plan -- a dict, inline JSON, a JSON file path, or
+        ``None`` to disable (env: ``REPRO_FAULT_PLAN``).
+
+    Returns the previous values of every setting passed, so
+    ``repro.configure(**prev)`` restores them:
+
+    >>> import repro
+    >>> prev = repro.configure(jobs=4)
+    >>> _ = repro.configure(**prev)
+    """
+    from .obs import trace as _obs_trace
+    from .resilience import faults as _faults
+    from .runner.config import _configure as _runner_configure
+
+    previous: dict[str, object] = {}
+    runner_settings = {
+        name: value
+        for name, value in (
+            ("jobs", jobs),
+            ("cache_dir", cache_dir),
+            ("timeout", timeout),
+            ("retries", retries),
+            ("backend", backend),
+        )
+        if value is not _UNSET
+    }
+    if runner_settings:
+        previous.update(_runner_configure(**runner_settings))
+    if trace is not _UNSET or tracer is not _UNSET:
+        prev = _obs_trace.configure(
+            trace=None if trace is _UNSET else trace,
+            tracer=None if tracer is _UNSET else tracer,
+        )
+        previous["tracer"] = prev["tracer"]
+    if fault_plan is not _UNSET:
+        previous.update(_faults.configure(fault_plan=fault_plan))
+    return previous

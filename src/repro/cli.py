@@ -8,6 +8,8 @@ Subcommands
 ``experiment``  regenerate a paper table/figure by name
 ``validate``    model-vs-simulation comparison (Figure 11)
 ``sweep``       managed parameter sweep (parallel workers + result cache)
+``serve``       long-lived coalescing solve service over HTTP
+``report``      time-attribution report from a manifest or trace
 """
 
 from __future__ import annotations
@@ -244,6 +246,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("path", help="manifest .json or trace .jsonl file")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the coalescing solve service over HTTP",
+        description="Long-lived JSON solve service (POST /solve, GET "
+        "/healthz, GET /metricsz) with adaptive micro-batching, two-tier "
+        "caching, and explicit backpressure.  See docs/SERVING.md.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, help="widest coalesced solve"
+    )
+    p_serve.add_argument(
+        "--linger-us",
+        type=float,
+        default=5000.0,
+        help="max microseconds a request may wait for batch-mates",
+    )
+    p_serve.add_argument(
+        "--min-linger-us",
+        type=float,
+        default=200.0,
+        help="floor of the adaptive linger window, microseconds",
+    )
+    p_serve.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="always linger the full window instead of adapting to traffic",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="in-flight request bound before 429 backpressure",
+    )
+    p_serve.add_argument(
+        "--memory-cache",
+        type=int,
+        default=4096,
+        help="in-memory LRU entries (0 disables)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result store shared with sweeps "
+        "(default: REPRO_CACHE_DIR if set)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline, seconds",
+    )
+
     p_all = sub.add_parser(
         "reproduce-all",
         help="run every registered experiment and archive the outputs",
@@ -340,8 +398,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
     if args.trace:
         from . import obs
+        from .obs import trace as obs_trace
 
-        prev = obs.configure(trace=args.trace)
+        prev = obs_trace.configure(trace=args.trace)
         try:
             report = runner.run(specs)
             tracer = obs.get_tracer()
@@ -351,7 +410,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 )
             tracer.close()
         finally:
-            obs.configure(**prev)
+            obs_trace.configure(**prev)
     else:
         report = runner.run(specs)
 
@@ -412,6 +471,59 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"[trace written to {args.trace}]")
     return 0 if report.ok else 1
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from .serve import ServiceConfig, SolveService, build_server
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    try:
+        config = ServiceConfig(
+            max_batch=args.max_batch,
+            min_linger_s=args.min_linger_us / 1e6,
+            max_linger_s=args.linger_us / 1e6,
+            adaptive=not args.no_adaptive,
+            max_queue=args.max_queue,
+            memory_cache=args.memory_cache,
+            store_dir=cache_dir,
+            default_deadline_s=args.deadline,
+        )
+    except ValueError as exc:
+        raise ParamError(str(exc)) from None
+    service = SolveService(config)
+    server = build_server(args.host, args.port, service)
+    host, port = server.server_address[:2]
+    print(f"[serve] listening on http://{host}:{port}", flush=True)
+    if cache_dir:
+        print(f"[serve] store dir={cache_dir}", flush=True)
+
+    # serve_forever() can only be stopped from *another* thread (calling
+    # shutdown() from a handler on the serving thread deadlocks), so map
+    # SIGTERM onto the same KeyboardInterrupt path Ctrl-C already takes.
+    def _sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        service.close(drain=True)
+        stats = service.stats()
+        print(
+            f"[serve] drained; answered {stats['responses']} of "
+            f"{stats['requests']} requests "
+            f"({stats['batches']} batches, max width "
+            f"{stats['batch_width']['max']})",
+            flush=True,
+        )
+    return 0
 
 
 def _jsonable(obj: object) -> object:
@@ -532,6 +644,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "report":
         from .obs import TraceValidationError, render_report

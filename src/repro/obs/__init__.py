@@ -44,13 +44,25 @@ from .trace import (
     NOOP_SPAN,
     Span,
     Tracer,
-    configure,
     enabled,
     get_tracer,
     trace_span,
     traced,
 )
+from .trace import configure as _trace_configure
 from .validate import TraceSummary, TraceValidationError, validate_trace
+
+
+def configure(trace=None, tracer=None):
+    """Deprecated: use :func:`repro.configure(trace=..., tracer=...)`.
+
+    Forwards to :func:`repro.obs.trace.configure` after a one-time
+    ``DeprecationWarning``; same arguments, same previous-values return.
+    """
+    from .._deprecation import warn_once
+
+    warn_once("repro.obs.configure", "repro.configure")
+    return _trace_configure(trace=trace, tracer=tracer)
 
 __all__ = [
     "Counter",

@@ -194,7 +194,15 @@ def manifest_report(manifest: Mapping[str, object]) -> str:
     if store:
         blocks.append(
             format_table(
-                ["hits", "misses", "hit_rate", "entries", "invalidated"],
+                [
+                    "hits",
+                    "misses",
+                    "hit_rate",
+                    "entries",
+                    "invalidated",
+                    "quarantined",
+                    "index_rebuilds",
+                ],
                 [
                     [
                         store.get("hits", 0),
@@ -202,10 +210,36 @@ def manifest_report(manifest: Mapping[str, object]) -> str:
                         store.get("hit_rate", 0.0),
                         store.get("entries", 0),
                         str(store.get("invalidated", False)),
+                        store.get("quarantined", 0),
+                        store.get("index_rebuilds", 0),
                     ]
                 ],
                 precision=3,
                 title="Result store (lifetime of the backing store)",
+            )
+        )
+    if manifest.get("journal_path"):
+        blocks.append(
+            f"Journal: {manifest['journal_path']} "
+            f"(replayed {manifest.get('journal_hits', 0)} points, "
+            f"resumed={manifest.get('resumed', False)})"
+        )
+    degradations = manifest.get("degradations") or []
+    if degradations:
+        blocks.append(
+            format_table(
+                ["from", "to", "points", "reason"],
+                [
+                    [
+                        d.get("from_mode", "?"),
+                        d.get("to_mode", "?"),
+                        d.get("points", 0),
+                        str(d.get("reason", ""))[:60],
+                    ]
+                    for d in degradations
+                ],
+                precision=3,
+                title="Degradations (backend fell down the chain)",
             )
         )
     metrics = manifest.get("metrics")

@@ -35,12 +35,24 @@ from .faults import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
-    configure,
     fault_point,
     get_injector,
 )
+from .faults import configure as _faults_configure
 from .integrity import canonical_json, finite_measures, record_digest
 from .journal import JOURNAL_SCHEMA, JournalError, SweepJournal, sweep_signature
+
+
+def configure(fault_plan: object = None) -> dict[str, object]:
+    """Deprecated: use :func:`repro.configure(fault_plan=...)`.
+
+    Forwards to :func:`repro.resilience.faults.configure` after a one-time
+    ``DeprecationWarning``; same argument, same previous-values return.
+    """
+    from .._deprecation import warn_once
+
+    warn_once("repro.resilience.configure", "repro.configure")
+    return _faults_configure(fault_plan=fault_plan)
 
 __all__ = [
     "FAULT_SITES",

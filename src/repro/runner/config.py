@@ -34,11 +34,11 @@ _CONFIG: dict[str, object] = {
 _STORES: dict[str, ResultStore] = {}
 
 
-def configure(**settings: object) -> dict[str, object]:
+def _configure(**settings: object) -> dict[str, object]:
     """Set process-global runner defaults; returns the previous values.
 
-    >>> prev = configure(cache_dir="/tmp/mms-cache", jobs=4)  # doctest: +SKIP
-    >>> configure(**prev)  # restore                          # doctest: +SKIP
+    Internal implementation behind :func:`repro.configure`; the public
+    module-level :func:`configure` is a deprecated shim over this.
     """
     unknown = set(settings) - set(_CONFIG)
     if unknown:
@@ -46,6 +46,21 @@ def configure(**settings: object) -> dict[str, object]:
     previous = {k: _CONFIG[k] for k in settings}
     _CONFIG.update(settings)
     return previous
+
+
+def configure(**settings: object) -> dict[str, object]:
+    """Deprecated: use :func:`repro.configure` (same keywords, superset).
+
+    Forwards to the internal implementation after a one-time
+    ``DeprecationWarning``; returns the previous values like before.
+
+    >>> prev = configure(cache_dir="/tmp/mms-cache", jobs=4)  # doctest: +SKIP
+    >>> configure(**prev)  # restore                          # doctest: +SKIP
+    """
+    from .._deprecation import warn_once
+
+    warn_once("repro.runner.configure", "repro.configure")
+    return _configure(**settings)
 
 
 def effective_config() -> dict[str, object]:

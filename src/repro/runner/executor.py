@@ -47,9 +47,10 @@ from typing import Callable, Mapping, Sequence
 
 from ..core.metrics import MMSPerformance
 from ..core.model import MMSModel
-from ..obs import Tracer, configure, diff_snapshots, get_tracer
+from ..obs import Tracer, diff_snapshots, get_tracer
 from ..obs import registry as obs_registry
 from ..obs import trace_span
+from ..obs.trace import configure
 from ..params import MMSParams
 from ..resilience.degrade import DegradationPolicy
 from ..resilience.faults import fault_point

@@ -1,0 +1,31 @@
+"""Serving layer: the coalescing solve service and its HTTP front end.
+
+:class:`SolveService` (``service.py``) accepts concurrent solve requests,
+answers repeats from a two-tier cache, dedups identical in-flight keys,
+and coalesces the rest into batched solves with an adaptive micro-batcher;
+``http.py`` puts stdlib JSON endpoints in front of it and ``repro-mms
+serve`` runs that server.  See ``docs/SERVING.md``.
+"""
+
+from .http import SolveHTTPServer, build_server
+from .service import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ServeResult,
+    ServiceClosedError,
+    ServiceConfig,
+    SolveService,
+)
+
+__all__ = [
+    "DeadlineExceededError",
+    "QueueFullError",
+    "ServeError",
+    "ServeResult",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "SolveHTTPServer",
+    "SolveService",
+    "build_server",
+]

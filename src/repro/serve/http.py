@@ -1,0 +1,168 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.service.SolveService`.
+
+Three JSON endpoints on a :class:`http.server.ThreadingHTTPServer`:
+
+* ``POST /solve`` -- body ``{"params": {...nested MMSParams...}}`` or
+  ``{"point": {...paper_defaults overrides...}}``, plus optional
+  ``"method"`` and ``"deadline_s"``.  Answers
+  ``{"ok": true, "key", "perf", "source", "batch_width", "latency_s"}``.
+* ``GET /healthz`` -- liveness: ``{"ok": true, "status": "serving"}``.
+* ``GET /metricsz`` -- the service's :meth:`~SolveService.stats` plus a
+  full process metrics snapshot.
+
+One thread per connection means a handler may *block* in
+``service.solve`` -- that is the point: concurrent connections park in
+the service together and coalesce into wide batches.  Error mapping is
+part of the contract: bad request 400, backpressure 429
+(:class:`QueueFullError`), deadline 504, shutdown 503; every error body
+is ``{"ok": false, "error": <type>, "detail": <message>}``.
+
+Build one with :func:`build_server`; the ``repro-mms serve`` CLI wraps
+this with signal handling and a drain-on-exit (see ``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import registry as obs_registry
+from ..params import MMSParams, ParamError, paper_defaults
+from .service import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    SolveService,
+)
+
+__all__ = ["SolveHTTPServer", "SolveRequestHandler", "build_server"]
+
+#: largest accepted request body, bytes (an MMSParams payload is ~300 B)
+MAX_BODY_BYTES = 64 * 1024
+
+
+class SolveHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that carries the :class:`SolveService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: listen backlog; the stdlib default of 5 resets concurrent connect
+    #: bursts, which defeats the whole point of a coalescing service
+    request_queue_size = 256
+
+    def __init__(self, address: tuple[str, int], service: SolveService):
+        super().__init__(address, SolveRequestHandler)
+        self.service = service
+
+
+class SolveRequestHandler(BaseHTTPRequestHandler):
+    """Routes /solve, /healthz, /metricsz; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server: SolveHTTPServer
+
+    # silence the default per-request stderr line
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, error: str, detail: str) -> None:
+        self._reply(status, {"ok": False, "error": error, "detail": detail})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True, "status": "serving"})
+        elif self.path == "/metricsz":
+            self._reply(
+                200,
+                {
+                    "ok": True,
+                    "service": self.server.service.stats(),
+                    "metrics": obs_registry().snapshot(),
+                },
+            )
+        else:
+            self._error(404, "NotFound", f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        if self.path != "/solve":
+            self._error(404, "NotFound", f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._error(400, "BadRequest", "malformed Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(
+                400, "BadRequest", f"body must be 1..{MAX_BODY_BYTES} bytes"
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, "BadRequest", f"invalid JSON body: {exc}")
+            return
+        if not isinstance(payload, dict):
+            self._error(400, "BadRequest", "body must be a JSON object")
+            return
+
+        try:
+            params = _parse_params(payload)
+            method = payload.get("method", "auto")
+            deadline_s = payload.get("deadline_s")
+            if deadline_s is not None:
+                deadline_s = float(deadline_s)
+            result = self.server.service.solve(
+                params, method=method, deadline_s=deadline_s
+            )
+        except QueueFullError as exc:
+            self._error(429, "QueueFull", str(exc))
+            return
+        except DeadlineExceededError as exc:
+            self._error(504, "DeadlineExceeded", str(exc))
+            return
+        except ServiceClosedError as exc:
+            self._error(503, "ServiceClosed", str(exc))
+            return
+        except (ParamError, TypeError, ValueError, KeyError) as exc:
+            self._error(400, "BadRequest", f"{type(exc).__name__}: {exc}")
+            return
+
+        self._reply(
+            200,
+            {
+                "ok": True,
+                "key": result.key,
+                "perf": result.perf.to_dict(),
+                "source": result.source,
+                "batch_width": result.batch_width,
+                "latency_s": result.latency_s,
+            },
+        )
+
+
+def _parse_params(payload: dict) -> MMSParams:
+    """Build MMSParams from a /solve body (``params`` wins over ``point``)."""
+    if "params" in payload:
+        return MMSParams.from_dict(payload["params"])
+    if "point" in payload:
+        point = payload["point"]
+        if not isinstance(point, dict):
+            raise ParamError("point: must be a JSON object of field overrides")
+        return paper_defaults(**point)
+    raise ParamError("body must carry 'params' (nested) or 'point' (overrides)")
+
+
+def build_server(
+    host: str, port: int, service: SolveService
+) -> SolveHTTPServer:
+    """Bind a :class:`SolveHTTPServer`; ``port=0`` picks an ephemeral port."""
+    return SolveHTTPServer((host, port), service)

@@ -1,0 +1,106 @@
+"""Manifest/docs round trip: every key a RunManifest writes is documented.
+
+ISSUE 5's drift fix: ``repro-mms report`` and the manifest schema section
+of docs/OBSERVABILITY.md described pre-PR-4 manifests.  This pins the
+regenerated schema -- a real sweep's manifest is compared key-for-key
+against the docs, and the report renderer is asserted to surface the
+PR-4-era fields (store integrity columns, journal line, degradations).
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.report import manifest_report
+from repro.params import paper_defaults
+from repro.runner import JobSpec, SweepRunner
+from repro.runner.manifest import RunManifest, latency_stats
+
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+
+
+def documented_keys(text: str) -> set[str]:
+    """Backticked identifiers in the 'Run manifest schema' section."""
+    section = text.split("## Run manifest schema", 1)[1].split("\n## ", 1)[0]
+    return set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", section))
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    """A real manifest from a tiny cached sweep (store + stages populated)."""
+    cache = tmp_path_factory.mktemp("manifest-docs-cache")
+    runner = SweepRunner(jobs=1, cache_dir=str(cache))
+    base = paper_defaults()
+    specs = [
+        JobSpec(params=base.with_(num_threads=n), method="symmetric")
+        for n in (1, 2, 4)
+    ]
+    return runner.run(specs).manifest
+
+
+class TestDocsRoundTrip:
+    def test_docs_have_schema_section(self):
+        assert "## Run manifest schema" in DOCS.read_text(encoding="utf-8")
+
+    def test_every_dataclass_field_is_documented(self):
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for f in dataclasses.fields(RunManifest):
+            assert f.name in documented, (
+                f"RunManifest.{f.name} missing from the docs/OBSERVABILITY.md "
+                "manifest schema table"
+            )
+
+    def test_every_written_key_is_documented(self, manifest):
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for key in manifest.to_dict():
+            assert key in documented, f"manifest writes undocumented key {key!r}"
+
+    def test_point_latency_subkeys_documented(self, manifest):
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for key in manifest.point_latency:
+            assert key in documented, (
+                f"point_latency subkey {key!r} undocumented"
+            )
+        # the stats helper's full shape, not just this run's
+        for key in latency_stats([]):
+            assert key in documented, f"latency_stats key {key!r} undocumented"
+
+    def test_store_subkeys_documented(self, manifest):
+        assert manifest.store is not None
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for key in manifest.store:
+            assert key in documented, f"store subkey {key!r} undocumented"
+
+
+class TestReportRendersCurrentFields:
+    def test_store_table_includes_integrity_columns(self, manifest):
+        text = manifest_report(manifest.to_dict())
+        assert "quarantined" in text
+        assert "index_rebuilds" in text
+
+    def test_journal_and_degradations_rendered_when_present(self, manifest):
+        doc = manifest.to_dict()
+        doc["journal_path"] = "run.json.journal"
+        doc["journal_hits"] = 2
+        doc["resumed"] = True
+        doc["degradations"] = [
+            {
+                "from_mode": "batch",
+                "to_mode": "serial",
+                "reason": "InjectedFault: kaboom",
+                "points": 3,
+            }
+        ]
+        text = manifest_report(doc)
+        assert "run.json.journal" in text
+        assert "replayed 2 points" in text
+        assert "resumed=True" in text
+        assert "Degradations" in text
+        assert "InjectedFault" in text
+
+    def test_quiet_manifest_renders_without_journal_noise(self, manifest):
+        text = manifest_report(manifest.to_dict())
+        assert "Journal:" not in text
+        assert "Degradations" not in text

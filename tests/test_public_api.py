@@ -1,0 +1,219 @@
+"""The api_redesign contract: surface, docstrings, shims, configure.
+
+Pins the facade introduced in ISSUE 5: ``repro.__all__`` matches the
+documented surface (and docs/API.md names every facade function), every
+facade function's docstring describes each of its parameters, each
+deprecated shim warns exactly once per process and forwards correctly,
+and ``repro.configure`` composes/restores all three subsystems.
+"""
+
+import inspect
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import _deprecation, api
+
+DOCS_API = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+#: the documented stable surface, in export order
+DOCUMENTED_SURFACE = [
+    "__version__",
+    "Architecture",
+    "Workload",
+    "MMSParams",
+    "paper_defaults",
+    "solve",
+    "solve_points",
+    "sweep",
+    "simulate",
+    "tolerance_index",
+    "configure",
+    "SolveService",
+    "ServiceConfig",
+    "MMSModel",
+    "MMSPerformance",
+    "ToleranceResult",
+    "ToleranceZone",
+    "classify",
+    "network_tolerance",
+    "memory_tolerance",
+    "tolerance_report",
+    "analyze",
+    "lambda_net_saturation",
+    "critical_p_remote",
+    "zone_boundary",
+    "threads_for_tolerance",
+]
+
+FACADE_FUNCTIONS = [
+    "solve",
+    "solve_points",
+    "sweep",
+    "simulate",
+    "tolerance_index",
+    "configure",
+]
+
+
+@pytest.fixture()
+def fresh_warnings():
+    """Reset the warn-once registry so each test observes first warnings."""
+    saved = set(_deprecation._WARNED)
+    _deprecation._WARNED.clear()
+    yield
+    _deprecation._WARNED.clear()
+    _deprecation._WARNED.update(saved)
+
+
+class TestSurface:
+    def test_all_matches_documented_surface(self):
+        assert list(repro.__all__) == DOCUMENTED_SURFACE
+
+    def test_every_name_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_api_module_all_is_subset_of_package_all(self):
+        for name in api.__all__:
+            assert name in repro.__all__, name
+
+    def test_docs_api_names_every_facade_function(self):
+        text = DOCS_API.read_text(encoding="utf-8")
+        for name in FACADE_FUNCTIONS:
+            assert f"repro.{name}" in text, f"docs/API.md missing repro.{name}"
+        assert "repro.SolveService" in text
+
+    def test_facade_solve_matches_core_solve_bitwise(self):
+        params = repro.paper_defaults(num_threads=8, p_remote=0.2)
+        from repro.core.model import solve as core_solve
+
+        assert repro.solve(params).to_dict() == core_solve(params).to_dict()
+        assert (
+            repro.solve(num_threads=8, p_remote=0.2).to_dict()
+            == core_solve(params).to_dict()
+        )
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", FACADE_FUNCTIONS)
+    def test_facade_function_documents_every_parameter(self, name):
+        func = getattr(api, name)
+        doc = func.__doc__
+        assert doc and len(doc.strip()) > 40, f"{name}: missing docstring"
+        params = [
+            p
+            for p in inspect.signature(func).parameters
+            if p not in ("self",)
+        ]
+        for param in params:
+            # **overrides appears as "overrides"; _UNSET-defaulted kwargs by name
+            label = param.lstrip("*")
+            assert label in doc, f"{name}: parameter {param!r} undocumented"
+
+
+class TestDeprecatedShims:
+    def test_runner_configure_warns_once_and_forwards(self, fresh_warnings):
+        from repro import runner
+        from repro.runner.config import effective_config
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prev = runner.configure(jobs=7)
+            try:
+                assert effective_config()["jobs"] == 7  # forwarded
+                runner.configure(jobs=3)  # second call: no second warning
+            finally:
+                runner.configure(**prev)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "repro.runner.configure" in str(dep[0].message)
+        assert "repro.configure" in str(dep[0].message)
+
+    def test_obs_configure_warns_once_and_forwards(self, fresh_warnings):
+        from repro import obs
+        from repro.obs.trace import Tracer, get_tracer
+
+        tracer = Tracer()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prev = obs.configure(tracer=tracer)
+            try:
+                assert get_tracer() is tracer  # forwarded
+                obs.configure(trace=False)
+            finally:
+                obs.configure(**prev)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "repro.obs.configure" in str(dep[0].message)
+
+    def test_resilience_configure_warns_once_and_forwards(self, fresh_warnings):
+        from repro import resilience
+        from repro.resilience.faults import get_injector
+
+        plan = {"seed": 1, "sites": {"solve.delay": {"on_nth": [99]}}}
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prev = resilience.configure(fault_plan=plan)
+            try:
+                assert get_injector() is not None  # forwarded
+                resilience.configure(fault_plan=None)
+            finally:
+                resilience.configure(**prev)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "repro.resilience.configure" in str(dep[0].message)
+
+    def test_facade_configure_never_warns(self, fresh_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prev = repro.configure(jobs=2, trace=False, fault_plan=None)
+            repro.configure(
+                **{k: v for k, v in prev.items() if k != "tracer"}
+            )
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestConfigure:
+    def test_composes_all_three_subsystems(self):
+        from repro.obs.trace import get_tracer
+        from repro.resilience.faults import get_injector
+        from repro.runner.config import effective_config
+
+        prev = repro.configure(
+            jobs=5,
+            backend="batch",
+            fault_plan={"seed": 2, "sites": {"solve.delay": {"on_nth": [99]}}},
+        )
+        try:
+            cfg = effective_config()
+            assert cfg["jobs"] == 5
+            assert cfg["backend"] == "batch"
+            assert get_injector() is not None
+        finally:
+            repro.configure(**prev)
+        assert get_injector() is None
+        assert get_tracer() is None or True  # tracer untouched by restore
+
+    def test_returns_only_touched_settings(self):
+        prev = repro.configure(jobs=4)
+        try:
+            assert set(prev) == {"jobs"}
+        finally:
+            repro.configure(**prev)
+
+    def test_restore_round_trip(self):
+        from repro.runner.config import effective_config
+
+        before = effective_config()
+        prev = repro.configure(jobs=9, retries=4, timeout=1.5)
+        repro.configure(**prev)
+        assert effective_config() == before
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError):
+            repro.configure(warp_speed=9)
