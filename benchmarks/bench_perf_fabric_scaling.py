@@ -1,0 +1,112 @@
+"""Fabric throughput scaling: points/sec at 1, 2, and 4 workers.
+
+The satellite's acceptance bar (ISSUE 6): the distributed fabric path
+must reach >= 1.7x points/sec at 2 workers over the *single-worker
+fabric* path -- i.e. the coordination machinery (sqlite lease traffic,
+heartbeats, shared-store appends, finalize recovery scan) must not eat
+the parallelism it exists to buy.  Every run solves the same lattice
+through ``FabricScheduler.run`` with a fixed per-point pacing delay
+(``solve.delay`` fault site) so the workload is compute-shaped rather
+than dominated by the microsecond-scale AMVA solve, and the records are
+asserted bitwise-identical across worker counts.
+
+Results are archived to ``benchmarks/results/perf_fabric_scaling.json``.
+"""
+
+import json
+import os
+import time
+
+from repro.fabric import FabricScheduler
+from repro.params import paper_defaults
+from repro.runner import JobSpec, canonical_json
+
+from conftest import RESULTS_DIR, run_once
+
+#: worker fleet sizes measured (the acceptance bar compares 2 vs 1)
+WORKER_COUNTS = (1, 2, 4)
+#: per-point pacing injected via the ``solve.delay`` fault site
+PACE_S = 0.035
+#: lattice: 16 thread counts x 24 remote fractions = 384 points
+N_THREADS = range(1, 17)
+P_REMOTE = [round(0.05 + 0.7 * i / 23, 6) for i in range(24)]
+
+
+def _specs() -> list[JobSpec]:
+    return [
+        JobSpec(params=paper_defaults(num_threads=nt, p_remote=pr))
+        for nt in N_THREADS
+        for pr in P_REMOTE
+    ]
+
+
+def _run_fabric(fabric_dir: str, workers: int) -> dict:
+    """One full scheduler-managed run; returns timing + record lines."""
+    specs = _specs()
+    plan = {"sites": {"solve.delay": {"p": 1.0, "sleep_s": PACE_S}}}
+    os.environ["REPRO_FAULT_PLAN"] = json.dumps(plan)  # inherited by workers
+    try:
+        with FabricScheduler(
+            fabric_dir, lease_points=12, poll_s=0.05, backend="serial"
+        ) as scheduler:
+            t0 = time.perf_counter()
+            report = scheduler.run(specs, workers=workers, timeout=600)
+            wall = time.perf_counter() - t0
+    finally:
+        del os.environ["REPRO_FAULT_PLAN"]
+    assert report.manifest.solved == len(specs)
+    assert report.manifest.failures == 0
+    return {
+        "workers": workers,
+        "points": len(specs),
+        "wall_s": wall,
+        "points_per_s": len(specs) / wall,
+        "leases": report.manifest.fabric["leases_granted"],
+        "lines": [canonical_json(rec) for rec in report.records()],
+    }
+
+
+def _measure_all(tmp_dir: str) -> dict:
+    rows = [
+        _run_fabric(os.path.join(tmp_dir, f"fab-{workers}w"), workers)
+        for workers in WORKER_COUNTS
+    ]
+    # however the sweep was sharded, the records must not change
+    for row in rows[1:]:
+        assert row["lines"] == rows[0]["lines"]
+    base = rows[0]["points_per_s"]
+    return {
+        "pace_s": PACE_S,
+        "points": rows[0]["points"],
+        "rows": [
+            {k: v for k, v in row.items() if k != "lines"}
+            | {"speedup": row["points_per_s"] / base}
+            for row in rows
+        ],
+    }
+
+
+def test_perf_fabric_scaling(benchmark, tmp_path):
+    result = run_once(benchmark, lambda: _measure_all(str(tmp_path)))
+    rows = result["rows"]
+
+    lines = [f"fabric scaling ({result['points']} points, "
+             f"{PACE_S * 1e3:.0f} ms/point pacing):"]
+    for row in rows:
+        lines.append(
+            f"  workers={row['workers']}: {row['wall_s']:6.2f} s  "
+            f"{row['points_per_s']:6.1f} points/s  "
+            f"({row['speedup']:4.2f}x, {row['leases']} leases)"
+        )
+    print("\n" + "\n".join(lines))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "perf_fabric_scaling.json"
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print("[saved to benchmarks/results/perf_fabric_scaling.json]")
+
+    two = next(r for r in rows if r["workers"] == 2)
+    assert two["speedup"] >= 1.7, (
+        f"fabric at 2 workers only {two['speedup']:.2f}x over 1 worker "
+        f"(bar: 1.7x)"
+    )

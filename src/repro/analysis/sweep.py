@@ -65,6 +65,8 @@ def sweep(
     progress: Progress | None = None,
     runner: SweepRunner | None = None,
     backend: str | None = None,
+    fabric: str | None = None,
+    workers: int = 2,
 ) -> list[dict[str, object]]:
     """Cartesian-product sweep; returns one record per point.
 
@@ -83,6 +85,12 @@ def sweep(
     lattices route through the batched AMVA kernel under ``"auto"`` and
     ``"batch"``.
 
+    ``fabric`` (a shared coordination directory) distributes the sweep
+    across ``workers`` local worker processes -- plus any externally
+    started ones pointed at the same directory -- through the sweep
+    fabric (see ``docs/DISTRIBUTED.md``); it composes with ``backend``
+    and ``progress`` but not ``runner``.
+
     >>> recs = sweep(paper_defaults(), {"num_threads": [2, 4]})  # doctest: +SKIP
     """
     names = list(axes)
@@ -90,18 +98,24 @@ def sweep(
     if not combos:
         return []
     points = [base.with_(**dict(zip(names, combo))) for combo in combos]
-    if runner is None:
-        runner = default_runner()
-    if backend is not None:
-        if backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
-            )
-        runner.backend = backend
-    report = runner.run(
-        [JobSpec(params=point, method=method) for point in points],
-        progress=progress,
-    )
+    specs = [JobSpec(params=point, method=method) for point in points]
+    if fabric is not None:
+        if runner is not None:
+            raise ValueError("pass either runner= or fabric=, not both")
+        from ..fabric import FabricScheduler
+
+        with FabricScheduler(fabric, backend=backend or "auto") as scheduler:
+            report = scheduler.run(specs, workers=workers, progress=progress)
+    else:
+        if runner is None:
+            runner = default_runner()
+        if backend is not None:
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
+                )
+            runner.backend = backend
+        report = runner.run(specs, progress=progress)
     records: list[dict[str, object]] = []
     for combo, point, result in zip(combos, points, report.results):
         if not result.ok:

@@ -138,6 +138,8 @@ def sweep(
     backend: str | None = None,
     runner: object | None = None,
     progress: Callable | None = None,
+    fabric: str | None = None,
+    workers: int = 2,
 ) -> list[dict[str, object]]:
     """Cartesian-product sweep; returns one record dict per point.
 
@@ -167,6 +169,15 @@ def sweep(
     progress:
         Optional callback ``(done, total, result)`` invoked per completed
         point.
+    fabric:
+        Optional shared coordination directory: the sweep is distributed
+        across fabric worker processes (an experiment database plus a
+        shared result store live under it), is restartable, and may span
+        hosts sharing the directory.  Mutually exclusive with ``runner``.
+        See ``docs/DISTRIBUTED.md``.
+    workers:
+        Local fabric worker processes to spawn when ``fabric`` is given
+        (default 2; 0 relies on externally started workers).
     """
     from .analysis.sweep import sweep as _sweep
 
@@ -178,6 +189,8 @@ def sweep(
         progress=progress,
         runner=runner,
         backend=backend,
+        fabric=fabric,
+        workers=workers,
     )
 
 

@@ -7,7 +7,10 @@ Subcommands
 ``bottleneck``  the closed-form saturation laws (Eqs. 4/5)
 ``experiment``  regenerate a paper table/figure by name
 ``validate``    model-vs-simulation comparison (Figure 11)
-``sweep``       managed parameter sweep (parallel workers + result cache)
+``sweep``       managed parameter sweep (parallel workers + result cache);
+                ``--fabric DIR`` distributes it across worker processes
+``worker``      serve leases from a sweep fabric (``docs/DISTRIBUTED.md``)
+``exp``         query a fabric's experiment database (list/show/trials)
 ``serve``       long-lived coalescing solve service over HTTP
 ``report``      time-attribution report from a manifest or trace
 """
@@ -20,6 +23,7 @@ from typing import Callable
 
 from . import analysis
 from .core import MMSModel, analyze, tolerance_report
+from .fabric.db import FabricError
 from .params import ParamError, paper_defaults
 from .resilience.journal import JournalError
 
@@ -236,6 +240,109 @@ def build_parser() -> argparse.ArgumentParser:
         "solved, and the manifest is rewritten; the sweep definition must "
         "be identical",
     )
+    p_sweep.add_argument(
+        "--fabric",
+        metavar="DIR",
+        default=None,
+        help="distribute the sweep across worker processes coordinating "
+        "through DIR (experiment database + shared result store); the "
+        "sweep is restartable -- rerunning the same command resumes it. "
+        "See docs/DISTRIBUTED.md",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local fabric worker processes to spawn (with --fabric; "
+        "0 = rely on externally started workers)",
+    )
+    p_sweep.add_argument(
+        "--lease-points",
+        type=int,
+        default=32,
+        help="trials per fabric lease (the dispatch batching grain)",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        help="seconds a fabric lease survives without a worker heartbeat",
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve leases from a sweep fabric",
+        description="Pull-based fabric worker: claims leases of pending "
+        "trials from the experiment database in --fabric, solves them "
+        "through the ordinary backend stack, and appends results to the "
+        "fabric's shared store.  Run any number of these -- on this host "
+        "or any host sharing the directory.  See docs/DISTRIBUTED.md.",
+    )
+    p_worker.add_argument(
+        "--fabric", metavar="DIR", required=True, help="fabric directory"
+    )
+    p_worker.add_argument(
+        "--experiment",
+        default=None,
+        help="experiment id to serve (default: newest running experiment, "
+        "waiting up to --wait seconds for one to appear)",
+    )
+    p_worker.add_argument(
+        "--worker-id", default=None, help="fleet-unique id (default host-pid)"
+    )
+    p_worker.add_argument("--lease-points", type=int, default=32)
+    p_worker.add_argument("--lease-ttl", type=float, default=15.0)
+    p_worker.add_argument(
+        "--poll", type=float, default=0.2, help="idle seconds between claims"
+    )
+    p_worker.add_argument(
+        "--backend",
+        choices=("auto", "batch", "process", "serial"),
+        default="auto",
+    )
+    p_worker.add_argument("--retries", type=int, default=1)
+    p_worker.add_argument("--timeout", type=float, default=None)
+    p_worker.add_argument(
+        "--max-leases",
+        type=int,
+        default=None,
+        help="exit after this many leases (bounded shift)",
+    )
+    p_worker.add_argument(
+        "--wait",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a running experiment to appear",
+    )
+
+    p_exp = sub.add_parser(
+        "exp",
+        help="query a fabric's experiment database",
+        description="Inspect experiments, dispatch accounting, and "
+        "per-trial status in a fabric directory's experiment database.",
+    )
+    esub = p_exp.add_subparsers(dest="exp_command", required=True)
+    e_list = esub.add_parser("list", help="all experiments, newest first")
+    e_list.add_argument("--fabric", metavar="DIR", required=True)
+    e_show = esub.add_parser(
+        "show", help="one experiment: status, dispatch stats, workers"
+    )
+    e_show.add_argument("--fabric", metavar="DIR", required=True)
+    e_show.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="default: the newest experiment",
+    )
+    e_trials = esub.add_parser("trials", help="per-trial status lines")
+    e_trials.add_argument("--fabric", metavar="DIR", required=True)
+    e_trials.add_argument("experiment_id", nargs="?", default=None)
+    e_trials.add_argument(
+        "--status",
+        choices=("pending", "leased", "done", "failed"),
+        default=None,
+        help="only trials in this state",
+    )
 
     p_report = sub.add_parser(
         "report",
@@ -376,19 +483,52 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if resume:
         manifest_path = manifest_path or args.resume
         journal_path = journal_path or f"{args.resume}.journal"
-    try:
-        runner = SweepRunner(
-            jobs=args.jobs,
-            cache_dir=cache_dir,
-            timeout=args.timeout,
-            retries=args.retries,
+    runner = None
+    if args.fabric is not None:
+        # the fabric owns durability (experiment DB) and the store
+        # (FABRIC/store), so the single-host knobs don't compose with it
+        if journal_path or resume:
+            raise ParamError(
+                "--fabric sweeps journal into the experiment database; "
+                "rerun the same command to resume instead of --journal/--resume"
+            )
+        if args.cache_dir:
+            raise ParamError(
+                "--fabric sweeps share the store under FABRIC/store; "
+                "drop --cache-dir"
+            )
+        if args.workers < 0:
+            raise ParamError(f"--workers must be >= 0, got {args.workers}")
+        from .fabric import FabricScheduler
+
+        scheduler = FabricScheduler(
+            args.fabric,
+            lease_ttl=args.lease_ttl,
+            lease_points=args.lease_points,
             backend=args.backend,
-            journal=journal_path,
-            resume=resume,
+            retries=args.retries,
+            timeout=args.timeout,
         )
-    except ValueError as exc:
-        # constructor validation of --jobs/--retries/--backend is user error
-        raise ParamError(str(exc)) from None
+
+        def run_fn(specs):
+            with scheduler:
+                return scheduler.run(specs, workers=args.workers)
+
+    else:
+        try:
+            runner = SweepRunner(
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+                timeout=args.timeout,
+                retries=args.retries,
+                backend=args.backend,
+                journal=journal_path,
+                resume=resume,
+            )
+        except ValueError as exc:
+            # constructor validation of --jobs/--retries/--backend is user error
+            raise ParamError(str(exc)) from None
+        run_fn = runner.run
     names = list(axes)
     combos = list(product(*(axes[n] for n in names)))
     specs = [
@@ -402,7 +542,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
         prev = obs_trace.configure(trace=args.trace)
         try:
-            report = runner.run(specs)
+            report = run_fn(specs)
             tracer = obs.get_tracer()
             if report.manifest.metrics is not None:
                 tracer.write_event(
@@ -412,7 +552,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         finally:
             obs_trace.configure(**prev)
     else:
-        report = runner.run(specs)
+        report = run_fn(specs)
 
     out_fh = open(args.out, "w") if args.out else None
     try:
@@ -461,7 +601,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
             f"[integrity] quarantined={store_stats.get('quarantined', 0)} "
             f"index_rebuilds={store_stats.get('index_rebuilds', 0)}"
         )
-    if cache_dir:
+    if manifest.fabric:
+        fb = manifest.fabric
+        print(
+            f"[fabric] experiment={fb['experiment_id']} "
+            f"workers={fb['workers']} leases={fb['leases_granted']} "
+            f"expired={fb['leases_expired']} "
+            f"redispatched={fb['redispatched_trials']}"
+        )
+    if runner is not None and cache_dir:
         print(f"[cache] dir={cache_dir} entries={len(runner.store)}")
     if args.out:
         print(f"[records written to {args.out}]")
@@ -471,6 +619,120 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"[trace written to {args.trace}]")
     return 0 if report.ok else 1
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    from .fabric import FabricWorker
+
+    worker = FabricWorker(
+        args.fabric,
+        experiment_id=args.experiment,
+        worker_id=args.worker_id,
+        lease_points=args.lease_points,
+        lease_ttl=args.lease_ttl,
+        poll_s=args.poll,
+        backend=args.backend,
+        retries=args.retries,
+        timeout=args.timeout,
+        max_leases=args.max_leases,
+        wait_s=args.wait,
+    )
+    stats = worker.run()
+    print(
+        f"[worker] id={worker.worker_id} leases={stats.leases} "
+        f"points={stats.points} solved={stats.solved} failed={stats.failed}",
+        flush=True,
+    )
+    return 0
+
+
+def _fmt_age(now: float, then: float | None) -> str:
+    return "-" if then is None else f"{max(0.0, now - then):.0f}s ago"
+
+
+def _run_exp(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .fabric import ExperimentDB
+
+    with ExperimentDB(args.fabric) as db:
+        if args.exp_command == "list":
+            rows = db.experiments()
+            if not rows:
+                print("no experiments")
+                return 0
+            now = _time.time()
+            for row in rows:
+                counts = db.counts(row["experiment_id"])
+                done = counts["done"] + counts["failed"]
+                print(
+                    f"{row['experiment_id']}  {row['status']:8s} "
+                    f"{done}/{row['total_trials']} trials  "
+                    f"created {_fmt_age(now, row['created_s'])}"
+                )
+            return 0
+
+        experiment_id = args.experiment_id
+        if experiment_id is None:
+            rows = db.experiments()
+            if not rows:
+                raise FabricError(f"no experiments in {args.fabric}")
+            experiment_id = rows[0]["experiment_id"]
+
+        if args.exp_command == "show":
+            exp = db.experiment(experiment_id)
+            stats = db.stats(experiment_id)
+            now = _time.time()
+            print(f"experiment      {experiment_id}")
+            print(f"status          {exp['status']}")
+            print(f"signature       {exp['signature']}")
+            print(f"solver_version  {exp['solver_version']}")
+            print(f"created         {_fmt_age(now, exp['created_s'])}")
+            if exp["finished_s"] is not None:
+                print(f"finished        {_fmt_age(now, exp['finished_s'])}")
+            trials = stats["trials"]
+            print(
+                f"trials          {exp['total_trials']} total: "
+                + " ".join(f"{k}={trials[k]}" for k in trials)
+            )
+            print(
+                f"leases          granted={stats['leases_granted']} "
+                f"expired={stats['leases_expired']} "
+                f"active={stats['leases_active']}"
+            )
+            print(
+                f"dispatch        attempts={stats['dispatch_attempts']} "
+                f"max_attempts={stats['max_attempts']} "
+                f"redispatched={stats['redispatched_trials']}"
+            )
+            workers = db.workers(experiment_id)
+            print(f"workers         {len(workers)}")
+            for w in workers:
+                print(
+                    f"  {w['worker_id']}  {w['status']:7s} "
+                    f"heartbeat {_fmt_age(now, w['heartbeat_s'])}"
+                )
+            return 0
+
+        if args.exp_command == "trials":
+            rows = db.trials(experiment_id, status=args.status)
+            for t in rows:
+                extra = ""
+                if t["status"] == "done":
+                    cached = " cached" if t["from_cache"] else ""
+                    extra = f"  {float(t['elapsed_s'] or 0.0):.3f}s{cached}"
+                elif t["status"] == "failed":
+                    extra = f"  {t['error']}"
+                worker = t["worker_id"] or "-"
+                print(
+                    f"{t['seq']:6d} {t['key'][:12]}  {t['status']:8s} "
+                    f"attempts={t['attempts']} worker={worker}{extra}"
+                )
+            print(f"[{len(rows)} trials]")
+            return 0
+    raise AssertionError(
+        f"unhandled exp command {args.exp_command!r}"
+    )  # pragma: no cover
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -551,7 +813,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except (ParamError, JournalError) as exc:
+    except (ParamError, JournalError, FabricError) as exc:
         # bad parameters / a journal that doesn't match the sweep: one clean
         # line on stderr (exit 2, argparse's usage-error convention), never
         # a traceback.  Only these user-error types are dressed up -- an
@@ -644,6 +906,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "worker":
+        return _run_worker(args)
+
+    if args.command == "exp":
+        return _run_exp(args)
 
     if args.command == "serve":
         return _run_serve(args)

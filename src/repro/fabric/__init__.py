@@ -1,0 +1,28 @@
+"""Distributed sweep fabric: scheduler, workers, experiment database.
+
+The fabric turns one sweep into leased work units coordinated through a
+sqlite (WAL) experiment database in a shared directory -- multiple worker
+processes, on one host or several sharing the directory, pull leases,
+solve points through the ordinary backend stack, and append results to a
+shared content-addressed :class:`~repro.runner.store.ResultStore`.  The
+scheduler supervises dispatch and finalizes the sweep into the same
+:class:`~repro.runner.RunReport` a single-host run produces, bitwise
+identical record for record.
+
+See ``docs/DISTRIBUTED.md`` for the architecture, the experiment database
+schema, the worker lifecycle, and the failure-semantics table.
+"""
+
+from .db import DB_SCHEMA_VERSION, ExperimentDB, FabricError, worker_identity
+from .scheduler import FabricScheduler
+from .worker import FabricWorker, WorkerStats
+
+__all__ = [
+    "DB_SCHEMA_VERSION",
+    "ExperimentDB",
+    "FabricError",
+    "FabricScheduler",
+    "FabricWorker",
+    "WorkerStats",
+    "worker_identity",
+]

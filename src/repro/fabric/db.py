@@ -1,0 +1,500 @@
+r"""The experiment database: a dependency-free task queue over ``sqlite3``.
+
+One ``fabric.db`` file (WAL mode) is the shared coordination point of a
+sweep fabric: the scheduler registers an **experiment** (one sweep, pinned
+to its content signature) whose points become **trials**, workers claim
+**leases** -- short-lived exclusive grants over batches of pending trials --
+and every status transition is a single serialized transaction, so any
+number of processes (and, via a shared directory, hosts) can cooperate
+without a broker.
+
+State machine per trial::
+
+    pending --claim--> leased --complete--> done
+                          |  \--fail-----> failed      (terminal)
+                          \--lease expiry--> pending   (re-dispatched)
+
+A worker holds a lease alive by heartbeating; a SIGKILLed worker stops
+heartbeating, its lease expires, and :meth:`ExperimentDB.reap_expired`
+(run by the scheduler *and* by every worker before claiming) returns the
+leased trials to ``pending`` -- at-least-once dispatch, made effectively
+exactly-once by the content-addressed result store's first-write-wins
+dedup.  ``attempts`` counts dispatches, so a re-dispatched trial is
+visible in ``repro-mms exp trials`` as ``attempts > 1``.
+
+The shape follows FuzzBench's Experiment/Trial tables and scheduler
+dispatch loop, reduced to the stdlib.  Schema reference:
+``docs/DISTRIBUTED.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import time
+from pathlib import Path
+
+from ..obs import registry as obs_registry
+
+__all__ = ["DB_SCHEMA_VERSION", "ExperimentDB", "FabricError", "worker_identity"]
+
+#: bump on any incompatible schema change; an existing DB with a different
+#: version is refused (fabrics are cheap -- point at a fresh directory)
+DB_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS experiments (
+    experiment_id  TEXT PRIMARY KEY,
+    signature      TEXT NOT NULL,
+    solver_version TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    total_trials   INTEGER NOT NULL,
+    created_s      REAL NOT NULL,
+    finished_s     REAL,
+    meta           TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS trials (
+    experiment_id  TEXT NOT NULL,
+    seq            INTEGER NOT NULL,
+    key            TEXT NOT NULL,
+    payload        TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    from_cache     INTEGER NOT NULL DEFAULT 0,
+    worker_id      TEXT,
+    lease_id       INTEGER,
+    elapsed_s      REAL,
+    error          TEXT,
+    updated_s      REAL NOT NULL,
+    PRIMARY KEY (experiment_id, key)
+);
+CREATE INDEX IF NOT EXISTS trials_by_status
+    ON trials (experiment_id, status, seq);
+CREATE TABLE IF NOT EXISTS leases (
+    lease_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment_id  TEXT NOT NULL,
+    worker_id      TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    granted_s      REAL NOT NULL,
+    expires_s      REAL NOT NULL,
+    released_s     REAL,
+    trial_count    INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id      TEXT PRIMARY KEY,
+    experiment_id  TEXT NOT NULL,
+    pid            INTEGER,
+    host           TEXT,
+    started_s      REAL NOT NULL,
+    heartbeat_s    REAL NOT NULL,
+    status         TEXT NOT NULL
+);
+"""
+
+#: trial statuses that need no further work
+TERMINAL = ("done", "failed")
+
+
+class FabricError(ValueError):
+    """A fabric directory or experiment cannot serve the request."""
+
+
+def worker_identity(suffix: str | None = None) -> str:
+    """A fleet-unique worker id: ``host-pid[-suffix]``."""
+    base = f"{socket.gethostname()}-{os.getpid()}"
+    return f"{base}-{suffix}" if suffix else base
+
+
+class ExperimentDB:
+    """One process's handle on a fabric's ``fabric.db``.
+
+    Every public method is a complete transaction; handles are cheap and
+    **not** thread-safe -- a heartbeat thread opens its own.  ``sqlite3``
+    in WAL mode serializes writers and lets readers proceed, which is all
+    the concurrency a lease queue needs; ``busy_timeout`` absorbs writer
+    contention instead of surfacing ``database is locked``.
+    """
+
+    def __init__(self, fabric_dir: str | os.PathLike, timeout_s: float = 30.0):
+        self.fabric_dir = Path(fabric_dir)
+        self.fabric_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.fabric_dir / "fabric.db"
+        self._conn = sqlite3.connect(self.path, timeout=timeout_s)
+        self._conn.row_factory = sqlite3.Row
+        # autocommit mode: transactions are explicit BEGIN IMMEDIATE blocks
+        self._conn.isolation_level = None
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version={DB_SCHEMA_VERSION}")
+        elif version != DB_SCHEMA_VERSION:
+            self._conn.close()
+            raise FabricError(
+                f"fabric DB {self.path} has schema version {version}, "
+                f"this build speaks {DB_SCHEMA_VERSION}; "
+                "point at a fresh fabric directory"
+            )
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExperimentDB":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- experiments
+    def create_or_resume(
+        self,
+        signature: str,
+        solver_version: str,
+        payloads: list[dict[str, object]],
+        meta: dict[str, object] | None = None,
+    ) -> tuple[str, bool]:
+        """Register one sweep as an experiment, or attach to it.
+
+        The experiment id derives from the sweep's content signature, so
+        submitting the same JobSpecs again -- a restarted scheduler, a second
+        host -- attaches to the existing experiment and its completed trials
+        rather than re-running them.  Returns ``(experiment_id, created)``.
+        """
+        experiment_id = f"exp-{signature[:16]}"
+        now = time.time()
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT signature, solver_version, status FROM experiments "
+                "WHERE experiment_id = ?",
+                (experiment_id,),
+            ).fetchone()
+            if row is not None:
+                if row["signature"] != signature or (
+                    row["solver_version"] != solver_version
+                ):
+                    raise FabricError(
+                        f"experiment {experiment_id} exists with a different "
+                        "signature/solver version; use a fresh fabric dir"
+                    )
+                if row["status"] in ("done", "failed"):
+                    # completed experiments stay queryable; re-running the
+                    # same sweep is a no-op dispatch (every trial terminal)
+                    return experiment_id, False
+                return experiment_id, False
+            self._conn.execute(
+                "INSERT INTO experiments (experiment_id, signature, "
+                "solver_version, status, total_trials, created_s, meta) "
+                "VALUES (?, ?, ?, 'running', ?, ?, ?)",
+                (
+                    experiment_id,
+                    signature,
+                    solver_version,
+                    len(payloads),
+                    now,
+                    json.dumps(meta or {}, sort_keys=True),
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO trials (experiment_id, seq, key, payload, "
+                "status, updated_s) VALUES (?, ?, ?, ?, 'pending', ?)",
+                [
+                    (experiment_id, seq, p["key"], json.dumps(p, sort_keys=True), now)
+                    for seq, p in enumerate(payloads)
+                ],
+            )
+        return experiment_id, True
+
+    def finish(self, experiment_id: str, status: str = "done") -> None:
+        with self._txn():
+            self._conn.execute(
+                "UPDATE experiments SET status = ?, finished_s = ? "
+                "WHERE experiment_id = ?",
+                (status, time.time(), experiment_id),
+            )
+
+    def experiment(self, experiment_id: str) -> dict[str, object]:
+        row = self._conn.execute(
+            "SELECT * FROM experiments WHERE experiment_id = ?",
+            (experiment_id,),
+        ).fetchone()
+        if row is None:
+            raise FabricError(f"no experiment {experiment_id!r} in {self.path}")
+        return dict(row)
+
+    def experiments(self) -> list[dict[str, object]]:
+        """Every experiment, newest first."""
+        rows = self._conn.execute(
+            "SELECT * FROM experiments ORDER BY created_s DESC"
+        ).fetchall()
+        return [dict(r) for r in rows]
+
+    def latest_running(self) -> str | None:
+        """The most recently created running experiment, if any."""
+        row = self._conn.execute(
+            "SELECT experiment_id FROM experiments WHERE status = 'running' "
+            "ORDER BY created_s DESC LIMIT 1"
+        ).fetchone()
+        return row["experiment_id"] if row is not None else None
+
+    # --------------------------------------------------------------- workers
+    def register_worker(self, experiment_id: str, worker_id: str) -> None:
+        now = time.time()
+        with self._txn():
+            self._conn.execute(
+                "INSERT OR REPLACE INTO workers (worker_id, experiment_id, "
+                "pid, host, started_s, heartbeat_s, status) "
+                "VALUES (?, ?, ?, ?, ?, ?, 'active')",
+                (
+                    worker_id,
+                    experiment_id,
+                    os.getpid(),
+                    socket.gethostname(),
+                    now,
+                    now,
+                ),
+            )
+        obs_registry().counter("fabric.workers.registered").inc()
+
+    def worker_exit(self, worker_id: str) -> None:
+        with self._txn():
+            self._conn.execute(
+                "UPDATE workers SET status = 'exited', heartbeat_s = ? "
+                "WHERE worker_id = ?",
+                (time.time(), worker_id),
+            )
+
+    def workers(self, experiment_id: str) -> list[dict[str, object]]:
+        rows = self._conn.execute(
+            "SELECT * FROM workers WHERE experiment_id = ? ORDER BY started_s",
+            (experiment_id,),
+        ).fetchall()
+        return [dict(r) for r in rows]
+
+    # ---------------------------------------------------------------- leases
+    def claim(
+        self,
+        experiment_id: str,
+        worker_id: str,
+        limit: int,
+        ttl_s: float,
+    ) -> tuple[int | None, list[dict[str, object]]]:
+        """Atomically lease up to *limit* pending trials to *worker_id*.
+
+        Expired leases are reaped first inside the same transaction, so a
+        fabric with no scheduler process still re-dispatches dead workers'
+        points.  Returns ``(lease_id, payloads)``; ``(None, [])`` when
+        nothing is pending.
+        """
+        now = time.time()
+        with self._txn():
+            self._reap_locked(experiment_id, now)
+            rows = self._conn.execute(
+                "SELECT key, payload FROM trials WHERE experiment_id = ? "
+                "AND status = 'pending' ORDER BY seq LIMIT ?",
+                (experiment_id, limit),
+            ).fetchall()
+            if not rows:
+                return None, []
+            cur = self._conn.execute(
+                "INSERT INTO leases (experiment_id, worker_id, status, "
+                "granted_s, expires_s, trial_count) "
+                "VALUES (?, ?, 'active', ?, ?, ?)",
+                (experiment_id, worker_id, now, now + ttl_s, len(rows)),
+            )
+            lease_id = cur.lastrowid
+            self._conn.executemany(
+                "UPDATE trials SET status = 'leased', worker_id = ?, "
+                "lease_id = ?, attempts = attempts + 1, updated_s = ? "
+                "WHERE experiment_id = ? AND key = ?",
+                [(worker_id, lease_id, now, experiment_id, r["key"]) for r in rows],
+            )
+        obs_registry().counter("fabric.leases.granted").inc()
+        obs_registry().counter("fabric.trials.dispatched").inc(len(rows))
+        return lease_id, [json.loads(r["payload"]) for r in rows]
+
+    def heartbeat(self, lease_id: int, worker_id: str, ttl_s: float) -> None:
+        """Extend a live lease and refresh the worker's liveness stamp."""
+        now = time.time()
+        with self._txn():
+            self._conn.execute(
+                "UPDATE leases SET expires_s = ? "
+                "WHERE lease_id = ? AND status = 'active'",
+                (now + ttl_s, lease_id),
+            )
+            self._conn.execute(
+                "UPDATE workers SET heartbeat_s = ? WHERE worker_id = ?",
+                (now, worker_id),
+            )
+
+    def release_lease(self, lease_id: int) -> None:
+        """Close out a lease whose trials have all been reported."""
+        with self._txn():
+            self._conn.execute(
+                "UPDATE leases SET status = 'released', released_s = ? "
+                "WHERE lease_id = ? AND status = 'active'",
+                (time.time(), lease_id),
+            )
+        obs_registry().counter("fabric.leases.released").inc()
+
+    def reap_expired(self, experiment_id: str, now: float | None = None) -> int:
+        """Return expired leases' trials to ``pending``; count re-dispatched."""
+        with self._txn():
+            return self._reap_locked(experiment_id, now or time.time())
+
+    def _reap_locked(self, experiment_id: str, now: float) -> int:
+        """Expiry sweep; must run inside an open transaction."""
+        expired = [
+            r["lease_id"]
+            for r in self._conn.execute(
+                "SELECT lease_id FROM leases WHERE experiment_id = ? "
+                "AND status = 'active' AND expires_s < ?",
+                (experiment_id, now),
+            ).fetchall()
+        ]
+        if not expired:
+            return 0
+        redispatched = 0
+        for lease_id in expired:
+            cur = self._conn.execute(
+                "UPDATE trials SET status = 'pending', worker_id = NULL, "
+                "lease_id = NULL, updated_s = ? "
+                "WHERE experiment_id = ? AND lease_id = ? AND status = 'leased'",
+                (now, experiment_id, lease_id),
+            )
+            redispatched += cur.rowcount
+            self._conn.execute(
+                "UPDATE leases SET status = 'expired', released_s = ? "
+                "WHERE lease_id = ?",
+                (now, lease_id),
+            )
+        obs_registry().counter("fabric.leases.expired").inc(len(expired))
+        obs_registry().counter("fabric.trials.redispatched").inc(redispatched)
+        return redispatched
+
+    def leases(self, experiment_id: str) -> list[dict[str, object]]:
+        rows = self._conn.execute(
+            "SELECT * FROM leases WHERE experiment_id = ? ORDER BY lease_id",
+            (experiment_id,),
+        ).fetchall()
+        return [dict(r) for r in rows]
+
+    # ---------------------------------------------------------------- trials
+    def complete_trial(
+        self,
+        experiment_id: str,
+        key: str,
+        worker_id: str | None,
+        elapsed_s: float,
+        from_cache: bool = False,
+    ) -> None:
+        """Mark one trial done (idempotent: a terminal trial is left alone)."""
+        with self._txn():
+            self._conn.execute(
+                "UPDATE trials SET status = 'done', worker_id = ?, "
+                "elapsed_s = ?, from_cache = ?, error = NULL, updated_s = ? "
+                "WHERE experiment_id = ? AND key = ? "
+                "AND status NOT IN ('done', 'failed')",
+                (
+                    worker_id,
+                    elapsed_s,
+                    int(from_cache),
+                    time.time(),
+                    experiment_id,
+                    key,
+                ),
+            )
+        obs_registry().counter("fabric.trials.completed").inc()
+
+    def fail_trial(
+        self, experiment_id: str, key: str, worker_id: str | None, error: str
+    ) -> None:
+        """Mark one trial terminally failed (its retries are exhausted)."""
+        with self._txn():
+            self._conn.execute(
+                "UPDATE trials SET status = 'failed', worker_id = ?, "
+                "error = ?, updated_s = ? "
+                "WHERE experiment_id = ? AND key = ? "
+                "AND status NOT IN ('done', 'failed')",
+                (worker_id, error, time.time(), experiment_id, key),
+            )
+        obs_registry().counter("fabric.trials.failed").inc()
+
+    def counts(self, experiment_id: str) -> dict[str, int]:
+        """Trial-status histogram (absent statuses included as 0)."""
+        out = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for row in self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM trials "
+            "WHERE experiment_id = ? GROUP BY status",
+            (experiment_id,),
+        ).fetchall():
+            out[row["status"]] = row["n"]
+        return out
+
+    def trials(
+        self, experiment_id: str, status: str | None = None
+    ) -> list[dict[str, object]]:
+        if status is not None:
+            rows = self._conn.execute(
+                "SELECT * FROM trials WHERE experiment_id = ? AND status = ? "
+                "ORDER BY seq",
+                (experiment_id, status),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM trials WHERE experiment_id = ? ORDER BY seq",
+                (experiment_id,),
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def stats(self, experiment_id: str) -> dict[str, object]:
+        """Dispatch accounting for the manifest's ``fabric`` block."""
+        counts = self.counts(experiment_id)
+        lease_rows = self.leases(experiment_id)
+        attempts = self._conn.execute(
+            "SELECT COALESCE(SUM(attempts), 0) AS total, "
+            "COALESCE(MAX(attempts), 0) AS max_ "
+            "FROM trials WHERE experiment_id = ?",
+            (experiment_id,),
+        ).fetchone()
+        redispatched = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM trials "
+            "WHERE experiment_id = ? AND attempts > 1",
+            (experiment_id,),
+        ).fetchone()["n"]
+        return {
+            "experiment_id": experiment_id,
+            "trials": counts,
+            "leases_granted": len(lease_rows),
+            "leases_expired": sum(1 for l in lease_rows if l["status"] == "expired"),
+            "leases_active": sum(1 for l in lease_rows if l["status"] == "active"),
+            "dispatch_attempts": attempts["total"],
+            "max_attempts": attempts["max_"],
+            "redispatched_trials": redispatched,
+            "workers": len(self.workers(experiment_id)),
+        }
+
+    # ------------------------------------------------------------- internals
+    def _txn(self) -> "_Txn":
+        return _Txn(self._conn)
+
+
+class _Txn:
+    """``BEGIN IMMEDIATE`` transaction scope (writer lock up front)."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    def __enter__(self) -> sqlite3.Connection:
+        self._conn.execute("BEGIN IMMEDIATE")
+        return self._conn
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is None:
+            self._conn.execute("COMMIT")
+        else:
+            self._conn.execute("ROLLBACK")

@@ -1,0 +1,410 @@
+"""The fabric scheduler: shard a sweep into leases, supervise, finalize.
+
+:class:`FabricScheduler` is the single control process of one fabric
+directory.  :meth:`~FabricScheduler.run` is the managed entry point::
+
+    schedule   register the experiment (dedup + content signature), probe
+               the shared store so already-solved points never dispatch
+    dispatch   spawn N local workers (``repro-mms worker`` subprocesses),
+               reap expired leases, respawn dead local workers while work
+               remains -- external workers on other hosts may join at any
+               time by pointing at the same directory
+    finalize   mark the experiment terminal, reopen the store exclusively
+               (dedup + index rebuild over every worker's appends), and
+               assemble the familiar :class:`~repro.runner.RunReport`
+
+The three stages land in ``manifest.stages`` and as ``fabric.*`` trace
+spans; dispatch accounting (leases granted/expired, re-dispatched trials,
+attempts) lands in ``manifest.fabric`` and the ``fabric.*`` counters.
+
+Restartability: the experiment id derives from the sweep's content
+signature, so a SIGKILLed scheduler re-run with the same JobSpecs attaches
+to the same experiment, re-dispatches only non-terminal trials, and the
+final records are bitwise-identical to an uninterrupted single-host run
+(see ``docs/DISTRIBUTED.md`` for the failure-semantics table).
+
+Exactly one scheduler per fabric directory at a time: the exclusive store
+phases (probe, finalize) assume no concurrent appender, which holds
+because they run strictly before workers start and after the sweep drains.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.metrics import MMSPerformance
+from ..obs import diff_snapshots, trace_span
+from ..obs import registry as obs_registry
+from ..params import MMSParams
+from ..resilience.journal import sweep_signature
+from ..runner.executor import BACKENDS, RunReport
+from ..runner.manifest import RunManifest, latency_stats
+from ..runner.spec import SOLVER_VERSION, JobSpec, RunResult
+from ..runner.store import ResultStore
+from .db import ExperimentDB, FabricError
+
+__all__ = ["FabricScheduler"]
+
+#: callback invoked while dispatching: ``(done, total, counts_dict)``
+DispatchProgress = Callable[[int, int, dict], None]
+
+
+class FabricScheduler:
+    """Orchestrate one sweep across fabric workers.
+
+    Parameters
+    ----------
+    fabric_dir:
+        Shared coordination directory; created if missing.  Holds
+        ``fabric.db`` and the shared result store under ``store/``.
+    lease_ttl:
+        Seconds a worker lease survives without a heartbeat.
+    lease_points:
+        Trials per lease (the worker-side batching grain).
+    poll_s:
+        Dispatch-loop cadence (reaping, respawn checks).
+    backend / retries / timeout:
+        Execution knobs forwarded to every spawned worker's inner runner.
+    """
+
+    def __init__(
+        self,
+        fabric_dir,
+        lease_ttl: float = 15.0,
+        lease_points: int = 32,
+        poll_s: float = 0.1,
+        backend: str = "auto",
+        retries: int = 1,
+        timeout: float | None = None,
+    ):
+        if backend not in BACKENDS:
+            raise FabricError(
+                f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
+            )
+        if lease_points < 1:
+            raise FabricError(f"lease_points must be >= 1, got {lease_points}")
+        self.fabric_dir = Path(fabric_dir)
+        self.store_dir = self.fabric_dir / "store"
+        self.lease_ttl = lease_ttl
+        self.lease_points = lease_points
+        self.poll_s = poll_s
+        self.backend = backend
+        self.retries = retries
+        self.timeout = timeout
+        self.db = ExperimentDB(self.fabric_dir)
+        #: local worker subprocesses this scheduler spawned (index -> Popen)
+        self._procs: dict[int, subprocess.Popen] = {}
+        self._next_worker = 0
+        self._store: ResultStore | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        self.db.close()
+
+    def __enter__(self) -> "FabricScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- steps
+    def submit(
+        self, specs: Sequence[JobSpec], meta: dict | None = None
+    ) -> tuple[str, dict[str, dict[str, object]]]:
+        """Register the sweep; returns ``(experiment_id, unique payloads)``.
+
+        Payloads are deduplicated by content-addressed key in first-seen
+        order (duplicate request entries share one trial, exactly as
+        :class:`~repro.runner.SweepRunner` dedups).  Before any worker
+        starts, the shared store is probed **exclusively** and every
+        already-persisted point is marked ``done`` with ``from_cache`` --
+        cache hits never cross the fabric.
+        """
+        payloads = [spec.payload() for spec in specs]
+        unique: dict[str, dict[str, object]] = {}
+        for payload in payloads:
+            unique.setdefault(str(payload["key"]), payload)
+        signature = sweep_signature(unique, SOLVER_VERSION)
+        experiment_id, created = self.db.create_or_resume(
+            signature,
+            SOLVER_VERSION,
+            list(unique.values()),
+            meta={"backend": self.backend, **(meta or {})},
+        )
+        # store probe: only non-terminal trials can be served from cache
+        open_trials = [
+            t
+            for t in self.db.trials(experiment_id)
+            if t["status"] not in ("done", "failed")
+        ]
+        if open_trials and (self.store_dir / "results.jsonl").exists():
+            store = ResultStore(self.store_dir)
+            for trial in open_trials:
+                rec = store.get(str(trial["key"]))
+                if rec is not None:
+                    self.db.complete_trial(
+                        experiment_id,
+                        str(trial["key"]),
+                        None,
+                        float(rec.get("elapsed", 0.0)),
+                        from_cache=True,
+                    )
+            store.close()
+        return experiment_id, unique
+
+    def spawn_worker(self, experiment_id: str) -> subprocess.Popen:
+        """Start one local ``repro-mms worker`` subprocess on this fabric."""
+        args = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--fabric",
+            str(self.fabric_dir),
+            "--experiment",
+            experiment_id,
+            "--lease-points",
+            str(self.lease_points),
+            "--lease-ttl",
+            str(self.lease_ttl),
+            "--backend",
+            self.backend,
+            "--retries",
+            str(self.retries),
+        ]
+        if self.timeout is not None:
+            args += ["--timeout", str(self.timeout)]
+        proc = subprocess.Popen(args, stdout=subprocess.DEVNULL)
+        self._procs[self._next_worker] = proc
+        self._next_worker += 1
+        obs_registry().counter("fabric.workers.spawned").inc()
+        return proc
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live local workers (test/chaos seam)."""
+        return [p.pid for p in self._procs.values() if p.poll() is None]
+
+    def wait(
+        self,
+        experiment_id: str,
+        progress: DispatchProgress | None = None,
+        timeout: float | None = None,
+        respawn: bool = True,
+    ) -> dict[str, int]:
+        """Dispatch loop: reap, supervise, block until every trial is terminal.
+
+        ``respawn=True`` keeps the local worker fleet at its spawned size
+        while undone work remains -- a SIGKILLed worker is both reaped (its
+        lease expires) and replaced.  External workers are invisible here;
+        they coordinate purely through the database.  Raises
+        :class:`FabricError` if *timeout* elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        total = int(self.db.experiment(experiment_id)["total_trials"])
+        last_done = -1
+        while True:
+            self.db.reap_expired(experiment_id)
+            counts = self.db.counts(experiment_id)
+            done = counts["done"] + counts["failed"]
+            if progress is not None and done != last_done:
+                progress(done, total, counts)
+                last_done = done
+            if counts["pending"] == 0 and counts["leased"] == 0:
+                return counts
+            if respawn and self._procs:
+                for index, proc in list(self._procs.items()):
+                    if proc.poll() is not None:
+                        del self._procs[index]
+                        self.spawn_worker(experiment_id)
+                        obs_registry().counter("fabric.workers.respawned").inc()
+            if deadline is not None and time.monotonic() > deadline:
+                raise FabricError(
+                    f"experiment {experiment_id} still has "
+                    f"{counts['pending']} pending / {counts['leased']} leased "
+                    f"trials after {timeout:.0f}s"
+                )
+            time.sleep(self.poll_s)
+
+    def finalize(
+        self,
+        experiment_id: str,
+        specs: Sequence[JobSpec],
+        progress=None,
+    ) -> RunReport:
+        """Exclusive store reopen + report assembly for a drained experiment.
+
+        The reopen runs the store's recovery scan over every worker's
+        appends: duplicate keys from at-least-once re-dispatch collapse
+        (first write wins), the index is rebuilt, and the surviving records
+        are exactly what an uninterrupted single-host run would have
+        persisted.  Results come back in request order; ``progress`` (the
+        runner's ``(done, total, result)`` shape) fires per unique point.
+        """
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    # a hung worker can't hold a lease past its ttl; don't
+                    # let it hold up finalize either
+                    proc.kill()
+                    proc.wait()
+        counts = self.db.counts(experiment_id)
+        if counts["pending"] or counts["leased"]:
+            raise FabricError(
+                f"cannot finalize {experiment_id}: "
+                f"{counts['pending']} pending / {counts['leased']} leased"
+            )
+        self.db.finish(
+            experiment_id, "done" if counts["failed"] == 0 else "failed"
+        )
+        store = ResultStore(self.store_dir)
+        trials = {str(t["key"]): t for t in self.db.trials(experiment_id)}
+        resolved: dict[str, RunResult] = {}
+        results: list[RunResult] = []
+        done = 0
+        for spec in specs:
+            payload = spec.payload()
+            key = str(payload["key"])
+            base = resolved.get(key)
+            if base is not None:
+                results.append(base.as_duplicate())
+                continue
+            trial = trials.get(key)
+            rec = store.get(key) if trial is not None else None
+            if trial is None or (trial["status"] == "done" and rec is None):
+                # a done trial must have a store record; its absence means
+                # the store was tampered with between runs -- surface it
+                result = self._failure(payload, "no store record for done trial")
+            elif rec is not None and trial["status"] == "done":
+                result = RunResult(
+                    key=key,
+                    params=MMSParams.from_dict(payload["params"]),
+                    method=str(payload["method"]),
+                    perf=MMSPerformance.from_dict(rec["perf"]),
+                    elapsed=float(rec.get("elapsed", 0.0)),
+                    attempts=int(trial["attempts"]) or 1,
+                    from_cache=bool(trial["from_cache"]),
+                    amortized=bool(rec.get("amortized", False)),
+                )
+            else:
+                result = self._failure(
+                    payload, str(trial["error"] or "trial failed")
+                )
+            resolved[key] = result
+            results.append(result)
+            done += 1
+            if progress is not None:
+                progress(done, len(trials), result)
+        self._store = store  # kept open for stats; closed by close()/caller
+        return RunReport(results=results, manifest=None)  # manifest set by run()
+
+    @staticmethod
+    def _failure(payload: dict[str, object], error: str) -> RunResult:
+        return RunResult(
+            key=str(payload["key"]),
+            params=MMSParams.from_dict(payload["params"]),
+            method=str(payload["method"]),
+            perf=None,
+            error=error,
+        )
+
+    # ------------------------------------------------------------ public API
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        workers: int = 2,
+        progress=None,
+        timeout: float | None = None,
+        meta: dict | None = None,
+    ) -> RunReport:
+        """Managed fabric sweep: submit, dispatch across *workers*, finalize.
+
+        ``workers=0`` spawns nothing and relies on external workers already
+        pointed at the fabric directory.  Returns the same
+        :class:`RunReport` a :class:`~repro.runner.SweepRunner` produces,
+        with ``manifest.mode == "fabric"`` and dispatch accounting under
+        ``manifest.fabric``.
+        """
+        t_start = time.perf_counter()
+        metrics_before = obs_registry().snapshot()
+        stages: dict[str, float] = {}
+        with trace_span(
+            "fabric.run", total_points=len(specs), workers=workers
+        ) as root:
+            t0 = time.perf_counter()
+            with trace_span("fabric.schedule", points=len(specs)) as span:
+                experiment_id, unique = self.submit(specs, meta=meta)
+                counts = self.db.counts(experiment_id)
+                # anything terminal before dispatch -- store probe hits and
+                # prior runs' completions -- is a cache hit of this run
+                pre_done = counts["done"]
+                span.set(experiment=experiment_id, cached=pre_done)
+            stages["schedule"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with trace_span("fabric.dispatch", workers=workers) as span:
+                if counts["pending"] or counts["leased"]:
+                    for _ in range(workers):
+                        self.spawn_worker(experiment_id)
+                    counts = self.wait(experiment_id, timeout=timeout)
+                span.set(**{k: counts[k] for k in ("done", "failed")})
+            stages["dispatch"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with trace_span("fabric.finalize"):
+                report = self.finalize(experiment_id, specs, progress=progress)
+            stages["finalize"] = time.perf_counter() - t0
+            root.set(experiment=experiment_id)
+
+        store = self._store
+        by_key: dict[str, RunResult] = {}
+        for r in report.results:  # keep the first (solved) result per key;
+            by_key.setdefault(r.key, r)  # duplicates are as_duplicate() copies
+        uniques = list(by_key.values())
+        latencies = [r.elapsed for r in uniques if r.ok and not r.from_cache]
+        amortized = sum(
+            1 for r in uniques if r.ok and not r.from_cache and r.amortized
+        )
+        fabric_stats = self.db.stats(experiment_id)
+        final = fabric_stats["trials"]
+        cache_hits = pre_done
+        solved = final["done"] - pre_done
+        failures = final["failed"]
+        fabric_stats["fabric_dir"] = str(self.fabric_dir)
+        fabric_stats["local_workers"] = workers
+        manifest = RunManifest(
+            solver_version=SOLVER_VERSION,
+            jobs=workers if workers else 1,
+            mode="fabric",
+            backend=self.backend,
+            total_points=len(specs),
+            unique_points=len(unique),
+            cache_hits=cache_hits,
+            solved=solved,
+            failures=failures,
+            timeouts=0,
+            retries=max(0, int(fabric_stats["dispatch_attempts"]) - len(unique)),
+            worker_crashes=int(fabric_stats["leases_expired"]),
+            wall_clock_s=time.perf_counter() - t_start,
+            cache_hit_rate=(cache_hits / len(unique)) if unique else 0.0,
+            point_latency=latency_stats(latencies, amortized=amortized),
+            store=store.stats(),
+            stages=stages,
+            metrics=diff_snapshots(metrics_before, obs_registry().snapshot()),
+            fabric=fabric_stats,
+        )
+        store.close()
+        self._store = None
+        report.manifest = manifest
+        return report

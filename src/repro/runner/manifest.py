@@ -101,6 +101,12 @@ class RunManifest:
     #: :class:`repro.resilience.degrade.DegradationPolicy`); empty when the
     #: run stayed on its requested backend
     degradations: list = field(default_factory=list)
+    #: distributed-dispatch accounting when the sweep ran on the fabric
+    #: (``mode == "fabric"``): trial status histogram, leases
+    #: granted/expired/active, dispatch attempts, re-dispatched trials,
+    #: per-worker contribution (see ``docs/DISTRIBUTED.md``); None for
+    #: single-host runs
+    fabric: dict | None = None
 
     def to_dict(self) -> dict[str, object]:
         return asdict(self)

@@ -25,9 +25,17 @@ quarantined and re-solved rather than served or crashing the read.
 Counters (``store.integrity.*``, ``store.index_rebuilds``) land in the
 process metrics registry and the per-run manifest delta.
 
-Only one process -- the sweep runner's parent -- ever touches the store;
-workers just solve and return, which keeps the on-disk format free of
-locking concerns.
+Concurrency: every ``put`` is a **single ``O_APPEND`` write of one
+complete line**, which POSIX guarantees lands contiguously -- concurrent
+writers can share a ``results.jsonl`` without interleaving records.  In
+the default (exclusive) mode one process -- the sweep runner's parent --
+owns the store and maintains the index.  Fabric workers
+(``docs/DISTRIBUTED.md``) open the store with ``shared=True`` instead:
+a write-mostly mode that never reads, writes, or trusts the index and
+never compacts (a recovery scan would race other writers' appends); the
+scheduler reopens the store exclusively after the last worker exits,
+which dedups any at-least-once double-solves (first write wins) and
+rebuilds the index.
 """
 
 from __future__ import annotations
@@ -51,7 +59,10 @@ class ResultStore:
     """On-disk cache of solved points with hit/miss accounting."""
 
     def __init__(
-        self, cache_dir: str | os.PathLike, solver_version: str = SOLVER_VERSION
+        self,
+        cache_dir: str | os.PathLike,
+        solver_version: str = SOLVER_VERSION,
+        shared: bool = False,
     ):
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -59,6 +70,9 @@ class ResultStore:
         self.quarantine_path = self.cache_dir / "results.jsonl.quarantine"
         self.index_path = self.cache_dir / "index.json"
         self.solver_version = solver_version
+        #: multi-writer mode: appends only, no index, no recovery scans --
+        #: other processes may be appending to the same JSONL concurrently
+        self.shared = shared
         #: lookups served from disk / lookups that missed (lifetime of this
         #: store object; the manifest reports per-run figures separately)
         self.hits = 0
@@ -70,7 +84,13 @@ class ResultStore:
         self.index_rebuilds = 0
         self._offsets: dict[str, int] = {}
         self._dirty = False
-        self._load()
+        self._fd: int | None = None
+        #: bytes of results.jsonl the offsets describe; the index stamps
+        #: this (not the stat size), so a file grown by a process we never
+        #: saw fails the size check and forces a recovery scan on reopen
+        self._covered = 0
+        if not shared:
+            self._load()
 
     # ------------------------------------------------------------------ open
     def _load(self) -> None:
@@ -87,6 +107,7 @@ class ResultStore:
                 and isinstance(index.get("offsets"), dict)
             ):
                 self._offsets = {str(k): int(v) for k, v in index["offsets"].items()}
+                self._covered = size
                 return
         except (OSError, ValueError):
             pass
@@ -100,7 +121,12 @@ class ResultStore:
         anything else -- torn writes, garbled bytes, truncated tails -- is
         appended to the quarantine file.  The surviving records are
         rewritten atomically and the index rebuilt from them.
+
+        Never runs in ``shared`` mode: compaction would race the other
+        writers appending to the same file.
         """
+        if self.shared:  # pragma: no cover - guarded at every call site
+            raise RuntimeError("recovery scan is not allowed on a shared store")
         self.index_rebuilds += 1
         obs_registry().counter("store.index_rebuilds").inc()
         good: list[str] = []
@@ -154,33 +180,52 @@ class ResultStore:
                 data = (line + "\n").encode("utf-8")
                 offsets[json.loads(line)["key"]] = fh.tell()
                 fh.write(data)
+            self._covered = fh.tell()
+        self._close_fd()  # the compacted file is a new inode
         tmp.replace(self.results_path)
         self._offsets = offsets
         self._dirty = True
         self.flush()
 
     # ------------------------------------------------------------- lifecycle
+    def _close_fd(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def close(self) -> None:
+        """Flush the index (exclusive mode) and release the append fd."""
+        self.flush()
+        self._close_fd()
+
     def invalidate(self) -> None:
         """Drop every cached result (used on solver-version bump)."""
+        self._close_fd()
         self.results_path.unlink(missing_ok=True)
         self.index_path.unlink(missing_ok=True)
         self._offsets = {}
+        self._covered = 0
         self._dirty = False
         self.invalidated = True
         obs_registry().counter("store.invalidations").inc()
 
     def flush(self) -> None:
-        """Persist the index (the JSONL itself is written on every put)."""
-        if not self._dirty:
+        """Persist the index (the JSONL itself is written on every put).
+
+        A shared store never writes the index: its view of the file is
+        partial (only its own appends), and a size stamp would immediately
+        be stale anyway.  The exclusive reopen after the fabric drains is
+        what rebuilds the index from the full file.
+        """
+        if self.shared or not self._dirty:
             return
-        size = self.results_path.stat().st_size if self.results_path.exists() else 0
         tmp = self.index_path.with_suffix(".json.tmp")
         tmp.write_text(
             json.dumps(
                 {
                     "format": STORE_FORMAT,
                     "solver_version": self.solver_version,
-                    "size": size,
+                    "size": self._covered,
                     "offsets": self._offsets,
                 }
             )
@@ -192,7 +237,7 @@ class ResultStore:
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.flush()
+        self.close()
 
     # ------------------------------------------------------------------- ops
     def _read_verified(self, offset: int, key: str) -> dict[str, object] | None:
@@ -232,7 +277,7 @@ class ResultStore:
             obs_registry().counter("store.misses").inc()
             return None
         rec = self._read_verified(offset, key)
-        if rec is None:
+        if rec is None and not self.shared:
             self._recover()
             offset = self._offsets.get(key)
             rec = self._read_verified(offset, key) if offset is not None else None
@@ -244,8 +289,25 @@ class ResultStore:
         obs_registry().counter("store.hits").inc()
         return rec
 
+    def _append_fd(self) -> int:
+        """The lazily-opened ``O_APPEND`` descriptor every put writes through."""
+        if self._fd is None:
+            self._fd = os.open(
+                self.results_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
     def put(self, key: str, record: dict[str, object]) -> None:
-        """Append a solved record (idempotent: an existing key is kept)."""
+        """Append a solved record (idempotent: an existing key is kept).
+
+        The record goes down as **one ``os.write`` of one complete line**
+        on an ``O_APPEND`` descriptor, so concurrent writers sharing the
+        file can never interleave bytes mid-record -- the unit of failure
+        is a whole line, which the recovery scan already handles.  The
+        record's offset is recovered from this descriptor's file position
+        (``O_APPEND`` moves it to exactly the end of our write, regardless
+        of what other processes appended before it).
+        """
         if key in self._offsets:
             return
         payload = {"key": key, "solver_version": self.solver_version, **record}
@@ -255,10 +317,15 @@ class ResultStore:
         data = (line + "\n").encode("utf-8")
         if fault_point("store.truncate") is not None:
             data = data[: max(1, len(data) // 2)]  # torn write: no newline
-        with open(self.results_path, "ab") as fh:
-            offset = fh.tell()
-            fh.write(data)
-        self._offsets[key] = offset
+        fd = self._append_fd()
+        written = os.write(fd, data)
+        end = os.lseek(fd, 0, os.SEEK_CUR)
+        self._offsets[key] = end - written
+        if end - written == self._covered:
+            # contiguous with everything the offsets describe; a gap means
+            # a process we never saw appended in between -- leave _covered
+            # stale so the next open fails the size check and rescans
+            self._covered = end
         self._dirty = True
         obs_registry().counter("store.puts").inc()
 

@@ -1,0 +1,139 @@
+"""CLI surface of the fabric: ``sweep --fabric``, ``worker``, ``exp``.
+
+Exercises the commands as real subprocesses (the same way multi-host
+operators run them) plus the cheap error paths in-process through
+``repro.cli.main``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.cli import main
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+SWEEP = [
+    "sweep",
+    "--axis", "num_threads=1,2,4,8",
+    "--axis", "p_remote=0.2,0.4",
+]
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    for var in ("REPRO_FAULT_PLAN", "REPRO_TRACE", "REPRO_CACHE_DIR"):
+        env.pop(var, None)
+    return env
+
+
+def _run_cli(args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(), cwd=REPO, capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestSweepFabric:
+    def test_fabric_sweep_matches_single_host_records(self, tmp_path):
+        golden = tmp_path / "golden.jsonl"
+        out = _run_cli(SWEEP + ["--out", str(golden)])
+        assert out.returncode == 0, out.stderr
+
+        fabric_out = tmp_path / "fabric.jsonl"
+        manifest = tmp_path / "manifest.json"
+        out = _run_cli(
+            SWEEP
+            + [
+                "--fabric", str(tmp_path / "fab"),
+                "--workers", "2",
+                "--out", str(fabric_out),
+                "--manifest", str(manifest),
+            ]
+        )
+        assert out.returncode == 0, out.stderr
+        assert "[fabric]" in out.stdout
+        assert fabric_out.read_bytes() == golden.read_bytes()
+        data = json.loads(manifest.read_text())
+        assert data["mode"] == "fabric"
+        assert data["fabric"]["trials"]["done"] == 8
+        assert data["failures"] == 0
+
+    def test_fabric_rejects_journal_and_cache_dir(self, tmp_path, capsys):
+        base = SWEEP + ["--fabric", str(tmp_path / "fab")]
+        assert main(base + ["--journal", str(tmp_path / "j")]) == 2
+        assert "experiment database" in capsys.readouterr().err
+        assert main(base + ["--cache-dir", str(tmp_path / "c")]) == 2
+        assert "FABRIC/store" in capsys.readouterr().err
+        assert main(base + ["--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestWorkerCommand:
+    def test_worker_on_a_drained_experiment_exits_clean(self, tmp_path, capsys):
+        fabric = tmp_path / "fab"
+        out = _run_cli(SWEEP + ["--fabric", str(fabric), "--workers", "1"])
+        assert out.returncode == 0, out.stderr
+        with open(fabric / "fabric.db", "rb"):
+            pass  # the DB exists and is a file
+        # the experiment is terminal; a worker pointed at it has nothing to do
+        exp_id = None
+        for line in out.stdout.splitlines():
+            if "[fabric]" in line:
+                exp_id = line.split("experiment=")[1].split()[0]
+        assert exp_id is not None
+        assert main(["worker", "--fabric", str(fabric), "--experiment", exp_id]) == 0
+        captured = capsys.readouterr().out
+        assert "[worker]" in captured
+        assert "leases=0" in captured
+
+    def test_worker_times_out_waiting_for_an_experiment(self, tmp_path, capsys):
+        code = main(["worker", "--fabric", str(tmp_path), "--wait", "0.2"])
+        assert code == 2
+        assert "no running experiment" in capsys.readouterr().err
+
+    def test_worker_rejects_bad_lease_points(self, tmp_path, capsys):
+        code = main(
+            ["worker", "--fabric", str(tmp_path), "--lease-points", "0"]
+        )
+        assert code == 2
+        assert "lease_points" in capsys.readouterr().err
+
+
+class TestExpCommands:
+    def test_list_show_trials(self, tmp_path, capsys):
+        fabric = tmp_path / "fab"
+        out = _run_cli(SWEEP + ["--fabric", str(fabric), "--workers", "1"])
+        assert out.returncode == 0, out.stderr
+
+        assert main(["exp", "list", "--fabric", str(fabric)]) == 0
+        listing = capsys.readouterr().out
+        assert "done" in listing
+        assert "8/8 trials" in listing
+
+        assert main(["exp", "show", "--fabric", str(fabric)]) == 0
+        shown = capsys.readouterr().out
+        assert "status          done" in shown
+        assert "done=8" in shown
+        assert "workers         1" in shown
+
+        assert main(["exp", "trials", "--fabric", str(fabric)]) == 0
+        trials = capsys.readouterr().out
+        assert "[8 trials]" in trials
+        assert trials.count(" done ") == 8
+
+        assert (
+            main(["exp", "trials", "--fabric", str(fabric), "--status", "failed"])
+            == 0
+        )
+        assert "[0 trials]" in capsys.readouterr().out
+
+    def test_empty_fabric(self, tmp_path, capsys):
+        assert main(["exp", "list", "--fabric", str(tmp_path)]) == 0
+        assert "no experiments" in capsys.readouterr().out
+        assert main(["exp", "show", "--fabric", str(tmp_path)]) == 2
+        assert "no experiments" in capsys.readouterr().err

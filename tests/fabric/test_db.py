@@ -1,0 +1,166 @@
+"""Unit tests of the experiment database: the fabric's state machine.
+
+Everything here is single-process and sleep-free -- lease expiry is driven
+through ``reap_expired``'s explicit ``now`` parameter, so the tests pin
+exact transition semantics (claim order, idempotent completion, expired
+leases returning trials to ``pending``) without wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.fabric import DB_SCHEMA_VERSION, ExperimentDB, FabricError, worker_identity
+
+
+def _payloads(n: int) -> list[dict[str, object]]:
+    return [{"key": f"k{i:03d}", "method": "symmetric", "params": {"i": i}} for i in range(n)]
+
+
+@pytest.fixture
+def db(tmp_path):
+    with ExperimentDB(tmp_path) as handle:
+        yield handle
+
+
+class TestExperiments:
+    def test_create_then_resume_same_signature(self, db):
+        eid, created = db.create_or_resume("a" * 64, "2", _payloads(3))
+        assert created
+        assert eid == "exp-" + "a" * 16
+        again, created = db.create_or_resume("a" * 64, "2", _payloads(3))
+        assert again == eid
+        assert not created
+        assert db.experiment(eid)["total_trials"] == 3
+        assert db.counts(eid) == {"pending": 3, "leased": 0, "done": 0, "failed": 0}
+
+    def test_signature_collision_with_different_content_is_refused(self, db):
+        sig = "b" * 64
+        db.create_or_resume(sig, "2", _payloads(2))
+        with pytest.raises(FabricError, match="different"):
+            db.create_or_resume(sig, "3", _payloads(2))
+
+    def test_unknown_experiment_raises(self, db):
+        with pytest.raises(FabricError, match="no experiment"):
+            db.experiment("exp-nope")
+
+    def test_latest_running_ignores_finished(self, db):
+        eid1, _ = db.create_or_resume("c" * 64, "2", _payloads(1))
+        assert db.latest_running() == eid1
+        db.finish(eid1, "done")
+        assert db.latest_running() is None
+        assert db.experiment(eid1)["status"] == "done"
+
+    def test_schema_version_mismatch_is_refused(self, tmp_path):
+        ExperimentDB(tmp_path).close()
+        conn = sqlite3.connect(tmp_path / "fabric.db")
+        conn.execute(f"PRAGMA user_version={DB_SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(FabricError, match="schema version"):
+            ExperimentDB(tmp_path)
+
+
+class TestLeases:
+    def test_claim_leases_in_seq_order_and_counts_attempts(self, db):
+        eid, _ = db.create_or_resume("d" * 64, "2", _payloads(5))
+        lease_id, payloads = db.claim(eid, "w1", limit=3, ttl_s=60)
+        assert lease_id is not None
+        assert [p["key"] for p in payloads] == ["k000", "k001", "k002"]
+        assert db.counts(eid) == {"pending": 2, "leased": 3, "done": 0, "failed": 0}
+        for trial in db.trials(eid, status="leased"):
+            assert trial["attempts"] == 1
+            assert trial["worker_id"] == "w1"
+            assert trial["lease_id"] == lease_id
+
+    def test_empty_claim_returns_none(self, db):
+        eid, _ = db.create_or_resume("e" * 64, "2", _payloads(1))
+        db.claim(eid, "w1", limit=8, ttl_s=60)
+        lease_id, payloads = db.claim(eid, "w2", limit=8, ttl_s=60)
+        assert lease_id is None
+        assert payloads == []
+
+    def test_expired_lease_returns_trials_to_pending(self, db):
+        eid, _ = db.create_or_resume("f" * 64, "2", _payloads(4))
+        lease_id, payloads = db.claim(eid, "w1", limit=2, ttl_s=10)
+        db.complete_trial(eid, payloads[0]["key"], "w1", 0.1)
+        # the lease dies with one trial done, one still leased
+        redispatched = db.reap_expired(eid, now=time.time() + 11)
+        assert redispatched == 1
+        counts = db.counts(eid)
+        assert counts == {"pending": 3, "leased": 0, "done": 1, "failed": 0}
+        statuses = {l["lease_id"]: l["status"] for l in db.leases(eid)}
+        assert statuses[lease_id] == "expired"
+        # the returned trial keeps its attempt count and re-claims as 2
+        _, payloads = db.claim(eid, "w2", limit=8, ttl_s=10)
+        attempts = {t["key"]: t["attempts"] for t in db.trials(eid, status="leased")}
+        assert attempts[payloads[0]["key"]] == 2
+
+    def test_heartbeat_extends_past_expiry(self, db):
+        eid, _ = db.create_or_resume("a1" + "0" * 62, "2", _payloads(1))
+        lease_id, _ = db.claim(eid, "w1", limit=1, ttl_s=5)
+        db.heartbeat(lease_id, "w1", ttl_s=120)
+        assert db.reap_expired(eid, now=time.time() + 60) == 0
+        assert db.counts(eid)["leased"] == 1
+
+    def test_released_lease_is_not_reaped(self, db):
+        eid, _ = db.create_or_resume("a2" + "0" * 62, "2", _payloads(1))
+        lease_id, payloads = db.claim(eid, "w1", limit=1, ttl_s=5)
+        db.complete_trial(eid, payloads[0]["key"], "w1", 0.1)
+        db.release_lease(lease_id)
+        assert db.reap_expired(eid, now=time.time() + 60) == 0
+        assert db.leases(eid)[0]["status"] == "released"
+
+
+class TestTrials:
+    def test_complete_is_idempotent_first_report_wins(self, db):
+        eid, _ = db.create_or_resume("a3" + "0" * 62, "2", _payloads(1))
+        _, payloads = db.claim(eid, "w1", limit=1, ttl_s=60)
+        key = payloads[0]["key"]
+        db.complete_trial(eid, key, "w1", 1.5)
+        db.complete_trial(eid, key, "w2", 9.9)  # late duplicate report
+        db.fail_trial(eid, key, "w3", "boom")  # even a late failure
+        (trial,) = db.trials(eid)
+        assert trial["status"] == "done"
+        assert trial["worker_id"] == "w1"
+        assert trial["elapsed_s"] == 1.5
+
+    def test_failed_trial_records_error(self, db):
+        eid, _ = db.create_or_resume("a4" + "0" * 62, "2", _payloads(2))
+        _, payloads = db.claim(eid, "w1", limit=2, ttl_s=60)
+        db.fail_trial(eid, payloads[0]["key"], "w1", "did not converge")
+        (trial,) = db.trials(eid, status="failed")
+        assert trial["error"] == "did not converge"
+        assert db.counts(eid)["failed"] == 1
+
+    def test_stats_reflect_redispatch(self, db):
+        eid, _ = db.create_or_resume("a5" + "0" * 62, "2", _payloads(2))
+        db.claim(eid, "w1", limit=2, ttl_s=10)
+        db.reap_expired(eid, now=time.time() + 11)
+        _, payloads = db.claim(eid, "w2", limit=2, ttl_s=60)
+        for p in payloads:
+            db.complete_trial(eid, p["key"], "w2", 0.2)
+        stats = db.stats(eid)
+        assert stats["leases_granted"] == 2
+        assert stats["leases_expired"] == 1
+        assert stats["dispatch_attempts"] == 4
+        assert stats["max_attempts"] == 2
+        assert stats["redispatched_trials"] == 2
+        assert stats["trials"]["done"] == 2
+
+
+class TestWorkers:
+    def test_register_and_exit(self, db):
+        eid, _ = db.create_or_resume("a6" + "0" * 62, "2", _payloads(1))
+        db.register_worker(eid, "w1")
+        db.register_worker(eid, "w2")
+        assert {w["worker_id"] for w in db.workers(eid)} == {"w1", "w2"}
+        db.worker_exit("w1")
+        statuses = {w["worker_id"]: w["status"] for w in db.workers(eid)}
+        assert statuses == {"w1": "exited", "w2": "active"}
+
+    def test_worker_identity_is_unique_per_pid(self):
+        assert worker_identity() != worker_identity("alt")
+        assert worker_identity("alt").endswith("-alt")

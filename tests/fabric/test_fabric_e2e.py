@@ -1,0 +1,243 @@
+"""End-to-end fabric runs: bitwise parity with single-host sweeps.
+
+The contract under test is the PR's acceptance bar: a sweep distributed
+across fabric workers -- including workers SIGKILLed mid-lease and
+replaced -- produces per-point records **bitwise identical** to an
+uninterrupted in-process :class:`~repro.runner.SweepRunner` run, with
+every trial terminal, no lost points, and no duplicate records surviving
+finalize.  The lattice is ``num_threads x p_remote`` over the paper's
+default machine, which resolves to the symmetric solver -- the family the
+chaos suite already proves bitwise-stable across every backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fabric import ExperimentDB, FabricScheduler, FabricWorker
+from repro.params import paper_defaults
+from repro.runner import JobSpec, SweepRunner, canonical_json
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _specs() -> list[JobSpec]:
+    return [
+        JobSpec(params=paper_defaults(num_threads=nt, p_remote=pr))
+        for nt in (1, 2, 3, 4, 5, 6, 7, 8)
+        for pr in (0.2, 0.4)
+    ]
+
+
+def _record_lines(report) -> list[str]:
+    return [canonical_json(rec) for rec in report.records()]
+
+
+@pytest.fixture(scope="module")
+def golden_lines() -> list[str]:
+    return _record_lines(SweepRunner(jobs=1).run(_specs()))
+
+
+def _worker_env(fault_plan: dict | None = None) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    for var in ("REPRO_FAULT_PLAN", "REPRO_TRACE", "REPRO_CACHE_DIR"):
+        env.pop(var, None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+    return env
+
+
+def _spawn_cli_worker(
+    fabric_dir, experiment_id: str, *extra: str, fault_plan: dict | None = None
+) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--fabric", str(fabric_dir),
+            "--experiment", experiment_id,
+            "--backend", "serial",
+            *extra,
+        ],
+        env=_worker_env(fault_plan),
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _store_keys(fabric_dir) -> list[str]:
+    path = fabric_dir / "store" / "results.jsonl"
+    return [json.loads(line)["key"] for line in path.read_bytes().splitlines()]
+
+
+class TestManagedRun:
+    def test_fabric_run_is_bitwise_identical_to_single_host(
+        self, tmp_path, golden_lines
+    ):
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            report = scheduler.run(_specs(), workers=2, timeout=180)
+        assert _record_lines(report) == golden_lines
+        manifest = report.manifest
+        assert manifest.mode == "fabric"
+        assert manifest.solved == 16
+        assert manifest.failures == 0
+        assert set(manifest.stages) == {"schedule", "dispatch", "finalize"}
+        assert manifest.fabric["trials"] == {
+            "pending": 0, "leased": 0, "done": 16, "failed": 0,
+        }
+        assert manifest.fabric["workers"] == 2
+        # the store holds exactly one record per point after finalize
+        assert sorted(_store_keys(tmp_path)) == sorted(
+            json.loads(line)["key"] for line in golden_lines
+        )
+
+    def test_rerun_resumes_without_dispatching(self, tmp_path, golden_lines):
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            scheduler.run(_specs(), workers=1, timeout=180)
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            report = scheduler.run(_specs(), workers=1, timeout=180)
+        assert _record_lines(report) == golden_lines
+        assert report.manifest.cache_hits == 16
+        assert report.manifest.solved == 0
+        # no worker was spawned for the resumed run
+        assert report.manifest.fabric["leases_granted"] == 1
+
+    def test_progress_fires_per_unique_point(self, tmp_path):
+        seen: list[tuple[int, int]] = []
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            scheduler.run(
+                _specs(),
+                workers=1,
+                timeout=180,
+                progress=lambda done, total, result: seen.append((done, total)),
+            )
+        assert seen[0] == (1, 16)
+        assert seen[-1] == (16, 16)
+        assert len(seen) == 16
+
+
+class TestInProcessWorker:
+    def test_worker_drains_a_submitted_experiment(self, tmp_path, golden_lines):
+        specs = _specs()
+        with FabricScheduler(tmp_path, lease_points=4, poll_s=0.05) as scheduler:
+            experiment_id, _ = scheduler.submit(specs)
+            stats = FabricWorker(
+                tmp_path, experiment_id=experiment_id, lease_points=4, poll_s=0.05
+            ).run()
+            assert stats.points == 16
+            assert stats.solved == 16
+            assert stats.leases == 4
+            report = scheduler.finalize(experiment_id, specs)
+            scheduler.db.close()
+        assert [canonical_json(r.record()) for r in report.results] == golden_lines
+
+    def test_duplicate_specs_share_one_trial(self, tmp_path):
+        specs = _specs()[:2] * 3
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            report = scheduler.run(specs, workers=1, timeout=180)
+        assert report.manifest.total_points == 6
+        assert report.manifest.unique_points == 2
+        assert len(report.results) == 6
+        assert sum(1 for r in report.results if not r.from_cache) == 2
+
+
+class TestKilledWorker:
+    def test_sigkilled_worker_lease_is_redispatched_exactly_once(
+        self, tmp_path, golden_lines
+    ):
+        """Satellite acceptance: heartbeat-then-die -> re-run exactly once.
+
+        A paced worker solves its first lease, claims a second, and is
+        SIGKILLed holding it.  Its lease expires; a clean worker re-runs
+        only the lost points.  No point is lost, none is served twice,
+        and the records match the single-host golden byte for byte.
+        """
+        specs = _specs()
+        scheduler = FabricScheduler(
+            tmp_path, lease_ttl=2.0, lease_points=4, poll_s=0.05, backend="serial"
+        )
+        experiment_id, _ = scheduler.submit(specs)
+
+        victim = _spawn_cli_worker(
+            tmp_path,
+            experiment_id,
+            "--lease-points", "4",
+            "--lease-ttl", "2.0",
+            fault_plan={"sites": {"solve.delay": {"p": 1.0, "sleep_s": 0.15}}},
+        )
+        try:
+            deadline = time.monotonic() + 90
+            while True:
+                counts = scheduler.db.counts(experiment_id)
+                # first lease reported, second lease in flight: kill now
+                if counts["done"] >= 4 and counts["leased"] >= 1:
+                    break
+                if victim.poll() is not None:
+                    pytest.fail("victim worker finished before it could be killed")
+                if time.monotonic() > deadline:
+                    pytest.fail(f"never reached a killable state: {counts}")
+                time.sleep(0.02)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        assert victim.returncode == -signal.SIGKILL
+        killed_counts = scheduler.db.counts(experiment_id)
+        assert killed_counts["leased"] >= 1  # died holding a lease
+
+        rescuer = _spawn_cli_worker(tmp_path, experiment_id, "--poll", "0.05")
+        try:
+            final_counts = scheduler.wait(experiment_id, timeout=120)
+            assert rescuer.wait(timeout=60) == 0
+        finally:
+            if rescuer.poll() is None:
+                rescuer.kill()
+
+        assert final_counts == {"pending": 0, "leased": 0, "done": 16, "failed": 0}
+        report = scheduler.finalize(experiment_id, specs)
+
+        # bitwise parity with the uninterrupted single-host run
+        assert _record_lines(report) == golden_lines
+
+        stats = scheduler.db.stats(experiment_id)
+        assert stats["leases_expired"] >= 1
+        assert stats["redispatched_trials"] >= 1
+        # exactly once: a re-dispatched trial was claimed twice, never more
+        assert stats["max_attempts"] == 2
+        redispatched = [
+            t for t in scheduler.db.trials(experiment_id) if t["attempts"] == 2
+        ]
+        assert len(redispatched) == stats["redispatched_trials"]
+        assert all(t["status"] == "done" for t in redispatched)
+
+        # the finalized store holds every point exactly once -- the dedup of
+        # any double-solve happened at the exclusive reopen
+        keys = _store_keys(tmp_path)
+        assert len(keys) == len(set(keys)) == 16
+        scheduler.close()
+
+    def test_expired_lease_is_reaped_by_surviving_workers_claim(self, tmp_path):
+        """No scheduler needed: a worker's own claim() reaps dead leases."""
+        specs = _specs()[:4]
+        scheduler = FabricScheduler(tmp_path, lease_points=2, poll_s=0.05)
+        experiment_id, _ = scheduler.submit(specs)
+        db = ExperimentDB(tmp_path)
+        # a phantom worker claims two points and vanishes (ttl already over)
+        lease_id, _ = db.claim(experiment_id, "phantom", limit=2, ttl_s=-1.0)
+        assert lease_id is not None
+        stats = FabricWorker(
+            tmp_path, experiment_id=experiment_id, lease_points=2, poll_s=0.05
+        ).run()
+        assert stats.points == 4  # including the phantom's re-dispatched two
+        assert db.counts(experiment_id)["done"] == 4
+        db.close()
+        scheduler.close()
