@@ -168,7 +168,11 @@ def sweep(
         configuration.
     progress:
         Optional callback ``(done, total, result)`` invoked per completed
-        point.
+        point.  With ``fabric`` the semantics diverge: solves happen in
+        worker processes, so the callback fires during finalize (after
+        the sweep has drained, not live), once per *unique* point with
+        ``total`` the unique count -- duplicate points never fire.  For
+        live counts poll the experiment DB (``repro-mms exp show``).
     fabric:
         Optional shared coordination directory: the sweep is distributed
         across fabric worker processes (an experiment database plus a

@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 
 from ..obs import registry as obs_registry
+from ..runner.spec import TIMEOUT_ERROR_PREFIX
 
 __all__ = ["DB_SCHEMA_VERSION", "ExperimentDB", "FabricError", "worker_identity"]
 
@@ -260,6 +261,14 @@ class ExperimentDB:
             )
         obs_registry().counter("fabric.workers.registered").inc()
 
+    def touch_worker(self, worker_id: str) -> None:
+        """Refresh a worker's liveness stamp (idle heartbeat, no lease)."""
+        with self._txn():
+            self._conn.execute(
+                "UPDATE workers SET heartbeat_s = ? WHERE worker_id = ?",
+                (time.time(), worker_id),
+            )
+
     def worker_exit(self, worker_id: str) -> None:
         with self._txn():
             self._conn.execute(
@@ -466,6 +475,14 @@ class ExperimentDB:
             "WHERE experiment_id = ? AND attempts > 1",
             (experiment_id,),
         ).fetchone()["n"]
+        # worker-side timeouts surface as failed trials whose error carries
+        # the executor's stable prefix -- classify them so fabric manifests
+        # count timeouts like single-host manifests do
+        timeouts = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM trials "
+            "WHERE experiment_id = ? AND status = 'failed' AND error LIKE ?",
+            (experiment_id, TIMEOUT_ERROR_PREFIX + "%"),
+        ).fetchone()["n"]
         return {
             "experiment_id": experiment_id,
             "trials": counts,
@@ -475,6 +492,7 @@ class ExperimentDB:
             "dispatch_attempts": attempts["total"],
             "max_attempts": attempts["max_"],
             "redispatched_trials": redispatched,
+            "timeouts": timeouts,
             "workers": len(self.workers(experiment_id)),
         }
 

@@ -23,9 +23,15 @@ to the same experiment, re-dispatches only non-terminal trials, and the
 final records are bitwise-identical to an uninterrupted single-host run
 (see ``docs/DISTRIBUTED.md`` for the failure-semantics table).
 
-Exactly one scheduler per fabric directory at a time: the exclusive store
-phases (probe, finalize) assume no concurrent appender, which holds
-because they run strictly before workers start and after the sweep drains.
+Exactly one scheduler per fabric directory at a time.  The exclusive
+store phases (probe, finalize) compact ``results.jsonl`` to a new inode,
+which would orphan the append fds of any still-running worker -- so the
+"no concurrent appender" assumption is *enforced*, not assumed: shared
+store handles hold a ``flock`` the compaction must win.  The probe is a
+cache fast-path and is skipped when live workers hold the store (their
+re-solves dedup at finalize); finalize itself raises
+:class:`~repro.fabric.db.FabricError` rather than proceed under live
+appenders.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from ..resilience.journal import sweep_signature
 from ..runner.executor import BACKENDS, RunReport
 from ..runner.manifest import RunManifest, latency_stats
 from ..runner.spec import SOLVER_VERSION, JobSpec, RunResult
-from ..runner.store import ResultStore
+from ..runner.store import ResultStore, StoreLockError
 from .db import ExperimentDB, FabricError
 
 __all__ = ["FabricScheduler"]
@@ -69,6 +75,9 @@ class FabricScheduler:
         Dispatch-loop cadence (reaping, respawn checks).
     backend / retries / timeout:
         Execution knobs forwarded to every spawned worker's inner runner.
+    lock_timeout_s:
+        How long the exclusive store phases (probe, finalize) wait for
+        live workers to release the shared store lock before giving up.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class FabricScheduler:
         backend: str = "auto",
         retries: int = 1,
         timeout: float | None = None,
+        lock_timeout_s: float = 10.0,
     ):
         if backend not in BACKENDS:
             raise FabricError(
@@ -95,6 +105,7 @@ class FabricScheduler:
         self.backend = backend
         self.retries = retries
         self.timeout = timeout
+        self.lock_timeout_s = lock_timeout_s
         self.db = ExperimentDB(self.fabric_dir)
         #: local worker subprocesses this scheduler spawned (index -> Popen)
         self._procs: dict[int, subprocess.Popen] = {}
@@ -129,6 +140,12 @@ class FabricScheduler:
         starts, the shared store is probed **exclusively** and every
         already-persisted point is marked ``done`` with ``from_cache`` --
         cache hits never cross the fabric.
+
+        The probe is a fast-path only: if live workers still hold the
+        shared store lock (external workers may join at any time), probing
+        would mean compacting under their append fds, so it is skipped
+        instead -- unmarked points get re-solved and the duplicate appends
+        collapse at finalize's first-write-wins reopen.
         """
         payloads = [spec.payload() for spec in specs]
         unique: dict[str, dict[str, object]] = {}
@@ -148,18 +165,28 @@ class FabricScheduler:
             if t["status"] not in ("done", "failed")
         ]
         if open_trials and (self.store_dir / "results.jsonl").exists():
-            store = ResultStore(self.store_dir)
-            for trial in open_trials:
-                rec = store.get(str(trial["key"]))
-                if rec is not None:
-                    self.db.complete_trial(
-                        experiment_id,
-                        str(trial["key"]),
-                        None,
-                        float(rec.get("elapsed", 0.0)),
-                        from_cache=True,
-                    )
-            store.close()
+            store = None
+            try:
+                store = ResultStore(
+                    self.store_dir, lock_timeout_s=self.lock_timeout_s
+                )
+                for trial in open_trials:
+                    rec = store.get(str(trial["key"]))
+                    if rec is not None:
+                        self.db.complete_trial(
+                            experiment_id,
+                            str(trial["key"]),
+                            None,
+                            float(rec.get("elapsed", 0.0)),
+                            from_cache=True,
+                        )
+            except StoreLockError:
+                # live workers hold the store; re-solving is safe, eating
+                # their appends via compaction is not -- skip the fast-path
+                obs_registry().counter("fabric.store_probe_skipped").inc()
+            finally:
+                if store is not None:
+                    store.close()
         return experiment_id, unique
 
     def spawn_worker(self, experiment_id: str) -> subprocess.Popen:
@@ -247,8 +274,13 @@ class FabricScheduler:
         appends: duplicate keys from at-least-once re-dispatch collapse
         (first write wins), the index is rebuilt, and the surviving records
         are exactly what an uninterrupted single-host run would have
-        persisted.  Results come back in request order; ``progress`` (the
-        runner's ``(done, total, result)`` shape) fires per unique point.
+        persisted.  Compaction under a live appender would eat its writes,
+        so the reopen waits for every shared store lock to release and
+        raises :class:`FabricError` if workers still hold the store after
+        ``lock_timeout_s``.  Results come back in request order;
+        ``progress`` (the runner's ``(done, total, result)`` shape) fires
+        once per unique point, after the sweep has fully drained --
+        duplicates never fire (see :meth:`run`).
         """
         for proc in self._procs.values():
             if proc.poll() is None:
@@ -256,7 +288,8 @@ class FabricScheduler:
                     proc.wait(timeout=30)
                 except subprocess.TimeoutExpired:
                     # a hung worker can't hold a lease past its ttl; don't
-                    # let it hold up finalize either
+                    # let it hold up finalize either (killing it drops its
+                    # shared store lock along with the process)
                     proc.kill()
                     proc.wait()
         counts = self.db.counts(experiment_id)
@@ -265,10 +298,16 @@ class FabricScheduler:
                 f"cannot finalize {experiment_id}: "
                 f"{counts['pending']} pending / {counts['leased']} leased"
             )
+        try:
+            store = ResultStore(self.store_dir, lock_timeout_s=self.lock_timeout_s)
+        except StoreLockError as exc:
+            raise FabricError(
+                f"cannot finalize {experiment_id}: workers still hold the "
+                f"shared store ({exc}); wait for them to exit or stop them"
+            ) from exc
         self.db.finish(
             experiment_id, "done" if counts["failed"] == 0 else "failed"
         )
-        store = ResultStore(self.store_dir)
         trials = {str(t["key"]): t for t in self.db.trials(experiment_id)}
         resolved: dict[str, RunResult] = {}
         results: list[RunResult] = []
@@ -335,6 +374,13 @@ class FabricScheduler:
         :class:`RunReport` a :class:`~repro.runner.SweepRunner` produces,
         with ``manifest.mode == "fabric"`` and dispatch accounting under
         ``manifest.fabric``.
+
+        ``progress`` diverges from the single-host runner's: solves happen
+        in worker processes, so the callback fires during **finalize** --
+        a burst after the sweep has drained, not live -- once per *unique*
+        point with ``total`` the unique count (duplicate request entries
+        never fire).  For live dispatch-loop counts, poll the experiment
+        DB (``repro-mms exp show``) or use :meth:`wait`'s progress hook.
         """
         t_start = time.perf_counter()
         metrics_before = obs_registry().snapshot()
@@ -393,7 +439,9 @@ class FabricScheduler:
             cache_hits=cache_hits,
             solved=solved,
             failures=failures,
-            timeouts=0,
+            # worker-side timeouts are failed trials tagged by the
+            # executor's stable error prefix; the DB classifies them
+            timeouts=int(fabric_stats["timeouts"]),
             retries=max(0, int(fabric_stats["dispatch_attempts"]) - len(unique)),
             worker_crashes=int(fabric_stats["leases_expired"]),
             wall_clock_s=time.perf_counter() - t_start,

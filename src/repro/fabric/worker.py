@@ -41,20 +41,24 @@ __all__ = ["FabricWorker", "WorkerStats"]
 class _Heartbeat:
     """Daemon thread extending the worker's active lease.
 
-    Uses its own :class:`ExperimentDB` handle (sqlite connections are not
-    thread-safe) and a lock-protected "current lease" slot: ``None`` while
-    the worker is between leases, in which case only the worker-liveness
-    stamp is refreshed.
+    The sqlite connection must be **created on the heartbeat thread**
+    itself (``sqlite3`` binds a connection to its creating thread, and a
+    cross-thread call raises ``ProgrammingError``), so ``_run`` opens its
+    own :class:`ExperimentDB` and the main thread never touches it.  The
+    lock-protected "current lease" slot is ``None`` while the worker is
+    between leases, in which case only the worker-liveness stamp is
+    refreshed; :meth:`set_lease` kicks an event so a fresh lease is
+    stamped immediately instead of waiting out a full interval.
     """
 
-    def __init__(self, fabric_dir, experiment_id: str, worker_id: str, ttl_s: float):
-        self._experiment_id = experiment_id
+    def __init__(self, fabric_dir, worker_id: str, ttl_s: float):
+        self._fabric_dir = fabric_dir
         self._worker_id = worker_id
         self._ttl_s = ttl_s
         self._lease_id: int | None = None
         self._lock = threading.Lock()
         self._stop = threading.Event()
-        self._db = ExperimentDB(fabric_dir)
+        self._kick = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
 
@@ -62,25 +66,39 @@ class _Heartbeat:
         with self._lock:
             self._lease_id = lease_id
         if lease_id is not None:
-            # stamp immediately so a slow first solve can't outrun the ttl
-            self._db.heartbeat(lease_id, self._worker_id, self._ttl_s)
+            # wake the thread so a slow first solve can't outrun the ttl
+            self._kick.set()
 
     def _run(self) -> None:
         interval = max(0.05, self._ttl_s / 3.0)
-        while not self._stop.wait(interval):
-            with self._lock:
-                lease_id = self._lease_id
-            try:
-                if lease_id is not None:
-                    self._db.heartbeat(lease_id, self._worker_id, self._ttl_s)
-                    obs_registry().counter("fabric.heartbeats").inc()
-            except Exception:  # noqa: BLE001 - liveness must never kill a solve
-                pass
+        try:
+            db = ExperimentDB(self._fabric_dir)  # this thread's connection
+        except Exception:  # noqa: BLE001 - liveness must never kill a solve
+            obs_registry().counter("fabric.heartbeat_errors").inc()
+            return
+        try:
+            while not self._stop.is_set():
+                self._kick.wait(interval)
+                self._kick.clear()
+                if self._stop.is_set():
+                    break
+                with self._lock:
+                    lease_id = self._lease_id
+                try:
+                    if lease_id is not None:
+                        db.heartbeat(lease_id, self._worker_id, self._ttl_s)
+                        obs_registry().counter("fabric.heartbeats").inc()
+                    else:
+                        db.touch_worker(self._worker_id)
+                except Exception:  # noqa: BLE001 - see above
+                    obs_registry().counter("fabric.heartbeat_errors").inc()
+        finally:
+            db.close()
 
     def close(self) -> None:
         self._stop.set()
+        self._kick.set()  # wake the wait so shutdown is prompt
         self._thread.join(timeout=5.0)
-        self._db.close()
 
 
 class WorkerStats:
@@ -187,12 +205,11 @@ class FabricWorker:
         stats = WorkerStats()
         db = ExperimentDB(self.fabric_dir)
         heart: _Heartbeat | None = None
+        store: ResultStore | None = None
         try:
             experiment_id = self._resolve_experiment(db)
             db.register_worker(experiment_id, self.worker_id)
-            heart = _Heartbeat(
-                self.fabric_dir, experiment_id, self.worker_id, self.lease_ttl
-            )
+            heart = _Heartbeat(self.fabric_dir, self.worker_id, self.lease_ttl)
             store = ResultStore(os.path.join(self.fabric_dir, "store"), shared=True)
             runner = SweepRunner(
                 jobs=1,
@@ -231,8 +248,12 @@ class FabricWorker:
                         progress(stats)
                     if self.max_leases is not None and stats.leases >= self.max_leases:
                         break
-            store.close()
         finally:
+            # the store must close on every exit path: its fd (and shared
+            # store lock) otherwise outlives the worker, and a held shared
+            # lock would block the scheduler's exclusive finalize reopen
+            if store is not None:
+                store.close()
             if heart is not None:
                 heart.close()
             try:

@@ -34,7 +34,7 @@ from .config import configure, default_runner, effective_config, shared_store
 from .executor import RunReport, SweepRunner, solve_job
 from .manifest import RunManifest, latency_stats
 from .spec import SOLVER_VERSION, JobSpec, RunResult, canonical_json
-from .store import ResultStore
+from .store import ResultStore, StoreLockError
 
 __all__ = [
     "SOLVER_VERSION",
@@ -42,6 +42,7 @@ __all__ = [
     "RunResult",
     "canonical_json",
     "ResultStore",
+    "StoreLockError",
     "RunManifest",
     "latency_stats",
     "SweepRunner",

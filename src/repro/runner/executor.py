@@ -57,7 +57,7 @@ from ..resilience.faults import fault_point
 from ..resilience.integrity import finite_measures
 from ..resilience.journal import SweepJournal, sweep_signature
 from .manifest import RunManifest, latency_stats
-from .spec import SOLVER_VERSION, JobSpec, RunResult
+from .spec import SOLVER_VERSION, TIMEOUT_ERROR_PREFIX, JobSpec, RunResult
 from .store import ResultStore
 
 __all__ = ["SweepRunner", "RunReport", "solve_job", "BACKENDS", "BATCHABLE_METHODS"]
@@ -755,7 +755,7 @@ class SweepRunner:
                     stats.timeouts += 1
                     hung = True
                     result = self._failure(
-                        payload, f"timeout after {self.timeout}s", attempts=1
+                        payload, f"{TIMEOUT_ERROR_PREFIX}{self.timeout}s", attempts=1
                     )
                 except BrokenProcessPool as exc:
                     pool_error = f"{type(exc).__name__}: {exc}"

@@ -28,6 +28,7 @@ from ..params import MMSParams
 
 __all__ = [
     "SOLVER_VERSION",
+    "TIMEOUT_ERROR_PREFIX",
     "canonical_json",
     "JobSpec",
     "RunResult",
@@ -38,6 +39,12 @@ __all__ = [
 #: created under a different version invalidates itself on open.
 #: "2": batched AMVA kernels; symmetric-path pooling reductions reordered.
 SOLVER_VERSION = "2"
+
+#: Every timed-out point's :attr:`RunResult.error` starts with this prefix
+#: (the executor writes ``"timeout after <budget>s"``).  The fabric's
+#: experiment DB classifies failed trials by it so a distributed run's
+#: manifest counts timeouts the same way a single-host run does.
+TIMEOUT_ERROR_PREFIX = "timeout after "
 
 
 def canonical_json(obj: object) -> str:

@@ -36,12 +36,24 @@ never compacts (a recovery scan would race other writers' appends); the
 scheduler reopens the store exclusively after the last worker exits,
 which dedups any at-least-once double-solves (first write wins) and
 rebuilds the index.
+
+The one operation that is *unsafe* under concurrent appenders is the
+recovery scan itself: compaction replaces ``results.jsonl`` with a new
+inode, so a writer still holding an ``O_APPEND`` fd to the old file
+would append into the void.  A ``flock``-based ``.lock`` file in the
+store directory enforces the boundary: shared stores hold a **shared**
+lock for their whole lifetime (the kernel releases it even on SIGKILL),
+and a recovery scan must take the **exclusive** lock first -- if live
+appenders still hold the store, the scan raises :class:`StoreLockError`
+after ``lock_timeout_s`` instead of silently eating their writes.
 """
 
 from __future__ import annotations
 
+import fcntl
 import json
 import os
+import time
 from pathlib import Path
 
 from ..obs import registry as obs_registry
@@ -49,10 +61,19 @@ from ..resilience.faults import fault_point, garble
 from ..resilience.integrity import record_digest
 from .spec import SOLVER_VERSION, canonical_json
 
-__all__ = ["ResultStore", "STORE_FORMAT"]
+__all__ = ["ResultStore", "StoreLockError", "STORE_FORMAT"]
 
 #: on-disk format version; 2 added per-record SHA-256 checksums
 STORE_FORMAT = 2
+
+
+class StoreLockError(RuntimeError):
+    """The store's cross-process ``.lock`` could not be acquired in time.
+
+    Raised by a recovery scan while live shared writers hold the store
+    (their appends would land on the compacted-away inode), or by a
+    shared open while a recovery scan is compacting.
+    """
 
 
 class ResultStore:
@@ -63,12 +84,15 @@ class ResultStore:
         cache_dir: str | os.PathLike,
         solver_version: str = SOLVER_VERSION,
         shared: bool = False,
+        lock_timeout_s: float = 10.0,
     ):
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.results_path = self.cache_dir / "results.jsonl"
         self.quarantine_path = self.cache_dir / "results.jsonl.quarantine"
         self.index_path = self.cache_dir / "index.json"
+        self.lock_path = self.cache_dir / ".lock"
+        self.lock_timeout_s = lock_timeout_s
         self.solver_version = solver_version
         #: multi-writer mode: appends only, no index, no recovery scans --
         #: other processes may be appending to the same JSONL concurrently
@@ -85,12 +109,53 @@ class ResultStore:
         self._offsets: dict[str, int] = {}
         self._dirty = False
         self._fd: int | None = None
+        self._lock_fd: int | None = None
         #: bytes of results.jsonl the offsets describe; the index stamps
         #: this (not the stat size), so a file grown by a process we never
         #: saw fails the size check and forces a recovery scan on reopen
         self._covered = 0
-        if not shared:
-            self._load()
+        try:
+            if shared:
+                # declare "I may append" for this handle's whole lifetime;
+                # flock dies with the process, so a SIGKILLed worker never
+                # wedges the fabric's finalize
+                self._flock(fcntl.LOCK_SH, "shared")
+            else:
+                self._load()
+        except BaseException:
+            self._close_lock_fd()
+            raise
+
+    # ------------------------------------------------------------------ lock
+    def _flock(self, op: int, what: str) -> None:
+        """Take *op* on the ``.lock`` file, polling up to ``lock_timeout_s``.
+
+        Non-blocking attempts in a poll loop rather than a blocking
+        ``flock`` so a held lock surfaces as a diagnosable
+        :class:`StoreLockError` instead of an indefinite hang.
+        """
+        if self._lock_fd is None:
+            self._lock_fd = os.open(
+                self.lock_path, os.O_RDWR | os.O_CREAT, 0o644
+            )
+        deadline = time.monotonic() + self.lock_timeout_s
+        while True:
+            try:
+                fcntl.flock(self._lock_fd, op | fcntl.LOCK_NB)
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise StoreLockError(
+                        f"could not acquire the {what} store lock on "
+                        f"{self.lock_path} within {self.lock_timeout_s:.1f}s; "
+                        "another process still holds the store"
+                    ) from None
+                time.sleep(0.05)
+
+    def _close_lock_fd(self) -> None:
+        if self._lock_fd is not None:
+            os.close(self._lock_fd)  # closing drops any flock we hold
+            self._lock_fd = None
 
     # ------------------------------------------------------------------ open
     def _load(self) -> None:
@@ -123,10 +188,20 @@ class ResultStore:
         rewritten atomically and the index rebuilt from them.
 
         Never runs in ``shared`` mode: compaction would race the other
-        writers appending to the same file.
+        writers appending to the same file.  Compaction replaces the JSONL
+        with a new inode, so the scan first takes the exclusive store lock
+        -- raising :class:`StoreLockError` while live shared writers hold
+        the store, instead of orphaning their append fds.
         """
         if self.shared:  # pragma: no cover - guarded at every call site
             raise RuntimeError("recovery scan is not allowed on a shared store")
+        self._flock(fcntl.LOCK_EX, "exclusive")
+        try:
+            self._recover_locked()
+        finally:
+            fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+
+    def _recover_locked(self) -> None:
         self.index_rebuilds += 1
         obs_registry().counter("store.index_rebuilds").inc()
         good: list[str] = []
@@ -194,9 +269,10 @@ class ResultStore:
             self._fd = None
 
     def close(self) -> None:
-        """Flush the index (exclusive mode) and release the append fd."""
+        """Flush the index (exclusive mode), release fds and any lock."""
         self.flush()
         self._close_fd()
+        self._close_lock_fd()
 
     def invalidate(self) -> None:
         """Drop every cached result (used on solver-version bump)."""

@@ -17,13 +17,15 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
 
-from repro.fabric import ExperimentDB, FabricScheduler, FabricWorker
+from repro.fabric import ExperimentDB, FabricError, FabricScheduler, FabricWorker
+from repro.resilience import faults
 from repro.params import paper_defaults
-from repro.runner import JobSpec, SweepRunner, canonical_json
+from repro.runner import JobSpec, ResultStore, SweepRunner, canonical_json
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -225,6 +227,51 @@ class TestKilledWorker:
         assert len(keys) == len(set(keys)) == 16
         scheduler.close()
 
+    def test_heartbeat_keeps_slow_lease_alive_past_ttl(self, tmp_path):
+        """Regression: the heartbeat DB connection must live on its thread.
+
+        A lease whose solve outlasts ``lease_ttl`` survives on heartbeats
+        alone.  The worker runs in a thread while the main thread plays
+        the scheduler's reaper at full cadence; if heartbeats were broken
+        (e.g. a cross-thread sqlite connection raising under a swallowed
+        except), every lease would expire mid-solve and re-dispatch --
+        here none may expire and no trial may run twice.
+        """
+        specs = _specs()[:8]
+        lease_ttl = 0.8  # each 4-point lease takes ~1.0s of injected delay
+        prev = faults.configure(
+            fault_plan={"sites": {"solve.delay": {"p": 1.0, "sleep_s": 0.25}}}
+        )
+        scheduler = FabricScheduler(
+            tmp_path, lease_ttl=lease_ttl, lease_points=4, poll_s=0.02,
+            backend="serial",
+        )
+        try:
+            experiment_id, _ = scheduler.submit(specs)
+            worker = FabricWorker(
+                tmp_path, experiment_id=experiment_id, lease_points=4,
+                lease_ttl=lease_ttl, poll_s=0.02, backend="serial",
+            )
+            out: dict[str, object] = {}
+            thread = threading.Thread(
+                target=lambda: out.update(stats=worker.run())
+            )
+            thread.start()
+            try:
+                counts = scheduler.wait(experiment_id, timeout=120)
+            finally:
+                thread.join(timeout=120)
+            assert not thread.is_alive()
+            stats = scheduler.db.stats(experiment_id)
+        finally:
+            faults.configure(**prev)
+            scheduler.close()
+        assert counts == {"pending": 0, "leased": 0, "done": 8, "failed": 0}
+        assert out["stats"].points == 8
+        assert stats["leases_expired"] == 0
+        assert stats["redispatched_trials"] == 0
+        assert stats["max_attempts"] == 1
+
     def test_expired_lease_is_reaped_by_surviving_workers_claim(self, tmp_path):
         """No scheduler needed: a worker's own claim() reaps dead leases."""
         specs = _specs()[:4]
@@ -241,3 +288,57 @@ class TestKilledWorker:
         assert db.counts(experiment_id)["done"] == 4
         db.close()
         scheduler.close()
+
+
+class TestStoreLockEnforcement:
+    """Exclusive store phases must never compact under live appenders."""
+
+    def test_finalize_refuses_while_a_worker_holds_the_store(self, tmp_path):
+        specs = _specs()[:2]
+        with FabricScheduler(
+            tmp_path, poll_s=0.05, lock_timeout_s=0.3
+        ) as scheduler:
+            experiment_id, _ = scheduler.submit(specs)
+            FabricWorker(
+                tmp_path, experiment_id=experiment_id, poll_s=0.05
+            ).run()
+            holder = ResultStore(tmp_path / "store", shared=True)
+            try:
+                with pytest.raises(FabricError, match="shared store"):
+                    scheduler.finalize(experiment_id, specs)
+            finally:
+                holder.close()
+            # with the appender gone, the same finalize succeeds
+            report = scheduler.finalize(experiment_id, specs)
+            scheduler.db.close()
+        assert all(r.ok for r in report.results)
+
+    def test_submit_probe_is_skipped_under_live_appenders(self, tmp_path):
+        """A held store degrades the probe to a no-op, never a compaction."""
+        specs = _specs()[:4]
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            scheduler.run(specs, workers=1, timeout=180)
+        # fresh experiment DB, warm store: submit would normally probe
+        for stale in tmp_path.glob("fabric.db*"):
+            stale.unlink()
+        # a stale index (workers appended since it was written) forces the
+        # probe's open through the recovery scan -- the dangerous path
+        (tmp_path / "store" / "index.json").unlink()
+        holder = ResultStore(tmp_path / "store", shared=True)
+        try:
+            with FabricScheduler(
+                tmp_path, poll_s=0.05, lock_timeout_s=0.3
+            ) as scheduler:
+                experiment_id, _ = scheduler.submit(specs)
+                # probe skipped: nothing served from cache, nothing lost
+                assert scheduler.db.counts(experiment_id)["pending"] == 4
+        finally:
+            holder.close()
+        # once the appender is gone the probe marks every point from cache
+        for stale in tmp_path.glob("fabric.db*"):
+            stale.unlink()
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            experiment_id, _ = scheduler.submit(specs)
+            counts = scheduler.db.counts(experiment_id)
+            assert counts["done"] == 4
+            assert counts["pending"] == 0

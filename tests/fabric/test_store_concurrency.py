@@ -16,7 +16,9 @@ import os
 import subprocess
 import sys
 
-from repro.runner.store import ResultStore
+import pytest
+
+from repro.runner.store import ResultStore, StoreLockError
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -95,6 +97,43 @@ class TestSharedAppend:
         store.flush()
         store.close()
         assert not (tmp_path / "index.json").exists()
+
+    def test_recovery_scan_refuses_while_a_shared_writer_holds_the_store(
+        self, tmp_path
+    ):
+        """Compaction must never replace the JSONL under a live appender.
+
+        A shared handle holds the store's shared ``flock`` for its whole
+        lifetime; an exclusive open that needs a recovery scan (no index
+        yet) must fail with :class:`StoreLockError` instead of compacting
+        the file out from under the appender's ``O_APPEND`` fd.
+        """
+        shared = ResultStore(tmp_path, shared=True)
+        shared.put("k-0", {"v": 0})
+        with pytest.raises(StoreLockError):
+            ResultStore(tmp_path, lock_timeout_s=0.2)
+        # the appender keeps working: its fd still points at the live file
+        shared.put("k-1", {"v": 1})
+        shared.close()
+        # once released, the exclusive open scans, dedups and indexes
+        store = ResultStore(tmp_path, lock_timeout_s=0.2)
+        assert len(store) == 2
+        assert store.get("k-1")["v"] == 1
+        store.close()
+
+    def test_exclusive_open_with_valid_index_coexists_with_shared_writers(
+        self, tmp_path
+    ):
+        """No recovery scan -> no exclusive lock -> appenders are untouched."""
+        seed = ResultStore(tmp_path)
+        seed.put("seed", {"v": 0})
+        seed.close()  # writes a size-accurate index
+        shared = ResultStore(tmp_path, shared=True)
+        exclusive = ResultStore(tmp_path, lock_timeout_s=0.2)
+        assert exclusive.get("seed")["v"] == 0
+        shared.put("later", {"v": 1})
+        shared.close()
+        exclusive.close()
 
     def test_exclusive_offsets_stay_correct_across_foreign_appends(self, tmp_path):
         """An exclusive writer's own offsets survive another process appending."""
