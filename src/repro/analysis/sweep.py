@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core import MMSPerformance
 from ..params import MMSParams
+from ..queueing.kernels import validate_kernel_name
 from ..runner import JobSpec, SweepRunner, default_runner
 from ..runner.executor import BACKENDS, Progress
 
@@ -65,6 +66,7 @@ def sweep(
     progress: Progress | None = None,
     runner: SweepRunner | None = None,
     backend: str | None = None,
+    kernel: str | None = None,
     fabric: str | None = None,
     workers: int = 2,
 ) -> list[dict[str, object]]:
@@ -83,7 +85,10 @@ def sweep(
     overrides the runner's execution backend for this sweep
     (``"auto"``/``"batch"``/``"process"``/``"serial"``) -- same-shape
     lattices route through the batched AMVA kernel under ``"auto"`` and
-    ``"batch"``.
+    ``"batch"``.  ``kernel`` overrides the solver kernel for this sweep
+    (``"auto"``/``"numpy"``/``"numba"``; kernels are bitwise-
+    interchangeable, see :mod:`repro.queueing.kernels`); ``None`` honours
+    :func:`repro.configure` and ``REPRO_SOLVE_KERNEL``.
 
     ``fabric`` (a shared coordination directory) distributes the sweep
     across ``workers`` local worker processes -- plus any externally
@@ -97,6 +102,8 @@ def sweep(
     combos = list(product(*(axes[n] for n in names)))
     if not combos:
         return []
+    if kernel is not None:
+        validate_kernel_name(kernel)
     points = [base.with_(**dict(zip(names, combo))) for combo in combos]
     specs = [JobSpec(params=point, method=method) for point in points]
     if fabric is not None:
@@ -104,7 +111,9 @@ def sweep(
             raise ValueError("pass either runner= or fabric=, not both")
         from ..fabric import FabricScheduler
 
-        with FabricScheduler(fabric, backend=backend or "auto") as scheduler:
+        with FabricScheduler(
+            fabric, backend=backend or "auto", kernel=kernel
+        ) as scheduler:
             report = scheduler.run(specs, workers=workers, progress=progress)
     else:
         if runner is None:
@@ -115,6 +124,8 @@ def sweep(
                     f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
                 )
             runner.backend = backend
+        if kernel is not None:
+            runner.kernel = kernel
         report = runner.run(specs, progress=progress)
     records: list[dict[str, object]] = []
     for combo, point, result in zip(combos, points, report.results):

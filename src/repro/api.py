@@ -105,6 +105,7 @@ def solve_points(
     *,
     method: str = "auto",
     tol: float = 1e-12,
+    kernel: str | None = None,
 ) -> list[MMSPerformance]:
     """Solve a homogeneous lattice of points with one batched fixed point.
 
@@ -120,12 +121,16 @@ def solve_points(
         the batch.
     tol:
         Fixed-point convergence tolerance.
+    kernel:
+        Solver kernel: ``"auto"``, ``"numpy"`` or ``"numba"`` (kernels are
+        bitwise-interchangeable); default honours :func:`configure` and
+        ``REPRO_SOLVE_KERNEL``.
 
     Returns the performances in ``points`` order.  (The batched solver's
     internal telemetry is available through :mod:`repro.core.model` for
     callers who need it.)
     """
-    perfs, _telemetry = _solve_points(points, method=method, tol=tol)
+    perfs, _telemetry = _solve_points(points, method=method, tol=tol, kernel=kernel)
     return perfs
 
 
@@ -136,6 +141,7 @@ def sweep(
     method: str = "auto",
     measure: Callable | str | None = None,
     backend: str | None = None,
+    kernel: str | None = None,
     runner: object | None = None,
     progress: Callable | None = None,
     fabric: str | None = None,
@@ -162,6 +168,11 @@ def sweep(
         Execution backend override: ``"auto"``, ``"batch"``, ``"process"``,
         or ``"serial"``; default honours :func:`configure` and
         ``REPRO_SWEEP_BACKEND``.
+    kernel:
+        Solver-kernel override: ``"auto"``, ``"numpy"`` or ``"numba"``
+        (kernels are bitwise-interchangeable, so cached records never
+        depend on this); default honours :func:`configure` and
+        ``REPRO_SOLVE_KERNEL``.
     runner:
         A prebuilt :class:`repro.runner.SweepRunner` for full control of
         jobs/caching/journaling; default builds one from the global
@@ -193,6 +204,7 @@ def sweep(
         progress=progress,
         runner=runner,
         backend=backend,
+        kernel=kernel,
         fabric=fabric,
         workers=workers,
     )
@@ -300,6 +312,7 @@ def configure(
     timeout: object = _UNSET,
     retries: object = _UNSET,
     backend: object = _UNSET,
+    kernel: object = _UNSET,
     trace: object = _UNSET,
     tracer: object = _UNSET,
     fault_plan: object = _UNSET,
@@ -327,6 +340,10 @@ def configure(
     backend:
         Default sweep execution backend -- ``"auto"``, ``"batch"``,
         ``"process"``, or ``"serial"`` (env: ``REPRO_SWEEP_BACKEND``).
+    kernel:
+        Default solver kernel -- ``"auto"``, ``"numpy"`` or ``"numba"``;
+        ``None`` clears the default (env: ``REPRO_SOLVE_KERNEL``).
+        Kernels are bitwise-interchangeable.
     trace:
         Tracing destination: a JSONL path, ``True`` (in-memory), or
         ``False``/``None`` to disable (env: ``REPRO_TRACE``).
@@ -362,6 +379,10 @@ def configure(
     }
     if runner_settings:
         previous.update(_runner_configure(**runner_settings))
+    if kernel is not _UNSET:
+        from .queueing.kernels import set_default_kernel
+
+        previous["kernel"] = set_default_kernel(kernel)
     if trace is not _UNSET or tracer is not _UNSET:
         prev = _obs_trace.configure(
             trace=None if trace is _UNSET else trace,

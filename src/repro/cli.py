@@ -172,11 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--backend",
-        choices=("auto", "batch", "process", "serial"),
         default="auto",
+        metavar="{auto,batch,process,serial}",
         help="execution backend: 'batch' stacks same-shape points into one "
         "batched AMVA fixed point, 'process' uses a worker pool, 'serial' "
         "solves point by point; 'auto' (default) picks for you",
+    )
+    p_sweep.add_argument(
+        "--kernel",
+        default=None,
+        metavar="{auto,numpy,numba}",
+        help="solver kernel for batched solves: 'numpy' is the reference, "
+        "'numba' the compiled (bitwise-identical) one, 'auto' picks numba "
+        "when available; default honours repro.configure/REPRO_SOLVE_KERNEL",
     )
     p_sweep.add_argument(
         "--cache-dir",
@@ -300,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "batch", "process", "serial"),
         default="auto",
     )
+    p_worker.add_argument(
+        "--kernel",
+        default=None,
+        metavar="{auto,numpy,numba}",
+        help="solver kernel for this worker's solves",
+    )
     p_worker.add_argument("--retries", type=int, default=1)
     p_worker.add_argument("--timeout", type=float, default=None)
     p_worker.add_argument(
@@ -408,6 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default per-request deadline, seconds",
     )
+    p_serve.add_argument(
+        "--kernel",
+        default=None,
+        metavar="{auto,numpy,numba}",
+        help="solver kernel for batched flushes "
+        "(default honours repro.configure/REPRO_SOLVE_KERNEL)",
+    )
 
     p_all = sub.add_parser(
         "reproduce-all",
@@ -468,7 +489,22 @@ def _run_sweep(args: argparse.Namespace) -> int:
     from itertools import product
 
     from .analysis.sweep import _apply_measure
+    from .queueing.kernels import validate_kernel_name
     from .runner import JobSpec, SweepRunner, canonical_json
+    from .runner.executor import BACKENDS
+
+    # validate the execution knobs up front -- both the runner and the
+    # fabric paths must reject bad names with one clean line that
+    # enumerates the valid choices (exit 2, the CLI error contract)
+    if args.backend not in BACKENDS:
+        raise ParamError(
+            f"unknown backend {args.backend!r}; pick from {'/'.join(BACKENDS)}"
+        )
+    if args.kernel is not None:
+        try:
+            validate_kernel_name(args.kernel)
+        except ValueError as exc:
+            raise ParamError(str(exc)) from None
 
     axes = _parse_axes(args.axis)
     base = _params_from(args)
@@ -506,6 +542,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             lease_ttl=args.lease_ttl,
             lease_points=args.lease_points,
             backend=args.backend,
+            kernel=args.kernel,
             retries=args.retries,
             timeout=args.timeout,
         )
@@ -524,9 +561,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 journal=journal_path,
                 resume=resume,
+                kernel=args.kernel,
             )
         except ValueError as exc:
-            # constructor validation of --jobs/--retries/--backend is user error
+            # constructor validation of --jobs/--retries/--backend/--kernel
+            # is user error (including an explicitly requested kernel that
+            # is not importable here)
             raise ParamError(str(exc)) from None
         run_fn = runner.run
     names = list(axes)
@@ -632,6 +672,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         poll_s=args.poll,
         backend=args.backend,
+        kernel=args.kernel,
         retries=args.retries,
         timeout=args.timeout,
         max_leases=args.max_leases,
@@ -752,6 +793,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             memory_cache=args.memory_cache,
             store_dir=cache_dir,
             default_deadline_s=args.deadline,
+            kernel=args.kernel,
         )
     except ValueError as exc:
         raise ParamError(str(exc)) from None

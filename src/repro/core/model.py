@@ -471,6 +471,7 @@ def _record_batch_obs(sp, method: str, batch: "BatchTelemetry | None") -> None:
         return
     sp.set(
         method=method,
+        kernel=batch.kernel,
         batch_size=batch.batch_size,
         iterations=batch.iterations,
         converged=batch.converged,
@@ -485,6 +486,7 @@ def _record_batch_obs(sp, method: str, batch: "BatchTelemetry | None") -> None:
     reg.counter("solver.batch.masked_iterations_saved").inc(
         batch.masked_iterations_saved
     )
+    reg.counter(f"solver.batch.kernel.{batch.kernel}").inc()
     if batch.converged < batch.batch_size:
         reg.counter("solver.nonconverged").inc(batch.batch_size - batch.converged)
     reg.histogram("solver.residual", _RESIDUAL_BUCKETS).observe(batch.max_residual)
@@ -498,6 +500,7 @@ def solve_points(
     points: "Sequence[MMSParams]",
     method: str = "auto",
     tol: float = 1e-12,
+    kernel: str | None = None,
 ) -> tuple[list[MMSPerformance], "BatchTelemetry | None"]:
     """Solve a homogeneous lattice of parameter points with one batched AMVA.
 
@@ -510,7 +513,10 @@ def solve_points(
     sweep backends can be swapped without disturbing cached records.
     Asymmetric (hotspot/mesh) points go through the multi-class
     :func:`~repro.queueing.mva_batch.solve_batch` (pointwise equivalent to
-    the scalar AMVA to well below 1e-10, but not bitwise).
+    the scalar AMVA to well below 1e-10, but not bitwise).  ``kernel``
+    selects the solver kernel (``"auto"``/``"numpy"``/``"numba"``; kernels
+    are bitwise-interchangeable); ``None`` honours :func:`repro.configure`
+    and ``REPRO_SOLVE_KERNEL``.
 
     Returns the performances in input order plus the shared
     :class:`~repro.queueing.solution.BatchTelemetry` (``None`` for an empty
@@ -524,13 +530,13 @@ def solve_points(
     if not points:
         return [], None
     with trace_span("solver.batch", points=len(points)) as sp:
-        perfs, batch = _solve_points_impl(points, method, tol)
+        perfs, batch = _solve_points_impl(points, method, tol, kernel)
         _record_batch_obs(sp, perfs[0].method if perfs else method, batch)
         return perfs, batch
 
 
 def _solve_points_impl(
-    points: "Sequence[MMSParams]", method: str, tol: float
+    points: "Sequence[MMSParams]", method: str, tol: float, kernel: str | None
 ) -> tuple[list[MMSPerformance], "BatchTelemetry | None"]:
     models = [MMSModel(p) for p in points]
     if method == "auto":
@@ -555,7 +561,8 @@ def _solve_points_impl(
         servers = np.stack([a[3] for a in arrays])
         pops = np.array([m.params.workload.num_threads for m in models])
         sols = solve_symmetric_batch(
-            visits, service, station_type, pops, tol=tol, servers=servers
+            visits, service, station_type, pops, tol=tol, servers=servers,
+            kernel=kernel,
         )
         perfs = [
             model._measures(
@@ -576,7 +583,7 @@ def _solve_points_impl(
 
     if method == "amva":
         networks = [m.build_network() for m in models]
-        qsols = solve_batch(networks)
+        qsols = solve_batch(networks, kernel=kernel)
         perfs = []
         for model, network, qsol in zip(models, networks, qsols):
             if model.is_symmetric:

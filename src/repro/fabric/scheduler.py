@@ -46,6 +46,7 @@ from ..core.metrics import MMSPerformance
 from ..obs import diff_snapshots, trace_span
 from ..obs import registry as obs_registry
 from ..params import MMSParams
+from ..queueing.kernels import validate_kernel_name
 from ..resilience.journal import sweep_signature
 from ..runner.executor import BACKENDS, RunReport
 from ..runner.manifest import RunManifest, latency_stats
@@ -73,8 +74,11 @@ class FabricScheduler:
         Trials per lease (the worker-side batching grain).
     poll_s:
         Dispatch-loop cadence (reaping, respawn checks).
-    backend / retries / timeout:
-        Execution knobs forwarded to every spawned worker's inner runner.
+    backend / kernel / retries / timeout:
+        Execution knobs forwarded to every spawned worker's inner runner
+        (``kernel`` selects the solver kernel; ``None`` leaves each worker
+        on its own :func:`repro.configure` / ``REPRO_SOLVE_KERNEL``
+        default).
     lock_timeout_s:
         How long the exclusive store phases (probe, finalize) wait for
         live workers to release the shared store lock before giving up.
@@ -90,11 +94,17 @@ class FabricScheduler:
         retries: int = 1,
         timeout: float | None = None,
         lock_timeout_s: float = 10.0,
+        kernel: str | None = None,
     ):
         if backend not in BACKENDS:
             raise FabricError(
                 f"unknown backend {backend!r}; pick from {'/'.join(BACKENDS)}"
             )
+        if kernel is not None:
+            try:
+                validate_kernel_name(kernel)
+            except ValueError as exc:
+                raise FabricError(str(exc)) from None
         if lease_points < 1:
             raise FabricError(f"lease_points must be >= 1, got {lease_points}")
         self.fabric_dir = Path(fabric_dir)
@@ -103,6 +113,7 @@ class FabricScheduler:
         self.lease_points = lease_points
         self.poll_s = poll_s
         self.backend = backend
+        self.kernel = kernel
         self.retries = retries
         self.timeout = timeout
         self.lock_timeout_s = lock_timeout_s
@@ -211,6 +222,8 @@ class FabricScheduler:
         ]
         if self.timeout is not None:
             args += ["--timeout", str(self.timeout)]
+        if self.kernel is not None:
+            args += ["--kernel", self.kernel]
         proc = subprocess.Popen(args, stdout=subprocess.DEVNULL)
         self._procs[self._next_worker] = proc
         self._next_worker += 1

@@ -1,0 +1,142 @@
+"""The pure-numpy reference kernels: masked, vectorized fixed points.
+
+These are the arbiter of the numeric contract.  Both loops are the
+historical :mod:`repro.queueing.mva_batch` iterations moved verbatim
+behind the kernel seam: per-point arithmetic uses only elementwise
+operations and reductions along the class/station axes, whose evaluation
+order does not depend on the batch size, so per-point results are bitwise
+independent of the batch composition.  Any other kernel (see
+:mod:`.compiled`) must reproduce these results bit for bit.
+
+Convergence is **masked**: each iteration only the still-unconverged
+points are updated, and a point whose queue-length change drops below
+``tol`` leaves the active set.  Points never interact, so masking changes
+which rows are touched but never any point's iterate sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .soa import FixedPointResult, MulticlassSoA, SymmetricSoA
+
+__all__ = ["multiclass_fixed_point", "symmetric_fixed_point"]
+
+#: selection-registry name of this kernel
+NAME = "numpy"
+
+
+def multiclass_fixed_point(
+    soa: MulticlassSoA, tol: float, max_iter: int
+) -> FixedPointResult:
+    """Batched Bard-Schweitzer on a ``(B, C, M)`` multi-class stack."""
+    b_total = soa.batch
+    c, m = soa.shape
+    v, s, extra = soa.visits, soa.service, soa.extra
+    pops, queueing = soa.populations, soa.queueing
+
+    q = soa.initial_queues()
+    w = np.zeros((b_total, c, m))
+    x = np.zeros((b_total, c))
+    iterations = np.zeros(b_total, dtype=np.int64)
+    residual = np.full(b_total, np.inf)
+    converged = np.zeros(b_total, dtype=bool)
+    active = np.arange(b_total)
+    trajectory: list[int] = []
+
+    for it in range(1, max_iter + 1):
+        if active.size == 0:
+            break
+        trajectory.append(int(active.size))
+        q_a = q[active]
+        pops_a = pops[active]
+        # step 2: arrival-theorem waiting times for the active points
+        q_total = q_a.sum(axis=1, keepdims=True)  # (b, 1, M)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            own = np.where(pops_a[:, :, None] > 0, q_a / pops_a[:, :, None], 0.0)
+        seen = q_total - own
+        w_a = np.where(
+            queueing[active][:, None, :],
+            s[active] * (1.0 + seen) + extra[active],
+            s[active] + extra[active],
+        )
+        # steps 3-4: throughputs and new queue lengths
+        denom = (v[active] * w_a).sum(axis=2)  # (b, C)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_a = np.where(denom > 0, pops_a / denom, 0.0)
+        q_new = x_a[:, :, None] * v[active] * w_a
+        delta = np.abs(q_new - q_a).reshape(active.size, -1).max(axis=1)
+
+        q[active] = q_new
+        w[active] = w_a
+        x[active] = x_a
+        iterations[active] = it
+        residual[active] = delta
+        # step 5, masked: converged points leave the active set
+        done = delta <= tol
+        if done.any():
+            converged[active[done]] = True
+            active = active[~done]
+
+    return FixedPointResult(
+        q=q,
+        w=w,
+        x=x,
+        iterations=iterations,
+        residual=residual,
+        converged=converged,
+        trajectory=tuple(trajectory),
+    )
+
+
+def symmetric_fixed_point(
+    soa: SymmetricSoA, tol: float, max_iter: int
+) -> FixedPointResult:
+    """Batched Bard-Schweitzer on the ``(B, M)`` symmetric manifold."""
+    b_total, m = soa.visits.shape
+    v, s, extra, popf = soa.visits, soa.service, soa.extra, soa.popf
+
+    q = soa.initial_queues()
+    w = np.zeros((b_total, m))
+    x = np.zeros(b_total)
+    iterations = np.zeros(b_total, dtype=np.int64)
+    residual = np.zeros(b_total)
+    converged = soa.initial_converged()
+    residual[~converged] = np.inf
+    active = np.flatnonzero(~converged)
+    trajectory: list[int] = []
+
+    for it in range(1, max_iter + 1):
+        if active.size == 0:
+            break
+        trajectory.append(int(active.size))
+        q_a = q[active]
+        pop_a = popf[active]
+        t_total = soa.pooled_totals(q_a)
+        seen = t_total - q_a / pop_a[:, None]  # arriving customer's view (BS)
+        w_a = s[active] * (1.0 + seen) + extra[active]
+        denom = (v[active] * w_a).sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_a = np.where(denom > 0, pop_a / denom, 0.0)
+        q_new = x_a[:, None] * v[active] * w_a
+        delta = np.abs(q_new - q_a).max(axis=1)
+
+        q[active] = q_new
+        w[active] = w_a
+        x[active] = x_a
+        iterations[active] = it
+        residual[active] = delta
+        done = delta <= tol
+        if done.any():
+            converged[active[done]] = True
+            active = active[~done]
+
+    return FixedPointResult(
+        q=q,
+        w=w,
+        x=x,
+        iterations=iterations,
+        residual=residual,
+        converged=converged,
+        trajectory=tuple(trajectory),
+    )

@@ -1,0 +1,127 @@
+"""Zero-pickle array handoff between processes via shared memory.
+
+The process backend historically pickled every payload to its pool
+workers.  Point parameters are tiny, but a batched group's packed
+structure-of-arrays state is not -- at fabric scale the serialization of
+``(B, M)`` float64 stacks costs more than the solve.  This module moves
+whole array sets through :mod:`multiprocessing.shared_memory` instead:
+the sender copies each array into a named segment once, the receiver maps
+the segment and copies the bits back out, and the only thing pickled is a
+small name/shape/dtype descriptor.  The round trip is bit-exact (it is a
+byte copy), which the property suite pins against a pickled handoff.
+
+Lifecycle: the creating side owns the segments and must ``unlink()``;
+the attaching side only ever reads and releases its mapping.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import resource_tracker, shared_memory
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["SharedArrays", "attach_arrays", "write_arrays"]
+
+
+class SharedArrays:
+    """A named set of numpy arrays copied into shared-memory segments.
+
+    The constructor copies each array into its own segment; ``meta`` is
+    the picklable descriptor a receiver passes to :func:`attach_arrays`.
+    The creator must call :meth:`unlink` (or use the instance as a context
+    manager) once every receiver is done, or the segments outlive the
+    process.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.meta: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        try:
+            for name, array in arrays.items():
+                src = np.ascontiguousarray(array)
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(1, src.nbytes)
+                )
+                self._segments.append(seg)
+                dst = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf)
+                dst[...] = src
+                self.meta[name] = (seg.name, src.shape, src.dtype.str)
+        except Exception:
+            self.unlink()
+            raise
+
+    def unlink(self) -> None:
+        """Release and remove every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()
+
+
+def attach_arrays(
+    meta: Mapping[str, tuple[str, tuple[int, ...], str]]
+) -> dict[str, np.ndarray]:
+    """Copy the arrays a :class:`SharedArrays` descriptor names back out.
+
+    Returns ordinary process-private arrays (bitwise equal to what the
+    sender shared) and releases the mapping immediately, so the caller
+    never has to reason about segment lifetime.
+    """
+    out: dict[str, np.ndarray] = {}
+    for name, (seg_name, shape, dtype) in meta.items():
+        seg = _attach(seg_name)
+        try:
+            out[name] = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype), buffer=seg.buf
+            ).copy()
+        finally:
+            seg.close()
+    return out
+
+
+def write_arrays(
+    meta: Mapping[str, tuple[str, tuple[int, ...], str]],
+    arrays: Mapping[str, np.ndarray],
+) -> None:
+    """Copy *arrays* into the segments a descriptor names (receiver side).
+
+    The counterpart of :func:`attach_arrays` for results flowing back: the
+    sender pre-creates appropriately-shaped segments (it knows the result
+    shapes at dispatch time, and creator-owns-lifecycle keeps the resource
+    accounting one-sided), the receiver fills them here.
+    """
+    for name, (seg_name, shape, dtype) in meta.items():
+        seg = _attach(seg_name)
+        try:
+            dst = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=seg.buf)
+            dst[...] = arrays[name]
+        finally:
+            seg.close()
+
+
+def _attach(seg_name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment without disturbing leak tracking.
+
+    Attaching registers the segment with this process's resource tracker a
+    second time.  Under ``spawn``, workers run their *own* tracker, and that
+    stray registration makes worker shutdown "clean up" (unlink!) segments
+    the parent still owns -- so drop it.  Under ``fork``, workers share the
+    parent's tracker and its cache is a set: the duplicate registration is
+    a no-op, and unregistering here would erase the creator's entry and
+    break its unlink -- so leave it alone.
+    """
+    seg = shared_memory.SharedMemory(name=seg_name)
+    if multiprocessing.get_start_method() != "fork":
+        resource_tracker.unregister(seg._name, "shared_memory")
+    return seg

@@ -4,27 +4,41 @@ Every figure and table of the paper is a parameter sweep whose points share
 one network *shape* -- the same ``(C, M)`` class/station layout with
 different service times, visit ratios and populations.  Solving such a
 lattice point-by-point re-enters Python once per point; here the whole
-lattice is stacked into ``(B, C, M)`` arrays and iterated as a single numpy
-fixed point.
+lattice is packed into structure-of-arrays state
+(:mod:`repro.queueing.kernels.soa`) and iterated by a solver kernel:
 
-Convergence is **masked**: each iteration only the still-unconverged points
-are updated, and a point whose queue-length change drops below ``tol``
-leaves the active set -- exactly like early-exit in batched inference.  The
-per-point iterate sequence is unchanged by the masking (points never
-interact), so each point converges in the same number of iterations, to the
-same values, as a scalar solve.
+* ``"numpy"`` -- the masked vectorized reference
+  (:mod:`repro.queueing.kernels.reference`); each iteration only the
+  still-unconverged points are updated, and a point whose queue-length
+  change drops below ``tol`` leaves the active set -- exactly like
+  early-exit in batched inference.
+* ``"numba"`` -- compiled per-point loops
+  (:mod:`repro.queueing.kernels.compiled`), **bitwise-equal** to the
+  reference by construction.
+* ``"auto"`` (the default) -- the compiled kernel when numba is available,
+  the reference otherwise.  Selection precedence: ``REPRO_SOLVE_KERNEL``
+  < :func:`repro.configure(kernel=...) <repro.configure>` < the explicit
+  ``kernel=`` argument here.
+
+The per-point iterate sequence is unchanged by masking or kernel choice
+(points never interact), so each point converges in the same number of
+iterations, to the same values, as a scalar solve.
 
 Numerical contract
 ------------------
 Per-point arithmetic uses only elementwise operations and reductions along
 the class/station axes, whose evaluation order does not depend on the batch
 size.  :func:`solve_symmetric_batch` is therefore bitwise-identical across
-batch compositions (``B = 1`` vs. ``B = 176`` give the same floats), which
-is what lets :func:`~repro.queueing.mva_symmetric.solve_symmetric` delegate
-here and lets serial, batched and process-pool sweep backends emit
-bitwise-identical records.  :func:`solve_batch` (the multi-class kernel) is
+batch compositions (``B = 1`` vs. ``B = 176`` give the same floats) **and
+across kernels**, which is what lets
+:func:`~repro.queueing.mva_symmetric.solve_symmetric` delegate here and
+lets serial, batched and process-pool sweep backends emit
+bitwise-identical records under any kernel.  :func:`solve_batch` (the
+multi-class kernel) carries the same bitwise cross-kernel contract and is
 property-tested pointwise-equivalent to
 :func:`~repro.queueing.mva_approx.bard_schweitzer` to well below 1e-10.
+The conformance suite (``tests/queueing/test_kernel_conformance.py``)
+pins the full backend x kernel matrix.
 """
 
 from __future__ import annotations
@@ -36,6 +50,7 @@ from typing import Sequence
 import numpy as np
 
 from ..resilience.faults import InjectedFault, fault_point
+from .kernels import MulticlassSoA, SymmetricSoA, kernel_impl, resolve_kernel
 from .mva_symmetric import SymmetricSolution
 from .network import ClosedNetwork
 from .solution import (
@@ -65,6 +80,7 @@ def solve_batch(
     tol: float = 1e-10,
     max_iter: int = 100_000,
     strict: bool = False,
+    kernel: str | None = None,
 ) -> list[QNSolution]:
     """Solve a stack of same-shape closed networks with one batched AMVA.
 
@@ -82,6 +98,10 @@ def solve_batch(
         Raise :class:`ConvergenceError` if any point exhausts ``max_iter``;
         the default emits a :class:`ConvergenceWarning` and returns the last
         iterates (flagged ``converged=False``).
+    kernel:
+        Solver kernel: ``"auto"``, ``"numpy"`` or ``"numba"``; ``None``
+        (default) honours :func:`repro.configure` and
+        ``REPRO_SOLVE_KERNEL``.  Kernels are bitwise-interchangeable.
 
     Returns
     -------
@@ -94,77 +114,20 @@ def solve_batch(
     if fault_point("solve.raise") is not None:
         raise InjectedFault("injected failure at solve_batch entry")
     t0 = time.perf_counter()
-    shape = (networks[0].num_classes, networks[0].num_stations)
-    for net in networks:
-        if (net.num_classes, net.num_stations) != shape:
-            raise ValueError(
-                f"all networks in a batch must share one (C, M) shape; got "
-                f"{(net.num_classes, net.num_stations)} != {shape}"
-            )
+    soa = MulticlassSoA.from_networks(networks)
     b_total = len(networks)
-    c, m = shape
+    kernel_name = resolve_kernel(kernel)
+    res = kernel_impl(kernel_name).multiclass_fixed_point(soa, tol, max_iter)
 
-    v = np.stack([net.visits for net in networks])  # (B, C, M)
-    seidmann = [net.seidmann_split() for net in networks]
-    s = np.stack([sq for sq, _ in seidmann])
-    extra = np.stack([d for _, d in seidmann])
-    pops = np.stack([net.populations.astype(np.float64) for net in networks])
-    queueing = np.stack([net.queueing_mask() for net in networks])  # (B, M)
-
-    # Figure 3, step 1 (per point): spread each class over its stations.
-    visited = v > 0
-    n_visited = np.maximum(visited.sum(axis=2, keepdims=True), 1)
-    q = np.where(visited, pops[:, :, None] / n_visited, 0.0)
-
-    w = np.zeros((b_total, c, m))
-    x = np.zeros((b_total, c))
-    iterations = np.zeros(b_total, dtype=np.int64)
-    residual = np.full(b_total, np.inf)
-    converged = np.zeros(b_total, dtype=bool)
-    active = np.arange(b_total)
-    trajectory: list[int] = []
-
-    for it in range(1, max_iter + 1):
-        if active.size == 0:
-            break
-        trajectory.append(int(active.size))
-        q_a = q[active]
-        pops_a = pops[active]
-        # step 2: arrival-theorem waiting times for the active points
-        q_total = q_a.sum(axis=1, keepdims=True)  # (b, 1, M)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            own = np.where(pops_a[:, :, None] > 0, q_a / pops_a[:, :, None], 0.0)
-        seen = q_total - own
-        w_a = np.where(
-            queueing[active][:, None, :],
-            s[active] * (1.0 + seen) + extra[active],
-            s[active] + extra[active],
-        )
-        # steps 3-4: throughputs and new queue lengths
-        denom = (v[active] * w_a).sum(axis=2)  # (b, C)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            x_a = np.where(denom > 0, pops_a / denom, 0.0)
-        q_new = x_a[:, :, None] * v[active] * w_a
-        delta = np.abs(q_new - q_a).reshape(active.size, -1).max(axis=1)
-
-        q[active] = q_new
-        w[active] = w_a
-        x[active] = x_a
-        iterations[active] = it
-        residual[active] = delta
-        # step 5, masked: converged points leave the active set
-        done = delta <= tol
-        if done.any():
-            converged[active[done]] = True
-            active = active[~done]
-
-    stragglers = b_total - int(converged.sum())
+    stragglers = b_total - int(res.converged.sum())
     if stragglers:
         _nonconvergence(
-            "solve_batch", stragglers, float(residual[~converged].max()),
+            "solve_batch", stragglers,
+            float(res.residual[~res.converged].max()),
             tol, max_iter, strict,
         )
 
+    x, w, q = res.x, res.w, res.q
     spec = fault_point("solve.nan")
     if spec is not None:  # poison one point's measures (chaos testing)
         i = int(spec.args.get("index", 0)) % b_total
@@ -174,11 +137,12 @@ def solve_batch(
 
     batch = BatchTelemetry(
         batch_size=b_total,
-        iterations=int(iterations.max(initial=0)),
-        converged=int(converged.sum()),
-        max_residual=float(np.max(residual, initial=0.0)),
-        active_trajectory=tuple(trajectory),
+        iterations=int(res.iterations.max(initial=0)),
+        converged=int(res.converged.sum()),
+        max_residual=float(np.max(res.residual, initial=0.0)),
+        active_trajectory=res.trajectory,
         wall_time_s=time.perf_counter() - t0,
+        kernel=kernel_name,
     )
     return [
         QNSolution(
@@ -186,13 +150,13 @@ def solve_batch(
             throughput=x[i],
             waiting=w[i],
             queue_length=q[i],
-            iterations=int(iterations[i]),
-            converged=bool(converged[i]),
-            residual=float(residual[i]),
+            iterations=int(res.iterations[i]),
+            converged=bool(res.converged[i]),
+            residual=float(res.residual[i]),
             telemetry=SolverTelemetry(
-                iterations=int(iterations[i]),
-                residual=float(residual[i]),
-                converged=bool(converged[i]),
+                iterations=int(res.iterations[i]),
+                residual=float(res.residual[i]),
+                converged=bool(res.converged[i]),
                 wall_time_s=batch.wall_time_s,
                 batch=batch,
             ),
@@ -214,6 +178,7 @@ def solve_symmetric_batch(
     max_iter: int = 200_000,
     servers: np.ndarray | None = None,
     strict: bool = False,
+    kernel: str | None = None,
 ) -> list[SymmetricSolution]:
     """Batched Bard-Schweitzer on the symmetric (SPMD) manifold.
 
@@ -221,109 +186,32 @@ def solve_symmetric_batch(
     and ``service`` are ``(B, M)``, ``populations`` is ``(B,)`` integers and
     ``station_type`` is the shared ``(M,)`` labelling (identical for every
     point of one machine size).  ``servers`` is an optional ``(B, M)``
-    Seidmann multi-server array.
+    Seidmann multi-server array.  ``kernel`` selects the solver kernel as
+    in :func:`solve_batch`.
 
-    Per-point results are bitwise-identical to a single-point batch -- see
-    the module docstring -- so the scalar
+    Per-point results are bitwise-identical to a single-point batch under
+    any kernel -- see the module docstring -- so the scalar
     :func:`~repro.queueing.mva_symmetric.solve_symmetric` is this kernel
     with ``B = 1``.
     """
     if fault_point("solve.raise") is not None:
         raise InjectedFault("injected failure at solve_symmetric_batch entry")
     t0 = time.perf_counter()
-    v = np.atleast_2d(np.asarray(visits, dtype=np.float64))
-    s = np.atleast_2d(np.asarray(service, dtype=np.float64))
-    types = np.asarray(station_type)
-    pops = np.atleast_1d(np.asarray(populations, dtype=np.int64))
-    b_total, m = v.shape
-    if s.shape != v.shape:
-        raise ValueError("visits and service must share a (B, M) shape")
-    if types.shape != (m,):
-        raise ValueError(f"station_type shape {types.shape} != ({m},)")
-    if pops.shape != (b_total,):
-        raise ValueError(f"populations shape {pops.shape} != ({b_total},)")
-    if np.any(pops < 0):
-        raise ValueError("populations must be >= 0")
-    if servers is None:
-        extra = np.zeros((b_total, m))
-    else:
-        srv = np.atleast_2d(np.asarray(servers, dtype=np.float64))
-        if srv.shape != v.shape:
-            raise ValueError("servers must match the (B, M) visits shape")
-        if np.any(srv < 1):
-            raise ValueError("server counts must be >= 1")
-        extra = s * (srv - 1.0) / srv
-        s = s / srv
+    soa = SymmetricSoA.pack(visits, service, station_type, populations, servers)
+    b_total = soa.batch
     if b_total == 0:
         return []
+    kernel_name = resolve_kernel(kernel)
+    res = kernel_impl(kernel_name).symmetric_fixed_point(soa, tol, max_iter)
 
-    labels = np.unique(types)
-    type_masks = [(types == label).astype(np.float64) for label in labels]
-    type_bools = [types == label for label in labels]
-
-    def pooled_totals(queues: np.ndarray) -> np.ndarray:
-        """Per-station all-class totals: the type-pooled class-0 queues.
-
-        Pooling multiplies by a full-width 0/1 mask and reduces the
-        C-contiguous product along the station axis.  Boolean fancy
-        indexing (``queues[:, mask]``) would yield a non-contiguous
-        intermediate whose reduction order -- and hence rounding -- depends
-        on the batch size; the contiguous form is bitwise independent of
-        the batch composition, which the backend-equality tests rely on.
-        """
-        queues = np.ascontiguousarray(queues)
-        t_total = np.empty_like(queues)
-        for mask, sel in zip(type_masks, type_bools):
-            t_total[:, sel] = (queues * mask).sum(axis=1)[:, None]
-        return t_total
-
-    visited = v > 0
-    n_visited = np.maximum(visited.sum(axis=1, keepdims=True), 1)
-    popf = pops.astype(np.float64)
-    q = np.where(visited, popf[:, None] / n_visited, 0.0)
-    q[pops == 0] = 0.0
-
-    w = np.zeros((b_total, m))
-    x = np.zeros(b_total)
-    iterations = np.zeros(b_total, dtype=np.int64)
-    residual = np.zeros(b_total)
-    converged = pops == 0  # empty points are trivially solved
-    residual[~converged] = np.inf
-    active = np.flatnonzero(~converged)
-    trajectory: list[int] = []
-
-    for it in range(1, max_iter + 1):
-        if active.size == 0:
-            break
-        trajectory.append(int(active.size))
-        q_a = q[active]
-        pop_a = popf[active]
-        t_total = pooled_totals(q_a)
-        seen = t_total - q_a / pop_a[:, None]  # arriving customer's view (BS)
-        w_a = s[active] * (1.0 + seen) + extra[active]
-        denom = (v[active] * w_a).sum(axis=1)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            x_a = np.where(denom > 0, pop_a / denom, 0.0)
-        q_new = x_a[:, None] * v[active] * w_a
-        delta = np.abs(q_new - q_a).max(axis=1)
-
-        q[active] = q_new
-        w[active] = w_a
-        x[active] = x_a
-        iterations[active] = it
-        residual[active] = delta
-        done = delta <= tol
-        if done.any():
-            converged[active[done]] = True
-            active = active[~done]
-
-    stragglers = b_total - int(converged.sum())
+    stragglers = b_total - int(res.converged.sum())
     if stragglers:
         _nonconvergence(
             "solve_symmetric_batch", stragglers,
-            float(residual[~converged].max()), tol, max_iter, strict,
+            float(res.residual[~res.converged].max()), tol, max_iter, strict,
         )
 
+    x, w, q = res.x, res.w, res.q
     spec = fault_point("solve.nan")
     if spec is not None:  # poison one point's measures (chaos testing)
         i = int(spec.args.get("index", 0)) % b_total
@@ -331,14 +219,15 @@ def solve_symmetric_batch(
         w[i] = np.nan
         q[i] = np.nan
 
-    total_queue = pooled_totals(q)
+    total_queue = soa.pooled_totals(q)
     batch = BatchTelemetry(
         batch_size=b_total,
-        iterations=int(iterations.max(initial=0)),
-        converged=int(converged.sum()),
-        max_residual=float(np.max(residual, initial=0.0)),
-        active_trajectory=tuple(trajectory),
+        iterations=int(res.iterations.max(initial=0)),
+        converged=int(res.converged.sum()),
+        max_residual=float(np.max(res.residual, initial=0.0)),
+        active_trajectory=res.trajectory,
         wall_time_s=time.perf_counter() - t0,
+        kernel=kernel_name,
     )
     return [
         SymmetricSolution(
@@ -346,13 +235,13 @@ def solve_symmetric_batch(
             waiting=w[i],
             queue_length=q[i],
             total_queue=total_queue[i],
-            iterations=int(iterations[i]),
-            converged=bool(converged[i]),
-            residual=float(residual[i]),
+            iterations=int(res.iterations[i]),
+            converged=bool(res.converged[i]),
+            residual=float(res.residual[i]),
             telemetry=SolverTelemetry(
-                iterations=int(iterations[i]),
-                residual=float(residual[i]),
-                converged=bool(converged[i]),
+                iterations=int(res.iterations[i]),
+                residual=float(res.residual[i]),
+                converged=bool(res.converged[i]),
                 wall_time_s=batch.wall_time_s,
                 batch=batch,
             ),

@@ -49,6 +49,8 @@ class BatchTelemetry:
     active_trajectory: tuple[int, ...]
     #: wall-clock seconds for the whole batch
     wall_time_s: float
+    #: concrete solver kernel that ran ("numpy" or "numba")
+    kernel: str = "numpy"
 
     @property
     def masked_iterations_saved(self) -> int:
@@ -65,6 +67,7 @@ class BatchTelemetry:
             "active_trajectory": list(self.active_trajectory),
             "wall_time_s": float(self.wall_time_s),
             "masked_iterations_saved": self.masked_iterations_saved,
+            "kernel": self.kernel,
         }
 
 

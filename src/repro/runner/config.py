@@ -74,12 +74,17 @@ def effective_config() -> dict[str, object]:
     backend = _CONFIG["backend"]
     if backend is None:
         backend = os.environ.get("REPRO_SWEEP_BACKEND") or "auto"
+    # the kernel default lives with the solver kernels (configure() routes
+    # it there), so direct queueing-layer calls honour it too
+    from ..queueing.kernels import default_kernel
+
     return {
         "jobs": int(jobs),
         "cache_dir": cache_dir,
         "timeout": _CONFIG["timeout"],
         "retries": _CONFIG["retries"],
         "backend": str(backend),
+        "kernel": default_kernel(),
     }
 
 
@@ -103,4 +108,5 @@ def default_runner() -> SweepRunner:
         timeout=cfg["timeout"],
         retries=cfg["retries"],
         backend=cfg["backend"],
+        kernel=cfg["kernel"],
     )

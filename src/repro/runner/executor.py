@@ -45,6 +45,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..core.metrics import MMSPerformance
 from ..core.model import MMSModel
 from ..obs import Tracer, diff_snapshots, get_tracer
@@ -52,6 +54,8 @@ from ..obs import registry as obs_registry
 from ..obs import trace_span
 from ..obs.trace import configure
 from ..params import MMSParams
+from ..queueing.kernels import resolve_kernel
+from ..queueing.kernels.shm import SharedArrays, attach_arrays, write_arrays
 from ..resilience.degrade import DegradationPolicy
 from ..resilience.faults import fault_point
 from ..resilience.integrity import finite_measures
@@ -60,7 +64,14 @@ from .manifest import RunManifest, latency_stats
 from .spec import SOLVER_VERSION, TIMEOUT_ERROR_PREFIX, JobSpec, RunResult
 from .store import ResultStore
 
-__all__ = ["SweepRunner", "RunReport", "solve_job", "BACKENDS", "BATCHABLE_METHODS"]
+__all__ = [
+    "SweepRunner",
+    "RunReport",
+    "solve_job",
+    "solve_group_shm",
+    "BACKENDS",
+    "BATCHABLE_METHODS",
+]
 
 #: a worker callable: JSON payload in, ``{"perf": dict, "elapsed": s}`` out
 Worker = Callable[[Mapping[str, object]], Mapping[str, object]]
@@ -119,6 +130,56 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
     ):
         perf = MMSModel(params).solve(method=payload["method"])
     return {"perf": perf.to_dict(), "elapsed": time.perf_counter() - t0}
+
+
+def solve_group_shm(payload: Mapping[str, object]) -> dict[str, object]:
+    """Pool worker for one shared-memory batched group.
+
+    The packed station arrays arrive as a :class:`SharedArrays` descriptor
+    (``payload["shm"]``) instead of pickled bytes; the solved arrays travel
+    back through pre-created result segments (``payload["out"]``), so the
+    only pickled traffic either direction is the small name/shape/dtype
+    metadata -- a figure-scale group costs the pool two byte copies, not
+    two serializations.  Runs the same ``solve_symmetric_batch`` every
+    other backend uses, so results are bitwise-identical to an in-process
+    batched solve.
+    """
+    if payload.get("pooled"):
+        if fault_point("worker.crash") is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+        spec = fault_point("worker.hang")
+        if spec is not None:
+            time.sleep(float(spec.args.get("sleep_s", 30.0)))
+    from ..queueing.mva_batch import solve_symmetric_batch
+
+    t0 = time.perf_counter()
+    arrays = attach_arrays(payload["shm"])
+    sols = solve_symmetric_batch(
+        arrays["visits"],
+        arrays["service"],
+        arrays["station_type"],
+        arrays["populations"],
+        tol=float(payload.get("tol", 1e-12)),
+        servers=arrays["servers"],
+        kernel=payload.get("kernel"),
+    )
+    batch = sols[0].telemetry.batch if sols and sols[0].telemetry else None
+    write_arrays(
+        payload["out"],
+        {
+            "throughput": np.array([s.throughput for s in sols]),
+            "waiting": np.stack([s.waiting for s in sols]),
+            "queue": np.stack([s.queue_length for s in sols]),
+            "total_queue": np.stack([s.total_queue for s in sols]),
+            "iterations": np.array([s.iterations for s in sols], dtype=np.int64),
+            "converged": np.array([s.converged for s in sols], dtype=bool),
+            "residual": np.array([s.residual for s in sols]),
+        },
+    )
+    return {
+        "batch": None if batch is None else batch.to_dict(),
+        "elapsed": time.perf_counter() - t0,
+    }
 
 
 class _PoolWatch:
@@ -238,6 +299,17 @@ class SweepRunner:
     min_batch_points:
         Smallest group of same-shape cache misses worth stacking into one
         batched solve; below it points run per-point.
+    kernel:
+        Solver kernel for every batched solve (``"auto"``/``"numpy"``/
+        ``"numba"``); ``None`` (default) honours :func:`repro.configure`
+        and ``REPRO_SOLVE_KERNEL``.  Validated eagerly, so an explicit but
+        unavailable kernel fails at construction, not mid-sweep.
+    min_shm_points:
+        Smallest symmetric same-shape group the process backend ships to a
+        pool worker as one shared-memory batched solve (zero-pickle array
+        handoff, see :mod:`repro.queueing.kernels.shm`); smaller groups are
+        dispatched per point.  Only applies when no per-point ``timeout``
+        is set -- a batched group cannot be preempted point by point.
     journal:
         Path of a sweep progress journal.  When given, every completed
         point is durably appended (one flushed line each) so an
@@ -263,6 +335,8 @@ class SweepRunner:
         min_batch_points: int = 2,
         journal: str | os.PathLike | None = None,
         resume: bool = False,
+        kernel: str | None = None,
+        min_shm_points: int = 1024,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -274,6 +348,12 @@ class SweepRunner:
             )
         if min_batch_points < 2:
             raise ValueError(f"min_batch_points must be >= 2, got {min_batch_points}")
+        if min_shm_points < 2:
+            raise ValueError(f"min_shm_points must be >= 2, got {min_shm_points}")
+        if kernel is not None:
+            # fail fast: an unknown name or an explicitly requested but
+            # unavailable kernel should surface here, not mid-sweep
+            resolve_kernel(kernel)
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.jobs = jobs
@@ -286,6 +366,8 @@ class SweepRunner:
         self.min_batch_points = min_batch_points
         self.journal = journal
         self.resume = resume
+        self.kernel = kernel
+        self.min_shm_points = min_shm_points
 
     # ------------------------------------------------------------ public API
     def solve(self, params: MMSParams, method: str = "auto") -> MMSPerformance:
@@ -393,7 +475,13 @@ class SweepRunner:
                     )
                     if use_pool:
                         mode = self._run_parallel(
-                            pending, resolved, stats, report_progress, done, policy
+                            pending,
+                            resolved,
+                            stats,
+                            report_progress,
+                            done,
+                            policy,
+                            solver_batches,
                         )
                     elif self.backend in ("auto", "batch") and self.worker is solve_job:
                         mode = self._run_batch(
@@ -442,11 +530,16 @@ class SweepRunner:
             solved = len(resolved) - cache_hits - journal_hits - failures
             root.set(mode=mode, solved=solved)
 
+        try:
+            kernel_name = resolve_kernel(self.kernel)
+        except ValueError:  # pragma: no cover - env-forced kernel went missing
+            kernel_name = self.kernel or "auto"
         manifest = RunManifest(
             solver_version=SOLVER_VERSION,
             jobs=self.jobs,
             mode=mode,
             backend=self.backend,
+            kernel=kernel_name,
             solver_batches=solver_batches,
             total_points=len(specs),
             unique_points=len(unique),
@@ -603,6 +696,7 @@ class SweepRunner:
                 perfs, telemetry = solve_points(
                     [MMSParams.from_dict(p["params"]) for p in group],
                     method=method,
+                    kernel=self.kernel,
                 )
             except Exception as exc:  # noqa: BLE001 - degrade to the per-point loop
                 policy.degrade(
@@ -686,6 +780,181 @@ class SweepRunner:
                 if time.monotonic() - watch.progress_t >= self.timeout:
                     raise
 
+    def _shm_partition(
+        self, pending: list[Mapping[str, object]]
+    ) -> tuple[list[list[tuple[Mapping[str, object], MMSModel]]], list[Mapping[str, object]]]:
+        """Split *pending* into shm-batchable symmetric groups and the rest.
+
+        A group qualifies for the shared-memory batched handoff when the
+        default worker is in play (batching is a property of the default
+        solver), no per-point timeout is set (a stacked solve cannot be
+        preempted point by point), every point resolves to the symmetric
+        method on one machine size, and the group reaches
+        ``min_shm_points``.
+        """
+        if self.worker is not solve_job or self.timeout is not None:
+            return [], list(pending)
+        groups: dict[int, list[tuple[Mapping[str, object], MMSModel]]] = {}
+        rest: list[Mapping[str, object]] = []
+        for payload in pending:
+            if payload["method"] not in ("auto", "symmetric"):
+                rest.append(payload)
+                continue
+            model = MMSModel(MMSParams.from_dict(payload["params"]))
+            if not model.is_symmetric:
+                rest.append(payload)
+                continue
+            groups.setdefault(model.params.arch.num_processors, []).append(
+                (payload, model)
+            )
+        eligible = []
+        for _size, group in groups.items():
+            if len(group) >= self.min_shm_points:
+                eligible.append(group)
+            else:
+                rest.extend(p for p, _m in group)
+        return eligible, rest
+
+    def _submit_shm_group(self, pool: ProcessPoolExecutor, group) -> tuple:
+        """Pack one symmetric group into shared memory and submit it.
+
+        Both the packed station arrays and the (pre-created) result
+        segments are owned by this process; the worker only ever attaches.
+        On any failure the segments are unlinked before re-raising, so a
+        broken submission never leaks shared memory.
+        """
+        arrays = [m.station_arrays() for _, m in group]
+        visits = np.stack([a[0] for a in arrays])
+        b, m = visits.shape
+        inputs = SharedArrays(
+            {
+                "visits": visits,
+                "service": np.stack([a[1] for a in arrays]),
+                "servers": np.stack([a[3] for a in arrays]),
+                "populations": np.array(
+                    [mod.params.workload.num_threads for _, mod in group]
+                ),
+                "station_type": arrays[0][2],
+            }
+        )
+        try:
+            outs = SharedArrays(
+                {
+                    "throughput": np.zeros(b),
+                    "waiting": np.zeros((b, m)),
+                    "queue": np.zeros((b, m)),
+                    "total_queue": np.zeros((b, m)),
+                    "iterations": np.zeros(b, dtype=np.int64),
+                    "converged": np.zeros(b, dtype=bool),
+                    "residual": np.zeros(b),
+                }
+            )
+        except Exception:
+            inputs.unlink()
+            raise
+        try:
+            future = pool.submit(
+                solve_group_shm,
+                {
+                    "shm": inputs.meta,
+                    "out": outs.meta,
+                    "tol": 1e-12,
+                    "kernel": self.kernel,
+                    "pooled": True,
+                },
+            )
+        except Exception:
+            inputs.unlink()
+            outs.unlink()
+            raise
+        return group, arrays, inputs, outs, future
+
+    def _collect_shm_group(
+        self,
+        group,
+        arrays,
+        outs: SharedArrays,
+        future,
+        resolved: dict[str, RunResult],
+        stats: _RunStats,
+        progress: Progress | None,
+        done: int,
+        total: int,
+        solver_batches: list[dict[str, object]],
+    ) -> int:
+        """Turn one finished shm group into per-point results; returns the
+        updated done count.  Raises (for the caller to degrade the whole
+        group) if the worker failed or produced non-finite measures."""
+        out = future.result()
+        res = attach_arrays(outs.meta)
+        share = float(out["elapsed"]) / len(group)
+        results = []
+        for i, ((payload, model), arr) in enumerate(zip(group, arrays)):
+            perf = model._measures(
+                arr[0],
+                res["waiting"][i],
+                res["queue"][i],
+                res["total_queue"][i],
+                float(res["throughput"][i]),
+                "symmetric",
+                int(res["iterations"][i]),
+                bool(res["converged"][i]),
+                residual=float(res["residual"][i]),
+            )
+            rec = {"perf": perf.to_dict(), "elapsed": share, "amortized": True}
+            if not finite_measures(rec["perf"]):
+                raise RuntimeError("non-finite measures in shared-memory batch")
+            results.append((payload, rec))
+        batch = out.get("batch")
+        if batch is not None:
+            solver_batches.append({"method": "symmetric", "handoff": "shm", **batch})
+            self._record_shm_batch_obs(batch)
+        for payload, rec in results:
+            result = self._from_record(payload, rec, from_cache=False)
+            stats.latencies.append(result.elapsed)
+            stats.amortized += 1
+            resolved[payload["key"]] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+        return done
+
+    @staticmethod
+    def _record_shm_batch_obs(batch: Mapping[str, object]) -> None:
+        """Fold a worker-side batched solve into this process's telemetry.
+
+        The worker solved in its own process, so the usual ``solver.batch``
+        span and ``solver.batch.*`` counters landed in a registry that died
+        with it; re-emit them here from the returned batch telemetry so
+        shm-handoff runs mean the same thing in traces and metrics as
+        in-process batched ones.
+        """
+        from ..core.model import _record_batch_obs
+        from ..queueing.solution import BatchTelemetry
+
+        telemetry = BatchTelemetry(
+            batch_size=int(batch["batch_size"]),
+            iterations=int(batch["iterations"]),
+            converged=int(batch["converged"]),
+            max_residual=float(batch["max_residual"]),
+            active_trajectory=tuple(batch["active_trajectory"]),
+            wall_time_s=float(batch["wall_time_s"]),
+            kernel=str(batch["kernel"]),
+        )
+        with trace_span("solver.batch", points=telemetry.batch_size) as sp:
+            _record_batch_obs(sp, "symmetric", telemetry)
+
+    @staticmethod
+    def _degrade_shm_group(
+        policy: DegradationPolicy,
+        group,
+        reason: str,
+        shm_failed: list[Mapping[str, object]],
+    ) -> None:
+        """Record one shm group's shm->batch degradation."""
+        policy.degrade("shm", "batch", reason, len(group))
+        shm_failed.extend(p for p, _m in group)
+
     def _run_parallel(
         self,
         pending: list[Mapping[str, object]],
@@ -694,8 +963,17 @@ class SweepRunner:
         progress: Progress | None,
         done: int,
         policy: DegradationPolicy,
+        solver_batches: list[dict[str, object]],
     ) -> str:
         """Pool execution; returns the mode the run ended in.
+
+        Figure-scale symmetric groups (``min_shm_points`` or more points of
+        one machine size) are shipped to a pool worker as a single batched
+        solve over shared memory -- zero pickled arrays either direction --
+        and unpacked into the same per-point results the batch backend
+        produces.  A group whose worker failed degrades (recorded) to the
+        in-process batch path, not to per-point serial.  Everything else is
+        dispatched per point exactly as before.
 
         The per-point timeout budgets *execution*, not queue wait: each
         future's clock arms when it is first observed running, so a long
@@ -715,15 +993,28 @@ class SweepRunner:
         # worker.* fault sites to pool processes.
         tracer = get_tracer()
         ctx = tracer.context() if tracer is not None else None
+        shm_groups, perpoint = self._shm_partition(pending)
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         pool_error: str | None = None
         hung = False
         #: arms execution deadlines as points start; shared stall guard
         watch = _PoolWatch()
+        shm_jobs: list[tuple] = []
+        shm_failed: list[Mapping[str, object]] = []
         try:
+            for group in shm_groups:
+                try:
+                    shm_jobs.append(self._submit_shm_group(pool, group))
+                except BrokenProcessPool as exc:
+                    pool_error = f"{type(exc).__name__}: {exc}"
+                    self._degrade_shm_group(policy, group, pool_error, shm_failed)
+                except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                    self._degrade_shm_group(
+                        policy, group, f"{type(exc).__name__}: {exc}", shm_failed
+                    )
             try:
                 futures = []
-                for p in pending:
+                for p in perpoint:
                     job = {**p, "pooled": True}
                     if ctx is not None:
                         job["trace"] = ctx
@@ -731,6 +1022,30 @@ class SweepRunner:
             except BrokenProcessPool as exc:
                 pool_error = f"{type(exc).__name__}: {exc}"
                 futures = []
+            for group, arrays, inputs, outs, future in shm_jobs:
+                try:
+                    done = self._collect_shm_group(
+                        group,
+                        arrays,
+                        outs,
+                        future,
+                        resolved,
+                        stats,
+                        progress,
+                        done,
+                        total,
+                        solver_batches,
+                    )
+                except BrokenProcessPool as exc:
+                    pool_error = f"{type(exc).__name__}: {exc}"
+                    self._degrade_shm_group(policy, group, pool_error, shm_failed)
+                except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                    self._degrade_shm_group(
+                        policy, group, f"{type(exc).__name__}: {exc}", shm_failed
+                    )
+                finally:
+                    inputs.unlink()
+                    outs.unlink()
             for payload, future in futures:
                 key = payload["key"]
                 try:
@@ -782,6 +1097,21 @@ class SweepRunner:
                     if proc.is_alive():
                         proc.terminate()
 
+        if shm_failed:
+            # a failed shared-memory group still gets its stacked solve --
+            # in-process, through the batch backend (degradation recorded
+            # above); only a second failure there drops it to per-point
+            unresolved = sum(1 for p in pending if p["key"] not in resolved)
+            self._run_batch(
+                shm_failed,
+                resolved,
+                stats,
+                progress,
+                total - unresolved,
+                solver_batches,
+                policy,
+            )
+
         remaining = [p for p in pending if p["key"] not in resolved]
         if remaining:
             stats.worker_crashes += 1
@@ -792,7 +1122,7 @@ class SweepRunner:
                 pool_error or "broken process pool",
                 len(remaining),
             )
-            self._run_serial(remaining, resolved, stats, progress, done)
+            self._run_serial(remaining, resolved, stats, progress, total - len(remaining))
         return mode
 
     def close(self) -> None:

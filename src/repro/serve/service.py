@@ -123,6 +123,11 @@ class ServiceConfig:
     default_deadline_s:
         Deadline applied to requests that do not carry their own; ``None``
         means no deadline.
+    kernel:
+        Solver kernel for batched flushes (``"auto"``/``"numpy"``/
+        ``"numba"``; kernels are bitwise-interchangeable, see
+        :mod:`repro.queueing.kernels`); ``None`` honours
+        :func:`repro.configure` and ``REPRO_SOLVE_KERNEL``.
     """
 
     max_batch: int = 64
@@ -133,8 +138,13 @@ class ServiceConfig:
     memory_cache: int = 4096
     store_dir: str | None = None
     default_deadline_s: float | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
+        if self.kernel is not None:
+            from ..queueing.kernels import validate_kernel_name
+
+            validate_kernel_name(self.kernel)
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.min_linger_s < 0:
@@ -647,7 +657,9 @@ class SolveService:
             if batchable:
                 try:
                     perfs, _ = solve_points(
-                        [r.params for r in requests], method="symmetric"
+                        [r.params for r in requests],
+                        method="symmetric",
+                        kernel=self.config.kernel,
                     )
                     source = "batched"
                 except Exception as exc:  # noqa: BLE001 - degrade to scalar

@@ -151,6 +151,7 @@ class TestInProcessWorker:
         assert sum(1 for r in report.results if not r.from_cache) == 2
 
 
+@pytest.mark.slow
 class TestKilledWorker:
     def test_sigkilled_worker_lease_is_redispatched_exactly_once(
         self, tmp_path, golden_lines

@@ -48,6 +48,7 @@ def _spawn_writer(store_dir, name: str, count: int, overlap: int) -> subprocess.
 
 
 class TestSharedAppend:
+    @pytest.mark.slow
     def test_two_process_torture(self, tmp_path):
         count, overlap = 400, 100
         writers = [

@@ -64,6 +64,7 @@ class TestSolverFaults:
         assert _measure_lines(capsys.readouterr().out) == golden
 
 
+@pytest.mark.slow
 class TestWorkerFaults:
     def test_worker_crash_falls_back_to_serial(self, golden, fault_plan, capsys):
         fault_plan({"seed": 5, "sites": {"worker.crash": {"on_nth": [1]}}})

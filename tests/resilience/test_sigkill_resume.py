@@ -20,6 +20,9 @@ import time
 
 import pytest
 
+# whole-module: every test here drives a real subprocess sweep and SIGKILLs it
+pytestmark = pytest.mark.slow
+
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 SWEEP_ARGS = [

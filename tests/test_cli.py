@@ -177,3 +177,50 @@ class TestCommands:
             == 0
         )
         assert "U_p" in capsys.readouterr().out
+
+
+class TestSweepSelectionErrors:
+    """Unknown --backend / --kernel values follow the CLI error contract:
+    exit 2 with one clean stderr line that enumerates the valid choices
+    (the flags deliberately drop argparse ``choices=`` so the message comes
+    from the same validation the API raises)."""
+
+    def test_unknown_backend_enumerates_choices(self, capsys):
+        rc = main(["sweep", "--axis", "num_threads=1,2", "--backend", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == (
+            "repro-mms: error: unknown backend 'bogus'; "
+            "pick from auto/batch/process/serial"
+        )
+        assert err.count("\n") <= 1
+
+    def test_unknown_kernel_enumerates_choices(self, capsys):
+        rc = main(["sweep", "--axis", "num_threads=1,2", "--kernel", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == (
+            "repro-mms: error: unknown kernel 'bogus'; "
+            "pick from auto/numpy/numba"
+        )
+        assert err.count("\n") <= 1
+
+    def test_unavailable_kernel_is_one_clean_line(self, capsys):
+        from repro.queueing.kernels import available_kernels
+
+        if "numba" in available_kernels():
+            pytest.skip("numba is available here")
+        rc = main(["sweep", "--axis", "num_threads=1,2", "--kernel", "numba"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith(
+            "repro-mms: error: kernel 'numba' requested but numba is not"
+        )
+        assert "kernel='numpy'" in err
+
+    def test_valid_kernel_accepted(self, capsys):
+        assert (
+            main(["sweep", "--axis", "num_threads=1,2", "--kernel", "numpy"])
+            == 0
+        )
+        assert "num_threads=1 " in capsys.readouterr().out
