@@ -11,6 +11,17 @@ Figures 4/5 -- two ways:
 * **No-op microcost**: the per-call cost of a disabled ``trace_span``,
   multiplied by the number of span sites the lattice actually hits, as a
   fraction of the disabled lattice wall clock.  CI asserts this is < 2%.
+* **Recorder sampling**: the lattice solved with a 10 Hz
+  :class:`~repro.obs.timeseries.MetricsRecorder` running (wall-clock
+  column, observational like the A/B), plus the asserted gate: the
+  measured per-snapshot microcost times the 10 Hz cadence as a fraction
+  of wall time.  The recorder is a pure registry reader on its own
+  thread, so this pins the PR-8 claim that sampling adds < 1%.
+
+Like the A/B column, the recorder wall clock is *reported*, not
+asserted -- sub-second lattice solves jitter a few percent with OS
+scheduling, which would drown a 1% bound.  The asserted fractions are
+computed from microcosts, which are stable.
 """
 
 import json
@@ -22,12 +33,18 @@ import pytest
 from conftest import RESULTS_DIR, run_once
 from repro import obs
 from repro.core import MMSModel
+from repro.obs.metrics import registry
+from repro.obs.timeseries import MetricsRecorder
 from repro.params import paper_defaults
 
 THREADS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20)
 P_REMOTES = tuple(round(0.05 * i, 2) for i in range(1, 17))
 #: acceptance bound on the disabled-path overhead fraction
 NOOP_OVERHEAD_BOUND = 0.02
+#: acceptance bound on 10 Hz recorder sampling during the solve
+RECORDER_OVERHEAD_BOUND = 0.01
+#: recorder cadence under test (10 Hz)
+RECORDER_INTERVAL_S = 0.1
 
 
 def lattice_points():
@@ -54,7 +71,9 @@ def measure():
     # still records every span)
     disabled_times: list[float] = []
     enabled_times: list[float] = []
+    recorder_times: list[float] = []
     span_calls = 0
+    recorder_samples = 0
     for _ in range(3):
         prev = obs.configure(trace=False)
         try:
@@ -71,8 +90,19 @@ def measure():
             span_calls = len(obs.get_tracer().buffer)
         finally:
             obs.configure(**prev)
+        # tracing off again, but a 10 Hz recorder sampling the registry
+        prev = obs.configure(trace=False)
+        try:
+            with MetricsRecorder(interval_s=RECORDER_INTERVAL_S) as rec:
+                t0 = time.perf_counter()
+                solve_lattice(points)
+                recorder_times.append(time.perf_counter() - t0)
+            recorder_samples = max(recorder_samples, rec.samples_taken)
+        finally:
+            obs.configure(**prev)
     wall_enabled = min(enabled_times)
     wall_disabled = min(disabled_times)
+    wall_recorder = min(recorder_times)
 
     prev = obs.configure(trace=False)
     try:
@@ -89,6 +119,19 @@ def measure():
     finally:
         obs.configure(**prev)
 
+    # microcost of one registry snapshot (the only per-tick recorder work);
+    # at a 1/interval cadence the steady-state overhead fraction of *any*
+    # wall clock is snapshot_s / interval_s
+    n = 1_000
+    snapshot_s = min(
+        timeit.repeat(
+            "snap()",
+            globals={"snap": registry().snapshot},
+            number=n,
+            repeat=5,
+        )
+    ) / n
+
     return {
         "lattice_points": len(points),
         "span_calls": span_calls,
@@ -98,6 +141,13 @@ def measure():
         "noop_ns_per_call": noop_s * 1e9,
         "noop_overhead_frac": noop_s * span_calls / wall_disabled,
         "bound": NOOP_OVERHEAD_BOUND,
+        "wall_recorder_s": wall_recorder,
+        "recorder_interval_s": RECORDER_INTERVAL_S,
+        "recorder_samples": recorder_samples,
+        "recorder_wall_frac": wall_recorder / wall_disabled - 1.0,
+        "recorder_snapshot_ns": snapshot_s * 1e9,
+        "recorder_overhead_frac": snapshot_s / RECORDER_INTERVAL_S,
+        "recorder_bound": RECORDER_OVERHEAD_BOUND,
     }
 
 
@@ -117,9 +167,16 @@ def test_obs_overhead(benchmark, archive):
         "(in-memory tracer)\n"
         f"no-op span call          {stats['noop_ns_per_call']:.0f} ns\n"
         f"no-op overhead fraction  {stats['noop_overhead_frac']:.5f} "
-        f"(bound {NOOP_OVERHEAD_BOUND})",
+        f"(bound {NOOP_OVERHEAD_BOUND})\n"
+        f"recorder wall clock      {stats['wall_recorder_s'] * 1e3:.1f} ms "
+        f"(10 Hz, {stats['recorder_samples']} samples)\n"
+        f"recorder snapshot        {stats['recorder_snapshot_ns']:.0f} ns\n"
+        f"recorder overhead frac   {stats['recorder_overhead_frac']:.6f} "
+        f"(bound {RECORDER_OVERHEAD_BOUND})",
     )
 
     assert stats["span_calls"] >= len(THREADS) * len(P_REMOTES)
     # the headline contract: tracing off costs < 2% of the lattice solve
     assert stats["noop_overhead_frac"] < NOOP_OVERHEAD_BOUND
+    # PR-8 contract: 10 Hz registry sampling adds < 1% to the same solve
+    assert stats["recorder_overhead_frac"] < RECORDER_OVERHEAD_BOUND

@@ -3,12 +3,16 @@
 
 Usage::
 
-    python scripts/validate_trace.py out.jsonl [--min-spans N]
+    python scripts/validate_trace.py out.jsonl [--min-spans N] [--min-pids N]
 
 Exits 0 when the trace conforms to the schema (meta header first, typed
 span records, unique span ids, closed parent linkage, at least one span),
-1 otherwise.  CI's trace smoke step runs this against the trace a tiny
-sweep just wrote.
+1 otherwise.  Parent linkage is checked across the whole file, so a
+merged multi-process trace (``repro.fabric.rollup.merge_traces``)
+validates cross-process parentage too -- every orphaned span is listed,
+not just the first.  CI's trace smoke step runs this against the trace a
+tiny sweep just wrote, and against the merged worker traces of a fabric
+sweep with ``--min-pids 2``.
 """
 
 from __future__ import annotations
@@ -31,16 +35,38 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="fail unless the trace holds at least this many spans",
     )
+    parser.add_argument(
+        "--min-pids",
+        type=int,
+        default=1,
+        help="fail unless spans came from at least this many processes "
+        "(2+ proves a merged fabric trace really is cross-process)",
+    )
     args = parser.parse_args(argv)
 
     try:
-        summary = validate_trace(args.trace)
+        summary = validate_trace(args.trace, require_closed_parents=False)
     except (TraceValidationError, OSError) as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if summary.orphans:
+        print(
+            f"INVALID: {len(summary.orphans)} orphaned span(s):",
+            file=sys.stderr,
+        )
+        for sid, parent in summary.orphans:
+            print(f"  span {sid} -> missing parent {parent}", file=sys.stderr)
         return 1
     if summary.spans < args.min_spans:
         print(
             f"INVALID: {summary.spans} spans < required {args.min_spans}",
+            file=sys.stderr,
+        )
+        return 1
+    if len(summary.pids) < args.min_pids:
+        print(
+            f"INVALID: spans from {len(summary.pids)} process(es) < "
+            f"required {args.min_pids}",
             file=sys.stderr,
         )
         return 1
@@ -51,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"OK: {summary.events} events, {summary.spans} spans "
         f"({summary.roots} roots, {len(summary.trace_ids)} trace ids, "
+        f"{len(summary.pids)} pids, "
         f"{summary.metrics_records} metrics records)"
     )
     print(f"    {names}")

@@ -328,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to wait for a running experiment to appear",
     )
+    p_worker.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write this worker's span trace to FILE (JSONL); the "
+        "scheduler passes FABRIC/obs/trace-wN.jsonl when the sweep "
+        "itself runs with --trace",
+    )
 
     p_exp = sub.add_parser(
         "exp",
@@ -366,6 +374,29 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON (--manifest) or a JSONL trace (--trace).",
     )
     p_report.add_argument("path", help="manifest .json or trace .jsonl file")
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render a static HTML dashboard from a run artifact",
+        description="Self-contained HTML (inline SVG, no dependencies) "
+        "from a fabric directory (per-worker sweep timeline, fleet "
+        "tables), a sweep manifest JSON, a JSONL span trace, or a "
+        "/seriesz time-series dump.  Open the output in any browser.",
+    )
+    p_dash.add_argument(
+        "path", help="fabric dir, manifest .json, trace .jsonl, or series dump"
+    )
+    p_dash.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="output HTML path (default: dashboard.html beside the input)",
+    )
+    p_dash.add_argument(
+        "--experiment",
+        default=None,
+        help="experiment id for fabric-dir inputs (default: newest)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -428,6 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="{auto,numpy,numba}",
         help="solver kernel for batched flushes "
         "(default honours repro.configure/REPRO_SOLVE_KERNEL)",
+    )
+    p_serve.add_argument(
+        "--series-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="metrics time-series sampling interval for GET /seriesz "
+        "(0 disables the recorder)",
     )
 
     p_all = sub.add_parser(
@@ -545,6 +584,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             kernel=args.kernel,
             retries=args.retries,
             timeout=args.timeout,
+            trace_workers=args.trace is not None,
         )
 
         def run_fn(specs):
@@ -677,6 +717,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         max_leases=args.max_leases,
         wait_s=args.wait,
+        trace=args.trace,
     )
     stats = worker.run()
     print(
@@ -794,6 +835,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             store_dir=cache_dir,
             default_deadline_s=args.deadline,
             kernel=args.kernel,
+            series_interval_s=args.series_interval,
         )
     except ValueError as exc:
         raise ParamError(str(exc)) from None
@@ -966,6 +1008,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         except (TraceValidationError, OSError, ValueError) as exc:
             print(f"report failed: {exc}", file=sys.stderr)
             return 1
+        return 0
+
+    if args.command == "dashboard":
+        from .obs.dashboard import write_dashboard
+
+        try:
+            out = write_dashboard(
+                args.path, out=args.out, experiment=args.experiment
+            )
+        except (OSError, ValueError) as exc:
+            print(f"dashboard failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"[dashboard written to {out}]")
         return 0
 
     if args.command == "reproduce-all":

@@ -14,6 +14,7 @@ schema, the worker lifecycle, and the failure-semantics table.
 """
 
 from .db import DB_SCHEMA_VERSION, ExperimentDB, FabricError, worker_identity
+from .rollup import fleet_rollup, merge_traces, sweep_timeline
 from .scheduler import FabricScheduler
 from .worker import FabricWorker, WorkerStats
 
@@ -25,4 +26,7 @@ __all__ = [
     "FabricWorker",
     "WorkerStats",
     "worker_identity",
+    "fleet_rollup",
+    "merge_traces",
+    "sweep_timeline",
 ]

@@ -1,0 +1,299 @@
+"""Fleet-wide observability rollup for fabric runs.
+
+Workers are separate processes, so their metrics registries and traces
+are invisible to the scheduler unless shipped.  The conventions here keep
+that shipping append-only and crash-tolerant, like everything else in the
+fabric directory:
+
+* ``<fabric_dir>/obs/metrics-<worker>.jsonl`` -- one JSON line per lease
+  (plus one at exit) with the worker's tally and a full registry
+  snapshot.  Single writer per file; append-only; a SIGKILL loses at
+  most the final line.
+* ``<fabric_dir>/obs/trace-w<i>.jsonl`` -- the worker's own trace file
+  when the scheduler dispatches with worker tracing enabled
+  (``repro-mms sweep --fabric DIR --trace ...``); merged for the fleet
+  view with :func:`merge_traces` and validated cross-process by
+  ``scripts/validate_trace.py``.
+
+:func:`fleet_rollup` distills the database's ``workers`` / ``leases`` /
+``trials`` tables plus the shipped snapshots into the per-worker
+throughput, lease-latency, and heartbeat-gap view the scheduler records
+under ``manifest.fabric["fleet"]``; :func:`sweep_timeline` extracts the
+per-worker dispatch-to-complete bars the dashboard renders as a Gantt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Mapping
+
+from ..obs import registry as obs_registry
+from .db import ExperimentDB
+
+__all__ = [
+    "OBS_DIRNAME",
+    "obs_dir",
+    "worker_metrics_path",
+    "worker_trace_path",
+    "append_worker_snapshot",
+    "read_worker_snapshots",
+    "merge_traces",
+    "fleet_rollup",
+    "sweep_timeline",
+]
+
+#: subdirectory of a fabric dir holding shipped worker telemetry
+OBS_DIRNAME = "obs"
+
+#: counter-name prefixes worth echoing per worker in the fleet view
+#: (the full snapshots stay on disk; the manifest keeps a digest)
+SNAPSHOT_COUNTER_PREFIXES = ("solver.", "store.", "fabric.", "sweep.")
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def obs_dir(fabric_dir: str | os.PathLike) -> Path:
+    return Path(fabric_dir) / OBS_DIRNAME
+
+
+def _safe(worker_id: str) -> str:
+    return _UNSAFE.sub("_", worker_id)
+
+
+def worker_metrics_path(fabric_dir: str | os.PathLike, worker_id: str) -> Path:
+    return obs_dir(fabric_dir) / f"metrics-{_safe(worker_id)}.jsonl"
+
+
+def worker_trace_path(fabric_dir: str | os.PathLike, index: int) -> Path:
+    """Trace file for the scheduler's *index*-th spawned local worker."""
+    return obs_dir(fabric_dir) / f"trace-w{index}.jsonl"
+
+
+def append_worker_snapshot(
+    fabric_dir: str | os.PathLike,
+    worker_id: str,
+    tally: Mapping[str, int],
+    now: float | None = None,
+) -> None:
+    """Ship one metrics snapshot line from a worker (append-only).
+
+    Never raises: telemetry shipping must not take a solve down (same
+    discipline as the event sink).
+    """
+    try:
+        directory = obs_dir(fabric_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {
+                "t": time.time() if now is None else float(now),
+                "worker_id": worker_id,
+                **dict(tally),
+                "metrics": obs_registry().snapshot(),
+            },
+            sort_keys=True,
+        )
+        with open(worker_metrics_path(fabric_dir, worker_id), "a") as fh:
+            fh.write(line + "\n")
+    except OSError:
+        obs_registry().counter("fabric.obs.ship_errors").inc()
+
+
+def read_worker_snapshots(
+    fabric_dir: str | os.PathLike,
+) -> dict[str, list[dict[str, object]]]:
+    """Shipped snapshot lines per worker id, in file (= time) order.
+
+    Malformed trailing lines (a worker killed mid-write) are skipped.
+    """
+    out: dict[str, list[dict[str, object]]] = {}
+    for path in sorted(obs_dir(fabric_dir).glob("metrics-*.jsonl")):
+        for raw in path.read_text().splitlines():
+            try:
+                rec = json.loads(raw)
+            except ValueError:
+                continue
+            out.setdefault(str(rec.get("worker_id", path.stem)), []).append(rec)
+    return out
+
+
+def merge_traces(
+    fabric_dir: str | os.PathLike, out_path: str | os.PathLike | None = None
+) -> list[dict[str, object]]:
+    """Merge every shipped worker trace into one event list.
+
+    Keeps the first ``meta`` record (all workers share the solver
+    version) and every span/metrics record from every file.  When
+    *out_path* is given, also writes the merged JSONL -- a file
+    ``scripts/validate_trace.py`` can check for cross-process parentage.
+    """
+    events: list[dict[str, object]] = []
+    meta_seen = False
+    for path in sorted(obs_dir(fabric_dir).glob("trace-*.jsonl")):
+        for raw in path.read_text().splitlines():
+            try:
+                event = json.loads(raw)
+            except ValueError:
+                continue
+            if event.get("kind") == "meta":
+                if meta_seen:
+                    continue
+                meta_seen = True
+            events.append(event)
+    if out_path is not None and events:
+        with open(out_path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return events
+
+
+def _latency_summary(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    ordered = sorted(values)
+
+    def rank(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": rank(0.5),
+        "p95": rank(0.95),
+        "max": ordered[-1],
+    }
+
+
+def fleet_rollup(
+    db: ExperimentDB,
+    experiment_id: str,
+    fabric_dir: str | os.PathLike | None = None,
+) -> dict[str, object]:
+    """Aggregate the fleet view recorded under ``manifest.fabric["fleet"]``.
+
+    Per worker: trials done/failed, busy seconds (sum of solve times),
+    throughput (done trials per active second), and the heartbeat gap --
+    seconds between the worker's final heartbeat and the fleet's last
+    event, so a SIGKILLed worker shows a large gap while healthy workers
+    sit near zero.  Fleet-wide: lease latency (granted-to-released) and
+    expiry counts from the ``leases`` table, plus a digest of the metric
+    snapshots and trace files the workers shipped into ``obs/``.
+    """
+    workers = db.workers(experiment_id)
+    leases = db.leases(experiment_id)
+    trials = db.trials(experiment_id)
+
+    by_worker: dict[str, dict[str, object]] = {}
+    last_event = 0.0
+    for w in workers:
+        last_event = max(last_event, float(w["heartbeat_s"] or 0.0))
+    for t in trials:
+        last_event = max(last_event, float(t["updated_s"] or 0.0))
+
+    trials_by_worker: dict[str, list[dict]] = {}
+    for t in trials:
+        wid = t["worker_id"]
+        if wid is not None:
+            trials_by_worker.setdefault(str(wid), []).append(t)
+
+    for w in workers:
+        wid = str(w["worker_id"])
+        own = trials_by_worker.get(wid, [])
+        done = sum(1 for t in own if t["status"] == "done")
+        failed = sum(1 for t in own if t["status"] == "failed")
+        busy_s = sum(float(t["elapsed_s"] or 0.0) for t in own)
+        started = float(w["started_s"] or 0.0)
+        own_last = max(
+            [float(t["updated_s"] or 0.0) for t in own]
+            + [float(w["heartbeat_s"] or 0.0)]
+        )
+        active_s = max(0.0, own_last - started)
+        by_worker[wid] = {
+            "status": w["status"],
+            "trials_done": done,
+            "trials_failed": failed,
+            "busy_s": busy_s,
+            "active_s": active_s,
+            "throughput_per_s": (done / active_s) if active_s > 0 else 0.0,
+            "heartbeat_gap_s": max(
+                0.0, last_event - float(w["heartbeat_s"] or 0.0)
+            ),
+        }
+
+    lease_latencies = [
+        float(l["released_s"]) - float(l["granted_s"])
+        for l in leases
+        if l["released_s"] is not None
+    ]
+    fleet: dict[str, object] = {
+        "workers": by_worker,
+        "lease_latency_s": _latency_summary(lease_latencies),
+        "leases_expired": sum(1 for l in leases if l["status"] == "expired"),
+    }
+
+    if fabric_dir is not None:
+        snapshots = read_worker_snapshots(fabric_dir)
+        shipped: dict[str, object] = {}
+        for wid, lines in snapshots.items():
+            last = lines[-1]
+            counters = last.get("metrics", {}).get("counters", {})
+            shipped[wid] = {
+                "snapshots": len(lines),
+                "counters": {
+                    name: value
+                    for name, value in counters.items()
+                    if name.startswith(SNAPSHOT_COUNTER_PREFIXES)
+                },
+            }
+        fleet["shipped_metrics"] = shipped
+        fleet["trace_files"] = sorted(
+            p.name for p in obs_dir(fabric_dir).glob("trace-*.jsonl")
+        )
+    return fleet
+
+
+def sweep_timeline(
+    db: ExperimentDB, experiment_id: str
+) -> dict[str, object]:
+    """Per-worker dispatch-to-complete bars for the dashboard Gantt.
+
+    Each terminal trial becomes one bar on its worker's lane: the end is
+    the trial's terminal ``updated_s``, the start is ``end - elapsed_s``
+    clamped to its lease's ``granted_s`` (dispatch time) when known.
+    Store-probe cache hits have no worker and no duration; they are
+    collected on a synthetic ``(cache)`` lane as zero-width marks.
+    """
+    lease_granted = {
+        int(l["lease_id"]): float(l["granted_s"]) for l in db.leases(experiment_id)
+    }
+    lanes: dict[str, list[dict[str, object]]] = {}
+    t0 = t1 = None
+    for t in db.trials(experiment_id):
+        if t["status"] not in ("done", "failed"):
+            continue
+        end = float(t["updated_s"] or 0.0)
+        if not end:
+            continue
+        start = end - float(t["elapsed_s"] or 0.0)
+        lease_id = t["lease_id"]
+        if lease_id is not None and int(lease_id) in lease_granted:
+            start = max(start, lease_granted[int(lease_id)])
+        start = min(start, end)
+        lane = str(t["worker_id"]) if t["worker_id"] is not None else "(cache)"
+        lanes.setdefault(lane, []).append(
+            {
+                "start": start,
+                "end": end,
+                "status": str(t["status"]),
+                "key": str(t["key"]),
+                "cached": bool(t["from_cache"]),
+            }
+        )
+        t0 = start if t0 is None else min(t0, start)
+        t1 = end if t1 is None else max(t1, end)
+    for bars in lanes.values():
+        bars.sort(key=lambda b: b["start"])
+    return {"t0": t0, "t1": t1, "lanes": lanes}

@@ -46,13 +46,14 @@ from ..core.metrics import MMSPerformance
 from ..obs import diff_snapshots, trace_span
 from ..obs import registry as obs_registry
 from ..params import MMSParams
-from ..queueing.kernels import validate_kernel_name
+from ..queueing.kernels import resolve_kernel, validate_kernel_name
 from ..resilience.journal import sweep_signature
 from ..runner.executor import BACKENDS, RunReport
 from ..runner.manifest import RunManifest, latency_stats
 from ..runner.spec import SOLVER_VERSION, JobSpec, RunResult
 from ..runner.store import ResultStore, StoreLockError
 from .db import ExperimentDB, FabricError
+from .rollup import fleet_rollup, worker_trace_path
 
 __all__ = ["FabricScheduler"]
 
@@ -82,6 +83,11 @@ class FabricScheduler:
     lock_timeout_s:
         How long the exclusive store phases (probe, finalize) wait for
         live workers to release the shared store lock before giving up.
+    trace_workers:
+        When True, every spawned local worker traces into its own
+        ``obs/trace-w<i>.jsonl`` under the fabric directory (merged with
+        :func:`repro.fabric.rollup.merge_traces`); enabled by
+        ``repro-mms sweep --fabric DIR --trace ...``.
     """
 
     def __init__(
@@ -95,6 +101,7 @@ class FabricScheduler:
         timeout: float | None = None,
         lock_timeout_s: float = 10.0,
         kernel: str | None = None,
+        trace_workers: bool = False,
     ):
         if backend not in BACKENDS:
             raise FabricError(
@@ -117,6 +124,7 @@ class FabricScheduler:
         self.retries = retries
         self.timeout = timeout
         self.lock_timeout_s = lock_timeout_s
+        self.trace_workers = trace_workers
         self.db = ExperimentDB(self.fabric_dir)
         #: local worker subprocesses this scheduler spawned (index -> Popen)
         self._procs: dict[int, subprocess.Popen] = {}
@@ -224,6 +232,10 @@ class FabricScheduler:
             args += ["--timeout", str(self.timeout)]
         if self.kernel is not None:
             args += ["--kernel", self.kernel]
+        if self.trace_workers:
+            trace = worker_trace_path(self.fabric_dir, self._next_worker)
+            trace.parent.mkdir(parents=True, exist_ok=True)
+            args += ["--trace", str(trace)]
         proc = subprocess.Popen(args, stdout=subprocess.DEVNULL)
         self._procs[self._next_worker] = proc
         self._next_worker += 1
@@ -396,6 +408,7 @@ class FabricScheduler:
         DB (``repro-mms exp show``) or use :meth:`wait`'s progress hook.
         """
         t_start = time.perf_counter()
+        created_at = time.time()
         metrics_before = obs_registry().snapshot()
         stages: dict[str, float] = {}
         with trace_span(
@@ -442,11 +455,19 @@ class FabricScheduler:
         failures = final["failed"]
         fabric_stats["fabric_dir"] = str(self.fabric_dir)
         fabric_stats["local_workers"] = workers
+        # fleet view: per-worker throughput, lease latency, heartbeat gaps,
+        # and whatever telemetry the workers shipped into obs/
+        fabric_stats["fleet"] = fleet_rollup(
+            self.db, experiment_id, fabric_dir=self.fabric_dir
+        )
         manifest = RunManifest(
             solver_version=SOLVER_VERSION,
             jobs=workers if workers else 1,
             mode="fabric",
             backend=self.backend,
+            # the kernel every spawned worker was asked to run (each worker
+            # resolves "auto" locally; this is the scheduler's view)
+            kernel=resolve_kernel(self.kernel),
             total_points=len(specs),
             unique_points=len(unique),
             cache_hits=cache_hits,
@@ -464,6 +485,7 @@ class FabricScheduler:
             stages=stages,
             metrics=diff_snapshots(metrics_before, obs_registry().snapshot()),
             fabric=fabric_stats,
+            created_at=created_at,
         )
         store.close()
         self._store = None

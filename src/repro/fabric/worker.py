@@ -30,11 +30,14 @@ import time
 
 from ..obs import registry as obs_registry
 from ..obs import trace_span
+from ..obs.trace import configure as obs_configure
+from ..obs.trace import get_tracer
 from ..queueing.kernels import validate_kernel_name
 from ..runner.executor import BACKENDS, SweepRunner
 from ..runner.spec import JobSpec
 from ..runner.store import ResultStore
 from .db import ExperimentDB, FabricError, worker_identity
+from .rollup import append_worker_snapshot
 
 __all__ = ["FabricWorker", "WorkerStats"]
 
@@ -146,6 +149,10 @@ class FabricWorker:
         Stop after this many leases (test seam / bounded shifts).
     wait_s:
         How long to wait for a running experiment to appear.
+    trace:
+        Path for this worker's own trace file (spans written locally,
+        merged fleet-wide by :func:`repro.fabric.rollup.merge_traces`);
+        ``None`` leaves tracing on the process default (``REPRO_TRACE``).
     """
 
     def __init__(
@@ -162,6 +169,7 @@ class FabricWorker:
         max_leases: int | None = None,
         wait_s: float = 30.0,
         kernel: str | None = None,
+        trace: str | None = None,
     ):
         if lease_points < 1:
             raise FabricError(f"lease_points must be >= 1, got {lease_points}")
@@ -188,6 +196,7 @@ class FabricWorker:
         self.timeout = timeout
         self.max_leases = max_leases
         self.wait_s = wait_s
+        self.trace = trace
 
     def _resolve_experiment(self, db: ExperimentDB) -> str:
         if self.experiment_id is not None:
@@ -214,9 +223,12 @@ class FabricWorker:
         db = ExperimentDB(self.fabric_dir)
         heart: _Heartbeat | None = None
         store: ResultStore | None = None
+        prev_trace = obs_configure(trace=self.trace) if self.trace else None
+        registered = False
         try:
             experiment_id = self._resolve_experiment(db)
             db.register_worker(experiment_id, self.worker_id)
+            registered = True
             heart = _Heartbeat(self.fabric_dir, self.worker_id, self.lease_ttl)
             store = ResultStore(os.path.join(self.fabric_dir, "store"), shared=True)
             runner = SweepRunner(
@@ -253,6 +265,11 @@ class FabricWorker:
                     finally:
                         heart.set_lease(None)
                     stats.leases += 1
+                    # ship a metrics snapshot per lease: the scheduler's
+                    # fleet rollup reads these without touching the worker
+                    append_worker_snapshot(
+                        self.fabric_dir, self.worker_id, stats.as_dict()
+                    )
                     if progress is not None:
                         progress(stats)
                     if self.max_leases is not None and stats.leases >= self.max_leases:
@@ -265,6 +282,15 @@ class FabricWorker:
                 store.close()
             if heart is not None:
                 heart.close()
+            if registered:
+                append_worker_snapshot(
+                    self.fabric_dir, self.worker_id, stats.as_dict()
+                )
+            if self.trace:
+                tracer = get_tracer()
+                if tracer is not None:
+                    tracer.close()
+                obs_configure(**prev_trace)
             try:
                 db.worker_exit(self.worker_id)
             finally:

@@ -10,8 +10,12 @@ The three pillars (all dependency-free):
 * :mod:`repro.obs.sink` -- a process-safe append-only JSONL event sink.
 
 Plus the consumers: :mod:`repro.obs.validate` (trace schema validation,
-used by CI) and :mod:`repro.obs.report` (the ``repro-mms report``
-attribution tables).
+used by CI), :mod:`repro.obs.report` (the ``repro-mms report``
+attribution tables), :mod:`repro.obs.timeseries` (ring-buffer
+:class:`MetricsRecorder` for windowed rates/percentiles),
+:mod:`repro.obs.promtext` (Prometheus text exposition for the serve
+layer), and :mod:`repro.obs.dashboard` (the ``repro-mms dashboard``
+static HTML report).
 
 Quick start::
 
@@ -30,16 +34,25 @@ Span/metric naming and the full schema are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
+from .dashboard import render_dashboard
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     diff_snapshots,
+    quantile_from_buckets,
     registry,
 )
+from .promtext import render_prometheus
 from .report import manifest_report, render_report, trace_report
 from .sink import EventSink
+from .timeseries import (
+    MetricsRecorder,
+    get_recorder,
+    start_recorder,
+    stop_recorder,
+)
 from .trace import (
     NOOP_SPAN,
     Span,
@@ -71,6 +84,13 @@ __all__ = [
     "MetricsRegistry",
     "registry",
     "diff_snapshots",
+    "quantile_from_buckets",
+    "MetricsRecorder",
+    "start_recorder",
+    "get_recorder",
+    "stop_recorder",
+    "render_prometheus",
+    "render_dashboard",
     "EventSink",
     "Span",
     "Tracer",

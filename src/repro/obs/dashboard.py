@@ -1,0 +1,594 @@
+"""Static HTML dashboard: ``repro-mms dashboard <manifest|fabric-dir|trace>``.
+
+One self-contained HTML file, zero dependencies and zero JavaScript
+frameworks -- tables plus inline SVG (sparklines and a per-worker
+dispatch-to-complete Gantt), in the spirit of FuzzBench's ``analysis/`` +
+``web/`` report pipeline.  Four input shapes are understood:
+
+* a **fabric directory** (contains ``fabric.db``): fleet view -- the
+  sweep timeline Gantt from trial dispatch/complete timestamps, the
+  per-worker throughput/heartbeat table, lease latency, and the stage
+  self-time table from the workers' merged traces when they shipped any
+  (``sweep --fabric DIR --trace ...``);
+* a **run manifest** (``.json`` from ``sweep --manifest``): run overview,
+  stage table, recorder series digest, and -- for ``mode == "fabric"``
+  manifests whose ``fabric_dir`` still exists -- the full fleet view;
+* a **JSONL trace**: span attribution table plus a per-process span
+  timeline;
+* a **``/seriesz`` window dump** (``curl .../seriesz > s.json``):
+  sparklines of every counter/gauge and windowed histogram percentiles.
+
+Everything renders from data the system already records; the dashboard is
+a pure reader and can be re-run at any time.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .metrics import quantile_from_buckets
+from .report import _attribution_rows, load_trace
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+_CSS = """
+body { font: 14px/1.45 -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; padding: 0 1em; color: #1c2330; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #36525e; padding-bottom: .3em; }
+h2 { font-size: 1.15em; margin-top: 1.6em; color: #36525e; }
+table { border-collapse: collapse; margin: .6em 0; }
+th, td { border: 1px solid #c8d2da; padding: .25em .6em; text-align: right; }
+th { background: #eef3f6; }
+td:first-child, th:first-child { text-align: left; }
+tr:nth-child(even) td { background: #f7fafc; }
+svg { background: #fbfcfe; border: 1px solid #c8d2da; }
+.caption { color: #5a6876; font-size: .85em; margin: .2em 0 .8em; }
+.lane-label { font: 11px monospace; }
+"""
+
+_BAR_COLORS = {"done": "#2f855a", "cached": "#9ac79b", "failed": "#c53030"}
+
+
+def _esc(v: object) -> str:
+    return _html.escape(str(v))
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    table_id: str | None = None,
+    caption: str | None = None,
+) -> str:
+    tid = f' id="{_esc(table_id)}"' if table_id else ""
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(_fmt(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    cap = f'<p class="caption">{_esc(caption)}</p>' if caption else ""
+    return f"<table{tid}><tr>{head}</tr>{body}</table>{cap}"
+
+
+def _kv(pairs: Sequence[tuple[str, object]], table_id: str | None = None) -> str:
+    return _table(["field", "value"], [[k, v] for k, v in pairs], table_id=table_id)
+
+
+def _sparkline(
+    values: Sequence[float], width: int = 260, height: int = 40
+) -> str:
+    """Inline SVG sparkline; flat lines render mid-height."""
+    if not values:
+        return "<svg width='260' height='40'></svg>"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = max(len(values) - 1, 1)
+    pts = " ".join(
+        f"{2 + i * (width - 4) / n:.1f},"
+        f"{height - 4 - (v - lo) * (height - 8) / span:.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg width="{width}" height="{height}" class="sparkline">'
+        f'<polyline points="{pts}" fill="none" stroke="#36525e" '
+        f'stroke-width="1.5"/></svg>'
+    )
+
+
+def _gantt(timeline: Mapping[str, object], svg_id: str = "timeline") -> str:
+    """Per-worker lanes of dispatch-to-complete bars, one rect per trial."""
+    lanes: Mapping[str, list[dict]] = timeline.get("lanes") or {}
+    t0, t1 = timeline.get("t0"), timeline.get("t1")
+    if not lanes or t0 is None or t1 is None:
+        return "<p class='caption'>(no terminal trials to draw)</p>"
+    span = (t1 - t0) or 1.0
+    label_w, chart_w, row_h = 190, 760, 22
+    width = label_w + chart_w + 10
+    height = row_h * len(lanes) + 26
+    parts = [
+        f'<svg id="{_esc(svg_id)}" width="{width}" height="{height}" '
+        f'role="img" aria-label="sweep timeline">'
+    ]
+    max_bars = 4000  # keep pathological sweeps renderable
+    drawn = 0
+    for row, (label, bars) in enumerate(sorted(lanes.items())):
+        y = 4 + row * row_h
+        parts.append(
+            f'<text class="lane-label" x="4" y="{y + 14}">'
+            f"{_esc(str(label)[:28])}</text>"
+        )
+        for bar in bars:
+            if drawn >= max_bars:
+                break
+            x = label_w + (bar["start"] - t0) / span * chart_w
+            w = max(1.0, (bar["end"] - bar["start"]) / span * chart_w)
+            color = _BAR_COLORS["cached"] if bar.get("cached") else (
+                _BAR_COLORS.get(str(bar.get("status")), "#36525e")
+            )
+            dur_ms = 1e3 * (bar["end"] - bar["start"])
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{row_h - 6}" fill="{color}">'
+                f"<title>{_esc(bar.get('key', ''))} "
+                f"{_esc(bar.get('status', ''))} {dur_ms:.1f} ms</title></rect>"
+            )
+            drawn += 1
+    parts.append(
+        f'<text class="lane-label" x="{label_w}" y="{height - 6}">0 s</text>'
+        f'<text class="lane-label" x="{label_w + chart_w - 40}" '
+        f'y="{height - 6}">{span:.2f} s</text>'
+    )
+    parts.append("</svg>")
+    legend = " · ".join(
+        f"{name}: {color}" for name, color in _BAR_COLORS.items()
+    )
+    return "".join(parts) + f'<p class="caption">{_esc(legend)}</p>'
+
+
+def _page(title: str, sections: Sequence[str]) -> str:
+    body = "\n".join(s for s in sections if s)
+    return (
+        "<!doctype html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>\n"
+        f"<body><h1>{_esc(title)}</h1>\n{body}\n"
+        f"<p class='caption'>generated by repro-mms dashboard</p>"
+        "</body></html>\n"
+    )
+
+
+# -- section builders --------------------------------------------------------
+
+
+def _stages_from_attribution(
+    events: Sequence[Mapping[str, object]], caption: str
+) -> str:
+    spans = [e for e in events if e.get("kind") == "span"]
+    rows, wall = _attribution_rows(spans)
+    table = _table(
+        ["span", "count", "total_ms", "self_ms", "self%"],
+        [[n, c, f"{t:.3f}", f"{s:.3f}", f"{p:.2f}"] for n, c, t, s, p in rows],
+        table_id="stages",
+        caption=caption + f" (root wall clock {wall * 1e3:.1f} ms)",
+    )
+    return "<h2>Stage self-time</h2>" + table
+
+
+def _stages_from_manifest(manifest: Mapping[str, object]) -> str:
+    wall = float(manifest.get("wall_clock_s", 0.0))
+    stages: Mapping[str, float] = manifest.get("stages") or {}
+    rows = [
+        [name, f"{1e3 * float(dur):.3f}",
+         f"{(100.0 * float(dur) / wall) if wall else 0.0:.2f}"]
+        for name, dur in sorted(stages.items(), key=lambda kv: -kv[1])
+    ]
+    if not rows:
+        return ""
+    return "<h2>Stage self-time</h2>" + _table(
+        ["stage", "total_ms", "wall%"],
+        rows,
+        table_id="stages",
+        caption="consecutive wall-clock segments of the run "
+        f"({1e3 * wall:.1f} ms total)",
+    )
+
+
+def _fleet_tables(fleet: Mapping[str, object]) -> str:
+    workers: Mapping[str, Mapping[str, object]] = fleet.get("workers") or {}
+    rows = [
+        [
+            wid,
+            w.get("status", "?"),
+            w.get("trials_done", 0),
+            w.get("trials_failed", 0),
+            f"{float(w.get('busy_s', 0.0)):.3f}",
+            f"{float(w.get('throughput_per_s', 0.0)):.2f}",
+            f"{float(w.get('heartbeat_gap_s', 0.0)):.2f}",
+        ]
+        for wid, w in sorted(workers.items())
+    ]
+    blocks = ["<h2>Workers</h2>"]
+    blocks.append(
+        _table(
+            [
+                "worker",
+                "status",
+                "done",
+                "failed",
+                "busy_s",
+                "trials/s",
+                "heartbeat_gap_s",
+            ],
+            rows,
+            table_id="workers",
+            caption="heartbeat gap = final heartbeat vs the fleet's last "
+            "event; a SIGKILLed worker shows a large gap",
+        )
+        if rows
+        else "<p class='caption'>(no workers registered)</p>"
+    )
+    lat = fleet.get("lease_latency_s") or {}
+    if lat.get("count"):
+        blocks.append(
+            _kv(
+                [
+                    ("leases released", lat.get("count", 0)),
+                    ("mean_s", f"{float(lat.get('mean', 0.0)):.3f}"),
+                    ("p50_s", f"{float(lat.get('p50', 0.0)):.3f}"),
+                    ("p95_s", f"{float(lat.get('p95', 0.0)):.3f}"),
+                    ("max_s", f"{float(lat.get('max', 0.0)):.3f}"),
+                    ("leases expired", fleet.get("leases_expired", 0)),
+                ],
+                table_id="lease-latency",
+            )
+        )
+    return "".join(blocks)
+
+
+def _completion_sparklines(timeline: Mapping[str, object]) -> str:
+    """Per-worker cumulative completions over the sweep window."""
+    lanes: Mapping[str, list[dict]] = timeline.get("lanes") or {}
+    t0, t1 = timeline.get("t0"), timeline.get("t1")
+    if not lanes or t0 is None or t1 is None or t1 <= t0:
+        return ""
+    buckets = 60
+    rows = []
+    for label, bars in sorted(lanes.items()):
+        series = [0] * (buckets + 1)
+        for bar in bars:
+            idx = int((bar["end"] - t0) / (t1 - t0) * buckets)
+            series[min(idx, buckets)] += 1
+        cum, out = 0, []
+        for n in series:
+            cum += n
+            out.append(float(cum))
+        rows.append(
+            f"<tr><td>{_esc(str(label)[:28])}</td>"
+            f"<td>{_sparkline(out)}</td><td>{cum}</td></tr>"
+        )
+    return (
+        "<h2>Completions over time</h2><table id='completions'>"
+        "<tr><th>worker</th><th>cumulative trials</th><th>total</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _series_sections(window: Mapping[str, object]) -> list[str]:
+    """Sections for a recorder window (``/seriesz`` JSON)."""
+    samples: Sequence[Mapping[str, object]] = window.get("samples") or []
+    sections: list[str] = []
+    if not samples:
+        return ["<p class='caption'>(empty series window)</p>"]
+    first, last = samples[0], samples[-1]
+    elapsed = float(last.get("t", 0.0)) - float(first.get("t", 0.0))
+    sections.append(
+        _kv(
+            [
+                ("samples", len(samples)),
+                ("window_s", f"{elapsed:.1f}"),
+                ("interval_s", window.get("interval_s", "?")),
+            ]
+        )
+    )
+    rows = []
+    for name in sorted(last.get("counters", {})):
+        values = [float(s.get("counters", {}).get(name, 0.0)) for s in samples]
+        deltas = [b - a for a, b in zip(values, values[1:])] or [0.0]
+        rate = (values[-1] - values[0]) / elapsed if elapsed > 0 else 0.0
+        rows.append(
+            f"<tr><td>{_esc(name)}</td><td>{_sparkline(deltas)}</td>"
+            f"<td>{values[-1]:.6g}</td><td>{rate:.4g}/s</td></tr>"
+        )
+    for name in sorted(last.get("gauges", {})):
+        values = [float(s.get("gauges", {}).get(name, 0.0)) for s in samples]
+        rows.append(
+            f"<tr><td>{_esc(name)}</td><td>{_sparkline(values)}</td>"
+            f"<td>{values[-1]:.6g}</td><td>gauge</td></tr>"
+        )
+    if rows:
+        sections.append(
+            '<h2>Series</h2><table id="series">'
+            "<tr><th>metric</th><th>window</th><th>last</th><th>rate</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+    hist_rows = []
+    for name, h in sorted(last.get("histograms", {}).items()):
+        counts = list(h["counts"])
+        prev = first.get("histograms", {}).get(name)
+        if prev is not None and len(samples) > 1:
+            diffed = [a - b for a, b in zip(counts, prev["counts"])]
+            if sum(diffed) > 0:
+                counts = diffed
+        qs = {
+            q: quantile_from_buckets(h["buckets"], counts, q)
+            for q in (0.5, 0.95, 0.99)
+        }
+        hist_rows.append(
+            [name, sum(counts), f"{qs[0.5]:.4g}", f"{qs[0.95]:.4g}",
+             f"{qs[0.99]:.4g}"]
+        )
+    if hist_rows:
+        sections.append(
+            "<h2>Latency percentiles (window)</h2>"
+            + _table(
+                ["histogram", "n", "p50", "p95", "p99"],
+                hist_rows,
+                table_id="quantiles",
+            )
+        )
+    return sections
+
+
+def _manifest_summary_series(series: Mapping[str, object]) -> str:
+    rows = [
+        [name, f"{float(rate):.4g}/s"]
+        for name, rate in sorted(series.get("rates", {}).items())
+    ]
+    rows += [
+        [name, _fmt(v)] for name, v in sorted(series.get("gauges", {}).items())
+    ]
+    for name, qs in sorted(series.get("quantiles", {}).items()):
+        if qs:
+            rows.append(
+                [name, " ".join(f"{k}={v:.4g}" for k, v in sorted(qs.items()))]
+            )
+    if not rows:
+        return ""
+    return "<h2>Recorder series digest</h2>" + _table(
+        ["metric", "value"],
+        rows,
+        table_id="series",
+        caption=f"{series.get('samples', 0)} samples over "
+        f"{float(series.get('window_s', 0.0)):.1f} s "
+        f"at {series.get('interval_s', '?')} s intervals",
+    )
+
+
+def _fabric_sections(
+    fabric_dir: Path, experiment: str | None = None
+) -> list[str]:
+    # imported lazily: repro.fabric pulls in the runner stack, and repro.obs
+    # must stay importable without it (no import cycle at package init)
+    from ..fabric.db import ExperimentDB
+    from ..fabric.rollup import fleet_rollup, merge_traces, sweep_timeline
+
+    sections: list[str] = []
+    with ExperimentDB(fabric_dir) as db:
+        if experiment is None:
+            experiments = db.experiments()
+            if not experiments:
+                return ["<p class='caption'>(fabric has no experiments)</p>"]
+            experiment = str(experiments[0]["experiment_id"])
+        exp = db.experiment(experiment)
+        counts = db.counts(experiment)
+        sections.append(
+            _kv(
+                [
+                    ("experiment", experiment),
+                    ("status", exp.get("status", "?")),
+                    ("total_trials", exp.get("total_trials", 0)),
+                    ("done", counts.get("done", 0)),
+                    ("failed", counts.get("failed", 0)),
+                    ("solver_version", exp.get("solver_version", "?")),
+                ],
+                table_id="overview",
+            )
+        )
+        timeline = sweep_timeline(db, experiment)
+        sections.append("<h2>Sweep timeline</h2>" + _gantt(timeline))
+        sections.append(_completion_sparklines(timeline))
+        fleet = fleet_rollup(db, experiment, fabric_dir=fabric_dir)
+        sections.append(_fleet_tables(fleet))
+    events = merge_traces(fabric_dir)
+    if events:
+        sections.append(
+            _stages_from_attribution(
+                events,
+                f"merged from {len(fleet.get('trace_files', []))} worker "
+                "trace files",
+            )
+        )
+    else:
+        # no shipped traces: attribute from the trials table instead so the
+        # dashboard always carries a stage table
+        with ExperimentDB(fabric_dir) as db:
+            trials = db.trials(experiment)
+        solved = [t for t in trials if t["status"] == "done"]
+        failed = [t for t in trials if t["status"] == "failed"]
+        rows = [
+            [
+                f"trial.{name}",
+                len(group),
+                f"{1e3 * sum(float(t['elapsed_s'] or 0.0) for t in group):.3f}",
+            ]
+            for name, group in (("done", solved), ("failed", failed))
+            if group
+        ]
+        sections.append(
+            "<h2>Stage self-time</h2>"
+            + _table(
+                ["stage", "count", "total_ms"],
+                rows,
+                table_id="stages",
+                caption="per-trial solve time from the experiment database; "
+                "run the sweep with --trace for span-level attribution",
+            )
+        )
+    return sections
+
+
+def _trace_sections(path: Path) -> list[str]:
+    events = load_trace(path)
+    sections = [_stages_from_attribution(events, f"trace {path.name}")]
+    spans = [e for e in events if e.get("kind") == "span"]
+    by_pid: dict[str, list[dict]] = {}
+    for s in spans:
+        by_pid.setdefault(str(s.get("pid", "?")), []).append(s)
+    lanes: dict[str, list[dict]] = {}
+    for pid, group in by_pid.items():
+        # per-process perf-counter clocks: normalize each lane to its own 0
+        base = min(float(s["t_start"]) for s in group)
+        lanes[f"pid {pid}"] = [
+            {
+                "start": float(s["t_start"]) - base,
+                "end": float(s["t_start"]) - base + float(s["duration_s"]),
+                "status": "done",
+                "key": s["name"],
+                "cached": False,
+            }
+            for s in group
+        ]
+    ends = [b["end"] for bars in lanes.values() for b in bars]
+    timeline = {
+        "t0": 0.0,
+        "t1": max(ends) if ends else None,
+        "lanes": lanes,
+    }
+    sections.insert(
+        0,
+        "<h2>Span timeline</h2>"
+        + _gantt(timeline)
+        + "<p class='caption'>lanes are per-process; each is normalized to "
+        "its own first span (perf-counter clocks do not align across "
+        "processes)</p>",
+    )
+    metrics = [e for e in events if e.get("kind") == "metrics"]
+    if metrics:
+        snap = metrics[-1].get("metrics", {})
+        rows = [[k, v] for k, v in sorted(snap.get("counters", {}).items())]
+        if rows:
+            sections.append(
+                "<h2>Final metrics</h2>"
+                + _table(["counter", "value"], rows, table_id="metrics")
+            )
+    return sections
+
+
+def _manifest_sections(manifest: Mapping[str, object]) -> list[str]:
+    overview = [
+        ("mode", manifest.get("mode", "?")),
+        ("backend", manifest.get("backend", "?")),
+        ("kernel", manifest.get("kernel", "?")),
+        ("solver_version", manifest.get("solver_version", "?")),
+        ("jobs", manifest.get("jobs", "?")),
+        ("total_points", manifest.get("total_points", 0)),
+        ("unique_points", manifest.get("unique_points", 0)),
+        ("cache_hit_rate", _fmt(manifest.get("cache_hit_rate", 0.0))),
+        ("solved", manifest.get("solved", 0)),
+        ("failures", manifest.get("failures", 0)),
+        ("wall_clock_s", _fmt(manifest.get("wall_clock_s", 0.0))),
+    ]
+    created = manifest.get("created_at")
+    if created:
+        overview.append(
+            ("created_at", time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(float(created))))
+        )
+    sections = [_kv(overview, table_id="overview")]
+    sections.append(_stages_from_manifest(manifest))
+    series = manifest.get("series")
+    if series:
+        sections.append(_manifest_summary_series(series))
+    fabric = manifest.get("fabric")
+    if fabric:
+        fleet = fabric.get("fleet")
+        if fleet:
+            sections.append(_fleet_tables(fleet))
+        fabric_dir = fabric.get("fabric_dir")
+        if fabric_dir and (Path(fabric_dir) / "fabric.db").exists():
+            from ..fabric.db import ExperimentDB
+            from ..fabric.rollup import sweep_timeline
+
+            with ExperimentDB(fabric_dir) as db:
+                timeline = sweep_timeline(
+                    db, str(fabric.get("experiment_id"))
+                )
+            sections.append("<h2>Sweep timeline</h2>" + _gantt(timeline))
+            sections.append(_completion_sparklines(timeline))
+    return sections
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def render_dashboard(
+    path: str | Path, experiment: str | None = None
+) -> str:
+    """Render the dashboard HTML for a manifest, fabric dir, trace, or
+    ``/seriesz`` window dump."""
+    p = Path(path)
+    if p.is_dir():
+        if not (p / "fabric.db").exists():
+            raise ValueError(
+                f"{p} is a directory but holds no fabric.db; point the "
+                "dashboard at a fabric dir, a run manifest, or a trace"
+            )
+        return _page(
+            f"repro-mms fleet — {p.name}", _fabric_sections(p, experiment)
+        )
+    text = p.read_text(encoding="utf-8").strip()
+    if not text:
+        raise ValueError(f"{p}: empty file")
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict) and "kind" not in doc:
+        if "samples" in doc and "interval_s" in doc:
+            return _page(
+                f"repro-mms series — {p.name}", _series_sections(doc)
+            )
+        return _page(f"repro-mms run — {p.name}", _manifest_sections(doc))
+    return _page(f"repro-mms trace — {p.name}", _trace_sections(p))
+
+
+def write_dashboard(
+    path: str | Path,
+    out: str | Path | None = None,
+    experiment: str | None = None,
+) -> Path:
+    """Render and write the dashboard; returns the output path.
+
+    Default output: ``dashboard.html`` inside a fabric directory, or
+    ``<stem>-dashboard.html`` next to a file input.
+    """
+    p = Path(path)
+    if out is None:
+        out = (
+            p / "dashboard.html"
+            if p.is_dir()
+            else p.with_name(f"{p.stem}-dashboard.html")
+        )
+    out = Path(out)
+    out.write_text(render_dashboard(p, experiment=experiment), encoding="utf-8")
+    return out

@@ -27,6 +27,7 @@ __all__ = [
     "MetricsRegistry",
     "registry",
     "diff_snapshots",
+    "quantile_from_buckets",
 ]
 
 #: default histogram bucket upper bounds (seconds-ish scale; +inf implied)
@@ -96,6 +97,14 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation within the containing bucket; resolution is
+        bounded by the bucket width.  See :func:`quantile_from_buckets`.
+        """
+        return quantile_from_buckets(self.buckets, self.counts, q)
+
     def to_dict(self) -> dict[str, object]:
         return {
             "buckets": list(self.buckets),
@@ -103,6 +112,42 @@ class Histogram:
             "sum": self.sum,
             "count": self.count,
         }
+
+
+def quantile_from_buckets(
+    buckets: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate a quantile from fixed-bucket counts.
+
+    ``counts[i]`` holds the observations that fell in
+    ``(buckets[i-1], buckets[i]]`` (slot 0 starts at 0.0, the scale's
+    natural floor for durations; the last slot is the implicit +inf
+    bucket).  The estimator walks the cumulative counts to the containing
+    bucket and interpolates linearly inside it, so its error is bounded by
+    that bucket's width.  Observations past the last finite bound cannot
+    be interpolated and clamp to ``buckets[-1]``.
+
+    Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    total = sum(counts)
+    if not total:
+        return 0.0
+    target = q * total
+    cum = 0.0
+    for i, n in enumerate(counts):
+        if not n:
+            continue
+        if cum + n >= target:
+            if i >= len(buckets):  # +inf bucket: clamp to the last finite bound
+                return float(buckets[-1])
+            lo = float(buckets[i - 1]) if i else min(0.0, float(buckets[0]))
+            hi = float(buckets[i])
+            frac = (target - cum) / n
+            return lo + frac * (hi - lo)
+        cum += n
+    return float(buckets[-1]) if buckets else 0.0
 
 
 class MetricsRegistry:

@@ -1,0 +1,83 @@
+"""Prometheus text exposition for the metrics registry (dependency-free).
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` in the
+Prometheus text format (version 0.0.4): ``# HELP`` / ``# TYPE`` comment
+pairs followed by sample lines, with dotted instrument names mapped to
+the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset Prometheus requires
+(``serve.request_latency_s`` becomes
+``repro_serve_request_latency_s``).  Histograms expose the conventional
+``_bucket{le="..."}`` cumulative counts (our registry stores per-bucket
+counts, so this module accumulates them), plus ``_sum`` and ``_count``.
+
+The serve layer wires this into ``GET /metricsz?format=prometheus``
+(:mod:`repro.serve.http`), which makes the whole service scrapeable by
+any Prometheus-compatible collector with zero new dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+__all__ = ["render_prometheus", "prometheus_name", "CONTENT_TYPE"]
+
+#: content type Prometheus scrapers expect from a text-format endpoint
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """Map a dotted instrument name onto the Prometheus metric charset."""
+    flat = _INVALID.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if _INVALID_FIRST.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _fmt(v: float) -> str:
+    """Prometheus sample values: integers render bare, floats repr-style."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _expose(
+    lines: list[str], name: str, kind: str, help_text: str
+) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping[str, object]], namespace: str = "repro"
+) -> str:
+    """Render a registry snapshot as Prometheus exposition text.
+
+    ``snapshot`` is the dict shape of ``registry().snapshot()``; the
+    original dotted name is echoed in each ``# HELP`` line so a scrape
+    can be mapped back to the naming table in docs/OBSERVABILITY.md.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        flat = prometheus_name(name, namespace)
+        _expose(lines, flat, "counter", f"repro counter {name}")
+        lines.append(f"{flat} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        flat = prometheus_name(name, namespace)
+        _expose(lines, flat, "gauge", f"repro gauge {name}")
+        lines.append(f"{flat} {_fmt(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        flat = prometheus_name(name, namespace)
+        _expose(lines, flat, "histogram", f"repro histogram {name}")
+        cum = 0
+        for bound, n in zip(hist["buckets"], hist["counts"]):
+            cum += n
+            lines.append(f'{flat}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        cum += hist["counts"][-1]
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {cum}')
+        lines.append(f"{flat}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{flat}_count {_fmt(hist['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -147,6 +147,96 @@ def _metrics_block(snapshot: Mapping[str, object]) -> str:
                         title="Metrics")
 
 
+def _fabric_block(fabric: Mapping[str, object]) -> str:
+    """Dispatch accounting + fleet view of a ``mode == "fabric"`` manifest."""
+    from ..analysis.tables import format_table
+
+    trials: Mapping[str, int] = fabric.get("trials") or {}
+    blocks = [
+        format_table(
+            ["done", "failed", "leases", "expired", "redispatched", "workers"],
+            [
+                [
+                    trials.get("done", 0),
+                    trials.get("failed", 0),
+                    fabric.get("leases_granted", 0),
+                    fabric.get("leases_expired", 0),
+                    fabric.get("redispatched_trials", 0),
+                    fabric.get("workers", 0),
+                ]
+            ],
+            precision=3,
+            title=f"Fabric dispatch (experiment "
+            f"{fabric.get('experiment_id', '?')})",
+        )
+    ]
+    fleet = fabric.get("fleet") or {}
+    workers: Mapping[str, Mapping[str, object]] = fleet.get("workers") or {}
+    if workers:
+        rows = [
+            [
+                wid,
+                w.get("status", "?"),
+                w.get("trials_done", 0),
+                w.get("trials_failed", 0),
+                float(w.get("busy_s", 0.0)),
+                float(w.get("throughput_per_s", 0.0)),
+                float(w.get("heartbeat_gap_s", 0.0)),
+            ]
+            for wid, w in sorted(workers.items())
+        ]
+        blocks.append(
+            format_table(
+                [
+                    "worker",
+                    "status",
+                    "done",
+                    "failed",
+                    "busy_s",
+                    "trials/s",
+                    "hb_gap_s",
+                ],
+                rows,
+                precision=3,
+                title="Fleet (heartbeat gap vs the fleet's last event)",
+            )
+        )
+    lat = fleet.get("lease_latency_s") or {}
+    if lat.get("count"):
+        blocks.append(
+            f"Lease latency: n={lat['count']} mean={lat['mean']:.3f}s "
+            f"p50={lat['p50']:.3f}s p95={lat['p95']:.3f}s "
+            f"max={lat['max']:.3f}s"
+        )
+    return "\n\n".join(blocks)
+
+
+def _series_block(series: Mapping[str, object]) -> str:
+    """Recorder digest embedded by a sweep that ran with a live recorder."""
+    from ..analysis.tables import format_table
+
+    rows: list[list[object]] = []
+    for name, rate in sorted(series.get("rates", {}).items()):
+        rows.append([name, "rate", f"{float(rate):.4g}/s"])
+    for name, value in sorted(series.get("gauges", {}).items()):
+        rows.append([name, "gauge", value])
+    for name, qs in sorted(series.get("quantiles", {}).items()):
+        if qs:
+            rows.append(
+                [name, "quantiles",
+                 " ".join(f"{k}={v:.4g}" for k, v in sorted(qs.items()))]
+            )
+    if not rows:
+        return ""
+    return format_table(
+        ["metric", "kind", "value"],
+        rows,
+        precision=6,
+        title=f"Recorder series ({series.get('samples', 0)} samples over "
+        f"{float(series.get('window_s', 0.0)):.1f} s)",
+    )
+
+
 def manifest_report(manifest: Mapping[str, object]) -> str:
     """Render the attribution view of one sweep manifest."""
     from ..analysis.tables import format_table
@@ -164,11 +254,15 @@ def manifest_report(manifest: Mapping[str, object]) -> str:
             precision=3,
             title=f"Sweep stages (wall clock {wall * 1e3:.1f} ms, "
             f"mode={manifest.get('mode')}, "
+            f"kernel={manifest.get('kernel', 'numpy')}, "
             f"{manifest.get('unique_points')} unique points)",
         )
         if rows
         else "(manifest has no stage timings)"
     ]
+    fabric = manifest.get("fabric")
+    if fabric:
+        blocks.append(_fabric_block(fabric))
     batches = manifest.get("solver_batches") or []
     if batches:
         batch_rows = [
@@ -242,6 +336,11 @@ def manifest_report(manifest: Mapping[str, object]) -> str:
                 title="Degradations (backend fell down the chain)",
             )
         )
+    series = manifest.get("series")
+    if series:
+        block = _series_block(series)
+        if block:
+            blocks.append(block)
     metrics = manifest.get("metrics")
     if metrics:
         blocks.append(_metrics_block(metrics))

@@ -1,0 +1,277 @@
+"""Time-series metrics: a ring-buffer recorder over the process registry.
+
+:class:`MetricsRecorder` turns the point-in-time snapshots of
+:class:`~repro.obs.metrics.MetricsRegistry` into windowed *series* -- the
+rates and utilizations-over-time that single snapshots cannot show.  A
+background daemon thread samples ``registry().snapshot()`` every
+``interval_s`` seconds into a bounded ``deque``, so memory is fixed
+(``capacity`` samples) no matter how long the process lives.
+
+The recorder is a pure *reader*: it never touches an instrumentation
+site, so the PR-3 overhead contract is preserved by construction --
+recorder off means zero new cost anywhere, and recorder on costs one
+registry snapshot per tick on its own thread
+(``benchmarks/bench_perf_obs_overhead.py`` pins sampling at 10 Hz to
+<1% of the Figure-4 lattice wall time).
+
+Derived views:
+
+* :meth:`~MetricsRecorder.series` -- ``[(t, value), ...]`` for a counter
+  or gauge over the window.
+* :meth:`~MetricsRecorder.rate` -- a counter's per-second rate across the
+  window (Little's-Law style throughput).
+* :meth:`~MetricsRecorder.quantiles` -- p50/p95/p99 of a histogram's
+  *windowed* observations (last-minus-first bucket diff, interpolated by
+  :func:`~repro.obs.metrics.quantile_from_buckets`).
+* :meth:`~MetricsRecorder.window` -- the raw samples as a JSON-safe dict
+  (what ``GET /seriesz`` returns).
+* :meth:`~MetricsRecorder.summary` -- a compact rates/gauges/quantiles
+  digest, small enough to embed in a run manifest.
+
+A process-global recorder can be managed with :func:`start_recorder` /
+:func:`get_recorder` / :func:`stop_recorder`; the sweep runner embeds the
+global recorder's summary in its manifest when one is running.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Sequence
+
+from .metrics import MetricsRegistry, diff_snapshots, quantile_from_buckets, registry
+
+__all__ = [
+    "MetricsRecorder",
+    "start_recorder",
+    "get_recorder",
+    "stop_recorder",
+]
+
+#: default sampling cadence (seconds) and ring capacity (samples);
+#: 1 Hz x 600 keeps a ten-minute window in a few hundred KB.
+DEFAULT_INTERVAL_S = 1.0
+DEFAULT_CAPACITY = 600
+
+_PERCENTILES = (0.5, 0.95, 0.99)
+
+
+class MetricsRecorder:
+    """Sample the metrics registry on a background thread into a ring buffer.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`
+    explicitly.  :meth:`sample` can also be driven by hand (tests, or a
+    caller with its own cadence) without ever starting the thread.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        capacity: int = DEFAULT_CAPACITY,
+        reg: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive: {interval_s}")
+        if capacity < 2:
+            raise ValueError(f"capacity must hold at least 2 samples: {capacity}")
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self._registry = reg if reg is not None else registry()
+        self._clock = clock
+        self._samples: deque[dict[str, object]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_taken = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MetricsRecorder":
+        """Take an immediate sample and start the sampling thread."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self.sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-recorder", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread (if running) and take one final sample."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+        self.sample()
+
+    close = stop
+
+    def __enter__(self) -> "MetricsRecorder":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, t: float | None = None) -> dict[str, object]:
+        """Append one timestamped snapshot to the ring and return it."""
+        snap = self._registry.snapshot()
+        rec: dict[str, object] = {"t": self._clock() if t is None else float(t)}
+        rec.update(snap)
+        with self._lock:
+            self._samples.append(rec)
+            self.samples_taken += 1
+        return rec
+
+    def _window_samples(self, seconds: float | None = None) -> list[dict]:
+        with self._lock:
+            samples = list(self._samples)
+        if seconds is not None and samples:
+            cutoff = samples[-1]["t"] - float(seconds)
+            samples = [s for s in samples if s["t"] >= cutoff]
+        return samples
+
+    # -- derived views -----------------------------------------------------
+
+    def window(self, seconds: float | None = None) -> dict[str, object]:
+        """JSON-safe view of the (optionally trimmed) sample window."""
+        samples = self._window_samples(seconds)
+        span = (samples[-1]["t"] - samples[0]["t"]) if len(samples) > 1 else 0.0
+        return {
+            "interval_s": self.interval_s,
+            "capacity": self.capacity,
+            "samples": samples,
+            "window_s": span,
+        }
+
+    def series(
+        self, name: str, seconds: float | None = None
+    ) -> list[tuple[float, float]]:
+        """``[(t, value), ...]`` for a counter or gauge across the window."""
+        out: list[tuple[float, float]] = []
+        for s in self._window_samples(seconds):
+            for kind in ("counters", "gauges"):
+                v = s.get(kind, {}).get(name)
+                if v is not None:
+                    out.append((s["t"], float(v)))
+                    break
+        return out
+
+    def rate(self, name: str, seconds: float | None = None) -> float:
+        """A counter's average per-second rate across the window."""
+        pts = self.series(name, seconds)
+        if len(pts) < 2:
+            return 0.0
+        elapsed = pts[-1][0] - pts[0][0]
+        return (pts[-1][1] - pts[0][1]) / elapsed if elapsed > 0 else 0.0
+
+    def quantiles(
+        self,
+        name: str,
+        qs: Sequence[float] = _PERCENTILES,
+        seconds: float | None = None,
+    ) -> dict[str, float]:
+        """Quantiles of a histogram's observations *within* the window.
+
+        Diffs the newest sample's buckets against the oldest in scope, so
+        the estimate covers only what the window saw -- falling back to
+        the lifetime buckets when the window holds a single sample.
+        """
+        samples = self._window_samples(seconds)
+        hist = None
+        for s in reversed(samples):
+            hist = s.get("histograms", {}).get(name)
+            if hist is not None:
+                break
+        if hist is None:
+            return {}
+        counts = list(hist["counts"])
+        if len(samples) > 1:
+            first = samples[0].get("histograms", {}).get(name)
+            if first is not None:
+                counts = [a - b for a, b in zip(counts, first["counts"])]
+                if sum(counts) <= 0:  # nothing new in the window: lifetime view
+                    counts = list(hist["counts"])
+        return {
+            f"p{int(q * 100)}": quantile_from_buckets(hist["buckets"], counts, q)
+            for q in qs
+        }
+
+    def summary(self, seconds: float | None = None) -> dict[str, object]:
+        """Compact digest: per-counter rates, final gauges, histogram
+        percentiles -- small enough to embed in a run manifest."""
+        samples = self._window_samples(seconds)
+        if not samples:
+            return {
+                "interval_s": self.interval_s,
+                "samples": 0,
+                "window_s": 0.0,
+                "rates": {},
+                "gauges": {},
+                "quantiles": {},
+            }
+        first, last = samples[0], samples[-1]
+        elapsed = last["t"] - first["t"]
+        delta = diff_snapshots(first, last) if len(samples) > 1 else last
+        rates = {}
+        if elapsed > 0:
+            for cname, moved in delta.get("counters", {}).items():
+                rates[cname] = moved / elapsed
+        return {
+            "interval_s": self.interval_s,
+            "samples": len(samples),
+            "window_s": elapsed,
+            "rates": rates,
+            "gauges": dict(last.get("gauges", {})),
+            "quantiles": {
+                hname: self.quantiles(hname, seconds=seconds)
+                for hname in last.get("histograms", {})
+            },
+        }
+
+
+# -- process-global recorder ------------------------------------------------
+
+_RECORDER: MetricsRecorder | None = None
+_RECORDER_LOCK = threading.Lock()
+
+
+def start_recorder(
+    interval_s: float = DEFAULT_INTERVAL_S, capacity: int = DEFAULT_CAPACITY
+) -> MetricsRecorder:
+    """Start (or return the already-running) process-global recorder."""
+    global _RECORDER
+    with _RECORDER_LOCK:
+        if _RECORDER is not None and _RECORDER.running:
+            return _RECORDER
+        _RECORDER = MetricsRecorder(interval_s=interval_s, capacity=capacity)
+        return _RECORDER.start()
+
+
+def get_recorder() -> MetricsRecorder | None:
+    """The process-global recorder, or ``None`` when none is running."""
+    rec = _RECORDER
+    return rec if rec is not None and rec.running else None
+
+
+def stop_recorder() -> MetricsRecorder | None:
+    """Stop and detach the process-global recorder (returns it for reads)."""
+    global _RECORDER
+    with _RECORDER_LOCK:
+        rec, _RECORDER = _RECORDER, None
+    if rec is not None:
+        rec.stop()
+    return rec

@@ -46,14 +46,30 @@ class TraceSummary:
     #: total duration per span name (seconds)
     span_durations: dict = field(default_factory=dict)
     roots: int = 0
+    #: distinct pids that emitted spans (>1 for merged fabric traces)
+    pids: set = field(default_factory=set)
+    #: ``(span_id, missing_parent_id)`` pairs, every one collected --
+    #: populated (not raised) when ``require_closed_parents=False``
+    orphans: list = field(default_factory=list)
 
 
 def _fail(line_no: int, msg: str) -> None:
     raise TraceValidationError(f"line {line_no}: {msg}")
 
 
-def validate_events(events: list[Mapping[str, object]]) -> TraceSummary:
-    """Validate parsed trace records; raises :class:`TraceValidationError`."""
+def validate_events(
+    events: list[Mapping[str, object]], require_closed_parents: bool = True
+) -> TraceSummary:
+    """Validate parsed trace records; raises :class:`TraceValidationError`.
+
+    Parent linkage is checked across the *whole* event list, so a merged
+    multi-process trace (see :func:`repro.fabric.rollup.merge_traces`)
+    validates cross-process parentage: a child adopted into another
+    process must still find its parent span somewhere in the file.
+    Every orphan is collected before failing -- the error lists them all,
+    not just the first -- and with ``require_closed_parents=False`` the
+    orphans land in :attr:`TraceSummary.orphans` instead of raising.
+    """
     summary = TraceSummary()
     span_ids: set[str] = set()
     parents: dict[str, str | None] = {}
@@ -92,25 +108,39 @@ def validate_events(events: list[Mapping[str, object]]) -> TraceSummary:
         span_ids.add(sid)
         parents[sid] = parent
         summary.spans += 1
+        summary.pids.add(ev["pid"])
         summary.trace_ids.add(ev["trace_id"])
         summary.span_names[ev["name"]] = summary.span_names.get(ev["name"], 0) + 1
         summary.span_durations[ev["name"]] = (
             summary.span_durations.get(ev["name"], 0.0) + float(ev["duration_s"])
         )
     # parent linkage: every non-null parent must itself be a recorded span
+    # somewhere in the list (cross-process for merged traces); collect
+    # every violation so the report names them all
     for sid, parent in parents.items():
         if parent is None:
             summary.roots += 1
         elif parent not in span_ids:
-            raise TraceValidationError(
-                f"span {sid} references unknown parent {parent}"
-            )
+            summary.orphans.append((sid, parent))
+    if summary.orphans and require_closed_parents:
+        listing = "; ".join(
+            f"span {sid} -> missing parent {parent}"
+            for sid, parent in summary.orphans[:20]
+        )
+        extra = len(summary.orphans) - 20
+        if extra > 0:
+            listing += f"; ... and {extra} more"
+        raise TraceValidationError(
+            f"{len(summary.orphans)} orphaned span(s): {listing}"
+        )
     if summary.spans == 0:
         raise TraceValidationError("trace contains no spans")
     return summary
 
 
-def validate_trace(path: str | Path) -> TraceSummary:
+def validate_trace(
+    path: str | Path, require_closed_parents: bool = True
+) -> TraceSummary:
     """Parse and validate a JSONL trace file."""
     events = []
     with open(path, "r", encoding="utf-8") as fh:
@@ -124,4 +154,4 @@ def validate_trace(path: str | Path) -> TraceSummary:
                 raise TraceValidationError(f"line {i}: invalid JSON ({exc})") from exc
     if not events:
         raise TraceValidationError(f"{path}: empty trace")
-    return validate_events(events)
+    return validate_events(events, require_closed_parents=require_closed_parents)

@@ -52,6 +52,7 @@ from ..core.model import MMSModel
 from ..obs import Tracer, diff_snapshots, get_tracer
 from ..obs import registry as obs_registry
 from ..obs import trace_span
+from ..obs.timeseries import get_recorder
 from ..obs.trace import configure
 from ..params import MMSParams
 from ..queueing.kernels import resolve_kernel
@@ -382,6 +383,10 @@ class SweepRunner:
         self, specs: Sequence[JobSpec], progress: Progress | None = None
     ) -> RunReport:
         t_start = time.perf_counter()
+        created_at = time.time()
+        # a process-global MetricsRecorder (if the embedder started one)
+        # gets its windowed digest embedded under manifest.series
+        recorder = get_recorder()
         stats = _RunStats()
         policy = DegradationPolicy()
         metrics_before = obs_registry().snapshot()
@@ -559,6 +564,8 @@ class SweepRunner:
             resumed=bool(self.resume and self.journal is not None),
             journal_path=str(self.journal) if self.journal is not None else None,
             degradations=policy.to_list(),
+            created_at=created_at,
+            series=recorder.summary() if recorder is not None else None,
         )
         return RunReport(results=results, manifest=manifest)
 

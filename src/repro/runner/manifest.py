@@ -110,6 +110,14 @@ class RunManifest:
     #: per-worker contribution (see ``docs/DISTRIBUTED.md``); None for
     #: single-host runs
     fabric: dict | None = None
+    #: wall-clock epoch seconds when the run started (lets the dashboard
+    #: place the run on an absolute timeline); 0.0 in legacy manifests
+    created_at: float = 0.0
+    #: windowed digest of the process-global
+    #: :class:`~repro.obs.timeseries.MetricsRecorder` (rates, gauges,
+    #: histogram percentiles) when one was running during the sweep;
+    #: None otherwise
+    series: dict | None = None
 
     def to_dict(self) -> dict[str, object]:
         return asdict(self)

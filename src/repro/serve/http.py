@@ -1,6 +1,6 @@
 """Stdlib HTTP front end for :class:`~repro.serve.service.SolveService`.
 
-Three JSON endpoints on a :class:`http.server.ThreadingHTTPServer`:
+Four endpoints on a :class:`http.server.ThreadingHTTPServer`:
 
 * ``POST /solve`` -- body ``{"params": {...nested MMSParams...}}`` or
   ``{"point": {...paper_defaults overrides...}}``, plus optional
@@ -8,7 +8,13 @@ Three JSON endpoints on a :class:`http.server.ThreadingHTTPServer`:
   ``{"ok": true, "key", "perf", "source", "batch_width", "latency_s"}``.
 * ``GET /healthz`` -- liveness: ``{"ok": true, "status": "serving"}``.
 * ``GET /metricsz`` -- the service's :meth:`~SolveService.stats` plus a
-  full process metrics snapshot.
+  full process metrics snapshot; ``GET /metricsz?format=prometheus``
+  answers the same registry in Prometheus text exposition
+  (:mod:`repro.obs.promtext`), making the service scrapeable.
+* ``GET /seriesz`` -- the service recorder's time-series window
+  (:class:`~repro.obs.timeseries.MetricsRecorder`); ``?window=60``
+  trims to the trailing N seconds.  404 when the recorder is disabled
+  (``series_interval_s=0``).
 
 One thread per connection means a handler may *block* in
 ``service.solve`` -- that is the point: concurrent connections park in
@@ -25,8 +31,11 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from ..obs import registry as obs_registry
+from ..obs.promtext import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.promtext import render_prometheus
 from ..params import MMSParams, ParamError, paper_defaults
 from .service import (
     DeadlineExceededError,
@@ -73,21 +82,62 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _error(self, status: int, error: str, detail: str) -> None:
         self._reply(status, {"ok": False, "error": error, "detail": detail})
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        if parts.path == "/healthz":
             self._reply(200, {"ok": True, "status": "serving"})
-        elif self.path == "/metricsz":
-            self._reply(
-                200,
-                {
-                    "ok": True,
-                    "service": self.server.service.stats(),
-                    "metrics": obs_registry().snapshot(),
-                },
-            )
+        elif parts.path == "/metricsz":
+            fmt = (query.get("format") or ["json"])[0]
+            if fmt == "prometheus":
+                self._reply_text(
+                    200,
+                    render_prometheus(obs_registry().snapshot()),
+                    _PROM_CONTENT_TYPE,
+                )
+            elif fmt == "json":
+                self._reply(
+                    200,
+                    {
+                        "ok": True,
+                        "service": self.server.service.stats(),
+                        "metrics": obs_registry().snapshot(),
+                    },
+                )
+            else:
+                self._error(
+                    400, "BadRequest", f"unknown format {fmt!r}; "
+                    "pick json or prometheus"
+                )
+        elif parts.path == "/seriesz":
+            recorder = self.server.service.recorder
+            if recorder is None:
+                self._error(
+                    404,
+                    "RecorderDisabled",
+                    "time-series recording is off (series_interval_s=0)",
+                )
+                return
+            window = None
+            raw = (query.get("window") or [None])[0]
+            if raw is not None:
+                try:
+                    window = float(raw)
+                except ValueError:
+                    self._error(400, "BadRequest", f"bad window: {raw!r}")
+                    return
+            self._reply(200, {"ok": True, **recorder.window(window)})
         else:
             self._error(404, "NotFound", f"no such endpoint: {self.path}")
 

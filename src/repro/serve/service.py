@@ -48,6 +48,7 @@ from ..core.metrics import MMSPerformance
 from ..core.model import MMSModel, solve_points
 from ..obs import registry as obs_registry
 from ..obs import trace_span
+from ..obs.timeseries import MetricsRecorder
 from ..params import MMSParams
 from ..runner.spec import JobSpec
 from ..runner.store import ResultStore
@@ -128,6 +129,13 @@ class ServiceConfig:
         ``"numba"``; kernels are bitwise-interchangeable, see
         :mod:`repro.queueing.kernels`); ``None`` honours
         :func:`repro.configure` and ``REPRO_SOLVE_KERNEL``.
+    series_interval_s:
+        Sampling cadence of the service's
+        :class:`~repro.obs.timeseries.MetricsRecorder` (the ``/seriesz``
+        window); ``0`` disables time-series recording entirely.
+    series_capacity:
+        Ring-buffer size of that recorder, in samples (default keeps a
+        ten-minute window at the default cadence).
     """
 
     max_batch: int = 64
@@ -139,6 +147,8 @@ class ServiceConfig:
     store_dir: str | None = None
     default_deadline_s: float | None = None
     kernel: str | None = None
+    series_interval_s: float = 1.0
+    series_capacity: int = 600
 
     def __post_init__(self) -> None:
         if self.kernel is not None:
@@ -158,6 +168,14 @@ class ServiceConfig:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.memory_cache < 0:
             raise ValueError(f"memory_cache must be >= 0, got {self.memory_cache}")
+        if self.series_interval_s < 0:
+            raise ValueError(
+                f"series_interval_s must be >= 0, got {self.series_interval_s}"
+            )
+        if self.series_capacity < 2:
+            raise ValueError(
+                f"series_capacity must be >= 2, got {self.series_capacity}"
+            )
 
 
 @dataclass(frozen=True)
@@ -273,6 +291,15 @@ class SolveService:
         self._drain_on_close = True
         self.stats_ = _ServiceStats()
         self._t_started = time.monotonic()
+        #: ring-buffer sampler behind GET /seriesz; None when disabled
+        self.recorder: MetricsRecorder | None = (
+            MetricsRecorder(
+                interval_s=self.config.series_interval_s,
+                capacity=self.config.series_capacity,
+            ).start()
+            if self.config.series_interval_s > 0
+            else None
+        )
         self._batcher = threading.Thread(
             target=self._batch_loop, name="repro-serve-batcher", daemon=True
         )
@@ -392,6 +419,8 @@ class SolveService:
             self._drain_on_close = drain
             self._cond.notify_all()
         self._batcher.join(timeout=timeout)
+        if self.recorder is not None:
+            self.recorder.stop()
         if self._store is not None:
             self._store.flush()
 

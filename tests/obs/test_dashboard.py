@@ -1,0 +1,198 @@
+"""Dashboard rendering: fabric fleet view, manifests, traces, series."""
+
+from __future__ import annotations
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as obs_trace
+from repro.cli import main
+from repro.obs import trace_span
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import MetricsRecorder
+from repro.params import paper_defaults
+from repro.runner import JobSpec, SweepRunner
+
+
+class PageIndex(HTMLParser):
+    """Collects element ids, rect counts per svg, and row counts per table."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ids: set[str] = set()
+        self.rects: dict[str, int] = {}
+        self.rows: dict[str, int] = {}
+        self._svg: str | None = None
+        self._table: str | None = None
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        a = dict(attrs)
+        if "id" in a:
+            self.ids.add(a["id"])
+        if tag == "svg":
+            self._svg = a.get("id")
+            if self._svg:
+                self.rects.setdefault(self._svg, 0)
+        elif tag == "rect" and self._svg:
+            self.rects[self._svg] += 1
+        elif tag == "table":
+            self._table = a.get("id")
+            if self._table:
+                self.rows.setdefault(self._table, 0)
+        elif tag == "tr" and self._table:
+            self.rows[self._table] += 1
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "svg":
+            self._svg = None
+        elif tag == "table":
+            self._table = None
+
+
+def parse(html: str) -> PageIndex:
+    idx = PageIndex()
+    idx.feed(html)
+    return idx
+
+
+def _specs(n: int = 4) -> list[JobSpec]:
+    return [
+        JobSpec(params=paper_defaults(num_threads=nt, p_remote=0.2))
+        for nt in range(1, n + 1)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    """A finished 3-worker traced fabric sweep (the acceptance scenario)."""
+    from repro.fabric import FabricScheduler
+
+    fabric_dir = tmp_path_factory.mktemp("fleet")
+    with FabricScheduler(
+        fabric_dir, poll_s=0.05, trace_workers=True
+    ) as scheduler:
+        report = scheduler.run(_specs(6), workers=3, timeout=180)
+    assert report.ok
+    manifest_path = fabric_dir / "manifest.json"
+    report.manifest.to_json(manifest_path)
+    return fabric_dir
+
+
+class TestFabricDashboard:
+    def test_fleet_timeline_and_tables(self, fleet_dir):
+        idx = parse(render_dashboard(fleet_dir))
+        # the per-worker Gantt: one rect per terminal trial
+        assert idx.rects.get("timeline", 0) == 6
+        # per-worker table: header + one row per worker
+        assert idx.rows.get("workers", 0) == 1 + 3
+        assert "overview" in idx.ids
+        assert "stages" in idx.ids  # merged worker traces attribution
+
+    def test_cli_writes_default_output(self, fleet_dir):
+        assert main(["dashboard", str(fleet_dir)]) == 0
+        out = fleet_dir / "dashboard.html"
+        assert out.exists()
+        assert "timeline" in parse(out.read_text()).ids
+
+    def test_explicit_out_and_experiment(self, fleet_dir, tmp_path):
+        out = tmp_path / "fleet.html"
+        assert main(
+            ["dashboard", str(fleet_dir), "--out", str(out)]
+        ) == 0
+        assert out.exists()
+
+    def test_unknown_experiment_fails_cleanly(self, fleet_dir, capsys):
+        assert main(
+            ["dashboard", str(fleet_dir), "--experiment", "nope"]
+        ) == 1
+        assert "dashboard failed" in capsys.readouterr().err
+
+    def test_fabric_manifest_renders_fleet_view(self, fleet_dir):
+        idx = parse(render_dashboard(fleet_dir / "manifest.json"))
+        assert idx.rows.get("workers", 0) == 1 + 3
+        assert idx.rects.get("timeline", 0) == 6  # via fabric_dir in manifest
+        assert "overview" in idx.ids
+
+
+class TestManifestDashboard:
+    def test_single_host_manifest(self, tmp_path):
+        report = SweepRunner(jobs=1).run(_specs(2))
+        path = tmp_path / "run.json"
+        report.manifest.to_json(path)
+        idx = parse(render_dashboard(path))
+        assert "overview" in idx.ids
+        assert idx.rows.get("stages", 0) > 1  # header + stage rows
+
+    def test_manifest_with_recorder_series(self, tmp_path):
+        from repro.obs.timeseries import start_recorder, stop_recorder
+
+        start_recorder(interval_s=0.05)
+        try:
+            report = SweepRunner(jobs=1).run(_specs(2))
+        finally:
+            stop_recorder()
+        assert report.manifest.series is not None
+        path = tmp_path / "run.json"
+        report.manifest.to_json(path)
+        idx = parse(render_dashboard(path))
+        assert "series" in idx.ids
+
+
+class TestTraceDashboard:
+    def test_span_lanes_and_attribution(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        prev = obs_trace.configure(trace=str(path))
+        try:
+            with trace_span("sweep.run"):
+                with trace_span("solve.batch"):
+                    pass
+                with trace_span("store.write"):
+                    pass
+            obs.get_tracer().close()
+        finally:
+            obs_trace.configure(**prev)
+        idx = parse(render_dashboard(path))
+        assert idx.rects.get("timeline", 0) == 3
+        assert idx.rows.get("stages", 0) == 1 + 3
+
+
+class TestSeriesDashboard:
+    def test_seriesz_dump_renders_sparklines(self, tmp_path):
+        reg = MetricsRegistry()
+        clock = iter(float(t) for t in range(100))
+        rec = MetricsRecorder(reg=reg, clock=lambda: next(clock))
+        c = reg.counter("solver.points")
+        h = reg.histogram("solve.latency_s", buckets=(0.1, 1.0))
+        for _ in range(5):
+            c.inc(3)
+            h.observe(0.2)
+            rec.sample()
+        path = tmp_path / "series.json"
+        path.write_text(json.dumps(rec.window()))
+        idx = parse(render_dashboard(path))
+        assert idx.rows.get("series", 0) == 1 + 1  # header + the counter
+        assert idx.rows.get("quantiles", 0) == 1 + 1
+
+
+class TestInputValidation:
+    def test_directory_without_fabric_db(self, tmp_path):
+        with pytest.raises(ValueError, match="no fabric.db"):
+            render_dashboard(tmp_path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            render_dashboard(path)
+
+    def test_write_dashboard_default_names(self, tmp_path):
+        path = tmp_path / "run.json"
+        report = SweepRunner(jobs=1).run(_specs(1))
+        report.manifest.to_json(path)
+        out = write_dashboard(path)
+        assert out == tmp_path / "run-dashboard.html"
+        assert out.read_text().startswith("<!doctype html>")

@@ -1,9 +1,10 @@
 """MetricsRegistry: instruments, snapshots, and run-scoped diffs."""
 
+import numpy as np
 import pytest
 
 from repro.obs import MetricsRegistry, diff_snapshots
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import Histogram, quantile_from_buckets
 
 
 class TestInstruments:
@@ -46,6 +47,71 @@ class TestInstruments:
         reg.counter("c").inc()
         reg.reset()
         assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestQuantile:
+    """`Histogram.quantile` pinned against numpy on known distributions.
+
+    The estimator interpolates linearly inside a bucket, so its error is
+    bounded by the containing bucket's width -- the tolerances below are
+    exactly that bound.
+    """
+
+    FINE = tuple(i / 100 for i in range(1, 101))  # 0.01 .. 1.00
+
+    def _filled(self, values):
+        h = Histogram(buckets=self.FINE)
+        for v in values:
+            h.observe(v)
+        return h, np.asarray(values)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_uniform_matches_numpy_within_bucket_width(self, q):
+        rng = np.random.default_rng(42)
+        h, values = self._filled(rng.uniform(0.0, 1.0, size=20_000))
+        assert h.quantile(q) == pytest.approx(np.quantile(values, q), abs=0.01)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_exponential_matches_numpy_within_bucket_width(self, q):
+        rng = np.random.default_rng(7)
+        values = np.minimum(rng.exponential(scale=0.15, size=20_000), 0.999)
+        h, values = self._filled(values)
+        assert h.quantile(q) == pytest.approx(np.quantile(values, q), abs=0.01)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = Histogram(buckets=(1.0,))
+        for _ in range(100):
+            h.observe(0.5)
+        # all mass in (0, 1]: the q-quantile interpolates to q * 1.0
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(0.95) == pytest.approx(0.95)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for _ in range(10):
+            h.observe(100.0)  # +inf bucket only
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(0.99) == 10.0
+
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().quantile(-0.1)
+
+    def test_helper_works_on_snapshot_dicts(self):
+        # diff_snapshots output feeds the same estimator in the recorder
+        reg = MetricsRegistry()
+        for v in (0.2, 0.4, 0.6, 0.8):
+            reg.histogram("h", buckets=self.FINE).observe(v)
+        snap = reg.snapshot()["histograms"]["h"]
+        est = quantile_from_buckets(snap["buckets"], snap["counts"], 0.5)
+        # rank-based: 2 of 4 observations are <= 0.4, so the median bucket
+        # is the one holding 0.4 (numpy's midpoint rule would say 0.5)
+        assert est == pytest.approx(0.4, abs=0.01)
 
 
 class TestDiffSnapshots:

@@ -1,0 +1,91 @@
+"""Prometheus text exposition: naming, format shape, histogram semantics."""
+
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import CONTENT_TYPE, prometheus_name, render_prometheus
+
+# the metric-name charset the exposition format requires
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# every sample line: name, optional {labels}, space, value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.+eE]+(\+Inf)?$"
+)
+
+
+class TestNaming:
+    def test_dotted_names_flatten_with_namespace(self):
+        assert prometheus_name("serve.request_latency_s") == (
+            "repro_serve_request_latency_s"
+        )
+
+    def test_hostile_chars_become_underscores(self):
+        name = prometheus_name("fabric.worker-3.busy%")
+        assert _NAME.match(name)
+
+    def test_no_namespace(self):
+        assert prometheus_name("solver.points", namespace="") == "solver_points"
+
+    def test_leading_digit_guarded(self):
+        assert _NAME.match(prometheus_name("9lives", namespace=""))
+
+
+@pytest.fixture()
+def snapshot():
+    reg = MetricsRegistry()
+    reg.counter("solver.points").inc(42)
+    reg.gauge("serve.queue_depth").set(3)
+    h = reg.histogram("solve.latency_s", buckets=(0.1, 0.5, 1.0))
+    for v in (0.05, 0.3, 0.3, 0.7, 5.0):
+        h.observe(v)
+    return reg.snapshot()
+
+
+class TestRender:
+    def test_every_line_is_wellformed(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE.match(line), line
+
+    def test_help_and_type_precede_each_metric(self, snapshot):
+        lines = render_prometheus(snapshot).splitlines()
+        i = lines.index("repro_solver_points 42")
+        assert lines[i - 2] == "# HELP repro_solver_points repro counter solver.points"
+        assert lines[i - 1] == "# TYPE repro_solver_points counter"
+
+    def test_counter_and_gauge_values(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "repro_solver_points 42" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+
+    def test_histogram_buckets_are_cumulative(self, snapshot):
+        text = render_prometheus(snapshot)
+        # 1 obs <= 0.1, 3 <= 0.5, 4 <= 1.0, 5 total
+        assert 'repro_solve_latency_s_bucket{le="0.1"} 1' in text
+        assert 'repro_solve_latency_s_bucket{le="0.5"} 3' in text
+        assert 'repro_solve_latency_s_bucket{le="1"} 4' in text
+        assert 'repro_solve_latency_s_bucket{le="+Inf"} 5' in text
+
+    def test_histogram_sum_and_count(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "repro_solve_latency_s_count 5" in text
+        assert re.search(r"repro_solve_latency_s_sum 6\.35\b", text)
+
+    def test_inf_count_equals_count_sample(self, snapshot):
+        """+Inf bucket must equal _count -- scrapers validate this."""
+        text = render_prometheus(snapshot)
+        inf = re.search(r'_bucket\{le="\+Inf"\} (\d+)', text).group(1)
+        count = re.search(r"_count (\d+)", text).group(1)
+        assert inf == count
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({"counters": {}, "gauges": {}}) == ""
+
+    def test_content_type_pins_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE

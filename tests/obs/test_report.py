@@ -118,3 +118,64 @@ class TestRenderDispatch:
         lines = [META, _span("a", None, "run", 0.5)]
         path.write_text("\n".join(json.dumps(x) for x in lines) + "\n")
         assert "Time attribution" in render_report(path)
+
+
+class TestFabricManifestReport:
+    """Regression: ``repro-mms report`` on a real fabric manifest."""
+
+    @pytest.fixture(scope="class")
+    def fabric_manifest(self, tmp_path_factory):
+        from repro.fabric import FabricScheduler
+        from repro.params import paper_defaults
+        from repro.runner import JobSpec
+
+        specs = [
+            JobSpec(params=paper_defaults(num_threads=nt, p_remote=0.2))
+            for nt in (2, 4)
+        ]
+        fabric_dir = tmp_path_factory.mktemp("fabric")
+        with FabricScheduler(fabric_dir, poll_s=0.05) as scheduler:
+            report = scheduler.run(specs, workers=1, timeout=180)
+        assert report.ok
+        return report.manifest.to_dict()
+
+    def test_kernel_in_stage_title(self, fabric_manifest):
+        text = manifest_report(fabric_manifest)
+        assert f"kernel={fabric_manifest['kernel']}" in text
+        assert "mode=fabric" in text
+
+    def test_fabric_dispatch_block(self, fabric_manifest):
+        text = manifest_report(fabric_manifest)
+        assert "Fabric dispatch (experiment " in text
+        assert fabric_manifest["fabric"]["experiment_id"] in text
+
+    def test_fleet_table_lists_each_worker(self, fabric_manifest):
+        text = manifest_report(fabric_manifest)
+        assert "Fleet (heartbeat gap" in text
+        for wid in fabric_manifest["fabric"]["fleet"]["workers"]:
+            assert wid in text
+        assert "Lease latency: n=" in text
+
+    def test_render_report_end_to_end(self, fabric_manifest, tmp_path):
+        path = tmp_path / "fabric-manifest.json"
+        path.write_text(json.dumps(fabric_manifest))
+        text = render_report(path)
+        assert "Fabric dispatch" in text
+
+    def test_series_digest_renders_when_present(self):
+        manifest = {
+            "wall_clock_s": 1.0,
+            "stages": {"solve": 1.0},
+            "series": {
+                "samples": 3,
+                "window_s": 2.0,
+                "interval_s": 1.0,
+                "rates": {"solver.points": 8.0},
+                "gauges": {},
+                "quantiles": {"solve.latency_s": {"p50": 0.2}},
+            },
+        }
+        text = manifest_report(manifest)
+        assert "Recorder series (3 samples over 2.0 s)" in text
+        assert "solver.points" in text
+        assert "p50=0.2" in text

@@ -1,0 +1,185 @@
+"""MetricsRecorder: ring buffer, windows, rates, quantiles, globals."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    MetricsRecorder,
+    get_recorder,
+    start_recorder,
+    stop_recorder,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def tick(self, dt: float = 1.0) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def rec(reg, clock):
+    return MetricsRecorder(interval_s=1.0, capacity=10, reg=reg, clock=clock)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_interval(self, reg):
+        with pytest.raises(ValueError):
+            MetricsRecorder(interval_s=0.0, reg=reg)
+        with pytest.raises(ValueError):
+            MetricsRecorder(interval_s=-1.0, reg=reg)
+
+    def test_rejects_tiny_capacity(self, reg):
+        with pytest.raises(ValueError):
+            MetricsRecorder(capacity=1, reg=reg)
+
+    def test_not_running_until_started(self, rec):
+        assert not rec.running
+
+
+class TestSampling:
+    def test_sample_is_timestamped_snapshot(self, rec, reg, clock):
+        reg.counter("solver.points").inc(3)
+        s = rec.sample()
+        assert s["t"] == clock.t
+        assert s["counters"]["solver.points"] == 3
+
+    def test_ring_buffer_caps_memory(self, rec, clock):
+        for _ in range(25):
+            rec.sample()
+            clock.tick()
+        assert rec.samples_taken == 25
+        assert len(rec.window()["samples"]) == 10  # capacity
+
+    def test_window_trims_to_trailing_seconds(self, rec, clock):
+        for _ in range(6):
+            rec.sample()
+            clock.tick()
+        w = rec.window(2.0)
+        # newest sample at t+5; cutoff is t+3 -> three samples survive
+        assert len(w["samples"]) == 3
+        assert w["window_s"] == pytest.approx(2.0)
+
+    def test_window_is_json_safe_shape(self, rec):
+        w = rec.window()
+        assert set(w) == {"interval_s", "capacity", "samples", "window_s"}
+        assert w["samples"] == []
+        assert w["window_s"] == 0.0
+
+
+class TestDerivedViews:
+    def test_series_tracks_counter_over_time(self, rec, reg, clock):
+        c = reg.counter("solver.points")
+        for n in (1, 2, 3):
+            c.inc(n)
+            rec.sample()
+            clock.tick()
+        pts = rec.series("solver.points")
+        assert [v for _, v in pts] == [1.0, 3.0, 6.0]
+
+    def test_series_reads_gauges_too(self, rec, reg):
+        reg.gauge("serve.queue_depth").set(7)
+        rec.sample()
+        assert rec.series("serve.queue_depth") == [(pytest.approx(1000.0), 7.0)]
+
+    def test_rate_is_delta_over_elapsed(self, rec, reg, clock):
+        c = reg.counter("solver.points")
+        rec.sample()
+        clock.tick(4.0)
+        c.inc(20)
+        rec.sample()
+        assert rec.rate("solver.points") == pytest.approx(5.0)
+
+    def test_rate_needs_two_points(self, rec, reg):
+        reg.counter("solver.points").inc()
+        rec.sample()
+        assert rec.rate("solver.points") == 0.0
+
+    def test_quantiles_cover_only_the_window(self, rec, reg, clock):
+        h = reg.histogram("solve.latency_s", buckets=(0.1, 0.2, 0.4, 0.8))
+        h.observe(0.05)  # before the window of interest
+        rec.sample()
+        clock.tick()
+        for _ in range(100):
+            h.observe(0.3)
+        rec.sample()
+        qs = rec.quantiles("solve.latency_s", seconds=1.5)
+        # windowed view is dominated by the 0.3s observations: p50 must
+        # land inside their (0.2, 0.4] bucket, not near the early 0.05
+        assert 0.2 < qs["p50"] <= 0.4
+
+    def test_quantiles_unknown_histogram_is_empty(self, rec):
+        rec.sample()
+        assert rec.quantiles("no.such") == {}
+
+    def test_summary_digest(self, rec, reg, clock):
+        c = reg.counter("solver.points")
+        g = reg.gauge("serve.queue_depth")
+        h = reg.histogram("solve.latency_s", buckets=(0.1, 1.0))
+        rec.sample()
+        clock.tick(2.0)
+        c.inc(10)
+        g.set(3)
+        h.observe(0.5)
+        rec.sample()
+        s = rec.summary()
+        assert s["samples"] == 2
+        assert s["window_s"] == pytest.approx(2.0)
+        assert s["rates"]["solver.points"] == pytest.approx(5.0)
+        assert s["gauges"]["serve.queue_depth"] == 3
+        assert set(s["quantiles"]["solve.latency_s"]) == {"p50", "p95", "p99"}
+
+    def test_summary_empty_recorder(self, rec):
+        s = rec.summary()
+        assert s["samples"] == 0 and s["rates"] == {}
+
+
+class TestThread:
+    def test_start_stop_samples_on_cadence(self, reg):
+        rec = MetricsRecorder(interval_s=0.01, capacity=100, reg=reg)
+        with rec:
+            assert rec.running
+            deadline = time.time() + 2.0
+            while rec.samples_taken < 5 and time.time() < deadline:
+                time.sleep(0.005)
+        assert not rec.running
+        assert rec.samples_taken >= 5  # immediate + ticks + final
+
+    def test_start_is_idempotent(self, reg):
+        rec = MetricsRecorder(interval_s=0.01, reg=reg)
+        try:
+            assert rec.start() is rec.start()
+        finally:
+            rec.stop()
+
+
+class TestGlobals:
+    def test_start_get_stop_cycle(self):
+        assert get_recorder() is None
+        rec = start_recorder(interval_s=0.05)
+        try:
+            assert get_recorder() is rec
+            assert start_recorder() is rec  # idempotent while running
+        finally:
+            assert stop_recorder() is rec
+        assert get_recorder() is None
+        assert not rec.running

@@ -79,7 +79,7 @@ class TestRejections:
             validate_events([META, _span("a"), _span("a")])
 
     def test_unknown_parent(self):
-        with pytest.raises(TraceValidationError, match="unknown parent"):
+        with pytest.raises(TraceValidationError, match="missing parent ghost"):
             validate_events([META, _span("a", parent="ghost")])
 
     def test_zero_spans(self):
@@ -109,3 +109,103 @@ class TestValidateTraceFile:
         path.write_text("")
         with pytest.raises(TraceValidationError, match="empty"):
             validate_trace(path)
+
+
+class TestCrossProcessParentage:
+    """Merged multi-pid traces: closed linkage across process boundaries."""
+
+    def _merged(self):
+        # scheduler (pid 1) root; worker spans (pids 2, 3) adopted under it
+        return [
+            META,
+            _span("root", None, "sweep.run", pid=1),
+            _span("w1", "root", "worker.lease", pid=2),
+            _span("w1s", "w1", "solve.batch", pid=2),
+            _span("w2", "root", "worker.lease", pid=3),
+        ]
+
+    def test_cross_pid_parentage_validates(self):
+        summary = validate_events(self._merged())
+        assert summary.spans == 4
+        assert summary.roots == 1
+        assert summary.pids == {1, 2, 3}
+        assert summary.orphans == []
+
+    def test_all_orphans_collected_not_just_first(self):
+        events = self._merged() + [
+            _span("o1", "gone-a", "solve.batch", pid=2),
+            _span("o2", "gone-b", "solve.batch", pid=3),
+        ]
+        with pytest.raises(TraceValidationError) as exc:
+            validate_events(events)
+        msg = str(exc.value)
+        assert "2 orphaned span(s)" in msg
+        assert "o1 -> missing parent gone-a" in msg
+        assert "o2 -> missing parent gone-b" in msg
+
+    def test_lenient_mode_reports_instead_of_raising(self):
+        events = self._merged() + [_span("o1", "gone", "solve.batch", pid=2)]
+        summary = validate_events(events, require_closed_parents=False)
+        assert summary.orphans == [("o1", "gone")]
+
+
+class TestValidateScript:
+    """scripts/validate_trace.py: exit codes and orphan listing."""
+
+    @pytest.fixture()
+    def script_main(self):
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "validate_trace_script", root / "scripts" / "validate_trace.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.main
+
+    def _write(self, tmp_path, events):
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        return str(path)
+
+    def test_valid_merged_trace_passes(self, tmp_path, script_main, capsys):
+        path = self._write(
+            tmp_path,
+            [
+                META,
+                _span("root", None, "sweep.run", pid=1),
+                _span("w1", "root", "solve.batch", pid=2),
+            ],
+        )
+        assert script_main([path, "--min-pids", "2"]) == 0
+        assert "2 pids" in capsys.readouterr().out
+
+    def test_orphans_exit_nonzero_and_are_listed(
+        self, tmp_path, script_main, capsys
+    ):
+        path = self._write(
+            tmp_path,
+            [
+                META,
+                _span("a", None, "s", pid=1),
+                _span("o1", "gone-a", "s", pid=2),
+                _span("o2", "gone-b", "s", pid=2),
+            ],
+        )
+        assert script_main([path]) == 1
+        err = capsys.readouterr().err
+        assert "2 orphaned span(s)" in err
+        assert "o1 -> missing parent gone-a" in err
+        assert "o2 -> missing parent gone-b" in err
+
+    def test_min_pids_gate(self, tmp_path, script_main, capsys):
+        path = self._write(tmp_path, [META, _span("a", None, "s", pid=1)])
+        assert script_main([path, "--min-pids", "2"]) == 1
+        assert "1 process(es) < required 2" in capsys.readouterr().err
+
+    def test_min_spans_gate(self, tmp_path, script_main, capsys):
+        path = self._write(tmp_path, [META, _span("a", None, "s", pid=1)])
+        assert script_main([path, "--min-spans", "5"]) == 1
+        assert "1 spans < required 5" in capsys.readouterr().err

@@ -175,3 +175,87 @@ class TestErrorMapping:
             service.close(drain=True)
             t1.join(timeout=10)
         assert statuses == [200]
+
+
+def get_raw(base, path):
+    """GET returning (status, content-type, body-text) without JSON parsing."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type"), exc.read()
+
+
+class TestObservabilityEndpoints:
+    def test_metricsz_prometheus_format(self, server):
+        # touch an instrument so the exposition is non-trivial
+        post(server, {"point": {"num_threads": 4}})
+        status, ctype, body = get_raw(server, "/metricsz?format=prometheus")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        text = body.decode("utf-8")
+        assert text.endswith("\n")
+        import re
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? \S+$"
+        )
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert sample.match(line), line
+        assert "repro_" in text  # namespaced registry metrics
+
+    def test_metricsz_json_is_default(self, server):
+        status, body = get(server, "/metricsz")
+        assert status == 200 and body["ok"]
+        assert "service" in body and "metrics" in body
+        status2, body2 = get(server, "/metricsz?format=json")
+        assert status2 == 200 and body2["ok"]
+
+    def test_metricsz_unknown_format_400(self, server):
+        status, _, body = get_raw(server, "/metricsz?format=xml")
+        assert status == 400
+        assert json.loads(body)["error"] == "BadRequest"
+
+    def test_seriesz_returns_sample_window(self, server):
+        post(server, {"point": {"num_threads": 2}})
+        status, body = get(server, "/seriesz")
+        assert status == 200 and body["ok"]
+        assert body["interval_s"] > 0
+        assert body["samples"]  # start() takes an immediate sample
+        assert all("t" in s for s in body["samples"])
+
+    def test_seriesz_window_param(self, server):
+        status, body = get(server, "/seriesz?window=60")
+        assert status == 200
+        assert body["window_s"] <= 60.0
+
+    def test_seriesz_bad_window_400(self, server):
+        status, _, body = get_raw(server, "/seriesz?window=soon")
+        assert status == 400
+        assert json.loads(body)["error"] == "BadRequest"
+
+    def test_seriesz_404_when_recorder_disabled(self):
+        service = SolveService(
+            ServiceConfig(
+                min_linger_s=0.02,
+                max_linger_s=0.1,
+                adaptive=False,
+                series_interval_s=0.0,
+            )
+        )
+        assert service.recorder is None
+        srv = build_server("127.0.0.1", 0, service)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        host, port = srv.server_address[:2]
+        try:
+            status, _, body = get_raw(f"http://{host}:{port}", "/seriesz")
+            assert status == 404
+            assert json.loads(body)["error"] == "RecorderDisabled"
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            service.close(drain=True)
+            thread.join(timeout=5)

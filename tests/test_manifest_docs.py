@@ -104,3 +104,58 @@ class TestReportRendersCurrentFields:
         text = manifest_report(manifest.to_dict())
         assert "Journal:" not in text
         assert "Degradations" not in text
+
+
+class TestObservabilityDocsSections:
+    """PR-8 drift pins: recorder/prometheus/dashboard docs must exist and
+    the new manifest keys must stay documented."""
+
+    def test_new_sections_present(self):
+        text = DOCS.read_text(encoding="utf-8")
+        assert "## Time-series recorder" in text
+        assert "## Prometheus exposition and `/seriesz`" in text
+        assert "## Dashboard" in text
+
+    def test_series_digest_subkeys_documented(self):
+        from repro.obs.timeseries import MetricsRecorder
+        from repro.obs.metrics import MetricsRegistry
+
+        rec = MetricsRecorder(reg=MetricsRegistry(), clock=lambda: 0.0)
+        rec.sample()
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for key in rec.summary():
+            assert key in documented, f"series digest key {key!r} undocumented"
+
+    def test_manifest_series_key_round_trip(self, tmp_path):
+        from repro.obs.timeseries import start_recorder, stop_recorder
+
+        start_recorder(interval_s=0.05)
+        try:
+            runner = SweepRunner(jobs=1)
+            m = runner.run(
+                [JobSpec(params=paper_defaults(num_threads=2))]
+            ).manifest
+        finally:
+            stop_recorder()
+        assert m.series is not None and m.created_at > 0.0
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for key in m.series:
+            assert key in documented
+
+    def test_ship_errors_counter_in_naming_table(self):
+        text = DOCS.read_text(encoding="utf-8")
+        section = text.split("## Naming scheme", 1)[1].split("\n## ", 1)[0]
+        assert "fabric.obs.ship_errors" in section
+
+    def test_fleet_subkeys_documented(self):
+        documented = documented_keys(DOCS.read_text(encoding="utf-8"))
+        for key in (
+            "fleet",
+            "trials_done",
+            "trials_failed",
+            "busy_s",
+            "throughput_per_s",
+            "heartbeat_gap_s",
+            "lease_latency_s",
+        ):
+            assert key in documented, f"fleet subkey {key!r} undocumented"
