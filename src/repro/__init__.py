@@ -23,6 +23,7 @@ Packages
 ``repro.analysis``    experiment harness regenerating every figure/table
 ``repro.runner``      managed sweeps: parallel workers + content-addressed cache
 ``repro.serve``       coalescing solve service (``repro-mms serve``)
+``repro.client``      retrying HTTP client for the solve service
 """
 
 from .api import (

@@ -10,7 +10,8 @@ Subcommands
 ``sweep``       managed parameter sweep (parallel workers + result cache);
                 ``--fabric DIR`` distributes it across worker processes
 ``worker``      serve leases from a sweep fabric (``docs/DISTRIBUTED.md``)
-``exp``         query a fabric's experiment database (list/show/trials)
+``exp``         query a fabric's experiment database
+                (list/show/trials/quarantine)
 ``serve``       long-lived coalescing solve service over HTTP
 ``report``      time-attribution report from a manifest or trace
 """
@@ -276,6 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=15.0,
         help="seconds a fabric lease survives without a worker heartbeat",
     )
+    p_sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="per-trial dispatch budget (with --fabric): a trial failing "
+        "this many times goes terminal -- quarantined when >= 2 distinct "
+        "workers tried it, else failed",
+    )
 
     p_worker = sub.add_parser(
         "worker",
@@ -361,9 +370,33 @@ def build_parser() -> argparse.ArgumentParser:
     e_trials.add_argument("experiment_id", nargs="?", default=None)
     e_trials.add_argument(
         "--status",
-        choices=("pending", "leased", "done", "failed"),
+        choices=("pending", "leased", "done", "failed", "quarantined"),
         default=None,
         help="only trials in this state",
+    )
+    e_quar = esub.add_parser(
+        "quarantine",
+        help="inspect or retry quarantined (poison) trials",
+        description="Trials that exhausted their dispatch budget across "
+        ">= 2 distinct workers are quarantined with their last error; the "
+        "rest of the experiment drains without them.  'list' shows them, "
+        "'retry' resets them to pending with a fresh attempt budget.",
+    )
+    qsub = e_quar.add_subparsers(dest="quarantine_command", required=True)
+    q_list = qsub.add_parser("list", help="quarantined trials + last errors")
+    q_list.add_argument("--fabric", metavar="DIR", required=True)
+    q_list.add_argument("experiment_id", nargs="?", default=None)
+    q_retry = qsub.add_parser(
+        "retry", help="return quarantined trials to pending"
+    )
+    q_retry.add_argument("--fabric", metavar="DIR", required=True)
+    q_retry.add_argument("experiment_id", nargs="?", default=None)
+    q_retry.add_argument(
+        "--key",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="retry only this trial key (repeatable; default: all)",
     )
 
     p_report = sub.add_parser(
@@ -467,6 +500,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="metrics time-series sampling interval for GET /seriesz "
         "(0 disables the recorder)",
+    )
+    p_serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="per-client admission rate, requests/second "
+        "(0 disables rate limiting)",
+    )
+    p_serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="per-client token-bucket burst (default: max(1, --rate-limit))",
+    )
+    p_serve.add_argument(
+        "--target-wait",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="CoDel shedding target: estimated queue waits above this shed "
+        "requests that cannot make their deadline (0 disables shedding)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive batched-solve failures before the circuit "
+        "breaker opens and flushes degrade to per-point solves "
+        "(0 disables the breaker)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds an open breaker waits before half-open probes",
     )
 
     p_all = sub.add_parser(
@@ -585,6 +656,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             timeout=args.timeout,
             trace_workers=args.trace is not None,
+            max_attempts=args.max_attempts,
         )
 
         def run_fn(specs):
@@ -733,6 +805,7 @@ def _fmt_age(now: float, then: float | None) -> str:
 
 
 def _run_exp(args: argparse.Namespace) -> int:
+    import json
     import time as _time
 
     from .fabric import ExperimentDB
@@ -746,7 +819,9 @@ def _run_exp(args: argparse.Namespace) -> int:
             now = _time.time()
             for row in rows:
                 counts = db.counts(row["experiment_id"])
-                done = counts["done"] + counts["failed"]
+                done = (
+                    counts["done"] + counts["failed"] + counts["quarantined"]
+                )
                 print(
                     f"{row['experiment_id']}  {row['status']:8s} "
                     f"{done}/{row['total_trials']} trials  "
@@ -796,6 +871,30 @@ def _run_exp(args: argparse.Namespace) -> int:
                 )
             return 0
 
+        if args.exp_command == "quarantine":
+            if args.quarantine_command == "list":
+                rows = db.quarantined(experiment_id)
+                for t in rows:
+                    workers = ", ".join(
+                        json.loads(t["attempt_workers"] or "[]")
+                    )
+                    print(
+                        f"{t['seq']:6d} {t['key'][:12]}  "
+                        f"attempts={t['attempts']} workers=[{workers}]"
+                    )
+                    print(f"       last error: {t['error']}")
+                print(f"[{len(rows)} quarantined trials]")
+                return 0
+            if args.quarantine_command == "retry":
+                retried = db.retry_quarantined(experiment_id, keys=args.key)
+                print(
+                    f"[{retried} trials returned to pending; "
+                    f"experiment {experiment_id} reopened]"
+                    if retried
+                    else "[no quarantined trials matched]"
+                )
+                return 0
+
         if args.exp_command == "trials":
             rows = db.trials(experiment_id, status=args.status)
             for t in rows:
@@ -803,7 +902,7 @@ def _run_exp(args: argparse.Namespace) -> int:
                 if t["status"] == "done":
                     cached = " cached" if t["from_cache"] else ""
                     extra = f"  {float(t['elapsed_s'] or 0.0):.3f}s{cached}"
-                elif t["status"] == "failed":
+                elif t["status"] in ("failed", "quarantined"):
                     extra = f"  {t['error']}"
                 worker = t["worker_id"] or "-"
                 print(
@@ -836,6 +935,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             default_deadline_s=args.deadline,
             kernel=args.kernel,
             series_interval_s=args.series_interval,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            target_wait_s=args.target_wait,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
         )
     except ValueError as exc:
         raise ParamError(str(exc)) from None

@@ -1,0 +1,314 @@
+"""Retrying HTTP client for the solve service: ``repro.client``.
+
+:class:`SolveClient` is the well-behaved counterpart to the serve tier's
+overload protection (``docs/SERVING.md``).  The service sheds load with
+429/503/504 + ``Retry-After`` when it cannot meet demand; this client
+turns those rejections into *bounded, polite* retries instead of a retry
+storm:
+
+* **Capped exponential backoff with full jitter** -- attempt *n* sleeps
+  ``uniform(0, min(cap, base * 2**n))``, so a thousand rejected clients
+  decorrelate instead of re-arriving in lockstep.
+* **Retry-After is honoured** -- when the server names a delay, the
+  client never comes back sooner (jitter only ever adds on top).
+* **A retry budget, not just a retry count** -- ``retry_budget_s`` bounds
+  the total time spent waiting + retrying per call; an overloaded server
+  degrades the caller gracefully instead of hanging it forever.
+* **Idempotent by key** -- a solve is content-addressed by its parameter
+  key and the service deduplicates via cache/single-flight/store, so
+  resending after an ambiguous failure (connection reset, 503 after the
+  request may have been enqueued) is always safe.  This is what makes
+  blind retries correct here.
+
+Only 429/503/504 and transport errors are retried; 4xx request errors
+and 500 solver failures are not (retrying cannot fix them).  Everything
+is stdlib (:mod:`urllib`); the transport, clock, sleep, and RNG are all
+injectable so the retry policy is unit-testable without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .params import MMSParams
+
+__all__ = [
+    "ClientError",
+    "RequestError",
+    "RetryBudgetExceededError",
+    "ServerError",
+    "SolveClient",
+    "SolveReply",
+]
+
+#: statuses the service uses for transient overload -- safe to retry
+RETRYABLE_STATUSES = (429, 503, 504)
+
+
+class ClientError(Exception):
+    """Base class for everything :class:`SolveClient` raises."""
+
+
+class RequestError(ClientError):
+    """The server rejected the request as malformed (4xx, not overload).
+
+    Retrying an identical request cannot succeed, so it fails fast.
+    """
+
+    def __init__(self, status: int, error: str, detail: str):
+        super().__init__(f"{status} {error}: {detail}")
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+
+class ServerError(ClientError):
+    """The server failed the request terminally (500 solver failure)."""
+
+    def __init__(self, status: int, error: str, detail: str):
+        super().__init__(f"{status} {error}: {detail}")
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+
+class RetryBudgetExceededError(ClientError):
+    """Retries were exhausted (attempt count or time budget) while the
+    service kept answering with transient overload statuses."""
+
+    def __init__(self, message: str, attempts: int, last_status: int | None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_status = last_status
+
+
+@dataclass(frozen=True)
+class SolveReply:
+    """One successful solve, plus the client-side retry accounting."""
+
+    key: str
+    perf: dict
+    source: str
+    batch_width: int
+    latency_s: float
+    #: requests actually sent (1 = first try succeeded)
+    attempts: int
+    #: total client-side backoff slept before the success
+    backoff_s: float
+    raw: dict = field(repr=False)
+
+
+class SolveClient:
+    """Blocking JSON client for ``POST /solve`` with bounded retries.
+
+    Parameters
+    ----------
+    base_url:
+        Service root, e.g. ``http://127.0.0.1:8787``.
+    client_id:
+        Sent as ``X-Client-Id`` so the service's per-client token bucket
+        meters this caller (falls back to the peer address server-side).
+    timeout_s:
+        Per-request socket timeout.
+    max_attempts:
+        Total requests per call (first try + retries).
+    retry_budget_s:
+        Ceiling on cumulative backoff sleep per call; when the next
+        scheduled sleep would cross it, the call raises
+        :class:`RetryBudgetExceededError` instead of waiting.
+    backoff_base_s / backoff_cap_s:
+        Full-jitter exponential backoff: attempt *n* draws from
+        ``uniform(0, min(cap, base * 2**n))``, floored by any server
+        ``Retry-After``.
+    transport / sleep / rng:
+        Injection seams for tests: *transport* takes an already-built
+        :class:`urllib.request.Request` plus a timeout and returns
+        ``(status, headers, body_bytes)``; *sleep* and *rng* default to
+        :func:`time.sleep` / a private :class:`random.Random`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: str = "",
+        timeout_s: float = 30.0,
+        max_attempts: int = 6,
+        retry_budget_s: float = 30.0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
+        transport: Callable | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retry_budget_s < 0:
+            raise ValueError(
+                f"retry_budget_s must be >= 0, got {retry_budget_s}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.retry_budget_s = retry_budget_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._transport = transport or _urllib_transport
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+        #: lifetime accounting, surfaced by :meth:`stats`
+        self._sent = 0
+        self._retries = 0
+        self._gave_up = 0
+        self._backoff_s = 0.0
+
+    # ------------------------------------------------------------- public API
+    def solve(
+        self,
+        params: MMSParams | Mapping | None = None,
+        *,
+        point: Mapping | None = None,
+        method: str = "auto",
+        deadline_s: float | None = None,
+    ) -> SolveReply:
+        """Solve one parameter point, retrying through transient overload.
+
+        Pass either *params* (an :class:`~repro.params.MMSParams` or its
+        nested dict form) or *point* (``paper_defaults`` overrides) --
+        the same contract as ``POST /solve``.
+        """
+        if (params is None) == (point is None):
+            raise ValueError("pass exactly one of params= or point=")
+        body: dict = {"method": method}
+        if params is not None:
+            body["params"] = (
+                params.to_dict()
+                if isinstance(params, MMSParams)
+                else dict(params)
+            )
+        else:
+            body["point"] = dict(point or {})
+        if deadline_s is not None:
+            body["deadline_s"] = float(deadline_s)
+        status, payload, attempts, slept = self._request(
+            "POST", "/solve", body
+        )
+        return SolveReply(
+            key=str(payload["key"]),
+            perf=dict(payload["perf"]),
+            source=str(payload["source"]),
+            batch_width=int(payload["batch_width"]),
+            latency_s=float(payload["latency_s"]),
+            attempts=attempts,
+            backoff_s=slept,
+            raw=payload,
+        )
+
+    def healthz(self) -> dict:
+        """The service's structured health body (no retries: health is a
+        point-in-time question, and 503 *is* an answer)."""
+        request = urllib.request.Request(
+            self.base_url + "/healthz", method="GET"
+        )
+        status, _, raw = self._transport(request, self.timeout_s)
+        return json.loads(raw)
+
+    def stats(self) -> dict:
+        """Lifetime client-side accounting across calls."""
+        return {
+            "sent": self._sent,
+            "retries": self._retries,
+            "gave_up": self._gave_up,
+            "backoff_s": self._backoff_s,
+        }
+
+    # ------------------------------------------------------------ retry loop
+    def _request(
+        self, http_method: str, path: str, body: dict
+    ) -> tuple[int, dict, int, float]:
+        data = json.dumps(body).encode("utf-8")
+        slept = 0.0
+        last_status: int | None = None
+        last_detail = ""
+        for attempt in range(self.max_attempts):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=http_method,
+                headers={"Content-Type": "application/json"},
+            )
+            if self.client_id:
+                request.add_header("X-Client-Id", self.client_id)
+            self._sent += 1
+            retry_after: float | None = None
+            try:
+                status, headers, raw = self._transport(request, self.timeout_s)
+                payload = json.loads(raw) if raw else {}
+            except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+                # transport failure: ambiguous, but solves are idempotent
+                # by key, so resending is safe
+                status, payload = -1, {}
+                last_detail = f"{type(exc).__name__}: {exc}"
+            else:
+                if status == 200:
+                    return status, payload, attempt + 1, slept
+                last_detail = str(payload.get("detail", ""))
+                retry_after = payload.get("retry_after_s")
+                if retry_after is None:
+                    header = headers.get("Retry-After") if headers else None
+                    retry_after = float(header) if header else None
+                if status not in RETRYABLE_STATUSES:
+                    name = str(payload.get("error", "HTTPError"))
+                    if 400 <= status < 500:
+                        raise RequestError(status, name, last_detail)
+                    raise ServerError(status, name, last_detail)
+            last_status = status if status > 0 else last_status
+            if attempt + 1 >= self.max_attempts:
+                break
+            delay = self._backoff(attempt, retry_after)
+            if slept + delay > self.retry_budget_s:
+                break
+            self._retries += 1
+            self._sleep(delay)
+            slept += delay
+            self._backoff_s += delay
+        self._gave_up += 1
+        what = (
+            f"status {last_status}"
+            if last_status is not None
+            else "transport errors"
+        )
+        raise RetryBudgetExceededError(
+            f"retries exhausted after {what} "
+            f"({slept:.2f}s backoff): {last_detail}",
+            attempts=self._sent,
+            last_status=last_status,
+        )
+
+    def _backoff(self, attempt: int, retry_after: float | None) -> float:
+        ceiling = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        jittered = self._rng.uniform(0.0, ceiling)
+        if retry_after is not None and math.isfinite(retry_after):
+            # never return earlier than the server asked; jitter stacks on
+            # top so simultaneous rejections still decorrelate
+            return max(0.0, float(retry_after)) + jittered
+        return jittered
+
+
+def _urllib_transport(
+    request: urllib.request.Request, timeout_s: float
+) -> tuple[int, Mapping, bytes]:
+    """Default transport: one urllib round trip, errors unified to tuples."""
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, exc.read()

@@ -10,9 +10,10 @@ without a broker.
 
 State machine per trial::
 
-    pending --claim--> leased --complete--> done
-                          |  \--fail-----> failed      (terminal)
-                          \--lease expiry--> pending   (re-dispatched)
+    pending --claim--> leased --complete--------------> done
+                          |  \--fail (budget left)----> pending
+                          |  \--fail (budget spent)---> failed / quarantined
+                          \--lease expiry-------------> pending (re-dispatched)
 
 A worker holds a lease alive by heartbeating; a SIGKILLed worker stops
 heartbeating, its lease expires, and :meth:`ExperimentDB.reap_expired`
@@ -21,6 +22,20 @@ leased trials to ``pending`` -- at-least-once dispatch, made effectively
 exactly-once by the content-addressed result store's first-write-wins
 dedup.  ``attempts`` counts dispatches, so a re-dispatched trial is
 visible in ``repro-mms exp trials`` as ``attempts > 1``.
+
+**Poison-trial quarantine** (schema v2).  A failed attempt is no longer
+instantly terminal: the error is recorded and the trial returns to
+``pending`` until the experiment's ``max_attempts`` budget is spent.  A
+trial that exhausts its budget across **two or more distinct workers**
+moves to ``quarantined`` -- the failure travels with the trial, not the
+fleet -- with its last error preserved; a budget spent on a single
+worker stays ``failed`` (the evidence cannot distinguish a poison trial
+from a poisoned worker).  Suspect trials (``attempts >=``
+:data:`SUSPECT_AFTER`) are claimed in **solo leases**, preferring a
+worker that has not tried them, so one worker-killing trial stops
+taking innocent lease-mates (and their attempt budgets) down with it.
+The experiment drains to completion around the quarantine;
+``repro-mms exp quarantine list|retry`` manages it afterwards.
 
 The shape follows FuzzBench's Experiment/Trial tables and scheduler
 dispatch loop, reduced to the stdlib.  Schema reference:
@@ -39,11 +54,30 @@ from pathlib import Path
 from ..obs import registry as obs_registry
 from ..runner.spec import TIMEOUT_ERROR_PREFIX
 
-__all__ = ["DB_SCHEMA_VERSION", "ExperimentDB", "FabricError", "worker_identity"]
+__all__ = [
+    "DB_SCHEMA_VERSION",
+    "DEFAULT_MAX_ATTEMPTS",
+    "ExperimentDB",
+    "FabricError",
+    "SUSPECT_AFTER",
+    "worker_identity",
+]
 
-#: bump on any incompatible schema change; an existing DB with a different
-#: version is refused (fabrics are cheap -- point at a fresh directory)
-DB_SCHEMA_VERSION = 1
+#: bump on any incompatible schema change; a known older version is
+#: migrated in place, anything else is refused
+DB_SCHEMA_VERSION = 2
+
+#: per-trial dispatch budget before a trial goes terminal
+DEFAULT_MAX_ATTEMPTS = 5
+
+#: attempts at which a trial becomes a *suspect* and is claimed in solo
+#: leases only (so a worker-killer stops burning lease-mates' budgets)
+SUSPECT_AFTER = 3
+
+#: distinct workers that must have tried a trial before exhausting the
+#: budget quarantines it (one worker's evidence can't separate a poison
+#: trial from a poisoned worker)
+QUARANTINE_MIN_WORKERS = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS experiments (
@@ -54,7 +88,8 @@ CREATE TABLE IF NOT EXISTS experiments (
     total_trials   INTEGER NOT NULL,
     created_s      REAL NOT NULL,
     finished_s     REAL,
-    meta           TEXT NOT NULL
+    meta           TEXT NOT NULL,
+    max_attempts   INTEGER NOT NULL DEFAULT 5
 );
 CREATE TABLE IF NOT EXISTS trials (
     experiment_id  TEXT NOT NULL,
@@ -69,6 +104,7 @@ CREATE TABLE IF NOT EXISTS trials (
     elapsed_s      REAL,
     error          TEXT,
     updated_s      REAL NOT NULL,
+    attempt_workers TEXT NOT NULL DEFAULT '[]',
     PRIMARY KEY (experiment_id, key)
 );
 CREATE INDEX IF NOT EXISTS trials_by_status
@@ -95,7 +131,18 @@ CREATE TABLE IF NOT EXISTS workers (
 """
 
 #: trial statuses that need no further work
-TERMINAL = ("done", "failed")
+TERMINAL = ("done", "failed", "quarantined")
+
+#: schema v1 -> v2: per-trial distinct-worker history (quarantine
+#: evidence) and the experiment's dispatch budget
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: (
+        "ALTER TABLE trials ADD COLUMN attempt_workers "
+        "TEXT NOT NULL DEFAULT '[]'",
+        f"ALTER TABLE experiments ADD COLUMN max_attempts "
+        f"INTEGER NOT NULL DEFAULT {DEFAULT_MAX_ATTEMPTS}",
+    ),
+}
 
 
 class FabricError(ValueError):
@@ -133,6 +180,27 @@ class ExperimentDB:
         if version == 0:
             self._conn.executescript(_SCHEMA)
             self._conn.execute(f"PRAGMA user_version={DB_SCHEMA_VERSION}")
+        elif version < DB_SCHEMA_VERSION and all(
+            v in _MIGRATIONS for v in range(version, DB_SCHEMA_VERSION)
+        ):
+            # known older schema: migrate in place, one version at a time,
+            # the whole ladder in a single transaction (a SIGKILL mid-way
+            # leaves the old version and a clean retry)
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                current = self._conn.execute(
+                    "PRAGMA user_version"
+                ).fetchone()[0]
+                for v in range(current, DB_SCHEMA_VERSION):
+                    for statement in _MIGRATIONS[v]:
+                        self._conn.execute(statement)
+                self._conn.execute(f"PRAGMA user_version={DB_SCHEMA_VERSION}")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                self._conn.close()
+                raise
+            self._conn.execute("COMMIT")
+            obs_registry().counter("fabric.db.migrations").inc()
         elif version != DB_SCHEMA_VERSION:
             self._conn.close()
             raise FabricError(
@@ -158,6 +226,7 @@ class ExperimentDB:
         solver_version: str,
         payloads: list[dict[str, object]],
         meta: dict[str, object] | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> tuple[str, bool]:
         """Register one sweep as an experiment, or attach to it.
 
@@ -187,10 +256,14 @@ class ExperimentDB:
                     # same sweep is a no-op dispatch (every trial terminal)
                     return experiment_id, False
                 return experiment_id, False
+            if max_attempts < 1:
+                raise FabricError(
+                    f"max_attempts must be >= 1, got {max_attempts}"
+                )
             self._conn.execute(
                 "INSERT INTO experiments (experiment_id, signature, "
-                "solver_version, status, total_trials, created_s, meta) "
-                "VALUES (?, ?, ?, 'running', ?, ?, ?)",
+                "solver_version, status, total_trials, created_s, meta, "
+                "max_attempts) VALUES (?, ?, ?, 'running', ?, ?, ?, ?)",
                 (
                     experiment_id,
                     signature,
@@ -198,6 +271,7 @@ class ExperimentDB:
                     len(payloads),
                     now,
                     json.dumps(meta or {}, sort_keys=True),
+                    int(max_attempts),
                 ),
             )
             self._conn.executemany(
@@ -296,17 +370,35 @@ class ExperimentDB:
 
         Expired leases are reaped first inside the same transaction, so a
         fabric with no scheduler process still re-dispatches dead workers'
-        points.  Returns ``(lease_id, payloads)``; ``(None, [])`` when
-        nothing is pending.
+        points.  Suspect trials (``attempts >=`` :data:`SUSPECT_AFTER`)
+        are never mixed into a batch: once only suspects remain, exactly
+        one is leased solo, preferring a worker that has not attempted it
+        yet -- a worker-killing trial then takes nobody down with it and
+        collects the distinct-worker evidence quarantine needs.  Returns
+        ``(lease_id, payloads)``; ``(None, [])`` when nothing is pending.
         """
         now = time.time()
         with self._txn():
             self._reap_locked(experiment_id, now)
             rows = self._conn.execute(
-                "SELECT key, payload FROM trials WHERE experiment_id = ? "
-                "AND status = 'pending' ORDER BY seq LIMIT ?",
-                (experiment_id, limit),
+                "SELECT key, payload, attempt_workers FROM trials "
+                "WHERE experiment_id = ? AND status = 'pending' "
+                "AND attempts < ? ORDER BY seq LIMIT ?",
+                (experiment_id, SUSPECT_AFTER, limit),
             ).fetchall()
+            if not rows:
+                # only suspects left: solo lease, fresh worker preferred
+                rows = self._conn.execute(
+                    "SELECT key, payload, attempt_workers FROM trials "
+                    "WHERE experiment_id = ? AND status = 'pending' "
+                    "AND attempt_workers NOT LIKE ? ORDER BY seq LIMIT 1",
+                    (experiment_id, f'%"{worker_id}"%'),
+                ).fetchall() or self._conn.execute(
+                    "SELECT key, payload, attempt_workers FROM trials "
+                    "WHERE experiment_id = ? AND status = 'pending' "
+                    "ORDER BY seq LIMIT 1",
+                    (experiment_id,),
+                ).fetchall()
             if not rows:
                 return None, []
             cur = self._conn.execute(
@@ -316,11 +408,21 @@ class ExperimentDB:
                 (experiment_id, worker_id, now, now + ttl_s, len(rows)),
             )
             lease_id = cur.lastrowid
+            updates = []
+            for r in rows:
+                tried = json.loads(r["attempt_workers"] or "[]")
+                if worker_id not in tried:
+                    tried.append(worker_id)
+                updates.append(
+                    (worker_id, lease_id, json.dumps(tried), now,
+                     experiment_id, r["key"])
+                )
             self._conn.executemany(
                 "UPDATE trials SET status = 'leased', worker_id = ?, "
-                "lease_id = ?, attempts = attempts + 1, updated_s = ? "
+                "lease_id = ?, attempts = attempts + 1, "
+                "attempt_workers = ?, updated_s = ? "
                 "WHERE experiment_id = ? AND key = ?",
-                [(worker_id, lease_id, now, experiment_id, r["key"]) for r in rows],
+                updates,
             )
         obs_registry().counter("fabric.leases.granted").inc()
         obs_registry().counter("fabric.trials.dispatched").inc(len(rows))
@@ -356,7 +458,15 @@ class ExperimentDB:
             return self._reap_locked(experiment_id, now or time.time())
 
     def _reap_locked(self, experiment_id: str, now: float) -> int:
-        """Expiry sweep; must run inside an open transaction."""
+        """Expiry sweep; must run inside an open transaction.
+
+        Un-reported trials of an expired lease normally return to
+        ``pending``; one that already spent its ``max_attempts`` budget
+        goes terminal instead -- ``quarantined`` when at least
+        :data:`QUARANTINE_MIN_WORKERS` distinct workers died holding it
+        (the classic worker-killer, which leaves no traceback), else
+        ``failed``.
+        """
         expired = [
             r["lease_id"]
             for r in self._conn.execute(
@@ -367,23 +477,62 @@ class ExperimentDB:
         ]
         if not expired:
             return 0
-        redispatched = 0
+        max_attempts = self._max_attempts_locked(experiment_id)
+        redispatched = quarantined = failed = 0
         for lease_id in expired:
-            cur = self._conn.execute(
-                "UPDATE trials SET status = 'pending', worker_id = NULL, "
-                "lease_id = NULL, updated_s = ? "
+            rows = self._conn.execute(
+                "SELECT key, attempts, attempt_workers, error FROM trials "
                 "WHERE experiment_id = ? AND lease_id = ? AND status = 'leased'",
-                (now, experiment_id, lease_id),
-            )
-            redispatched += cur.rowcount
+                (experiment_id, lease_id),
+            ).fetchall()
+            for r in rows:
+                tried = json.loads(r["attempt_workers"] or "[]")
+                if r["attempts"] >= max_attempts:
+                    detail = (
+                        f"lease expired {r['attempts']} times "
+                        f"(workers: {', '.join(tried) or 'unknown'})"
+                    )
+                    if r["error"]:
+                        detail += f"; last error: {r['error']}"
+                    if len(tried) >= QUARANTINE_MIN_WORKERS:
+                        status = "quarantined"
+                        quarantined += 1
+                    else:
+                        status = "failed"
+                        failed += 1
+                    self._conn.execute(
+                        "UPDATE trials SET status = ?, error = ?, "
+                        "updated_s = ? WHERE experiment_id = ? AND key = ?",
+                        (status, detail, now, experiment_id, r["key"]),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE trials SET status = 'pending', "
+                        "worker_id = NULL, lease_id = NULL, updated_s = ? "
+                        "WHERE experiment_id = ? AND key = ?",
+                        (now, experiment_id, r["key"]),
+                    )
+                    redispatched += 1
             self._conn.execute(
                 "UPDATE leases SET status = 'expired', released_s = ? "
                 "WHERE lease_id = ?",
                 (now, lease_id),
             )
-        obs_registry().counter("fabric.leases.expired").inc(len(expired))
-        obs_registry().counter("fabric.trials.redispatched").inc(redispatched)
+        reg = obs_registry()
+        reg.counter("fabric.leases.expired").inc(len(expired))
+        reg.counter("fabric.trials.redispatched").inc(redispatched)
+        if quarantined:
+            reg.counter("fabric.trials.quarantined").inc(quarantined)
+        if failed:
+            reg.counter("fabric.trials.failed").inc(failed)
         return redispatched
+
+    def _max_attempts_locked(self, experiment_id: str) -> int:
+        row = self._conn.execute(
+            "SELECT max_attempts FROM experiments WHERE experiment_id = ?",
+            (experiment_id,),
+        ).fetchone()
+        return int(row["max_attempts"]) if row else DEFAULT_MAX_ATTEMPTS
 
     def leases(self, experiment_id: str) -> list[dict[str, object]]:
         rows = self._conn.execute(
@@ -401,7 +550,13 @@ class ExperimentDB:
         elapsed_s: float,
         from_cache: bool = False,
     ) -> None:
-        """Mark one trial done (idempotent: a terminal trial is left alone)."""
+        """Mark one trial done (idempotent: a terminal trial is left alone).
+
+        A success *may* overwrite ``quarantined`` -- the record is already
+        in the store, so a late legitimate completion wins over the
+        quarantine verdict -- but never ``done``/``failed`` (first report
+        wins).
+        """
         with self._txn():
             self._conn.execute(
                 "UPDATE trials SET status = 'done', worker_id = ?, "
@@ -421,21 +576,103 @@ class ExperimentDB:
 
     def fail_trial(
         self, experiment_id: str, key: str, worker_id: str | None, error: str
-    ) -> None:
-        """Mark one trial terminally failed (its retries are exhausted)."""
+    ) -> str:
+        """Report one failed attempt; the error is recorded either way.
+
+        Returns the trial's resulting status: ``pending`` while the
+        experiment's ``max_attempts`` budget has room (the trial is
+        requeued and another worker -- suspect isolation prefers a fresh
+        one -- retries it), ``quarantined`` when the budget is spent
+        across >= :data:`QUARANTINE_MIN_WORKERS` distinct workers (the
+        *last* error string rides along as the recorded traceback), or
+        ``failed`` when it is spent on a single worker.  A trial already
+        terminal is left alone (first report wins).
+        """
+        now = time.time()
         with self._txn():
+            row = self._conn.execute(
+                "SELECT status, attempts, attempt_workers FROM trials "
+                "WHERE experiment_id = ? AND key = ?",
+                (experiment_id, key),
+            ).fetchone()
+            if row is None or row["status"] in TERMINAL:
+                return row["status"] if row is not None else "missing"
+            tried = json.loads(row["attempt_workers"] or "[]")
+            if row["attempts"] < self._max_attempts_locked(experiment_id):
+                status = "pending"
+            elif len(tried) >= QUARANTINE_MIN_WORKERS:
+                status = "quarantined"
+            else:
+                status = "failed"
             self._conn.execute(
-                "UPDATE trials SET status = 'failed', worker_id = ?, "
+                "UPDATE trials SET status = ?, worker_id = ?, lease_id = NULL, "
                 "error = ?, updated_s = ? "
-                "WHERE experiment_id = ? AND key = ? "
-                "AND status NOT IN ('done', 'failed')",
-                (worker_id, error, time.time(), experiment_id, key),
+                "WHERE experiment_id = ? AND key = ?",
+                (status, worker_id, error, now, experiment_id, key),
             )
-        obs_registry().counter("fabric.trials.failed").inc()
+        reg = obs_registry()
+        if status == "pending":
+            reg.counter("fabric.trials.requeued").inc()
+        elif status == "quarantined":
+            reg.counter("fabric.trials.quarantined").inc()
+        else:
+            reg.counter("fabric.trials.failed").inc()
+        return status
+
+    # ------------------------------------------------------------ quarantine
+    def quarantined(self, experiment_id: str) -> list[dict[str, object]]:
+        """Quarantined trials, ``seq`` order (key, error, attempt history)."""
+        return self.trials(experiment_id, status="quarantined")
+
+    def retry_quarantined(
+        self, experiment_id: str, keys: list[str] | None = None
+    ) -> int:
+        """Return quarantined trials to ``pending`` with a fresh budget.
+
+        ``keys=None`` retries every quarantined trial.  The attempt
+        counter and worker history reset (the quarantine evidence was
+        consumed); the recorded error stays until the retry overwrites
+        it.  A drained experiment is re-opened (``running``) so workers
+        can attach again.  Returns the number of trials requeued.
+        """
+        now = time.time()
+        with self._txn():
+            if keys is None:
+                cur = self._conn.execute(
+                    "UPDATE trials SET status = 'pending', attempts = 0, "
+                    "attempt_workers = '[]', worker_id = NULL, "
+                    "lease_id = NULL, updated_s = ? "
+                    "WHERE experiment_id = ? AND status = 'quarantined'",
+                    (now, experiment_id),
+                )
+                requeued = cur.rowcount
+            else:
+                requeued = 0
+                for key in keys:
+                    cur = self._conn.execute(
+                        "UPDATE trials SET status = 'pending', attempts = 0, "
+                        "attempt_workers = '[]', worker_id = NULL, "
+                        "lease_id = NULL, updated_s = ? "
+                        "WHERE experiment_id = ? AND key = ? "
+                        "AND status = 'quarantined'",
+                        (now, experiment_id, key),
+                    )
+                    requeued += cur.rowcount
+            if requeued:
+                self._conn.execute(
+                    "UPDATE experiments SET status = 'running', "
+                    "finished_s = NULL WHERE experiment_id = ?",
+                    (experiment_id,),
+                )
+        if requeued:
+            obs_registry().counter(
+                "fabric.trials.quarantine_retried"
+            ).inc(requeued)
+        return requeued
 
     def counts(self, experiment_id: str) -> dict[str, int]:
         """Trial-status histogram (absent statuses included as 0)."""
-        out = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        out = {"pending": 0, "leased": 0, "done": 0, "failed": 0, "quarantined": 0}
         for row in self._conn.execute(
             "SELECT status, COUNT(*) AS n FROM trials "
             "WHERE experiment_id = ? GROUP BY status",
@@ -479,8 +716,8 @@ class ExperimentDB:
         # the executor's stable prefix -- classify them so fabric manifests
         # count timeouts like single-host manifests do
         timeouts = self._conn.execute(
-            "SELECT COUNT(*) AS n FROM trials "
-            "WHERE experiment_id = ? AND status = 'failed' AND error LIKE ?",
+            "SELECT COUNT(*) AS n FROM trials WHERE experiment_id = ? "
+            "AND status IN ('failed', 'quarantined') AND error LIKE ?",
             (experiment_id, TIMEOUT_ERROR_PREFIX + "%"),
         ).fetchone()["n"]
         return {

@@ -52,7 +52,7 @@ from ..runner.executor import BACKENDS, RunReport
 from ..runner.manifest import RunManifest, latency_stats
 from ..runner.spec import SOLVER_VERSION, JobSpec, RunResult
 from ..runner.store import ResultStore, StoreLockError
-from .db import ExperimentDB, FabricError
+from .db import DEFAULT_MAX_ATTEMPTS, ExperimentDB, FabricError
 from .rollup import fleet_rollup, worker_trace_path
 
 __all__ = ["FabricScheduler"]
@@ -88,6 +88,12 @@ class FabricScheduler:
         ``obs/trace-w<i>.jsonl`` under the fabric directory (merged with
         :func:`repro.fabric.rollup.merge_traces`); enabled by
         ``repro-mms sweep --fabric DIR --trace ...``.
+    max_attempts:
+        Per-trial dispatch budget registered with the experiment: a trial
+        failing past it goes terminal (``quarantined`` when >= 2 distinct
+        workers tried it, else ``failed``) instead of burning the fleet's
+        time forever.  See the quarantine notes in
+        :mod:`repro.fabric.db`.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class FabricScheduler:
         lock_timeout_s: float = 10.0,
         kernel: str | None = None,
         trace_workers: bool = False,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ):
         if backend not in BACKENDS:
             raise FabricError(
@@ -114,6 +121,8 @@ class FabricScheduler:
                 raise FabricError(str(exc)) from None
         if lease_points < 1:
             raise FabricError(f"lease_points must be >= 1, got {lease_points}")
+        if max_attempts < 1:
+            raise FabricError(f"max_attempts must be >= 1, got {max_attempts}")
         self.fabric_dir = Path(fabric_dir)
         self.store_dir = self.fabric_dir / "store"
         self.lease_ttl = lease_ttl
@@ -125,6 +134,7 @@ class FabricScheduler:
         self.timeout = timeout
         self.lock_timeout_s = lock_timeout_s
         self.trace_workers = trace_workers
+        self.max_attempts = max_attempts
         self.db = ExperimentDB(self.fabric_dir)
         #: local worker subprocesses this scheduler spawned (index -> Popen)
         self._procs: dict[int, subprocess.Popen] = {}
@@ -176,8 +186,11 @@ class FabricScheduler:
             SOLVER_VERSION,
             list(unique.values()),
             meta={"backend": self.backend, **(meta or {})},
+            max_attempts=self.max_attempts,
         )
-        # store probe: only non-terminal trials can be served from cache
+        # store probe: done/failed trials stay as they are, but anything
+        # else -- including quarantined, which a prior run's store record
+        # can rescue -- is worth a cache lookup
         open_trials = [
             t
             for t in self.db.trials(experiment_id)
@@ -267,7 +280,7 @@ class FabricScheduler:
         while True:
             self.db.reap_expired(experiment_id)
             counts = self.db.counts(experiment_id)
-            done = counts["done"] + counts["failed"]
+            done = counts["done"] + counts["failed"] + counts["quarantined"]
             if progress is not None and done != last_done:
                 progress(done, total, counts)
                 last_done = done
@@ -331,7 +344,10 @@ class FabricScheduler:
                 f"shared store ({exc}); wait for them to exit or stop them"
             ) from exc
         self.db.finish(
-            experiment_id, "done" if counts["failed"] == 0 else "failed"
+            experiment_id,
+            "done"
+            if counts["failed"] == 0 and counts["quarantined"] == 0
+            else "failed",
         )
         trials = {str(t["key"]): t for t in self.db.trials(experiment_id)}
         resolved: dict[str, RunResult] = {}
@@ -362,9 +378,13 @@ class FabricScheduler:
                     amortized=bool(rec.get("amortized", False)),
                 )
             else:
-                result = self._failure(
-                    payload, str(trial["error"] or "trial failed")
-                )
+                error = str(trial["error"] or "trial failed")
+                if trial["status"] == "quarantined":
+                    error = (
+                        f"quarantined after {trial['attempts']} attempts: "
+                        f"{error}"
+                    )
+                result = self._failure(payload, error)
             resolved[key] = result
             results.append(result)
             done += 1
@@ -430,7 +450,9 @@ class FabricScheduler:
                     for _ in range(workers):
                         self.spawn_worker(experiment_id)
                     counts = self.wait(experiment_id, timeout=timeout)
-                span.set(**{k: counts[k] for k in ("done", "failed")})
+                span.set(
+                    **{k: counts[k] for k in ("done", "failed", "quarantined")}
+                )
             stages["dispatch"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()
@@ -452,7 +474,7 @@ class FabricScheduler:
         final = fabric_stats["trials"]
         cache_hits = pre_done
         solved = final["done"] - pre_done
-        failures = final["failed"]
+        failures = final["failed"] + final["quarantined"]
         fabric_stats["fabric_dir"] = str(self.fabric_dir)
         fabric_stats["local_workers"] = workers
         # fleet view: per-worker throughput, lease latency, heartbeat gaps,

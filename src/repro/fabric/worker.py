@@ -53,12 +53,25 @@ class _Heartbeat:
     between leases, in which case only the worker-liveness stamp is
     refreshed; :meth:`set_lease` kicks an event so a fresh lease is
     stamped immediately instead of waiting out a full interval.
+
+    **Partition guard**: ``max_failures`` *consecutive* heartbeat
+    failures set the :attr:`broken` event (a success resets the count).
+    A worker whose heartbeats cannot reach the DB has effectively lost
+    its leases already -- any reaper will re-dispatch them -- so the main
+    loop checks :attr:`broken` and exits cleanly instead of
+    double-solving for the rest of its lifetime.
     """
 
-    def __init__(self, fabric_dir, worker_id: str, ttl_s: float):
+    def __init__(
+        self, fabric_dir, worker_id: str, ttl_s: float, max_failures: int = 3
+    ):
         self._fabric_dir = fabric_dir
         self._worker_id = worker_id
         self._ttl_s = ttl_s
+        self._max_failures = max(1, int(max_failures))
+        self._consecutive_failures = 0
+        #: set once the DB has been unreachable max_failures beats in a row
+        self.broken = threading.Event()
         self._lease_id: int | None = None
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -79,6 +92,9 @@ class _Heartbeat:
             db = ExperimentDB(self._fabric_dir)  # this thread's connection
         except Exception:  # noqa: BLE001 - liveness must never kill a solve
             obs_registry().counter("fabric.heartbeat_errors").inc()
+            # no connection at all: the guard trips immediately, the
+            # worker must not run lease-less forever
+            self.broken.set()
             return
         try:
             while not self._stop.is_set():
@@ -94,8 +110,13 @@ class _Heartbeat:
                         obs_registry().counter("fabric.heartbeats").inc()
                     else:
                         db.touch_worker(self._worker_id)
+                    self._consecutive_failures = 0
                 except Exception:  # noqa: BLE001 - see above
                     obs_registry().counter("fabric.heartbeat_errors").inc()
+                    self._consecutive_failures += 1
+                    if self._consecutive_failures >= self._max_failures:
+                        self.broken.set()
+                        return
         finally:
             db.close()
 
@@ -149,6 +170,9 @@ class FabricWorker:
         Stop after this many leases (test seam / bounded shifts).
     wait_s:
         How long to wait for a running experiment to appear.
+    heartbeat_max_failures:
+        Consecutive heartbeat failures after which the worker stops
+        claiming and exits (the partition guard; see :class:`_Heartbeat`).
     trace:
         Path for this worker's own trace file (spans written locally,
         merged fleet-wide by :func:`repro.fabric.rollup.merge_traces`);
@@ -170,6 +194,7 @@ class FabricWorker:
         wait_s: float = 30.0,
         kernel: str | None = None,
         trace: str | None = None,
+        heartbeat_max_failures: int = 3,
     ):
         if lease_points < 1:
             raise FabricError(f"lease_points must be >= 1, got {lease_points}")
@@ -197,6 +222,7 @@ class FabricWorker:
         self.max_leases = max_leases
         self.wait_s = wait_s
         self.trace = trace
+        self.heartbeat_max_failures = heartbeat_max_failures
 
     def _resolve_experiment(self, db: ExperimentDB) -> str:
         if self.experiment_id is not None:
@@ -229,7 +255,12 @@ class FabricWorker:
             experiment_id = self._resolve_experiment(db)
             db.register_worker(experiment_id, self.worker_id)
             registered = True
-            heart = _Heartbeat(self.fabric_dir, self.worker_id, self.lease_ttl)
+            heart = _Heartbeat(
+                self.fabric_dir,
+                self.worker_id,
+                self.lease_ttl,
+                max_failures=self.heartbeat_max_failures,
+            )
             store = ResultStore(os.path.join(self.fabric_dir, "store"), shared=True)
             runner = SweepRunner(
                 jobs=1,
@@ -243,6 +274,14 @@ class FabricWorker:
                 "fabric.worker", worker=self.worker_id, experiment=experiment_id
             ):
                 while True:
+                    if heart.broken.is_set():
+                        # partition guard: our leases are (or will be)
+                        # reaped and re-dispatched; claiming more would
+                        # double-solve for the rest of this lifetime
+                        obs_registry().counter(
+                            "fabric.worker.partitioned_exits"
+                        ).inc()
+                        break
                     lease_id, payloads = db.claim(
                         experiment_id,
                         self.worker_id,

@@ -15,7 +15,13 @@ Three pieces, all wired through the runner stack (see
 
 plus :mod:`~repro.resilience.integrity`, the shared canonical-JSON /
 SHA-256 / finiteness primitives the result store and journal both verify
-records with.
+records with, and the overload-protection layer:
+
+* :mod:`~repro.resilience.admission` -- token-bucket rate limiting and
+  CoDel-style deadline shedding for the solve service;
+* :mod:`~repro.resilience.breaker` -- the circuit breaker that lets
+  callers route around a persistently failing backend instead of
+  re-paying the failure on every attempt.
 
 Quick start::
 
@@ -28,6 +34,13 @@ Quick start::
     resilience.configure(**prev)
 """
 
+from .admission import (
+    HEALTH_STATES,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from .breaker import CircuitBreaker
 from .degrade import DEGRADATION_CHAIN, Degradation, DegradationPolicy
 from .faults import (
     FAULT_SITES,
@@ -73,4 +86,9 @@ __all__ = [
     "DEGRADATION_CHAIN",
     "Degradation",
     "DegradationPolicy",
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "HEALTH_STATES",
+    "CircuitBreaker",
 ]

@@ -1,0 +1,319 @@
+"""Admission control: token buckets and deadline-aware load shedding.
+
+The serving layer's overload story (see ``docs/SERVING.md``) follows the
+open-arrival warning from Hill's M/M/1 note: past saturation an open
+queue grows without bound, so arrivals beyond capacity must be *shed at
+the door*, not queued to die.  Two mechanisms, both pure and
+clock-injectable so they can be property-tested without sleeping:
+
+* :class:`TokenBucket` -- the classic leaky-bucket dual.  A bucket with
+  ``rate`` tokens/second and ``burst`` capacity admits at most
+  ``burst + rate * W`` requests in *any* window of length ``W`` (the
+  hypothesis suite pins exactly that invariant).  Refusals come back as
+  a ``retry_after_s`` hint instead of a bare boolean.
+* :class:`AdmissionController` -- per-client buckets plus CoDel-style
+  deadline shedding, built from two complementary signals:
+
+  - the **wait estimate** for an arrival behind ``depth`` queued
+    requests is ``depth * service_ewma`` where the EWMA tracks observed
+    per-point solve time.  It is a *model*: cheap, available at arrival
+    time, but blind to dispatch and contention overhead.  An arrival
+    whose deadline cannot survive the estimate is refused immediately
+    (it would only expire in the queue and waste a slot).
+  - the **drop latch** follows CoDel proper and keys on reality instead:
+    completed requests' raw sojourns sustained above ``target_wait_s``
+    for a full interval flip the controller into a latched ``drop``
+    state -- also what ``/healthz`` reports as ``overloaded`` -- and the
+    latch only releases after sojourns stay below target for a full
+    interval.  Arrival-time estimates flicker with scheduler noise and
+    completions keep flowing even while arrivals are shed, so the latch
+    neither fails to engage under a uniformly late queue nor goes stale
+    while shedding.
+
+  While dropping, arrivals are shed with 503 + ``Retry-After`` when the
+  estimate exceeds target (bulk shedding, capping the queue at roughly
+  ``target / service_ewma`` deep) and *additionally* on CoDel's paced
+  schedule (``interval / sqrt(drops)``) -- the paced floor keeps the
+  controller live when the solve-time model underestimates real waits
+  so badly that the estimate never crosses target.
+
+This module deliberately has **no** dependencies on the obs registry or
+the service; callers own the counters (``serve.rate_limited`` /
+``serve.shed``) so the policy itself stays a pure function of its clock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "HEALTH_STATES",
+]
+
+#: the three health states ``/healthz`` exposes for load balancers.
+HEALTH_STATES = ("ok", "degraded", "overloaded")
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    Starts full.  :meth:`try_acquire` either admits (returns ``0.0``) or
+    refuses with the number of seconds until a token will be available.
+    The clock is injectable (monotonic seconds) so tests never sleep.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_t_last", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._t_last = float(clock())
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._t_last)
+        self._t_last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0, now: float | None = None) -> float:
+        """Admit (``0.0``) or refuse (seconds until enough tokens exist)."""
+        with self._lock:
+            t = float(self._clock() if now is None else now)
+            self._refill(t)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    def available(self, now: float | None = None) -> float:
+        """Current token count (refilled to ``now``); for introspection."""
+        with self._lock:
+            self._refill(float(self._clock() if now is None else now))
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: ``ok`` | ``rate_limited`` | ``shed`` (deadline cannot survive queue)
+    reason: str
+    #: caller-facing backoff hint; ``0.0`` when admitted
+    retry_after_s: float
+    #: the queue-wait estimate the decision was based on
+    estimated_wait_s: float
+
+    OK = "ok"
+    RATE_LIMITED = "rate_limited"
+    SHED = "shed"
+
+
+class AdmissionController:
+    """Per-client rate limiting + deadline-aware shedding + health state.
+
+    ``rate_limit``/``rate_burst`` of ``0`` disable the bucket layer;
+    ``target_wait_s`` of ``0`` disables shedding (the controller then
+    admits everything and always reports ``ok``).
+    """
+
+    def __init__(
+        self,
+        *,
+        rate_limit: float = 0.0,
+        rate_burst: float = 0.0,
+        target_wait_s: float = 0.0,
+        codel_interval_s: float = 0.5,
+        ewma_alpha: float = 0.2,
+        initial_service_s: float = 2e-3,
+        max_clients: int = 1024,
+        clock=time.monotonic,
+    ) -> None:
+        if rate_limit < 0.0 or rate_burst < 0.0:
+            raise ValueError("rate_limit/rate_burst must be >= 0")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.rate_limit = float(rate_limit)
+        self.rate_burst = float(rate_burst) if rate_burst else max(1.0, rate_limit)
+        self.target_wait_s = float(target_wait_s)
+        self.codel_interval_s = float(codel_interval_s)
+        self.ewma_alpha = float(ewma_alpha)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._service_ewma_s = float(initial_service_s)
+        #: when completed sojourns first exceeded target (None = below)
+        self._above_since: float | None = None
+        #: while dropping: when sojourns last fell back below target
+        self._below_since: float | None = None
+        self._dropping = False
+        #: CoDel pacing while dropping: drops so far + next scheduled drop
+        self._drop_count = 0
+        self._drop_next = 0.0
+        self._last_shed_t = float("-inf")
+        self._sheds = 0
+        self._rate_limited = 0
+
+    # -- service-time feedback ------------------------------------------
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed one observed per-point service time into the EWMA."""
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            a = self.ewma_alpha
+            self._service_ewma_s += a * (seconds - self._service_ewma_s)
+
+    def observe_sojourn(self, seconds: float, now: float | None = None) -> None:
+        """Feed one completed request's queue sojourn (enqueue -> answer).
+
+        This is the CoDel drop-latch signal.  CoDel proper keys on the
+        delay experienced by *departing* work, not on an arrival-time
+        estimate: instantaneous queue depth flickers with scheduler
+        noise, so an estimate-based latch resets its "sustained
+        overload" clock on every dip and can fail to engage under a
+        queue whose every completion is late.  Completions keep flowing
+        even while arrivals are being shed, so the signal can never go
+        stale and the latch releases itself once observed waits stay
+        below target for a full interval.
+        """
+        if seconds < 0.0 or self.target_wait_s <= 0.0:
+            return
+        t = float(self._clock() if now is None else now)
+        with self._lock:
+            if seconds > self.target_wait_s:
+                self._below_since = None
+                if self._above_since is None:
+                    self._above_since = t
+                elif t - self._above_since >= self.codel_interval_s:
+                    if not self._dropping:
+                        self._dropping = True
+                        self._drop_count = 0
+                        self._drop_next = t
+            else:
+                self._above_since = None
+                if self._dropping:
+                    if self._below_since is None:
+                        self._below_since = t
+                    elif t - self._below_since >= self.codel_interval_s:
+                        self._dropping = False
+                        self._below_since = None
+
+    def _estimate_locked(self, queue_depth: int) -> float:
+        return max(0, queue_depth) * self._service_ewma_s
+
+    def estimated_wait_s(self, queue_depth: int) -> float:
+        """Expected queue sojourn for an arrival behind ``queue_depth``."""
+        with self._lock:
+            return self._estimate_locked(queue_depth)
+
+    # -- the admission decision -----------------------------------------
+
+    def _bucket_for(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                # drop the stalest entry; dict preserves insertion order
+                self._buckets.pop(next(iter(self._buckets)))
+            bucket = TokenBucket(
+                self.rate_limit, self.rate_burst, clock=self._clock
+            )
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def check(
+        self,
+        client_id: str = "",
+        deadline_s: float | None = None,
+        queue_depth: int = 0,
+        now: float | None = None,
+    ) -> AdmissionDecision:
+        """Decide one arrival: rate limit first, then deadline shedding.
+
+        ``deadline_s`` is the *remaining* budget the caller has (not an
+        absolute timestamp).  Refusals carry a positive ``retry_after_s``.
+        """
+        t = float(self._clock() if now is None else now)
+        with self._lock:
+            est = self._estimate_locked(queue_depth)
+            # drop-state transitions are driven by observe_sojourn (the
+            # delay completing requests actually experienced, CoDel's
+            # own signal); check() only *applies* the state to arrivals
+            if self.rate_limit > 0.0:
+                wait = self._bucket_for(client_id).try_acquire(now=t)
+                if wait > 0.0:
+                    self._rate_limited += 1
+                    return AdmissionDecision(
+                        False, AdmissionDecision.RATE_LIMITED, wait, est
+                    )
+            if self.target_wait_s > 0.0:
+                budget = deadline_s if deadline_s is not None else None
+                doomed = budget is not None and est > budget
+                if not doomed and self._dropping:
+                    # in drop state: bulk-shed while the estimate is past
+                    # target (queueing more only grows the delay CoDel is
+                    # capping), and shed on the paced CoDel schedule even
+                    # when the model disagrees with the observed sojourns
+                    # that latched the state
+                    doomed = est > self.target_wait_s or t >= self._drop_next
+                if doomed:
+                    if self._dropping:
+                        self._drop_count += 1
+                        self._drop_next = t + self.codel_interval_s / math.sqrt(
+                            self._drop_count
+                        )
+                    floor = budget if budget is not None else self.target_wait_s
+                    retry = max(0.05, est - floor)
+                    self._sheds += 1
+                    self._last_shed_t = t
+                    return AdmissionDecision(
+                        False, AdmissionDecision.SHED, retry, est
+                    )
+            return AdmissionDecision(True, AdmissionDecision.OK, 0.0, est)
+
+    # -- health ----------------------------------------------------------
+
+    def health(self, queue_depth: int = 0, now: float | None = None) -> str:
+        """``ok`` / ``degraded`` / ``overloaded`` for ``/healthz``."""
+        t = float(self._clock() if now is None else now)
+        with self._lock:
+            if self.target_wait_s <= 0.0:
+                return "ok"
+            est = self._estimate_locked(queue_depth)
+            recently_shed = t - self._last_shed_t < self.codel_interval_s
+            if self._dropping or recently_shed:
+                return "overloaded"
+            if est > self.target_wait_s:
+                return "degraded"
+            return "ok"
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe internals for ``/healthz`` bodies and ``stats()``."""
+        with self._lock:
+            return {
+                "service_ewma_s": self._service_ewma_s,
+                "drop_count": self._drop_count,
+                "dropping": self._dropping,
+                "sheds": self._sheds,
+                "rate_limited": self._rate_limited,
+                "clients": len(self._buckets),
+            }

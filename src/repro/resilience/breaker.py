@@ -1,0 +1,165 @@
+"""Circuit breaker for the backend degradation chain.
+
+PR 4's :class:`~repro.resilience.degrade.DegradationPolicy` makes every
+fallback step explicit, but the callers that use it re-*discover* the
+failure on every attempt: the serve micro-batcher, for instance, retried
+the batched kernel on every flush and re-paid a full batch failure each
+time before falling back to scalar solves.  :class:`CircuitBreaker` adds
+the missing memory.  It is the textbook three-state machine:
+
+* **closed** -- calls flow; ``failure_threshold`` *consecutive* failures
+  trip it open.
+* **open** -- calls are refused outright (the caller routes down the
+  degradation chain without paying the failure) until ``cooldown_s`` has
+  elapsed.
+* **half-open** -- after the cooldown exactly one probe call is let
+  through at a time; ``probe_successes`` consecutive probe successes
+  close the breaker, any probe failure re-opens it and restarts the
+  cooldown.
+
+State transitions count ``breaker.<name>.opened`` / ``.closed`` /
+``.probes``, and every refused call counts ``breaker.<name>.rejected``,
+so a run that spent an hour routed around its batch kernel is visible in
+the metrics delta (the PR-4 house rule: no silent failure handling).
+The clock is injectable; nothing here sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        name: str = "default",
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        probe_successes: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0.0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        if probe_successes < 1:
+            raise ValueError(
+                f"probe_successes must be >= 1, got {probe_successes}"
+            )
+        self.name = str(name)
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.probe_successes = int(probe_successes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = _CLOSED
+        self._failures = 0       # consecutive failures while closed
+        self._successes = 0      # consecutive probe successes while half-open
+        self._opened_t = 0.0
+        self._probe_inflight = False
+        self._opened_total = 0
+        self._closed_total = 0
+        self._rejected_total = 0
+        self._probes_total = 0
+
+    def _counter(self, event: str):
+        # lazy obs import keeps this module importable from any layer
+        from ..obs.metrics import registry
+
+        return registry().counter(f"breaker.{self.name}.{event}")
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (cooldown-aware)."""
+        with self._lock:
+            self._maybe_half_open(float(self._clock()))
+            return self._state
+
+    def _maybe_half_open(self, now: float) -> None:
+        if self._state == _OPEN and now - self._opened_t >= self.cooldown_s:
+            self._state = _HALF_OPEN
+            self._successes = 0
+            self._probe_inflight = False
+
+    def allow(self, now: float | None = None) -> bool:
+        """May this call proceed?  Refusals are counted, never raised."""
+        t = float(self._clock() if now is None else now)
+        with self._lock:
+            self._maybe_half_open(t)
+            if self._state == _CLOSED:
+                return True
+            if self._state == _HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                self._probes_total += 1
+                probe = True
+            else:
+                probe = False
+            if probe:
+                self._counter("probes").inc()
+                return True
+            self._rejected_total += 1
+        self._counter("rejected").inc()
+        return False
+
+    def record_success(self, now: float | None = None) -> None:
+        with self._lock:
+            if self._state == _HALF_OPEN:
+                self._probe_inflight = False
+                self._successes += 1
+                if self._successes >= self.probe_successes:
+                    self._state = _CLOSED
+                    self._failures = 0
+                    self._closed_total += 1
+                    closed = True
+                else:
+                    closed = False
+            else:
+                self._failures = 0
+                closed = False
+        if closed:
+            self._counter("closed").inc()
+
+    def record_failure(self, now: float | None = None) -> None:
+        t = float(self._clock() if now is None else now)
+        opened = False
+        with self._lock:
+            if self._state == _HALF_OPEN:
+                # a failed probe re-opens immediately
+                self._state = _OPEN
+                self._opened_t = t
+                self._probe_inflight = False
+                self._opened_total += 1
+                opened = True
+            elif self._state == _CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._state = _OPEN
+                    self._opened_t = t
+                    self._opened_total += 1
+                    opened = True
+        if opened:
+            self._counter("opened").inc()
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe state for ``stats()`` / ``/healthz`` bodies."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opened": self._opened_total,
+                "closed": self._closed_total,
+                "rejected": self._rejected_total,
+                "probes": self._probes_total,
+            }

@@ -10,21 +10,27 @@ serve`` runs that server.  See ``docs/SERVING.md``.
 from .http import SolveHTTPServer, build_server
 from .service import (
     DeadlineExceededError,
+    OverloadError,
     QueueFullError,
+    RateLimitedError,
     ServeError,
     ServeResult,
     ServiceClosedError,
     ServiceConfig,
+    ShedError,
     SolveService,
 )
 
 __all__ = [
     "DeadlineExceededError",
+    "OverloadError",
     "QueueFullError",
+    "RateLimitedError",
     "ServeError",
     "ServeResult",
     "ServiceClosedError",
     "ServiceConfig",
+    "ShedError",
     "SolveHTTPServer",
     "SolveService",
     "build_server",

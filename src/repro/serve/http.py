@@ -6,7 +6,13 @@ Four endpoints on a :class:`http.server.ThreadingHTTPServer`:
   ``{"point": {...paper_defaults overrides...}}``, plus optional
   ``"method"`` and ``"deadline_s"``.  Answers
   ``{"ok": true, "key", "perf", "source", "batch_width", "latency_s"}``.
-* ``GET /healthz`` -- liveness: ``{"ok": true, "status": "serving"}``.
+  The ``X-Client-Id`` header (fallback: remote address) selects the
+  caller's admission token bucket.
+* ``GET /healthz`` -- the service's structured overload state
+  (:meth:`~SolveService.health`): ``status`` of ``ok`` / ``degraded`` /
+  ``overloaded`` (``closed`` while shutting down).  ``overloaded`` and
+  ``closed`` answer 503 with ``Retry-After`` so load balancers drain
+  without parsing the body.
 * ``GET /metricsz`` -- the service's :meth:`~SolveService.stats` plus a
   full process metrics snapshot; ``GET /metricsz?format=prometheus``
   answers the same registry in Prometheus text exposition
@@ -19,9 +25,14 @@ Four endpoints on a :class:`http.server.ThreadingHTTPServer`:
 One thread per connection means a handler may *block* in
 ``service.solve`` -- that is the point: concurrent connections park in
 the service together and coalesce into wide batches.  Error mapping is
-part of the contract: bad request 400, backpressure 429
-(:class:`QueueFullError`), deadline 504, shutdown 503; every error body
-is ``{"ok": false, "error": <type>, "detail": <message>}``.
+part of the contract and lives in exactly one place
+(:data:`_SERVICE_ERROR_STATUS` + :meth:`_service_error`): bad request
+400, backpressure 429 (:class:`QueueFullError` /
+:class:`RateLimitedError`), load shed or shutdown 503, deadline 504.
+Every error body is ``{"ok": false, "error": <type>, "detail":
+<message>}``, and every 429/503/504 additionally carries a
+machine-readable ``retry_after_s`` plus the matching ``Retry-After``
+header -- see the overload contract table in ``docs/SERVING.md``.
 
 Build one with :func:`build_server`; the ``repro-mms serve`` CLI wraps
 this with signal handling and a drain-on-exit (see ``docs/SERVING.md``).
@@ -30,6 +41,7 @@ this with signal handling and a drain-on-exit (see ``docs/SERVING.md``).
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -40,11 +52,24 @@ from ..params import MMSParams, ParamError, paper_defaults
 from .service import (
     DeadlineExceededError,
     QueueFullError,
+    RateLimitedError,
+    ServeError,
     ServiceClosedError,
+    ShedError,
     SolveService,
 )
 
 __all__ = ["SolveHTTPServer", "SolveRequestHandler", "build_server"]
+
+#: the single source of truth mapping service rejections to HTTP statuses.
+#: Order matters: subclasses before their bases (all are ``ServeError``\ s).
+_SERVICE_ERROR_STATUS: tuple[tuple[type[Exception], int, str], ...] = (
+    (RateLimitedError, 429, "RateLimited"),
+    (QueueFullError, 429, "QueueFull"),
+    (ShedError, 503, "LoadShed"),
+    (ServiceClosedError, 503, "ServiceClosed"),
+    (DeadlineExceededError, 504, "DeadlineExceeded"),
+)
 
 #: largest accepted request body, bytes (an MMSParams payload is ~300 B)
 MAX_BODY_BYTES = 64 * 1024
@@ -74,11 +99,18 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         pass
 
-    def _reply(self, status: int, body: dict) -> None:
+    def _reply(
+        self, status: int, body: dict, retry_after_s: float | None = None
+    ) -> None:
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if retry_after_s is not None:
+            # the header is integral seconds (RFC 9110); never advertise 0
+            self.send_header(
+                "Retry-After", str(max(1, math.ceil(retry_after_s)))
+            )
         self.end_headers()
         self.wfile.write(data)
 
@@ -90,14 +122,48 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _error(self, status: int, error: str, detail: str) -> None:
-        self._reply(status, {"ok": False, "error": error, "detail": detail})
+    def _error(
+        self,
+        status: int,
+        error: str,
+        detail: str,
+        retry_after_s: float | None = None,
+    ) -> None:
+        body = {"ok": False, "error": error, "detail": detail}
+        if retry_after_s is None and status in (429, 503, 504):
+            # overload statuses always carry a hint, even when the raising
+            # site did not compute one
+            retry_after_s = 1.0
+        if retry_after_s is not None:
+            body["retry_after_s"] = round(float(retry_after_s), 4)
+        self._reply(status, body, retry_after_s=retry_after_s)
+
+    def _service_error(self, exc: Exception) -> None:
+        """The one place service exceptions become HTTP error replies."""
+        for exc_type, status, name in _SERVICE_ERROR_STATUS:
+            if isinstance(exc, exc_type):
+                retry = getattr(exc, "retry_after_s", None)
+                if retry is None and status in (429, 503, 504):
+                    # e.g. DeadlineExceededError: hint at the current queue
+                    health = self.server.service.health()
+                    retry = max(0.1, float(health["estimated_wait_s"]))
+                self._error(status, name, str(exc), retry_after_s=retry)
+                return
+        self._error(500, "InternalError", f"{type(exc).__name__}: {exc}")
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         parts = urlsplit(self.path)
         query = parse_qs(parts.query)
         if parts.path == "/healthz":
-            self._reply(200, {"ok": True, "status": "serving"})
+            health = self.server.service.health()
+            if health["ok"]:
+                self._reply(200, health)
+            else:
+                self._reply(
+                    503,
+                    health,
+                    retry_after_s=max(1.0, float(health["estimated_wait_s"])),
+                )
         elif parts.path == "/metricsz":
             fmt = (query.get("format") or ["json"])[0]
             if fmt == "prometheus":
@@ -164,6 +230,9 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
             self._error(400, "BadRequest", "body must be a JSON object")
             return
 
+        client_id = (
+            self.headers.get("X-Client-Id") or self.client_address[0] or ""
+        )
         try:
             params = _parse_params(payload)
             method = payload.get("method", "auto")
@@ -171,19 +240,19 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
             if deadline_s is not None:
                 deadline_s = float(deadline_s)
             result = self.server.service.solve(
-                params, method=method, deadline_s=deadline_s
+                params,
+                method=method,
+                deadline_s=deadline_s,
+                client_id=str(client_id),
             )
-        except QueueFullError as exc:
-            self._error(429, "QueueFull", str(exc))
-            return
-        except DeadlineExceededError as exc:
-            self._error(504, "DeadlineExceeded", str(exc))
-            return
-        except ServiceClosedError as exc:
-            self._error(503, "ServiceClosed", str(exc))
+        except ServeError as exc:
+            self._service_error(exc)
             return
         except (ParamError, TypeError, ValueError, KeyError) as exc:
             self._error(400, "BadRequest", f"{type(exc).__name__}: {exc}")
+            return
+        except Exception as exc:  # noqa: BLE001 - solver failure -> 500, not a reset
+            self._service_error(exc)
             return
 
         self._reply(

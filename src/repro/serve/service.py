@@ -50,16 +50,21 @@ from ..obs import registry as obs_registry
 from ..obs import trace_span
 from ..obs.timeseries import MetricsRecorder
 from ..params import MMSParams
+from ..resilience.admission import AdmissionController, AdmissionDecision
+from ..resilience.breaker import CircuitBreaker
 from ..runner.spec import JobSpec
 from ..runner.store import ResultStore
 
 __all__ = [
     "DeadlineExceededError",
+    "OverloadError",
     "QueueFullError",
+    "RateLimitedError",
     "ServeError",
     "ServeResult",
     "ServiceClosedError",
     "ServiceConfig",
+    "ShedError",
     "SolveService",
 ]
 
@@ -68,11 +73,37 @@ class ServeError(Exception):
     """Base class for structured service rejections."""
 
 
-class QueueFullError(ServeError):
+class OverloadError(ServeError):
+    """Admission refused under load; carries a ``retry_after_s`` hint.
+
+    Every overload rejection (queue full, rate limited, shed) is one of
+    these, so callers -- and the HTTP front end's ``Retry-After`` header --
+    always know *when* to come back, not just that they were refused.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class QueueFullError(OverloadError):
     """Admission refused: the bounded request queue is at capacity.
 
     This is the service's explicit backpressure signal (HTTP 429 at the
     HTTP front end); the caller should retry later or shed load.
+    """
+
+
+class RateLimitedError(OverloadError):
+    """Admission refused: the client exceeded its token-bucket rate."""
+
+
+class ShedError(OverloadError):
+    """Admission refused: the request was load-shed at the door.
+
+    Its deadline could not survive the current queue estimate (or the
+    service is in the CoDel drop state), so queueing it would only let it
+    expire after wasting a slot.  HTTP 503 at the front end.
     """
 
 
@@ -136,6 +167,26 @@ class ServiceConfig:
     series_capacity:
         Ring-buffer size of that recorder, in samples (default keeps a
         ten-minute window at the default cadence).
+    rate_limit / rate_burst:
+        Per-client token-bucket admission: at most ``rate_limit``
+        requests/second with ``rate_burst`` of headroom per client id
+        (see :class:`~repro.resilience.admission.TokenBucket`).  ``0``
+        (default) disables rate limiting; ``rate_burst`` of ``0`` with a
+        positive ``rate_limit`` defaults the burst to the rate.
+    target_wait_s:
+        Queue-wait target for deadline-aware load shedding: an arrival
+        whose deadline cannot survive the current queue estimate -- or
+        any arrival while the estimate has been above this target for a
+        sustained interval (CoDel) -- is refused with a ``Retry-After``
+        hint instead of queued to die.  ``0`` (default) disables
+        shedding, and ``/healthz`` then always reports ``ok``.
+    breaker_threshold / breaker_cooldown_s:
+        The batched-kernel circuit breaker: ``breaker_threshold``
+        consecutive batch failures open it (flushes route straight to
+        the scalar path without re-paying the failure) and after
+        ``breaker_cooldown_s`` a half-open probe batch tries to close it
+        again.  Threshold ``0`` disables the breaker (every flush
+        retries the batch, the pre-breaker behaviour).
     """
 
     max_batch: int = 64
@@ -149,6 +200,11 @@ class ServiceConfig:
     kernel: str | None = None
     series_interval_s: float = 1.0
     series_capacity: int = 600
+    rate_limit: float = 0.0
+    rate_burst: float = 0.0
+    target_wait_s: float = 0.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.kernel is not None:
@@ -176,6 +232,23 @@ class ServiceConfig:
             raise ValueError(
                 f"series_capacity must be >= 2, got {self.series_capacity}"
             )
+        if self.rate_limit < 0 or self.rate_burst < 0:
+            raise ValueError(
+                f"rate_limit/rate_burst must be >= 0, got "
+                f"{self.rate_limit}/{self.rate_burst}"
+            )
+        if self.target_wait_s < 0:
+            raise ValueError(
+                f"target_wait_s must be >= 0, got {self.target_wait_s}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be > 0, got {self.breaker_cooldown_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -197,7 +270,14 @@ class ServeResult:
 class _Request:
     """One admitted unique key and every future waiting on it."""
 
-    __slots__ = ("key", "params", "method", "futures", "deadline", "t_submit")
+    __slots__ = (
+        "key",
+        "params",
+        "method",
+        "futures",
+        "deadline",
+        "t_submit",
+    )
 
     def __init__(
         self,
@@ -237,6 +317,8 @@ class _ServiceStats:
     store_hits: int = 0
     singleflight_hits: int = 0
     rejected: int = 0
+    rate_limited: int = 0
+    shed: int = 0
     deadline_exceeded: int = 0
     errors: int = 0
     batches: int = 0
@@ -291,6 +373,22 @@ class SolveService:
         self._drain_on_close = True
         self.stats_ = _ServiceStats()
         self._t_started = time.monotonic()
+        #: overload policy: per-client token buckets + deadline shedding
+        self.admission = AdmissionController(
+            rate_limit=self.config.rate_limit,
+            rate_burst=self.config.rate_burst,
+            target_wait_s=self.config.target_wait_s,
+        )
+        #: batched-kernel circuit breaker; None when disabled by config
+        self.breaker: CircuitBreaker | None = (
+            CircuitBreaker(
+                "serve.batch",
+                failure_threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
+            if self.config.breaker_threshold > 0
+            else None
+        )
         #: ring-buffer sampler behind GET /seriesz; None when disabled
         self.recorder: MetricsRecorder | None = (
             MetricsRecorder(
@@ -311,12 +409,18 @@ class SolveService:
         params: MMSParams,
         method: str = "auto",
         deadline_s: float | None = None,
+        client_id: str = "",
     ) -> "Future[ServeResult]":
         """Admit one solve request; returns a future of :class:`ServeResult`.
 
-        Raises :class:`QueueFullError` (backpressure) or
+        Raises :class:`QueueFullError` (backpressure),
+        :class:`RateLimitedError` / :class:`ShedError` (admission control;
+        see :class:`ServiceConfig.rate_limit` / ``target_wait_s``) or
         :class:`ServiceClosedError` synchronously; solver errors and
         :class:`DeadlineExceededError` surface through the future.
+        ``client_id`` selects the caller's token bucket (the HTTP front
+        end passes the ``X-Client-Id`` header, falling back to the remote
+        address).
         """
         spec = JobSpec(params=params, method=method)
         canonical = spec.canonical_method()
@@ -354,17 +458,39 @@ class SolveService:
                     self._resolve_now(future, key, rec, "store", t0)
                     return future
 
-            if len(self._inflight) >= self.config.max_queue:
+            deadline_s = (
+                deadline_s if deadline_s is not None else self.config.default_deadline_s
+            )
+            depth = len(self._inflight)
+            decision = self.admission.check(
+                client_id=client_id, deadline_s=deadline_s, queue_depth=depth
+            )
+            if not decision.admitted:
+                if decision.reason == AdmissionDecision.RATE_LIMITED:
+                    self.stats_.rate_limited += 1
+                    reg.counter("serve.rate_limited").inc()
+                    raise RateLimitedError(
+                        f"client {client_id or '<anonymous>'} is over its "
+                        f"{self.config.rate_limit:g}/s rate limit",
+                        retry_after_s=decision.retry_after_s,
+                    )
+                self.stats_.shed += 1
+                reg.counter("serve.shed").inc()
+                raise ShedError(
+                    f"load shed: estimated queue wait "
+                    f"{decision.estimated_wait_s:.3f}s cannot meet the "
+                    f"request deadline",
+                    retry_after_s=decision.retry_after_s,
+                )
+
+            if depth >= self.config.max_queue:
                 self.stats_.rejected += 1
                 reg.counter("serve.rejected").inc()
                 raise QueueFullError(
                     f"solve queue is full ({self.config.max_queue} in flight); "
-                    "retry later"
+                    "retry later",
+                    retry_after_s=max(0.1, decision.estimated_wait_s / 2.0),
                 )
-
-            deadline_s = (
-                deadline_s if deadline_s is not None else self.config.default_deadline_s
-            )
             request = _Request(
                 key,
                 params,
@@ -384,24 +510,29 @@ class SolveService:
         method: str = "auto",
         deadline_s: float | None = None,
         timeout: float | None = None,
+        client_id: str = "",
     ) -> ServeResult:
         """Blocking convenience around :meth:`submit`."""
-        return self.submit(params, method=method, deadline_s=deadline_s).result(
-            timeout=timeout
-        )
+        return self.submit(
+            params, method=method, deadline_s=deadline_s, client_id=client_id
+        ).result(timeout=timeout)
 
     async def asolve(
         self,
         params: MMSParams,
         method: str = "auto",
         deadline_s: float | None = None,
+        client_id: str = "",
     ) -> ServeResult:
         """Asyncio front end: await one solve without blocking the loop.
 
-        Admission errors (:class:`QueueFullError`, :class:`ServiceClosedError`)
-        raise synchronously at call time, like :meth:`submit`.
+        Admission errors (:class:`QueueFullError`, :class:`RateLimitedError`,
+        :class:`ShedError`, :class:`ServiceClosedError`) raise synchronously
+        at call time, like :meth:`submit`.
         """
-        future = self.submit(params, method=method, deadline_s=deadline_s)
+        future = self.submit(
+            params, method=method, deadline_s=deadline_s, client_id=client_id
+        )
         return await asyncio.wrap_future(future)
 
     # ------------------------------------------------------------- lifecycle
@@ -450,6 +581,8 @@ class SolveService:
                 "store_hits": s.store_hits,
                 "singleflight_hits": s.singleflight_hits,
                 "rejected": s.rejected,
+                "rate_limited": s.rate_limited,
+                "shed": s.shed,
                 "deadline_exceeded": s.deadline_exceeded,
                 "errors": s.errors,
                 "batches": flushes,
@@ -471,7 +604,39 @@ class SolveService:
                 "memory_cache_entries": len(self._memcache),
                 "store_dir": self.config.store_dir,
                 "closed": self._closed,
+                "admission": self.admission.snapshot(),
+                "breaker": (
+                    self.breaker.snapshot() if self.breaker is not None else None
+                ),
             }
+
+    def health(self) -> dict[str, object]:
+        """Structured overload state for ``/healthz`` (load-balancer view).
+
+        ``status`` is one of :data:`~repro.resilience.admission.HEALTH_STATES`:
+        ``ok`` (take traffic), ``degraded`` (queue wait above target, the
+        breaker is routed around the batch kernel, or the queue is near
+        capacity -- still answering), ``overloaded`` (actively shedding;
+        load balancers should drain).  ``ok`` is False only when
+        overloaded or closed, so a plain boolean check matches.
+        """
+        with self._cond:
+            depth = len(self._inflight)
+            closed = self._closed
+        status = self.admission.health(queue_depth=depth)
+        breaker_state = self.breaker.state if self.breaker is not None else "closed"
+        if status == "ok" and (
+            breaker_state != "closed" or depth >= 0.8 * self.config.max_queue
+        ):
+            status = "degraded"
+        return {
+            "ok": not closed and status != "overloaded",
+            "status": "closed" if closed else status,
+            "queue_depth": depth,
+            "max_queue": self.config.max_queue,
+            "breaker": breaker_state,
+            "estimated_wait_s": self.admission.estimated_wait_s(depth),
+        }
 
     # ------------------------------------------------------- admission internals
     def _observe_arrival(self, now: float) -> None:
@@ -679,11 +844,17 @@ class SolveService:
         reg = obs_registry()
         width = len(requests)
         lingered = now - bucket.t_open
+        t_solve = time.monotonic()
         with trace_span(
             "serve.batch", width=width, shape=str(bkey), linger_s=lingered
         ) as sp:
             batchable = bkey[0] == "symmetric" and width >= 2
-            if batchable:
+            if batchable and self.breaker is not None and not self.breaker.allow():
+                # open breaker: route straight to scalar without re-paying
+                # the batch failure (the breaker counts the rejection)
+                sp.set(breaker="open")
+                batchable = False
+            elif batchable:
                 try:
                     perfs, _ = solve_points(
                         [r.params for r in requests],
@@ -691,10 +862,14 @@ class SolveService:
                         kernel=self.config.kernel,
                     )
                     source = "batched"
+                    if self.breaker is not None:
+                        self.breaker.record_success()
                 except Exception as exc:  # noqa: BLE001 - degrade to scalar
                     self.stats_.degraded_batches += 1
                     reg.counter("serve.degraded_batches").inc()
                     sp.set(degraded=f"{type(exc).__name__}: {exc}")
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
                     batchable = False
             if not batchable:
                 source = "scalar"
@@ -706,6 +881,12 @@ class SolveService:
                         )
                     except Exception as exc:  # noqa: BLE001 - per-request failure
                         perfs.append(exc)
+        # two admission signals: per-point service time (the model) and
+        # each request's full queue sojourn (the CoDel drop-latch input)
+        t_done = time.monotonic()
+        self.admission.observe_service_time((t_done - t_solve) / max(1, width))
+        for request in requests:
+            self.admission.observe_sojourn(t_done - request.t_submit)
 
         self.stats_.batches += 1
         self.stats_.width_sum += width

@@ -16,6 +16,57 @@ import pytest
 from repro.fabric import DB_SCHEMA_VERSION, ExperimentDB, FabricError, worker_identity
 
 
+#: the schema this project shipped as ``user_version=1`` -- kept verbatim so
+#: the migration test exercises a byte-faithful old database
+_V1_SCHEMA = """
+CREATE TABLE experiments (
+    experiment_id  TEXT PRIMARY KEY,
+    signature      TEXT NOT NULL,
+    solver_version TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    total_trials   INTEGER NOT NULL,
+    created_s      REAL NOT NULL,
+    finished_s     REAL,
+    meta           TEXT NOT NULL
+);
+CREATE TABLE trials (
+    experiment_id  TEXT NOT NULL,
+    seq            INTEGER NOT NULL,
+    key            TEXT NOT NULL,
+    payload        TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    from_cache     INTEGER NOT NULL DEFAULT 0,
+    worker_id      TEXT,
+    lease_id       INTEGER,
+    elapsed_s      REAL,
+    error          TEXT,
+    updated_s      REAL NOT NULL,
+    PRIMARY KEY (experiment_id, key)
+);
+CREATE INDEX trials_by_status ON trials (experiment_id, status, seq);
+CREATE TABLE leases (
+    lease_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment_id  TEXT NOT NULL,
+    worker_id      TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    granted_s      REAL NOT NULL,
+    expires_s      REAL NOT NULL,
+    released_s     REAL,
+    trial_count    INTEGER NOT NULL
+);
+CREATE TABLE workers (
+    worker_id      TEXT PRIMARY KEY,
+    experiment_id  TEXT NOT NULL,
+    pid            INTEGER,
+    host           TEXT,
+    started_s      REAL NOT NULL,
+    heartbeat_s    REAL NOT NULL,
+    status         TEXT NOT NULL
+);
+"""
+
+
 def _payloads(n: int) -> list[dict[str, object]]:
     return [{"key": f"k{i:03d}", "method": "symmetric", "params": {"i": i}} for i in range(n)]
 
@@ -35,7 +86,9 @@ class TestExperiments:
         assert again == eid
         assert not created
         assert db.experiment(eid)["total_trials"] == 3
-        assert db.counts(eid) == {"pending": 3, "leased": 0, "done": 0, "failed": 0}
+        assert db.counts(eid) == {
+            "pending": 3, "leased": 0, "done": 0, "failed": 0, "quarantined": 0
+        }
 
     def test_signature_collision_with_different_content_is_refused(self, db):
         sig = "b" * 64
@@ -62,6 +115,37 @@ class TestExperiments:
         with pytest.raises(FabricError, match="schema version"):
             ExperimentDB(tmp_path)
 
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        # build a faithful v1 database by hand: v2 columns absent
+        conn = sqlite3.connect(tmp_path / "fabric.db")
+        conn.executescript(_V1_SCHEMA)
+        conn.execute("PRAGMA user_version=1")
+        conn.execute(
+            "INSERT INTO experiments (experiment_id, signature, "
+            "solver_version, status, total_trials, created_s, meta) "
+            "VALUES ('exp-old', 'aa', '2', 'running', 1, 1.0, '{}')"
+        )
+        conn.execute(
+            "INSERT INTO trials (experiment_id, seq, key, payload, status, "
+            "updated_s) VALUES ('exp-old', 0, 'k000', "
+            "'{\"key\": \"k000\", \"method\": \"m\", \"params\": {}}', "
+            "'pending', 1.0)"
+        )
+        conn.commit()
+        conn.close()
+        with ExperimentDB(tmp_path) as db:
+            # migration backfilled the new columns with their defaults
+            assert db.experiment("exp-old")["status"] == "running"
+            (trial,) = db.trials("exp-old")
+            assert trial["status"] == "pending"
+            lease_id, payloads = db.claim("exp-old", "w1", limit=1, ttl_s=60)
+            assert lease_id is not None and payloads[0]["key"] == "k000"
+        conn = sqlite3.connect(tmp_path / "fabric.db")
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == (
+            DB_SCHEMA_VERSION
+        )
+        conn.close()
+
 
 class TestLeases:
     def test_claim_leases_in_seq_order_and_counts_attempts(self, db):
@@ -69,7 +153,9 @@ class TestLeases:
         lease_id, payloads = db.claim(eid, "w1", limit=3, ttl_s=60)
         assert lease_id is not None
         assert [p["key"] for p in payloads] == ["k000", "k001", "k002"]
-        assert db.counts(eid) == {"pending": 2, "leased": 3, "done": 0, "failed": 0}
+        assert db.counts(eid) == {
+            "pending": 2, "leased": 3, "done": 0, "failed": 0, "quarantined": 0
+        }
         for trial in db.trials(eid, status="leased"):
             assert trial["attempts"] == 1
             assert trial["worker_id"] == "w1"
@@ -90,7 +176,9 @@ class TestLeases:
         redispatched = db.reap_expired(eid, now=time.time() + 11)
         assert redispatched == 1
         counts = db.counts(eid)
-        assert counts == {"pending": 3, "leased": 0, "done": 1, "failed": 0}
+        assert counts == {
+            "pending": 3, "leased": 0, "done": 1, "failed": 0, "quarantined": 0
+        }
         statuses = {l["lease_id"]: l["status"] for l in db.leases(eid)}
         assert statuses[lease_id] == "expired"
         # the returned trial keeps its attempt count and re-claims as 2
@@ -127,13 +215,72 @@ class TestTrials:
         assert trial["worker_id"] == "w1"
         assert trial["elapsed_s"] == 1.5
 
-    def test_failed_trial_records_error(self, db):
+    def test_failed_trial_requeues_with_error_until_budget(self, db):
         eid, _ = db.create_or_resume("a4" + "0" * 62, "2", _payloads(2))
         _, payloads = db.claim(eid, "w1", limit=2, ttl_s=60)
-        db.fail_trial(eid, payloads[0]["key"], "w1", "did not converge")
-        (trial,) = db.trials(eid, status="failed")
+        key = payloads[0]["key"]
+        assert db.fail_trial(eid, key, "w1", "did not converge") == "pending"
+        (trial,) = db.trials(eid, status="pending")
+        assert trial["key"] == key
         assert trial["error"] == "did not converge"
-        assert db.counts(eid)["failed"] == 1
+        assert trial["attempts"] == 1
+        assert db.counts(eid)["failed"] == 0
+
+    def test_exhausted_trial_single_worker_goes_failed(self, db):
+        eid, _ = db.create_or_resume(
+            "b4" + "0" * 62, "2", _payloads(1), max_attempts=2
+        )
+        status = None
+        for _ in range(2):
+            _, payloads = db.claim(eid, "w1", limit=1, ttl_s=60)
+            status = db.fail_trial(eid, payloads[0]["key"], "w1", "boom")
+        # one worker exhausted the budget alone: could be a poisoned host,
+        # not a poison trial, so it stays plain failed
+        assert status == "failed"
+        (trial,) = db.trials(eid, status="failed")
+        assert trial["error"] == "boom"
+
+    def test_exhausted_trial_across_workers_is_quarantined(self, db):
+        eid, _ = db.create_or_resume(
+            "c4" + "0" * 62, "2", _payloads(1), max_attempts=2
+        )
+        _, payloads = db.claim(eid, "w1", limit=1, ttl_s=60)
+        assert db.fail_trial(eid, payloads[0]["key"], "w1", "boom 1") == "pending"
+        _, payloads = db.claim(eid, "w2", limit=1, ttl_s=60)
+        status = db.fail_trial(eid, payloads[0]["key"], "w2", "boom 2")
+        assert status == "quarantined"
+        (trial,) = db.quarantined(eid)
+        assert trial["error"] == "boom 2"  # last traceback survives
+        assert trial["attempts"] == 2
+        assert db.counts(eid)["quarantined"] == 1
+
+    def test_retry_quarantined_resets_budget_and_reopens(self, db):
+        eid, _ = db.create_or_resume(
+            "d4" + "0" * 62, "2", _payloads(1), max_attempts=2
+        )
+        for worker in ("w1", "w2"):
+            _, payloads = db.claim(eid, worker, limit=1, ttl_s=60)
+            db.fail_trial(eid, payloads[0]["key"], worker, "boom")
+        db.finish(eid, "failed")
+        assert db.retry_quarantined(eid) == 1
+        (trial,) = db.trials(eid, status="pending")
+        assert trial["attempts"] == 0
+        assert db.experiment(eid)["status"] == "running"
+        assert db.retry_quarantined(eid) == 0  # nothing left to retry
+
+    def test_suspect_trial_claims_solo_preferring_fresh_worker(self, db):
+        eid, _ = db.create_or_resume("e4" + "0" * 62, "2", _payloads(3))
+        # k000 fails three times under w1 -> suspect (SUSPECT_AFTER=3)
+        for _ in range(3):
+            _, payloads = db.claim(eid, "w1", limit=1, ttl_s=60)
+            assert payloads[0]["key"] == "k000"
+            db.fail_trial(eid, "k000", "w1", "boom")
+        # a group claim skips the suspect even though it is first in seq order
+        _, payloads = db.claim(eid, "w1", limit=8, ttl_s=60)
+        assert [p["key"] for p in payloads] == ["k001", "k002"]
+        # only the suspect remains: it goes out solo, to the fresh worker
+        _, payloads = db.claim(eid, "w2", limit=8, ttl_s=60)
+        assert [p["key"] for p in payloads] == ["k000"]
 
     def test_stats_reflect_redispatch(self, db):
         eid, _ = db.create_or_resume("a5" + "0" * 62, "2", _payloads(2))

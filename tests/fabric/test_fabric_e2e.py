@@ -94,6 +94,7 @@ class TestManagedRun:
         assert set(manifest.stages) == {"schedule", "dispatch", "finalize"}
         assert manifest.fabric["trials"] == {
             "pending": 0, "leased": 0, "done": 16, "failed": 0,
+            "quarantined": 0,
         }
         assert manifest.fabric["workers"] == 2
         # the store holds exactly one record per point after finalize
@@ -205,7 +206,9 @@ class TestKilledWorker:
             if rescuer.poll() is None:
                 rescuer.kill()
 
-        assert final_counts == {"pending": 0, "leased": 0, "done": 16, "failed": 0}
+        assert final_counts == {
+            "pending": 0, "leased": 0, "done": 16, "failed": 0, "quarantined": 0
+        }
         report = scheduler.finalize(experiment_id, specs)
 
         # bitwise parity with the uninterrupted single-host run
@@ -267,7 +270,9 @@ class TestKilledWorker:
         finally:
             faults.configure(**prev)
             scheduler.close()
-        assert counts == {"pending": 0, "leased": 0, "done": 8, "failed": 0}
+        assert counts == {
+            "pending": 0, "leased": 0, "done": 8, "failed": 0, "quarantined": 0
+        }
         assert out["stats"].points == 8
         assert stats["leases_expired"] == 0
         assert stats["redispatched_trials"] == 0

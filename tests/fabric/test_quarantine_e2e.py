@@ -1,0 +1,280 @@
+"""Poison-trial quarantine: the fleet survives a trial that cannot succeed.
+
+The acceptance bar (ISSUE 9): a poisoned 512-point fabric sweep -- one
+trial whose every attempt crashes -- completes the other 511 points
+**bitwise identical** to a clean run, with exactly one ``quarantined``
+trial recorded (last traceback attached) once the retry budget is spent
+across two distinct workers.  The poison needs no fault injection: a
+:class:`~repro.runner.JobSpec` that pins ``method="symmetric"`` onto an
+asymmetric (hotspot) point makes the solver raise deterministically on
+every worker, every attempt -- the honest worker-killer.
+
+The slow companion proves the quarantine verdict also lands through the
+*reaper* path (a worker SIGKILLed while holding the poison leaves no
+traceback, only an expired lease) and that both the v1 -> v2 schema
+migration and the quarantined state survive a resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sqlite3
+import time
+
+import pytest
+
+from repro.fabric import DB_SCHEMA_VERSION, ExperimentDB, FabricScheduler, FabricWorker
+from repro.params import paper_defaults
+from repro.runner import JobSpec, SweepRunner, canonical_json
+
+from .test_db import _V1_SCHEMA
+from .test_fabric_e2e import _spawn_cli_worker
+
+
+def _good_specs(n: int) -> list[JobSpec]:
+    """``n`` distinct symmetric points over the paper's default machine."""
+    points = [
+        (nt, round(0.05 + 0.01 * i, 4))
+        for nt in (1, 2, 3, 4, 5, 6, 7, 8)
+        for i in range(64)
+    ]
+    return [
+        JobSpec(params=paper_defaults(num_threads=nt, p_remote=pr))
+        for nt, pr in points[:n]
+    ]
+
+
+def _poison_spec() -> JobSpec:
+    """A spec that crashes every solve attempt on every worker: the
+    symmetric kernel refuses the asymmetric hotspot pattern."""
+    return JobSpec(
+        params=paper_defaults(pattern="hotspot", p_remote=0.2),
+        method="symmetric",
+    )
+
+
+def _golden_lines(specs: list[JobSpec]) -> list[str]:
+    report = SweepRunner(jobs=1, backend="serial").run(specs)
+    return [canonical_json(rec) for rec in report.records()]
+
+
+def _ok_lines(report) -> list[str]:
+    return [canonical_json(r.record()) for r in report.results if r.ok]
+
+
+class TestPoisonedSweep:
+    def test_512_point_sweep_quarantines_the_poison_and_completes_the_rest(
+        self, tmp_path
+    ):
+        good = _good_specs(511)
+        poison = _poison_spec()
+        specs = good[:256] + [poison] + good[256:]  # buried mid-sweep
+        with FabricScheduler(
+            tmp_path, poll_s=0.05, backend="serial", max_attempts=2
+        ) as scheduler:
+            experiment_id, created = scheduler.submit(specs)
+            assert created
+
+            # worker A claims every trial in one giant lease: 511 solves
+            # plus the poison's first failed attempt (requeued -- budget
+            # remains)
+            stats_a = FabricWorker(
+                tmp_path,
+                experiment_id=experiment_id,
+                worker_id="worker-a",
+                lease_points=600,
+                max_leases=1,
+                backend="serial",
+                poll_s=0.05,
+            ).run()
+            assert stats_a.solved == 511 and stats_a.failed == 1
+            counts = scheduler.db.counts(experiment_id)
+            assert counts == {
+                "pending": 1, "leased": 0, "done": 511,
+                "failed": 0, "quarantined": 0,
+            }
+
+            # worker B re-attempts it; the budget is now spent across two
+            # distinct workers -> quarantined, and the experiment drains
+            # without it
+            stats_b = FabricWorker(
+                tmp_path,
+                experiment_id=experiment_id,
+                worker_id="worker-b",
+                lease_points=600,
+                backend="serial",
+                poll_s=0.05,
+            ).run()
+            assert stats_b.solved == 0 and stats_b.failed == 1
+            counts = scheduler.db.counts(experiment_id)
+            assert counts == {
+                "pending": 0, "leased": 0, "done": 511,
+                "failed": 0, "quarantined": 1,
+            }
+
+            # exactly one quarantined trial, carrying the last traceback
+            # and the two-worker attempt history that justified the verdict
+            (row,) = scheduler.db.quarantined(experiment_id)
+            assert row["key"] == poison.key()
+            assert row["attempts"] == 2
+            assert "SPMD symmetry" in row["error"]
+            assert set(json.loads(row["attempt_workers"])) == {
+                "worker-a", "worker-b",
+            }
+
+            report = scheduler.finalize(experiment_id, specs)
+            assert (
+                scheduler.db.experiment(experiment_id)["status"] == "failed"
+            )
+
+        # the 511 non-poisoned points are bitwise identical to a clean
+        # single-host run of the same specs
+        assert _ok_lines(report) == _golden_lines(good)
+        failures = [r for r in report.results if not r.ok]
+        assert len(failures) == 1
+        assert failures[0].key == poison.key()
+        assert "quarantined after 2 attempts" in failures[0].error
+
+    def test_quarantine_retry_reopens_and_respects_a_fresh_budget(
+        self, tmp_path
+    ):
+        """``retry_quarantined`` resets the budget; a still-poisoned trial
+        is re-quarantined once two workers have re-attempted it."""
+        specs = _good_specs(4) + [_poison_spec()]
+        with FabricScheduler(
+            tmp_path, poll_s=0.05, backend="serial", max_attempts=2
+        ) as scheduler:
+            experiment_id, _ = scheduler.submit(specs)
+            for worker_id in ("worker-a", "worker-b"):
+                FabricWorker(
+                    tmp_path,
+                    experiment_id=experiment_id,
+                    worker_id=worker_id,
+                    lease_points=8,
+                    max_leases=1,
+                    backend="serial",
+                    poll_s=0.05,
+                ).run()
+            scheduler.finalize(experiment_id, specs)
+            assert scheduler.db.counts(experiment_id)["quarantined"] == 1
+
+            assert scheduler.db.retry_quarantined(experiment_id) == 1
+            assert (
+                scheduler.db.experiment(experiment_id)["status"] == "running"
+            )
+            (trial,) = scheduler.db.trials(experiment_id, status="pending")
+            assert trial["attempts"] == 0
+            assert json.loads(trial["attempt_workers"]) == []
+
+            # still poisoned: the same two-worker dance re-quarantines it
+            for worker_id in ("worker-c", "worker-d"):
+                FabricWorker(
+                    tmp_path,
+                    experiment_id=experiment_id,
+                    worker_id=worker_id,
+                    lease_points=8,
+                    max_leases=1,
+                    backend="serial",
+                    poll_s=0.05,
+                ).run()
+            (row,) = scheduler.db.quarantined(experiment_id)
+            assert set(json.loads(row["attempt_workers"])) == {
+                "worker-c", "worker-d",
+            }
+
+
+@pytest.mark.slow
+class TestSigkillDuringQuarantine:
+    def test_migration_and_quarantine_survive_a_sigkill_resume(self, tmp_path):
+        """SIGKILL the worker holding the poison: the quarantine verdict
+        lands through lease expiry (no traceback to record), on a database
+        that started life as schema v1 -- and the resumed experiment's
+        non-poisoned records stay bitwise-equal to a clean run."""
+        # seed a byte-faithful v1 database; the first open migrates it
+        conn = sqlite3.connect(tmp_path / "fabric.db")
+        conn.executescript(_V1_SCHEMA)
+        conn.execute("PRAGMA user_version=1")
+        conn.commit()
+        conn.close()
+
+        good = _good_specs(16)
+        poison = _poison_spec()
+        specs = [*good, poison]
+        scheduler = FabricScheduler(
+            tmp_path,
+            lease_ttl=1.0,
+            poll_s=0.05,
+            backend="serial",
+            max_attempts=2,
+        )
+        try:
+            experiment_id, _ = scheduler.submit(specs)
+            # worker A: one lease over everything -- 16 done, poison
+            # failed once (attempt 1, requeued)
+            FabricWorker(
+                tmp_path,
+                experiment_id=experiment_id,
+                worker_id="worker-a",
+                lease_points=32,
+                max_leases=1,
+                backend="serial",
+                poll_s=0.05,
+            ).run()
+            assert scheduler.db.counts(experiment_id)["pending"] == 1
+
+            # the victim claims the poison (attempt 2) and hangs inside
+            # the solve on an injected delay -- SIGKILL it mid-trial
+            victim = _spawn_cli_worker(
+                tmp_path,
+                experiment_id,
+                "--lease-ttl", "1.0",
+                fault_plan={
+                    "sites": {"solve.delay": {"p": 1.0, "sleep_s": 60.0}}
+                },
+            )
+            try:
+                deadline = time.monotonic() + 90
+                while scheduler.db.counts(experiment_id)["leased"] < 1:
+                    if victim.poll() is not None:
+                        pytest.fail("victim exited before claiming the poison")
+                    if time.monotonic() > deadline:
+                        pytest.fail("victim never claimed the poison trial")
+                    time.sleep(0.02)
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.wait(timeout=30)
+            finally:
+                if victim.poll() is None:
+                    victim.kill()
+
+            # resume: the dispatch loop reaps the dead lease; the budget
+            # is spent across two distinct dead-or-alive workers, so the
+            # reaper itself records the quarantine verdict
+            final_counts = scheduler.wait(experiment_id, timeout=120)
+            assert final_counts == {
+                "pending": 0, "leased": 0, "done": 16,
+                "failed": 0, "quarantined": 1,
+            }
+            (row,) = scheduler.db.quarantined(experiment_id)
+            assert row["key"] == poison.key()
+            assert "lease expired" in row["error"]
+            # the worker that crashed honestly left its traceback behind
+            assert "SPMD symmetry" in row["error"]
+
+            report = scheduler.finalize(experiment_id, specs)
+            assert _ok_lines(report) == _golden_lines(good)
+        finally:
+            scheduler.close()
+
+        # the migrated database is at the current schema and a fresh
+        # connection (a resume) still sees the quarantined row
+
+        conn = sqlite3.connect(tmp_path / "fabric.db")
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == (
+            DB_SCHEMA_VERSION
+        )
+        conn.close()
+        with ExperimentDB(tmp_path) as db:
+            (row,) = db.quarantined(experiment_id)
+            assert row["key"] == poison.key()

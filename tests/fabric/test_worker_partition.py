@@ -1,0 +1,131 @@
+"""The worker partition guard: stop claiming when heartbeats cannot land.
+
+A worker whose heartbeat thread cannot reach the database has already
+lost its leases -- any reaper will expire and re-dispatch them -- so
+continuing to claim would double-solve every point for the rest of its
+lifetime.  After ``heartbeat_max_failures`` *consecutive* failures the
+:class:`~repro.fabric.worker._Heartbeat` sets its ``broken`` event and
+the main loop exits cleanly (counted as
+``fabric.worker.partitioned_exits``), leaving the remaining trials
+pending for healthy workers.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.fabric import ExperimentDB, FabricScheduler, FabricWorker
+from repro.fabric.worker import _Heartbeat
+from repro.obs import registry
+from repro.params import paper_defaults
+from repro.runner import JobSpec
+
+
+def _specs(n: int) -> list[JobSpec]:
+    return [
+        JobSpec(params=paper_defaults(p_remote=round(0.05 + 0.001 * i, 4)))
+        for i in range(n)
+    ]
+
+
+class TestHeartbeatGuard:
+    def test_unreachable_db_trips_the_guard_immediately(self, tmp_path):
+        """No connection at all: a worker must not run lease-less forever."""
+        not_a_dir = tmp_path / "fabric.db"  # a FILE where a dir must be
+        not_a_dir.write_text("junk")
+        before = registry().counter("fabric.heartbeat_errors").value
+        heart = _Heartbeat(not_a_dir / "nested", "w-1", ttl_s=0.15)
+        try:
+            assert heart.broken.wait(timeout=5.0)
+            assert registry().counter("fabric.heartbeat_errors").value > before
+        finally:
+            heart.close()
+
+    def test_consecutive_failures_set_broken_and_a_success_resets(
+        self, tmp_path, monkeypatch
+    ):
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            scheduler.submit(_specs(1))
+        fails = {"n": 0}
+        real = ExperimentDB.touch_worker
+
+        def flaky(self, worker_id):
+            fails["n"] += 1
+            if fails["n"] <= 4 and fails["n"] % 2 == 0:
+                raise RuntimeError("transient db hiccup")
+            return real(self, worker_id)
+
+        monkeypatch.setattr(ExperimentDB, "touch_worker", flaky)
+        # alternating success/failure never reaches 2 consecutive: the
+        # guard must stay quiet through transient flapping
+        heart = _Heartbeat(tmp_path, "w-flap", ttl_s=0.15, max_failures=2)
+        try:
+            assert not heart.broken.wait(timeout=1.0)
+        finally:
+            heart.close()
+
+
+class TestWorkerPartitionExit:
+    def test_partitioned_worker_stops_claiming_and_exits_cleanly(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression (ISSUE 9 satellite): K consecutive heartbeat failures
+        -> the worker stops claiming, exits its run loop cleanly, and the
+        unclaimed trials stay pending for healthy workers."""
+        specs = _specs(60)
+        with FabricScheduler(
+            tmp_path, poll_s=0.05, backend="serial"
+        ) as scheduler:
+            experiment_id, _ = scheduler.submit(specs)
+
+            def down(*args, **kwargs):
+                raise RuntimeError("database partitioned away")
+
+            monkeypatch.setattr(ExperimentDB, "heartbeat", down)
+            monkeypatch.setattr(ExperimentDB, "touch_worker", down)
+            # pace each solve so the guard trips while work remains
+            prev = repro.configure(
+                fault_plan={
+                    "sites": {"solve.delay": {"p": 1.0, "sleep_s": 0.05}}
+                }
+            )
+            before = registry().counter(
+                "fabric.worker.partitioned_exits"
+            ).value
+            try:
+                stats = FabricWorker(
+                    tmp_path,
+                    experiment_id=experiment_id,
+                    worker_id="worker-cut-off",
+                    lease_points=1,
+                    lease_ttl=0.15,  # heartbeat every 0.05s
+                    heartbeat_max_failures=3,
+                    backend="serial",
+                    poll_s=0.05,
+                ).run()  # returns instead of raising: a clean exit
+            finally:
+                repro.configure(**prev)
+
+            assert stats.leases < len(specs), "worker never stopped claiming"
+            after = registry().counter(
+                "fabric.worker.partitioned_exits"
+            ).value
+            assert after == before + 1
+            counts = scheduler.db.counts(experiment_id)
+            # everything it solved was reported; the rest stayed claimable
+            assert counts["done"] == stats.solved
+            assert counts["leased"] == 0
+            assert counts["pending"] == len(specs) - stats.solved
+            assert counts["pending"] > 0
+
+            # a healthy worker (heartbeats restored by monkeypatch scope
+            # at test end -- here, explicitly undone) drains the rest
+            monkeypatch.undo()
+            FabricWorker(
+                tmp_path,
+                experiment_id=experiment_id,
+                worker_id="worker-healthy",
+                lease_points=16,
+                backend="serial",
+                poll_s=0.05,
+            ).run()
+            assert scheduler.db.counts(experiment_id)["done"] == len(specs)

@@ -1,0 +1,329 @@
+"""Admission-control semantics: token bucket + CoDel-style shedding.
+
+The load-bearing invariant is the hypothesis property: a
+:class:`~repro.resilience.admission.TokenBucket` with ``rate`` tokens/s
+and ``burst`` capacity never admits more than ``burst + rate * W``
+requests in *any* window of length ``W`` -- for arbitrary arrival
+schedules, not just the nice ones.  Everything else pins the
+:class:`~repro.resilience.admission.AdmissionController` state machine
+with an injected clock: the solve-time EWMA model, deadline dooming, the
+sojourn-driven drop latch (enter, hysteretic exit, paced drops), and the
+three health states ``/healthz`` reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.admission import (
+    HEALTH_STATES,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """Injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+# --------------------------------------------------------------- TokenBucket
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(0.0, 5.0)
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(-1.0, 5.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(1.0, 0.5)
+
+    def test_starts_full_then_refuses_with_eta(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: 0.0)
+        assert [bucket.try_acquire(now=0.0) for _ in range(3)] == [0.0] * 3
+        wait = bucket.try_acquire(now=0.0)
+        # empty at rate 2/s: the next token is half a second out
+        assert wait == pytest.approx(0.5)
+
+    def test_refill_is_continuous_and_capped(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=lambda: 0.0)
+        assert bucket.try_acquire(now=0.0) == 0.0
+        assert bucket.try_acquire(now=0.0) == 0.0
+        # 0.1s at 10/s refills exactly one token
+        assert bucket.try_acquire(now=0.1) == 0.0
+        assert bucket.try_acquire(now=0.1) > 0.0
+        # a long idle stretch refills to burst, never beyond it
+        assert bucket.available(now=100.0) == pytest.approx(2.0)
+
+    def test_refusal_does_not_consume(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: 0.0)
+        assert bucket.try_acquire(now=0.0) == 0.0
+        for _ in range(5):  # refused probes must not push the ETA out
+            assert bucket.try_acquire(now=0.0) == pytest.approx(1.0)
+        assert bucket.try_acquire(now=1.0) == 0.0
+
+    @given(
+        rate=st.floats(min_value=0.1, max_value=50.0),
+        burst=st.floats(min_value=1.0, max_value=20.0),
+        deltas=st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_admits_more_than_rate_times_window_plus_burst(
+        self, rate, burst, deltas
+    ):
+        """In ANY window ``[s, s + W]`` admissions <= ``burst + rate * W``.
+
+        This is the defining property of a token bucket (the docstring's
+        contract, quoted by docs/SERVING.md): checked over every pair of
+        admitted arrivals, for an arbitrary arrival schedule.
+        """
+        bucket = TokenBucket(rate, burst, clock=lambda: 0.0)
+        t = 0.0
+        admitted: list[float] = []
+        for dt in deltas:
+            t += dt
+            if bucket.try_acquire(now=t) == 0.0:
+                admitted.append(t)
+        for i, start in enumerate(admitted):
+            for j in range(i, len(admitted)):
+                window = admitted[j] - start
+                count = j - i + 1
+                assert count <= burst + rate * window + 1e-6, (
+                    f"{count} admitted in a {window:.3f}s window "
+                    f"(rate={rate}, burst={burst})"
+                )
+
+
+# ------------------------------------------------------- AdmissionController
+
+
+def controller(clock: FakeClock, **kw) -> AdmissionController:
+    kw.setdefault("target_wait_s", 0.1)
+    kw.setdefault("codel_interval_s", 0.5)
+    return AdmissionController(clock=clock, **kw)
+
+
+class TestControllerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(rate_limit=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionController(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(ewma_alpha=1.5)
+
+    def test_disabled_admits_everything_and_reports_ok(self):
+        clock = FakeClock()
+        ctl = AdmissionController(clock=clock)  # no rate limit, no target
+        for depth in (0, 10, 10_000):
+            decision = ctl.check(queue_depth=depth, deadline_s=0.0)
+            assert decision.admitted and decision.reason == AdmissionDecision.OK
+        ctl.observe_sojourn(99.0)  # no target: the latch stays off
+        assert ctl.health(queue_depth=10_000) == "ok"
+        snap = ctl.snapshot()
+        assert snap["sheds"] == 0 and snap["dropping"] is False
+
+    def test_health_states_constant_matches(self):
+        assert HEALTH_STATES == ("ok", "degraded", "overloaded")
+
+
+class TestRateLimiting:
+    def test_per_client_buckets_are_independent(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            rate_limit=1.0, rate_burst=2.0, clock=clock
+        )
+        for _ in range(2):
+            assert ctl.check(client_id="alice").admitted
+        refused = ctl.check(client_id="alice")
+        assert not refused.admitted
+        assert refused.reason == AdmissionDecision.RATE_LIMITED
+        assert refused.retry_after_s > 0.0
+        # bob's bucket is untouched by alice burning hers
+        assert ctl.check(client_id="bob").admitted
+        assert ctl.snapshot()["rate_limited"] == 1
+        assert ctl.snapshot()["clients"] == 2
+
+    def test_burst_defaults_to_rate(self):
+        ctl = AdmissionController(rate_limit=7.0, clock=FakeClock())
+        assert ctl.rate_burst == 7.0
+        ctl = AdmissionController(rate_limit=0.4, clock=FakeClock())
+        assert ctl.rate_burst == 1.0  # floor: a bucket must hold one token
+
+    def test_client_table_evicts_stalest_at_capacity(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            rate_limit=1.0, rate_burst=1.0, max_clients=3, clock=clock
+        )
+        for name in ("a", "b", "c"):
+            assert ctl.check(client_id=name).admitted
+        assert not ctl.check(client_id="a").admitted  # a's bucket is empty
+        # a fourth client evicts the stalest entry ("a"), whose fresh
+        # replacement bucket then admits again
+        assert ctl.check(client_id="d").admitted
+        assert ctl.snapshot()["clients"] == 3
+        assert ctl.check(client_id="a").admitted
+
+
+class TestWaitEstimate:
+    def test_estimate_is_depth_times_service_ewma(self):
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=2e-3)
+        assert ctl.estimated_wait_s(5) == pytest.approx(5 * 2e-3)
+        assert ctl.estimated_wait_s(-3) == 0.0
+
+    def test_service_time_ewma_tracks_observations(self):
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=1e-3, ewma_alpha=0.5)
+        ctl.observe_service_time(3e-3)  # 1 + 0.5*(3-1) = 2ms
+        assert ctl.snapshot()["service_ewma_s"] == pytest.approx(2e-3)
+        ctl.observe_service_time(0.0)  # non-positive samples are ignored
+        ctl.observe_service_time(-1.0)
+        assert ctl.snapshot()["service_ewma_s"] == pytest.approx(2e-3)
+
+    def test_deadline_doom_sheds_without_drop_state(self):
+        """An arrival whose deadline cannot survive the estimated wait is
+        refused immediately, even while the latch is off."""
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=10e-3)
+        doomed = ctl.check(deadline_s=0.05, queue_depth=20)  # est 0.2s
+        assert not doomed.admitted
+        assert doomed.reason == AdmissionDecision.SHED
+        assert doomed.estimated_wait_s == pytest.approx(0.2)
+        assert doomed.retry_after_s == pytest.approx(0.2 - 0.05)
+        # the same queue admits a patient caller (no deadline, not dropping)
+        assert ctl.check(queue_depth=20).admitted
+        assert ctl.snapshot()["sheds"] == 1
+
+
+class TestDropLatch:
+    def test_latch_needs_a_sustained_interval_of_late_sojourns(self):
+        clock = FakeClock()
+        ctl = controller(clock)  # target 0.1, interval 0.5
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.4)  # only 0.4s above target so far
+        assert not ctl.snapshot()["dropping"]
+        ctl.observe_sojourn(0.3, now=0.6)  # 0.6s sustained: latch engages
+        assert ctl.snapshot()["dropping"]
+        assert ctl.health() == "overloaded"
+
+    def test_one_good_sojourn_resets_the_enter_clock(self):
+        clock = FakeClock()
+        ctl = controller(clock)
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.05, now=0.4)  # below target: clock resets
+        ctl.observe_sojourn(0.3, now=0.5)
+        ctl.observe_sojourn(0.3, now=0.9)  # 0.4s since the reset: not yet
+        assert not ctl.snapshot()["dropping"]
+
+    def test_exit_requires_a_full_interval_below_target(self):
+        clock = FakeClock()
+        ctl = controller(clock)
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.6)
+        assert ctl.snapshot()["dropping"]
+        ctl.observe_sojourn(0.05, now=1.0)  # recovery starts...
+        ctl.observe_sojourn(0.3, now=1.2)  # ...but a late straggler resets it
+        ctl.observe_sojourn(0.05, now=1.3)
+        ctl.observe_sojourn(0.05, now=1.7)  # only 0.4s below since 1.3
+        assert ctl.snapshot()["dropping"]
+        ctl.observe_sojourn(0.05, now=1.9)  # 0.6s sustained below: release
+        assert not ctl.snapshot()["dropping"]
+
+    def test_dropping_sheds_while_estimate_exceeds_target(self):
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=10e-3)
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.6)  # latched
+        clock.t = 0.6
+        shed = ctl.check(queue_depth=20)  # est 0.2 > target 0.1
+        assert not shed.admitted and shed.reason == AdmissionDecision.SHED
+        assert shed.retry_after_s == pytest.approx(0.1)  # est - target
+        snap = ctl.snapshot()
+        assert snap["sheds"] == 1 and snap["drop_count"] == 1
+
+    def test_paced_drops_fire_even_when_the_model_disagrees(self):
+        """CoDel's ``interval / sqrt(n)`` schedule sheds periodically in
+        drop state even with the estimate below target -- the liveness
+        floor for workloads whose real waits the solve-time model
+        underestimates."""
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=1e-6)  # est ~ 0 always
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.6)
+        clock.t = 0.6
+        first = ctl.check(queue_depth=1)  # t >= _drop_next (armed at latch)
+        assert not first.admitted and first.reason == AdmissionDecision.SHED
+        # immediately after, the next drop is a full interval out
+        assert ctl.check(queue_depth=1, now=0.7).admitted
+        # interval/sqrt(1) = 0.5 after the first drop
+        second = ctl.check(queue_depth=1, now=1.11)
+        assert not second.admitted
+        # then interval/sqrt(2) ~ 0.354
+        assert ctl.check(queue_depth=1, now=1.2).admitted
+        assert not ctl.check(queue_depth=1, now=1.47).admitted
+        assert ctl.snapshot()["drop_count"] == 3
+
+    def test_shed_retry_after_has_a_floor(self):
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=1e-6)
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.6)
+        clock.t = 0.6
+        shed = ctl.check(queue_depth=1)  # est ~ 0: the hint still backs off
+        assert shed.retry_after_s == pytest.approx(0.05)
+
+
+class TestHealth:
+    def test_degraded_between_ok_and_overloaded(self):
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=10e-3)
+        assert ctl.health(queue_depth=2) == "ok"  # est 0.02 < 0.1
+        assert ctl.health(queue_depth=20) == "degraded"  # est 0.2 > 0.1
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.6)
+        clock.t = 0.6
+        assert ctl.health() == "overloaded"
+
+    def test_recent_shedding_holds_overloaded_after_release(self):
+        clock = FakeClock()
+        ctl = controller(clock, initial_service_s=10e-3)
+        ctl.observe_sojourn(0.3, now=0.0)
+        ctl.observe_sojourn(0.3, now=0.6)
+        clock.t = 0.6
+        assert not ctl.check(queue_depth=20).admitted
+        ctl.observe_sojourn(0.05, now=1.0)
+        ctl.observe_sojourn(0.05, now=1.6)  # latch released...
+        assert not ctl.snapshot()["dropping"]
+        clock.t = 0.61  # ...but a shed just happened: still overloaded
+        assert ctl.health() == "overloaded"
+        clock.t = 2.0
+        assert ctl.health(queue_depth=0) == "ok"
+
+    def test_snapshot_keys(self):
+        snap = controller(FakeClock()).snapshot()
+        assert set(snap) == {
+            "service_ewma_s",
+            "drop_count",
+            "dropping",
+            "sheds",
+            "rate_limited",
+            "clients",
+        }

@@ -1,0 +1,260 @@
+"""The circuit breaker: unit state machine + chaos through the service.
+
+Unit tests drive :class:`~repro.resilience.breaker.CircuitBreaker` with
+an injected clock through every transition of the three-state machine
+(closed -> open -> half-open -> closed/open) and pin the observability
+contract (``breaker.<name>.*`` counter deltas).  The chaos test then
+injects ``solve.raise`` under a live :class:`~repro.serve.SolveService`
+and proves the serving behaviour the breaker exists for: failing batches
+degrade to scalar (answers stay correct), the breaker opens after the
+configured threshold so subsequent flushes are routed around the batch
+kernel *without re-paying the failure*, and a half-open probe closes it
+again once the fault clears.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.core.model import solve
+from repro.obs import registry
+from repro.params import paper_defaults
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import InjectedFault
+from repro.serve import ServiceConfig, SolveService
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def breaker(clock: FakeClock, **kw) -> CircuitBreaker:
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown_s", 5.0)
+    return CircuitBreaker("t", clock=clock, **kw)
+
+
+class TestStateMachine:
+    def test_validation(self):
+        for bad in (
+            dict(failure_threshold=0),
+            dict(cooldown_s=0.0),
+            dict(probe_successes=0),
+        ):
+            with pytest.raises(ValueError):
+                CircuitBreaker("t", **bad)
+
+    def test_closed_allows_and_success_resets_the_streak(self):
+        b = breaker(FakeClock())
+        assert b.state == "closed" and b.allow()
+        b.record_failure()
+        b.record_failure()  # threshold-1 failures: still closed
+        assert b.state == "closed"
+        b.record_success()  # a success wipes the streak
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_opens_at_threshold_and_refuses(self):
+        b = breaker(FakeClock())
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        assert not b.allow()
+        snap = b.snapshot()
+        assert snap["opened"] == 1 and snap["rejected"] == 2
+
+    def test_cooldown_moves_open_to_half_open(self):
+        clock = FakeClock()
+        b = breaker(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.t = 4.99
+        assert b.state == "open"
+        clock.t = 5.0
+        assert b.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe_at_a_time(self):
+        clock = FakeClock()
+        b = breaker(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.t = 6.0
+        assert b.allow()  # the probe
+        assert not b.allow()  # concurrent calls are refused while it runs
+        snap = b.snapshot()
+        assert snap["probes"] == 1 and snap["rejected"] == 1
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        b = breaker(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.t = 6.0
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow()
+        assert b.snapshot()["closed"] == 1
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        b = breaker(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.t = 6.0
+        assert b.allow()
+        b.record_failure()  # one failed probe re-opens immediately
+        assert b.state == "open" and not b.allow()
+        clock.t = 10.0  # 4s into the NEW cooldown: still open
+        assert b.state == "open"
+        clock.t = 11.0
+        assert b.state == "half_open"
+        assert b.snapshot()["opened"] == 2
+
+    def test_multiple_probe_successes_required_when_configured(self):
+        clock = FakeClock()
+        b = breaker(clock, probe_successes=2)
+        for _ in range(3):
+            b.record_failure()
+        clock.t = 6.0
+        assert b.allow()
+        b.record_success()
+        assert b.state == "half_open"  # one of two
+        assert b.allow()  # the slot frees for the next probe
+        b.record_success()
+        assert b.state == "closed"
+
+    def test_counters_reach_the_obs_registry(self):
+        reg = registry()
+
+        def val(event: str) -> float:
+            return reg.counter(f"breaker.cnt.{event}").value
+
+        base = {e: val(e) for e in ("opened", "closed", "rejected", "probes")}
+        clock = FakeClock()
+        b = CircuitBreaker(
+            "cnt", failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        b.record_failure()
+        assert not b.allow()
+        clock.t = 2.0
+        assert b.allow()
+        b.record_success()
+        assert val("opened") == base["opened"] + 1
+        assert val("rejected") == base["rejected"] + 1
+        assert val("probes") == base["probes"] + 1
+        assert val("closed") == base["closed"] + 1
+
+
+# ---------------------------------------------------------- service chaos
+
+#: wide linger so each round of submissions coalesces into one batch
+COALESCE = dict(
+    max_batch=32,
+    min_linger_s=0.02,
+    max_linger_s=0.1,
+    adaptive=False,
+    memory_cache=0,
+)
+
+
+def _round(svc: SolveService, base: float):
+    """Submit 4 distinct symmetric points together; outcomes may be the
+    result *or* the exception the future carried (``solve.raise`` poisons
+    the scalar fallback too -- scalar ``solve_symmetric`` is the batched
+    kernel at width 1)."""
+    points = [paper_defaults(p_remote=base + 0.001 * i) for i in range(4)]
+    futures = [svc.submit(p) for p in points]
+    outcomes = []
+    for future in futures:
+        try:
+            outcomes.append(future.result(timeout=30))
+        except Exception as exc:  # noqa: BLE001 - the outcome under test
+            outcomes.append(exc)
+    return points, outcomes
+
+
+def _drive_until(svc: SolveService, pred, base: float, max_rounds: int = 8):
+    """Rounds of traffic until ``pred(stats)`` holds; returns the last
+    round's (points, outcomes).  Coalescing splits can spread a round
+    over several flushes, so how many rounds feed the breaker to a given
+    state is timing-dependent -- the *destination* state is not."""
+    for round_no in range(max_rounds):
+        points, outcomes = _round(svc, base + 0.01 * round_no)
+        if pred(svc.stats()):
+            return points, outcomes
+    raise AssertionError(f"breaker never reached the expected state: "
+                         f"{svc.stats()['breaker']}")
+
+
+class TestBreakerUnderInjectedFaults:
+    def test_open_shed_and_half_open_recovery(self, fault_plan):
+        """solve.raise through the live service: degrade, open, recover."""
+        fault_plan({"sites": {"solve.raise": {"p": 1.0}}})
+        cfg = ServiceConfig(
+            breaker_threshold=2, breaker_cooldown_s=1.0, **COALESCE
+        )
+        with SolveService(cfg) as svc:
+            # failing batch flushes degrade and feed the breaker until the
+            # consecutive-failure threshold trips it open
+            _, outcomes = _drive_until(
+                svc, lambda s: s["breaker"]["state"] == "open", base=0.01
+            )
+            assert all(isinstance(o, InjectedFault) for o in outcomes)
+            stats = svc.stats()
+            assert stats["degraded_batches"] >= cfg.breaker_threshold
+            assert stats["breaker"]["opened"] == 1
+            degraded_before = stats["degraded_batches"]
+
+            # while open (cooldown not elapsed): flushes route straight to
+            # scalar -- the batch failure is NOT re-paid (degraded_batches
+            # frozen) and every refusal is counted
+            _round(svc, 0.30)
+            stats = svc.stats()
+            assert stats["degraded_batches"] == degraded_before
+            assert stats["breaker"]["rejected"] >= 1
+
+            # fault cleared + cooldown elapsed: the next batchable flush
+            # is the half-open probe; its success closes the breaker and
+            # answers flow batched and bitwise-correct again
+            repro.configure(fault_plan=None)
+            time.sleep(cfg.breaker_cooldown_s + 0.05)
+            points, outcomes = _drive_until(
+                svc, lambda s: s["breaker"]["state"] == "closed", base=0.50
+            )
+            for p, r in zip(points, outcomes):
+                assert not isinstance(r, Exception), r
+                assert r.perf.to_dict() == solve(p).to_dict()
+            snap = svc.stats()["breaker"]
+            assert snap["closed"] == 1 and snap["probes"] == 1
+            assert svc.stats()["degraded_batches"] == degraded_before
+
+    def test_failed_probe_reopens_through_the_service(self, fault_plan):
+        fault_plan({"sites": {"solve.raise": {"p": 1.0}}})
+        cfg = ServiceConfig(
+            breaker_threshold=1, breaker_cooldown_s=0.2, **COALESCE
+        )
+        with SolveService(cfg) as svc:
+            _drive_until(
+                svc, lambda s: s["breaker"]["state"] == "open", base=0.01
+            )
+            assert svc.stats()["breaker"]["opened"] == 1
+            time.sleep(cfg.breaker_cooldown_s + 0.05)
+            # the fault is still active: the half-open probe batch fails
+            # and slams the breaker shut again, restarting the cooldown
+            _drive_until(
+                svc,
+                lambda s: s["breaker"]["opened"] >= 2,
+                base=0.30,
+                max_rounds=4,
+            )
+            assert svc.stats()["breaker"]["state"] == "open"

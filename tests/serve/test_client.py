@@ -1,0 +1,247 @@
+"""The retrying client's policy, pinned without sockets.
+
+:class:`repro.client.SolveClient` takes its transport, sleep, and RNG by
+injection, so every branch of the retry loop is testable as a pure state
+machine: which statuses retry (429/503/504 + transport errors) and which
+fail fast (4xx/500), how ``Retry-After`` floors the jittered backoff,
+and how the attempt count and time budget bound the loop.  The stub
+transport returns scripted ``(status, headers, body)`` tuples -- the
+same shapes ``serve/http.py`` emits.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+
+import pytest
+
+from repro.client import (
+    RequestError,
+    RetryBudgetExceededError,
+    ServerError,
+    SolveClient,
+    SolveReply,
+)
+from repro.params import paper_defaults
+
+OK_BODY = {
+    "ok": True,
+    "key": "k" * 64,
+    "perf": {"processor_utilization": 0.5},
+    "source": "batched",
+    "batch_width": 3,
+    "latency_s": 0.012,
+}
+
+
+def ok(body: dict | None = None):
+    return (200, {}, json.dumps(body or OK_BODY).encode())
+
+
+def err(status: int, error="Overloaded", detail="shed", retry_after_s=None,
+        headers=None):
+    body = {"ok": False, "error": error, "detail": detail}
+    if retry_after_s is not None:
+        body["retry_after_s"] = retry_after_s
+    return (status, headers or {}, json.dumps(body).encode())
+
+
+class StubTransport:
+    """Plays back a scripted list of replies; records every request."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.requests = []
+
+    def __call__(self, request, timeout_s):
+        self.requests.append(request)
+        reply = self.replies.pop(0)
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+
+class FakeSleep:
+    def __init__(self):
+        self.slept = []
+
+    def __call__(self, seconds):
+        self.slept.append(seconds)
+
+
+class FixedRng:
+    """``uniform(a, b)`` always returns the midpoint: deterministic jitter."""
+
+    def uniform(self, a, b):
+        return (a + b) / 2.0
+
+
+def client(transport, **kw) -> SolveClient:
+    kw.setdefault("sleep", FakeSleep())
+    kw.setdefault("rng", FixedRng())
+    return SolveClient("http://test.invalid:1", transport=transport, **kw)
+
+
+class TestHappyPath:
+    def test_first_try_success(self):
+        transport = StubTransport([ok()])
+        reply = client(transport).solve(point={"p_remote": 0.2})
+        assert isinstance(reply, SolveReply)
+        assert reply.attempts == 1 and reply.backoff_s == 0.0
+        assert reply.source == "batched" and reply.batch_width == 3
+        assert reply.latency_s == pytest.approx(0.012)
+        request = transport.requests[0]
+        assert request.get_full_url() == "http://test.invalid:1/solve"
+        assert json.loads(request.data)["point"] == {"p_remote": 0.2}
+
+    def test_params_object_serialized_to_nested_dict(self):
+        transport = StubTransport([ok()])
+        params = paper_defaults(p_remote=0.3)
+        client(transport).solve(params)
+        sent = json.loads(transport.requests[0].data)
+        assert sent["params"] == params.to_dict()
+
+    def test_client_id_header(self):
+        transport = StubTransport([ok()])
+        client(transport, client_id="bench-7").solve(point={})
+        assert transport.requests[0].get_header("X-client-id") == "bench-7"
+
+    def test_params_and_point_are_mutually_exclusive(self):
+        c = client(StubTransport([]))
+        with pytest.raises(ValueError, match="exactly one"):
+            c.solve(paper_defaults(), point={})
+        with pytest.raises(ValueError, match="exactly one"):
+            c.solve()
+
+
+class TestRetrySemantics:
+    def test_retries_503_until_success(self):
+        sleep = FakeSleep()
+        transport = StubTransport([err(503), err(503), ok()])
+        reply = client(transport, sleep=sleep).solve(point={})
+        assert reply.attempts == 3
+        assert len(sleep.slept) == 2
+        assert reply.backoff_s == pytest.approx(sum(sleep.slept))
+
+    @pytest.mark.parametrize("status", [429, 503, 504])
+    def test_each_overload_status_is_retryable(self, status):
+        transport = StubTransport([err(status), ok()])
+        assert client(transport).solve(point={}).attempts == 2
+
+    def test_retry_after_body_floors_the_backoff(self):
+        sleep = FakeSleep()
+        transport = StubTransport([err(503, retry_after_s=2.5), ok()])
+        client(transport, sleep=sleep, backoff_base_s=0.05).solve(point={})
+        # floor 2.5s + midpoint jitter of uniform(0, 0.05): never sooner
+        # than the server asked
+        assert sleep.slept[0] == pytest.approx(2.5 + 0.025)
+
+    def test_retry_after_header_is_the_fallback(self):
+        sleep = FakeSleep()
+        transport = StubTransport(
+            [err(429, headers={"Retry-After": "3"}), ok()]
+        )
+        client(transport, sleep=sleep, backoff_base_s=0.05).solve(point={})
+        assert sleep.slept[0] >= 3.0
+
+    def test_backoff_grows_exponentially_under_the_cap(self):
+        sleep = FakeSleep()
+        transport = StubTransport([err(503)] * 4 + [ok()])
+        client(
+            transport,
+            sleep=sleep,
+            max_attempts=5,
+            backoff_base_s=0.1,
+            backoff_cap_s=0.4,
+        ).solve(point={})
+        # midpoint of uniform(0, min(0.4, 0.1 * 2**n)): the cap bites on
+        # the third retry
+        assert sleep.slept == pytest.approx([0.05, 0.1, 0.2, 0.2])
+
+    def test_transport_errors_are_retried(self):
+        transport = StubTransport(
+            [urllib.error.URLError("refused"), OSError("reset"), ok()]
+        )
+        reply = client(transport).solve(point={})
+        assert reply.attempts == 3
+
+    def test_garbled_body_is_retried(self):
+        transport = StubTransport([(200, {}, b"not json"), ok()])
+        assert client(transport).solve(point={}).attempts == 2
+
+
+class TestFailFast:
+    def test_400_raises_request_error_on_first_send(self):
+        transport = StubTransport(
+            [err(400, error="BadRequest", detail="unknown field")]
+        )
+        c = client(transport)
+        with pytest.raises(RequestError) as exc_info:
+            c.solve(point={})
+        assert exc_info.value.status == 400
+        assert exc_info.value.detail == "unknown field"
+        assert len(transport.requests) == 1  # no blind resend of a bad request
+        assert c.stats()["retries"] == 0
+
+    def test_500_raises_server_error(self):
+        transport = StubTransport(
+            [err(500, error="SolverError", detail="did not converge")]
+        )
+        with pytest.raises(ServerError) as exc_info:
+            client(transport).solve(point={})
+        assert exc_info.value.status == 500
+        assert len(transport.requests) == 1
+
+
+class TestBudgets:
+    def test_attempt_budget_exhaustion(self):
+        transport = StubTransport([err(503)] * 3)
+        c = client(transport, max_attempts=3)
+        with pytest.raises(RetryBudgetExceededError) as exc_info:
+            c.solve(point={})
+        assert exc_info.value.last_status == 503
+        assert exc_info.value.attempts == 3
+        assert len(transport.requests) == 3
+
+    def test_time_budget_stops_before_sleeping_past_it(self):
+        sleep = FakeSleep()
+        transport = StubTransport([err(503, retry_after_s=10.0)] * 2)
+        c = client(
+            transport, max_attempts=5, retry_budget_s=1.0, sleep=sleep
+        )
+        with pytest.raises(RetryBudgetExceededError):
+            c.solve(point={})
+        # the 10s Retry-After would blow the 1s budget: give up instead
+        # of waiting it out
+        assert sleep.slept == []
+        assert len(transport.requests) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            SolveClient("http://x", max_attempts=0)
+        with pytest.raises(ValueError, match="retry_budget_s"):
+            SolveClient("http://x", retry_budget_s=-1.0)
+
+
+class TestAccounting:
+    def test_stats_accumulate_across_calls(self):
+        sleep = FakeSleep()
+        transport = StubTransport([err(503), ok(), err(503)] + [err(503)])
+        c = client(transport, max_attempts=2, sleep=sleep)
+        c.solve(point={})
+        with pytest.raises(RetryBudgetExceededError):
+            c.solve(point={})
+        stats = c.stats()
+        assert stats["sent"] == 4
+        assert stats["retries"] == 2
+        assert stats["gave_up"] == 1
+        assert stats["backoff_s"] == pytest.approx(sum(sleep.slept))
+
+    def test_healthz_does_not_retry(self):
+        transport = StubTransport(
+            [(503, {}, json.dumps({"status": "overloaded"}).encode())]
+        )
+        body = client(transport).healthz()
+        assert body == {"status": "overloaded"}
+        assert len(transport.requests) == 1

@@ -51,7 +51,11 @@ class TestEndpoints:
     def test_healthz(self, server):
         status, body = get(server, "/healthz")
         assert status == 200
-        assert body == {"ok": True, "status": "serving"}
+        assert body["ok"] is True
+        assert body["status"] == "ok"
+        assert body["breaker"] == "closed"
+        assert body["queue_depth"] == 0
+        assert body["max_queue"] > 0
 
     def test_solve_point_overrides_bitwise_vs_scalar(self, server):
         status, body = post(

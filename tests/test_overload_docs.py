@@ -1,0 +1,158 @@
+"""Overload/self-healing docs pinned to the code they describe.
+
+ISSUE 9's drift fences: the error contract table in docs/SERVING.md is
+generated from the same tuple ``serve/http.py`` maps exceptions with,
+the health states come from ``repro.resilience.admission.HEALTH_STATES``,
+the client's retryable statuses from ``repro.client.RETRYABLE_STATUSES``,
+and every overload counter the code emits must appear in the
+observability naming table.  Rename a status, a state, or a counter and
+the matching doc line fails here by name.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.client import RETRYABLE_STATUSES
+from repro.resilience.admission import HEALTH_STATES
+from repro.serve.http import _SERVICE_ERROR_STATUS
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+def section(path: str, heading: str) -> str:
+    text = (DOCS / path).read_text(encoding="utf-8")
+    assert heading in text, f"{path} lost its {heading!r} section"
+    return text.split(heading, 1)[1].split("\n## ", 1)[0]
+
+
+def prose(path: str, heading: str) -> str:
+    """A section with hard line wraps collapsed, for phrase asserts."""
+    return " ".join(section(path, heading).split())
+
+
+def documented_metric_names(naming_section: str) -> set[str]:
+    """Every metric name in the table, with ``a.b/c/d`` groups expanded."""
+    names: set[str] = set()
+    for token in re.findall(r"`([A-Za-z_][\w.<>{}/]*)`", naming_section):
+        parts = token.split("/")
+        names.add(parts[0])
+        prefix = parts[0].rsplit(".", 1)[0] + "."
+        for alt in parts[1:]:
+            names.add(prefix + alt)
+    return names
+
+
+class TestServingContract:
+    def test_every_mapped_service_error_is_in_the_contract_table(self):
+        table = section("SERVING.md", "## Error contract")
+        for exc_type, status, name in _SERVICE_ERROR_STATUS:
+            row = next(
+                (line for line in table.splitlines() if f"`{name}`" in line),
+                None,
+            )
+            assert row is not None, (
+                f"{exc_type.__name__} -> {status} {name} missing from the "
+                "SERVING.md error contract table"
+            )
+            assert f" {status} " in row, (
+                f"documented status for {name} disagrees with http.py "
+                f"({status})"
+            )
+            assert f"`{exc_type.__name__}`" in row
+
+    def test_retry_after_is_documented_in_the_contract(self):
+        table = section("SERVING.md", "## Error contract")
+        assert "retry_after_s" in table
+        assert "Retry-After" in table
+
+    def test_overload_protection_section_names_the_knobs(self):
+        text = section("SERVING.md", "## Overload protection")
+        for flag in (
+            "--rate-limit",
+            "--rate-burst",
+            "--target-wait",
+            "--breaker-threshold",
+            "--breaker-cooldown",
+        ):
+            assert flag in text, f"serve flag {flag} undocumented"
+        assert "X-Client-Id" in text
+        assert "SolveClient" in text
+
+    def test_health_states_documented(self):
+        text = section("SERVING.md", "## Overload protection")
+        for state in HEALTH_STATES:
+            assert f"`{state}`" in text, f"health state {state!r} undocumented"
+        assert "`closed`" in text  # the shutdown pseudo-state
+
+    def test_client_retryable_statuses_documented(self):
+        text = section("SERVING.md", "## Overload protection")
+        statuses = "/".join(str(s) for s in RETRYABLE_STATUSES)
+        assert statuses in text, (
+            f"SolveClient retry statuses {statuses} drifted from the docs"
+        )
+
+
+class TestResilienceSections:
+    def test_breaker_section_matches_the_shipped_breaker(self):
+        text = section("RESILIENCE.md", "## Circuit breaker")
+        assert "serve.batch" in text
+        for event in ("opened", "closed", "rejected", "probes"):
+            assert event in text
+        assert "half-open" in text
+
+    def test_quarantine_section_names_the_cli(self):
+        text = prose("RESILIENCE.md", "## Poison-trial quarantine")
+        assert "quarantine list" in text
+        assert "quarantine retry" in text
+        assert "max_attempts" in text
+        assert "two distinct workers" in text
+
+    def test_distributed_schema_documents_v2(self):
+        text = section("DISTRIBUTED.md", "## The experiment database")
+        assert "schema version 2" in text
+        assert "`attempt_workers`" in text
+        assert "`max_attempts`" in text
+        assert "quarantined" in text
+        assert "fabric.db.migrations" in text
+
+    def test_distributed_failure_semantics_cover_quarantine(self):
+        text = section("DISTRIBUTED.md", "## Failure semantics")
+        assert "quarantined" in text
+        assert "attempt_workers" in text
+
+    def test_distributed_tuning_covers_max_attempts(self):
+        text = section("DISTRIBUTED.md", "## Tuning")
+        assert "--max-attempts" in text
+
+
+class TestNamingTableCoversOverloadCounters:
+    @pytest.fixture(scope="class")
+    def naming(self) -> set[str]:
+        return documented_metric_names(
+            section("OBSERVABILITY.md", "## Naming scheme")
+        )
+
+    @pytest.mark.parametrize(
+        "counter",
+        [
+            "serve.shed",
+            "serve.rate_limited",
+            "serve.rejected",
+            "fabric.trials.quarantined",
+            "fabric.trials.quarantine_retried",
+            "fabric.trials.requeued",
+            "fabric.db.migrations",
+            "fabric.worker.partitioned_exits",
+        ],
+    )
+    def test_counter_documented(self, naming, counter):
+        assert counter in naming, f"{counter} missing from the naming table"
+
+    def test_breaker_counters_documented(self, naming):
+        assert "breaker." in naming
+        for event in ("opened", "closed", "rejected", "probes"):
+            assert f"breaker.<name>.{event}" in naming
