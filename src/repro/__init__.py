@@ -30,6 +30,7 @@ from .api import (
     ServiceConfig,
     SolveService,
     configure,
+    scenarios,
     simulate,
     solve,
     solve_points,
@@ -69,6 +70,7 @@ __all__ = [
     "simulate",
     "tolerance_index",
     "configure",
+    "scenarios",
     "SolveService",
     "ServiceConfig",
     # model + measures

@@ -58,7 +58,7 @@ def _apply_measure(
 
 
 def sweep(
-    base: MMSParams,
+    base: MMSParams | None,
     axes: Mapping[str, Sequence[object]],
     method: str = "auto",
     *,
@@ -69,6 +69,7 @@ def sweep(
     kernel: str | None = None,
     fabric: str | None = None,
     workers: int = 2,
+    scenario: str | None = None,
 ) -> list[dict[str, object]]:
     """Cartesian-product sweep; returns one record per point.
 
@@ -96,16 +97,43 @@ def sweep(
     fabric (see ``docs/DISTRIBUTED.md``); it composes with ``backend``
     and ``progress`` but not ``runner``.
 
+    ``scenario`` names the workload/topology family (``"torus"``,
+    ``"worksteal"``, ``"hier"``; see ``docs/SCENARIOS.md``).  ``None``
+    infers it from ``base``'s type, else falls back to the configured /
+    ``REPRO_SCENARIO`` / torus default.  Axis names must be fields of the
+    active scenario's parameter schema.
+
     >>> recs = sweep(paper_defaults(), {"num_threads": [2, 4]})  # doctest: +SKIP
     """
+    from ..scenarios import resolve_scenario, scenario_for_params
+
+    if scenario is not None:
+        scen = resolve_scenario(scenario)
+    elif base is not None:
+        scen = scenario_for_params(base)
+    else:
+        scen = resolve_scenario(None)
+    if base is None:
+        base = scen.default_params()
+    elif type(base) is not scen.params_type:
+        from ..params import ParamError
+
+        raise ParamError(
+            f"base params of type {type(base).__name__} do not belong to "
+            f"scenario {scen.name!r} (expects {scen.params_type.__name__})"
+        )
     names = list(axes)
     combos = list(product(*(axes[n] for n in names)))
     if not combos:
         return []
     if kernel is not None:
         validate_kernel_name(kernel)
-    points = [base.with_(**dict(zip(names, combo))) for combo in combos]
-    specs = [JobSpec(params=point, method=method) for point in points]
+    points = [
+        scen.with_overrides(base, **dict(zip(names, combo))) for combo in combos
+    ]
+    specs = [
+        JobSpec(params=point, method=method, scenario=scen.name) for point in points
+    ]
     if fabric is not None:
         if runner is not None:
             raise ValueError("pass either runner= or fabric=, not both")

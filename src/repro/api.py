@@ -31,9 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from .core.metrics import MMSPerformance
-from .core.model import MMSModel
-from .core.model import solve_points as _solve_points
-from .core.tolerance import ToleranceResult, memory_tolerance, network_tolerance
+from .core.tolerance import ToleranceResult
 from .params import MMSParams, paper_defaults
 from .serve import ServiceConfig, SolveService
 
@@ -42,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "configure",
+    "scenarios",
     "simulate",
     "solve",
     "solve_points",
@@ -52,14 +51,32 @@ __all__ = [
 ]
 
 
+def _resolve_scenario(scenario: str | None, params: object):
+    """One scenario convention for the whole facade.
+
+    Precedence: an explicit ``scenario=`` name wins; otherwise prebuilt
+    ``params`` identify their family by type (so old torus call sites are
+    immune to any configured or ``REPRO_SCENARIO`` default); otherwise
+    the configured default, then the environment, then ``"torus"``.
+    """
+    from .scenarios import resolve_scenario, scenario_for_params
+
+    if scenario is not None:
+        return resolve_scenario(scenario)
+    if params is not None:
+        return scenario_for_params(params)
+    return resolve_scenario(None)
+
+
 def _resolve_params(
-    params: MMSParams | None, overrides: Mapping[str, object]
+    params: MMSParams | None, overrides: Mapping[str, object], scen=None
 ) -> MMSParams:
     """One params convention for the whole facade.
 
-    ``params`` (a prebuilt :class:`MMSParams`) and field ``**overrides``
-    (applied over :func:`paper_defaults`) are the two supported spellings;
-    mixing them is ambiguous and refused.
+    ``params`` (a prebuilt params object) and field ``**overrides``
+    (applied over the scenario's defaults -- :func:`paper_defaults` for
+    the torus) are the two supported spellings; mixing them is ambiguous
+    and refused.
     """
     if params is not None:
         if overrides:
@@ -68,28 +85,49 @@ def _resolve_params(
                 f"({sorted(map(str, overrides))}), not both"
             )
         return params
-    return paper_defaults(**overrides)
+    if scen is None:
+        return paper_defaults(**overrides)
+    return scen.with_overrides(scen.default_params(), **overrides)
+
+
+def scenarios() -> tuple[str, ...]:
+    """Names of every registered workload/topology scenario.
+
+    >>> import repro
+    >>> "torus" in repro.scenarios()
+    True
+    """
+    from .scenarios import scenario_names
+
+    return scenario_names()
 
 
 def solve(
     params: MMSParams | None = None,
     *,
     method: str = "auto",
+    scenario: str | None = None,
     **overrides: object,
 ) -> MMSPerformance:
-    """Solve one parameter point; returns its :class:`MMSPerformance`.
+    """Solve one parameter point; returns its performance.
 
     Parameters
     ----------
     params:
-        A prebuilt :class:`MMSParams`.  Omit it to solve the paper's
-        default machine with ``**overrides`` applied.
+        A prebuilt params object (:class:`MMSParams` for the torus).
+        Omit it to solve the scenario's default machine with
+        ``**overrides`` applied.
     method:
-        Solver selection: ``"auto"`` (default; picks the symmetric MVA
-        when the workload allows, AMVA otherwise), ``"symmetric"``,
-        ``"amva"``, ``"linearizer"``, or ``"exact"``.
+        Solver selection.  For the torus: ``"auto"`` (default; picks the
+        symmetric MVA when the workload allows, AMVA otherwise),
+        ``"symmetric"``, ``"amva"``, ``"linearizer"``, or ``"exact"``.
+        Other scenarios document their methods in ``docs/SCENARIOS.md``.
+    scenario:
+        Workload/topology family (see :func:`scenarios`); default infers
+        it from ``params``'s type, else honours :func:`configure` and
+        ``REPRO_SCENARIO``, else ``"torus"``.
     **overrides:
-        :func:`paper_defaults` field overrides (``num_threads=8``,
+        Scenario parameter overrides (``num_threads=8``,
         ``p_remote=0.2``, ...); only valid when ``params`` is omitted.
 
     >>> import repro
@@ -97,7 +135,8 @@ def solve(
     >>> 0.0 < perf.processor_utilization <= 1.0
     True
     """
-    return MMSModel(_resolve_params(params, overrides)).solve(method=method)
+    scen = _resolve_scenario(scenario, params)
+    return scen.solve(_resolve_params(params, overrides, scen), method=method)
 
 
 def solve_points(
@@ -106,6 +145,7 @@ def solve_points(
     method: str = "auto",
     tol: float = 1e-12,
     kernel: str | None = None,
+    scenario: str | None = None,
 ) -> list[MMSPerformance]:
     """Solve a homogeneous lattice of points with one batched fixed point.
 
@@ -125,12 +165,17 @@ def solve_points(
         Solver kernel: ``"auto"``, ``"numpy"`` or ``"numba"`` (kernels are
         bitwise-interchangeable); default honours :func:`configure` and
         ``REPRO_SOLVE_KERNEL``.
+    scenario:
+        Workload/topology family (see :func:`scenarios`); default infers
+        it from the first point's type, else honours :func:`configure`
+        and ``REPRO_SCENARIO``, else ``"torus"``.
 
     Returns the performances in ``points`` order.  (The batched solver's
     internal telemetry is available through :mod:`repro.core.model` for
     callers who need it.)
     """
-    perfs, _telemetry = _solve_points(points, method=method, tol=tol, kernel=kernel)
+    scen = _resolve_scenario(scenario, points[0] if points else None)
+    perfs, _telemetry = scen.solve_points(points, method=method, tol=tol, kernel=kernel)
     return perfs
 
 
@@ -146,6 +191,7 @@ def sweep(
     progress: Callable | None = None,
     fabric: str | None = None,
     workers: int = 2,
+    scenario: str | None = None,
 ) -> list[dict[str, object]]:
     """Cartesian-product sweep; returns one record dict per point.
 
@@ -153,10 +199,11 @@ def sweep(
     ----------
     axes:
         Ordered mapping of parameter name to the values it sweeps, e.g.
-        ``{"num_threads": [1, 2, 4], "p_remote": [0.1, 0.2]}``.
+        ``{"num_threads": [1, 2, 4], "p_remote": [0.1, 0.2]}``.  Names
+        must be fields of the active scenario's parameter schema.
     base:
-        The point the axes vary around; defaults to
-        :func:`paper_defaults`.
+        The point the axes vary around; defaults to the scenario's
+        default params (:func:`paper_defaults` for the torus).
     method:
         Solver selection, as in :func:`solve`.
     measure:
@@ -193,11 +240,15 @@ def sweep(
     workers:
         Local fabric worker processes to spawn when ``fabric`` is given
         (default 2; 0 relies on externally started workers).
+    scenario:
+        Workload/topology family (see :func:`scenarios`); default infers
+        it from ``base``'s type, else honours :func:`configure` and
+        ``REPRO_SCENARIO``, else ``"torus"``.
     """
     from .analysis.sweep import sweep as _sweep
 
     return _sweep(
-        base if base is not None else paper_defaults(),
+        base,
         axes,
         method,
         measure=measure,
@@ -207,6 +258,7 @@ def sweep(
         kernel=kernel,
         fabric=fabric,
         workers=workers,
+        scenario=scenario,
     )
 
 
@@ -216,6 +268,7 @@ def simulate(
     duration: float = 100_000.0,
     seed: int = 0,
     warmup: float | None = None,
+    scenario: str | None = None,
     **overrides: object,
 ) -> "SimResult":
     """Discrete-event simulation of one point (the validation substrate).
@@ -223,8 +276,9 @@ def simulate(
     Parameters
     ----------
     params:
-        A prebuilt :class:`MMSParams`; omit it to simulate the paper's
-        default machine with ``**overrides`` applied.
+        A prebuilt params object (:class:`MMSParams` for the torus); omit
+        it to simulate the scenario's default machine with ``**overrides``
+        applied.
     duration:
         Simulated time units to run.
     seed:
@@ -232,30 +286,37 @@ def simulate(
     warmup:
         Simulated time discarded before statistics start; default lets the
         simulator choose.
+    scenario:
+        Workload/topology family (see :func:`scenarios`); default infers
+        it from ``params``'s type, else honours :func:`configure` and
+        ``REPRO_SCENARIO``, else ``"torus"``.  Scenarios without a
+        simulator raise
+        :class:`~repro.scenarios.ScenarioCapabilityError`.
     **overrides:
-        :func:`paper_defaults` field overrides, as in :func:`solve`.
-        Simulator-specific keywords (``memory_dist=``, ``switch_dist=``,
+        Scenario parameter overrides, as in :func:`solve`.  For the torus,
+        simulator-specific keywords (``memory_dist=``, ``switch_dist=``,
         ``runlength_dist=``, ``local_priority=``, ``switch_capacity=``,
         ``switch_pipeline_depth=``, ``max_outstanding_remote=``) pass
         through to :class:`repro.simulation.MMSSimulation` unchanged.
     """
-    sim_kwargs = {
-        k: overrides.pop(k)
-        for k in (
-            "memory_dist",
-            "switch_dist",
-            "runlength_dist",
-            "local_priority",
-            "switch_capacity",
-            "switch_pipeline_depth",
-            "max_outstanding_remote",
-        )
-        if k in overrides
-    }
-    from .simulation.mms_sim import simulate as _simulate
-
-    return _simulate(
-        _resolve_params(params, overrides),
+    scen = _resolve_scenario(scenario, params)
+    sim_kwargs = {}
+    if scen.name == "torus":
+        sim_kwargs = {
+            k: overrides.pop(k)
+            for k in (
+                "memory_dist",
+                "switch_dist",
+                "runlength_dist",
+                "local_priority",
+                "switch_capacity",
+                "switch_pipeline_depth",
+                "max_outstanding_remote",
+            )
+            if k in overrides
+        }
+    return scen.simulate(
+        _resolve_params(params, overrides, scen),
         duration=duration,
         seed=seed,
         warmup=warmup,
@@ -266,9 +327,10 @@ def simulate(
 def tolerance_index(
     params: MMSParams | None = None,
     *,
-    subsystem: str = "network",
-    ideal: str = "zero_delay",
+    subsystem: str | None = None,
+    ideal: str | None = None,
     method: str = "auto",
+    scenario: str | None = None,
     **overrides: object,
 ) -> ToleranceResult:
     """The paper's latency-tolerance metric for one subsystem.
@@ -276,29 +338,33 @@ def tolerance_index(
     Parameters
     ----------
     params:
-        A prebuilt :class:`MMSParams`; omit it to use the paper's default
-        machine with ``**overrides`` applied.
+        A prebuilt params object (:class:`MMSParams` for the torus); omit
+        it to use the scenario's default machine with ``**overrides``
+        applied.
     subsystem:
-        ``"network"`` (default) or ``"memory"`` -- which latency source the
-        index measures tolerance of.
+        Which latency source the index measures tolerance of.  Torus:
+        ``"network"`` (default) or ``"memory"``; work stealing:
+        ``"steal"``; mesh-of-clusters: ``"network"`` (default),
+        ``"interlink"``, or ``"memory"`` (see ``docs/SCENARIOS.md``).
+        ``None`` picks the scenario's first subsystem.
     ideal:
-        Ideal-system construction for the network index: ``"zero_delay"``
-        (the paper's definition) or ``"unloaded"``; ignored for memory.
+        Ideal-system construction for the torus network index:
+        ``"zero_delay"`` (the paper's definition, the default) or
+        ``"local_only"``; ignored elsewhere.
     method:
         Solver selection, as in :func:`solve`.
+    scenario:
+        Workload/topology family (see :func:`scenarios`); default infers
+        it from ``params``'s type, else honours :func:`configure` and
+        ``REPRO_SCENARIO``, else ``"torus"``.
     **overrides:
-        :func:`paper_defaults` field overrides, as in :func:`solve`.
+        Scenario parameter overrides, as in :func:`solve`.
 
     Returns a :class:`ToleranceResult`; ``float()`` of it is the index.
     """
-    resolved = _resolve_params(params, overrides)
-    if subsystem == "network":
-        return network_tolerance(resolved, ideal=ideal, method=method)
-    if subsystem == "memory":
-        return memory_tolerance(resolved, method=method)
-    raise ValueError(
-        f"subsystem: must be 'network' or 'memory', got {subsystem!r}"
-    )
+    scen = _resolve_scenario(scenario, params)
+    resolved = _resolve_params(params, overrides, scen)
+    return scen.tolerance(resolved, subsystem=subsystem, ideal=ideal, method=method)
 
 
 #: distinguishes "not passed" from "explicitly set to None/False"
@@ -313,6 +379,7 @@ def configure(
     retries: object = _UNSET,
     backend: object = _UNSET,
     kernel: object = _UNSET,
+    scenario: object = _UNSET,
     trace: object = _UNSET,
     tracer: object = _UNSET,
     fault_plan: object = _UNSET,
@@ -344,6 +411,11 @@ def configure(
         Default solver kernel -- ``"auto"``, ``"numpy"`` or ``"numba"``;
         ``None`` clears the default (env: ``REPRO_SOLVE_KERNEL``).
         Kernels are bitwise-interchangeable.
+    scenario:
+        Default workload/topology scenario -- any name in
+        :func:`scenarios` (``"torus"``, ``"worksteal"``, ``"hier"``);
+        ``None`` clears the default (env: ``REPRO_SCENARIO``).  Prebuilt
+        params always identify their own family regardless.
     trace:
         Tracing destination: a JSONL path, ``True`` (in-memory), or
         ``False``/``None`` to disable (env: ``REPRO_TRACE``).
@@ -383,6 +455,10 @@ def configure(
         from .queueing.kernels import set_default_kernel
 
         previous["kernel"] = set_default_kernel(kernel)
+    if scenario is not _UNSET:
+        from .scenarios import set_default_scenario
+
+        previous["scenario"] = set_default_scenario(scenario)
     if trace is not _UNSET or tracer is not _UNSET:
         prev = _obs_trace.configure(
             trace=None if trace is _UNSET else trace,

@@ -27,6 +27,7 @@ from .core import MMSModel, analyze, tolerance_report
 from .fabric.db import FabricError
 from .params import ParamError, paper_defaults
 from .resilience.journal import JournalError
+from .scenarios import ScenarioUnavailableError
 
 __all__ = ["main", "build_parser"]
 
@@ -156,8 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_point_args(
         p_sweep,
-        method_choices=("auto", "symmetric", "amva", "linearizer", "exact"),
+        method_choices=("auto", "symmetric", "amva", "linearizer", "exact", "bound"),
         method_default="auto",
+    )
+    p_sweep.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="workload/topology family to sweep (torus, worksteal, hier; "
+        "see docs/SCENARIOS.md).  Default honours repro.configure/"
+        "REPRO_SCENARIO, else torus.  The point flags above apply to the "
+        "torus only; other scenarios start from their registered defaults "
+        "and --axis names must be fields of the active scenario",
     )
     p_sweep.add_argument(
         "--axis",
@@ -316,6 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=("auto", "batch", "process", "serial"),
         default="auto",
+    )
+    p_worker.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="default scenario for this worker process (leased payloads "
+        "carrying their own scenario always win); unknown names are "
+        "rejected up front",
     )
     p_worker.add_argument(
         "--kernel",
@@ -539,6 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="seconds an open breaker waits before half-open probes",
     )
+    p_serve.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="default scenario applied to /solve bodies that do not name "
+        "one (a body's \"scenario\" key always wins); default torus",
+    )
 
     p_all = sub.add_parser(
         "reproduce-all",
@@ -602,6 +628,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     from .queueing.kernels import validate_kernel_name
     from .runner import JobSpec, SweepRunner, canonical_json
     from .runner.executor import BACKENDS
+    from .scenarios import resolve_scenario
 
     # validate the execution knobs up front -- both the runner and the
     # fabric paths must reject bad names with one clean line that
@@ -615,9 +642,25 @@ def _run_sweep(args: argparse.Namespace) -> int:
             validate_kernel_name(args.kernel)
         except ValueError as exc:
             raise ParamError(str(exc)) from None
+    # unknown --scenario raises ScenarioUnavailableError (also exit 2)
+    scen = resolve_scenario(args.scenario)
 
     axes = _parse_axes(args.axis)
-    base = _params_from(args)
+    fields = scen.field_names()
+    for name in axes:
+        if name not in fields:
+            raise ParamError(
+                f"unknown sweep axis {name!r} for scenario {scen.name!r}; "
+                f"fields: {'/'.join(fields)}"
+            )
+    # the point flags parameterize the torus; other scenarios sweep from
+    # their registered defaults (their fields are not CLI flags)
+    base = _params_from(args) if scen.name == "torus" else scen.default_params()
+    try:
+        scen.canonical_method(base, args.method)
+    except ValueError as exc:
+        # a method the active scenario does not solve is user error
+        raise ParamError(str(exc)) from None
     cache_dir = (
         None
         if args.no_cache
@@ -684,7 +727,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
     names = list(axes)
     combos = list(product(*(axes[n] for n in names)))
     specs = [
-        JobSpec(params=base.with_(**dict(zip(names, combo))), method=args.method)
+        JobSpec(
+            params=scen.with_overrides(base, **dict(zip(names, combo))),
+            method=args.method,
+            scenario=scen.name,
+        )
         for combo in combos
     ]
 
@@ -775,7 +822,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 def _run_worker(args: argparse.Namespace) -> int:
     from .fabric import FabricWorker
+    from .scenarios import set_default_scenario
 
+    if args.scenario is not None:
+        # rejects unknown names up front (exit 2); leased payloads that
+        # carry their own scenario are unaffected by this default
+        set_default_scenario(args.scenario)
     worker = FabricWorker(
         args.fabric,
         experiment_id=args.experiment,
@@ -940,6 +992,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             target_wait_s=args.target_wait,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown_s=args.breaker_cooldown,
+            scenario=args.scenario,
         )
     except ValueError as exc:
         raise ParamError(str(exc)) from None
@@ -949,6 +1002,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"[serve] listening on http://{host}:{port}", flush=True)
     if cache_dir:
         print(f"[serve] store dir={cache_dir}", flush=True)
+    if args.scenario:
+        print(f"[serve] default scenario={args.scenario}", flush=True)
 
     # serve_forever() can only be stopped from *another* thread (calling
     # shutdown() from a handler on the serving thread deadlocks), so map
@@ -1001,7 +1056,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except (ParamError, JournalError, FabricError) as exc:
+    except (ParamError, JournalError, FabricError, ScenarioUnavailableError) as exc:
         # bad parameters / a journal that doesn't match the sweep: one clean
         # line on stderr (exit 2, argparse's usage-error convention), never
         # a traceback.  Only these user-error types are dressed up -- an

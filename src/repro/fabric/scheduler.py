@@ -42,13 +42,12 @@ import time
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ..core.metrics import MMSPerformance
 from ..obs import diff_snapshots, trace_span
 from ..obs import registry as obs_registry
-from ..params import MMSParams
 from ..queueing.kernels import resolve_kernel, validate_kernel_name
 from ..resilience.journal import sweep_signature
 from ..runner.executor import BACKENDS, RunReport
+from ..scenarios import payload_scenario
 from ..runner.manifest import RunManifest, latency_stats
 from ..runner.spec import SOLVER_VERSION, JobSpec, RunResult
 from ..runner.store import ResultStore, StoreLockError
@@ -367,11 +366,12 @@ class FabricScheduler:
                 # the store was tampered with between runs -- surface it
                 result = self._failure(payload, "no store record for done trial")
             elif rec is not None and trial["status"] == "done":
+                scenario = payload_scenario(payload)
                 result = RunResult(
                     key=key,
-                    params=MMSParams.from_dict(payload["params"]),
+                    params=scenario.params_from_dict(payload["params"]),
                     method=str(payload["method"]),
-                    perf=MMSPerformance.from_dict(rec["perf"]),
+                    perf=scenario.perf_from_dict(rec["perf"]),
                     elapsed=float(rec.get("elapsed", 0.0)),
                     attempts=int(trial["attempts"]) or 1,
                     from_cache=bool(trial["from_cache"]),
@@ -397,7 +397,7 @@ class FabricScheduler:
     def _failure(payload: dict[str, object], error: str) -> RunResult:
         return RunResult(
             key=str(payload["key"]),
-            params=MMSParams.from_dict(payload["params"]),
+            params=payload_scenario(payload).params_from_dict(payload["params"]),
             method=str(payload["method"]),
             perf=None,
             error=error,

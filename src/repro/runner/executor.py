@@ -61,6 +61,7 @@ from ..resilience.degrade import DegradationPolicy
 from ..resilience.faults import fault_point
 from ..resilience.integrity import finite_measures
 from ..resilience.journal import SweepJournal, sweep_signature
+from ..scenarios import payload_scenario
 from .manifest import RunManifest, latency_stats
 from .spec import SOLVER_VERSION, TIMEOUT_ERROR_PREFIX, JobSpec, RunResult
 from .store import ResultStore
@@ -110,7 +111,8 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
     spec = fault_point("solve.delay")
     if spec is not None:
         time.sleep(float(spec.args.get("sleep_s", 0.05)))
-    params = MMSParams.from_dict(payload["params"])
+    scenario = payload_scenario(payload)
+    params = scenario.params_from_dict(payload["params"])
     ctx = payload.get("trace")
     if ctx is not None:
         tracer = Tracer.adopt(ctx)
@@ -120,7 +122,7 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
             with tracer.span(
                 "sweep.point", key=str(payload["key"])[:12], method=payload["method"]
             ):
-                perf = MMSModel(params).solve(method=payload["method"])
+                perf = scenario.solve(params, method=payload["method"])
             elapsed = time.perf_counter() - t0
         finally:
             configure(**prev)
@@ -129,7 +131,7 @@ def solve_job(payload: Mapping[str, object]) -> dict[str, object]:
     with trace_span(
         "sweep.point", key=str(payload["key"])[:12], method=payload["method"]
     ):
-        perf = MMSModel(params).solve(method=payload["method"])
+        perf = scenario.solve(params, method=payload["method"])
     return {"perf": perf.to_dict(), "elapsed": time.perf_counter() - t0}
 
 
@@ -576,11 +578,12 @@ class SweepRunner:
         rec: Mapping[str, object],
         from_cache: bool,
     ) -> RunResult:
+        scenario = payload_scenario(payload)
         return RunResult(
             key=payload["key"],
-            params=MMSParams.from_dict(payload["params"]),
+            params=scenario.params_from_dict(payload["params"]),
             method=payload["method"],
-            perf=MMSPerformance.from_dict(rec["perf"]),
+            perf=scenario.perf_from_dict(rec["perf"]),
             elapsed=float(rec.get("elapsed", 0.0)),
             attempts=0 if from_cache else 1,
             from_cache=from_cache,
@@ -592,7 +595,7 @@ class SweepRunner:
     ) -> RunResult:
         return RunResult(
             key=payload["key"],
-            params=MMSParams.from_dict(payload["params"]),
+            params=payload_scenario(payload).params_from_dict(payload["params"]),
             method=payload["method"],
             perf=None,
             attempts=attempts,
@@ -674,34 +677,40 @@ class SweepRunner:
     ) -> str:
         """Batched in-process execution; returns the mode the run ended in.
 
-        Pending points are grouped by ``(method, machine size)`` -- the
-        homogeneity :func:`~repro.core.model.solve_points` requires -- and
-        each group large enough is solved as one stacked fixed point.
-        Leftovers (small groups, unbatchable methods) run per-point; a
-        group whose batch solve raised or produced non-finite measures is
-        a recorded batch->serial degradation and also runs per-point.  The
-        mode is ``"batch"`` only if at least one group actually batched.
+        Pending points are grouped by ``(scenario, method, group key)`` --
+        the homogeneity the scenario's batched solve requires (for the
+        torus: one machine size, per :func:`~repro.core.model.solve_points`)
+        -- and each group large enough is solved as one stacked fixed
+        point.  Leftovers (small groups, unbatchable methods, scenarios
+        without a batch path) run per-point; a group whose batch solve
+        raised or produced non-finite measures is a recorded batch->serial
+        degradation and also runs per-point.  The mode is ``"batch"`` only
+        if at least one group actually batched.
         """
-        from ..core.model import solve_points
-
         total = done + len(pending)
-        groups: dict[tuple[str, int], list[Mapping[str, object]]] = {}
+        groups: dict[tuple, list[Mapping[str, object]]] = {}
         for payload in pending:
-            params = MMSParams.from_dict(payload["params"])
+            scenario = payload_scenario(payload)
+            params = scenario.params_from_dict(payload["params"])
             groups.setdefault(
-                (payload["method"], params.arch.num_processors), []
+                (scenario.name, payload["method"], scenario.group_key(params)), []
             ).append(payload)
 
         batched_any = False
         serial_left: list[Mapping[str, object]] = []
-        for (method, _size), group in groups.items():
-            if method not in BATCHABLE_METHODS or len(group) < self.min_batch_points:
+        for (scenario_name, method, group_key), group in groups.items():
+            scenario = payload_scenario(group[0])
+            if (
+                group_key is None
+                or method not in scenario.batchable_methods
+                or len(group) < self.min_batch_points
+            ):
                 serial_left.extend(group)
                 continue
             t0 = time.perf_counter()
             try:
-                perfs, telemetry = solve_points(
-                    [MMSParams.from_dict(p["params"]) for p in group],
+                perfs, telemetry = scenario.solve_points(
+                    [scenario.params_from_dict(p["params"]) for p in group],
                     method=method,
                     kernel=self.kernel,
                 )
@@ -804,6 +813,11 @@ class SweepRunner:
         groups: dict[int, list[tuple[Mapping[str, object], MMSModel]]] = {}
         rest: list[Mapping[str, object]] = []
         for payload in pending:
+            if payload.get("scenario") is not None:
+                # the shm pack is torus-specific; non-default scenarios
+                # take the per-point (or in-process batch) path
+                rest.append(payload)
+                continue
             if payload["method"] not in ("auto", "symmetric"):
                 rest.append(payload)
                 continue

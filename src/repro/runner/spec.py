@@ -58,10 +58,37 @@ def canonical_json(obj: object) -> str:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One point to solve: parameters plus solver method."""
+    """One point to solve: parameters plus solver method plus scenario.
+
+    ``scenario=None`` infers the family from the params type (an
+    :class:`~repro.params.MMSParams` is ``"torus"``), so every
+    pre-registry construction site keeps working unchanged.  The default
+    torus scenario contributes no ``scenario`` field to the key payload
+    or wire form -- its keys and payload bytes are identical to the
+    pre-registry format -- while every other scenario adds its name,
+    making keys injective across (scenario, params).
+    """
 
     params: MMSParams
     method: str = "auto"
+    scenario: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.scenario is None:
+            from ..scenarios import scenario_for_params
+
+            object.__setattr__(
+                self, "scenario", scenario_for_params(self.params).name
+            )
+        else:
+            from ..scenarios import validate_scenario_name
+
+            validate_scenario_name(self.scenario)
+
+    def _scenario_impl(self):
+        from ..scenarios import get_scenario
+
+        return get_scenario(self.scenario)
 
     def canonical_method(self) -> str:
         """The method that will actually run (``"auto"`` resolved).
@@ -71,32 +98,38 @@ class JobSpec:
         """
         if self.method != "auto":
             return self.method
-        from ..core.model import MMSModel
-
-        return "symmetric" if MMSModel(self.params).is_symmetric else "amva"
+        return self._scenario_impl().canonical_method(self.params, self.method)
 
     def key(self) -> str:
         """Content-addressed cache key (SHA-256 hex digest)."""
-        payload = {
-            "method": self.canonical_method(),
-            "params": self.params.to_dict(),
-        }
+        payload = self._scenario_impl().cache_payload(
+            self.params, self.canonical_method()
+        )
         return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
     def payload(self) -> dict[str, object]:
         """Pure-JSON worker dispatch form (what crosses the process boundary)."""
-        return {
+        data: dict[str, object] = {
             "key": self.key(),
             "method": self.canonical_method(),
             "params": self.params.to_dict(),
         }
+        from ..scenarios import DEFAULT_SCENARIO
+
+        if self.scenario != DEFAULT_SCENARIO:
+            data["scenario"] = self.scenario
+        return data
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "JobSpec":
         """Rebuild a spec from its :meth:`payload` form."""
+        from ..scenarios import DEFAULT_SCENARIO, get_scenario
+
+        name = str(payload.get("scenario", DEFAULT_SCENARIO))
         return cls(
-            params=MMSParams.from_dict(payload["params"]),
+            params=get_scenario(name).params_from_dict(payload["params"]),
             method=payload["method"],
+            scenario=name,
         )
 
 

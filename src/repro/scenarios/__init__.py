@@ -1,0 +1,160 @@
+"""Scenario registry and selection: pluggable workload/topology families.
+
+Every solvable configuration in ``repro`` belongs to a *scenario* -- a
+registered :class:`~repro.scenarios.base.Scenario` bundling a parameter
+schema, the analytical solve path, the content-addressed cache-key
+contribution, and optional simulator/tolerance wiring.  Three families
+ship registered:
+
+``torus``
+    The paper's 2-D torus MMS model (the default; bitwise-compatible
+    with the pre-registry solver and every existing golden/cache key).
+``worksteal``
+    Randomized work stealing under communication latency, validated
+    against the Gast/Khatiri/Trystram analytical bound (arXiv:1805.00857).
+``hier``
+    Mesh-of-clusters with mixed intra/inter-cluster link speeds,
+    motivated by Kanrar & Siraj (arXiv:1110.3597).
+
+Selection precedence (lowest to highest): the ``REPRO_SCENARIO``
+environment variable, :func:`repro.configure(scenario=...)
+<repro.configure>`, an explicit ``scenario=`` argument at the call site.
+Passing prebuilt params always wins: their type identifies the family,
+so old torus-implicit call sites never change meaning.  See
+``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from .base import Scenario, ScenarioCapabilityError, ScenarioPerformance
+from .hier import HierParams, HierScenario
+from .torus import TorusScenario
+from .worksteal import WorkStealParams, WorkStealScenario
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "HierParams",
+    "Scenario",
+    "ScenarioCapabilityError",
+    "ScenarioPerformance",
+    "ScenarioUnavailableError",
+    "WorkStealParams",
+    "default_scenario",
+    "get_scenario",
+    "payload_scenario",
+    "register",
+    "resolve_scenario",
+    "scenario_for_params",
+    "scenario_names",
+    "set_default_scenario",
+    "validate_scenario_name",
+]
+
+#: the scenario assumed everywhere one is not named (the paper's machine)
+DEFAULT_SCENARIO = "torus"
+
+#: environment override, lowest precedence
+_ENV_VAR = "REPRO_SCENARIO"
+
+#: process-global default set by ``repro.configure(scenario=...)``;
+#: ``None`` defers to the environment, then ``DEFAULT_SCENARIO``
+_CONFIG: dict[str, object] = {"scenario": None}
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+class ScenarioUnavailableError(ValueError):
+    """An unregistered scenario name was requested (API, env, or CLI)."""
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Register a scenario instance under its ``name``; returns it."""
+    if not scenario.name:
+        raise ValueError("scenario must define a non-empty name")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Sorted names of every registered scenario."""
+    return tuple(sorted(_REGISTRY))
+
+
+def validate_scenario_name(scenario: object) -> str:
+    """Check a scenario name against the registry; returns it normalized."""
+    name = str(scenario)
+    if name not in _REGISTRY:
+        raise ScenarioUnavailableError(
+            f"unknown scenario {scenario!r}; pick from {'/'.join(scenario_names())}"
+        )
+    return name
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario for ``name``; raises for unknown names."""
+    return _REGISTRY[validate_scenario_name(name)]
+
+
+def set_default_scenario(scenario: object | None) -> object:
+    """Set the process-global scenario default; returns the previous value.
+
+    ``None`` clears the default (environment, then ``"torus"``, applies
+    again).  Called by :func:`repro.configure`; not public API itself.
+    """
+    if scenario is not None:
+        validate_scenario_name(scenario)
+    previous = _CONFIG["scenario"]
+    _CONFIG["scenario"] = None if scenario is None else str(scenario)
+    return previous
+
+
+def default_scenario() -> str:
+    """The scenario name in effect with no explicit argument."""
+    name = _CONFIG["scenario"]
+    if name is None:
+        name = os.environ.get(_ENV_VAR) or DEFAULT_SCENARIO
+    return validate_scenario_name(name)
+
+
+def resolve_scenario(scenario: str | Scenario | None = None) -> Scenario:
+    """Resolve a selection to a scenario instance (precedence applied).
+
+    ``scenario=None`` falls back to :func:`repro.configure`'s default,
+    then ``REPRO_SCENARIO``, then ``"torus"``.  Raises
+    :class:`ScenarioUnavailableError` for unknown names.
+    """
+    if isinstance(scenario, Scenario):
+        return scenario
+    return get_scenario(default_scenario() if scenario is None else str(scenario))
+
+
+def scenario_for_params(params: Any) -> Scenario:
+    """The registered scenario whose params type matches ``params`` exactly.
+
+    Prebuilt params identify their family, so an explicit object beats
+    any configured or environment default.
+    """
+    for scen in _REGISTRY.values():
+        if type(params) is scen.params_type:
+            return scen
+    raise TypeError(
+        f"no registered scenario accepts params of type "
+        f"{type(params).__name__}; registered: {'/'.join(scenario_names())}"
+    )
+
+
+def payload_scenario(payload: Mapping[str, Any]) -> Scenario:
+    """The scenario a job payload belongs to.
+
+    Payloads without a ``"scenario"`` field are torus by contract (the
+    pre-registry wire format), regardless of any configured default.
+    """
+    return get_scenario(str(payload.get("scenario", DEFAULT_SCENARIO)))
+
+
+register(TorusScenario())
+register(WorkStealScenario())
+register(HierScenario())

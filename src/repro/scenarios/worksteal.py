@@ -1,0 +1,328 @@
+"""Work-stealing schedulers under communication latency.
+
+The second registered scenario family: ``p`` identical workers cooperate
+on ``W`` units of sequential work through randomized work stealing, where
+every steal request and every reply costs a one-way communication latency
+``lambda``.  The analytical baseline is the bound of Gast, Khatiri &
+Trystram (arXiv:1805.00857), *"A tighter analysis of work stealing"*:
+
+    E[makespan]  <=  W/p  +  c * lambda * log2(W / lambda),   c = 16/3
+
+``solve`` evaluates that bound (method ``"bound"``); ``simulate`` runs a
+small discrete-event model of steal-half work stealing whose makespan is
+pinned between the ideal ``W/p`` and the bound by
+``tests/scenarios/test_worksteal.py``.  The latency-tolerance index for
+this family (subsystem ``"steal"``) compares against the zero-latency
+ideal, mirroring the paper's actual/ideal utilization ratio.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from ..params import ParamError
+from .base import Scenario, ScenarioPerformance
+
+__all__ = [
+    "GAST_BOUND_COEFF",
+    "WorkStealParams",
+    "WorkStealScenario",
+    "WorkStealSimResult",
+    "steal_bound",
+]
+
+#: The constant ``c`` of the Gast/Khatiri/Trystram bound (Theorem 4: 16/3).
+GAST_BOUND_COEFF = 16.0 / 3.0
+
+_PLACEMENTS = ("single", "spread")
+
+
+@dataclass(frozen=True)
+class WorkStealParams:
+    """Parameters of one work-stealing configuration.
+
+    ``total_work`` is the sequential execution time ``W``; ``unit_work``
+    is the task granularity the simulator splits it into; ``latency`` is
+    the one-way steal-message latency ``lambda`` (request and reply each
+    pay it); ``placement`` is the initial distribution of work
+    (``"single"``: all on worker 0, the adversarial case of the bound;
+    ``"spread"``: round-robin).
+    """
+
+    num_workers: int = 4
+    total_work: float = 10_000.0
+    latency: float = 10.0
+    unit_work: float = 1.0
+    placement: str = "single"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_workers, int) or self.num_workers < 1:
+            raise ParamError(
+                f"num_workers: must be a positive integer, got {self.num_workers!r}"
+            )
+        if not self.total_work > 0:
+            raise ParamError(f"total_work: must be > 0, got {self.total_work!r}")
+        if self.latency < 0:
+            raise ParamError(f"latency: must be >= 0, got {self.latency!r}")
+        if not self.unit_work > 0:
+            raise ParamError(f"unit_work: must be > 0, got {self.unit_work!r}")
+        if self.placement not in _PLACEMENTS:
+            raise ParamError(
+                f"placement: must be one of {_PLACEMENTS}, got {self.placement!r}"
+            )
+
+    def with_(self, **changes: Any) -> "WorkStealParams":
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "num_workers": self.num_workers,
+            "total_work": float(self.total_work),
+            "latency": float(self.latency),
+            "unit_work": float(self.unit_work),
+            "placement": self.placement,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkStealParams":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TypeError(f"unknown work-steal parameter(s): {unknown}")
+        coerced: dict[str, Any] = dict(data)
+        if "num_workers" in coerced:
+            coerced["num_workers"] = int(coerced["num_workers"])
+        for name in ("total_work", "latency", "unit_work"):
+            if name in coerced:
+                coerced[name] = float(coerced[name])
+        return cls(**coerced)
+
+
+def steal_bound(params: WorkStealParams) -> float:
+    """The Gast et al. expected-makespan bound for ``params``."""
+    p = params.num_workers
+    work = float(params.total_work)
+    lam = float(params.latency)
+    ideal = work / p
+    if p == 1 or lam == 0.0:
+        return ideal if p > 1 else work
+    return ideal + GAST_BOUND_COEFF * lam * math.log2(max(work / lam, 2.0))
+
+
+@dataclass(frozen=True)
+class WorkStealSimResult:
+    """Outcome of one work-stealing discrete-event run."""
+
+    makespan: float
+    ideal_makespan: float
+    tasks: int
+    steals: int
+    failed_steals: int
+    seed: int
+
+    @property
+    def efficiency(self) -> float:
+        return self.ideal_makespan / self.makespan if self.makespan > 0 else 1.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "ideal_makespan": self.ideal_makespan,
+            "efficiency": self.efficiency,
+            "tasks": float(self.tasks),
+            "steals": float(self.steals),
+            "failed_steals": float(self.failed_steals),
+        }
+
+
+class WorkStealScenario(Scenario):
+    name = "worksteal"
+    title = "randomized work stealing under communication latency (Gast et al.)"
+    params_type = WorkStealParams
+    batchable_methods = ()
+    tolerance_subsystems = ("steal",)
+
+    def default_params(self) -> WorkStealParams:
+        return WorkStealParams()
+
+    def params_from_dict(self, data: Mapping[str, Any]) -> WorkStealParams:
+        return WorkStealParams.from_dict(data)
+
+    def canonical_method(self, params: WorkStealParams, method: str = "auto") -> str:
+        if method in ("auto", "bound"):
+            return "bound"
+        raise ParamError(
+            f"unknown method {method!r} for scenario 'worksteal'; "
+            "pick from auto/bound"
+        )
+
+    def solve(
+        self,
+        params: WorkStealParams,
+        method: str = "auto",
+        tol: float = 1e-12,
+    ) -> ScenarioPerformance:
+        del tol  # the bound is closed form
+        canonical = self.canonical_method(params, method)
+        work = float(params.total_work)
+        ideal = work / params.num_workers
+        makespan = steal_bound(params)
+        overhead = makespan - ideal
+        efficiency = ideal / makespan if makespan > 0 else 1.0
+        return ScenarioPerformance(
+            scenario=self.name,
+            method=canonical,
+            measures={
+                "makespan": makespan,
+                "ideal_makespan": ideal,
+                "overhead": overhead,
+                "efficiency": efficiency,
+                "speedup": work / makespan if makespan > 0 else 0.0,
+                "tol_steal": efficiency,
+            },
+        )
+
+    def perf_from_dict(self, data: Mapping[str, Any]) -> ScenarioPerformance:
+        return ScenarioPerformance.from_dict(data)
+
+    def tolerance(
+        self,
+        params: WorkStealParams,
+        subsystem: str | None = None,
+        ideal: str | None = None,
+        method: str = "auto",
+    ) -> Any:
+        from ..core.tolerance import ToleranceResult
+
+        subsystem = subsystem or "steal"
+        if subsystem != "steal":
+            raise ValueError(f"subsystem: must be 'steal', got {subsystem!r}")
+        actual = self.solve(params, method=method)
+        ideal_perf = self.solve(params.with_(latency=0.0), method=method)
+        # Throughput ratio: X = W / makespan, so the index collapses to a
+        # makespan ratio (== efficiency against the zero-latency ideal).
+        index = (
+            ideal_perf.makespan / actual.makespan if actual.makespan > 0 else 1.0
+        )
+        return ToleranceResult(
+            subsystem="steal",
+            ideal_method=ideal or "zero_latency",
+            index=index,
+            actual=actual,
+            ideal=ideal_perf,
+        )
+
+    def simulate(
+        self,
+        params: WorkStealParams,
+        duration: float | None = None,
+        seed: int = 0,
+        warmup: float = 0.0,
+        **kwargs: Any,
+    ) -> WorkStealSimResult:
+        if kwargs:
+            raise TypeError(
+                f"unknown simulate keyword(s) for scenario 'worksteal': "
+                f"{sorted(kwargs)}"
+            )
+        del warmup  # the run is finite; no steady-state statistics
+        return _simulate_worksteal(params, seed=seed, horizon=duration)
+
+
+def _simulate_worksteal(
+    params: WorkStealParams, seed: int = 0, horizon: float | None = None
+) -> WorkStealSimResult:
+    """Steal-half randomized work stealing as a small event simulation.
+
+    Each worker executes its local queue one unit task at a time; an idle
+    worker sends a steal request to a uniformly random victim (one-way
+    cost ``latency``), which replies with half its queue (``(q + 1) // 2``,
+    again costing ``latency``).  A thief that finds the whole system empty
+    (no queued and no in-flight work) parks permanently; queues only grow
+    from in-flight loot, so this terminates even at ``latency == 0``.
+    """
+    rng = random.Random(seed)
+    p = params.num_workers
+    unit = float(params.unit_work)
+    lam = float(params.latency)
+    backoff = lam if lam > 0 else unit
+    tasks = max(1, int(round(params.total_work / unit)))
+
+    queue = [0] * p
+    if params.placement == "single":
+        queue[0] = tasks
+    else:
+        for i in range(tasks):
+            queue[i % p] += 1
+
+    done = 0
+    in_flight = 0
+    steals = 0
+    failed = 0
+    makespan = 0.0
+    seq = 0
+    events: list[tuple[float, int, str, int, int]] = []
+
+    def push(t: float, kind: str, worker: int, extra: int = 0) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, kind, worker, extra))
+        seq += 1
+
+    def next_action(t: float, worker: int) -> None:
+        """Run a local task if any, otherwise go stealing (or park)."""
+        nonlocal in_flight
+        if queue[worker] > 0:
+            queue[worker] -= 1
+            push(t + unit, "finish", worker)
+        elif p > 1 and (sum(queue) > 0 or in_flight > 0):
+            victims = [v for v in range(p) if v != worker]
+            push(t + lam, "steal_arrive", rng.choice(victims), worker)
+        # else: park -- every remaining task is queued nowhere and nothing
+        # is in flight, so all work is already running to completion.
+
+    for w in range(p):
+        next_action(0.0, w)
+
+    while events:
+        t, _, kind, worker, extra = heapq.heappop(events)
+        if horizon is not None and t > horizon:
+            makespan = max(makespan, t)
+            break
+        if kind == "finish":
+            done += 1
+            makespan = max(makespan, t)
+            if done == tasks:
+                break
+            next_action(t, worker)
+        elif kind == "steal_arrive":
+            thief = extra
+            loot = (queue[worker] + 1) // 2 if queue[worker] > 0 else 0
+            if loot > 0:
+                steals += 1
+                queue[worker] -= loot
+                in_flight += loot
+                push(t + lam, "steal_reply", thief, loot)
+            else:
+                failed += 1
+                if sum(queue) > 0 or in_flight > 0:
+                    victims = [v for v in range(p) if v != worker and v != thief]
+                    victim = rng.choice(victims) if victims else worker
+                    push(t + backoff, "steal_arrive", victim, thief)
+                # else: park the thief (see next_action)
+        else:  # steal_reply: loot lands on the thief
+            in_flight -= extra
+            queue[worker] += extra
+            next_action(t, worker)
+
+    return WorkStealSimResult(
+        makespan=makespan,
+        ideal_makespan=tasks * unit / p,
+        tasks=tasks,
+        steals=steals,
+        failed_steals=failed,
+        seed=seed,
+    )

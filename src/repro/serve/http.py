@@ -2,9 +2,12 @@
 
 Four endpoints on a :class:`http.server.ThreadingHTTPServer`:
 
-* ``POST /solve`` -- body ``{"params": {...nested MMSParams...}}`` or
-  ``{"point": {...paper_defaults overrides...}}``, plus optional
-  ``"method"`` and ``"deadline_s"``.  Answers
+* ``POST /solve`` -- body ``{"params": {...nested params...}}`` or
+  ``{"point": {...default-params overrides...}}``, plus optional
+  ``"method"``, ``"deadline_s"`` and ``"scenario"`` (a registered
+  scenario name; wins over the server's
+  :attr:`~repro.serve.service.ServiceConfig.scenario` default, which in
+  turn defaults to the torus).  Answers
   ``{"ok": true, "key", "perf", "source", "batch_width", "latency_s"}``.
   The ``X-Client-Id`` header (fallback: remote address) selects the
   caller's admission token bucket.
@@ -48,7 +51,8 @@ from urllib.parse import parse_qs, urlsplit
 from ..obs import registry as obs_registry
 from ..obs.promtext import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from ..obs.promtext import render_prometheus
-from ..params import MMSParams, ParamError, paper_defaults
+from ..params import ParamError
+from ..scenarios import DEFAULT_SCENARIO, Scenario, get_scenario
 from .service import (
     DeadlineExceededError,
     QueueFullError,
@@ -234,7 +238,9 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
             self.headers.get("X-Client-Id") or self.client_address[0] or ""
         )
         try:
-            params = _parse_params(payload)
+            scen, params = _parse_params(
+                payload, default_scenario=self.server.service.config.scenario
+            )
             method = payload.get("method", "auto")
             deadline_s = payload.get("deadline_s")
             if deadline_s is not None:
@@ -244,6 +250,7 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
                 method=method,
                 deadline_s=deadline_s,
                 client_id=str(client_id),
+                scenario=scen.name,
             )
         except ServeError as exc:
             self._service_error(exc)
@@ -255,28 +262,39 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
             self._service_error(exc)
             return
 
-        self._reply(
-            200,
-            {
-                "ok": True,
-                "key": result.key,
-                "perf": result.perf.to_dict(),
-                "source": result.source,
-                "batch_width": result.batch_width,
-                "latency_s": result.latency_s,
-            },
-        )
+        body = {
+            "ok": True,
+            "key": result.key,
+            "perf": result.perf.to_dict(),
+            "source": result.source,
+            "batch_width": result.batch_width,
+            "latency_s": result.latency_s,
+        }
+        if scen.name != DEFAULT_SCENARIO:
+            body["scenario"] = scen.name
+        self._reply(200, body)
 
 
-def _parse_params(payload: dict) -> MMSParams:
-    """Build MMSParams from a /solve body (``params`` wins over ``point``)."""
+def _parse_params(
+    payload: dict, default_scenario: str | None = None
+) -> tuple[Scenario, object]:
+    """Resolve the scenario and its params from a /solve body.
+
+    The body's ``"scenario"`` key wins over the server-configured default;
+    absent both, the torus scenario applies (the pre-scenario wire format).
+    ``params`` (nested dict) wins over ``point`` (default-params overrides).
+    """
+    name = payload.get("scenario", default_scenario) or DEFAULT_SCENARIO
+    if not isinstance(name, str):
+        raise ParamError("scenario: must be a registered scenario name")
+    scen = get_scenario(name)
     if "params" in payload:
-        return MMSParams.from_dict(payload["params"])
+        return scen, scen.params_from_dict(payload["params"])
     if "point" in payload:
         point = payload["point"]
         if not isinstance(point, dict):
             raise ParamError("point: must be a JSON object of field overrides")
-        return paper_defaults(**point)
+        return scen, scen.with_overrides(scen.default_params(), **point)
     raise ParamError("body must carry 'params' (nested) or 'point' (overrides)")
 
 

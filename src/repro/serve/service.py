@@ -44,16 +44,16 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..core.metrics import MMSPerformance
-from ..core.model import MMSModel, solve_points
+from ..core.model import solve_points
 from ..obs import registry as obs_registry
 from ..obs import trace_span
 from ..obs.timeseries import MetricsRecorder
-from ..params import MMSParams
+from ..params import MMSParams, ParamError
 from ..resilience.admission import AdmissionController, AdmissionDecision
 from ..resilience.breaker import CircuitBreaker
 from ..runner.spec import JobSpec
 from ..runner.store import ResultStore
+from ..scenarios import DEFAULT_SCENARIO, get_scenario
 
 __all__ = [
     "DeadlineExceededError",
@@ -187,6 +187,10 @@ class ServiceConfig:
         ``breaker_cooldown_s`` a half-open probe batch tries to close it
         again.  Threshold ``0`` disables the breaker (every flush
         retries the batch, the pre-breaker behaviour).
+    scenario:
+        Default scenario applied to requests that do not name one
+        (the HTTP front end's ``"scenario"`` body key wins over this);
+        ``None`` means the torus default.  See ``docs/SCENARIOS.md``.
     """
 
     max_batch: int = 64
@@ -205,12 +209,17 @@ class ServiceConfig:
     target_wait_s: float = 0.0
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 2.0
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel is not None:
             from ..queueing.kernels import validate_kernel_name
 
             validate_kernel_name(self.kernel)
+        if self.scenario is not None:
+            from ..scenarios import validate_scenario_name
+
+            validate_scenario_name(self.scenario)
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.min_linger_s < 0:
@@ -257,7 +266,9 @@ class ServeResult:
 
     #: content-addressed request key (shared with the sweep cache)
     key: str
-    perf: MMSPerformance
+    #: solved measures: :class:`~repro.core.metrics.MMSPerformance` for the
+    #: torus scenario, a :class:`~repro.scenarios.ScenarioPerformance` else
+    perf: object
     #: how the answer was produced: ``batched`` | ``scalar`` | ``memory`` |
     #: ``store`` | ``coalesced`` (joined another request's in-flight solve)
     source: str
@@ -274,6 +285,7 @@ class _Request:
         "key",
         "params",
         "method",
+        "scenario",
         "futures",
         "deadline",
         "t_submit",
@@ -282,8 +294,9 @@ class _Request:
     def __init__(
         self,
         key: str,
-        params: MMSParams,
+        params: object,
         method: str,
+        scenario: str,
         future: Future,
         deadline: float | None,
     ):
@@ -291,6 +304,8 @@ class _Request:
         self.params = params
         #: canonical solver method (never ``"auto"``)
         self.method = method
+        #: registered scenario name the params belong to
+        self.scenario = scenario
         self.futures: list[Future] = [future]
         #: absolute monotonic deadline, or None
         self.deadline = deadline
@@ -410,6 +425,7 @@ class SolveService:
         method: str = "auto",
         deadline_s: float | None = None,
         client_id: str = "",
+        scenario: str | None = None,
     ) -> "Future[ServeResult]":
         """Admit one solve request; returns a future of :class:`ServeResult`.
 
@@ -420,9 +436,15 @@ class SolveService:
         :class:`DeadlineExceededError` surface through the future.
         ``client_id`` selects the caller's token bucket (the HTTP front
         end passes the ``X-Client-Id`` header, falling back to the remote
-        address).
+        address).  ``scenario`` names the workload family the params
+        belong to; ``None`` infers it from the params type.
         """
-        spec = JobSpec(params=params, method=method)
+        spec = JobSpec(params=params, method=method, scenario=scenario)
+        if type(params) is not get_scenario(spec.scenario).params_type:
+            raise ParamError(
+                f"params of type {type(params).__name__} do not belong to "
+                f"scenario {spec.scenario!r}"
+            )
         canonical = spec.canonical_method()
         key = spec.key()
         future: Future = Future()
@@ -439,7 +461,7 @@ class SolveService:
             if rec is not None:
                 self.stats_.memory_hits += 1
                 reg.counter("serve.cache.memory_hits").inc()
-                self._resolve_now(future, key, rec, "memory", t0)
+                self._resolve_now(future, key, rec, "memory", t0, spec.scenario)
                 return future
 
             inflight = self._inflight.get(key)
@@ -455,7 +477,9 @@ class SolveService:
                     self.stats_.store_hits += 1
                     reg.counter("serve.cache.store_hits").inc()
                     self._memcache_put(key, rec)
-                    self._resolve_now(future, key, rec, "store", t0)
+                    self._resolve_now(
+                        future, key, rec, "store", t0, spec.scenario
+                    )
                     return future
 
             deadline_s = (
@@ -495,6 +519,7 @@ class SolveService:
                 key,
                 params,
                 canonical,
+                spec.scenario,
                 future,
                 t0 + deadline_s if deadline_s is not None else None,
             )
@@ -511,10 +536,15 @@ class SolveService:
         deadline_s: float | None = None,
         timeout: float | None = None,
         client_id: str = "",
+        scenario: str | None = None,
     ) -> ServeResult:
         """Blocking convenience around :meth:`submit`."""
         return self.submit(
-            params, method=method, deadline_s=deadline_s, client_id=client_id
+            params,
+            method=method,
+            deadline_s=deadline_s,
+            client_id=client_id,
+            scenario=scenario,
         ).result(timeout=timeout)
 
     async def asolve(
@@ -523,6 +553,7 @@ class SolveService:
         method: str = "auto",
         deadline_s: float | None = None,
         client_id: str = "",
+        scenario: str | None = None,
     ) -> ServeResult:
         """Asyncio front end: await one solve without blocking the loop.
 
@@ -531,7 +562,11 @@ class SolveService:
         at call time, like :meth:`submit`.
         """
         future = self.submit(
-            params, method=method, deadline_s=deadline_s, client_id=client_id
+            params,
+            method=method,
+            deadline_s=deadline_s,
+            client_id=client_id,
+            scenario=scenario,
         )
         return await asyncio.wrap_future(future)
 
@@ -664,7 +699,13 @@ class SolveService:
             self._memcache.popitem(last=False)
 
     def _resolve_now(
-        self, future: Future, key: str, rec: dict, source: str, t0: float
+        self,
+        future: Future,
+        key: str,
+        rec: dict,
+        source: str,
+        t0: float,
+        scenario: str,
     ) -> None:
         """Answer a cache hit synchronously (lock held)."""
         latency = time.monotonic() - t0
@@ -676,7 +717,7 @@ class SolveService:
         future.set_result(
             ServeResult(
                 key=key,
-                perf=MMSPerformance.from_dict(rec["perf"]),
+                perf=get_scenario(scenario).perf_from_dict(rec["perf"]),
                 source=source,
                 batch_width=1,
                 latency_s=latency,
@@ -753,12 +794,14 @@ class SolveService:
     def _bucket_key(request: _Request) -> tuple[str, int]:
         """Coalescing compatibility class of one request.
 
-        Only ``symmetric``-method points may stack (the batched symmetric
-        kernel is bitwise-equal to the scalar solver); they group by machine
-        size so the stacked arrays share a shape.  Everything else is its
-        own singleton class and will be answered by the scalar solver.
+        Only torus ``symmetric``-method points may stack (the batched
+        symmetric kernel is bitwise-equal to the scalar solver); they group
+        by machine size so the stacked arrays share a shape.  Everything
+        else -- asymmetric torus points, exotic methods, and every
+        non-torus scenario -- is its own singleton class and will be
+        answered by the scalar solver.
         """
-        if request.method == "symmetric":
+        if request.scenario == DEFAULT_SCENARIO and request.method == "symmetric":
             return ("symmetric", request.params.arch.num_processors)
         return ("scalar", -1)
 
@@ -766,7 +809,7 @@ class SolveService:
         requests = bucket.requests
         if not requests:
             return True
-        if requests[0].method != "symmetric":
+        if self._bucket_key(requests[0])[0] != "symmetric":
             return True  # scalar classes never linger
         if len(requests) >= self.config.max_batch:
             return True
@@ -793,7 +836,7 @@ class SolveService:
         for bucket in buckets.values():
             if not bucket.requests:
                 continue
-            if bucket.requests[0].method != "symmetric":
+            if self._bucket_key(bucket.requests[0])[0] != "symmetric":
                 return 0.0
             if len(bucket.requests) >= self.config.max_batch:
                 return 0.0
@@ -877,7 +920,9 @@ class SolveService:
                 for request in requests:
                     try:
                         perfs.append(
-                            MMSModel(request.params).solve(method=request.method)
+                            get_scenario(request.scenario).solve(
+                                request.params, method=request.method
+                            )
                         )
                     except Exception as exc:  # noqa: BLE001 - per-request failure
                         perfs.append(exc)
@@ -910,7 +955,7 @@ class SolveService:
                 self._finish_ok(request, outcome, source, width)
 
     def _finish_ok(
-        self, request: _Request, perf: MMSPerformance, source: str, width: int
+        self, request: _Request, perf: object, source: str, width: int
     ) -> None:
         rec = {
             "method": request.method,
@@ -918,6 +963,8 @@ class SolveService:
             "perf": perf.to_dict(),
             "elapsed": 0.0,
         }
+        if request.scenario != DEFAULT_SCENARIO:
+            rec["scenario"] = request.scenario
         if width > 1:
             rec["amortized"] = True
         latency = time.monotonic() - request.t_submit

@@ -1,0 +1,99 @@
+"""Property: scenario cache keys are injective across (scenario, params).
+
+The registry's whole cache-safety story rests on two facts, pinned here
+over randomized parameter points:
+
+* the torus key is **exactly** the pre-registry SHA-256 formula (so every
+  historical store entry, journal signature, and fabric experiment
+  signature stays valid), and
+* any two job specs that differ in scenario or in any parameter hash to
+  different keys, while re-spellings of the same computation (``"auto"``
+  vs the canonical method, payload round-trips) hash to the same key.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import paper_defaults
+from repro.runner.spec import JobSpec, canonical_json
+from repro.scenarios import WorkStealParams
+from repro.scenarios.hier import HierParams
+
+torus_st = st.fixed_dictionaries(
+    {
+        "num_threads": st.integers(min_value=1, max_value=12),
+        "p_remote": st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+        "runlength": st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    }
+).map(lambda over: paper_defaults(**over))
+
+worksteal_st = st.fixed_dictionaries(
+    {
+        "num_workers": st.integers(min_value=1, max_value=64),
+        "total_work": st.floats(
+            min_value=1.0, max_value=1e6, allow_nan=False
+        ),
+        "latency": st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        "placement": st.sampled_from(["single", "spread"]),
+    }
+).map(lambda kw: WorkStealParams(**kw))
+
+hier_st = st.fixed_dictionaries(
+    {
+        "clusters": st.integers(min_value=1, max_value=4),
+        "cluster_size": st.integers(min_value=1, max_value=4),
+        "num_threads": st.integers(min_value=1, max_value=8),
+        "inter_delay": st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    }
+).map(lambda kw: HierParams(**kw))
+
+any_params_st = st.one_of(torus_st, worksteal_st, hier_st)
+
+
+class TestKeyInjectivity:
+    @given(a=any_params_st, b=any_params_st)
+    @settings(max_examples=120, deadline=None)
+    def test_keys_equal_iff_same_computation(self, a, b):
+        spec_a = JobSpec(params=a)
+        spec_b = JobSpec(params=b)
+        same = (
+            spec_a.scenario == spec_b.scenario
+            and a.to_dict() == b.to_dict()
+        )
+        assert (spec_a.key() == spec_b.key()) == same
+
+    @given(params=st.one_of(worksteal_st, hier_st))
+    @settings(max_examples=40, deadline=None)
+    def test_non_torus_payload_names_its_scenario(self, params):
+        payload = JobSpec(params=params).payload()
+        assert payload["scenario"] != "torus"
+
+    @given(params=any_params_st)
+    @settings(max_examples=60, deadline=None)
+    def test_payload_round_trip_preserves_key(self, params):
+        spec = JobSpec(params=params)
+        rebuilt = JobSpec.from_payload(spec.payload())
+        assert rebuilt.key() == spec.key()
+        assert rebuilt.scenario == spec.scenario
+
+
+class TestTorusKeyFormula:
+    @given(params=torus_st)
+    @settings(max_examples=60, deadline=None)
+    def test_torus_key_is_the_pre_registry_sha(self, params):
+        spec = JobSpec(params=params)
+        expected = hashlib.sha256(
+            canonical_json(
+                {"method": spec.canonical_method(), "params": params.to_dict()}
+            ).encode("utf-8")
+        ).hexdigest()
+        assert spec.key() == expected
+
+    @given(params=torus_st)
+    @settings(max_examples=40, deadline=None)
+    def test_auto_and_canonical_spelling_share_a_key(self, params):
+        auto = JobSpec(params=params, method="auto")
+        explicit = JobSpec(params=params, method=auto.canonical_method())
+        assert auto.key() == explicit.key()

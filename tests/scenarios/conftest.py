@@ -1,0 +1,19 @@
+"""Scenario-suite isolation: no test leaks a scenario default.
+
+Every test in this package runs with ``REPRO_SCENARIO`` unset and the
+process-global ``configure(scenario=...)`` default cleared, then restored
+afterwards -- scenario selection is process-global state, and leaking it
+would silently re-route every later torus-implicit test.
+"""
+
+import pytest
+
+from repro.scenarios import set_default_scenario
+
+
+@pytest.fixture(autouse=True)
+def _isolated_scenario_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCENARIO", raising=False)
+    prev = set_default_scenario(None)
+    yield
+    set_default_scenario(prev)

@@ -1,0 +1,161 @@
+"""The scenario registry: names, selection precedence, error contract."""
+
+import pytest
+
+import repro
+from repro.params import MMSParams, ParamError, paper_defaults
+from repro.scenarios import (
+    DEFAULT_SCENARIO,
+    HierParams,
+    Scenario,
+    ScenarioUnavailableError,
+    WorkStealParams,
+    default_scenario,
+    get_scenario,
+    payload_scenario,
+    resolve_scenario,
+    scenario_for_params,
+    scenario_names,
+    set_default_scenario,
+)
+
+EXPECTED_NAMES = ("hier", "torus", "worksteal")
+
+
+class TestRegistry:
+    def test_registered_names_sorted(self):
+        assert scenario_names() == EXPECTED_NAMES
+
+    def test_default_is_torus(self):
+        assert DEFAULT_SCENARIO == "torus"
+        assert default_scenario() == "torus"
+
+    def test_facade_scenarios_matches_registry(self):
+        assert repro.scenarios() == scenario_names()
+
+    def test_get_scenario_returns_registered_instance(self):
+        for name in scenario_names():
+            scen = get_scenario(name)
+            assert isinstance(scen, Scenario)
+            assert scen.name == name
+            assert scen.title
+
+    def test_unknown_name_error_enumerates_registry(self):
+        with pytest.raises(ScenarioUnavailableError) as exc_info:
+            get_scenario("bogus")
+        msg = str(exc_info.value)
+        assert msg == "unknown scenario 'bogus'; pick from hier/torus/worksteal"
+
+    def test_unavailable_error_is_a_value_error(self):
+        # the CLI/serve 400-and-exit-2 contracts both catch ValueError
+        assert issubclass(ScenarioUnavailableError, ValueError)
+
+    def test_every_scenario_solves_its_defaults(self):
+        for name in scenario_names():
+            scen = get_scenario(name)
+            perf = scen.solve(scen.default_params())
+            assert perf.summary()
+
+
+class TestPrecedence:
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO", "worksteal")
+        assert default_scenario() == "worksteal"
+        assert resolve_scenario(None).name == "worksteal"
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO", "worksteal")
+        prev = repro.configure(scenario="hier")
+        try:
+            assert default_scenario() == "hier"
+        finally:
+            repro.configure(**prev)
+        assert default_scenario() == "worksteal"
+
+    def test_explicit_argument_beats_both(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO", "worksteal")
+        prev = set_default_scenario("hier")
+        try:
+            assert resolve_scenario("torus").name == "torus"
+        finally:
+            set_default_scenario(prev)
+
+    def test_prebuilt_params_beat_configured_default(self):
+        prev = repro.configure(scenario="worksteal")
+        try:
+            perf = repro.solve(paper_defaults(num_threads=2))
+            # an MMSParams is torus regardless of the configured default
+            assert 0.0 < perf.processor_utilization <= 1.0
+        finally:
+            repro.configure(**prev)
+
+    def test_unknown_env_value_raises_at_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO", "bogus")
+        with pytest.raises(ScenarioUnavailableError, match="bogus"):
+            default_scenario()
+
+    def test_configure_rejects_unknown_and_keeps_default(self):
+        with pytest.raises(ScenarioUnavailableError, match="bogus"):
+            repro.configure(scenario="bogus")
+        assert default_scenario() == "torus"
+
+    def test_configure_round_trips_previous_value(self):
+        prev = repro.configure(scenario="hier")
+        assert set(prev) == {"scenario"}
+        assert default_scenario() == "hier"
+        repro.configure(**prev)
+        assert default_scenario() == "torus"
+
+    def test_resolve_accepts_scenario_instance(self):
+        scen = get_scenario("worksteal")
+        assert resolve_scenario(scen) is scen
+
+
+class TestScenarioForParams:
+    @pytest.mark.parametrize(
+        ("params", "expected"),
+        [
+            (MMSParams(), "torus"),
+            (WorkStealParams(), "worksteal"),
+            (HierParams(), "hier"),
+        ],
+    )
+    def test_params_type_identifies_family(self, params, expected):
+        assert scenario_for_params(params).name == expected
+
+    def test_unregistered_type_raises_type_error(self):
+        with pytest.raises(TypeError, match="no registered scenario"):
+            scenario_for_params({"num_threads": 4})
+
+
+class TestPayloadScenario:
+    def test_absent_field_means_torus_even_with_other_default(self, monkeypatch):
+        # pre-registry wire payloads never named a scenario; they stay torus
+        # no matter what the process default says
+        monkeypatch.setenv("REPRO_SCENARIO", "worksteal")
+        prev = set_default_scenario("hier")
+        try:
+            assert payload_scenario({"method": "amva", "params": {}}).name == "torus"
+        finally:
+            set_default_scenario(prev)
+
+    def test_explicit_field_wins(self):
+        assert payload_scenario({"scenario": "hier"}).name == "hier"
+
+    def test_unknown_payload_scenario_raises(self):
+        with pytest.raises(ScenarioUnavailableError):
+            payload_scenario({"scenario": "bogus"})
+
+
+class TestOverrideErrors:
+    def test_unknown_override_enumerates_scenario_fields(self):
+        scen = get_scenario("worksteal")
+        with pytest.raises(ParamError) as exc_info:
+            scen.with_overrides(scen.default_params(), num_threads=4)
+        msg = str(exc_info.value)
+        assert "scenario 'worksteal'" in msg
+        assert "num_workers" in msg and "latency" in msg
+
+    def test_api_solve_unknown_scenario(self):
+        with pytest.raises(ScenarioUnavailableError, match="pick from"):
+            repro.solve(scenario="bogus")

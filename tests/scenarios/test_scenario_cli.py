@@ -1,0 +1,197 @@
+"""``repro-mms --scenario``: selection, sweeps, and the exit-2 contract.
+
+Unknown scenario names -- from the flag, the environment, or a worker --
+must produce exactly one clean ``repro-mms: error:`` line enumerating the
+registered scenarios and exit 2, mirroring the kernel/backend contract
+pinned in ``tests/test_cli.py``.
+"""
+
+import pytest
+
+from repro.cli import main
+
+UNKNOWN_LINE = (
+    "repro-mms: error: unknown scenario 'bogus'; "
+    "pick from hier/torus/worksteal"
+)
+
+
+class TestSweepScenarioSelection:
+    def test_worksteal_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--scenario",
+                "worksteal",
+                "--axis",
+                "num_workers=1,2,4",
+                "--measure",
+                "tol_steal",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "num_workers=1  tol_steal=" in out
+        assert "num_workers=4  tol_steal=" in out
+
+    def test_hier_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--scenario",
+                "hier",
+                "--axis",
+                "inter_delay=2,40",
+                "--measure",
+                "U_p",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "inter_delay=2" in out and "U_p=" in out
+
+    def test_default_stays_torus(self, capsys):
+        rc = main(["sweep", "--axis", "num_threads=1,2", "--measure", "U_p"])
+        assert rc == 0
+        assert "num_threads=1  U_p=" in capsys.readouterr().out
+
+    def test_env_var_selects_scenario(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO", "worksteal")
+        rc = main(
+            ["sweep", "--axis", "latency=0,10", "--measure", "efficiency"]
+        )
+        assert rc == 0
+        assert "latency=0  efficiency=1" in capsys.readouterr().out
+
+
+class TestScenarioErrorContract:
+    def test_unknown_scenario_flag_exits_2_one_line(self, capsys):
+        rc = main(
+            ["sweep", "--scenario", "bogus", "--axis", "num_threads=1,2"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == UNKNOWN_LINE
+        assert err.count("\n") <= 1
+
+    def test_unknown_scenario_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO", "bogus")
+        rc = main(["sweep", "--axis", "num_threads=1,2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == UNKNOWN_LINE
+
+    def test_unknown_axis_enumerates_active_scenario_fields(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--scenario",
+                "worksteal",
+                "--axis",
+                "num_threads=1,2",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown sweep axis 'num_threads' for scenario 'worksteal'" in err
+        assert (
+            "fields: num_workers/total_work/latency/unit_work/placement" in err
+        )
+
+    def test_unknown_axis_on_torus_enumerates_torus_fields(self, capsys):
+        rc = main(["sweep", "--axis", "latency=1,2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "for scenario 'torus'" in err
+        assert "num_threads" in err and "p_remote" in err
+
+    def test_method_foreign_to_scenario_exits_2(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--scenario",
+                "worksteal",
+                "--axis",
+                "num_workers=1,2",
+                "--method",
+                "symmetric",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == (
+            "repro-mms: error: unknown method 'symmetric' for scenario "
+            "'worksteal'; pick from auto/bound"
+        )
+
+    def test_worker_unknown_scenario_exits_2(self, capsys, tmp_path):
+        rc = main(
+            ["worker", "--fabric", str(tmp_path), "--scenario", "bogus"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == UNKNOWN_LINE
+
+    def test_serve_unknown_scenario_exits_2(self, capsys):
+        rc = main(
+            ["serve", "--port", "0", "--scenario", "bogus"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.strip() == UNKNOWN_LINE
+
+
+class TestScenarioSweepOutputs:
+    def test_out_records_carry_scenario_params(self, capsys, tmp_path):
+        out_path = tmp_path / "records.jsonl"
+        rc = main(
+            [
+                "sweep",
+                "--scenario",
+                "worksteal",
+                "--axis",
+                "latency=0,10",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        import json
+
+        records = [
+            json.loads(line) for line in out_path.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        for rec in records:
+            assert rec["method"] == "bound"
+            assert set(rec["params"]) == {
+                "num_workers",
+                "total_work",
+                "latency",
+                "unit_work",
+                "placement",
+            }
+            assert "makespan" in rec["measures"]
+
+    def test_warm_cache_serves_scenario_points(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--scenario",
+            "hier",
+            "--axis",
+            "num_threads=1,2",
+            "--measure",
+            "U_p",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        # identical measures, and the second run reports cache hits
+        cold_points = [l for l in cold.splitlines() if l.startswith("num_threads")]
+        warm_points = [l for l in warm.splitlines() if l.startswith("num_threads")]
+        assert cold_points == warm_points
+        assert "2 cached (100%)" in warm

@@ -1,0 +1,107 @@
+"""Scenario sweeps through cache, journal resume, and the fabric.
+
+The acceptance bar for the registry: a ``sweep(scenario=...)`` round-trips
+through the persistent result store, resumes from a journal, and
+distributes across fabric workers, producing records identical to the
+single-host run -- with content-addressed keys that never collide across
+(scenario, params).
+"""
+
+import pytest
+
+import repro
+from repro.fabric import FabricScheduler
+from repro.params import paper_defaults
+from repro.runner import JobSpec, SweepRunner, canonical_json
+from repro.scenarios import WorkStealParams
+from repro.scenarios.hier import HierParams
+
+
+def _worksteal_specs() -> list[JobSpec]:
+    return [
+        JobSpec(params=WorkStealParams(num_workers=p, latency=lam))
+        for p in (2, 4, 8)
+        for lam in (1.0, 10.0)
+    ]
+
+
+def _record_lines(report) -> list[str]:
+    return [canonical_json(rec) for rec in report.records()]
+
+
+class TestKeyInjectivity:
+    def test_keys_unique_across_scenarios_and_points(self):
+        specs = [
+            JobSpec(params=paper_defaults(num_threads=4)),
+            JobSpec(params=paper_defaults(num_threads=8)),
+            JobSpec(params=WorkStealParams()),
+            JobSpec(params=WorkStealParams(latency=0.0)),
+            JobSpec(params=HierParams(clusters=2, cluster_size=2)),
+            JobSpec(params=HierParams(clusters=4, cluster_size=1)),
+        ]
+        keys = [spec.key() for spec in specs]
+        assert len(set(keys)) == len(keys)
+
+
+class TestCacheRoundTrip:
+    def test_store_round_trips_scenario_results(self, tmp_path):
+        specs = _worksteal_specs()
+        cold = SweepRunner(jobs=1, cache_dir=tmp_path).run(specs)
+        assert cold.manifest.cache_hits == 0
+        warm = SweepRunner(jobs=1, cache_dir=tmp_path).run(specs)
+        assert warm.manifest.cache_hits == len(specs)
+        assert _record_lines(warm) == _record_lines(cold)
+
+    def test_mixed_scenario_run_with_shared_store(self, tmp_path):
+        mixed = [
+            JobSpec(params=paper_defaults(num_threads=2)),
+            JobSpec(params=WorkStealParams(latency=4.0)),
+            JobSpec(params=HierParams(clusters=2, cluster_size=2, num_threads=2)),
+        ]
+        report = SweepRunner(jobs=1, cache_dir=tmp_path).run(mixed)
+        assert all(result.ok for result in report.results)
+        warm = SweepRunner(jobs=1, cache_dir=tmp_path).run(mixed)
+        assert warm.manifest.cache_hits == len(mixed)
+        assert _record_lines(warm) == _record_lines(report)
+
+
+class TestJournalResume:
+    def test_resume_replays_scenario_points(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        specs = _worksteal_specs()
+        first = SweepRunner(jobs=1, journal=journal).run(specs)
+        resumed = SweepRunner(jobs=1, journal=journal, resume=True).run(specs)
+        assert resumed.manifest.journal_hits == len(specs)
+        assert resumed.manifest.resumed
+        assert _record_lines(resumed) == _record_lines(first)
+
+
+class TestFabric:
+    def test_fabric_matches_single_host_bitwise(self, tmp_path):
+        specs = _worksteal_specs()
+        golden = _record_lines(SweepRunner(jobs=1).run(specs))
+        with FabricScheduler(tmp_path, poll_s=0.05) as scheduler:
+            report = scheduler.run(specs, workers=1)
+        assert _record_lines(report) == golden
+
+    def test_facade_sweep_through_fabric(self, tmp_path):
+        records = repro.sweep(
+            {"num_workers": [2, 4], "latency": [1.0, 10.0]},
+            scenario="worksteal",
+            measure="makespan",
+            fabric=str(tmp_path),
+            workers=1,
+        )
+        assert len(records) == 4
+        from repro.scenarios import get_scenario
+
+        scen = get_scenario("worksteal")
+        for rec in records:
+            expected = scen.solve(
+                WorkStealParams(
+                    num_workers=rec["num_workers"], latency=rec["latency"]
+                )
+            )
+            assert rec["makespan"] == pytest.approx(
+                expected.makespan, rel=1e-12
+            )

@@ -1,0 +1,201 @@
+"""Work stealing under communication latency, pinned to the Gast bound.
+
+The analytical baseline is Gast/Khatiri/Trystram (arXiv:1805.00857):
+``E[makespan] <= W/p + (16/3) * lambda * log2(W/lambda)``.  The solve
+path evaluates the bound; the simulator's makespan must land between the
+zero-latency ideal ``W/p`` and the bound (with a pinned tolerance for the
+finite-run average), which is the scenario's validation contract.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro.params import ParamError
+from repro.scenarios import ScenarioPerformance, get_scenario
+from repro.scenarios.worksteal import (
+    GAST_BOUND_COEFF,
+    WorkStealParams,
+    WorkStealSimResult,
+    steal_bound,
+)
+
+WORKSTEAL = get_scenario("worksteal")
+
+#: Slack on the sim-vs-bound comparison: the bound is on the *expectation*
+#: of an adversarial-placement execution; individual finite runs may sit
+#: a few percent above it.  Pinned here so regressions surface.
+SIM_BOUND_RTOL = 0.05
+
+
+class TestParams:
+    def test_defaults_validate(self):
+        params = WorkStealParams()
+        assert params.num_workers == 4
+        assert params.placement == "single"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"num_workers": 0},
+            {"num_workers": 2.5},
+            {"total_work": 0.0},
+            {"total_work": -1.0},
+            {"latency": -0.5},
+            {"unit_work": 0.0},
+            {"placement": "hoard"},
+        ],
+    )
+    def test_invalid_values_raise_param_error(self, bad):
+        with pytest.raises(ParamError):
+            WorkStealParams(**bad)
+
+    def test_round_trips_through_dict(self):
+        params = WorkStealParams(
+            num_workers=7, total_work=512.0, latency=3.5, placement="spread"
+        )
+        assert WorkStealParams.from_dict(params.to_dict()) == params
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="unknown work-steal parameter"):
+            WorkStealParams.from_dict({"num_workers": 2, "bogus": 1})
+
+    def test_with_replaces_fields(self):
+        assert WorkStealParams().with_(latency=0.0).latency == 0.0
+
+
+class TestBound:
+    def test_formula(self):
+        params = WorkStealParams(num_workers=8, total_work=4096.0, latency=16.0)
+        expected = 4096.0 / 8 + GAST_BOUND_COEFF * 16.0 * math.log2(4096.0 / 16.0)
+        assert steal_bound(params) == pytest.approx(expected, rel=1e-12)
+
+    def test_single_worker_is_sequential_time(self):
+        assert steal_bound(WorkStealParams(num_workers=1, total_work=100.0)) == 100.0
+
+    def test_zero_latency_is_ideal(self):
+        params = WorkStealParams(num_workers=4, total_work=100.0, latency=0.0)
+        assert steal_bound(params) == 25.0
+
+    def test_monotone_in_latency(self):
+        bounds = [
+            steal_bound(WorkStealParams(total_work=4096.0, latency=lam))
+            for lam in (1.0, 4.0, 16.0, 64.0)
+        ]
+        assert bounds == sorted(bounds)
+        assert bounds[0] < bounds[-1]
+
+
+class TestSolve:
+    def test_measures_and_method(self):
+        perf = WORKSTEAL.solve(WorkStealParams())
+        assert isinstance(perf, ScenarioPerformance)
+        assert perf.scenario == "worksteal"
+        assert perf.method == "bound"
+        assert set(perf.summary()) == {
+            "makespan",
+            "ideal_makespan",
+            "overhead",
+            "efficiency",
+            "speedup",
+            "tol_steal",
+        }
+        assert perf.makespan == steal_bound(WorkStealParams())
+        assert perf.efficiency == pytest.approx(
+            perf.ideal_makespan / perf.makespan
+        )
+        assert perf.tol_steal == perf.efficiency
+
+    def test_unknown_method_raises_param_error(self):
+        with pytest.raises(ParamError, match="pick from auto/bound"):
+            WORKSTEAL.solve(WorkStealParams(), method="symmetric")
+
+    def test_perf_round_trips_through_dict(self):
+        perf = WORKSTEAL.solve(WorkStealParams(latency=2.0))
+        assert WORKSTEAL.perf_from_dict(perf.to_dict()).to_dict() == perf.to_dict()
+
+
+class TestSimulation:
+    def test_deterministic_per_seed(self):
+        params = WorkStealParams(total_work=500.0, latency=5.0)
+        a = WORKSTEAL.simulate(params, seed=3)
+        b = WORKSTEAL.simulate(params, seed=3)
+        assert a == b
+        c = WORKSTEAL.simulate(params, seed=4)
+        assert isinstance(c, WorkStealSimResult)
+
+    def test_single_worker_runs_sequentially(self):
+        sim = WORKSTEAL.simulate(WorkStealParams(num_workers=1, total_work=64.0))
+        assert sim.makespan == pytest.approx(64.0)
+        assert sim.steals == 0
+
+    @pytest.mark.parametrize("num_workers", [2, 4, 8])
+    @pytest.mark.parametrize("latency", [1.0, 5.0, 20.0])
+    def test_makespan_between_ideal_and_gast_bound(self, num_workers, latency):
+        params = WorkStealParams(
+            num_workers=num_workers, total_work=2000.0, latency=latency
+        )
+        bound = steal_bound(params)
+        makespans = []
+        for seed in range(3):
+            sim = WORKSTEAL.simulate(params, seed=seed)
+            assert sim.tasks == 2000
+            assert sim.makespan >= sim.ideal_makespan - 1e-9
+            makespans.append(sim.makespan)
+        mean = sum(makespans) / len(makespans)
+        assert mean <= bound * (1.0 + SIM_BOUND_RTOL), (
+            f"mean simulated makespan {mean:.1f} exceeds Gast bound "
+            f"{bound:.1f} (p={num_workers}, lambda={latency})"
+        )
+
+    def test_zero_latency_close_to_ideal(self):
+        params = WorkStealParams(num_workers=4, total_work=1000.0, latency=0.0)
+        sim = WORKSTEAL.simulate(params)
+        assert sim.makespan <= sim.ideal_makespan * 1.2 + 10.0
+
+    def test_spread_placement_needs_fewer_steals(self):
+        single = WORKSTEAL.simulate(
+            WorkStealParams(total_work=1000.0, latency=5.0), seed=0
+        )
+        spread = WORKSTEAL.simulate(
+            WorkStealParams(total_work=1000.0, latency=5.0, placement="spread"),
+            seed=0,
+        )
+        assert spread.steals <= single.steals
+
+    def test_unknown_sim_keyword_raises(self):
+        with pytest.raises(TypeError, match="unknown simulate keyword"):
+            WORKSTEAL.simulate(WorkStealParams(), memory_dist="exp")
+
+    def test_facade_simulate_routes_by_scenario(self):
+        sim = repro.simulate(
+            scenario="worksteal", num_workers=2, total_work=200.0, latency=1.0
+        )
+        assert isinstance(sim, WorkStealSimResult)
+        assert sim.makespan >= sim.ideal_makespan - 1e-9
+
+
+class TestTolerance:
+    def test_index_is_efficiency_against_zero_latency(self):
+        params = WorkStealParams(num_workers=8, total_work=4096.0, latency=16.0)
+        tol = WORKSTEAL.tolerance(params)
+        assert tol.subsystem == "steal"
+        assert tol.ideal_method == "zero_latency"
+        assert 0.0 < float(tol) < 1.0
+        assert float(tol) == pytest.approx(
+            tol.ideal.makespan / tol.actual.makespan
+        )
+
+    def test_zero_latency_index_is_one(self):
+        tol = WORKSTEAL.tolerance(WorkStealParams(latency=0.0))
+        assert float(tol) == pytest.approx(1.0)
+
+    def test_unknown_subsystem_raises(self):
+        with pytest.raises(ValueError, match="steal"):
+            WORKSTEAL.tolerance(WorkStealParams(), subsystem="network")
+
+    def test_facade_tolerance_index(self):
+        tol = repro.tolerance_index(scenario="worksteal", latency=8.0)
+        assert tol.subsystem == "steal"
+        assert 0.0 < float(tol) <= 1.0

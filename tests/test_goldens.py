@@ -62,6 +62,84 @@ def _fig11_model_side() -> dict[str, object]:
     return {"rows": rows}
 
 
+def _worksteal_table() -> dict[str, object]:
+    """Gast-bound solve measures over workers x latency (table style)."""
+    from repro.scenarios import get_scenario
+
+    scen = get_scenario("worksteal")
+    rows = []
+    for workers in (1, 2, 4, 8, 16):
+        for latency in (0.0, 1.0, 10.0, 100.0):
+            params = scen.default_params().with_(
+                num_workers=workers, latency=latency
+            )
+            perf = scen.solve(params)
+            rows.append(
+                {
+                    "num_workers": workers,
+                    "latency": latency,
+                    **{k: float(v) for k, v in perf.summary().items()},
+                }
+            )
+    return {"rows": rows}
+
+
+def _worksteal_lattice() -> dict[str, object]:
+    """Figure-style efficiency lattice, swept through the managed runner."""
+    import repro
+
+    return {
+        "records": repro.sweep(
+            {"num_workers": [2, 4, 8], "latency": [0.5, 2.0, 8.0, 32.0]},
+            scenario="worksteal",
+            measure="efficiency",
+        )
+    }
+
+
+def _hier_table() -> dict[str, object]:
+    """Multi-class AMVA measures over cluster shapes x gateway slowdowns."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.hier import HierParams
+
+    scen = get_scenario("hier")
+    rows = []
+    for clusters, cluster_size in ((1, 4), (2, 2), (4, 2)):
+        for inter_delay in (2.0, 20.0, 80.0):
+            params = HierParams(
+                clusters=clusters,
+                cluster_size=cluster_size,
+                num_threads=4,
+                inter_delay=inter_delay,
+            )
+            perf = scen.solve(params)
+            rows.append(
+                {
+                    "clusters": clusters,
+                    "cluster_size": cluster_size,
+                    "inter_delay": inter_delay,
+                    "converged": bool(perf.converged),
+                    **{k: float(v) for k, v in perf.summary().items()},
+                }
+            )
+    return {"rows": rows}
+
+
+def _hier_lattice() -> dict[str, object]:
+    """Figure-style U_p lattice (threads x gateway delay) through the runner."""
+    import repro
+    from repro.scenarios.hier import HierParams
+
+    return {
+        "records": repro.sweep(
+            {"num_threads": [1, 2, 4, 8], "inter_delay": [5.0, 40.0]},
+            base=HierParams(clusters=2, cluster_size=2),
+            scenario="hier",
+            measure="U_p",
+        )
+    }
+
+
 #: golden name -> callable producing the JSON-safe payload to pin
 GOLDENS = {
     "table2": lambda: experiments.table2_network_tolerance().data,
@@ -75,6 +153,10 @@ GOLDENS = {
     "fig9": lambda: experiments.fig9_scaling_tolerance().data,
     "fig10": lambda: experiments.fig10_throughput_scaling().data,
     "fig11_model": _fig11_model_side,
+    "worksteal_table": _worksteal_table,
+    "worksteal_lattice": _worksteal_lattice,
+    "hier_table": _hier_table,
+    "hier_lattice": _hier_lattice,
 }
 
 

@@ -31,6 +31,7 @@ DOCUMENTED_SURFACE = [
     "simulate",
     "tolerance_index",
     "configure",
+    "scenarios",
     "SolveService",
     "ServiceConfig",
     "MMSModel",
@@ -55,6 +56,7 @@ FACADE_FUNCTIONS = [
     "simulate",
     "tolerance_index",
     "configure",
+    "scenarios",
 ]
 
 

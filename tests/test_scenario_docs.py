@@ -1,0 +1,103 @@
+"""Docs/scenario drift pins: the written story must match the registry.
+
+The scenario surface is documented in three places -- docs/SCENARIOS.md
+(the per-family reference), the ``repro.configure`` table in docs/API.md,
+and the README's scenario section.  These tests parse the registry back
+out of the prose so registering, renaming, or re-fielding a scenario
+fails loudly here instead of silently rotting the docs (the same pattern
+``tests/test_kernel_docs.py`` applies to solver kernels).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios import (
+    _ENV_VAR,
+    DEFAULT_SCENARIO,
+    get_scenario,
+    scenario_names,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+SCENARIOS = ROOT / "docs" / "SCENARIOS.md"
+API = ROOT / "docs" / "API.md"
+README = ROOT / "README.md"
+
+
+class TestScenariosDoc:
+    def test_exists_and_names_every_scenario(self):
+        text = SCENARIOS.read_text(encoding="utf-8")
+        for name in scenario_names():
+            assert f"`{name}`" in text, f"docs/SCENARIOS.md missing {name!r}"
+
+    def test_every_parameter_field_documented(self):
+        text = SCENARIOS.read_text(encoding="utf-8")
+        for name in scenario_names():
+            for field in get_scenario(name).field_names():
+                assert f"`{field}`" in text, (
+                    f"docs/SCENARIOS.md missing field {field!r} of "
+                    f"scenario {name!r}"
+                )
+
+    def test_tolerance_subsystems_documented(self):
+        text = SCENARIOS.read_text(encoding="utf-8")
+        for name in scenario_names():
+            for subsystem in get_scenario(name).tolerance_subsystems:
+                assert f"`{subsystem}`" in text, (
+                    f"docs/SCENARIOS.md missing subsystem {subsystem!r}"
+                )
+
+    def test_validation_sources_cited(self):
+        text = SCENARIOS.read_text(encoding="utf-8")
+        assert "1805.00857" in text  # Gast/Khatiri/Trystram (worksteal)
+        assert "1110.3597" in text  # Kanrar & Siraj (hier)
+
+    def test_env_var_and_precedence_documented(self):
+        text = SCENARIOS.read_text(encoding="utf-8")
+        assert "REPRO_SCENARIO" in text
+        assert "ScenarioUnavailableError" in text
+
+
+class TestApiTable:
+    def test_scenario_row_present_with_env_var(self):
+        text = API.read_text(encoding="utf-8")
+        row = next(
+            (
+                line
+                for line in text.splitlines()
+                if line.startswith("| `scenario` |")
+            ),
+            None,
+        )
+        assert row is not None, "docs/API.md lost the `scenario` configure row"
+        assert "`REPRO_SCENARIO`" in row
+        for name in scenario_names():
+            assert f"`{name}`" in row, f"scenario {name!r} missing from the row"
+        assert "SCENARIOS.md" in row
+
+    def test_env_var_matches_registry(self):
+        # the module-private constant is the single source of the env name
+        assert _ENV_VAR == "REPRO_SCENARIO"
+        assert "REPRO_SCENARIO" in API.read_text(encoding="utf-8")
+
+    def test_default_scenario_in_row(self):
+        text = API.read_text(encoding="utf-8")
+        row = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("| `scenario` |")
+        )
+        assert f"`{DEFAULT_SCENARIO}`" in row
+
+
+class TestReadme:
+    def test_scenario_selection_documented(self):
+        text = README.read_text(encoding="utf-8")
+        assert "`--scenario`" in text
+        assert "REPRO_SCENARIO" in text
+        for name in scenario_names():
+            assert f"`{name}`" in text
+
+    def test_scenarios_doc_referenced(self):
+        assert "docs/SCENARIOS.md" in README.read_text(encoding="utf-8")
